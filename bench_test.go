@@ -1,0 +1,256 @@
+// Benchmarks regenerating every experiment in the paper reproduction
+// (one per DESIGN.md §4 entry, E1–E11) plus operational benchmarks of
+// the public API. Run with:
+//
+//	go test -bench=. -benchmem
+package itemsketch_test
+
+import (
+	"io"
+	"testing"
+
+	itemsketch "repro"
+	"repro/internal/bitvec"
+	"repro/internal/dataset"
+	"repro/internal/experiments"
+	"repro/internal/lowerbound"
+	"repro/internal/rng"
+)
+
+func benchExperiment(b *testing.B, id string) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if err := experiments.Run(io.Discard, id, uint64(i+1)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkE1SubsampleAccuracy(b *testing.B)    { benchExperiment(b, "E1") }
+func BenchmarkE2PlannerSpace(b *testing.B)         { benchExperiment(b, "E2") }
+func BenchmarkE3Thm13Reconstruction(b *testing.B)  { benchExperiment(b, "E3") }
+func BenchmarkE4IndexProtocol(b *testing.B)        { benchExperiment(b, "E4") }
+func BenchmarkE5ShatteredSet(b *testing.B)         { benchExperiment(b, "E5") }
+func BenchmarkE6Thm15Core(b *testing.B)            { benchExperiment(b, "E6") }
+func BenchmarkE7Thm15Amplified(b *testing.B)       { benchExperiment(b, "E7") }
+func BenchmarkE8HadamardSpectrum(b *testing.B)     { benchExperiment(b, "E8") }
+func BenchmarkE9LPDecoding(b *testing.B)           { benchExperiment(b, "E9") }
+func BenchmarkE10MedianAmplification(b *testing.B) { benchExperiment(b, "E10") }
+func BenchmarkE11MiningOnSketch(b *testing.B)      { benchExperiment(b, "E11") }
+func BenchmarkE12ImportanceAblation(b *testing.B)  { benchExperiment(b, "E12") }
+func BenchmarkE13PrivacyBridge(b *testing.B)       { benchExperiment(b, "E13") }
+
+// Operational benchmarks of the public API.
+
+func benchDB(n, d int) *itemsketch.Database {
+	r := rng.New(1)
+	db := itemsketch.NewDatabase(d)
+	for i := 0; i < n; i++ {
+		var attrs []int
+		for a := 0; a < d; a++ {
+			if r.Bernoulli(0.1) {
+				attrs = append(attrs, a)
+			}
+		}
+		db.AddRowAttrs(attrs...)
+	}
+	return db
+}
+
+func BenchmarkSketchBuildSubsample(b *testing.B) {
+	db := benchDB(50000, 64)
+	p := itemsketch.Params{K: 2, Eps: 0.05, Delta: 0.05,
+		Mode: itemsketch.ForAll, Task: itemsketch.Estimator}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := (itemsketch.Subsample{Seed: uint64(i)}).Sketch(db, p); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkSketchQueryEstimate(b *testing.B) {
+	db := benchDB(50000, 64)
+	p := itemsketch.Params{K: 2, Eps: 0.05, Delta: 0.05,
+		Mode: itemsketch.ForAll, Task: itemsketch.Estimator}
+	sk, err := (itemsketch.Subsample{Seed: 1}).Sketch(db, p)
+	if err != nil {
+		b.Fatal(err)
+	}
+	es := sk.(itemsketch.EstimatorSketch)
+	T := itemsketch.MustItemset(3, 41)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = es.Estimate(T)
+	}
+}
+
+func BenchmarkSketchSerialize(b *testing.B) {
+	db := benchDB(20000, 64)
+	p := itemsketch.Params{K: 2, Eps: 0.05, Delta: 0.05,
+		Mode: itemsketch.ForAll, Task: itemsketch.Estimator}
+	sk, err := (itemsketch.Subsample{Seed: 1}).Sketch(db, p)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		data, bits := itemsketch.Marshal(sk)
+		if _, err := itemsketch.Unmarshal(data, bits); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkExactFrequencyQuery(b *testing.B) {
+	db := benchDB(100000, 64)
+	db.BuildColumnIndex()
+	T := itemsketch.MustItemset(3, 41, 50)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = db.Frequency(T)
+	}
+}
+
+func BenchmarkAprioriOnSketch(b *testing.B) {
+	db := benchDB(50000, 48)
+	p := itemsketch.Params{K: 3, Eps: 0.02, Delta: 0.05,
+		Mode: itemsketch.ForAll, Task: itemsketch.Estimator}
+	sk, err := (itemsketch.Subsample{Seed: 1}).Sketch(db, p)
+	if err != nil {
+		b.Fatal(err)
+	}
+	src := itemsketch.OnSketch(sk.(itemsketch.EstimatorSketch), 48)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = itemsketch.Apriori(src, 0.08, 3)
+	}
+}
+
+func BenchmarkReservoirStream(b *testing.B) {
+	res, err := itemsketch.NewReservoir(64, 10000, 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res.AddAttrs(i%64, (i+7)%64, (i+13)%64)
+	}
+}
+
+// Ablation benchmarks for the design choices DESIGN.md §3 calls out.
+
+func BenchmarkAblationLemma19Exhaustive(b *testing.B) {
+	// v = 12: exhaustive consistency search (the guaranteed path).
+	const v, eps = 12, 0.2
+	truth := uint64(0xA5A) & (1<<v - 1)
+	bs := make([]bool, 1<<v)
+	for s := range bs {
+		ip := 0
+		x := truth & uint64(s)
+		for x != 0 {
+			x &= x - 1
+			ip++
+		}
+		bs[s] = float64(ip)/float64(v) > eps
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := lowerbound.Lemma19Decode(bs, v, eps); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkAblationLemma19Greedy(b *testing.B) {
+	// v = 16 > MaxExhaustiveV: the greedy fallback path.
+	const v = lowerbound.MaxExhaustiveV + 2
+	const eps = 1.0 / 50
+	truth := uint64(0xBEEF) & (1<<v - 1)
+	bs := make([]bool, 1<<v)
+	for s := range bs {
+		ip := 0
+		x := truth & uint64(s)
+		for x != 0 {
+			x &= x - 1
+			ip++
+		}
+		bs[s] = float64(ip)/float64(v) > eps
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := lowerbound.Lemma19Decode(bs, v, eps); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkAblationL1VsL2Decode(b *testing.B) {
+	de, err := lowerbound.NewDe(24, 10, 2, 7)
+	if err != nil {
+		b.Fatal(err)
+	}
+	r := rng.New(8)
+	yv := randomColumn(r, de.N())
+	col, err := de.EncodeColumn(yv)
+	if err != nil {
+		b.Fatal(err)
+	}
+	oracle := lowerbound.ExactEstimator{DB: col}
+	b.Run("L1", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, err := de.DecodeColumnL1(oracle, 0); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("L2", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, err := de.DecodeColumnL2(oracle, 0); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+func randomColumn(r *rng.RNG, n int) *bitvec.Vector {
+	v := bitvec.New(n)
+	for i := 0; i < n; i++ {
+		if r.Bool() {
+			v.Set(i)
+		}
+	}
+	return v
+}
+
+func BenchmarkAblationMinersExactDB(b *testing.B) {
+	r := rng.New(1)
+	db := dataset.GenMarketBasket(r, 10000, 48, dataset.BasketConfig{MeanSize: 5, ZipfExponent: 1.2})
+	db.BuildColumnIndex()
+	b.Run("Apriori", func(b *testing.B) {
+		src := itemsketch.OnDatabase(db)
+		for i := 0; i < b.N; i++ {
+			_ = itemsketch.Apriori(src, 0.05, 3)
+		}
+	})
+	b.Run("Eclat", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			_ = itemsketch.Eclat(db, 0.05, 3)
+		}
+	})
+	b.Run("FPGrowth", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			_ = itemsketch.FPGrowth(db, 0.05, 3)
+		}
+	})
+}

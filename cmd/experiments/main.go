@@ -1,0 +1,34 @@
+// Command experiments regenerates the paper's evaluation: one table per
+// theorem/lemma/construction (IDs E1–E11, indexed in DESIGN.md §4).
+//
+// Usage:
+//
+//	experiments            # run everything
+//	experiments -id E6     # run one experiment
+//	experiments -seed 7    # change the workload seed
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/experiments"
+)
+
+func main() {
+	id := flag.String("id", "", "run a single experiment (E1..E11); empty runs all")
+	seed := flag.Uint64("seed", 42, "workload and sketching seed")
+	flag.Parse()
+
+	fmt.Println("Space Lower Bounds for Itemset Frequency Sketches (PODS 2016) — experiment harness")
+	fmt.Printf("seed = %d\n\n", *seed)
+	if *id == "" {
+		experiments.RunAll(os.Stdout, *seed)
+		return
+	}
+	if err := experiments.Run(os.Stdout, *id, *seed); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,254 @@
+// Command itemsketch builds, inspects, queries, and mines itemset
+// frequency sketches from transaction files.
+//
+// Usage:
+//
+//	itemsketch sketch -in baskets.txt -d 64 -out sketch.bin [-k 2 -eps 0.05 -delta 0.05 -mode forall -task estimator -algo auto]
+//	itemsketch query  -sketch sketch.bin -items 3,17
+//	itemsketch mine   -sketch sketch.bin -d 64 -minsup 0.1 -maxk 3 [-rules 0.6]
+//	itemsketch info   -sketch sketch.bin
+//
+// The transaction format is one basket per line: space-separated
+// attribute indices in [0, d).
+package main
+
+import (
+	"encoding/binary"
+	"errors"
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	itemsketch "repro"
+)
+
+func main() {
+	if len(os.Args) < 2 {
+		usage()
+		os.Exit(2)
+	}
+	var err error
+	switch os.Args[1] {
+	case "sketch":
+		err = cmdSketch(os.Args[2:])
+	case "query":
+		err = cmdQuery(os.Args[2:])
+	case "mine":
+		err = cmdMine(os.Args[2:])
+	case "info":
+		err = cmdInfo(os.Args[2:])
+	default:
+		usage()
+		os.Exit(2)
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "itemsketch:", err)
+		os.Exit(1)
+	}
+}
+
+func usage() {
+	fmt.Fprintln(os.Stderr, `usage: itemsketch <sketch|query|mine|info> [flags]
+  sketch -in FILE -d COLS -out FILE [-k K -eps E -delta D -mode forall|foreach -task estimator|indicator -algo auto|subsample|release-db|release-answers -seed N]
+  query  -sketch FILE -items a,b,c
+  mine   -sketch FILE -d COLS -minsup F -maxk K [-rules CONF]
+  info   -sketch FILE`)
+}
+
+func parseParams(k int, eps, delta float64, mode, task string) (itemsketch.Params, error) {
+	p := itemsketch.Params{K: k, Eps: eps, Delta: delta}
+	switch strings.ToLower(mode) {
+	case "forall":
+		p.Mode = itemsketch.ForAll
+	case "foreach":
+		p.Mode = itemsketch.ForEach
+	default:
+		return p, fmt.Errorf("unknown mode %q", mode)
+	}
+	switch strings.ToLower(task) {
+	case "estimator":
+		p.Task = itemsketch.Estimator
+	case "indicator":
+		p.Task = itemsketch.Indicator
+	default:
+		return p, fmt.Errorf("unknown task %q", task)
+	}
+	return p, p.Validate()
+}
+
+func cmdSketch(args []string) error {
+	fs := flag.NewFlagSet("sketch", flag.ExitOnError)
+	in := fs.String("in", "", "transactions file (required)")
+	d := fs.Int("d", 0, "number of attribute columns (required)")
+	out := fs.String("out", "", "output sketch file (required)")
+	k := fs.Int("k", 2, "itemset size")
+	eps := fs.Float64("eps", 0.05, "precision")
+	delta := fs.Float64("delta", 0.05, "failure probability")
+	mode := fs.String("mode", "forall", "forall|foreach")
+	task := fs.String("task", "estimator", "estimator|indicator")
+	algo := fs.String("algo", "auto", "auto|subsample|release-db|release-answers")
+	seed := fs.Uint64("seed", 1, "sketching randomness seed")
+	fs.Parse(args)
+	if *in == "" || *out == "" || *d <= 0 {
+		return errors.New("sketch: -in, -d and -out are required")
+	}
+	p, err := parseParams(*k, *eps, *delta, *mode, *task)
+	if err != nil {
+		return err
+	}
+	f, err := os.Open(*in)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	db, err := itemsketch.ReadTransactions(f, *d)
+	if err != nil {
+		return err
+	}
+	var sk itemsketch.Sketch
+	switch *algo {
+	case "auto":
+		var plan itemsketch.Plan
+		sk, plan, err = itemsketch.Auto(db, p, *seed)
+		if err == nil {
+			fmt.Printf("planner: release-db=%.0f release-answers=%.0f subsample=%.0f bits -> %s\n",
+				plan.Costs["release-db"], plan.Costs["release-answers"], plan.Costs["subsample"],
+				plan.Winner.Name())
+		}
+	case "subsample":
+		sk, err = itemsketch.Subsample{Seed: *seed}.Sketch(db, p)
+	case "release-db":
+		sk, err = itemsketch.ReleaseDB{}.Sketch(db, p)
+	case "release-answers":
+		sk, err = itemsketch.ReleaseAnswers{}.Sketch(db, p)
+	default:
+		return fmt.Errorf("unknown algo %q", *algo)
+	}
+	if err != nil {
+		return err
+	}
+	if err := writeSketchFile(*out, sk); err != nil {
+		return err
+	}
+	fmt.Printf("wrote %s: %s sketch, %d bits (%.1f KB) for %d rows x %d cols\n",
+		*out, sk.Name(), sk.SizeBits(), float64(sk.SizeBits())/8192, db.NumRows(), db.NumCols())
+	return nil
+}
+
+// Sketch files: 8-byte little-endian bit count, then the packed bits.
+func writeSketchFile(path string, sk itemsketch.Sketch) error {
+	data, bits := itemsketch.Marshal(sk)
+	hdr := make([]byte, 8)
+	binary.LittleEndian.PutUint64(hdr, uint64(bits))
+	return os.WriteFile(path, append(hdr, data...), 0o644)
+}
+
+func readSketchFile(path string) (itemsketch.Sketch, error) {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	if len(raw) < 8 {
+		return nil, errors.New("sketch file too short")
+	}
+	bits := binary.LittleEndian.Uint64(raw[:8])
+	return itemsketch.Unmarshal(raw[8:], int(bits))
+}
+
+func parseItems(s string) (itemsketch.Itemset, error) {
+	if s == "" {
+		return itemsketch.Itemset{}, errors.New("empty itemset")
+	}
+	parts := strings.Split(s, ",")
+	attrs := make([]int, 0, len(parts))
+	for _, p := range parts {
+		a, err := strconv.Atoi(strings.TrimSpace(p))
+		if err != nil {
+			return itemsketch.Itemset{}, fmt.Errorf("bad attribute %q: %v", p, err)
+		}
+		attrs = append(attrs, a)
+	}
+	return itemsketch.NewItemset(attrs...)
+}
+
+func cmdQuery(args []string) error {
+	fs := flag.NewFlagSet("query", flag.ExitOnError)
+	path := fs.String("sketch", "", "sketch file (required)")
+	items := fs.String("items", "", "comma-separated attributes (required)")
+	fs.Parse(args)
+	if *path == "" || *items == "" {
+		return errors.New("query: -sketch and -items are required")
+	}
+	sk, err := readSketchFile(*path)
+	if err != nil {
+		return err
+	}
+	T, err := parseItems(*items)
+	if err != nil {
+		return err
+	}
+	p := sk.Params()
+	fmt.Printf("sketch: %s %v\n", sk.Name(), p)
+	if es, ok := sk.(itemsketch.EstimatorSketch); ok {
+		fmt.Printf("estimate f(%v) = %.5f\n", T, es.Estimate(T))
+	}
+	fmt.Printf("frequent(%v) at eps=%g: %v\n", T, p.Eps, sk.Frequent(T))
+	return nil
+}
+
+func cmdMine(args []string) error {
+	fs := flag.NewFlagSet("mine", flag.ExitOnError)
+	path := fs.String("sketch", "", "sketch file (required)")
+	d := fs.Int("d", 0, "number of attribute columns (required)")
+	minsup := fs.Float64("minsup", 0.1, "minimum support")
+	maxk := fs.Int("maxk", 3, "maximum itemset size")
+	rules := fs.Float64("rules", 0, "if > 0, also derive rules at this confidence")
+	fs.Parse(args)
+	if *path == "" || *d <= 0 {
+		return errors.New("mine: -sketch and -d are required")
+	}
+	sk, err := readSketchFile(*path)
+	if err != nil {
+		return err
+	}
+	es, ok := sk.(itemsketch.EstimatorSketch)
+	if !ok {
+		return errors.New("mine: sketch does not support estimates (indicator-only)")
+	}
+	rs := itemsketch.Apriori(itemsketch.OnSketch(es, *d), *minsup, *maxk)
+	fmt.Printf("%d frequent itemsets at minsup=%g (maxk=%d):\n", len(rs), *minsup, *maxk)
+	for _, r := range rs {
+		fmt.Printf("  %-20v %.4f\n", r.Items, r.Freq)
+	}
+	if *rules > 0 {
+		rl := itemsketch.AssociationRules(rs, *rules)
+		fmt.Printf("%d rules at confidence >= %g:\n", len(rl), *rules)
+		for _, r := range rl {
+			fmt.Printf("  %v => %v  conf=%.3f lift=%.2f sup=%.3f\n",
+				r.Antecedent, r.Consequent, r.Confidence, r.Lift, r.Support)
+		}
+	}
+	return nil
+}
+
+func cmdInfo(args []string) error {
+	fs := flag.NewFlagSet("info", flag.ExitOnError)
+	path := fs.String("sketch", "", "sketch file (required)")
+	fs.Parse(args)
+	if *path == "" {
+		return errors.New("info: -sketch is required")
+	}
+	sk, err := readSketchFile(*path)
+	if err != nil {
+		return err
+	}
+	p := sk.Params()
+	fmt.Printf("algorithm:  %s\n", sk.Name())
+	fmt.Printf("params:     %v\n", p)
+	fmt.Printf("size:       %d bits (%.1f KB)\n", sk.SizeBits(), float64(sk.SizeBits())/8192)
+	_, isEst := sk.(itemsketch.EstimatorSketch)
+	fmt.Printf("estimates:  %v\n", isEst)
+	return nil
+}

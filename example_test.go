@@ -1,0 +1,104 @@
+package itemsketch_test
+
+import (
+	"fmt"
+
+	itemsketch "repro"
+)
+
+// ExampleAuto demonstrates the Theorem 12 planner choosing the
+// smallest sketch for the requested guarantee.
+func ExampleAuto() {
+	db := itemsketch.NewDatabase(8)
+	for i := 0; i < 1000; i++ {
+		if i%2 == 0 {
+			db.AddRowAttrs(1, 3)
+		} else {
+			db.AddRowAttrs(2)
+		}
+	}
+	p := itemsketch.Params{K: 2, Eps: 0.1, Delta: 0.1,
+		Mode: itemsketch.ForAll, Task: itemsketch.Estimator}
+	sk, plan, err := itemsketch.Auto(db, p, 1)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println("winner:", plan.Winner.Name())
+	// Estimates are quantized to ⌈log₂(1/ε)⌉+1 bits (Definition 7), so
+	// print at the ε granularity.
+	fmt.Printf("f({1,3}) = %.1f\n", sk.(itemsketch.EstimatorSketch).Estimate(itemsketch.MustItemset(1, 3)))
+	// Output:
+	// winner: release-answers
+	// f({1,3}) = 0.5
+}
+
+// ExampleSubsample builds the paper's optimal sketch directly and
+// round-trips it through its bit encoding.
+func ExampleSubsample() {
+	db := itemsketch.NewDatabase(4)
+	for i := 0; i < 300; i++ {
+		db.AddRowAttrs(0, 2)
+	}
+	p := itemsketch.Params{K: 2, Eps: 0.25, Delta: 0.1,
+		Mode: itemsketch.ForEach, Task: itemsketch.Indicator}
+	sk, err := itemsketch.Subsample{Seed: 7}.Sketch(db, p)
+	if err != nil {
+		panic(err)
+	}
+	data, bits := itemsketch.Marshal(sk)
+	back, err := itemsketch.Unmarshal(data, bits)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println("frequent {0,2}:", back.Frequent(itemsketch.MustItemset(0, 2)))
+	fmt.Println("frequent {1,3}:", back.Frequent(itemsketch.MustItemset(1, 3)))
+	// Output:
+	// frequent {0,2}: true
+	// frequent {1,3}: false
+}
+
+// ExampleApriori mines frequent itemsets straight from a sketch — the
+// paper's §1.1.2 workflow.
+func ExampleApriori() {
+	db := itemsketch.NewDatabase(6)
+	for i := 0; i < 900; i++ {
+		switch i % 3 {
+		case 0:
+			db.AddRowAttrs(0, 1)
+		case 1:
+			db.AddRowAttrs(0, 1, 4)
+		default:
+			db.AddRowAttrs(5)
+		}
+	}
+	p := itemsketch.Params{K: 2, Eps: 0.05, Delta: 0.05,
+		Mode: itemsketch.ForAll, Task: itemsketch.Estimator}
+	sk, err := itemsketch.Subsample{Seed: 3}.Sketch(db, p)
+	if err != nil {
+		panic(err)
+	}
+	for _, r := range itemsketch.Apriori(itemsketch.OnSketch(sk.(itemsketch.EstimatorSketch), 6), 0.5, 2) {
+		fmt.Printf("%v ~%.1f\n", r.Items, r.Freq)
+	}
+	// Output:
+	// {0} ~0.7
+	// {1} ~0.7
+	// {0,1} ~0.7
+}
+
+// ExampleNewReservoir shows one-pass streaming construction of the
+// SUBSAMPLE sketch.
+func ExampleNewReservoir() {
+	res, err := itemsketch.NewReservoir(4, 50, 1)
+	if err != nil {
+		panic(err)
+	}
+	for i := 0; i < 10000; i++ {
+		res.AddAttrs(0, 3)
+	}
+	fmt.Println("seen:", res.Seen(), "stored:", res.Len())
+	fmt.Printf("f({0,3}) = %.1f\n", res.Estimate(itemsketch.MustItemset(0, 3)))
+	// Output:
+	// seen: 10000 stored: 50
+	// f({0,3}) = 1.0
+}

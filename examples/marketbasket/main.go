@@ -1,0 +1,75 @@
+// Market-basket analysis on a sketch (§1.1.2 of the paper): a retailer
+// streams 100k baskets, keeps only a SUBSAMPLE sketch, and an analyst
+// mines frequent bundles and association rules from the sketch alone —
+// then we compare against exact mining to see what the ±ε guarantee
+// cost us.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	itemsketch "repro"
+	"repro/internal/dataset"
+	"repro/internal/rng"
+)
+
+func main() {
+	const d, n = 96, 100000
+	r := rng.New(7)
+	bundles := [][]int{
+		{3, 11},      // chips + salsa
+		{20, 21, 22}, // pasta + sauce + parmesan
+		{40, 41},     // toothbrush + toothpaste
+	}
+	db := dataset.GenMarketBasket(r, n, d, dataset.BasketConfig{
+		MeanSize:     5,
+		ZipfExponent: 1.25,
+		Bundles:      bundles,
+		BundleProb:   0.3,
+	})
+
+	// The retailer ships a sketch sized for all 3-itemset queries.
+	p := itemsketch.Params{K: 3, Eps: 0.015, Delta: 0.05,
+		Mode: itemsketch.ForAll, Task: itemsketch.Estimator}
+	sk, err := itemsketch.Subsample{Seed: 99}.Sketch(db, p)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("database: %d baskets x %d items = %.1f KB\n", n, d, float64(db.SizeBits())/8192)
+	fmt.Printf("sketch:   %d sampled baskets = %.1f KB (%.1fx smaller)\n\n",
+		itemsketch.SampleSize(d, p), float64(sk.SizeBits())/8192,
+		float64(db.SizeBits())/float64(sk.SizeBits()))
+
+	const minSup = 0.08
+	exact := itemsketch.Apriori(itemsketch.OnDatabase(db), minSup, 3)
+	approx := itemsketch.Apriori(itemsketch.OnSketch(sk.(itemsketch.EstimatorSketch), d), minSup, 3)
+
+	fmt.Printf("frequent itemsets at minsup=%.2f: exact %d, from sketch %d\n", minSup, len(exact), len(approx))
+	fmt.Println("\nbundles of size >= 2 mined from the sketch:")
+	for _, rres := range approx {
+		if rres.Items.Len() >= 2 {
+			fmt.Printf("  %-14v freq %.3f\n", rres.Items, rres.Freq)
+		}
+	}
+
+	// Condensed representations (§1.1.1).
+	maximal := itemsketch.Maximal(approx)
+	closed := itemsketch.Closed(approx)
+	fmt.Printf("\ncondensed: %d maximal, %d closed (of %d)\n", len(maximal), len(closed), len(approx))
+
+	// Rules from the sketch.
+	rules := itemsketch.AssociationRules(approx, 0.5)
+	fmt.Println("\ntop association rules from the sketch (confidence >= 0.5):")
+	count := 0
+	for _, rule := range rules {
+		if rule.Antecedent.Len() == 1 && rule.Consequent.Len() >= 1 && rule.Lift > 1.5 {
+			fmt.Printf("  %v => %-10v conf %.2f lift %.1f\n",
+				rule.Antecedent, rule.Consequent, rule.Confidence, rule.Lift)
+			count++
+			if count >= 8 {
+				break
+			}
+		}
+	}
+}

@@ -1,0 +1,68 @@
+// Quickstart: build a database, let the Theorem 12 planner choose the
+// smallest sketch, query it, and ship it over the wire.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	itemsketch "repro"
+	"repro/internal/rng"
+)
+
+func main() {
+	// A database of 50,000 user records over 64 binary attributes,
+	// with two correlated attribute pairs planted.
+	const d, n = 64, 50000
+	r := rng.New(2016)
+	db := itemsketch.NewDatabase(d)
+	for i := 0; i < n; i++ {
+		var attrs []int
+		for a := 0; a < d; a++ {
+			if r.Bernoulli(0.05) {
+				attrs = append(attrs, a)
+			}
+		}
+		row := map[int]bool{}
+		for _, a := range attrs {
+			row[a] = true
+		}
+		if r.Bernoulli(0.30) { // attributes 7 and 21 co-occur often
+			row[7], row[21] = true, true
+		}
+		flat := make([]int, 0, len(row))
+		for a := range row {
+			flat = append(flat, a)
+		}
+		db.AddRowAttrs(flat...)
+	}
+
+	// Ask for a For-All estimator: every 2-itemset within ±0.02,
+	// failure probability 5%.
+	p := itemsketch.Params{K: 2, Eps: 0.02, Delta: 0.05,
+		Mode: itemsketch.ForAll, Task: itemsketch.Estimator}
+	sk, plan, err := itemsketch.Auto(db, p, 7)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("planner costs (bits): release-db=%.0f release-answers=%.0f subsample=%.0f\n",
+		plan.Costs["release-db"], plan.Costs["release-answers"], plan.Costs["subsample"])
+	fmt.Printf("chose %s: %d bits = %.1f KB (database itself: %.1f KB)\n",
+		sk.Name(), sk.SizeBits(), float64(sk.SizeBits())/8192, float64(db.SizeBits())/8192)
+
+	// Query.
+	T := itemsketch.MustItemset(7, 21)
+	est := sk.(itemsketch.EstimatorSketch).Estimate(T)
+	fmt.Printf("f(%v): true %.4f, sketch %.4f\n", T, db.Frequency(T), est)
+	fmt.Printf("frequent(%v) at eps=%g? %v\n", T, p.Eps, sk.Frequent(T))
+
+	// Serialize — the bit length is the paper's |S| measure — and
+	// recover on the "other side".
+	data, bits := itemsketch.Marshal(sk)
+	sk2, err := itemsketch.Unmarshal(data, bits)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("after round trip over %d bytes: f(%v) = %.4f\n",
+		len(data), T, sk2.(itemsketch.EstimatorSketch).Estimate(T))
+}

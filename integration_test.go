@@ -1,0 +1,125 @@
+package itemsketch_test
+
+import (
+	"math"
+	"testing"
+
+	itemsketch "repro"
+	"repro/internal/combin"
+	"repro/internal/rng"
+)
+
+// TestIntegrationFullPipeline drives the complete product story through
+// the public API: generate data, build every sketcher, check the
+// Definition 1–4 guarantees, serialize, and mine — one assertion chain
+// from raw rows to association rules.
+func TestIntegrationFullPipeline(t *testing.T) {
+	const d = 20
+	r := rng.New(2016)
+	db := itemsketch.NewDatabase(d)
+	for i := 0; i < 8000; i++ {
+		var attrs []int
+		for a := 0; a < d; a++ {
+			if r.Bernoulli(0.1) {
+				attrs = append(attrs, a)
+			}
+		}
+		seen := map[int]bool{}
+		for _, a := range attrs {
+			seen[a] = true
+		}
+		if r.Bernoulli(0.45) {
+			seen[4], seen[9] = true, true
+		}
+		flat := make([]int, 0, len(seen))
+		for a := range seen {
+			flat = append(flat, a)
+		}
+		db.AddRowAttrs(flat...)
+	}
+	p := itemsketch.Params{K: 2, Eps: 0.03, Delta: 0.05,
+		Mode: itemsketch.ForAll, Task: itemsketch.Estimator}
+
+	sketchers := map[string]itemsketch.Sketcher{
+		"release-db":      itemsketch.ReleaseDB{},
+		"release-answers": itemsketch.ReleaseAnswers{},
+		"subsample":       itemsketch.Subsample{Seed: 5},
+		"importance":      itemsketch.ImportanceSample{Seed: 6},
+		"median":          itemsketch.MedianAmplifier{Base: itemsketch.Subsample{Seed: 7}},
+	}
+	for name, sk := range sketchers {
+		s, err := sk.Sketch(db, p)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		es, ok := s.(itemsketch.EstimatorSketch)
+		if !ok {
+			t.Fatalf("%s: not an estimator", name)
+		}
+		// The ForAll guarantee, verified exhaustively over C(d,2)
+		// itemsets for this (deterministic) build.
+		maxErr := 0.0
+		combin.ForEachSubset(d, 2, func(set []int) bool {
+			T := itemsketch.MustItemset(set...)
+			if e := math.Abs(es.Estimate(T) - db.Frequency(T)); e > maxErr {
+				maxErr = e
+			}
+			return true
+		})
+		if maxErr > p.Eps {
+			t.Errorf("%s: ForAll max error %g > eps %g", name, maxErr, p.Eps)
+		}
+		// Serialization round trip preserves answers.
+		data, bits := itemsketch.Marshal(s)
+		back, err := itemsketch.Unmarshal(data, bits)
+		if err != nil {
+			t.Fatalf("%s: unmarshal: %v", name, err)
+		}
+		T := itemsketch.MustItemset(4, 9)
+		a := es.Estimate(T)
+		b := back.(itemsketch.EstimatorSketch).Estimate(T)
+		if math.Abs(a-b) > 1e-3 {
+			t.Errorf("%s: estimate drifted over the wire: %g vs %g", name, a, b)
+		}
+		// Mining on the sketch finds the planted pair. RELEASE-ANSWERS
+		// is excluded: it stores answers for exactly-k itemsets only
+		// (Definition 7), and Apriori needs level-1 queries.
+		if name != "release-answers" {
+			rs := itemsketch.Apriori(itemsketch.OnSketch(es, d), 0.3, 2)
+			found := false
+			for _, m := range rs {
+				if m.Items.Equal(T) {
+					found = true
+				}
+			}
+			if !found {
+				t.Errorf("%s: planted pair not mined from sketch", name)
+			}
+		}
+	}
+}
+
+// TestIntegrationPlannerConsistency checks that the Theorem 12 cost
+// model agrees with reality: the planner's predicted bits for the
+// winner equal the built sketch's measured SizeBits.
+func TestIntegrationPlannerConsistency(t *testing.T) {
+	r := rng.New(3)
+	db := itemsketch.NewDatabase(12)
+	for i := 0; i < 500; i++ {
+		db.AddRowAttrs(r.Intn(12), r.Intn(12))
+	}
+	for _, p := range []itemsketch.Params{
+		{K: 2, Eps: 0.1, Delta: 0.1, Mode: itemsketch.ForAll, Task: itemsketch.Estimator},
+		{K: 2, Eps: 0.1, Delta: 0.1, Mode: itemsketch.ForAll, Task: itemsketch.Indicator},
+		{K: 2, Eps: 0.005, Delta: 0.1, Mode: itemsketch.ForAll, Task: itemsketch.Indicator},
+	} {
+		sk, plan, err := itemsketch.Auto(db, p, 9)
+		if err != nil {
+			t.Fatal(err)
+		}
+		predicted := plan.Costs[plan.Winner.Name()]
+		if got := float64(sk.SizeBits()); got != predicted {
+			t.Errorf("%v: predicted %g bits, measured %g", p, predicted, got)
+		}
+	}
+}

@@ -1,0 +1,359 @@
+package bitvec
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestVectorBasics(t *testing.T) {
+	v := New(130)
+	if v.Len() != 130 {
+		t.Fatalf("Len = %d, want 130", v.Len())
+	}
+	if v.Count() != 0 {
+		t.Fatalf("new vector Count = %d, want 0", v.Count())
+	}
+	idx := []int{0, 1, 63, 64, 65, 127, 128, 129}
+	for _, i := range idx {
+		v.Set(i)
+	}
+	for _, i := range idx {
+		if !v.Get(i) {
+			t.Errorf("bit %d should be set", i)
+		}
+	}
+	if v.Count() != len(idx) {
+		t.Fatalf("Count = %d, want %d", v.Count(), len(idx))
+	}
+	v.Clear(64)
+	if v.Get(64) {
+		t.Error("bit 64 should be cleared")
+	}
+	v.Flip(64)
+	if !v.Get(64) {
+		t.Error("bit 64 should be set after flip")
+	}
+	v.Flip(64)
+	if v.Get(64) {
+		t.Error("bit 64 should be cleared after second flip")
+	}
+}
+
+func TestVectorSetBool(t *testing.T) {
+	v := New(10)
+	v.SetBool(3, true)
+	if !v.Get(3) {
+		t.Error("SetBool(3,true) failed")
+	}
+	v.SetBool(3, false)
+	if v.Get(3) {
+		t.Error("SetBool(3,false) failed")
+	}
+}
+
+func TestVectorOutOfRangePanics(t *testing.T) {
+	v := New(8)
+	for name, f := range map[string]func(){
+		"Get":   func() { v.Get(8) },
+		"Set":   func() { v.Set(-1) },
+		"Clear": func() { v.Clear(100) },
+		"Flip":  func() { v.Flip(8) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s out of range did not panic", name)
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+func TestContainsAll(t *testing.T) {
+	v := FromIndices(100, []int{1, 5, 50, 99})
+	sub := FromIndices(100, []int{5, 99})
+	notsub := FromIndices(100, []int{5, 98})
+	if !v.ContainsAll(sub) {
+		t.Error("sub should be contained")
+	}
+	if v.ContainsAll(notsub) {
+		t.Error("notsub should not be contained")
+	}
+	empty := New(100)
+	if !v.ContainsAll(empty) {
+		t.Error("empty set is a subset of anything")
+	}
+	// Shorter argument is allowed.
+	short := FromIndices(60, []int{5, 50})
+	if !v.ContainsAll(short) {
+		t.Error("short subset should be contained")
+	}
+}
+
+func TestBooleanOps(t *testing.T) {
+	a := FromIndices(70, []int{0, 10, 65})
+	b := FromIndices(70, []int{10, 20, 65})
+
+	and := a.Clone()
+	and.And(b)
+	if got := and.Ones(); len(got) != 2 || got[0] != 10 || got[1] != 65 {
+		t.Errorf("And = %v, want [10 65]", got)
+	}
+
+	or := a.Clone()
+	or.Or(b)
+	if or.Count() != 4 {
+		t.Errorf("Or count = %d, want 4", or.Count())
+	}
+
+	xor := a.Clone()
+	xor.Xor(b)
+	if got := xor.Ones(); len(got) != 2 || got[0] != 0 || got[1] != 20 {
+		t.Errorf("Xor = %v, want [0 20]", got)
+	}
+
+	an := a.Clone()
+	an.AndNot(b)
+	if got := an.Ones(); len(got) != 1 || got[0] != 0 {
+		t.Errorf("AndNot = %v, want [0]", got)
+	}
+
+	if a.AndCount(b) != 2 {
+		t.Errorf("AndCount = %d, want 2", a.AndCount(b))
+	}
+	if a.HammingDistance(b) != 2 {
+		t.Errorf("HammingDistance = %d, want 2", a.HammingDistance(b))
+	}
+	if !a.Intersects(b) {
+		t.Error("a and b intersect")
+	}
+	c := FromIndices(70, []int{1, 2})
+	if c.Intersects(FromIndices(70, []int{3, 4})) {
+		t.Error("disjoint vectors should not intersect")
+	}
+}
+
+func TestOnesAndNextOne(t *testing.T) {
+	idx := []int{3, 64, 66, 128}
+	v := FromIndices(200, idx)
+	got := v.Ones()
+	if len(got) != len(idx) {
+		t.Fatalf("Ones = %v, want %v", got, idx)
+	}
+	for i := range idx {
+		if got[i] != idx[i] {
+			t.Fatalf("Ones = %v, want %v", got, idx)
+		}
+	}
+	if v.NextOne(0) != 3 {
+		t.Errorf("NextOne(0) = %d, want 3", v.NextOne(0))
+	}
+	if v.NextOne(4) != 64 {
+		t.Errorf("NextOne(4) = %d, want 64", v.NextOne(4))
+	}
+	if v.NextOne(129) != -1 {
+		t.Errorf("NextOne(129) = %d, want -1", v.NextOne(129))
+	}
+	if v.NextOne(-5) != 3 {
+		t.Errorf("NextOne(-5) = %d, want 3", v.NextOne(-5))
+	}
+}
+
+func TestVectorString(t *testing.T) {
+	v := FromIndices(5, []int{1, 4})
+	if v.String() != "01001" {
+		t.Errorf("String = %q, want 01001", v.String())
+	}
+}
+
+func TestMatrix(t *testing.T) {
+	m := NewMatrix(3, 70)
+	m.Set(0, 0)
+	m.Set(1, 69)
+	m.Set(2, 35)
+	if !m.Get(0, 0) || !m.Get(1, 69) || !m.Get(2, 35) {
+		t.Fatal("matrix get/set failed")
+	}
+	if m.Get(0, 1) {
+		t.Fatal("unexpected set bit")
+	}
+	row := m.Row(1)
+	if row.Len() != 70 || row.Count() != 1 || !row.Get(69) {
+		t.Fatal("row view incorrect")
+	}
+	// Row view shares storage.
+	row.Set(5)
+	if !m.Get(1, 5) {
+		t.Fatal("row view should share storage")
+	}
+	col := m.Column(35)
+	if col.Len() != 3 || !col.Get(2) || col.Get(0) {
+		t.Fatal("column extraction incorrect")
+	}
+	m.SetBool(2, 35, false)
+	if m.Get(2, 35) {
+		t.Fatal("SetBool false failed")
+	}
+
+	c := m.Clone()
+	if !c.Equal(m) {
+		t.Fatal("clone should equal original")
+	}
+	c.Set(0, 7)
+	if c.Equal(m) {
+		t.Fatal("clone should be independent")
+	}
+
+	v := FromIndices(70, []int{2, 68})
+	m.SetRow(0, v)
+	if !m.Get(0, 2) || !m.Get(0, 68) || m.Get(0, 0) {
+		t.Fatal("SetRow failed")
+	}
+}
+
+func TestWriterReaderRoundTrip(t *testing.T) {
+	var w Writer
+	w.WriteBit(true)
+	w.WriteBit(false)
+	w.WriteUint(0xDEADBEEF, 32)
+	w.WriteUint(5, 3)
+	w.WriteBytes([]byte{0x01, 0xFF})
+	if w.BitLen() != 1+1+32+3+16 {
+		t.Fatalf("BitLen = %d, want 53", w.BitLen())
+	}
+
+	r := NewReader(w.Bytes(), w.BitLen())
+	b1, err := r.ReadBit()
+	if err != nil || !b1 {
+		t.Fatalf("ReadBit 1 = %v, %v", b1, err)
+	}
+	b2, err := r.ReadBit()
+	if err != nil || b2 {
+		t.Fatalf("ReadBit 2 = %v, %v", b2, err)
+	}
+	u, err := r.ReadUint(32)
+	if err != nil || u != 0xDEADBEEF {
+		t.Fatalf("ReadUint = %#x, %v", u, err)
+	}
+	u3, err := r.ReadUint(3)
+	if err != nil || u3 != 5 {
+		t.Fatalf("ReadUint(3) = %d, %v", u3, err)
+	}
+	bs, err := r.ReadBytes(2)
+	if err != nil || bs[0] != 0x01 || bs[1] != 0xFF {
+		t.Fatalf("ReadBytes = %v, %v", bs, err)
+	}
+	if r.Remaining() != 0 {
+		t.Fatalf("Remaining = %d, want 0", r.Remaining())
+	}
+	if _, err := r.ReadBit(); err != ErrShortStream {
+		t.Fatalf("read past end: err = %v, want ErrShortStream", err)
+	}
+}
+
+func TestVectorStreamRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 20; trial++ {
+		n := rng.Intn(200)
+		v := New(n)
+		for i := 0; i < n; i++ {
+			if rng.Intn(2) == 1 {
+				v.Set(i)
+			}
+		}
+		var w Writer
+		v.AppendTo(&w)
+		if w.BitLen() != n {
+			t.Fatalf("BitLen = %d, want %d", w.BitLen(), n)
+		}
+		r := NewReader(w.Bytes(), w.BitLen())
+		got, err := ReadVector(r, n)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !got.Equal(v) {
+			t.Fatalf("round trip mismatch at n=%d", n)
+		}
+	}
+}
+
+// Property: WriteUint/ReadUint round-trips arbitrary values at the
+// minimal width that can hold them.
+func TestQuickUintRoundTrip(t *testing.T) {
+	f := func(v uint64, widthSeed uint8) bool {
+		width := 1 + int(widthSeed)%64
+		v &= (uint64(1)<<uint(width) - 1) | (uint64(1)<<uint(width) - 1) // mask to width
+		if width < 64 {
+			v &= uint64(1)<<uint(width) - 1
+		}
+		var w Writer
+		w.WriteUint(v, width)
+		r := NewReader(w.Bytes(), w.BitLen())
+		got, err := r.ReadUint(width)
+		return err == nil && got == v
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: FromBools/Get agree.
+func TestQuickFromBools(t *testing.T) {
+	f := func(b []bool) bool {
+		v := FromBools(b)
+		if v.Len() != len(b) {
+			return false
+		}
+		for i, x := range b {
+			if v.Get(i) != x {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: Xor with self gives zero; HammingDistance is symmetric.
+func TestQuickXorHamming(t *testing.T) {
+	f := func(a, b []bool) bool {
+		n := len(a)
+		if len(b) < n {
+			n = len(b)
+		}
+		va := FromBools(a[:n])
+		vb := FromBools(b[:n])
+		if va.HammingDistance(vb) != vb.HammingDistance(va) {
+			return false
+		}
+		x := va.Clone()
+		x.Xor(va)
+		return x.Count() == 0
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func BenchmarkAndCount(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	v := New(4096)
+	u := New(4096)
+	for i := 0; i < 4096; i++ {
+		if rng.Intn(2) == 0 {
+			v.Set(i)
+		}
+		if rng.Intn(2) == 0 {
+			u.Set(i)
+		}
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = v.AndCount(u)
+	}
+}

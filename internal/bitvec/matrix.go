@@ -1,0 +1,123 @@
+package bitvec
+
+import "fmt"
+
+// Matrix is a dense rows×cols bit matrix stored row-major as packed
+// words. Rows are independently addressable as Vectors that share the
+// matrix storage, so mutating a returned row mutates the matrix.
+type Matrix struct {
+	rows, cols int
+	stride     int // words per row
+	words      []uint64
+}
+
+// NewMatrix returns a zeroed rows×cols bit matrix.
+func NewMatrix(rows, cols int) *Matrix {
+	if rows < 0 || cols < 0 {
+		panic("bitvec: negative matrix dimension")
+	}
+	stride := wordsFor(cols)
+	return &Matrix{rows: rows, cols: cols, stride: stride, words: make([]uint64, rows*stride)}
+}
+
+// Rows returns the number of rows.
+func (m *Matrix) Rows() int { return m.rows }
+
+// Cols returns the number of columns.
+func (m *Matrix) Cols() int { return m.cols }
+
+// Get reports whether the bit at (r, c) is set.
+func (m *Matrix) Get(r, c int) bool {
+	m.check(r, c)
+	w := m.words[r*m.stride+c/wordBits]
+	return w>>(uint(c)%wordBits)&1 == 1
+}
+
+// Set sets the bit at (r, c) to 1.
+func (m *Matrix) Set(r, c int) {
+	m.check(r, c)
+	m.words[r*m.stride+c/wordBits] |= 1 << (uint(c) % wordBits)
+}
+
+// Clear sets the bit at (r, c) to 0.
+func (m *Matrix) Clear(r, c int) {
+	m.check(r, c)
+	m.words[r*m.stride+c/wordBits] &^= 1 << (uint(c) % wordBits)
+}
+
+// SetBool sets the bit at (r, c) to b.
+func (m *Matrix) SetBool(r, c int, b bool) {
+	if b {
+		m.Set(r, c)
+	} else {
+		m.Clear(r, c)
+	}
+}
+
+func (m *Matrix) check(r, c int) {
+	if r < 0 || r >= m.rows || c < 0 || c >= m.cols {
+		panic(fmt.Sprintf("bitvec: matrix index (%d,%d) out of range %dx%d", r, c, m.rows, m.cols))
+	}
+}
+
+// Row returns row r as a Vector sharing the matrix storage.
+func (m *Matrix) Row(r int) *Vector {
+	if r < 0 || r >= m.rows {
+		panic(fmt.Sprintf("bitvec: row %d out of range [0,%d)", r, m.rows))
+	}
+	return &Vector{n: m.cols, words: m.words[r*m.stride : (r+1)*m.stride]}
+}
+
+// SetRow copies v into row r. v must have length Cols.
+func (m *Matrix) SetRow(r int, v *Vector) {
+	if v.n != m.cols {
+		panic(fmt.Sprintf("bitvec: SetRow length %d != cols %d", v.n, m.cols))
+	}
+	copy(m.words[r*m.stride:(r+1)*m.stride], v.words)
+}
+
+// Column extracts column c as a fresh Vector of length Rows.
+func (m *Matrix) Column(c int) *Vector {
+	if c < 0 || c >= m.cols {
+		panic(fmt.Sprintf("bitvec: column %d out of range [0,%d)", c, m.cols))
+	}
+	v := New(m.rows)
+	for r := 0; r < m.rows; r++ {
+		if m.Get(r, c) {
+			v.Set(r)
+		}
+	}
+	return v
+}
+
+// Clone returns a deep copy of m.
+func (m *Matrix) Clone() *Matrix {
+	c := NewMatrix(m.rows, m.cols)
+	copy(c.words, m.words)
+	return c
+}
+
+// Equal reports whether m and o have identical shape and bits.
+func (m *Matrix) Equal(o *Matrix) bool {
+	if m.rows != o.rows || m.cols != o.cols {
+		return false
+	}
+	for i := range m.words {
+		if m.words[i] != o.words[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// String renders the matrix one row per line.
+func (m *Matrix) String() string {
+	s := ""
+	for r := 0; r < m.rows; r++ {
+		s += m.Row(r).String()
+		if r != m.rows-1 {
+			s += "\n"
+		}
+	}
+	return s
+}

@@ -1,0 +1,120 @@
+package bitvec
+
+import (
+	"errors"
+	"fmt"
+)
+
+// ErrShortStream is returned by Reader methods when the stream is
+// exhausted before the requested number of bits could be read.
+var ErrShortStream = errors.New("bitvec: read past end of bit stream")
+
+// Writer accumulates a bit stream. Bits are packed LSB-first within each
+// byte. The zero value is ready to use.
+//
+// Writer is how sketches serialize themselves: the resulting BitLen is
+// the sketch's size |S| in bits per Definition 5 of the paper.
+type Writer struct {
+	buf  []byte
+	nbit int
+}
+
+// WriteBit appends one bit.
+func (w *Writer) WriteBit(b bool) {
+	if w.nbit%8 == 0 {
+		w.buf = append(w.buf, 0)
+	}
+	if b {
+		w.buf[w.nbit/8] |= 1 << (uint(w.nbit) % 8)
+	}
+	w.nbit++
+}
+
+// WriteUint appends the low `bits` bits of v, least significant first.
+// bits must be in [0, 64].
+func (w *Writer) WriteUint(v uint64, bits int) {
+	if bits < 0 || bits > 64 {
+		panic(fmt.Sprintf("bitvec: WriteUint bits=%d out of range", bits))
+	}
+	for i := 0; i < bits; i++ {
+		w.WriteBit(v>>uint(i)&1 == 1)
+	}
+}
+
+// WriteBytes appends the bytes of p as 8·len(p) bits.
+func (w *Writer) WriteBytes(p []byte) {
+	for _, b := range p {
+		w.WriteUint(uint64(b), 8)
+	}
+}
+
+// BitLen returns the number of bits written so far.
+func (w *Writer) BitLen() int { return w.nbit }
+
+// Bytes returns the packed stream. The final byte is zero-padded.
+// The returned slice aliases the writer's buffer.
+func (w *Writer) Bytes() []byte { return w.buf }
+
+// Reader consumes a bit stream produced by Writer.
+type Reader struct {
+	buf  []byte
+	pos  int // bit position
+	nbit int // total valid bits
+}
+
+// NewReader returns a Reader over the first nbits bits of buf. If nbits
+// is negative, all 8·len(buf) bits are readable.
+func NewReader(buf []byte, nbits int) *Reader {
+	if nbits < 0 {
+		nbits = 8 * len(buf)
+	}
+	if nbits > 8*len(buf) {
+		panic("bitvec: NewReader nbits exceeds buffer")
+	}
+	return &Reader{buf: buf, nbit: nbits}
+}
+
+// ReadBit reads one bit.
+func (r *Reader) ReadBit() (bool, error) {
+	if r.pos >= r.nbit {
+		return false, ErrShortStream
+	}
+	b := r.buf[r.pos/8]>>(uint(r.pos)%8)&1 == 1
+	r.pos++
+	return b, nil
+}
+
+// ReadUint reads `bits` bits as an unsigned integer, least significant
+// bit first. bits must be in [0, 64].
+func (r *Reader) ReadUint(bits int) (uint64, error) {
+	if bits < 0 || bits > 64 {
+		panic(fmt.Sprintf("bitvec: ReadUint bits=%d out of range", bits))
+	}
+	var v uint64
+	for i := 0; i < bits; i++ {
+		b, err := r.ReadBit()
+		if err != nil {
+			return 0, err
+		}
+		if b {
+			v |= 1 << uint(i)
+		}
+	}
+	return v, nil
+}
+
+// ReadBytes reads 8·n bits as n bytes.
+func (r *Reader) ReadBytes(n int) ([]byte, error) {
+	out := make([]byte, n)
+	for i := range out {
+		v, err := r.ReadUint(8)
+		if err != nil {
+			return nil, err
+		}
+		out[i] = byte(v)
+	}
+	return out, nil
+}
+
+// Remaining returns the number of unread bits.
+func (r *Reader) Remaining() int { return r.nbit - r.pos }

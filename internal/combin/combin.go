@@ -1,0 +1,163 @@
+// Package combin provides the combinatorial primitives used throughout
+// the reproduction: overflow-safe binomial coefficients, log-binomials
+// for space formulas such as O(ε⁻¹ d log(C(d,k)/δ)), and a colex
+// ranking/unranking bijection between {0,…,C(d,k)−1} and k-subsets of
+// [d].
+//
+// The colex bijection is load-bearing in two places: RELEASE-ANSWERS
+// (Definition 7) lays its precomputed answers out in colex rank order,
+// and the Theorem 13 hard family assigns "the i-th (k−1)-subset of the
+// first d/2 attributes" to row i.
+package combin
+
+import (
+	"fmt"
+	"math"
+)
+
+// MaxBinomial is the cap above which Binomial saturates. It is chosen
+// so that products and small multiples of binomials still fit in int64.
+const MaxBinomial = int64(1) << 62
+
+// Binomial returns C(n, k), saturating at MaxBinomial on overflow.
+// It returns 0 for k < 0 or k > n.
+func Binomial(n, k int) int64 {
+	if k < 0 || k > n {
+		return 0
+	}
+	if k > n-k {
+		k = n - k
+	}
+	var c int64 = 1
+	for i := 0; i < k; i++ {
+		// c = c * (n-i) / (i+1), exactly: c*(n-i) is divisible by (i+1)
+		// only after accumulating; use the standard trick of dividing by
+		// gcd-free order: multiply then divide is exact because
+		// C(n,i+1) = C(n,i)*(n-i)/(i+1) is an integer.
+		hi, lo := mul64(c, int64(n-i))
+		if hi != 0 || lo > MaxBinomial {
+			return MaxBinomial
+		}
+		c = lo / int64(i+1)
+	}
+	return c
+}
+
+// mul64 multiplies two non-negative int64s returning (high, low) of the
+// 128-bit product; high != 0 signals overflow past 63 bits.
+func mul64(a, b int64) (hi, lo int64) {
+	const mask = 1<<32 - 1
+	al, ah := a&mask, a>>32
+	bl, bh := b&mask, b>>32
+	ll := al * bl
+	lh := al * bh
+	hl := ah * bl
+	hh := ah * bh
+	mid := lh + hl + (ll >> 32)
+	lo = (mid << 32) | (ll & mask)
+	hi = hh + (mid >> 32)
+	if lo < 0 {
+		hi++ // sign bit spilled
+	}
+	return hi, lo
+}
+
+// LogBinomial returns ln C(n, k) computed stably via log-gamma, or -Inf
+// when C(n,k) = 0.
+func LogBinomial(n, k int) float64 {
+	if k < 0 || k > n {
+		return math.Inf(-1)
+	}
+	if k == 0 || k == n {
+		return 0
+	}
+	lg := func(x int) float64 {
+		v, _ := math.Lgamma(float64(x + 1))
+		return v
+	}
+	return lg(n) - lg(k) - lg(n-k)
+}
+
+// Rank returns the colexicographic rank of the k-subset `set` of [n].
+// set must be strictly increasing. The colex rank of {s_1<…<s_k} is
+// Σ C(s_i, i).
+func Rank(set []int) int64 {
+	var r int64
+	for i, s := range set {
+		if i > 0 && set[i-1] >= s {
+			panic(fmt.Sprintf("combin: Rank input not strictly increasing: %v", set))
+		}
+		r += Binomial(s, i+1)
+	}
+	return r
+}
+
+// Unrank writes into out the k-subset of [n] with colexicographic rank
+// r, where k = len(out). It panics if r is out of range [0, C(n,k)).
+func Unrank(r int64, n int, out []int) {
+	k := len(out)
+	if r < 0 || r >= Binomial(n, k) {
+		panic(fmt.Sprintf("combin: Unrank rank %d out of range for C(%d,%d)", r, n, k))
+	}
+	m := n
+	for i := k; i >= 1; i-- {
+		// Find largest s in [i-1, m-1] with C(s, i) <= r.
+		s := i - 1
+		for s+1 < m && Binomial(s+1, i) <= r {
+			s++
+		}
+		out[i-1] = s
+		r -= Binomial(s, i)
+		m = s
+	}
+}
+
+// Subset returns the k-subset of [n] with colex rank r as a new slice.
+func Subset(r int64, n, k int) []int {
+	out := make([]int, k)
+	Unrank(r, n, out)
+	return out
+}
+
+// ForEachSubset calls fn once for each k-subset of [n] in colex order,
+// passing a reused buffer that fn must not retain. If fn returns false,
+// iteration stops early.
+func ForEachSubset(n, k int, fn func(set []int) bool) {
+	if k < 0 || k > n {
+		return
+	}
+	if k == 0 {
+		fn(nil)
+		return
+	}
+	set := make([]int, k)
+	for i := range set {
+		set[i] = i
+	}
+	for {
+		if !fn(set) {
+			return
+		}
+		// Advance in colex order: find lowest position that can move.
+		i := 0
+		for i < k-1 && set[i]+1 == set[i+1] {
+			i++
+		}
+		if i == k-1 && set[i]+1 == n {
+			return
+		}
+		set[i]++
+		for j := 0; j < i; j++ {
+			set[j] = j
+		}
+	}
+}
+
+// NumSubsets returns C(n,k) as an int, panicking if it does not fit.
+func NumSubsets(n, k int) int {
+	b := Binomial(n, k)
+	if b >= MaxBinomial || b > int64(math.MaxInt32)*64 {
+		panic(fmt.Sprintf("combin: C(%d,%d) too large to enumerate", n, k))
+	}
+	return int(b)
+}

@@ -1,0 +1,169 @@
+package combin
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestBinomialSmall(t *testing.T) {
+	cases := []struct {
+		n, k int
+		want int64
+	}{
+		{0, 0, 1}, {1, 0, 1}, {1, 1, 1}, {5, 2, 10}, {10, 3, 120},
+		{52, 5, 2598960}, {60, 30, 118264581564861424}, {4, 5, 0}, {3, -1, 0},
+	}
+	for _, c := range cases {
+		if got := Binomial(c.n, c.k); got != c.want {
+			t.Errorf("Binomial(%d,%d) = %d, want %d", c.n, c.k, got, c.want)
+		}
+	}
+}
+
+func TestBinomialPascal(t *testing.T) {
+	for n := 1; n <= 40; n++ {
+		for k := 1; k < n; k++ {
+			want := Binomial(n-1, k-1) + Binomial(n-1, k)
+			if got := Binomial(n, k); got != want {
+				t.Fatalf("Pascal fails at C(%d,%d): %d != %d", n, k, got, want)
+			}
+		}
+	}
+}
+
+func TestBinomialSaturates(t *testing.T) {
+	if got := Binomial(300, 150); got != MaxBinomial {
+		t.Errorf("Binomial(300,150) = %d, want saturation %d", got, MaxBinomial)
+	}
+}
+
+func TestLogBinomial(t *testing.T) {
+	for n := 0; n <= 50; n += 5 {
+		for k := 0; k <= n; k += 3 {
+			want := math.Log(float64(Binomial(n, k)))
+			got := LogBinomial(n, k)
+			if math.Abs(got-want) > 1e-9*math.Max(1, math.Abs(want)) {
+				t.Errorf("LogBinomial(%d,%d) = %g, want %g", n, k, got, want)
+			}
+		}
+	}
+	if !math.IsInf(LogBinomial(3, 5), -1) {
+		t.Error("LogBinomial(3,5) should be -Inf")
+	}
+}
+
+func TestRankUnrankExhaustive(t *testing.T) {
+	for _, nk := range [][2]int{{6, 3}, {8, 2}, {10, 4}, {5, 5}, {7, 1}} {
+		n, k := nk[0], nk[1]
+		total := NumSubsets(n, k)
+		seen := make(map[int64]bool)
+		var r int64
+		ForEachSubset(n, k, func(set []int) bool {
+			rank := Rank(set)
+			if rank != r {
+				t.Fatalf("C(%d,%d): colex enumeration rank %d, Rank says %d for %v", n, k, r, rank, set)
+			}
+			if seen[rank] {
+				t.Fatalf("duplicate rank %d", rank)
+			}
+			seen[rank] = true
+			got := Subset(rank, n, k)
+			for i := range got {
+				if got[i] != set[i] {
+					t.Fatalf("Unrank(%d) = %v, want %v", rank, got, set)
+				}
+			}
+			r++
+			return true
+		})
+		if int(r) != total {
+			t.Fatalf("enumerated %d subsets of C(%d,%d), want %d", r, n, k, total)
+		}
+	}
+}
+
+func TestForEachSubsetEarlyStop(t *testing.T) {
+	count := 0
+	ForEachSubset(10, 3, func(set []int) bool {
+		count++
+		return count < 5
+	})
+	if count != 5 {
+		t.Errorf("early stop: count = %d, want 5", count)
+	}
+}
+
+func TestForEachSubsetEdge(t *testing.T) {
+	calls := 0
+	ForEachSubset(5, 0, func(set []int) bool { calls++; return true })
+	if calls != 1 {
+		t.Errorf("k=0 should yield exactly the empty set, got %d calls", calls)
+	}
+	calls = 0
+	ForEachSubset(3, 4, func(set []int) bool { calls++; return true })
+	if calls != 0 {
+		t.Errorf("k>n should yield nothing, got %d calls", calls)
+	}
+}
+
+// Property: Rank and Unrank are inverse bijections on random subsets.
+func TestQuickRankUnrank(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		n := 2 + r.Intn(30)
+		k := 1 + r.Intn(n)
+		// random k-subset
+		perm := r.Perm(n)[:k]
+		// sort ascending (insertion, small k)
+		for i := 1; i < k; i++ {
+			for j := i; j > 0 && perm[j-1] > perm[j]; j-- {
+				perm[j-1], perm[j] = perm[j], perm[j-1]
+			}
+		}
+		rank := Rank(perm)
+		if rank < 0 || rank >= Binomial(n, k) {
+			return false
+		}
+		got := Subset(rank, n, k)
+		for i := range got {
+			if got[i] != perm[i] {
+				return false
+			}
+		}
+		return true
+	}
+	cfg := &quick.Config{MaxCount: 200, Rand: rng}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestUnrankPanicsOutOfRange(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("Unrank out-of-range should panic")
+		}
+	}()
+	Unrank(Binomial(6, 3), 6, make([]int, 3))
+}
+
+func TestRankPanicsUnsorted(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("Rank on unsorted input should panic")
+		}
+	}()
+	Rank([]int{3, 1})
+}
+
+func BenchmarkUnrank(b *testing.B) {
+	out := make([]int, 4)
+	total := Binomial(64, 4)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		Unrank(int64(i)%total, 64, out)
+	}
+}

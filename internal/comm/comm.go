@@ -1,0 +1,143 @@
+// Package comm implements the one-way communication-complexity
+// framework used by Theorem 14.
+//
+// In the one-way model, Alice holds x ∈ {0,1}^N, Bob holds an index
+// y ∈ [N], Alice sends a single message, and Bob must output x_y with
+// probability ≥ 2/3. The INDEX function requires Ω(N) communication
+// [Abl96]. Theorem 14 turns any For-Each-Indicator sketching algorithm
+// into an INDEX protocol — Alice encodes x into the Theorem 13 hard
+// database, sketches it, and sends the sketch; Bob queries the itemset
+// T_y — so the sketch must be Ω(N) = Ω(d/ε) bits.
+package comm
+
+import (
+	"fmt"
+
+	"repro/internal/bitvec"
+	"repro/internal/core"
+	"repro/internal/lowerbound"
+	"repro/internal/rng"
+)
+
+// Protocol is a one-way communication protocol for INDEX on N-bit
+// inputs: Alice compresses x into a message, Bob answers an index
+// query from the message alone.
+type Protocol interface {
+	// N returns the input length the protocol is built for.
+	N() int
+	// AliceMessage encodes Alice's input. The returned length is the
+	// message size in bits (the communication cost).
+	AliceMessage(x *bitvec.Vector) (msg []byte, bits int, err error)
+	// BobAnswer decodes Bob's answer to "x_y = ?" from the message.
+	BobAnswer(msg []byte, bits int, y int) (bool, error)
+}
+
+// SketchIndexProtocol is the Theorem 14 reduction: the message is a
+// serialized For-Each indicator sketch of the Theorem 13 database
+// D_x, and Bob answers by querying the deserialized sketch.
+type SketchIndexProtocol struct {
+	inst     *lowerbound.Thm13
+	sketcher core.Sketcher
+	params   core.Params
+	dup      int
+}
+
+// NewSketchIndexProtocol builds the reduction for a d-attribute,
+// m-distinct-row Theorem 13 instance (N = m·d/2) using the given
+// For-Each indicator sketching algorithm with failure probability
+// delta. dup scales the database rows (n = dup·m).
+func NewSketchIndexProtocol(d, k, m int, sketcher core.Sketcher, delta float64, dup int) (*SketchIndexProtocol, error) {
+	inst, err := lowerbound.NewThm13(d, k, m)
+	if err != nil {
+		return nil, err
+	}
+	if dup < 1 {
+		dup = 1
+	}
+	p := core.Params{K: k, Eps: inst.QueryEps(), Delta: delta, Mode: core.ForEach, Task: core.Indicator}
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	return &SketchIndexProtocol{inst: inst, sketcher: sketcher, params: p, dup: dup}, nil
+}
+
+// N implements Protocol.
+func (pr *SketchIndexProtocol) N() int { return pr.inst.PayloadBits() }
+
+// AliceMessage implements Protocol.
+func (pr *SketchIndexProtocol) AliceMessage(x *bitvec.Vector) ([]byte, int, error) {
+	if x.Len() != pr.N() {
+		return nil, 0, fmt.Errorf("comm: input %d bits, want %d", x.Len(), pr.N())
+	}
+	db, err := pr.inst.Encode(x, pr.dup)
+	if err != nil {
+		return nil, 0, err
+	}
+	sk, err := pr.sketcher.Sketch(db, pr.params)
+	if err != nil {
+		return nil, 0, err
+	}
+	var w bitvec.Writer
+	sk.MarshalBits(&w)
+	return w.Bytes(), w.BitLen(), nil
+}
+
+// BobAnswer implements Protocol.
+func (pr *SketchIndexProtocol) BobAnswer(msg []byte, bits int, y int) (bool, error) {
+	if y < 0 || y >= pr.N() {
+		return false, fmt.Errorf("comm: index %d out of range [0,%d)", y, pr.N())
+	}
+	sk, err := core.UnmarshalSketch(bitvec.NewReader(msg, bits))
+	if err != nil {
+		return false, err
+	}
+	half := pr.inst.D() / 2
+	return sk.Frequent(pr.inst.Query(y/half, y%half)), nil
+}
+
+// GameResult summarizes a run of the INDEX game.
+type GameResult struct {
+	N           int
+	Trials      int
+	Correct     int
+	MessageBits int // message size of the last trial (constant for fixed x-length)
+}
+
+// SuccessRate returns the empirical success probability.
+func (g GameResult) SuccessRate() float64 {
+	if g.Trials == 0 {
+		return 0
+	}
+	return float64(g.Correct) / float64(g.Trials)
+}
+
+// PlayIndex runs `trials` independent INDEX games with uniform random
+// x and y and reports the success statistics. Each trial re-runs
+// Alice (fresh sketch randomness counts against the protocol, exactly
+// as in the communication model).
+func PlayIndex(pr Protocol, trials int, seed uint64) (GameResult, error) {
+	r := rng.New(seed)
+	res := GameResult{N: pr.N(), Trials: trials}
+	for i := 0; i < trials; i++ {
+		x := bitvec.New(pr.N())
+		for b := 0; b < pr.N(); b++ {
+			if r.Bool() {
+				x.Set(b)
+			}
+		}
+		y := r.Intn(pr.N())
+		msg, bits, err := pr.AliceMessage(x)
+		if err != nil {
+			return res, err
+		}
+		res.MessageBits = bits
+		ans, err := pr.BobAnswer(msg, bits, y)
+		if err != nil {
+			return res, err
+		}
+		if ans == x.Get(y) {
+			res.Correct++
+		}
+	}
+	return res, nil
+}

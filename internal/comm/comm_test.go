@@ -1,0 +1,103 @@
+package comm
+
+import (
+	"testing"
+
+	"repro/internal/bitvec"
+	"repro/internal/core"
+	"repro/internal/rng"
+)
+
+func TestProtocolValidation(t *testing.T) {
+	if _, err := NewSketchIndexProtocol(7, 2, 3, core.Subsample{}, 0.1, 1); err == nil {
+		t.Error("odd d should fail")
+	}
+	if _, err := NewSketchIndexProtocol(8, 2, 100, core.Subsample{}, 0.1, 1); err == nil {
+		t.Error("oversized m should fail")
+	}
+}
+
+func TestIndexProtocolCorrectness(t *testing.T) {
+	// With a RELEASE-DB "sketch" the protocol is deterministic and must
+	// always answer correctly.
+	pr, err := NewSketchIndexProtocol(12, 2, 6, core.ReleaseDB{}, 0.1, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pr.N() != 36 {
+		t.Fatalf("N = %d, want 36", pr.N())
+	}
+	res, err := PlayIndex(pr, 30, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Correct != res.Trials {
+		t.Fatalf("release-db protocol wrong on %d/%d trials", res.Trials-res.Correct, res.Trials)
+	}
+}
+
+func TestIndexProtocolSubsample(t *testing.T) {
+	// A SUBSAMPLE-based protocol with δ = 0.05 must succeed on well
+	// over 2/3 of trials.
+	pr, err := NewSketchIndexProtocol(12, 2, 6, core.Subsample{Seed: 3}, 0.05, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := PlayIndex(pr, 40, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.SuccessRate() < 0.9 {
+		t.Fatalf("success rate %g too low", res.SuccessRate())
+	}
+	if res.MessageBits <= 0 {
+		t.Fatal("message bits not recorded")
+	}
+}
+
+func TestIndexAllIndicesOneInput(t *testing.T) {
+	// Deterministic exhaustive check: every index decodes correctly
+	// from a single message (release-db carrier).
+	pr, err := NewSketchIndexProtocol(8, 2, 4, core.ReleaseDB{}, 0.1, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := rng.New(4)
+	x := bitvec.New(pr.N())
+	for b := 0; b < pr.N(); b++ {
+		if r.Bool() {
+			x.Set(b)
+		}
+	}
+	msg, bits, err := pr.AliceMessage(x)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for y := 0; y < pr.N(); y++ {
+		got, err := pr.BobAnswer(msg, bits, y)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got != x.Get(y) {
+			t.Fatalf("index %d: got %v, want %v", y, got, x.Get(y))
+		}
+	}
+	// Out-of-range index errors.
+	if _, err := pr.BobAnswer(msg, bits, pr.N()); err == nil {
+		t.Error("out-of-range index should error")
+	}
+}
+
+func TestAliceRejectsWrongLength(t *testing.T) {
+	pr, _ := NewSketchIndexProtocol(8, 2, 4, core.ReleaseDB{}, 0.1, 1)
+	if _, _, err := pr.AliceMessage(bitvec.New(pr.N() + 1)); err == nil {
+		t.Error("wrong input length should error")
+	}
+}
+
+func TestBobRejectsCorruptMessage(t *testing.T) {
+	pr, _ := NewSketchIndexProtocol(8, 2, 4, core.ReleaseDB{}, 0.1, 1)
+	if _, err := pr.BobAnswer([]byte{0xFF}, 8, 0); err == nil {
+		t.Error("corrupt message should error")
+	}
+}

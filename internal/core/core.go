@@ -1,0 +1,263 @@
+// Package core implements the sketching framework of "Space Lower
+// Bounds for Itemset Frequency Sketches" (Liberty, Mitzenmacher, Thaler,
+// Ullman; PODS 2016).
+//
+// The paper studies four sketching problems (Definitions 1–4), indexed
+// by a guarantee Mode (ForAll / ForEach) and a Task (Indicator /
+// Estimator). A sketch S(D, k, ε, δ) is a bit string from which a query
+// procedure Q recovers, for k-itemsets T:
+//
+//   - Indicator: a bit that must be 1 when f_T > ε and 0 when f_T < ε/2
+//     (Definitions 1 and 3);
+//   - Estimator: an estimate within ±ε of f_T (Definitions 2 and 4);
+//
+// with probability 1−δ over the sketching randomness — either
+// simultaneously for all k-itemsets (ForAll) or per query (ForEach).
+//
+// The package provides the paper's three naive algorithms —
+// RELEASE-DB (Definition 6), RELEASE-ANSWERS (Definition 7), and
+// SUBSAMPLE (Definition 8) with the four Lemma 9 sample-size bounds —
+// plus the Theorem 12 planner that picks the smallest of the three, and
+// the Theorem 17 median amplification that converts any For-Each
+// estimator into a For-All estimator.
+//
+// Every sketch serializes to a bit stream; SizeBits is the length of
+// that stream, which is the paper's space measure |S| (Definition 5).
+package core
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"repro/internal/bitvec"
+	"repro/internal/dataset"
+)
+
+// Mode selects between the paper's "for all" and "for each" success
+// guarantees (§1.3).
+type Mode int
+
+const (
+	// ForEach: each individual query succeeds with probability 1−δ
+	// (Definitions 3 and 4).
+	ForEach Mode = iota
+	// ForAll: with probability 1−δ, all k-itemset queries succeed
+	// simultaneously (Definitions 1 and 2).
+	ForAll
+)
+
+func (m Mode) String() string {
+	switch m {
+	case ForEach:
+		return "ForEach"
+	case ForAll:
+		return "ForAll"
+	default:
+		return fmt.Sprintf("Mode(%d)", int(m))
+	}
+}
+
+// Task selects between indicator (threshold) and estimator (±ε) queries.
+type Task int
+
+const (
+	// Indicator answers "is f_T > ε?" with the Definition 1/3 promise.
+	Indicator Task = iota
+	// Estimator returns f_T ± ε.
+	Estimator
+)
+
+func (t Task) String() string {
+	switch t {
+	case Indicator:
+		return "Indicator"
+	case Estimator:
+		return "Estimator"
+	default:
+		return fmt.Sprintf("Task(%d)", int(t))
+	}
+}
+
+// Params carries the sketching parameters (k, ε, δ) of Definitions 1–4
+// together with the problem variant.
+type Params struct {
+	K     int     // itemset size k ≥ 1
+	Eps   float64 // precision ε ∈ (0, 1)
+	Delta float64 // failure probability δ ∈ (0, 1)
+	Mode  Mode
+	Task  Task
+}
+
+// Validate reports whether the parameters are in range.
+func (p Params) Validate() error {
+	if p.K < 1 {
+		return fmt.Errorf("core: k = %d, need k >= 1", p.K)
+	}
+	if !(p.Eps > 0 && p.Eps < 1) {
+		return fmt.Errorf("core: eps = %g, need 0 < eps < 1", p.Eps)
+	}
+	if !(p.Delta > 0 && p.Delta < 1) {
+		return fmt.Errorf("core: delta = %g, need 0 < delta < 1", p.Delta)
+	}
+	if p.Mode != ForEach && p.Mode != ForAll {
+		return fmt.Errorf("core: invalid mode %d", int(p.Mode))
+	}
+	if p.Task != Indicator && p.Task != Estimator {
+		return fmt.Errorf("core: invalid task %d", int(p.Task))
+	}
+	return nil
+}
+
+func (p Params) String() string {
+	return fmt.Sprintf("%s-%s(k=%d, eps=%g, delta=%g)", p.Mode, p.Task, p.K, p.Eps, p.Delta)
+}
+
+// indicatorThreshold is the decision threshold used by estimate-backed
+// indicators. Any threshold in [ε/2+ε', ε−ε'] validates Definitions 1/3
+// when estimates have error ε' ≤ ε/4; the midpoint 3ε/4 maximizes slack.
+func indicatorThreshold(eps float64) float64 { return 0.75 * eps }
+
+// Sketch is the query side of Definitions 1–4: a summary that answers
+// itemset frequency questions and knows its own exact encoded size.
+type Sketch interface {
+	// Frequent returns the indicator bit for T (Definitions 1 and 3).
+	Frequent(t dataset.Itemset) bool
+	// SizeBits returns the exact size of MarshalBits' output in bits —
+	// the paper's |S(D, k, ε, δ)|.
+	SizeBits() int64
+	// MarshalBits appends a self-describing encoding of the sketch.
+	MarshalBits(w *bitvec.Writer)
+	// Params returns the parameters the sketch was built for.
+	Params() Params
+	// Name identifies the producing algorithm.
+	Name() string
+}
+
+// EstimatorSketch is a Sketch that can return frequency estimates
+// (Definitions 2 and 4). RELEASE-DB, SUBSAMPLE and the estimator variant
+// of RELEASE-ANSWERS implement it; the indicator variant of
+// RELEASE-ANSWERS does not (it stores only decision bits).
+type EstimatorSketch interface {
+	Sketch
+	// Estimate returns an approximation of f_T(D).
+	Estimate(t dataset.Itemset) float64
+}
+
+// Sketcher is the sketching side: an algorithm that compresses a
+// database into a Sketch under given parameters.
+type Sketcher interface {
+	// Name identifies the algorithm ("release-db", "release-answers",
+	// "subsample", ...).
+	Name() string
+	// SpaceBits predicts the serialized sketch size in bits for an n×d
+	// database — the cost model of Theorem 12. It may return +Inf when
+	// the algorithm is inapplicable (e.g. C(d,k) overflows).
+	SpaceBits(n, d int, p Params) float64
+	// Sketch builds a sketch of db.
+	Sketch(db *dataset.Database, p Params) (Sketch, error)
+}
+
+// ErrWrongItemsetSize is returned (wrapped) when a sketch that only
+// covers k-itemsets is queried with |T| ≠ k.
+var ErrWrongItemsetSize = errors.New("core: itemset size does not match sketch k")
+
+// checkDims validates db vs params for all sketchers.
+func checkDims(db *dataset.Database, p Params) error {
+	if err := p.Validate(); err != nil {
+		return err
+	}
+	if p.K > db.NumCols() {
+		return fmt.Errorf("core: k = %d exceeds d = %d columns", p.K, db.NumCols())
+	}
+	return nil
+}
+
+// paramsBits is the serialized size of a Params header.
+const paramsBits = 16 + 64 + 64 + 1 + 1
+
+func marshalParams(w *bitvec.Writer, p Params) {
+	w.WriteUint(uint64(p.K), 16)
+	w.WriteUint(math.Float64bits(p.Eps), 64)
+	w.WriteUint(math.Float64bits(p.Delta), 64)
+	w.WriteUint(uint64(p.Mode), 1)
+	w.WriteUint(uint64(p.Task), 1)
+}
+
+func unmarshalParams(r *bitvec.Reader) (Params, error) {
+	var p Params
+	k, err := r.ReadUint(16)
+	if err != nil {
+		return p, err
+	}
+	eb, err := r.ReadUint(64)
+	if err != nil {
+		return p, err
+	}
+	db, err := r.ReadUint(64)
+	if err != nil {
+		return p, err
+	}
+	m, err := r.ReadUint(1)
+	if err != nil {
+		return p, err
+	}
+	tk, err := r.ReadUint(1)
+	if err != nil {
+		return p, err
+	}
+	p = Params{
+		K:     int(k),
+		Eps:   math.Float64frombits(eb),
+		Delta: math.Float64frombits(db),
+		Mode:  Mode(m),
+		Task:  Task(tk),
+	}
+	return p, p.Validate()
+}
+
+// Sketch type tags used in the serialized header.
+const (
+	tagReleaseDB = iota
+	tagReleaseAnswersIndicator
+	tagReleaseAnswersEstimator
+	tagSubsample
+	tagMedian
+	tagImportance
+)
+
+const tagBits = 4
+
+// UnmarshalSketch decodes any sketch written by a MarshalBits method in
+// this package.
+func UnmarshalSketch(r *bitvec.Reader) (Sketch, error) {
+	tag, err := r.ReadUint(tagBits)
+	if err != nil {
+		return nil, err
+	}
+	switch tag {
+	case tagReleaseDB:
+		return unmarshalReleaseDB(r)
+	case tagReleaseAnswersIndicator:
+		return unmarshalReleaseAnswersIndicator(r)
+	case tagReleaseAnswersEstimator:
+		return unmarshalReleaseAnswersEstimator(r)
+	case tagSubsample:
+		return unmarshalSubsample(r)
+	case tagMedian:
+		return unmarshalMedian(r)
+	case tagImportance:
+		return unmarshalImportance(r)
+	default:
+		return nil, fmt.Errorf("core: unknown sketch tag %d", tag)
+	}
+}
+
+// MarshaledSizeBits returns the exact encoded size of s by serializing
+// it into a throwaway writer. Implementations use it to define SizeBits
+// so the reported size can never drift from the real encoding.
+func MarshaledSizeBits(s Sketch) int64 {
+	var w bitvec.Writer
+	s.MarshalBits(&w)
+	return int64(w.BitLen())
+}

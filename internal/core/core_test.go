@@ -1,0 +1,476 @@
+package core
+
+import (
+	"errors"
+	"math"
+	"testing"
+
+	"repro/internal/bitvec"
+	"repro/internal/combin"
+	"repro/internal/dataset"
+	"repro/internal/rng"
+)
+
+func validParams() Params {
+	return Params{K: 2, Eps: 0.1, Delta: 0.1, Mode: ForEach, Task: Estimator}
+}
+
+func TestParamsValidate(t *testing.T) {
+	good := validParams()
+	if err := good.Validate(); err != nil {
+		t.Fatalf("valid params rejected: %v", err)
+	}
+	bad := []Params{
+		{K: 0, Eps: 0.1, Delta: 0.1},
+		{K: 1, Eps: 0, Delta: 0.1},
+		{K: 1, Eps: 1, Delta: 0.1},
+		{K: 1, Eps: 0.1, Delta: 0},
+		{K: 1, Eps: 0.1, Delta: 1},
+		{K: 1, Eps: 0.1, Delta: 0.1, Mode: Mode(9)},
+		{K: 1, Eps: 0.1, Delta: 0.1, Task: Task(9)},
+	}
+	for i, p := range bad {
+		if err := p.Validate(); err == nil {
+			t.Errorf("bad params %d (%+v) accepted", i, p)
+		}
+	}
+}
+
+func TestModeTaskStrings(t *testing.T) {
+	if ForAll.String() != "ForAll" || ForEach.String() != "ForEach" {
+		t.Error("Mode strings wrong")
+	}
+	if Indicator.String() != "Indicator" || Estimator.String() != "Estimator" {
+		t.Error("Task strings wrong")
+	}
+	if Mode(7).String() == "" || Task(7).String() == "" {
+		t.Error("unknown values should still render")
+	}
+}
+
+func testDB(t *testing.T) *dataset.Database {
+	t.Helper()
+	r := rng.New(404)
+	return dataset.GenPlanted(r, 400, 12, 0.15, []dataset.Plant{
+		{Items: dataset.MustItemset(1, 5), Freq: 0.5},
+		{Items: dataset.MustItemset(2, 9), Freq: 0.02},
+	})
+}
+
+func TestReleaseDBExact(t *testing.T) {
+	db := testDB(t)
+	p := Params{K: 2, Eps: 0.1, Delta: 0.1, Mode: ForAll, Task: Estimator}
+	s, err := ReleaseDB{}.Sketch(db, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	es := s.(EstimatorSketch)
+	for _, T := range []dataset.Itemset{
+		dataset.MustItemset(1, 5),
+		dataset.MustItemset(2, 9),
+		dataset.MustItemset(0, 11),
+	} {
+		if got, want := es.Estimate(T), db.Frequency(T); got != want {
+			t.Errorf("Estimate(%v) = %g, want exact %g", T, got, want)
+		}
+	}
+	if !s.Frequent(dataset.MustItemset(1, 5)) {
+		t.Error("planted frequent pair should be frequent")
+	}
+	if s.Frequent(dataset.MustItemset(2, 9)) {
+		t.Error("rare pair should not be frequent")
+	}
+	// Cost model must match the real encoding.
+	if got, want := float64(s.SizeBits()), (ReleaseDB{}).SpaceBits(db.NumRows(), db.NumCols(), p); got != want {
+		t.Errorf("SizeBits = %g, SpaceBits = %g", got, want)
+	}
+}
+
+func TestReleaseDBIsolatedFromSource(t *testing.T) {
+	db := dataset.NewDatabase(4)
+	db.AddRowAttrs(0, 1)
+	p := Params{K: 1, Eps: 0.5, Delta: 0.1}
+	s, err := ReleaseDB{}.Sketch(db, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	db.AddRowAttrs(2) // mutate source after sketching
+	if got := s.(EstimatorSketch).Estimate(dataset.MustItemset(2)); got != 0 {
+		t.Errorf("sketch should be a snapshot; Estimate = %g", got)
+	}
+}
+
+func TestReleaseAnswersIndicator(t *testing.T) {
+	db := testDB(t)
+	p := Params{K: 2, Eps: 0.1, Delta: 0.1, Mode: ForAll, Task: Indicator}
+	s, err := ReleaseAnswers{}.Sketch(db, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Must agree with the exact thresholded answer on every itemset.
+	thr := indicatorThreshold(p.Eps)
+	combin.ForEachSubset(12, 2, func(set []int) bool {
+		T := dataset.MustItemset(set...)
+		want := db.Frequency(T) >= thr
+		if got := s.Frequent(T); got != want {
+			t.Errorf("Frequent(%v) = %v, want %v", T, got, want)
+		}
+		return true
+	})
+	// Wrong itemset size errors.
+	rai := s.(*releaseAnswersIndicator)
+	if _, err := rai.FrequentErr(dataset.MustItemset(1, 2, 3)); !errors.Is(err, ErrWrongItemsetSize) {
+		t.Errorf("FrequentErr with |T|=3: err = %v, want ErrWrongItemsetSize", err)
+	}
+	// Size: C(12,2)=66 answer bits + headers.
+	got, want := float64(s.SizeBits()), ReleaseAnswers{}.SpaceBits(db.NumRows(), 12, p)
+	if got != want {
+		t.Errorf("SizeBits = %g, want %g", got, want)
+	}
+}
+
+func TestReleaseAnswersEstimator(t *testing.T) {
+	db := testDB(t)
+	p := Params{K: 2, Eps: 0.05, Delta: 0.1, Mode: ForAll, Task: Estimator}
+	s, err := ReleaseAnswers{}.Sketch(db, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	es := s.(EstimatorSketch)
+	maxErr := 0.0
+	combin.ForEachSubset(12, 2, func(set []int) bool {
+		T := dataset.MustItemset(set...)
+		e := math.Abs(es.Estimate(T) - db.Frequency(T))
+		if e > maxErr {
+			maxErr = e
+		}
+		return true
+	})
+	if maxErr > p.Eps {
+		t.Errorf("quantization error %g exceeds eps %g", maxErr, p.Eps)
+	}
+	rae := s.(*releaseAnswersEstimator)
+	if _, err := rae.EstimateErr(dataset.MustItemset(3)); !errors.Is(err, ErrWrongItemsetSize) {
+		t.Errorf("EstimateErr with |T|=1: err = %v", err)
+	}
+}
+
+func TestReleaseAnswersTooLarge(t *testing.T) {
+	db := dataset.NewDatabase(1000)
+	db.AddRowAttrs(0)
+	p := Params{K: 10, Eps: 0.1, Delta: 0.1}
+	if _, err := (ReleaseAnswers{}).Sketch(db, p); err == nil {
+		t.Error("C(1000,10) answers should be refused")
+	}
+}
+
+func TestSubsampleSizes(t *testing.T) {
+	// Estimator ForEach is the exact Hoeffding bound.
+	p := Params{K: 2, Eps: 0.1, Delta: 0.05, Mode: ForEach, Task: Estimator}
+	want := int(math.Ceil(math.Log(2/0.05) / (2 * 0.01)))
+	if got := SampleSize(20, p); got != want {
+		t.Errorf("ForEach estimator sample = %d, want %d", got, want)
+	}
+	// ForAll adds ln C(d,k).
+	p.Mode = ForAll
+	wantAll := int(math.Ceil((math.Log(2/0.05) + combin.LogBinomial(20, 2)) / (2 * 0.01)))
+	if got := SampleSize(20, p); got != wantAll {
+		t.Errorf("ForAll estimator sample = %d, want %d", got, wantAll)
+	}
+	// Indicator scales as 1/eps not 1/eps^2.
+	pi := Params{K: 2, Eps: 0.01, Delta: 0.05, Mode: ForEach, Task: Indicator}
+	pe := Params{K: 2, Eps: 0.01, Delta: 0.05, Mode: ForEach, Task: Estimator}
+	if SampleSize(20, pi) >= SampleSize(20, pe) {
+		t.Error("indicator sample size should be far below estimator at small eps")
+	}
+}
+
+func TestSubsampleEstimatorAccuracy(t *testing.T) {
+	r := rng.New(2)
+	db := dataset.GenUniform(r, 20000, 10, 0.5)
+	p := Params{K: 2, Eps: 0.05, Delta: 0.01, Mode: ForAll, Task: Estimator}
+	s, err := Subsample{Seed: 7}.Sketch(db, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	es := s.(EstimatorSketch)
+	// With delta=0.01 a single run should satisfy the ForAll guarantee.
+	maxErr := 0.0
+	combin.ForEachSubset(10, 2, func(set []int) bool {
+		T := dataset.MustItemset(set...)
+		e := math.Abs(es.Estimate(T) - db.Frequency(T))
+		if e > maxErr {
+			maxErr = e
+		}
+		return true
+	})
+	if maxErr > p.Eps {
+		t.Errorf("ForAll estimator max error %g > eps %g", maxErr, p.Eps)
+	}
+}
+
+func TestSubsampleIndicator(t *testing.T) {
+	r := rng.New(3)
+	db := dataset.GenPlanted(r, 10000, 16, 0.05, []dataset.Plant{
+		{Items: dataset.MustItemset(0, 1), Freq: 0.4},
+	})
+	p := Params{K: 2, Eps: 0.1, Delta: 0.01, Mode: ForEach, Task: Indicator}
+	s, err := Subsample{Seed: 11}.Sketch(db, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !s.Frequent(dataset.MustItemset(0, 1)) {
+		t.Error("planted pair (f≈0.4 > eps) must be frequent")
+	}
+	// A pair of background attributes has f ≈ 0.0025 << eps/2.
+	if s.Frequent(dataset.MustItemset(10, 13)) {
+		t.Error("background pair must be infrequent")
+	}
+}
+
+func TestSubsampleOverrideAndEmptyDB(t *testing.T) {
+	db := dataset.NewDatabase(4)
+	p := Params{K: 1, Eps: 0.5, Delta: 0.1}
+	s, err := Subsample{Seed: 1, SampleOverride: 5}.Sketch(db, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.(*subsampleSketch).SampleRows() != 0 {
+		t.Error("sampling an empty database must store no rows")
+	}
+	if s.(EstimatorSketch).Estimate(dataset.MustItemset(0)) != 0 {
+		t.Error("empty sample estimates 0")
+	}
+
+	db.AddRowAttrs(0)
+	s2, err := Subsample{Seed: 1, SampleOverride: 17}.Sketch(db, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := s2.(*subsampleSketch).SampleRows(); got != 17 {
+		t.Errorf("override sample rows = %d, want 17", got)
+	}
+}
+
+func TestSubsampleDeterminism(t *testing.T) {
+	db := testDB(t)
+	p := validParams()
+	a, _ := Subsample{Seed: 42}.Sketch(db, p)
+	b, _ := Subsample{Seed: 42}.Sketch(db, p)
+	var wa, wb bitvec.Writer
+	a.MarshalBits(&wa)
+	b.MarshalBits(&wb)
+	if wa.BitLen() != wb.BitLen() {
+		t.Fatal("same seed must give identical sketches")
+	}
+	ba, bb := wa.Bytes(), wb.Bytes()
+	for i := range ba {
+		if ba[i] != bb[i] {
+			t.Fatal("same seed must give identical sketch bytes")
+		}
+	}
+}
+
+func TestSketchSerializationRoundTrip(t *testing.T) {
+	db := testDB(t)
+	cases := []struct {
+		sk Sketcher
+		p  Params
+	}{
+		{ReleaseDB{}, Params{K: 2, Eps: 0.1, Delta: 0.1, Mode: ForAll, Task: Estimator}},
+		{ReleaseAnswers{}, Params{K: 2, Eps: 0.1, Delta: 0.1, Mode: ForAll, Task: Indicator}},
+		{ReleaseAnswers{}, Params{K: 2, Eps: 0.1, Delta: 0.1, Mode: ForAll, Task: Estimator}},
+		{Subsample{Seed: 9}, Params{K: 2, Eps: 0.1, Delta: 0.2, Mode: ForEach, Task: Estimator}},
+		{MedianAmplifier{Base: Subsample{Seed: 5}, CopiesOverride: 3}, Params{K: 2, Eps: 0.2, Delta: 0.1, Mode: ForAll, Task: Estimator}},
+	}
+	queries := []dataset.Itemset{
+		dataset.MustItemset(1, 5), dataset.MustItemset(2, 9), dataset.MustItemset(0, 3),
+	}
+	for _, c := range cases {
+		s, err := c.sk.Sketch(db, c.p)
+		if err != nil {
+			t.Fatalf("%s: %v", c.sk.Name(), err)
+		}
+		var w bitvec.Writer
+		s.MarshalBits(&w)
+		if int64(w.BitLen()) != s.SizeBits() {
+			t.Errorf("%s: SizeBits %d != encoding %d", c.sk.Name(), s.SizeBits(), w.BitLen())
+		}
+		got, err := UnmarshalSketch(bitvec.NewReader(w.Bytes(), w.BitLen()))
+		if err != nil {
+			t.Fatalf("%s: unmarshal: %v", c.sk.Name(), err)
+		}
+		if got.Params() != s.Params() {
+			t.Errorf("%s: params mismatch %v vs %v", c.sk.Name(), got.Params(), s.Params())
+		}
+		for _, T := range queries {
+			if got.Frequent(T) != s.Frequent(T) {
+				t.Errorf("%s: Frequent(%v) changed after round trip", c.sk.Name(), T)
+			}
+			ge, ok1 := got.(EstimatorSketch)
+			se, ok2 := s.(EstimatorSketch)
+			if ok1 != ok2 {
+				t.Fatalf("%s: estimator capability changed", c.sk.Name())
+			}
+			if ok1 && ge.Estimate(T) != se.Estimate(T) {
+				t.Errorf("%s: Estimate(%v) changed after round trip", c.sk.Name(), T)
+			}
+		}
+	}
+}
+
+func TestUnmarshalCorrupt(t *testing.T) {
+	// Empty stream.
+	if _, err := UnmarshalSketch(bitvec.NewReader(nil, 0)); err == nil {
+		t.Error("empty stream should fail")
+	}
+	// Unknown tag.
+	var w bitvec.Writer
+	w.WriteUint(15, tagBits)
+	if _, err := UnmarshalSketch(bitvec.NewReader(w.Bytes(), w.BitLen())); err == nil {
+		t.Error("unknown tag should fail")
+	}
+	// Truncated valid sketch.
+	db := testDB(t)
+	s, err := (Subsample{Seed: 1}).Sketch(db, validParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var w2 bitvec.Writer
+	s.MarshalBits(&w2)
+	if _, err := UnmarshalSketch(bitvec.NewReader(w2.Bytes(), w2.BitLen()/2)); err == nil {
+		t.Error("truncated sketch should fail")
+	}
+}
+
+func TestPlannerRegimes(t *testing.T) {
+	// Regime 1: tiny n -> RELEASE-DB wins.
+	p := Params{K: 2, Eps: 0.1, Delta: 0.1, Mode: ForAll, Task: Indicator}
+	plan := PlanSketch(5, 64, p, 1)
+	if plan.Winner.Name() != "release-db" {
+		t.Errorf("tiny n: winner = %s, want release-db", plan.Winner.Name())
+	}
+	// Regime 2: huge n, tiny eps, small d & k -> RELEASE-ANSWERS wins.
+	p2 := Params{K: 2, Eps: 0.0001, Delta: 0.1, Mode: ForAll, Task: Indicator}
+	plan2 := PlanSketch(100000000, 16, p2, 1)
+	if plan2.Winner.Name() != "release-answers" {
+		t.Errorf("tiny eps: winner = %s, want release-answers", plan2.Winner.Name())
+	}
+	// Regime 3: huge n, moderate eps, large d -> SUBSAMPLE wins.
+	p3 := Params{K: 3, Eps: 0.05, Delta: 0.1, Mode: ForAll, Task: Indicator}
+	plan3 := PlanSketch(100000000, 1000, p3, 1)
+	if plan3.Winner.Name() != "subsample" {
+		t.Errorf("large d: winner = %s, want subsample", plan3.Winner.Name())
+	}
+	// Costs map contains all three.
+	if len(plan3.Costs) != 3 {
+		t.Errorf("Costs has %d entries", len(plan3.Costs))
+	}
+}
+
+func TestAutoSketch(t *testing.T) {
+	db := testDB(t)
+	p := Params{K: 2, Eps: 0.1, Delta: 0.1, Mode: ForAll, Task: Estimator}
+	s, plan, err := AutoSketch(db, p, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Name() != plan.Winner.Name() {
+		t.Errorf("sketch name %s != plan winner %s", s.Name(), plan.Winner.Name())
+	}
+}
+
+func TestMedianAmplifier(t *testing.T) {
+	r := rng.New(8)
+	db := dataset.GenUniform(r, 5000, 8, 0.5)
+	p := Params{K: 2, Eps: 0.08, Delta: 0.05, Mode: ForAll, Task: Estimator}
+	m := MedianAmplifier{Base: Subsample{Seed: 21}}
+	s, err := m.Sketch(db, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ms := s.(*medianSketch)
+	if ms.NumCopies() != Copies(8, p) {
+		t.Errorf("copies = %d, want %d", ms.NumCopies(), Copies(8, p))
+	}
+	// The ForAll guarantee should hold on this run.
+	es := s.(EstimatorSketch)
+	maxErr := 0.0
+	combin.ForEachSubset(8, 2, func(set []int) bool {
+		T := dataset.MustItemset(set...)
+		e := math.Abs(es.Estimate(T) - db.Frequency(T))
+		if e > maxErr {
+			maxErr = e
+		}
+		return true
+	})
+	if maxErr > p.Eps {
+		t.Errorf("median-amplified max error %g > eps %g", maxErr, p.Eps)
+	}
+}
+
+func TestMedianAmplifierRejectsWrongMode(t *testing.T) {
+	db := testDB(t)
+	m := MedianAmplifier{Base: Subsample{Seed: 1}}
+	if _, err := m.Sketch(db, Params{K: 2, Eps: 0.1, Delta: 0.1, Mode: ForEach, Task: Estimator}); err == nil {
+		t.Error("ForEach request should be rejected")
+	}
+	if _, err := m.Sketch(db, Params{K: 2, Eps: 0.1, Delta: 0.1, Mode: ForAll, Task: Indicator}); err == nil {
+		t.Error("Indicator request should be rejected")
+	}
+	m.BaseDelta = 0.7
+	if _, err := m.Sketch(db, Params{K: 2, Eps: 0.1, Delta: 0.1, Mode: ForAll, Task: Estimator}); err == nil {
+		t.Error("base delta >= 1/2 should be rejected")
+	}
+}
+
+func TestMedianEvenCopies(t *testing.T) {
+	db := testDB(t)
+	p := Params{K: 2, Eps: 0.1, Delta: 0.1, Mode: ForAll, Task: Estimator}
+	m := MedianAmplifier{Base: Subsample{Seed: 2}, CopiesOverride: 4}
+	s, err := m.Sketch(db, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Median of an even count is the midpoint — just ensure it's sane.
+	e := s.(EstimatorSketch).Estimate(dataset.MustItemset(1, 5))
+	if e < 0 || e > 1 {
+		t.Errorf("even-copy median estimate %g out of [0,1]", e)
+	}
+}
+
+func TestCheckDimsKTooLarge(t *testing.T) {
+	db := dataset.NewDatabase(3)
+	db.AddRowAttrs(0)
+	p := Params{K: 4, Eps: 0.1, Delta: 0.1}
+	for _, sk := range []Sketcher{ReleaseDB{}, ReleaseAnswers{}, Subsample{}} {
+		if _, err := sk.Sketch(db, p); err == nil {
+			t.Errorf("%s: k > d should be rejected", sk.Name())
+		}
+	}
+}
+
+func TestSubsampleForEachFailureRate(t *testing.T) {
+	// Statistical check of the ForEach estimator guarantee: over many
+	// independent sketches, the fraction violating |est-f| <= eps must
+	// be at most ~delta.
+	r := rng.New(55)
+	db := dataset.GenUniform(r, 5000, 6, 0.5)
+	p := Params{K: 2, Eps: 0.1, Delta: 0.2, Mode: ForEach, Task: Estimator}
+	T := dataset.MustItemset(1, 4)
+	f := db.Frequency(T)
+	trials, fails := 200, 0
+	for i := 0; i < trials; i++ {
+		s, err := Subsample{Seed: uint64(i + 1)}.Sketch(db, p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if math.Abs(s.(EstimatorSketch).Estimate(T)-f) > p.Eps {
+			fails++
+		}
+	}
+	rate := float64(fails) / float64(trials)
+	if rate > p.Delta {
+		t.Errorf("ForEach failure rate %g exceeds delta %g", rate, p.Delta)
+	}
+}

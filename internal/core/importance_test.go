@@ -1,0 +1,160 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/bitvec"
+	"repro/internal/dataset"
+	"repro/internal/rng"
+)
+
+// structuredDB: most rows are near-empty; the itemsets of interest
+// live in a 5% subpopulation of long rows — the regime §5 points at.
+func structuredDB(r *rng.RNG, n, d int) *dataset.Database {
+	db := dataset.NewDatabase(d)
+	for i := 0; i < n; i++ {
+		row := bitvec.New(d)
+		if r.Bernoulli(0.05) {
+			// heavy row: many items, always contains {0,1,2}
+			row.Set(0)
+			row.Set(1)
+			row.Set(2)
+			for a := 3; a < d; a++ {
+				if r.Bernoulli(0.5) {
+					row.Set(a)
+				}
+			}
+		} else if r.Bernoulli(0.5) {
+			row.Set(3 + r.Intn(d-3))
+		}
+		db.AddRow(row)
+	}
+	return db
+}
+
+func TestImportanceUnbiased(t *testing.T) {
+	r := rng.New(60)
+	db := structuredDB(r, 3000, 16)
+	T := dataset.MustItemset(0, 1, 2)
+	truth := db.Frequency(T)
+	p := Params{K: 3, Eps: 0.05, Delta: 0.1, Mode: ForEach, Task: Estimator}
+	sum, trials := 0.0, 60
+	for i := 0; i < trials; i++ {
+		sk, err := ImportanceSample{Seed: uint64(i + 1), SampleOverride: 200}.Sketch(db, p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sum += sk.(EstimatorSketch).Estimate(T)
+	}
+	mean := sum / float64(trials)
+	if math.Abs(mean-truth) > 0.01 {
+		t.Fatalf("HT estimator biased: mean %g vs truth %g", mean, truth)
+	}
+}
+
+func TestImportanceBeatsUniformOnStructured(t *testing.T) {
+	// Same sample budget; importance sampling should have visibly
+	// lower RMSE for the heavy-row itemset.
+	r := rng.New(61)
+	db := structuredDB(r, 5000, 16)
+	T := dataset.MustItemset(0, 1, 2)
+	truth := db.Frequency(T)
+	p := Params{K: 3, Eps: 0.05, Delta: 0.1, Mode: ForEach, Task: Estimator}
+	const s, trials = 150, 80
+	var mseImp, mseUni float64
+	for i := 0; i < trials; i++ {
+		imp, err := ImportanceSample{Seed: uint64(1000 + i), SampleOverride: s}.Sketch(db, p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		uni, err := Subsample{Seed: uint64(2000 + i), SampleOverride: s}.Sketch(db, p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		de := imp.(EstimatorSketch).Estimate(T) - truth
+		du := uni.(EstimatorSketch).Estimate(T) - truth
+		mseImp += de * de
+		mseUni += du * du
+	}
+	if mseImp >= mseUni {
+		t.Fatalf("importance MSE %g should beat uniform MSE %g on structured data", mseImp/trials, mseUni/trials)
+	}
+}
+
+func TestImportanceDegeneratesToUniformOnFlatWeights(t *testing.T) {
+	// Constant weights: HT reduces to the plain sample mean.
+	r := rng.New(62)
+	db := dataset.GenUniform(r, 2000, 10, 0.4)
+	p := Params{K: 2, Eps: 0.1, Delta: 0.1, Mode: ForEach, Task: Estimator}
+	is := ImportanceSample{Seed: 5, SampleOverride: 500, Weight: func(*bitvec.Vector) float64 { return 1 }}
+	sk, err := is.Sketch(db, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	T := dataset.MustItemset(1, 4)
+	if math.Abs(sk.(EstimatorSketch).Estimate(T)-db.Frequency(T)) > 0.08 {
+		t.Fatalf("flat-weight estimate %g too far from %g", sk.(EstimatorSketch).Estimate(T), db.Frequency(T))
+	}
+}
+
+func TestImportanceRejectsBadWeights(t *testing.T) {
+	db := dataset.NewDatabase(4)
+	db.AddRowAttrs(0)
+	p := Params{K: 1, Eps: 0.1, Delta: 0.1}
+	is := ImportanceSample{Seed: 1, SampleOverride: 5, Weight: func(*bitvec.Vector) float64 { return 0 }}
+	if _, err := is.Sketch(db, p); err == nil {
+		t.Error("zero weight should be rejected")
+	}
+	is.Weight = func(*bitvec.Vector) float64 { return math.Inf(1) }
+	if _, err := is.Sketch(db, p); err == nil {
+		t.Error("infinite weight should be rejected")
+	}
+}
+
+func TestImportanceSerializationRoundTrip(t *testing.T) {
+	r := rng.New(63)
+	db := structuredDB(r, 1000, 12)
+	p := Params{K: 2, Eps: 0.05, Delta: 0.1, Mode: ForEach, Task: Estimator}
+	sk, err := ImportanceSample{Seed: 9, SampleOverride: 100}.Sketch(db, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var w bitvec.Writer
+	sk.MarshalBits(&w)
+	if int64(w.BitLen()) != sk.SizeBits() {
+		t.Fatalf("SizeBits %d != encoding %d", sk.SizeBits(), w.BitLen())
+	}
+	got, err := UnmarshalSketch(bitvec.NewReader(w.Bytes(), w.BitLen()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	T := dataset.MustItemset(0, 1)
+	a := sk.(EstimatorSketch).Estimate(T)
+	b := got.(EstimatorSketch).Estimate(T)
+	// Weights are quantized at 2^-9 relative resolution in log space.
+	if math.Abs(a-b) > 1e-3*(1+math.Abs(a)) {
+		t.Fatalf("estimate drifted across serialization: %g vs %g", a, b)
+	}
+}
+
+func TestImportanceEmptyDB(t *testing.T) {
+	db := dataset.NewDatabase(4)
+	p := Params{K: 1, Eps: 0.1, Delta: 0.1}
+	sk, err := ImportanceSample{Seed: 1, SampleOverride: 5}.Sketch(db, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sk.(EstimatorSketch).Estimate(dataset.MustItemset(0)) != 0 {
+		t.Error("empty database estimates 0")
+	}
+}
+
+func TestQuantizeWeightRoundTrip(t *testing.T) {
+	for _, w := range []float64{0.001, 0.5, 1, 3.7, 64, 1e6} {
+		got := dequantizeWeight(quantizeWeight(w))
+		if math.Abs(math.Log2(got)-math.Log2(w)) > 1.0/512 {
+			t.Errorf("weight %g round-trips to %g", w, got)
+		}
+	}
+}

@@ -1,0 +1,172 @@
+package core
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"repro/internal/bitvec"
+	"repro/internal/combin"
+	"repro/internal/dataset"
+	"repro/internal/rng"
+)
+
+// MedianAmplifier implements the Theorem 17 transformation: given any
+// For-Each estimator sketching algorithm S with failure probability
+// δ₀ < 1/2, run 10·log(C(d,k)/δ) independent copies and answer each
+// query with the median of the copies' estimates. A Chernoff bound
+// drives the per-query failure probability below δ/C(d,k), and a union
+// bound makes all C(d,k) queries simultaneously correct with
+// probability 1−δ — a For-All estimator at a multiplicative
+// O(k·log(d/k)) space overhead. The paper uses this reduction to carry
+// the Theorem 16 For-All lower bound over to the For-Each problem.
+type MedianAmplifier struct {
+	// Base builds each copy. It is invoked with Mode == ForEach and the
+	// base failure probability BaseDelta.
+	Base Subsample
+	// BaseDelta is each copy's failure probability; it must be < 1/2.
+	// Zero selects the default 1/3.
+	BaseDelta float64
+	// CopiesOverride, if positive, forces the number of copies.
+	CopiesOverride int
+}
+
+// Name implements Sketcher.
+func (MedianAmplifier) Name() string { return "median-amplify" }
+
+// Copies returns the Theorem 17 copy count ⌈10·log₂(C(d,k)/δ)⌉.
+func Copies(d int, p Params) int {
+	logC := combin.LogBinomial(d, p.K) / math.Ln2
+	c := int(math.Ceil(10 * (logC + math.Log2(1/p.Delta))))
+	if c < 1 {
+		c = 1
+	}
+	return c
+}
+
+func (m MedianAmplifier) baseParams(p Params) Params {
+	bd := m.BaseDelta
+	if bd == 0 {
+		bd = 1.0 / 3
+	}
+	return Params{K: p.K, Eps: p.Eps, Delta: bd, Mode: ForEach, Task: Estimator}
+}
+
+// SpaceBits implements Sketcher: copies × base size plus the header.
+func (m MedianAmplifier) SpaceBits(n, d int, p Params) float64 {
+	copies := m.CopiesOverride
+	if copies <= 0 {
+		copies = Copies(d, p)
+	}
+	return float64(tagBits+paramsBits+32) + float64(copies)*m.Base.SpaceBits(n, d, m.baseParams(p))
+}
+
+// Sketch implements Sketcher. The requested params must be
+// ForAll/Estimator (that is what the transformation produces).
+func (m MedianAmplifier) Sketch(db *dataset.Database, p Params) (Sketch, error) {
+	if err := checkDims(db, p); err != nil {
+		return nil, err
+	}
+	if p.Mode != ForAll || p.Task != Estimator {
+		return nil, fmt.Errorf("core: median amplification produces a ForAll-Estimator sketch; got %v", p)
+	}
+	bd := m.BaseDelta
+	if bd == 0 {
+		bd = 1.0 / 3
+	}
+	if bd >= 0.5 {
+		return nil, fmt.Errorf("core: base delta %g must be < 1/2 for the median argument", bd)
+	}
+	copies := m.CopiesOverride
+	if copies <= 0 {
+		copies = Copies(db.NumCols(), p)
+	}
+	bp := m.baseParams(p)
+	r := rng.New(m.Base.Seed)
+	sk := &medianSketch{params: p, baseDelta: bd}
+	for i := 0; i < copies; i++ {
+		base := m.Base
+		base.Seed = r.Uint64()
+		c, err := base.Sketch(db, bp)
+		if err != nil {
+			return nil, err
+		}
+		sk.copies = append(sk.copies, c.(*subsampleSketch))
+	}
+	return sk, nil
+}
+
+type medianSketch struct {
+	params    Params
+	baseDelta float64
+	copies    []*subsampleSketch
+}
+
+func (s *medianSketch) Name() string   { return "median-amplify" }
+func (s *medianSketch) Params() Params { return s.params }
+
+// Estimate returns the median of the copies' estimates.
+func (s *medianSketch) Estimate(t dataset.Itemset) float64 {
+	ests := make([]float64, len(s.copies))
+	for i, c := range s.copies {
+		ests[i] = c.Estimate(t)
+	}
+	sort.Float64s(ests)
+	n := len(ests)
+	if n%2 == 1 {
+		return ests[n/2]
+	}
+	return (ests[n/2-1] + ests[n/2]) / 2
+}
+
+func (s *medianSketch) Frequent(t dataset.Itemset) bool {
+	return s.Estimate(t) >= indicatorThreshold(s.params.Eps)
+}
+
+// NumCopies returns the number of independent base sketches stored.
+func (s *medianSketch) NumCopies() int { return len(s.copies) }
+
+func (s *medianSketch) SizeBits() int64 { return MarshaledSizeBits(s) }
+
+func (s *medianSketch) MarshalBits(w *bitvec.Writer) {
+	w.WriteUint(tagMedian, tagBits)
+	marshalParams(w, s.params)
+	w.WriteUint(math.Float64bits(s.baseDelta), 64)
+	w.WriteUint(uint64(len(s.copies)), 32)
+	for _, c := range s.copies {
+		c.MarshalBits(w)
+	}
+}
+
+func unmarshalMedian(r *bitvec.Reader) (Sketch, error) {
+	p, err := unmarshalParams(r)
+	if err != nil {
+		return nil, err
+	}
+	bdBits, err := r.ReadUint(64)
+	if err != nil {
+		return nil, err
+	}
+	nc, err := r.ReadUint(32)
+	if err != nil {
+		return nil, err
+	}
+	s := &medianSketch{params: p, baseDelta: math.Float64frombits(bdBits)}
+	for i := uint64(0); i < nc; i++ {
+		c, err := UnmarshalSketch(r)
+		if err != nil {
+			return nil, err
+		}
+		sub, ok := c.(*subsampleSketch)
+		if !ok {
+			return nil, fmt.Errorf("core: median sketch copy %d has unexpected type %T", i, c)
+		}
+		s.copies = append(s.copies, sub)
+	}
+	return s, nil
+}
+
+var (
+	_ Sketcher        = MedianAmplifier{}
+	_ EstimatorSketch = (*medianSketch)(nil)
+)

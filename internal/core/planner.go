@@ -1,0 +1,43 @@
+package core
+
+import (
+	"math"
+
+	"repro/internal/dataset"
+)
+
+// Plan records the Theorem 12 cost comparison for one parameter point:
+// the predicted size of each naive algorithm and the winner.
+type Plan struct {
+	N, D    int
+	Params  Params
+	Costs   map[string]float64 // algorithm name -> predicted bits
+	Winner  Sketcher
+	Minimum float64
+}
+
+// PlanSketch evaluates the three naive algorithms' cost model
+// (Theorem 12: |S| = O(min{nd, C(d,k)·a, poly(1/ε)·d·log})) and returns
+// the cheapest applicable Sketcher.
+//
+// seed seeds SUBSAMPLE if it wins.
+func PlanSketch(n, d int, p Params, seed uint64) Plan {
+	cands := []Sketcher{ReleaseDB{}, ReleaseAnswers{}, Subsample{Seed: seed}}
+	plan := Plan{N: n, D: d, Params: p, Costs: make(map[string]float64), Minimum: math.Inf(1)}
+	for _, c := range cands {
+		cost := c.SpaceBits(n, d, p)
+		plan.Costs[c.Name()] = cost
+		if cost < plan.Minimum {
+			plan.Minimum = cost
+			plan.Winner = c
+		}
+	}
+	return plan
+}
+
+// AutoSketch plans and immediately builds the cheapest sketch of db.
+func AutoSketch(db *dataset.Database, p Params, seed uint64) (Sketch, Plan, error) {
+	plan := PlanSketch(db.NumRows(), db.NumCols(), p, seed)
+	s, err := plan.Winner.Sketch(db, p)
+	return s, plan, err
+}

@@ -1,0 +1,223 @@
+package core
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/bitvec"
+	"repro/internal/combin"
+	"repro/internal/dataset"
+)
+
+// ReleaseAnswers is the precompute-everything algorithm of Definition 7:
+// it stores the answer to every one of the C(d,k) possible k-itemset
+// queries. For the indicator task it stores one decision bit per
+// itemset, |S| = O(C(d,k)); for the estimator task it stores each
+// frequency quantized to ⌈log₂(1/ε)⌉+1 bits, |S| = O(C(d,k)·log(1/ε)).
+// Answers are indexed by the colexicographic rank of the itemset.
+//
+// Theorem 12 shows RELEASE-ANSWERS wins when 1/ε is large relative to
+// C(d/2, k−1) and k = O(1) — the regime where the Ω(d/ε) lower bound of
+// Theorems 13/14 no longer applies.
+type ReleaseAnswers struct{}
+
+// Name implements Sketcher.
+func (ReleaseAnswers) Name() string { return "release-answers" }
+
+// answerBits is the per-answer cost: 1 for indicators,
+// ⌈log₂(1/ε)⌉+1 for quantized estimates.
+func answerBits(p Params) int {
+	if p.Task == Indicator {
+		return 1
+	}
+	return int(math.Ceil(math.Log2(1/p.Eps))) + 1
+}
+
+// SpaceBits implements Sketcher.
+func (ReleaseAnswers) SpaceBits(n, d int, p Params) float64 {
+	nq := combin.Binomial(d, p.K)
+	if nq >= combin.MaxBinomial {
+		return math.Inf(1)
+	}
+	return float64(tagBits+paramsBits+32) + float64(nq)*float64(answerBits(p))
+}
+
+// maxEnumerable caps the number of answers RELEASE-ANSWERS will
+// materialize; beyond this the algorithm refuses (the planner will have
+// chosen another algorithm anyway).
+const maxEnumerable = int64(1) << 26
+
+// Sketch implements Sketcher.
+func (ReleaseAnswers) Sketch(db *dataset.Database, p Params) (Sketch, error) {
+	if err := checkDims(db, p); err != nil {
+		return nil, err
+	}
+	d := db.NumCols()
+	nq := combin.Binomial(d, p.K)
+	if nq > maxEnumerable {
+		return nil, fmt.Errorf("core: release-answers would store C(%d,%d) = %d answers; too many", d, p.K, nq)
+	}
+	if p.Task == Indicator {
+		bits := bitvec.New(int(nq))
+		thr := indicatorThreshold(p.Eps)
+		i := 0
+		db.BuildColumnIndex()
+		combin.ForEachSubset(d, p.K, func(set []int) bool {
+			T := dataset.MustItemset(set...)
+			if db.Frequency(T) >= thr {
+				bits.Set(i)
+			}
+			i++
+			return true
+		})
+		return &releaseAnswersIndicator{d: d, bits: bits, params: p}, nil
+	}
+	q := answerBits(p)
+	levels := uint64(1)<<uint(q) - 1
+	vals := make([]uint32, nq)
+	i := 0
+	db.BuildColumnIndex()
+	combin.ForEachSubset(d, p.K, func(set []int) bool {
+		T := dataset.MustItemset(set...)
+		f := db.Frequency(T)
+		vals[i] = uint32(math.Round(f * float64(levels)))
+		i++
+		return true
+	})
+	return &releaseAnswersEstimator{d: d, qbits: q, vals: vals, params: p}, nil
+}
+
+// releaseAnswersIndicator stores one decision bit per k-itemset.
+type releaseAnswersIndicator struct {
+	d      int
+	bits   *bitvec.Vector
+	params Params
+}
+
+func (s *releaseAnswersIndicator) Name() string   { return "release-answers" }
+func (s *releaseAnswersIndicator) Params() Params { return s.params }
+
+// Frequent looks up the precomputed decision bit for T. It panics if
+// |T| ≠ k, because no answer was stored for other sizes; use
+// FrequentErr for a non-panicking variant.
+func (s *releaseAnswersIndicator) Frequent(t dataset.Itemset) bool {
+	b, err := s.FrequentErr(t)
+	if err != nil {
+		panic(err)
+	}
+	return b
+}
+
+// FrequentErr is Frequent with an error return for |T| ≠ k.
+func (s *releaseAnswersIndicator) FrequentErr(t dataset.Itemset) (bool, error) {
+	if t.Len() != s.params.K {
+		return false, fmt.Errorf("%w: |T| = %d, sketch k = %d", ErrWrongItemsetSize, t.Len(), s.params.K)
+	}
+	return s.bits.Get(int(combin.Rank(t.Attrs()))), nil
+}
+
+func (s *releaseAnswersIndicator) SizeBits() int64 { return MarshaledSizeBits(s) }
+
+func (s *releaseAnswersIndicator) MarshalBits(w *bitvec.Writer) {
+	w.WriteUint(tagReleaseAnswersIndicator, tagBits)
+	marshalParams(w, s.params)
+	w.WriteUint(uint64(s.d), 32)
+	s.bits.AppendTo(w)
+}
+
+func unmarshalReleaseAnswersIndicator(r *bitvec.Reader) (Sketch, error) {
+	p, err := unmarshalParams(r)
+	if err != nil {
+		return nil, err
+	}
+	d, err := r.ReadUint(32)
+	if err != nil {
+		return nil, err
+	}
+	nq := combin.Binomial(int(d), p.K)
+	if nq > maxEnumerable {
+		return nil, fmt.Errorf("core: encoded release-answers too large")
+	}
+	bits, err := bitvec.ReadVector(r, int(nq))
+	if err != nil {
+		return nil, err
+	}
+	return &releaseAnswersIndicator{d: int(d), bits: bits, params: p}, nil
+}
+
+// releaseAnswersEstimator stores each k-itemset frequency quantized to
+// answerBits levels.
+type releaseAnswersEstimator struct {
+	d      int
+	qbits  int
+	vals   []uint32
+	params Params
+}
+
+func (s *releaseAnswersEstimator) Name() string   { return "release-answers" }
+func (s *releaseAnswersEstimator) Params() Params { return s.params }
+
+// Estimate returns the dequantized stored frequency. It panics if
+// |T| ≠ k; use EstimateErr for a non-panicking variant.
+func (s *releaseAnswersEstimator) Estimate(t dataset.Itemset) float64 {
+	f, err := s.EstimateErr(t)
+	if err != nil {
+		panic(err)
+	}
+	return f
+}
+
+// EstimateErr is Estimate with an error return for |T| ≠ k.
+func (s *releaseAnswersEstimator) EstimateErr(t dataset.Itemset) (float64, error) {
+	if t.Len() != s.params.K {
+		return 0, fmt.Errorf("%w: |T| = %d, sketch k = %d", ErrWrongItemsetSize, t.Len(), s.params.K)
+	}
+	levels := float64(uint64(1)<<uint(s.qbits) - 1)
+	return float64(s.vals[combin.Rank(t.Attrs())]) / levels, nil
+}
+
+func (s *releaseAnswersEstimator) Frequent(t dataset.Itemset) bool {
+	return s.Estimate(t) >= indicatorThreshold(s.params.Eps)
+}
+
+func (s *releaseAnswersEstimator) SizeBits() int64 { return MarshaledSizeBits(s) }
+
+func (s *releaseAnswersEstimator) MarshalBits(w *bitvec.Writer) {
+	w.WriteUint(tagReleaseAnswersEstimator, tagBits)
+	marshalParams(w, s.params)
+	w.WriteUint(uint64(s.d), 32)
+	for _, v := range s.vals {
+		w.WriteUint(uint64(v), s.qbits)
+	}
+}
+
+func unmarshalReleaseAnswersEstimator(r *bitvec.Reader) (Sketch, error) {
+	p, err := unmarshalParams(r)
+	if err != nil {
+		return nil, err
+	}
+	d, err := r.ReadUint(32)
+	if err != nil {
+		return nil, err
+	}
+	nq := combin.Binomial(int(d), p.K)
+	if nq > maxEnumerable {
+		return nil, fmt.Errorf("core: encoded release-answers too large")
+	}
+	q := answerBits(p)
+	vals := make([]uint32, nq)
+	for i := range vals {
+		v, err := r.ReadUint(q)
+		if err != nil {
+			return nil, err
+		}
+		vals[i] = uint32(v)
+	}
+	return &releaseAnswersEstimator{d: int(d), qbits: q, vals: vals, params: p}, nil
+}
+
+var (
+	_ Sketcher        = ReleaseAnswers{}
+	_ Sketch          = (*releaseAnswersIndicator)(nil)
+	_ EstimatorSketch = (*releaseAnswersEstimator)(nil)
+)

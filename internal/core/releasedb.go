@@ -1,0 +1,72 @@
+package core
+
+import (
+	"repro/internal/bitvec"
+	"repro/internal/dataset"
+)
+
+// ReleaseDB is the trivial algorithm of Definition 6: the sketch is the
+// database verbatim and queries are exact. Its space is O(nd), which
+// Theorem 12 shows is optimal when n is small (n = 1/ε makes RELEASE-DB
+// match the Theorem 13 lower bound of Ω(d/ε)).
+type ReleaseDB struct{}
+
+// Name implements Sketcher.
+func (ReleaseDB) Name() string { return "release-db" }
+
+// SpaceBits implements Sketcher: n·d bits plus the fixed header.
+func (ReleaseDB) SpaceBits(n, d int, p Params) float64 {
+	return float64(tagBits+paramsBits+64) + float64(n)*float64(d)
+}
+
+// Sketch implements Sketcher.
+func (ReleaseDB) Sketch(db *dataset.Database, p Params) (Sketch, error) {
+	if err := checkDims(db, p); err != nil {
+		return nil, err
+	}
+	return &releaseDBSketch{db: db.Clone(), params: p}, nil
+}
+
+type releaseDBSketch struct {
+	db     *dataset.Database
+	params Params
+}
+
+func (s *releaseDBSketch) Name() string   { return "release-db" }
+func (s *releaseDBSketch) Params() Params { return s.params }
+
+// Estimate returns the exact frequency f_T(D).
+func (s *releaseDBSketch) Estimate(t dataset.Itemset) float64 {
+	return s.db.Frequency(t)
+}
+
+// Frequent returns the exact indicator: since estimates are exact, any
+// threshold in (ε/2, ε] validates Definitions 1/3; we use 3ε/4.
+func (s *releaseDBSketch) Frequent(t dataset.Itemset) bool {
+	return s.Estimate(t) >= indicatorThreshold(s.params.Eps)
+}
+
+func (s *releaseDBSketch) SizeBits() int64 { return MarshaledSizeBits(s) }
+
+func (s *releaseDBSketch) MarshalBits(w *bitvec.Writer) {
+	w.WriteUint(tagReleaseDB, tagBits)
+	marshalParams(w, s.params)
+	s.db.MarshalBits(w)
+}
+
+func unmarshalReleaseDB(r *bitvec.Reader) (Sketch, error) {
+	p, err := unmarshalParams(r)
+	if err != nil {
+		return nil, err
+	}
+	db, err := dataset.UnmarshalBits(r)
+	if err != nil {
+		return nil, err
+	}
+	return &releaseDBSketch{db: db, params: p}, nil
+}
+
+var (
+	_ Sketcher        = ReleaseDB{}
+	_ EstimatorSketch = (*releaseDBSketch)(nil)
+)

@@ -1,0 +1,377 @@
+// Package dataset implements the binary databases the paper sketches:
+// D ∈ ({0,1}^d)^n with n rows and d attribute columns, itemsets
+// T ⊆ [d], and itemset frequencies f_T(D) — the fraction of rows that
+// contain T (a 1 in every column of T).
+//
+// Two query paths are provided. The horizontal path scans packed rows
+// and tests containment word-parallel. The vertical path (ColumnIndex)
+// intersects per-attribute row bitmaps, which is the classical "vertical
+// database" layout from the frequent-itemset-mining literature and is
+// much faster for small k over many rows.
+package dataset
+
+import (
+	"bufio"
+	"errors"
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+	"strings"
+
+	"repro/internal/bitvec"
+)
+
+// Itemset is a set of attribute indices, stored strictly increasing.
+// The zero value is the empty itemset.
+type Itemset struct {
+	attrs []int
+}
+
+// NewItemset builds an itemset from the given attributes. The input may
+// be in any order; duplicates are rejected.
+func NewItemset(attrs ...int) (Itemset, error) {
+	s := append([]int(nil), attrs...)
+	sort.Ints(s)
+	for i, a := range s {
+		if a < 0 {
+			return Itemset{}, fmt.Errorf("dataset: negative attribute %d", a)
+		}
+		if i > 0 && s[i-1] == a {
+			return Itemset{}, fmt.Errorf("dataset: duplicate attribute %d", a)
+		}
+	}
+	return Itemset{attrs: s}, nil
+}
+
+// MustItemset is NewItemset that panics on error, for tests and
+// constructions with known-valid inputs.
+func MustItemset(attrs ...int) Itemset {
+	t, err := NewItemset(attrs...)
+	if err != nil {
+		panic(err)
+	}
+	return t
+}
+
+// Len returns the number of attributes (k for a k-itemset).
+func (t Itemset) Len() int { return len(t.attrs) }
+
+// Attrs returns the attributes in increasing order. Callers must not
+// mutate the returned slice.
+func (t Itemset) Attrs() []int { return t.attrs }
+
+// MaxAttr returns the largest attribute index, or -1 for the empty set.
+func (t Itemset) MaxAttr() int {
+	if len(t.attrs) == 0 {
+		return -1
+	}
+	return t.attrs[len(t.attrs)-1]
+}
+
+// Contains reports whether attribute a is in the itemset.
+func (t Itemset) Contains(a int) bool {
+	i := sort.SearchInts(t.attrs, a)
+	return i < len(t.attrs) && t.attrs[i] == a
+}
+
+// Union returns the union of t and u.
+func (t Itemset) Union(u Itemset) Itemset {
+	merged := make([]int, 0, len(t.attrs)+len(u.attrs))
+	i, j := 0, 0
+	for i < len(t.attrs) && j < len(u.attrs) {
+		switch {
+		case t.attrs[i] < u.attrs[j]:
+			merged = append(merged, t.attrs[i])
+			i++
+		case t.attrs[i] > u.attrs[j]:
+			merged = append(merged, u.attrs[j])
+			j++
+		default:
+			merged = append(merged, t.attrs[i])
+			i++
+			j++
+		}
+	}
+	merged = append(merged, t.attrs[i:]...)
+	merged = append(merged, u.attrs[j:]...)
+	return Itemset{attrs: merged}
+}
+
+// Shift returns the itemset with every attribute increased by off.
+func (t Itemset) Shift(off int) Itemset {
+	s := make([]int, len(t.attrs))
+	for i, a := range t.attrs {
+		s[i] = a + off
+	}
+	return Itemset{attrs: s}
+}
+
+// Equal reports whether t and u contain the same attributes.
+func (t Itemset) Equal(u Itemset) bool {
+	if len(t.attrs) != len(u.attrs) {
+		return false
+	}
+	for i := range t.attrs {
+		if t.attrs[i] != u.attrs[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// Indicator returns the d-length indicator bit vector of the itemset.
+// All attributes must be < d.
+func (t Itemset) Indicator(d int) *bitvec.Vector {
+	v := bitvec.New(d)
+	for _, a := range t.attrs {
+		v.Set(a)
+	}
+	return v
+}
+
+// String renders the itemset as {a,b,c}.
+func (t Itemset) String() string {
+	parts := make([]string, len(t.attrs))
+	for i, a := range t.attrs {
+		parts[i] = strconv.Itoa(a)
+	}
+	return "{" + strings.Join(parts, ",") + "}"
+}
+
+// Key returns a canonical map key for the itemset.
+func (t Itemset) Key() string {
+	return t.String()
+}
+
+// Database is a binary database with a fixed number of attribute
+// columns and an append-only list of rows.
+type Database struct {
+	d    int
+	rows []*bitvec.Vector
+	// colIndex, if non-nil, is the vertical layout: colIndex[a] has bit
+	// r set iff row r has attribute a. It is invalidated by AddRow.
+	colIndex []*bitvec.Vector
+}
+
+// NewDatabase returns an empty database with d attribute columns.
+func NewDatabase(d int) *Database {
+	if d <= 0 {
+		panic("dataset: database needs at least one column")
+	}
+	return &Database{d: d}
+}
+
+// NumCols returns d, the number of attributes.
+func (db *Database) NumCols() int { return db.d }
+
+// NumRows returns n, the number of rows.
+func (db *Database) NumRows() int { return len(db.rows) }
+
+// AddRow appends a row. The vector's length must equal NumCols. The
+// database takes ownership of the vector.
+func (db *Database) AddRow(row *bitvec.Vector) {
+	if row.Len() != db.d {
+		panic(fmt.Sprintf("dataset: row length %d != %d columns", row.Len(), db.d))
+	}
+	db.rows = append(db.rows, row)
+	db.colIndex = nil
+}
+
+// AddRowAttrs appends a row containing exactly the given attributes.
+func (db *Database) AddRowAttrs(attrs ...int) {
+	db.AddRow(bitvec.FromIndices(db.d, attrs))
+}
+
+// Row returns row i. Callers must not mutate it.
+func (db *Database) Row(i int) *bitvec.Vector { return db.rows[i] }
+
+// RowContains reports whether row i contains itemset T.
+func (db *Database) RowContains(i int, t Itemset) bool {
+	return db.rows[i].ContainsAll(t.Indicator(db.d))
+}
+
+// Count returns the number of rows that contain T.
+func (db *Database) Count(t Itemset) int {
+	if t.MaxAttr() >= db.d {
+		panic(fmt.Sprintf("dataset: itemset %v exceeds %d columns", t, db.d))
+	}
+	if db.colIndex != nil {
+		return db.countVertical(t)
+	}
+	ind := t.Indicator(db.d)
+	c := 0
+	for _, r := range db.rows {
+		if r.ContainsAll(ind) {
+			c++
+		}
+	}
+	return c
+}
+
+// Frequency returns f_T(D) = Count(T)/n. The frequency of any itemset
+// on an empty database is 0.
+func (db *Database) Frequency(t Itemset) float64 {
+	if len(db.rows) == 0 {
+		return 0
+	}
+	return float64(db.Count(t)) / float64(len(db.rows))
+}
+
+// BuildColumnIndex materializes the vertical layout so subsequent Count
+// calls intersect per-attribute bitmaps instead of scanning rows.
+func (db *Database) BuildColumnIndex() {
+	n := len(db.rows)
+	idx := make([]*bitvec.Vector, db.d)
+	for a := 0; a < db.d; a++ {
+		idx[a] = bitvec.New(n)
+	}
+	for r, row := range db.rows {
+		for _, a := range row.Ones() {
+			idx[a].Set(r)
+		}
+	}
+	db.colIndex = idx
+}
+
+// HasColumnIndex reports whether the vertical layout is materialized.
+func (db *Database) HasColumnIndex() bool { return db.colIndex != nil }
+
+// AttrColumn returns the row bitmap of attribute a from the column
+// index, building the index if needed. Callers must not mutate it.
+func (db *Database) AttrColumn(a int) *bitvec.Vector {
+	if db.colIndex == nil {
+		db.BuildColumnIndex()
+	}
+	return db.colIndex[a]
+}
+
+func (db *Database) countVertical(t Itemset) int {
+	attrs := t.Attrs()
+	if len(attrs) == 0 {
+		return len(db.rows)
+	}
+	acc := db.colIndex[attrs[0]].Clone()
+	for _, a := range attrs[1:] {
+		acc.And(db.colIndex[a])
+		if acc.Count() == 0 {
+			return 0
+		}
+	}
+	return acc.Count()
+}
+
+// Clone returns a deep copy of the database (without the column index).
+func (db *Database) Clone() *Database {
+	c := NewDatabase(db.d)
+	for _, r := range db.rows {
+		c.rows = append(c.rows, r.Clone())
+	}
+	return c
+}
+
+// AppendDatabase appends all rows of other, which must have the same
+// number of columns.
+func (db *Database) AppendDatabase(other *Database) {
+	if other.d != db.d {
+		panic(fmt.Sprintf("dataset: column mismatch %d vs %d", other.d, db.d))
+	}
+	for _, r := range other.rows {
+		db.AddRow(r.Clone())
+	}
+}
+
+// SizeBits returns n·d, the verbatim size of the database in bits —
+// exactly the space complexity of RELEASE-DB in the paper.
+func (db *Database) SizeBits() int64 {
+	return int64(len(db.rows)) * int64(db.d)
+}
+
+// MarshalBits writes the database to w: d and n as 32-bit counts
+// followed by the n·d row bits.
+func (db *Database) MarshalBits(w *bitvec.Writer) {
+	w.WriteUint(uint64(db.d), 32)
+	w.WriteUint(uint64(len(db.rows)), 32)
+	for _, r := range db.rows {
+		r.AppendTo(w)
+	}
+}
+
+// UnmarshalBits reads a database written by MarshalBits.
+func UnmarshalBits(r *bitvec.Reader) (*Database, error) {
+	d, err := r.ReadUint(32)
+	if err != nil {
+		return nil, err
+	}
+	n, err := r.ReadUint(32)
+	if err != nil {
+		return nil, err
+	}
+	if d == 0 {
+		return nil, errors.New("dataset: zero columns in encoded database")
+	}
+	db := NewDatabase(int(d))
+	for i := uint64(0); i < n; i++ {
+		row, err := bitvec.ReadVector(r, int(d))
+		if err != nil {
+			return nil, err
+		}
+		db.AddRow(row)
+	}
+	return db, nil
+}
+
+// WriteTransactions writes the database in the standard transaction
+// format used by frequent-itemset-mining tools: one row per line,
+// space-separated attribute indices of the 1-entries.
+func (db *Database) WriteTransactions(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	for _, row := range db.rows {
+		ones := row.Ones()
+		for i, a := range ones {
+			if i > 0 {
+				if err := bw.WriteByte(' '); err != nil {
+					return err
+				}
+			}
+			if _, err := bw.WriteString(strconv.Itoa(a)); err != nil {
+				return err
+			}
+		}
+		if err := bw.WriteByte('\n'); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// ReadTransactions parses the transaction format into a database with d
+// columns. Attribute indices must be in [0, d).
+func ReadTransactions(r io.Reader, d int) (*Database, error) {
+	db := NewDatabase(d)
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<20), 1<<24)
+	lineno := 0
+	for sc.Scan() {
+		lineno++
+		line := strings.TrimSpace(sc.Text())
+		row := bitvec.New(d)
+		if line != "" {
+			for _, f := range strings.Fields(line) {
+				a, err := strconv.Atoi(f)
+				if err != nil {
+					return nil, fmt.Errorf("dataset: line %d: bad attribute %q: %v", lineno, f, err)
+				}
+				if a < 0 || a >= d {
+					return nil, fmt.Errorf("dataset: line %d: attribute %d out of range [0,%d)", lineno, a, d)
+				}
+				row.Set(a)
+			}
+		}
+		db.AddRow(row)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return db, nil
+}

@@ -1,0 +1,334 @@
+package dataset
+
+import (
+	"bytes"
+	"math"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/bitvec"
+	"repro/internal/rng"
+)
+
+func TestItemsetBasics(t *testing.T) {
+	s, err := NewItemset(3, 1, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Len() != 3 {
+		t.Fatalf("Len = %d", s.Len())
+	}
+	if got := s.Attrs(); got[0] != 1 || got[1] != 2 || got[2] != 3 {
+		t.Fatalf("Attrs = %v", got)
+	}
+	if !s.Contains(2) || s.Contains(4) {
+		t.Fatal("Contains wrong")
+	}
+	if s.MaxAttr() != 3 {
+		t.Fatalf("MaxAttr = %d", s.MaxAttr())
+	}
+	if s.String() != "{1,2,3}" {
+		t.Fatalf("String = %s", s.String())
+	}
+	if _, err := NewItemset(1, 1); err == nil {
+		t.Error("duplicate attributes should error")
+	}
+	if _, err := NewItemset(-1); err == nil {
+		t.Error("negative attribute should error")
+	}
+	empty := Itemset{}
+	if empty.MaxAttr() != -1 || empty.Len() != 0 {
+		t.Error("empty itemset wrong")
+	}
+}
+
+func TestItemsetUnionShift(t *testing.T) {
+	a := MustItemset(1, 3)
+	b := MustItemset(2, 3, 5)
+	u := a.Union(b)
+	if !u.Equal(MustItemset(1, 2, 3, 5)) {
+		t.Fatalf("Union = %v", u)
+	}
+	sh := a.Shift(10)
+	if !sh.Equal(MustItemset(11, 13)) {
+		t.Fatalf("Shift = %v", sh)
+	}
+	if !a.Equal(MustItemset(3, 1)) {
+		t.Fatal("Equal should be order-insensitive via construction")
+	}
+}
+
+func TestItemsetIndicator(t *testing.T) {
+	s := MustItemset(0, 4)
+	v := s.Indicator(6)
+	if v.String() != "100010" {
+		t.Fatalf("Indicator = %s", v.String())
+	}
+}
+
+func TestDatabaseFrequency(t *testing.T) {
+	db := NewDatabase(4)
+	db.AddRowAttrs(0, 1)
+	db.AddRowAttrs(0, 1, 2)
+	db.AddRowAttrs(2, 3)
+	db.AddRowAttrs()
+
+	cases := []struct {
+		items Itemset
+		want  float64
+	}{
+		{MustItemset(0), 0.5},
+		{MustItemset(0, 1), 0.5},
+		{MustItemset(0, 1, 2), 0.25},
+		{MustItemset(3), 0.25},
+		{MustItemset(0, 3), 0},
+		{Itemset{}, 1.0}, // empty itemset contained in every row
+	}
+	for _, c := range cases {
+		if got := db.Frequency(c.items); got != c.want {
+			t.Errorf("Frequency(%v) = %g, want %g", c.items, got, c.want)
+		}
+	}
+
+	// Vertical path must agree.
+	db.BuildColumnIndex()
+	if !db.HasColumnIndex() {
+		t.Fatal("column index should be built")
+	}
+	for _, c := range cases {
+		if got := db.Frequency(c.items); got != c.want {
+			t.Errorf("vertical Frequency(%v) = %g, want %g", c.items, got, c.want)
+		}
+	}
+}
+
+func TestColumnIndexInvalidation(t *testing.T) {
+	db := NewDatabase(3)
+	db.AddRowAttrs(0)
+	db.BuildColumnIndex()
+	db.AddRowAttrs(0, 1)
+	if db.HasColumnIndex() {
+		t.Fatal("AddRow must invalidate the column index")
+	}
+	if got := db.Count(MustItemset(0)); got != 2 {
+		t.Fatalf("Count after invalidation = %d, want 2", got)
+	}
+}
+
+func TestHorizontalVerticalAgreeRandom(t *testing.T) {
+	r := rng.New(2024)
+	db := GenUniform(r, 200, 16, 0.3)
+	vert := db.Clone()
+	vert.BuildColumnIndex()
+	for trial := 0; trial < 100; trial++ {
+		k := 1 + r.Intn(3)
+		attrs := r.Sample(16, k)
+		T := MustItemset(attrs...)
+		if db.Count(T) != vert.Count(T) {
+			t.Fatalf("horizontal %d != vertical %d for %v", db.Count(T), vert.Count(T), T)
+		}
+	}
+}
+
+func TestEmptyDatabase(t *testing.T) {
+	db := NewDatabase(5)
+	if db.Frequency(MustItemset(1)) != 0 {
+		t.Error("empty database frequency should be 0")
+	}
+	if db.SizeBits() != 0 {
+		t.Error("empty database size should be 0")
+	}
+}
+
+func TestMarshalRoundTrip(t *testing.T) {
+	r := rng.New(5)
+	db := GenUniform(r, 37, 13, 0.4)
+	var w bitvec.Writer
+	db.MarshalBits(&w)
+	if w.BitLen() != 64+37*13 {
+		t.Fatalf("encoded size = %d bits, want %d", w.BitLen(), 64+37*13)
+	}
+	got, err := UnmarshalBits(bitvec.NewReader(w.Bytes(), w.BitLen()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.NumRows() != 37 || got.NumCols() != 13 {
+		t.Fatalf("shape = %dx%d", got.NumRows(), got.NumCols())
+	}
+	for i := 0; i < 37; i++ {
+		if !got.Row(i).Equal(db.Row(i)) {
+			t.Fatalf("row %d mismatch", i)
+		}
+	}
+}
+
+func TestUnmarshalErrors(t *testing.T) {
+	// Truncated stream.
+	var w bitvec.Writer
+	w.WriteUint(8, 32)
+	w.WriteUint(100, 32)
+	w.WriteUint(0, 8) // only one byte of row data
+	if _, err := UnmarshalBits(bitvec.NewReader(w.Bytes(), w.BitLen())); err == nil {
+		t.Error("truncated database should fail to unmarshal")
+	}
+	// Zero columns.
+	var w2 bitvec.Writer
+	w2.WriteUint(0, 32)
+	w2.WriteUint(0, 32)
+	if _, err := UnmarshalBits(bitvec.NewReader(w2.Bytes(), w2.BitLen())); err == nil {
+		t.Error("zero-column database should fail to unmarshal")
+	}
+}
+
+func TestTransactionsRoundTrip(t *testing.T) {
+	db := NewDatabase(6)
+	db.AddRowAttrs(0, 2, 5)
+	db.AddRowAttrs()
+	db.AddRowAttrs(1)
+
+	var buf bytes.Buffer
+	if err := db.WriteTransactions(&buf); err != nil {
+		t.Fatal(err)
+	}
+	want := "0 2 5\n\n1\n"
+	if buf.String() != want {
+		t.Fatalf("transactions = %q, want %q", buf.String(), want)
+	}
+	got, err := ReadTransactions(strings.NewReader(buf.String()), 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.NumRows() != 3 {
+		t.Fatalf("rows = %d", got.NumRows())
+	}
+	for i := 0; i < 3; i++ {
+		if !got.Row(i).Equal(db.Row(i)) {
+			t.Fatalf("row %d mismatch", i)
+		}
+	}
+}
+
+func TestReadTransactionsErrors(t *testing.T) {
+	if _, err := ReadTransactions(strings.NewReader("0 x\n"), 4); err == nil {
+		t.Error("non-numeric attribute should error")
+	}
+	if _, err := ReadTransactions(strings.NewReader("7\n"), 4); err == nil {
+		t.Error("out-of-range attribute should error")
+	}
+}
+
+func TestAppendDatabase(t *testing.T) {
+	a := NewDatabase(3)
+	a.AddRowAttrs(0)
+	b := NewDatabase(3)
+	b.AddRowAttrs(1)
+	b.AddRowAttrs(2)
+	a.AppendDatabase(b)
+	if a.NumRows() != 3 {
+		t.Fatalf("rows = %d", a.NumRows())
+	}
+	if a.Count(MustItemset(2)) != 1 {
+		t.Fatal("appended row missing")
+	}
+}
+
+func TestGenUniformDensity(t *testing.T) {
+	r := rng.New(8)
+	db := GenUniform(r, 2000, 32, 0.25)
+	ones := 0
+	for i := 0; i < db.NumRows(); i++ {
+		ones += db.Row(i).Count()
+	}
+	density := float64(ones) / float64(2000*32)
+	if math.Abs(density-0.25) > 0.01 {
+		t.Errorf("density = %g, want ~0.25", density)
+	}
+}
+
+func TestGenPlanted(t *testing.T) {
+	r := rng.New(9)
+	target := MustItemset(3, 7, 11)
+	db := GenPlanted(r, 5000, 32, 0.05, []Plant{{Items: target, Freq: 0.3}})
+	f := db.Frequency(target)
+	if f < 0.25 || f > 0.40 {
+		t.Errorf("planted frequency = %g, want ≈0.3", f)
+	}
+	// A random disjoint triple should be rare under p=0.05.
+	other := MustItemset(0, 1, 2)
+	if db.Frequency(other) > 0.05 {
+		t.Errorf("background triple frequency = %g, too high", db.Frequency(other))
+	}
+}
+
+func TestGenMarketBasket(t *testing.T) {
+	r := rng.New(10)
+	bundle := []int{5, 6, 7}
+	db := GenMarketBasket(r, 3000, 64, BasketConfig{
+		MeanSize:     4,
+		ZipfExponent: 1.2,
+		Bundles:      [][]int{bundle},
+		BundleProb:   0.25,
+	})
+	if db.NumRows() != 3000 {
+		t.Fatalf("rows = %d", db.NumRows())
+	}
+	fBundle := db.Frequency(MustItemset(bundle...))
+	if fBundle < 0.15 {
+		t.Errorf("bundle frequency = %g, want >= 0.15", fBundle)
+	}
+	// Popular head item should beat a tail item.
+	if db.Frequency(MustItemset(0)) <= db.Frequency(MustItemset(60)) {
+		t.Error("Zipf head should dominate tail")
+	}
+}
+
+// Property: frequency is monotone non-increasing under itemset growth
+// (the anti-monotonicity that Apriori exploits).
+func TestQuickAntiMonotone(t *testing.T) {
+	r := rng.New(31)
+	db := GenUniform(r, 100, 12, 0.5)
+	f := func(seed uint32) bool {
+		rr := rng.New(uint64(seed))
+		k := 1 + rr.Intn(3)
+		attrs := rr.Sample(12, k)
+		sub := MustItemset(attrs[:k-1+0]...)
+		super := MustItemset(attrs...)
+		_ = sub
+		// compare T against T ∪ {extra}
+		return db.Frequency(super) <= db.Frequency(MustItemset(attrs[:max(1, k-1)]...))+1e-12
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+func max(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+func BenchmarkCountHorizontal(b *testing.B) {
+	r := rng.New(1)
+	db := GenUniform(r, 10000, 64, 0.3)
+	T := MustItemset(3, 17, 42)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = db.Count(T)
+	}
+}
+
+func BenchmarkCountVertical(b *testing.B) {
+	r := rng.New(1)
+	db := GenUniform(r, 10000, 64, 0.3)
+	db.BuildColumnIndex()
+	T := MustItemset(3, 17, 42)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = db.Count(T)
+	}
+}

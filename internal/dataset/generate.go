@@ -1,0 +1,108 @@
+package dataset
+
+import (
+	"fmt"
+
+	"repro/internal/bitvec"
+	"repro/internal/rng"
+)
+
+// GenUniform returns an n×d database where each bit is 1 independently
+// with probability p. This is the "unstructured" workload: all itemset
+// frequencies concentrate near p^k.
+func GenUniform(r *rng.RNG, n, d int, p float64) *Database {
+	db := NewDatabase(d)
+	for i := 0; i < n; i++ {
+		row := bitvec.New(d)
+		for j := 0; j < d; j++ {
+			if r.Bernoulli(p) {
+				row.Set(j)
+			}
+		}
+		db.AddRow(row)
+	}
+	return db
+}
+
+// Plant describes an itemset planted into a generated database at a
+// target frequency.
+type Plant struct {
+	Items Itemset
+	Freq  float64
+}
+
+// GenPlanted returns an n×d database with background bit density p and
+// the given itemsets planted: for each plant, an independent
+// Freq-fraction of rows receives all of the plant's attributes. Planted
+// itemsets therefore have frequency at least Freq (up to sampling noise)
+// while random k-itemsets stay near p^k.
+func GenPlanted(r *rng.RNG, n, d int, p float64, plants []Plant) *Database {
+	db := GenUniform(r, n, d, p)
+	for _, pl := range plants {
+		if pl.Items.MaxAttr() >= d {
+			panic(fmt.Sprintf("dataset: plant %v exceeds %d columns", pl.Items, d))
+		}
+		for i := 0; i < n; i++ {
+			if r.Bernoulli(pl.Freq) {
+				row := db.rows[i]
+				for _, a := range pl.Items.Attrs() {
+					row.Set(a)
+				}
+			}
+		}
+	}
+	db.colIndex = nil
+	return db
+}
+
+// BasketConfig parameterizes the synthetic market-basket generator.
+type BasketConfig struct {
+	// MeanSize is the average basket size (number of items per row).
+	MeanSize int
+	// ZipfExponent skews item popularity; larger means heavier head.
+	ZipfExponent float64
+	// Bundles are groups of items that co-occur: with probability
+	// BundleProb a row includes an entire randomly chosen bundle.
+	Bundles    [][]int
+	BundleProb float64
+}
+
+// GenMarketBasket synthesizes shopping-cart style data in the spirit of
+// the market-basket workloads that motivated frequent-itemset mining
+// (Agrawal et al., cited in §1.1.1): item popularity is Zipfian and
+// bundles of items co-occur. Rows are sparse.
+func GenMarketBasket(r *rng.RNG, n, d int, cfg BasketConfig) *Database {
+	if cfg.MeanSize <= 0 {
+		cfg.MeanSize = 4
+	}
+	if cfg.ZipfExponent <= 0 {
+		cfg.ZipfExponent = 1.1
+	}
+	z := rng.NewZipf(r, d, cfg.ZipfExponent)
+	db := NewDatabase(d)
+	for i := 0; i < n; i++ {
+		row := bitvec.New(d)
+		// Basket size ~ 1 + Binomial-ish around MeanSize.
+		size := 1 + r.Intn(2*cfg.MeanSize-1)
+		for j := 0; j < size; j++ {
+			row.Set(z.Next())
+		}
+		if len(cfg.Bundles) > 0 && r.Bernoulli(cfg.BundleProb) {
+			b := cfg.Bundles[r.Intn(len(cfg.Bundles))]
+			for _, a := range b {
+				row.Set(a)
+			}
+		}
+		db.AddRow(row)
+	}
+	return db
+}
+
+// GenFromRows builds a database from explicit row vectors (deep-copied).
+func GenFromRows(d int, rows []*bitvec.Vector) *Database {
+	db := NewDatabase(d)
+	for _, r := range rows {
+		db.AddRow(r.Clone())
+	}
+	return db
+}

@@ -1,0 +1,207 @@
+package ecc
+
+import (
+	"fmt"
+
+	"repro/internal/bitvec"
+)
+
+// Code is the concatenated binary code standing in for the paper's
+// Justesen code: RS(N, K) over GF(2^8) outside, [8,4] extended Hamming
+// inside (one Hamming block per nibble, 16 coded bits per RS symbol).
+//
+// Rate: K/(2N) (typically 1/6 with the default K ≈ N/3).
+//
+// Worst-case unique decoding: an adversary must spend at least 2 bit
+// flips to corrupt one RS symbol (the inner code corrects single-bit
+// errors), and the outer code corrects ⌊(N−K)/2⌋ symbol errors, so any
+// pattern of at most (N−K)/2 · 2 bit errors per block — a fraction
+// (N−K)/(16N) ≥ 4.16% of the block at K = N/3 — decodes uniquely.
+// That is the "4% adversarial errors" requirement of Theorems 15/16.
+//
+// Long payloads span multiple RS blocks. Per-block error fractions are
+// what is guaranteed; the lower-bound constructions align blocks with
+// database columns so that the per-column v/25 error bound of Lemma 19
+// translates into a per-block 4% bound (see lowerbound/thm15.go).
+type Code struct {
+	rs          *RS
+	payloadBits int
+	blocks      int
+	// blockAlign, if > 0, made each block's codeword bit-length a
+	// multiple of it.
+	blockAlign int
+}
+
+// NewCode builds a code for the given payload length in bits.
+//
+// alignBits, when positive, forces each RS block's codeword bit length
+// (16·N) to a multiple of alignBits so callers can align blocks with
+// database columns; it must be satisfiable with N ≤ 255.
+func NewCode(payloadBits, alignBits int) (*Code, error) {
+	if payloadBits <= 0 {
+		return nil, fmt.Errorf("ecc: payloadBits = %d", payloadBits)
+	}
+	// Pick the largest N ≤ 255 with K = ⌈N/3⌉ ≥ 1 and the alignment
+	// satisfied; then the number of blocks follows from the payload.
+	n := 255
+	if alignBits > 0 {
+		step := alignBits / gcd(16, alignBits) // N must be a multiple of this
+		if step > 255 {
+			return nil, fmt.Errorf("ecc: alignment %d bits needs N > 255", alignBits)
+		}
+		n = (255 / step) * step
+	}
+	k := n / 3
+	if k == 0 {
+		k = 1
+	}
+	rs, err := NewRS(n, k)
+	if err != nil {
+		return nil, err
+	}
+	perBlock := k * 8 // payload bits per block
+	blocks := (payloadBits + perBlock - 1) / perBlock
+	return &Code{rs: rs, payloadBits: payloadBits, blocks: blocks, blockAlign: alignBits}, nil
+}
+
+// NewCodeFitting builds the largest code whose codeword fits in
+// budgetBits, with each RS block's codeword bit length a multiple of
+// alignBits (> 0). The Theorem 15 construction uses it to fill the d·v
+// free cells of the hard database with whole, column-aligned blocks.
+func NewCodeFitting(budgetBits, alignBits int) (*Code, error) {
+	if alignBits <= 0 {
+		return nil, fmt.Errorf("ecc: NewCodeFitting needs alignBits > 0, got %d", alignBits)
+	}
+	step := alignBits / gcd(16, alignBits) // N must be a multiple of this
+	maxN := budgetBits / 16
+	if maxN > 255 {
+		maxN = 255
+	}
+	n := (maxN / step) * step
+	if n < 3 {
+		return nil, fmt.Errorf("ecc: budget %d bits too small for an aligned RS block (align %d)", budgetBits, alignBits)
+	}
+	k := n / 3
+	if k == 0 {
+		k = 1
+	}
+	rs, err := NewRS(n, k)
+	if err != nil {
+		return nil, err
+	}
+	blocks := budgetBits / (16 * n)
+	if blocks < 1 {
+		return nil, fmt.Errorf("ecc: budget %d bits holds no block of %d bits", budgetBits, 16*n)
+	}
+	return &Code{rs: rs, payloadBits: blocks * k * 8, blocks: blocks, blockAlign: alignBits}, nil
+}
+
+// PayloadBits returns the payload length the code was built for.
+func (c *Code) PayloadBits() int { return c.payloadBits }
+
+// BlockCodewordBits returns the coded bits per RS block (16·N).
+func (c *Code) BlockCodewordBits() int { return 16 * c.rs.N }
+
+// CodewordBits returns the total coded length in bits.
+func (c *Code) CodewordBits() int { return c.blocks * c.BlockCodewordBits() }
+
+// Blocks returns the number of RS blocks.
+func (c *Code) Blocks() int { return c.blocks }
+
+// Rate returns payload bits / codeword bits.
+func (c *Code) Rate() float64 { return float64(c.payloadBits) / float64(c.CodewordBits()) }
+
+// GuaranteedErrorFraction returns the adversarial bit-error fraction
+// per block below which decoding is guaranteed: (N−K)/(16·N) with
+// errors-only outer decoding (2 bit flips per killed symbol, T = (N−K)/2
+// correctable symbols).
+func (c *Code) GuaranteedErrorFraction() float64 {
+	return float64(c.rs.N-c.rs.K) / float64(16*c.rs.N)
+}
+
+// Encode maps a payload of PayloadBits bits to the codeword.
+func (c *Code) Encode(payload *bitvec.Vector) (*bitvec.Vector, error) {
+	if payload.Len() != c.payloadBits {
+		return nil, fmt.Errorf("ecc: payload length %d, want %d", payload.Len(), c.payloadBits)
+	}
+	out := bitvec.New(c.CodewordBits())
+	perBlock := c.rs.K * 8
+	for b := 0; b < c.blocks; b++ {
+		data := make([]byte, c.rs.K)
+		for i := 0; i < perBlock; i++ {
+			pos := b*perBlock + i
+			if pos < payload.Len() && payload.Get(pos) {
+				data[i/8] |= 1 << uint(i%8)
+			}
+		}
+		cw, err := c.rs.Encode(data)
+		if err != nil {
+			return nil, err
+		}
+		base := b * c.BlockCodewordBits()
+		for s, sym := range cw {
+			lo := HammingEncode(sym & 0x0F)
+			hi := HammingEncode(sym >> 4)
+			writeByteBits(out, base+16*s, lo)
+			writeByteBits(out, base+16*s+8, hi)
+		}
+	}
+	return out, nil
+}
+
+// Decode recovers the payload from a (possibly corrupted) codeword.
+// It fails with ErrTooManyErrors when some block is beyond the
+// unique-decoding radius.
+func (c *Code) Decode(word *bitvec.Vector) (*bitvec.Vector, error) {
+	if word.Len() != c.CodewordBits() {
+		return nil, fmt.Errorf("ecc: codeword length %d, want %d", word.Len(), c.CodewordBits())
+	}
+	payload := bitvec.New(c.payloadBits)
+	perBlock := c.rs.K * 8
+	for b := 0; b < c.blocks; b++ {
+		base := b * c.BlockCodewordBits()
+		recv := make([]byte, c.rs.N)
+		for s := 0; s < c.rs.N; s++ {
+			loN, _ := HammingDecode(readByteBits(word, base+16*s))
+			hiN, _ := HammingDecode(readByteBits(word, base+16*s+8))
+			recv[s] = loN | hiN<<4
+		}
+		data, err := c.rs.Decode(recv)
+		if err != nil {
+			return nil, fmt.Errorf("ecc: block %d: %w", b, err)
+		}
+		for i := 0; i < perBlock; i++ {
+			pos := b*perBlock + i
+			if pos >= c.payloadBits {
+				break
+			}
+			if data[i/8]>>uint(i%8)&1 == 1 {
+				payload.Set(pos)
+			}
+		}
+	}
+	return payload, nil
+}
+
+func writeByteBits(v *bitvec.Vector, pos int, b byte) {
+	for i := 0; i < 8; i++ {
+		v.SetBool(pos+i, b>>uint(i)&1 == 1)
+	}
+}
+
+func readByteBits(v *bitvec.Vector, pos int) byte {
+	var b byte
+	for i := 0; i < 8; i++ {
+		if v.Get(pos + i) {
+			b |= 1 << uint(i)
+		}
+	}
+	return b
+}
+
+func gcd(a, b int) int {
+	for b != 0 {
+		a, b = b, a%b
+	}
+	return a
+}

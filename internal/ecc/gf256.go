@@ -1,0 +1,98 @@
+// Package ecc implements the error-correcting code machinery that the
+// paper's Theorem 15 and Theorem 16 proofs invoke: "a code with
+// constant rate that is uniquely decodable from 4% errors (e.g. using a
+// Justesen code [Jus72])".
+//
+// We substitute a concatenated code — Reed–Solomon over GF(2^8) outside,
+// an [8,4] extended Hamming code inside — for the Justesen code. The
+// proofs use exactly two properties: constant rate and unique decoding
+// from a 4% adversarial bit-error fraction; the concatenated code
+// provides both at the block lengths used in the experiments (see
+// Code.GuaranteedErrorFraction), and is implementable from scratch on
+// the standard library. The substitution is recorded in DESIGN.md §3.
+package ecc
+
+// GF(2^8) arithmetic with the primitive polynomial
+// x^8 + x^4 + x^3 + x^2 + 1 (0x11D), the field used by the
+// Reed–Solomon outer code.
+
+var (
+	gfExp [512]byte // α^i, doubled to avoid mod in Mul
+	gfLog [256]int  // log_α(x); gfLog[0] unused
+)
+
+func init() {
+	x := 1
+	for i := 0; i < 255; i++ {
+		gfExp[i] = byte(x)
+		gfLog[x] = i
+		x <<= 1
+		if x&0x100 != 0 {
+			x ^= 0x11D
+		}
+	}
+	for i := 255; i < 512; i++ {
+		gfExp[i] = gfExp[i-255]
+	}
+}
+
+// gfMul multiplies in GF(2^8).
+func gfMul(a, b byte) byte {
+	if a == 0 || b == 0 {
+		return 0
+	}
+	return gfExp[gfLog[a]+gfLog[b]]
+}
+
+// gfDiv divides in GF(2^8); it panics on division by zero.
+func gfDiv(a, b byte) byte {
+	if b == 0 {
+		panic("ecc: division by zero in GF(256)")
+	}
+	if a == 0 {
+		return 0
+	}
+	return gfExp[gfLog[a]-gfLog[b]+255]
+}
+
+// gfInv returns the multiplicative inverse; it panics on zero.
+func gfInv(a byte) byte { return gfDiv(1, a) }
+
+// gfPow returns α^(log(a)·n) = a^n.
+func gfPow(a byte, n int) byte {
+	if a == 0 {
+		if n == 0 {
+			return 1
+		}
+		return 0
+	}
+	l := (gfLog[a] * n) % 255
+	if l < 0 {
+		l += 255
+	}
+	return gfExp[l]
+}
+
+// polyEval evaluates the polynomial p (coefficients low-degree first) at x.
+func polyEval(p []byte, x byte) byte {
+	// Horner from the highest coefficient.
+	var y byte
+	for i := len(p) - 1; i >= 0; i-- {
+		y = gfMul(y, x) ^ p[i]
+	}
+	return y
+}
+
+// polyMul multiplies two polynomials over GF(2^8).
+func polyMul(a, b []byte) []byte {
+	out := make([]byte, len(a)+len(b)-1)
+	for i, av := range a {
+		if av == 0 {
+			continue
+		}
+		for j, bv := range b {
+			out[i+j] ^= gfMul(av, bv)
+		}
+	}
+	return out
+}

@@ -1,0 +1,84 @@
+package ecc
+
+// The [8,4] extended Hamming code: 4 data bits → 8 coded bits, minimum
+// distance 4 (corrects any single bit error, detects any double). It is
+// the inner code of the concatenation; a GF(2^8) Reed–Solomon symbol is
+// carried by two Hamming blocks, one per nibble.
+
+// hammingEncTable maps each nibble to its 8-bit codeword.
+var hammingEncTable [16]byte
+
+// hammingDecTable maps each received byte to (nibble | flags); flag
+// hammingBad marks an uncorrectable (detected double) error.
+var hammingDecTable [256]byte
+
+const hammingBad = 0x80
+
+func init() {
+	// Generator: data bits d0..d3, parity p0..p2 (Hamming(7,4)) plus an
+	// overall parity bit p3.
+	for d := 0; d < 16; d++ {
+		d0 := d & 1
+		d1 := d >> 1 & 1
+		d2 := d >> 2 & 1
+		d3 := d >> 3 & 1
+		p0 := d0 ^ d1 ^ d3
+		p1 := d0 ^ d2 ^ d3
+		p2 := d1 ^ d2 ^ d3
+		cw := d | p0<<4 | p1<<5 | p2<<6
+		// Extended parity over the first 7 bits.
+		pop := 0
+		for i := 0; i < 7; i++ {
+			pop ^= cw >> uint(i) & 1
+		}
+		cw |= pop << 7
+		hammingEncTable[d] = byte(cw)
+	}
+	// Build the decode table by nearest-codeword search: distance 0 or 1
+	// decodes; distance ≥ 2 is flagged.
+	for r := 0; r < 256; r++ {
+		best, bestDist := -1, 9
+		for d := 0; d < 16; d++ {
+			dist := popcount8(byte(r) ^ hammingEncTable[d])
+			if dist < bestDist {
+				best, bestDist = d, dist
+			}
+		}
+		if bestDist <= 1 {
+			hammingDecTable[r] = byte(best)
+		} else {
+			hammingDecTable[r] = hammingBad
+		}
+	}
+}
+
+func popcount8(b byte) int {
+	c := 0
+	for b != 0 {
+		b &= b - 1
+		c++
+	}
+	return c
+}
+
+// HammingEncode encodes the low nibble of d into an 8-bit codeword.
+func HammingEncode(d byte) byte { return hammingEncTable[d&0x0F] }
+
+// HammingDecode decodes a received byte. ok is false when a
+// double-bit error was detected; the returned nibble is then the
+// nearest-codeword guess and may be wrong.
+func HammingDecode(r byte) (nibble byte, ok bool) {
+	v := hammingDecTable[r]
+	if v&hammingBad != 0 {
+		// Fall back to any nearest codeword for a best-effort value.
+		best, bestDist := 0, 9
+		for d := 0; d < 16; d++ {
+			dist := popcount8(r ^ hammingEncTable[d])
+			if dist < bestDist {
+				best, bestDist = d, dist
+			}
+		}
+		return byte(best), false
+	}
+	return v, true
+}

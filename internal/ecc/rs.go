@@ -1,0 +1,221 @@
+package ecc
+
+import (
+	"errors"
+	"fmt"
+)
+
+// RS is a systematic Reed–Solomon code over GF(2^8) with codeword
+// length N ≤ 255 symbols and K data symbols. It corrects up to
+// (N−K)/2 symbol errors via Berlekamp–Massey, Chien search, and
+// Forney's formula.
+type RS struct {
+	N, K int
+	gen  []byte // generator polynomial, degree N−K
+}
+
+// ErrTooManyErrors is returned when the received word is beyond the
+// code's unique-decoding radius (or decoding is otherwise inconsistent).
+var ErrTooManyErrors = errors.New("ecc: too many errors to decode")
+
+// NewRS constructs an RS(N, K) code.
+func NewRS(n, k int) (*RS, error) {
+	if k <= 0 || n <= k || n > 255 {
+		return nil, fmt.Errorf("ecc: invalid RS parameters N=%d K=%d (need 0 < K < N <= 255)", n, k)
+	}
+	// g(x) = Π_{i=0}^{N−K−1} (x − α^i).
+	gen := []byte{1}
+	for i := 0; i < n-k; i++ {
+		gen = polyMul(gen, []byte{gfExp[i], 1}) // (α^i + x)
+	}
+	return &RS{N: n, K: k, gen: gen}, nil
+}
+
+// T returns the error-correction capability ⌊(N−K)/2⌋ in symbols.
+func (rs *RS) T() int { return (rs.N - rs.K) / 2 }
+
+// Encode maps K data bytes to an N-byte systematic codeword
+// (data first, then N−K parity bytes).
+func (rs *RS) Encode(data []byte) ([]byte, error) {
+	if len(data) != rs.K {
+		return nil, fmt.Errorf("ecc: Encode needs %d data bytes, got %d", rs.K, len(data))
+	}
+	nk := rs.N - rs.K
+	// Compute data(x)·x^(N−K) mod g(x) by synthetic division.
+	rem := make([]byte, nk)
+	for i := rs.K - 1; i >= 0; i-- {
+		feedback := data[i] ^ rem[nk-1]
+		copy(rem[1:], rem[:nk-1])
+		rem[0] = 0
+		if feedback != 0 {
+			for j := 0; j < nk; j++ {
+				if rs.gen[j] != 0 {
+					rem[j] ^= gfMul(feedback, rs.gen[j])
+				}
+			}
+		}
+	}
+	cw := make([]byte, rs.N)
+	// Codeword polynomial c(x) = parity + x^(N−K)·data; store data at
+	// the high-degree end so the layout is [parity | data] by degree,
+	// but we present it as data-first for callers.
+	copy(cw[:rs.K], data)
+	copy(cw[rs.K:], rem)
+	return cw, nil
+}
+
+// codewordPoly reassembles the degree-ordered polynomial from the
+// data-first presentation: coefficient i is cw[K+i] for parity
+// (degrees 0..N−K−1) and cw[i−(N−K)] shifted for data.
+func (rs *RS) codewordPoly(cw []byte) []byte {
+	nk := rs.N - rs.K
+	p := make([]byte, rs.N)
+	copy(p[:nk], cw[rs.K:])
+	copy(p[nk:], cw[:rs.K])
+	return p
+}
+
+// Decode corrects up to T symbol errors in place on a copy of recv and
+// returns the K data bytes. It returns ErrTooManyErrors when the word
+// cannot be uniquely decoded.
+func (rs *RS) Decode(recv []byte) ([]byte, error) {
+	if len(recv) != rs.N {
+		return nil, fmt.Errorf("ecc: Decode needs %d bytes, got %d", rs.N, len(recv))
+	}
+	nk := rs.N - rs.K
+	p := rs.codewordPoly(recv)
+
+	// Syndromes S_i = p(α^i), i = 0..N−K−1.
+	synd := make([]byte, nk)
+	allZero := true
+	for i := 0; i < nk; i++ {
+		synd[i] = polyEval(p, gfExp[i])
+		if synd[i] != 0 {
+			allZero = false
+		}
+	}
+	if allZero {
+		out := make([]byte, rs.K)
+		copy(out, recv[:rs.K])
+		return out, nil
+	}
+
+	// Berlekamp–Massey: find the error locator polynomial sigma.
+	sigma := []byte{1}
+	prev := []byte{1}
+	var l, m int = 0, 1
+	var b byte = 1
+	for i := 0; i < nk; i++ {
+		var delta byte = synd[i]
+		for j := 1; j <= l; j++ {
+			if j < len(sigma) && i-j >= 0 {
+				delta ^= gfMul(sigma[j], synd[i-j])
+			}
+		}
+		if delta == 0 {
+			m++
+			continue
+		}
+		if 2*l <= i {
+			tmp := append([]byte(nil), sigma...)
+			// sigma = sigma − (delta/b)·x^m·prev
+			coef := gfDiv(delta, b)
+			shifted := make([]byte, m+len(prev))
+			for j, pv := range prev {
+				shifted[m+j] = gfMul(coef, pv)
+			}
+			sigma = polyAdd(sigma, shifted)
+			l = i + 1 - l
+			prev = tmp
+			b = delta
+			m = 1
+		} else {
+			coef := gfDiv(delta, b)
+			shifted := make([]byte, m+len(prev))
+			for j, pv := range prev {
+				shifted[m+j] = gfMul(coef, pv)
+			}
+			sigma = polyAdd(sigma, shifted)
+			m++
+		}
+	}
+	numErr := l
+	if numErr > rs.T() {
+		return nil, ErrTooManyErrors
+	}
+
+	// Chien search: roots of sigma are α^{−loc}.
+	var locs []int
+	for pos := 0; pos < rs.N; pos++ {
+		// x = α^{−pos}
+		x := gfExp[(255-pos)%255]
+		if polyEval(sigma, x) == 0 {
+			locs = append(locs, pos)
+		}
+	}
+	if len(locs) != numErr {
+		return nil, ErrTooManyErrors
+	}
+
+	// Forney: error magnitudes. Omega(x) = [S(x)·sigma(x)] mod x^(N−K).
+	sPoly := append([]byte(nil), synd...)
+	omega := polyMul(sPoly, sigma)
+	if len(omega) > nk {
+		omega = omega[:nk]
+	}
+	sigmaDeriv := formalDerivative(sigma)
+	for _, pos := range locs {
+		xInv := gfExp[(255-pos)%255] // X_j^{−1} = α^{−pos}
+		num := polyEval(omega, xInv)
+		den := polyEval(sigmaDeriv, xInv)
+		if den == 0 {
+			return nil, ErrTooManyErrors
+		}
+		// Forney with the b = 0 syndrome convention:
+		// e_j = X_j · Ω(X_j^{−1}) / Λ'(X_j^{−1}).
+		mag := gfMul(gfExp[pos%255], gfDiv(num, den))
+		p[pos] ^= mag
+	}
+
+	// Verify the correction: all syndromes must vanish.
+	for i := 0; i < nk; i++ {
+		if polyEval(p, gfExp[i]) != 0 {
+			return nil, ErrTooManyErrors
+		}
+	}
+	out := make([]byte, rs.K)
+	copy(out, p[nk:])
+	return out, nil
+}
+
+func polyAdd(a, b []byte) []byte {
+	n := len(a)
+	if len(b) > n {
+		n = len(b)
+	}
+	out := make([]byte, n)
+	copy(out, a)
+	for i, bv := range b {
+		out[i] ^= bv
+	}
+	// trim leading zeros
+	for len(out) > 1 && out[len(out)-1] == 0 {
+		out = out[:len(out)-1]
+	}
+	return out
+}
+
+// formalDerivative over GF(2): odd-degree terms survive with their
+// coefficients, even-degree terms vanish.
+func formalDerivative(p []byte) []byte {
+	if len(p) <= 1 {
+		return []byte{0}
+	}
+	out := make([]byte, len(p)-1)
+	for i := 1; i < len(p); i++ {
+		if i%2 == 1 {
+			out[i-1] = p[i]
+		}
+	}
+	return out
+}

@@ -1,0 +1,89 @@
+package experiments
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// Every experiment must run, produce rows, and contain no FAIL cells —
+// these are the paper's claims; a FAIL here is a reproduction bug.
+func TestAllExperimentsPass(t *testing.T) {
+	reg := Registry()
+	for _, id := range IDs() {
+		id := id
+		t.Run(id, func(t *testing.T) {
+			tab := reg[id](42)
+			if tab.ID != id {
+				t.Errorf("table ID %q, want %q", tab.ID, id)
+			}
+			if len(tab.Rows) == 0 {
+				t.Fatal("experiment produced no rows")
+			}
+			if len(tab.Columns) == 0 {
+				t.Fatal("experiment produced no columns")
+			}
+			for _, row := range tab.Rows {
+				if len(row) != len(tab.Columns) {
+					t.Errorf("row width %d != %d columns", len(row), len(tab.Columns))
+				}
+				for _, cell := range row {
+					if cell == "FAIL" {
+						t.Errorf("FAIL cell in row %v", row)
+					}
+				}
+			}
+			var buf bytes.Buffer
+			tab.Fprint(&buf)
+			if !strings.Contains(buf.String(), tab.Title) {
+				t.Error("printed output missing title")
+			}
+		})
+	}
+}
+
+func TestIDsOrdered(t *testing.T) {
+	ids := IDs()
+	if len(ids) != 13 {
+		t.Fatalf("expected 13 experiments, got %d", len(ids))
+	}
+	if ids[0] != "E1" || ids[12] != "E13" {
+		t.Fatalf("order wrong: %v", ids)
+	}
+}
+
+func TestRunUnknownID(t *testing.T) {
+	var buf bytes.Buffer
+	if err := Run(&buf, "E99", 1); err == nil {
+		t.Error("unknown experiment should error")
+	}
+}
+
+func TestRunSingle(t *testing.T) {
+	var buf bytes.Buffer
+	if err := Run(&buf, "E5", 1); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "Fact 18") {
+		t.Error("E5 output missing")
+	}
+}
+
+func TestTableFormatting(t *testing.T) {
+	tab := &Table{
+		ID:      "T",
+		Title:   "title",
+		Paper:   "claim",
+		Columns: []string{"a", "long-column"},
+	}
+	tab.AddRow(1.23456789, "x")
+	tab.Notes = append(tab.Notes, "a note")
+	var buf bytes.Buffer
+	tab.Fprint(&buf)
+	out := buf.String()
+	for _, want := range []string{"T — title", "paper: claim", "long-column", "1.235", "note: a note"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+}

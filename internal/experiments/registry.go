@@ -1,0 +1,68 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"sort"
+)
+
+// Runner produces one experiment's table. Seeded experiments take the
+// seed; deterministic ones ignore it.
+type Runner func(seed uint64) *Table
+
+// Registry maps experiment IDs to runners, in DESIGN.md §4 order.
+func Registry() map[string]Runner {
+	return map[string]Runner{
+		"E1":  E1,
+		"E2":  func(uint64) *Table { return E2() },
+		"E3":  E3,
+		"E4":  E4,
+		"E5":  func(uint64) *Table { return E5() },
+		"E6":  E6,
+		"E7":  E7,
+		"E8":  E8,
+		"E9":  E9,
+		"E10": E10,
+		"E11": E11,
+		"E12": E12,
+		"E13": E13,
+	}
+}
+
+// IDs returns the experiment identifiers in numeric order.
+func IDs() []string {
+	reg := Registry()
+	ids := make([]string, 0, len(reg))
+	for id := range reg {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool {
+		return numOf(ids[i]) < numOf(ids[j])
+	})
+	return ids
+}
+
+func numOf(id string) int {
+	n := 0
+	fmt.Sscanf(id, "E%d", &n)
+	return n
+}
+
+// RunAll executes every experiment with the given seed and prints the
+// tables to w in order.
+func RunAll(w io.Writer, seed uint64) {
+	reg := Registry()
+	for _, id := range IDs() {
+		reg[id](seed).Fprint(w)
+	}
+}
+
+// Run executes a single experiment by ID.
+func Run(w io.Writer, id string, seed uint64) error {
+	r, ok := Registry()[id]
+	if !ok {
+		return fmt.Errorf("experiments: unknown id %q (have %v)", id, IDs())
+	}
+	r(seed).Fprint(w)
+	return nil
+}

@@ -1,0 +1,99 @@
+// Package experiments regenerates, as printable tables, the paper's
+// "evaluation": every theorem, lemma, and construction becomes a
+// measured experiment with the paper's prediction alongside. The
+// experiment IDs (E1–E11) are indexed in DESIGN.md §4 and the recorded
+// outputs live in EXPERIMENTS.md.
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"strings"
+)
+
+// Table is one experiment's output: a titled grid with the paper
+// artifact it reproduces and free-form notes on the comparison.
+type Table struct {
+	ID      string
+	Title   string
+	Paper   string // the paper's claim being reproduced
+	Columns []string
+	Rows    [][]string
+	Notes   []string
+}
+
+// AddRow appends a formatted row; values are rendered with %v.
+func (t *Table) AddRow(vals ...interface{}) {
+	row := make([]string, len(vals))
+	for i, v := range vals {
+		switch x := v.(type) {
+		case float64:
+			row[i] = trimFloat(x)
+		default:
+			row[i] = fmt.Sprintf("%v", v)
+		}
+	}
+	t.Rows = append(t.Rows, row)
+}
+
+func trimFloat(x float64) string {
+	s := fmt.Sprintf("%.4g", x)
+	return s
+}
+
+// Fprint renders the table with aligned columns.
+func (t *Table) Fprint(w io.Writer) {
+	fmt.Fprintf(w, "%s — %s\n", t.ID, t.Title)
+	fmt.Fprintf(w, "  paper: %s\n", t.Paper)
+	widths := make([]int, len(t.Columns))
+	for i, c := range t.Columns {
+		widths[i] = len(c)
+	}
+	for _, r := range t.Rows {
+		for i, cell := range r {
+			if i < len(widths) && len(cell) > widths[i] {
+				widths[i] = len(cell)
+			}
+		}
+	}
+	line := func(cells []string) {
+		parts := make([]string, len(cells))
+		for i, c := range cells {
+			parts[i] = pad(c, widths[i])
+		}
+		fmt.Fprintf(w, "  | %s |\n", strings.Join(parts, " | "))
+	}
+	line(t.Columns)
+	sep := make([]string, len(t.Columns))
+	for i := range sep {
+		sep[i] = strings.Repeat("-", widths[i])
+	}
+	line(sep)
+	for _, r := range t.Rows {
+		line(r)
+	}
+	for _, n := range t.Notes {
+		fmt.Fprintf(w, "  note: %s\n", n)
+	}
+	fmt.Fprintln(w)
+}
+
+func pad(s string, w int) string {
+	if len(s) >= w {
+		return s
+	}
+	return s + strings.Repeat(" ", w-len(s))
+}
+
+// passFail renders a boolean as the table cell convention.
+func passFail(ok bool) string {
+	if ok {
+		return "ok"
+	}
+	return "FAIL"
+}
+
+// kb renders a bit count as kilobytes with sensible precision.
+func kb(bits int64) string {
+	return fmt.Sprintf("%.1f", float64(bits)/8/1024)
+}

@@ -1,0 +1,342 @@
+// Package linalg provides the dense linear algebra used by the
+// estimator lower-bound machinery (§4 of the paper): Gaussian
+// elimination and least squares for the KRSU-style L2 reconstruction,
+// a one-sided Jacobi SVD for measuring smallest singular values, and
+// Hadamard (row-tensor) products of matrices — the central object of
+// Rudelson's Lemma 26.
+package linalg
+
+import (
+	"errors"
+	"fmt"
+	"math"
+)
+
+// Matrix is a dense row-major matrix of float64.
+type Matrix struct {
+	R, C int
+	Data []float64 // len R*C, row-major
+}
+
+// NewMatrix returns a zeroed r×c matrix.
+func NewMatrix(r, c int) *Matrix {
+	if r < 0 || c < 0 {
+		panic("linalg: negative dimension")
+	}
+	return &Matrix{R: r, C: c, Data: make([]float64, r*c)}
+}
+
+// FromRows builds a matrix from row slices, which must be equal length.
+func FromRows(rows [][]float64) *Matrix {
+	if len(rows) == 0 {
+		return NewMatrix(0, 0)
+	}
+	c := len(rows[0])
+	m := NewMatrix(len(rows), c)
+	for i, r := range rows {
+		if len(r) != c {
+			panic("linalg: ragged rows")
+		}
+		copy(m.Data[i*c:(i+1)*c], r)
+	}
+	return m
+}
+
+// At returns element (i, j).
+func (m *Matrix) At(i, j int) float64 { return m.Data[i*m.C+j] }
+
+// Set assigns element (i, j).
+func (m *Matrix) Set(i, j int, v float64) { m.Data[i*m.C+j] = v }
+
+// Row returns row i as a slice sharing storage.
+func (m *Matrix) Row(i int) []float64 { return m.Data[i*m.C : (i+1)*m.C] }
+
+// Clone returns a deep copy.
+func (m *Matrix) Clone() *Matrix {
+	c := NewMatrix(m.R, m.C)
+	copy(c.Data, m.Data)
+	return c
+}
+
+// T returns the transpose as a new matrix.
+func (m *Matrix) T() *Matrix {
+	t := NewMatrix(m.C, m.R)
+	for i := 0; i < m.R; i++ {
+		for j := 0; j < m.C; j++ {
+			t.Set(j, i, m.At(i, j))
+		}
+	}
+	return t
+}
+
+// Mul returns m·o.
+func (m *Matrix) Mul(o *Matrix) *Matrix {
+	if m.C != o.R {
+		panic(fmt.Sprintf("linalg: Mul shape mismatch %dx%d · %dx%d", m.R, m.C, o.R, o.C))
+	}
+	out := NewMatrix(m.R, o.C)
+	for i := 0; i < m.R; i++ {
+		mrow := m.Row(i)
+		orow := out.Row(i)
+		for k := 0; k < m.C; k++ {
+			a := mrow[k]
+			if a == 0 {
+				continue
+			}
+			okrow := o.Row(k)
+			for j := 0; j < o.C; j++ {
+				orow[j] += a * okrow[j]
+			}
+		}
+	}
+	return out
+}
+
+// MulVec returns m·x.
+func (m *Matrix) MulVec(x []float64) []float64 {
+	if m.C != len(x) {
+		panic(fmt.Sprintf("linalg: MulVec shape mismatch %dx%d · %d", m.R, m.C, len(x)))
+	}
+	out := make([]float64, m.R)
+	for i := 0; i < m.R; i++ {
+		row := m.Row(i)
+		s := 0.0
+		for j, v := range row {
+			s += v * x[j]
+		}
+		out[i] = s
+	}
+	return out
+}
+
+// ErrSingular is returned when elimination meets a (numerically)
+// singular system.
+var ErrSingular = errors.New("linalg: singular matrix")
+
+// SolveLinear solves A·x = b for square A by Gauss–Jordan elimination
+// with partial pivoting. A and b are not modified.
+func SolveLinear(a *Matrix, b []float64) ([]float64, error) {
+	if a.R != a.C {
+		return nil, fmt.Errorf("linalg: SolveLinear needs square matrix, got %dx%d", a.R, a.C)
+	}
+	if a.R != len(b) {
+		return nil, fmt.Errorf("linalg: dimension mismatch %d vs %d", a.R, len(b))
+	}
+	n := a.R
+	// Augmented working copy.
+	w := a.Clone()
+	x := append([]float64(nil), b...)
+	for col := 0; col < n; col++ {
+		// Partial pivot.
+		piv, best := col, math.Abs(w.At(col, col))
+		for r := col + 1; r < n; r++ {
+			if v := math.Abs(w.At(r, col)); v > best {
+				piv, best = r, v
+			}
+		}
+		if best < 1e-12 {
+			return nil, ErrSingular
+		}
+		if piv != col {
+			for j := 0; j < n; j++ {
+				wp, wc := w.At(piv, j), w.At(col, j)
+				w.Set(piv, j, wc)
+				w.Set(col, j, wp)
+			}
+			x[piv], x[col] = x[col], x[piv]
+		}
+		// Normalize and eliminate.
+		inv := 1 / w.At(col, col)
+		for j := 0; j < n; j++ {
+			w.Set(col, j, w.At(col, j)*inv)
+		}
+		x[col] *= inv
+		for r := 0; r < n; r++ {
+			if r == col {
+				continue
+			}
+			f := w.At(r, col)
+			if f == 0 {
+				continue
+			}
+			for j := 0; j < n; j++ {
+				w.Set(r, j, w.At(r, j)-f*w.At(col, j))
+			}
+			x[r] -= f * x[col]
+		}
+	}
+	return x, nil
+}
+
+// LeastSquares returns argmin_x ‖A·x − b‖₂ via the regularized normal
+// equations (AᵀA + ridge·I)x = Aᵀb. A tiny ridge keeps rank-deficient
+// systems solvable; pass 0 for the exact normal equations.
+func LeastSquares(a *Matrix, b []float64, ridge float64) ([]float64, error) {
+	if a.R != len(b) {
+		return nil, fmt.Errorf("linalg: dimension mismatch %d vs %d", a.R, len(b))
+	}
+	at := a.T()
+	ata := at.Mul(a)
+	for i := 0; i < ata.R; i++ {
+		ata.Set(i, i, ata.At(i, i)+ridge)
+	}
+	atb := at.MulVec(b)
+	return SolveLinear(ata, atb)
+}
+
+// SingularValues returns all singular values of m in decreasing order,
+// computed by one-sided Jacobi rotations. Accurate for the modest
+// dimensions used in the Lemma 26 experiments.
+func SingularValues(m *Matrix) []float64 {
+	// Work on a tall copy: one-sided Jacobi orthogonalizes columns.
+	var a *Matrix
+	if m.R >= m.C {
+		a = m.Clone()
+	} else {
+		a = m.T()
+	}
+	rows, cols := a.R, a.C
+	const maxSweeps = 60
+	tol := 1e-13
+	for sweep := 0; sweep < maxSweeps; sweep++ {
+		off := 0.0
+		for p := 0; p < cols-1; p++ {
+			for q := p + 1; q < cols; q++ {
+				var app, aqq, apq float64
+				for i := 0; i < rows; i++ {
+					vp, vq := a.At(i, p), a.At(i, q)
+					app += vp * vp
+					aqq += vq * vq
+					apq += vp * vq
+				}
+				if math.Abs(apq) <= tol*math.Sqrt(app*aqq) || apq == 0 {
+					continue
+				}
+				off += math.Abs(apq)
+				// Jacobi rotation zeroing the (p,q) entry of AᵀA.
+				tau := (aqq - app) / (2 * apq)
+				var t float64
+				if tau >= 0 {
+					t = 1 / (tau + math.Sqrt(1+tau*tau))
+				} else {
+					t = -1 / (-tau + math.Sqrt(1+tau*tau))
+				}
+				c := 1 / math.Sqrt(1+t*t)
+				s := c * t
+				for i := 0; i < rows; i++ {
+					vp, vq := a.At(i, p), a.At(i, q)
+					a.Set(i, p, c*vp-s*vq)
+					a.Set(i, q, s*vp+c*vq)
+				}
+			}
+		}
+		if off == 0 {
+			break
+		}
+	}
+	sv := make([]float64, cols)
+	for j := 0; j < cols; j++ {
+		s := 0.0
+		for i := 0; i < rows; i++ {
+			v := a.At(i, j)
+			s += v * v
+		}
+		sv[j] = math.Sqrt(s)
+	}
+	// Sort decreasing (insertion; cols is small).
+	for i := 1; i < len(sv); i++ {
+		for j := i; j > 0 && sv[j-1] < sv[j]; j-- {
+			sv[j-1], sv[j] = sv[j], sv[j-1]
+		}
+	}
+	return sv
+}
+
+// MinSingularValue returns the smallest singular value of m.
+func MinSingularValue(m *Matrix) float64 {
+	sv := SingularValues(m)
+	if len(sv) == 0 {
+		return 0
+	}
+	return sv[len(sv)-1]
+}
+
+// HadamardProduct returns the row-tensor (Hadamard) product of Definition
+// 22: for A_i ∈ R^{ℓ_i×n}, the product A ∈ R^{(Πℓ_i)×n} has
+// A[(i_1,…,i_s), h] = Π_j A_j[i_j, h]. Rows are ordered with the last
+// index varying fastest.
+func HadamardProduct(ms ...*Matrix) *Matrix {
+	if len(ms) == 0 {
+		panic("linalg: HadamardProduct of nothing")
+	}
+	n := ms[0].C
+	rows := 1
+	for _, m := range ms {
+		if m.C != n {
+			panic("linalg: HadamardProduct column mismatch")
+		}
+		rows *= m.R
+	}
+	out := NewMatrix(rows, n)
+	idx := make([]int, len(ms))
+	for r := 0; r < rows; r++ {
+		orow := out.Row(r)
+		for h := 0; h < n; h++ {
+			v := 1.0
+			for j, m := range ms {
+				v *= m.At(idx[j], h)
+			}
+			orow[h] = v
+		}
+		// Increment the mixed-radix index, last factor fastest.
+		for j := len(ms) - 1; j >= 0; j-- {
+			idx[j]++
+			if idx[j] < ms[j].R {
+				break
+			}
+			idx[j] = 0
+		}
+	}
+	return out
+}
+
+// Norm1 returns Σ|x_i|.
+func Norm1(x []float64) float64 {
+	s := 0.0
+	for _, v := range x {
+		s += math.Abs(v)
+	}
+	return s
+}
+
+// Norm2 returns √(Σx_i²).
+func Norm2(x []float64) float64 {
+	s := 0.0
+	for _, v := range x {
+		s += v * v
+	}
+	return math.Sqrt(s)
+}
+
+// Dot returns Σ x_i·y_i.
+func Dot(x, y []float64) float64 {
+	if len(x) != len(y) {
+		panic("linalg: Dot length mismatch")
+	}
+	s := 0.0
+	for i, v := range x {
+		s += v * y[i]
+	}
+	return s
+}
+
+// SectionRatio returns ‖x‖₁ / (√len(x)·‖x‖₂), the quantity a
+// (δ, d′, z)-Euclidean section (Definition 23) bounds below by δ.
+// It returns 1 for the zero vector (the bound is vacuous there).
+func SectionRatio(x []float64) float64 {
+	n2 := Norm2(x)
+	if n2 == 0 {
+		return 1
+	}
+	return Norm1(x) / (math.Sqrt(float64(len(x))) * n2)
+}

@@ -1,0 +1,322 @@
+package linalg
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/rng"
+)
+
+func almostEq(a, b, tol float64) bool { return math.Abs(a-b) <= tol }
+
+func TestMatrixBasics(t *testing.T) {
+	m := NewMatrix(2, 3)
+	m.Set(0, 0, 1)
+	m.Set(1, 2, 5)
+	if m.At(0, 0) != 1 || m.At(1, 2) != 5 || m.At(0, 1) != 0 {
+		t.Fatal("At/Set broken")
+	}
+	row := m.Row(1)
+	row[0] = 7
+	if m.At(1, 0) != 7 {
+		t.Fatal("Row must share storage")
+	}
+	c := m.Clone()
+	c.Set(0, 0, 9)
+	if m.At(0, 0) == 9 {
+		t.Fatal("Clone must be independent")
+	}
+}
+
+func TestTransposeMul(t *testing.T) {
+	a := FromRows([][]float64{{1, 2}, {3, 4}, {5, 6}})
+	at := a.T()
+	if at.R != 2 || at.C != 3 || at.At(0, 2) != 5 || at.At(1, 0) != 2 {
+		t.Fatal("transpose wrong")
+	}
+	// AᵀA = [[35,44],[44,56]]
+	ata := at.Mul(a)
+	want := [][]float64{{35, 44}, {44, 56}}
+	for i := 0; i < 2; i++ {
+		for j := 0; j < 2; j++ {
+			if ata.At(i, j) != want[i][j] {
+				t.Fatalf("AᵀA[%d][%d] = %g, want %g", i, j, ata.At(i, j), want[i][j])
+			}
+		}
+	}
+	v := a.MulVec([]float64{1, -1})
+	if v[0] != -1 || v[1] != -1 || v[2] != -1 {
+		t.Fatalf("MulVec = %v", v)
+	}
+}
+
+func TestSolveLinear(t *testing.T) {
+	a := FromRows([][]float64{
+		{2, 1, -1},
+		{-3, -1, 2},
+		{-2, 1, 2},
+	})
+	b := []float64{8, -11, -3}
+	x, err := SolveLinear(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []float64{2, 3, -1}
+	for i := range want {
+		if !almostEq(x[i], want[i], 1e-9) {
+			t.Fatalf("x = %v, want %v", x, want)
+		}
+	}
+	// Inputs unchanged.
+	if a.At(0, 0) != 2 || b[0] != 8 {
+		t.Fatal("SolveLinear must not mutate inputs")
+	}
+}
+
+func TestSolveLinearSingular(t *testing.T) {
+	a := FromRows([][]float64{{1, 2}, {2, 4}})
+	if _, err := SolveLinear(a, []float64{1, 2}); err != ErrSingular {
+		t.Fatalf("singular system: err = %v, want ErrSingular", err)
+	}
+	if _, err := SolveLinear(NewMatrix(2, 3), []float64{1, 2}); err == nil {
+		t.Fatal("non-square should error")
+	}
+	if _, err := SolveLinear(NewMatrix(2, 2), []float64{1}); err == nil {
+		t.Fatal("dimension mismatch should error")
+	}
+}
+
+func TestSolveLinearNeedsPivot(t *testing.T) {
+	// Zero leading element forces a row swap.
+	a := FromRows([][]float64{{0, 1}, {1, 0}})
+	x, err := SolveLinear(a, []float64{3, 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !almostEq(x[0], 4, 1e-12) || !almostEq(x[1], 3, 1e-12) {
+		t.Fatalf("x = %v, want [4 3]", x)
+	}
+}
+
+func TestLeastSquaresExact(t *testing.T) {
+	// Overdetermined consistent system: recovery is exact.
+	a := FromRows([][]float64{{1, 0}, {0, 1}, {1, 1}})
+	xTrue := []float64{2, -1}
+	b := a.MulVec(xTrue)
+	x, err := LeastSquares(a, b, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range xTrue {
+		if !almostEq(x[i], xTrue[i], 1e-9) {
+			t.Fatalf("x = %v, want %v", x, xTrue)
+		}
+	}
+}
+
+func TestLeastSquaresResidualOptimality(t *testing.T) {
+	r := rng.New(17)
+	a := NewMatrix(20, 5)
+	for i := range a.Data {
+		a.Data[i] = r.Float64()*2 - 1
+	}
+	b := make([]float64, 20)
+	for i := range b {
+		b[i] = r.Float64()
+	}
+	x, err := LeastSquares(a, b, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := a.MulVec(x)
+	for i := range res {
+		res[i] -= b[i]
+	}
+	base := Norm2(res)
+	// Perturbing x in any coordinate direction must not reduce the residual.
+	for j := 0; j < 5; j++ {
+		for _, eps := range []float64{1e-3, -1e-3} {
+			xp := append([]float64(nil), x...)
+			xp[j] += eps
+			rp := a.MulVec(xp)
+			for i := range rp {
+				rp[i] -= b[i]
+			}
+			if Norm2(rp) < base-1e-12 {
+				t.Fatalf("perturbation improved LS residual: %g < %g", Norm2(rp), base)
+			}
+		}
+	}
+}
+
+func TestLeastSquaresRidgeRankDeficient(t *testing.T) {
+	// Duplicate columns: singular normal equations; ridge fixes it.
+	a := FromRows([][]float64{{1, 1}, {2, 2}, {3, 3}})
+	if _, err := LeastSquares(a, []float64{1, 2, 3}, 0); err == nil {
+		t.Fatal("rank-deficient LS without ridge should fail")
+	}
+	x, err := LeastSquares(a, []float64{1, 2, 3}, 1e-8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.IsNaN(x[0]) {
+		t.Fatal("ridge LS produced NaN")
+	}
+}
+
+func TestSingularValuesKnown(t *testing.T) {
+	// diag(3, 2) embedded in a 3x2 matrix.
+	a := FromRows([][]float64{{3, 0}, {0, 2}, {0, 0}})
+	sv := SingularValues(a)
+	if len(sv) != 2 || !almostEq(sv[0], 3, 1e-10) || !almostEq(sv[1], 2, 1e-10) {
+		t.Fatalf("sv = %v, want [3 2]", sv)
+	}
+	// Wide matrix path (transposed internally).
+	wide := a.T()
+	svw := SingularValues(wide)
+	if !almostEq(svw[0], 3, 1e-10) || !almostEq(svw[1], 2, 1e-10) {
+		t.Fatalf("wide sv = %v", svw)
+	}
+}
+
+func TestSingularValuesVsGram(t *testing.T) {
+	// Cross-check: singular values squared = eigenvalues of AᵀA; verify
+	// via the invariants trace and determinant for a random 4x3 matrix.
+	r := rng.New(5)
+	a := NewMatrix(4, 3)
+	for i := range a.Data {
+		a.Data[i] = r.Float64()*2 - 1
+	}
+	sv := SingularValues(a)
+	ata := a.T().Mul(a)
+	trace := ata.At(0, 0) + ata.At(1, 1) + ata.At(2, 2)
+	sumSq := 0.0
+	prodSq := 1.0
+	for _, s := range sv {
+		sumSq += s * s
+		prodSq *= s * s
+	}
+	if !almostEq(trace, sumSq, 1e-9) {
+		t.Errorf("Σσ² = %g, trace(AᵀA) = %g", sumSq, trace)
+	}
+	det := det3(ata)
+	if !almostEq(det, prodSq, 1e-9*math.Max(1, math.Abs(det))) {
+		t.Errorf("Πσ² = %g, det(AᵀA) = %g", prodSq, det)
+	}
+}
+
+func det3(m *Matrix) float64 {
+	return m.At(0, 0)*(m.At(1, 1)*m.At(2, 2)-m.At(1, 2)*m.At(2, 1)) -
+		m.At(0, 1)*(m.At(1, 0)*m.At(2, 2)-m.At(1, 2)*m.At(2, 0)) +
+		m.At(0, 2)*(m.At(1, 0)*m.At(2, 1)-m.At(1, 1)*m.At(2, 0))
+}
+
+func TestMinSingularValueSingular(t *testing.T) {
+	a := FromRows([][]float64{{1, 2}, {2, 4}})
+	if sv := MinSingularValue(a); !almostEq(sv, 0, 1e-10) {
+		t.Errorf("rank-1 matrix min singular value = %g, want 0", sv)
+	}
+}
+
+func TestHadamardProduct(t *testing.T) {
+	a := FromRows([][]float64{{1, 2}, {3, 4}})
+	b := FromRows([][]float64{{5, 6}, {7, 8}, {9, 10}})
+	h := HadamardProduct(a, b)
+	if h.R != 6 || h.C != 2 {
+		t.Fatalf("shape %dx%d, want 6x2", h.R, h.C)
+	}
+	// Row (i,j) = a[i] .* b[j], with j varying fastest.
+	want := [][]float64{
+		{1 * 5, 2 * 6}, {1 * 7, 2 * 8}, {1 * 9, 2 * 10},
+		{3 * 5, 4 * 6}, {3 * 7, 4 * 8}, {3 * 9, 4 * 10},
+	}
+	for i := range want {
+		for j := range want[i] {
+			if h.At(i, j) != want[i][j] {
+				t.Fatalf("H[%d][%d] = %g, want %g", i, j, h.At(i, j), want[i][j])
+			}
+		}
+	}
+	// Single-factor product is the identity operation.
+	h1 := HadamardProduct(a)
+	if !matEq(h1, a) {
+		t.Fatal("single-factor Hadamard product should equal input")
+	}
+}
+
+func matEq(a, b *Matrix) bool {
+	if a.R != b.R || a.C != b.C {
+		return false
+	}
+	for i := range a.Data {
+		if a.Data[i] != b.Data[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func TestNorms(t *testing.T) {
+	x := []float64{3, -4}
+	if Norm1(x) != 7 {
+		t.Errorf("Norm1 = %g", Norm1(x))
+	}
+	if Norm2(x) != 5 {
+		t.Errorf("Norm2 = %g", Norm2(x))
+	}
+	if Dot(x, []float64{1, 1}) != -1 {
+		t.Errorf("Dot = %g", Dot(x, []float64{1, 1}))
+	}
+}
+
+func TestSectionRatio(t *testing.T) {
+	// Constant vector: ratio 1 (the L1/L2 gap is largest possible).
+	x := []float64{1, 1, 1, 1}
+	if !almostEq(SectionRatio(x), 1, 1e-12) {
+		t.Errorf("constant vector ratio = %g, want 1", SectionRatio(x))
+	}
+	// Standard basis vector: ratio 1/√n.
+	e := []float64{1, 0, 0, 0}
+	if !almostEq(SectionRatio(e), 0.5, 1e-12) {
+		t.Errorf("basis vector ratio = %g, want 0.5", SectionRatio(e))
+	}
+	if SectionRatio([]float64{0, 0}) != 1 {
+		t.Error("zero vector convention should be 1")
+	}
+}
+
+func TestRandomHadamardMinSingular(t *testing.T) {
+	// Smoke version of Lemma 26: a random 0/1 Hadamard product with
+	// d^(k-1) >> n should be far from singular.
+	r := rng.New(23)
+	d0, n := 8, 6
+	a1 := NewMatrix(d0, n)
+	a2 := NewMatrix(d0, n)
+	for i := range a1.Data {
+		if r.Bool() {
+			a1.Data[i] = 1
+		}
+		if r.Bool() {
+			a2.Data[i] = 1
+		}
+	}
+	h := HadamardProduct(a1, a2)
+	if sv := MinSingularValue(h); sv < 0.5 {
+		t.Errorf("random Hadamard product nearly singular: σ_min = %g", sv)
+	}
+}
+
+func BenchmarkSingularValues(b *testing.B) {
+	r := rng.New(1)
+	a := NewMatrix(64, 32)
+	for i := range a.Data {
+		if r.Bool() {
+			a.Data[i] = 1
+		}
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = SingularValues(a)
+	}
+}

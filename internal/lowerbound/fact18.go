@@ -1,0 +1,115 @@
+package lowerbound
+
+import (
+	"fmt"
+	"math/bits"
+
+	"repro/internal/bitvec"
+	"repro/internal/dataset"
+)
+
+// Shattered is the Fact 18 construction (Appendix A): v = k′·log₂(d/k′)
+// strings x₁,…,x_v ∈ {0,1}^d such that for every pattern s ∈ {0,1}^v
+// there is a k′-itemset T_s with f_{T_s}(x_i) = s_i for all i. In VC
+// terms, the x_i form a set shattered by k′-way monotone conjunctions.
+//
+// Layout (Appendix A): view [d] as k′ blocks of D = d/k′ attributes.
+// The v rows form k′ groups of w = log₂(D) rows. Row (b, r) has all
+// ones outside block b (the J blocks) and, inside block b, the r-th row
+// of the matrix Y^(D) whose column ℓ is the binary representation of ℓ
+// (bit r of column ℓ in row r). For s ∈ {0,1}^v, split s into k′ words
+// of w bits; word b names an attribute ℓ_b inside block b, and
+// T_s = {b·D + ℓ_b : b ∈ [k′]}.
+type Shattered struct {
+	d, kPrime, w int // d = k′·2^w
+}
+
+// NewShattered builds the construction. d must equal k′·2^w for some
+// w ≥ 1.
+func NewShattered(d, kPrime int) (*Shattered, error) {
+	if kPrime < 1 {
+		return nil, fmt.Errorf("lowerbound: shattered set needs k′ ≥ 1, got %d", kPrime)
+	}
+	if d <= 0 || d%kPrime != 0 {
+		return nil, fmt.Errorf("lowerbound: shattered set needs k′ | d, got d=%d k′=%d", d, kPrime)
+	}
+	blockSize := d / kPrime
+	if blockSize < 2 || blockSize&(blockSize-1) != 0 {
+		return nil, fmt.Errorf("lowerbound: shattered set needs d/k′ a power of two ≥ 2, got %d", blockSize)
+	}
+	return &Shattered{d: d, kPrime: kPrime, w: bits.TrailingZeros(uint(blockSize))}, nil
+}
+
+// V returns the number of shattered strings, v = k′·log₂(d/k′).
+func (s *Shattered) V() int { return s.kPrime * s.w }
+
+// D returns the attribute count d.
+func (s *Shattered) D() int { return s.d }
+
+// KPrime returns the itemset size k′ of the T_s queries.
+func (s *Shattered) KPrime() int { return s.kPrime }
+
+// Row returns x_i (0-indexed), the i-th shattered string.
+func (s *Shattered) Row(i int) *bitvec.Vector {
+	if i < 0 || i >= s.V() {
+		panic(fmt.Sprintf("lowerbound: shattered row %d out of range [0,%d)", i, s.V()))
+	}
+	blockSize := s.d / s.kPrime
+	b, r := i/s.w, i%s.w
+	row := bitvec.New(s.d)
+	for blk := 0; blk < s.kPrime; blk++ {
+		base := blk * blockSize
+		if blk != b {
+			for c := 0; c < blockSize; c++ {
+				row.Set(base + c) // J block: all ones
+			}
+			continue
+		}
+		for c := 0; c < blockSize; c++ {
+			if c>>uint(r)&1 == 1 { // Y block: bit r of column index
+				row.Set(base + c)
+			}
+		}
+	}
+	return row
+}
+
+// Rows returns all v shattered strings.
+func (s *Shattered) Rows() []*bitvec.Vector {
+	out := make([]*bitvec.Vector, s.V())
+	for i := range out {
+		out[i] = s.Row(i)
+	}
+	return out
+}
+
+// Ts returns the k′-itemset T_s for pattern s, which must have length v.
+func (s *Shattered) Ts(pattern *bitvec.Vector) dataset.Itemset {
+	if pattern.Len() != s.V() {
+		panic(fmt.Sprintf("lowerbound: pattern length %d, want %d", pattern.Len(), s.V()))
+	}
+	blockSize := s.d / s.kPrime
+	attrs := make([]int, s.kPrime)
+	for b := 0; b < s.kPrime; b++ {
+		ell := 0
+		for r := 0; r < s.w; r++ {
+			if pattern.Get(b*s.w + r) {
+				ell |= 1 << uint(r)
+			}
+		}
+		attrs[b] = b*blockSize + ell
+	}
+	return dataset.MustItemset(attrs...)
+}
+
+// TsUint is Ts for patterns packed into a uint64 (bit i = s_i),
+// the fast path of the Lemma 19 decoder. v must be ≤ 64.
+func (s *Shattered) TsUint(pattern uint64) dataset.Itemset {
+	blockSize := s.d / s.kPrime
+	attrs := make([]int, s.kPrime)
+	for b := 0; b < s.kPrime; b++ {
+		ell := int(pattern >> uint(b*s.w) & (1<<uint(s.w) - 1))
+		attrs[b] = b*blockSize + ell
+	}
+	return dataset.MustItemset(attrs...)
+}

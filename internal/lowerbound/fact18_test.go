@@ -1,0 +1,113 @@
+package lowerbound
+
+import (
+	"testing"
+
+	"repro/internal/bitvec"
+	"repro/internal/dataset"
+)
+
+func TestShatteredValidation(t *testing.T) {
+	bad := []struct{ d, kp int }{
+		{8, 0}, // k' < 1
+		{9, 2}, // k' does not divide d
+		{6, 2}, // d/k' = 3 not a power of two
+		{2, 2}, // d/k' = 1 < 2
+	}
+	for _, c := range bad {
+		if _, err := NewShattered(c.d, c.kp); err == nil {
+			t.Errorf("NewShattered(%d,%d) should fail", c.d, c.kp)
+		}
+	}
+	good := []struct{ d, kp, v int }{
+		{8, 1, 3},   // v = 1·log2(8)
+		{16, 2, 6},  // v = 2·log2(8)
+		{16, 4, 8},  // v = 4·log2(4)
+		{64, 2, 10}, // v = 2·log2(32)
+	}
+	for _, c := range good {
+		sh, err := NewShattered(c.d, c.kp)
+		if err != nil {
+			t.Errorf("NewShattered(%d,%d): %v", c.d, c.kp, err)
+			continue
+		}
+		if sh.V() != c.v {
+			t.Errorf("V(%d,%d) = %d, want %d", c.d, c.kp, sh.V(), c.v)
+		}
+	}
+}
+
+// The Fact 18 property, exhaustively: for every pattern s there is a
+// k'-itemset T_s with f_{T_s}(x_i) = s_i for all i.
+func TestShatteringPropertyExhaustive(t *testing.T) {
+	for _, c := range []struct{ d, kp int }{{8, 1}, {16, 2}, {16, 4}, {32, 2}} {
+		sh, err := NewShattered(c.d, c.kp)
+		if err != nil {
+			t.Fatal(err)
+		}
+		v := sh.V()
+		rows := sh.Rows()
+		// Each x_i as a one-row database.
+		dbs := make([]*dataset.Database, v)
+		for i, x := range rows {
+			dbs[i] = dataset.NewDatabase(c.d)
+			dbs[i].AddRow(x.Clone())
+		}
+		for s := uint64(0); s < 1<<uint(v); s++ {
+			T := sh.TsUint(s)
+			if T.Len() != c.kp {
+				t.Fatalf("(%d,%d): |T_s| = %d, want %d", c.d, c.kp, T.Len(), c.kp)
+			}
+			for i := 0; i < v; i++ {
+				want := s>>uint(i)&1 == 1
+				got := dbs[i].Frequency(T) == 1
+				if got != want {
+					t.Fatalf("(%d,%d): f_{T_%b}(x_%d) = %v, want %v", c.d, c.kp, s, i, got, want)
+				}
+			}
+		}
+	}
+}
+
+func TestTsMatchesTsUint(t *testing.T) {
+	sh, err := NewShattered(16, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	v := sh.V()
+	for s := uint64(0); s < 1<<uint(v); s++ {
+		pat := bitvec.New(v)
+		for i := 0; i < v; i++ {
+			if s>>uint(i)&1 == 1 {
+				pat.Set(i)
+			}
+		}
+		if !sh.Ts(pat).Equal(sh.TsUint(s)) {
+			t.Fatalf("Ts and TsUint disagree at s=%b", s)
+		}
+	}
+}
+
+func TestShatteredRowPanics(t *testing.T) {
+	sh, _ := NewShattered(8, 1)
+	defer func() {
+		if recover() == nil {
+			t.Error("out-of-range Row should panic")
+		}
+	}()
+	sh.Row(sh.V())
+}
+
+func TestShatteredDistinctRows(t *testing.T) {
+	// The shattered strings must be pairwise distinct (a shattered set
+	// of duplicates is impossible).
+	sh, _ := NewShattered(32, 4)
+	rows := sh.Rows()
+	for i := range rows {
+		for j := i + 1; j < len(rows); j++ {
+			if rows[i].Equal(rows[j]) {
+				t.Fatalf("rows %d and %d identical", i, j)
+			}
+		}
+	}
+}

@@ -1,0 +1,134 @@
+package lowerbound
+
+import (
+	"fmt"
+	"math"
+	"math/bits"
+
+	"repro/internal/rng"
+)
+
+// Lemma 19 consistency decoding.
+//
+// Setting: an unknown t ∈ {0,1}^v; for every pattern s ∈ {0,1}^v an
+// indicator bit b_s is available satisfying
+//
+//	⟨s,t⟩/v > ε   ⇒ b_s = 1,
+//	⟨s,t⟩/v < ε/2 ⇒ b_s = 0,
+//
+// and arbitrary otherwise. A vector t′ is *consistent* with the bits
+// when no forced answer contradicts it: b_s = 1 ⇒ ⟨s,t′⟩/v ≥ ε/2 and
+// b_s = 0 ⇒ ⟨s,t′⟩/v ≤ ε. Lemma 19 (generalized from ε = 1/50 to any
+// ε): every consistent t′ satisfies Hamming(t, t′) ≤ 2⌈εv⌉; at the
+// paper's ε = 1/50 this is the "at most v/25 errors" guarantee.
+//
+// The proof is non-constructive ("take any consistent vector"); here
+// decoding is exhaustive over the 2^v candidates for v ≤ MaxExhaustiveV
+// (patterns and candidates are packed into machine words, so one
+// candidate check is 2^v popcounts), with a randomized greedy local
+// search as the large-v fallback.
+
+// MaxExhaustiveV bounds the exhaustive Lemma 19 search (2^v candidates
+// × 2^v constraints each).
+const MaxExhaustiveV = 14
+
+// Lemma19Bound returns the guaranteed maximum Hamming distance of any
+// consistent vector from the truth: 2·⌈εv⌉.
+func Lemma19Bound(v int, eps float64) int {
+	return 2 * int(math.Ceil(eps*float64(v)))
+}
+
+// Lemma19Consistent reports whether candidate t′ (packed bits) is
+// consistent with the answer bits bs (bs[s] for pattern s) at level ε.
+func Lemma19Consistent(tPrime uint64, bs []bool, v int, eps float64) bool {
+	fv := float64(v)
+	for s := 0; s < len(bs); s++ {
+		ip := float64(bits.OnesCount64(tPrime & uint64(s)))
+		if bs[s] {
+			if ip/fv < eps/2 {
+				return false
+			}
+		} else if ip/fv > eps {
+			return false
+		}
+	}
+	return true
+}
+
+// Lemma19Decode finds a consistent t′ for the given answer bits. bs
+// must have length 2^v. For v ≤ MaxExhaustiveV the search is
+// exhaustive (and therefore always finds the guaranteed-to-exist
+// consistent vector); otherwise a seeded greedy local search is used
+// and may fail, returning an error.
+func Lemma19Decode(bs []bool, v int, eps float64) (uint64, error) {
+	if v < 1 || v > 63 {
+		return 0, fmt.Errorf("lowerbound: lemma19 v = %d out of range", v)
+	}
+	if len(bs) != 1<<uint(v) {
+		return 0, fmt.Errorf("lowerbound: lemma19 needs 2^%d answers, got %d", v, len(bs))
+	}
+	if v <= MaxExhaustiveV {
+		for t := uint64(0); t < 1<<uint(v); t++ {
+			if Lemma19Consistent(t, bs, v, eps) {
+				return t, nil
+			}
+		}
+		return 0, fmt.Errorf("lowerbound: lemma19 found no consistent vector (invalid answer bits?)")
+	}
+	return lemma19Greedy(bs, v, eps)
+}
+
+// lemma19Greedy hill-climbs on the number of violated constraints from
+// several random restarts.
+func lemma19Greedy(bs []bool, v int, eps float64) (uint64, error) {
+	r := rng.New(0xFEED ^ uint64(v))
+	violations := func(t uint64) int {
+		fv := float64(v)
+		bad := 0
+		for s := 0; s < len(bs); s++ {
+			ip := float64(bits.OnesCount64(t & uint64(s)))
+			if bs[s] {
+				if ip/fv < eps/2 {
+					bad++
+				}
+			} else if ip/fv > eps {
+				bad++
+			}
+		}
+		return bad
+	}
+	// Start 0 is informed: read the singleton patterns, which pin the
+	// bits exactly whenever 1/v clears the thresholds (the forced
+	// regime); later starts are random.
+	var informed uint64
+	for i := 0; i < v; i++ {
+		if bs[1<<uint(i)] {
+			informed |= 1 << uint(i)
+		}
+	}
+	const restarts = 8
+	for attempt := 0; attempt < restarts; attempt++ {
+		t := informed
+		if attempt > 0 {
+			t = r.Uint64() & (1<<uint(v) - 1)
+		}
+		cur := violations(t)
+		for cur > 0 {
+			improved := false
+			for b := 0; b < v; b++ {
+				cand := t ^ 1<<uint(b)
+				if cv := violations(cand); cv < cur {
+					t, cur = cand, cv
+					improved = true
+				}
+			}
+			if !improved {
+				break
+			}
+		}
+		if cur == 0 {
+			return t, nil
+		}
+	}
+	return 0, fmt.Errorf("lowerbound: lemma19 greedy search failed at v=%d", v)
+}

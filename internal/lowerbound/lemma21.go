@@ -1,0 +1,65 @@
+package lowerbound
+
+import (
+	"fmt"
+
+	"repro/internal/linalg"
+	"repro/internal/lp"
+)
+
+// Lemma 21: given, for every pattern s ∈ {0,1}^v, an estimate f̂_s of
+// ⟨s, z⟩/v with |f̂_s − ⟨s,z⟩/v| ≤ ε for an unknown z ∈ [0,1]^v, any
+// vector ẑ ∈ [0,1]^v satisfying |⟨s,ẑ⟩/v − f̂_s| ≤ ε for all s has
+// (1/v)·‖ẑ − z‖₁ ≤ 4ε.
+//
+// Lemma21Solve finds the best such ẑ by linear programming: it
+// minimizes t subject to −t ≤ ⟨s,ẑ⟩/v − f̂_s ≤ t and 0 ≤ ẑ ≤ 1. The
+// returned t is the achieved max deviation; the true z is feasible at
+// t ≤ ε, so the minimum is never larger.
+func Lemma21Solve(fhat []float64, v int) (zhat []float64, maxDev float64, err error) {
+	if v < 1 || v > 20 {
+		return nil, 0, fmt.Errorf("lowerbound: lemma21 v = %d out of range", v)
+	}
+	if len(fhat) != 1<<uint(v) {
+		return nil, 0, fmt.Errorf("lowerbound: lemma21 needs 2^%d estimates, got %d", v, len(fhat))
+	}
+	npat := len(fhat)
+	// Standard-form LP variables: [z (v), u (v box slack), t,
+	// p (npat upper slacks), q (npat lower slacks)].
+	// Rows: v box rows z_j + u_j = 1;
+	//       npat rows  ⟨s,z⟩/v − t + p_s = f̂_s   (upper side)
+	//       npat rows  ⟨s,z⟩/v + t − q_s = f̂_s   (lower side)
+	rows := v + 2*npat
+	cols := 2*v + 1 + 2*npat
+	A := linalg.NewMatrix(rows, cols)
+	B := make([]float64, rows)
+	C := make([]float64, cols)
+	tIdx := 2 * v
+	C[tIdx] = 1 // minimize t
+	for j := 0; j < v; j++ {
+		A.Set(j, j, 1)
+		A.Set(j, v+j, 1)
+		B[j] = 1
+	}
+	for s := 0; s < npat; s++ {
+		up := v + s
+		lo := v + npat + s
+		for j := 0; j < v; j++ {
+			if s>>uint(j)&1 == 1 {
+				A.Set(up, j, 1/float64(v))
+				A.Set(lo, j, 1/float64(v))
+			}
+		}
+		A.Set(up, tIdx, -1)
+		A.Set(up, 2*v+1+s, 1)
+		B[up] = fhat[s]
+		A.Set(lo, tIdx, 1)
+		A.Set(lo, 2*v+1+npat+s, -1)
+		B[lo] = fhat[s]
+	}
+	sol, obj, err := lp.Solve(lp.Problem{A: A, B: B, C: C})
+	if err != nil {
+		return nil, 0, fmt.Errorf("lowerbound: lemma21 LP: %w", err)
+	}
+	return sol[:v], obj, nil
+}

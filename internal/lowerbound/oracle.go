@@ -1,0 +1,159 @@
+// Package lowerbound makes the paper's lower-bound proofs executable.
+//
+// Every lower bound in the paper is an encoding argument: a family of
+// databases is constructed so that an arbitrary bit string (the
+// payload) can be written into a database and then read back out of
+// *any valid sketch* of that database. Because the payload is
+// incompressible, the sketch must be at least as large as the payload.
+//
+// This package implements each construction as an Encode half (payload
+// → hard database) and a Decode half (query oracle → payload), where
+// the oracle abstracts "any valid sketch":
+//
+//   - Theorem 13/14 (thm13.go): the Ω(d/ε) indicator bound; one free
+//     bit per (row, free-column) pair.
+//   - Fact 18 (fact18.go): the shattered-set construction underlying
+//     the Theorem 15/16 amplifications.
+//   - Theorem 15 (lemma19.go, thm15.go): the Ω(k·d·log(d/k)/ε)
+//     indicator bound; Lemma 19 consistency decoding plus an
+//     error-correcting code, then block amplification for small ε.
+//   - Theorem 16 (thm16.go): the Ω̃(k·d·log(d/k)/ε²) estimator bound;
+//     De's L1 (LP) reconstruction over Hadamard-product query matrices,
+//     with the KRSU L2 baseline for contrast.
+//
+// Decoding from an exact oracle checks the construction; decoding from
+// a SUBSAMPLE sketch at the Lemma 9 size demonstrates the theorem's
+// content (the sketch really does carry the payload); decoding from an
+// adversarial-but-valid oracle exercises the slack the definitions
+// permit.
+package lowerbound
+
+import (
+	"repro/internal/core"
+	"repro/internal/dataset"
+	"repro/internal/rng"
+)
+
+// IndicatorOracle abstracts any valid itemset-frequency-indicator
+// sketch (Definitions 1 and 3): the decoders only require Frequent.
+type IndicatorOracle interface {
+	Frequent(t dataset.Itemset) bool
+}
+
+// EstimatorOracle abstracts any valid itemset-frequency-estimator
+// sketch (Definitions 2 and 4).
+type EstimatorOracle interface {
+	Estimate(t dataset.Itemset) float64
+}
+
+// Statically ensure core sketches plug in as oracles.
+var (
+	_ IndicatorOracle = core.Sketch(nil)
+)
+
+// ExactIndicator answers threshold queries from the true database: 1
+// iff f_T ≥ eps. It is the "perfect sketch" witness — any valid
+// indicator sketch must agree with it outside the (ε/2, ε) slack zone.
+type ExactIndicator struct {
+	DB  *dataset.Database
+	Eps float64
+}
+
+// Frequent implements IndicatorOracle.
+func (o ExactIndicator) Frequent(t dataset.Itemset) bool {
+	return o.DB.Frequency(t) >= o.Eps
+}
+
+// AdversarialIndicator is a *valid* indicator oracle that answers as
+// unhelpfully as the definitions allow: forced answers are honored,
+// but any query whose frequency lies in [ε/2, ε] is answered by a
+// deterministic pseudo-random coin. Decoders must survive it; it is
+// the failure-injection half of the test suite.
+type AdversarialIndicator struct {
+	DB   *dataset.Database
+	Eps  float64
+	Seed uint64
+}
+
+// Frequent implements IndicatorOracle.
+func (o AdversarialIndicator) Frequent(t dataset.Itemset) bool {
+	f := o.DB.Frequency(t)
+	if f > o.Eps {
+		return true
+	}
+	if f < o.Eps/2 {
+		return false
+	}
+	// Unforced: answer adversarially-arbitrarily but deterministically,
+	// keyed by the itemset.
+	h := o.Seed
+	for _, a := range t.Attrs() {
+		h = (h ^ uint64(a+1)) * 0x9E3779B97F4A7C15
+		h ^= h >> 29
+	}
+	return h&1 == 1
+}
+
+// ExactEstimator answers estimate queries with the true frequency.
+type ExactEstimator struct {
+	DB *dataset.Database
+}
+
+// Estimate implements EstimatorOracle.
+func (o ExactEstimator) Estimate(t dataset.Itemset) float64 {
+	return o.DB.Frequency(t)
+}
+
+// NoisyEstimator perturbs true frequencies by uniform noise in
+// [−MaxErr, MaxErr] — a generic valid estimator sketch.
+type NoisyEstimator struct {
+	DB     *dataset.Database
+	MaxErr float64
+	Seed   uint64
+}
+
+// Estimate implements EstimatorOracle.
+func (o NoisyEstimator) Estimate(t dataset.Itemset) float64 {
+	f := o.DB.Frequency(t)
+	h := rng.New(o.Seed ^ hashItemset(t))
+	return f + (h.Float64()*2-1)*o.MaxErr
+}
+
+// OutlierEstimator answers most queries within MaxErr but a Fraction of
+// queries (chosen pseudo-randomly per itemset) with error up to
+// OutlierErr. This is the "accurate only on average" adversary of
+// §4.1.1 that breaks L2 reconstruction and motivates De's L1 decoding.
+type OutlierEstimator struct {
+	DB         *dataset.Database
+	MaxErr     float64
+	OutlierErr float64
+	Fraction   float64
+	Seed       uint64
+}
+
+// Estimate implements EstimatorOracle.
+func (o OutlierEstimator) Estimate(t dataset.Itemset) float64 {
+	f := o.DB.Frequency(t)
+	h := rng.New(o.Seed ^ hashItemset(t))
+	if h.Float64() < o.Fraction {
+		return f + (h.Float64()*2-1)*o.OutlierErr
+	}
+	return f + (h.Float64()*2-1)*o.MaxErr
+}
+
+func hashItemset(t dataset.Itemset) uint64 {
+	h := uint64(0x8B1A9953C2611731)
+	for _, a := range t.Attrs() {
+		h = (h ^ uint64(a+1)) * 0x100000001B3
+		h ^= h >> 31
+	}
+	return h
+}
+
+// SketchIndicator adapts a core.Sketch into an IndicatorOracle
+// (the interfaces already match; this exists for documentation value
+// and to hold the conversion in one place).
+func SketchIndicator(s core.Sketch) IndicatorOracle { return s }
+
+// SketchEstimator adapts a core.EstimatorSketch into an EstimatorOracle.
+func SketchEstimator(s core.EstimatorSketch) EstimatorOracle { return s }

@@ -1,0 +1,121 @@
+package lowerbound
+
+import (
+	"fmt"
+
+	"repro/internal/bitvec"
+	"repro/internal/combin"
+	"repro/internal/dataset"
+)
+
+// Thm13 is the executable form of the Theorem 13 encoding argument
+// (and, via the INDEX reduction in internal/comm, of Theorem 14).
+//
+// The hard family: a database over d attributes with m distinct rows.
+// Row i carries a unique (k−1)-subset of the first d/2 attributes (its
+// "address", the colex-rank-i subset) and d/2 free payload bits in the
+// last d/2 attributes. For the k-itemset
+//
+//	T_{i,j} = address_i ∪ {d/2 + j},
+//
+// f_{T_{i,j}} is 1/m when payload bit (i, j) is 1 and 0 otherwise, so
+// any valid indicator sketch at ε < 1/m answers T_{i,j} with exactly
+// that bit: the sketch stores m·d/2 arbitrary bits and must be at
+// least that large. With m = Θ(1/ε) this is the Ω(d/ε) bound.
+type Thm13 struct {
+	d int // total attributes (even)
+	k int // itemset size (≥ 2)
+	m int // number of distinct rows = payload rows
+}
+
+// NewThm13 validates and creates an instance. Requirements (mirroring
+// the theorem's hypotheses): d even, k ≥ 2, and m ≤ C(d/2, k−1) so
+// that every row gets a distinct address.
+func NewThm13(d, k, m int) (*Thm13, error) {
+	if d < 2 || d%2 != 0 {
+		return nil, fmt.Errorf("lowerbound: thm13 needs even d ≥ 2, got %d", d)
+	}
+	if k < 2 {
+		return nil, fmt.Errorf("lowerbound: thm13 needs k ≥ 2, got %d", k)
+	}
+	if m < 1 || int64(m) > combin.Binomial(d/2, k-1) {
+		return nil, fmt.Errorf("lowerbound: thm13 needs 1 ≤ m ≤ C(%d,%d) = %d, got %d",
+			d/2, k-1, combin.Binomial(d/2, k-1), m)
+	}
+	return &Thm13{d: d, k: k, m: m}, nil
+}
+
+// PayloadBits returns the number of arbitrary bits the database
+// encodes: m·(d/2).
+func (t *Thm13) PayloadBits() int { return t.m * t.d / 2 }
+
+// D returns the number of attributes of the hard databases.
+func (t *Thm13) D() int { return t.d }
+
+// K returns the itemset size of the decoding queries.
+func (t *Thm13) K() int { return t.k }
+
+// QueryEps returns the ε at which decoding queries must be asked:
+// any ε with ε < 1/m ≤ … works because present itemsets have
+// frequency exactly 1/m > ε and absent ones 0 < ε/2. We use
+// ε = 1/(m+1) so both indicator answers are forced (no slack-zone
+// ambiguity at f = ε).
+func (t *Thm13) QueryEps() float64 { return 1 / float64(t.m+1) }
+
+// address returns row i's (k−1)-subset of the first d/2 attributes.
+func (t *Thm13) address(i int) []int {
+	return combin.Subset(int64(i), t.d/2, t.k-1)
+}
+
+// Query returns the k-itemset T_{i,j} that probes payload bit (i, j).
+func (t *Thm13) Query(i, j int) dataset.Itemset {
+	if i < 0 || i >= t.m || j < 0 || j >= t.d/2 {
+		panic(fmt.Sprintf("lowerbound: thm13 query (%d,%d) out of range %dx%d", i, j, t.m, t.d/2))
+	}
+	attrs := append(t.address(i), t.d/2+j)
+	return dataset.MustItemset(attrs...)
+}
+
+// Encode builds the hard database for the given payload, duplicating
+// each of the m distinct rows dup ≥ 1 times (the theorem's n ≥ 1/ε
+// scaling; frequencies are invariant under duplication).
+func (t *Thm13) Encode(payload *bitvec.Vector, dup int) (*dataset.Database, error) {
+	if payload.Len() != t.PayloadBits() {
+		return nil, fmt.Errorf("lowerbound: payload %d bits, want %d", payload.Len(), t.PayloadBits())
+	}
+	if dup < 1 {
+		return nil, fmt.Errorf("lowerbound: dup = %d, need ≥ 1", dup)
+	}
+	db := dataset.NewDatabase(t.d)
+	half := t.d / 2
+	for i := 0; i < t.m; i++ {
+		row := bitvec.New(t.d)
+		for _, a := range t.address(i) {
+			row.Set(a)
+		}
+		for j := 0; j < half; j++ {
+			if payload.Get(i*half + j) {
+				row.Set(half + j)
+			}
+		}
+		for c := 0; c < dup; c++ {
+			db.AddRow(row.Clone())
+		}
+	}
+	return db, nil
+}
+
+// Decode reads the payload back from any valid indicator oracle for
+// the encoded database at QueryEps.
+func (t *Thm13) Decode(oracle IndicatorOracle) *bitvec.Vector {
+	half := t.d / 2
+	out := bitvec.New(t.PayloadBits())
+	for i := 0; i < t.m; i++ {
+		for j := 0; j < half; j++ {
+			if oracle.Frequent(t.Query(i, j)) {
+				out.Set(i*half + j)
+			}
+		}
+	}
+	return out
+}

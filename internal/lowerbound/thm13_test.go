@@ -1,0 +1,211 @@
+package lowerbound
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/bitvec"
+	"repro/internal/core"
+	"repro/internal/rng"
+)
+
+func randomBits(r *rng.RNG, n int) *bitvec.Vector {
+	v := bitvec.New(n)
+	for i := 0; i < n; i++ {
+		if r.Bool() {
+			v.Set(i)
+		}
+	}
+	return v
+}
+
+func TestThm13Validation(t *testing.T) {
+	cases := []struct{ d, k, m int }{
+		{7, 2, 2}, // odd d
+		{8, 1, 2}, // k < 2
+		{8, 2, 5}, // m > C(4,1) = 4
+		{8, 2, 0}, // m < 1
+		{8, 5, 2}, // m > C(4,4) = 1
+	}
+	for _, c := range cases {
+		if _, err := NewThm13(c.d, c.k, c.m); err == nil {
+			t.Errorf("NewThm13(%d,%d,%d) should fail", c.d, c.k, c.m)
+		}
+	}
+	if _, err := NewThm13(8, 2, 4); err != nil {
+		t.Errorf("valid instance rejected: %v", err)
+	}
+}
+
+func TestThm13EncodeProperties(t *testing.T) {
+	inst, err := NewThm13(12, 2, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if inst.PayloadBits() != 6*6 {
+		t.Fatalf("PayloadBits = %d, want 36", inst.PayloadBits())
+	}
+	r := rng.New(1)
+	payload := randomBits(r, inst.PayloadBits())
+	db, err := inst.Encode(payload, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if db.NumRows() != 6 || db.NumCols() != 12 {
+		t.Fatalf("db shape %dx%d, want 6x12", db.NumRows(), db.NumCols())
+	}
+	// Query frequencies: exactly 1/m for set bits, 0 for clear.
+	for i := 0; i < 6; i++ {
+		for j := 0; j < 6; j++ {
+			f := db.Frequency(inst.Query(i, j))
+			want := 0.0
+			if payload.Get(i*6 + j) {
+				want = 1.0 / 6
+			}
+			if f != want {
+				t.Fatalf("f(T_{%d,%d}) = %g, want %g", i, j, f, want)
+			}
+		}
+	}
+}
+
+func TestThm13DuplicationInvariance(t *testing.T) {
+	inst, _ := NewThm13(8, 2, 4)
+	r := rng.New(2)
+	payload := randomBits(r, inst.PayloadBits())
+	db1, _ := inst.Encode(payload, 1)
+	db5, _ := inst.Encode(payload, 5)
+	if db5.NumRows() != 5*db1.NumRows() {
+		t.Fatal("duplication should multiply rows")
+	}
+	for i := 0; i < 4; i++ {
+		for j := 0; j < 4; j++ {
+			q := inst.Query(i, j)
+			if db1.Frequency(q) != db5.Frequency(q) {
+				t.Fatal("duplication must not change frequencies")
+			}
+		}
+	}
+}
+
+func TestThm13EncodeErrors(t *testing.T) {
+	inst, _ := NewThm13(8, 2, 4)
+	if _, err := inst.Encode(bitvec.New(5), 1); err == nil {
+		t.Error("wrong payload size should fail")
+	}
+	if _, err := inst.Encode(bitvec.New(inst.PayloadBits()), 0); err == nil {
+		t.Error("dup = 0 should fail")
+	}
+}
+
+func TestThm13DecodeExactAndAdversarial(t *testing.T) {
+	inst, err := NewThm13(16, 3, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := rng.New(3)
+	payload := randomBits(r, inst.PayloadBits())
+	db, err := inst.Encode(payload, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for name, oracle := range map[string]IndicatorOracle{
+		"exact":       ExactIndicator{DB: db, Eps: inst.QueryEps()},
+		"adversarial": AdversarialIndicator{DB: db, Eps: inst.QueryEps(), Seed: 99},
+	} {
+		got := inst.Decode(oracle)
+		if !got.Equal(payload) {
+			t.Errorf("%s oracle: payload not recovered (Hamming %d)", name, got.HammingDistance(payload))
+		}
+	}
+}
+
+// The theorem's content: a valid SUBSAMPLE For-All indicator sketch
+// must carry the whole payload — and therefore must be at least
+// payload-sized.
+func TestThm13DecodeFromSubsampleSketch(t *testing.T) {
+	inst, err := NewThm13(16, 2, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := rng.New(4)
+	payload := randomBits(r, inst.PayloadBits())
+	db, err := inst.Encode(payload, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := core.Params{K: inst.K(), Eps: inst.QueryEps(), Delta: 0.02, Mode: core.ForAll, Task: core.Indicator}
+	sk, err := core.Subsample{Seed: 7}.Sketch(db, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := inst.Decode(sk)
+	if !got.Equal(payload) {
+		t.Fatalf("subsample sketch: payload not recovered (Hamming %d of %d)",
+			got.HammingDistance(payload), payload.Len())
+	}
+	if sk.SizeBits() < int64(inst.PayloadBits()) {
+		t.Fatalf("impossible: sketch of %d bits decoded %d arbitrary bits",
+			sk.SizeBits(), inst.PayloadBits())
+	}
+}
+
+func TestThm13DecodeFromReleaseDB(t *testing.T) {
+	inst, _ := NewThm13(8, 2, 4)
+	r := rng.New(5)
+	payload := randomBits(r, inst.PayloadBits())
+	db, _ := inst.Encode(payload, 1)
+	p := core.Params{K: 2, Eps: inst.QueryEps(), Delta: 0.1, Mode: core.ForAll, Task: core.Indicator}
+	sk, err := core.ReleaseDB{}.Sketch(db, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := inst.Decode(sk); !got.Equal(payload) {
+		t.Fatal("release-db sketch: payload not recovered")
+	}
+}
+
+// Failure injection: a deliberately undersized sample is not a valid
+// sketch and decoding should (usually) corrupt the payload — but it
+// must never panic.
+func TestThm13UndersizedSketchDegrades(t *testing.T) {
+	inst, _ := NewThm13(16, 2, 8)
+	r := rng.New(6)
+	payload := randomBits(r, inst.PayloadBits())
+	db, _ := inst.Encode(payload, 1)
+	p := core.Params{K: 2, Eps: inst.QueryEps(), Delta: 0.1, Mode: core.ForAll, Task: core.Indicator}
+	sk, err := core.Subsample{Seed: 1, SampleOverride: 2}.Sketch(db, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := inst.Decode(sk)
+	if got.Equal(payload) {
+		t.Log("2-row sample happened to decode correctly (unlikely but legal)")
+	}
+}
+
+// Property: Encode/Decode is the identity for random payloads and
+// random valid instances.
+func TestQuickThm13RoundTrip(t *testing.T) {
+	f := func(seed uint32) bool {
+		r := rng.New(uint64(seed))
+		d := 2 * (2 + r.Intn(8)) // 4..18 even
+		k := 2
+		maxM := d / 2 // C(d/2, 1)
+		m := 1 + r.Intn(maxM)
+		inst, err := NewThm13(d, k, m)
+		if err != nil {
+			return false
+		}
+		payload := randomBits(r, inst.PayloadBits())
+		db, err := inst.Encode(payload, 1+r.Intn(3))
+		if err != nil {
+			return false
+		}
+		got := inst.Decode(ExactIndicator{DB: db, Eps: inst.QueryEps()})
+		return got.Equal(payload)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}

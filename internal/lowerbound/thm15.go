@@ -1,0 +1,279 @@
+package lowerbound
+
+import (
+	"fmt"
+
+	"repro/internal/bitvec"
+	"repro/internal/combin"
+	"repro/internal/dataset"
+	"repro/internal/ecc"
+)
+
+// DefaultThm15Eps is the paper's ε = 1/50 for the Theorem 15 core.
+const DefaultThm15Eps = 1.0 / 50
+
+// Thm15 is the executable form of the Theorem 15 core construction
+// (the ε = 1/50 case, which proves Ω(k·d·log(d/k)) for For-All
+// indicator sketches).
+//
+// Construction: with k′ = k−1, d = k′·2^w and v = k′·w, take the
+// Fact 18 shattered strings x₁,…,x_v over the first d attributes and an
+// error-corrected payload encoding (y₁,…,y_v) laid out column-major
+// over the last d attributes; row i of the database is (x_i, y_i).
+// For a pattern s and payload column j, the k-itemset T_s ∪ {d+j} has
+// frequency exactly ⟨s, t⟩/v where t is column j — so a valid indicator
+// sketch answers every such query with the Lemma 19 threshold bit, a
+// consistent vector t′ is within 2⌈εv⌉ of t, and the outer code (our
+// Justesen-code substitution, per-block aligned to whole columns)
+// repairs the residual errors.
+type Thm15 struct {
+	sh   *Shattered
+	code *ecc.Code
+	k    int
+	eps  float64
+}
+
+// NewThm15 builds the instance for itemset size k ≥ 2 and width
+// parameter w ≥ 1 (d = (k−1)·2^w). eps ≤ 0 selects the paper's 1/50.
+func NewThm15(k, w int, eps float64) (*Thm15, error) {
+	if k < 2 {
+		return nil, fmt.Errorf("lowerbound: thm15 needs k ≥ 2, got %d", k)
+	}
+	if w < 1 {
+		return nil, fmt.Errorf("lowerbound: thm15 needs w ≥ 1, got %d", w)
+	}
+	if eps <= 0 {
+		eps = DefaultThm15Eps
+	}
+	kp := k - 1
+	d := kp << uint(w)
+	sh, err := NewShattered(d, kp)
+	if err != nil {
+		return nil, err
+	}
+	v := sh.V()
+	if v > 63 {
+		return nil, fmt.Errorf("lowerbound: thm15 v = %d exceeds 63 (pattern words)", v)
+	}
+	code, err := ecc.NewCodeFitting(d*v, v)
+	if err != nil {
+		return nil, fmt.Errorf("lowerbound: thm15 cannot fit a code into %d×%d cells: %w", d, v, err)
+	}
+	return &Thm15{sh: sh, code: code, k: k, eps: eps}, nil
+}
+
+// PayloadBits returns z, the number of arbitrary bits encoded.
+func (t *Thm15) PayloadBits() int { return t.code.PayloadBits() }
+
+// V returns the number of database rows (the shattered-set size).
+func (t *Thm15) V() int { return t.sh.V() }
+
+// NumCols returns the database width, 2d.
+func (t *Thm15) NumCols() int { return 2 * t.sh.D() }
+
+// K returns the itemset size of decoding queries.
+func (t *Thm15) K() int { return t.k }
+
+// QueryEps returns the ε at which the indicator oracle is queried.
+func (t *Thm15) QueryEps() float64 { return t.eps }
+
+// codewordColumns returns how many payload columns carry codeword bits.
+func (t *Thm15) codewordColumns() int {
+	v := t.sh.V()
+	return (t.code.CodewordBits() + v - 1) / v
+}
+
+// Encode builds the 2d-column, v-row hard database carrying payload.
+func (t *Thm15) Encode(payload *bitvec.Vector) (*dataset.Database, error) {
+	if payload.Len() != t.PayloadBits() {
+		return nil, fmt.Errorf("lowerbound: thm15 payload %d bits, want %d", payload.Len(), t.PayloadBits())
+	}
+	cw, err := t.code.Encode(payload)
+	if err != nil {
+		return nil, err
+	}
+	d, v := t.sh.D(), t.sh.V()
+	db := dataset.NewDatabase(2 * d)
+	for i := 0; i < v; i++ {
+		row := bitvec.New(2 * d)
+		x := t.sh.Row(i)
+		for _, a := range x.Ones() {
+			row.Set(a)
+		}
+		for j := 0; j < d; j++ {
+			pos := j*v + i // column-major codeword layout
+			if pos < cw.Len() && cw.Get(pos) {
+				row.Set(d + j)
+			}
+		}
+		db.AddRow(row)
+	}
+	return db, nil
+}
+
+// Query returns the k-itemset probing pattern s against payload column j.
+func (t *Thm15) Query(s uint64, j int) dataset.Itemset {
+	return t.sh.TsUint(s).Union(dataset.MustItemset(t.sh.D() + j))
+}
+
+// Decode recovers the payload from any valid indicator oracle at
+// QueryEps. Per column it gathers all 2^v threshold bits, finds a
+// Lemma 19-consistent vector, and finally ECC-decodes the assembled
+// codeword.
+func (t *Thm15) Decode(oracle IndicatorOracle) (*bitvec.Vector, error) {
+	v := t.sh.V()
+	cw := bitvec.New(t.code.CodewordBits())
+	bs := make([]bool, 1<<uint(v))
+	for j := 0; j < t.codewordColumns(); j++ {
+		for s := range bs {
+			bs[s] = oracle.Frequent(t.Query(uint64(s), j))
+		}
+		tPrime, err := Lemma19Decode(bs, v, t.eps)
+		if err != nil {
+			return nil, fmt.Errorf("lowerbound: thm15 column %d: %w", j, err)
+		}
+		for i := 0; i < v; i++ {
+			pos := j*v + i
+			if pos >= cw.Len() {
+				break
+			}
+			cw.SetBool(pos, tPrime>>uint(i)&1 == 1)
+		}
+	}
+	return t.code.Decode(cw)
+}
+
+// Thm15Amplified is the ε = o(1) amplification of Theorem 15: m
+// independent core databases are tagged with distinct ((k−1)/2)-subsets
+// on a third attribute segment and concatenated. A single For-All
+// indicator sketch of the big database at ε = 1/(50m) answers, for
+// every block i, all core queries on block i at threshold 1/50 — so it
+// encodes m payloads at once, multiplying the lower bound by 1/ε.
+// k must be odd and ≥ 3 (the paper's hypothesis).
+type Thm15Amplified struct {
+	core *Thm15
+	m    int
+	k    int
+}
+
+// NewThm15Amplified builds the amplified instance: overall query size
+// k (odd, ≥ 3), core width parameter w, and m ≥ 1 blocks.
+func NewThm15Amplified(k, w, m int) (*Thm15Amplified, error) {
+	if k < 3 || k%2 == 0 {
+		return nil, fmt.Errorf("lowerbound: amplified thm15 needs odd k ≥ 3, got %d", k)
+	}
+	if m < 1 {
+		return nil, fmt.Errorf("lowerbound: amplified thm15 needs m ≥ 1, got %d", m)
+	}
+	kCore := (k + 1) / 2
+	core, err := NewThm15(kCore, w, DefaultThm15Eps)
+	if err != nil {
+		return nil, err
+	}
+	d := core.sh.D()
+	tagSize := (k - 1) / 2
+	if int64(m) > combin.Binomial(d, tagSize) {
+		return nil, fmt.Errorf("lowerbound: amplified thm15 needs m ≤ C(%d,%d) = %d, got %d",
+			d, tagSize, combin.Binomial(d, tagSize), m)
+	}
+	return &Thm15Amplified{core: core, m: m, k: k}, nil
+}
+
+// Blocks returns m, the number of concatenated core databases.
+func (a *Thm15Amplified) Blocks() int { return a.m }
+
+// Core returns the underlying ε = 1/50 instance.
+func (a *Thm15Amplified) Core() *Thm15 { return a.core }
+
+// PayloadBits returns m × core payload.
+func (a *Thm15Amplified) PayloadBits() int { return a.m * a.core.PayloadBits() }
+
+// NumCols returns the database width, 3d.
+func (a *Thm15Amplified) NumCols() int { return 3 * a.core.sh.D() }
+
+// NumRows returns m·v.
+func (a *Thm15Amplified) NumRows() int { return a.m * a.core.V() }
+
+// K returns the overall query itemset size.
+func (a *Thm15Amplified) K() int { return a.k }
+
+// QueryEps returns ε = 1/(50·m): the sub-constant precision the big
+// sketch must be built for.
+func (a *Thm15Amplified) QueryEps() float64 { return DefaultThm15Eps / float64(a.m) }
+
+// tag returns block i's ((k−1)/2)-subset of [d] (colex-unranked).
+func (a *Thm15Amplified) tag(i int) []int {
+	return combin.Subset(int64(i), a.core.sh.D(), (a.k-1)/2)
+}
+
+// Encode builds the 3d-column, m·v-row amplified database.
+func (a *Thm15Amplified) Encode(payload *bitvec.Vector) (*dataset.Database, error) {
+	if payload.Len() != a.PayloadBits() {
+		return nil, fmt.Errorf("lowerbound: amplified payload %d bits, want %d", payload.Len(), a.PayloadBits())
+	}
+	d := a.core.sh.D()
+	per := a.core.PayloadBits()
+	db := dataset.NewDatabase(3 * d)
+	for i := 0; i < a.m; i++ {
+		sub := bitvec.New(per)
+		for b := 0; b < per; b++ {
+			if payload.Get(i*per + b) {
+				sub.Set(b)
+			}
+		}
+		coreDB, err := a.core.Encode(sub)
+		if err != nil {
+			return nil, err
+		}
+		tag := a.tag(i)
+		for r := 0; r < coreDB.NumRows(); r++ {
+			row := bitvec.New(3 * d)
+			for _, c := range coreDB.Row(r).Ones() {
+				row.Set(c)
+			}
+			for _, tc := range tag {
+				row.Set(2*d + tc)
+			}
+			db.AddRow(row)
+		}
+	}
+	return db, nil
+}
+
+// blockOracle exposes core queries on block i through the big oracle.
+type blockOracle struct {
+	outer IndicatorOracle
+	tagIt dataset.Itemset // T′_i ⊆ [2d, 3d)
+}
+
+// Frequent maps a core (k+1)/2-itemset T* ⊆ [2d] to T* ∪ T′_i and
+// forwards it. f_{T*∪T′_i}(D) = f_{T*}(D_i)/m, so the big oracle at
+// ε = 1/(50m) answers exactly the core threshold question at 1/50.
+func (b blockOracle) Frequent(t dataset.Itemset) bool {
+	return b.outer.Frequent(t.Union(b.tagIt))
+}
+
+// Decode recovers all m payload blocks from any valid indicator
+// oracle for the amplified database at QueryEps.
+func (a *Thm15Amplified) Decode(oracle IndicatorOracle) (*bitvec.Vector, error) {
+	d := a.core.sh.D()
+	per := a.core.PayloadBits()
+	out := bitvec.New(a.PayloadBits())
+	for i := 0; i < a.m; i++ {
+		attrs := make([]int, 0, (a.k-1)/2)
+		for _, tc := range a.tag(i) {
+			attrs = append(attrs, 2*d+tc)
+		}
+		blk := blockOracle{outer: oracle, tagIt: dataset.MustItemset(attrs...)}
+		sub, err := a.core.Decode(blk)
+		if err != nil {
+			return nil, fmt.Errorf("lowerbound: amplified block %d: %w", i, err)
+		}
+		for b := 0; b < per; b++ {
+			if sub.Get(b) {
+				out.Set(i*per + b)
+			}
+		}
+	}
+	return out, nil
+}

@@ -1,0 +1,254 @@
+package lowerbound
+
+import (
+	"testing"
+
+	"repro/internal/bitvec"
+	"repro/internal/core"
+	"repro/internal/dataset"
+	"repro/internal/rng"
+)
+
+func TestThm15Validation(t *testing.T) {
+	if _, err := NewThm15(1, 4, 0); err == nil {
+		t.Error("k < 2 should fail")
+	}
+	if _, err := NewThm15(2, 0, 0); err == nil {
+		t.Error("w < 1 should fail")
+	}
+	if _, err := NewThm15(2, 1, 0); err == nil {
+		t.Error("d·v too small for any code block should fail")
+	}
+}
+
+func TestThm15Shape(t *testing.T) {
+	// k=2, w=6: k'=1, d=64, v=6, budget 384 bits.
+	inst, err := NewThm15(2, 6, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if inst.V() != 6 || inst.NumCols() != 128 || inst.K() != 2 {
+		t.Fatalf("shape: v=%d cols=%d k=%d", inst.V(), inst.NumCols(), inst.K())
+	}
+	if inst.PayloadBits() <= 0 {
+		t.Fatal("payload must be positive")
+	}
+	if inst.QueryEps() != DefaultThm15Eps {
+		t.Fatalf("eps = %g", inst.QueryEps())
+	}
+}
+
+func TestThm15FrequencyIdentity(t *testing.T) {
+	// The heart of the construction: f_{T_s ∪ {d+j}}(D) = ⟨s, t⟩/v.
+	inst, err := NewThm15(2, 5, 0) // d=32, v=5
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := rng.New(20)
+	payload := randomBits(r, inst.PayloadBits())
+	db, err := inst.Encode(payload)
+	if err != nil {
+		t.Fatal(err)
+	}
+	v := inst.V()
+	d := inst.NumCols() / 2
+	for j := 0; j < 8; j++ { // spot-check 8 columns
+		// column bits t
+		var tv uint64
+		for i := 0; i < v; i++ {
+			if db.Row(i).Get(d + j) {
+				tv |= 1 << uint(i)
+			}
+		}
+		for s := uint64(0); s < 1<<uint(v); s++ {
+			want := float64(popcount(tv&s)) / float64(v)
+			got := db.Frequency(inst.Query(s, j))
+			if got != want {
+				t.Fatalf("col %d pattern %b: f = %g, want %g", j, s, got, want)
+			}
+		}
+	}
+}
+
+func popcount(x uint64) int {
+	c := 0
+	for x != 0 {
+		x &= x - 1
+		c++
+	}
+	return c
+}
+
+func TestThm15RoundTripOracles(t *testing.T) {
+	inst, err := NewThm15(2, 6, 0) // d=64, v=6, payload from 384-bit budget
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := rng.New(21)
+	payload := randomBits(r, inst.PayloadBits())
+	db, err := inst.Encode(payload)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for name, oracle := range map[string]IndicatorOracle{
+		"exact":       ExactIndicator{DB: db, Eps: inst.QueryEps()},
+		"adversarial": AdversarialIndicator{DB: db, Eps: inst.QueryEps(), Seed: 3},
+	} {
+		got, err := inst.Decode(oracle)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if !got.Equal(payload) {
+			t.Errorf("%s oracle: payload not recovered", name)
+		}
+	}
+}
+
+func TestThm15RoundTripK3(t *testing.T) {
+	// k=3 uses 2-attribute shattered itemsets (k'=2).
+	inst, err := NewThm15(3, 4, 0) // k'=2, d=32, v=8
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := rng.New(22)
+	payload := randomBits(r, inst.PayloadBits())
+	db, err := inst.Encode(payload)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := inst.Decode(ExactIndicator{DB: db, Eps: inst.QueryEps()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !got.Equal(payload) {
+		t.Fatal("k=3 payload not recovered")
+	}
+}
+
+func TestThm15DecodeFromSubsampleSketch(t *testing.T) {
+	inst, err := NewThm15(2, 5, 0) // d=32, 2d=64 cols, v=5
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := rng.New(23)
+	payload := randomBits(r, inst.PayloadBits())
+	db, err := inst.Encode(payload)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := core.Params{K: inst.K(), Eps: inst.QueryEps(), Delta: 0.02, Mode: core.ForAll, Task: core.Indicator}
+	sk, err := core.Subsample{Seed: 17}.Sketch(db, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := inst.Decode(sk)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !got.Equal(payload) {
+		t.Fatalf("subsample sketch: payload not recovered (Hamming %d)", got.HammingDistance(payload))
+	}
+	if sk.SizeBits() < int64(inst.PayloadBits()) {
+		t.Fatalf("impossible: %d-bit sketch decoded %d arbitrary bits", sk.SizeBits(), inst.PayloadBits())
+	}
+}
+
+func TestThm15EncodeErrors(t *testing.T) {
+	inst, _ := NewThm15(2, 5, 0)
+	if _, err := inst.Encode(bitvec.New(inst.PayloadBits() + 1)); err == nil {
+		t.Error("wrong payload size should fail")
+	}
+}
+
+func TestThm15AmplifiedValidation(t *testing.T) {
+	if _, err := NewThm15Amplified(2, 5, 2); err == nil {
+		t.Error("even k should fail")
+	}
+	if _, err := NewThm15Amplified(1, 5, 2); err == nil {
+		t.Error("k = 1 should fail")
+	}
+	if _, err := NewThm15Amplified(3, 5, 0); err == nil {
+		t.Error("m = 0 should fail")
+	}
+	if _, err := NewThm15Amplified(3, 5, 100); err == nil {
+		t.Error("m > C(d, 1) should fail")
+	}
+}
+
+func TestThm15AmplifiedRoundTrip(t *testing.T) {
+	// k=3 → core k=2 with d=32, v=5; m=3 blocks; ε = 1/150.
+	amp, err := NewThm15Amplified(3, 5, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if amp.PayloadBits() != 3*amp.Core().PayloadBits() {
+		t.Fatal("amplified payload should be m × core payload")
+	}
+	if amp.NumCols() != 96 || amp.NumRows() != 15 {
+		t.Fatalf("shape %dx%d, want 15x96", amp.NumRows(), amp.NumCols())
+	}
+	wantEps := DefaultThm15Eps / 3
+	if amp.QueryEps() != wantEps {
+		t.Fatalf("eps = %g, want %g", amp.QueryEps(), wantEps)
+	}
+	r := rng.New(24)
+	payload := randomBits(r, amp.PayloadBits())
+	db, err := amp.Encode(payload)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for name, oracle := range map[string]IndicatorOracle{
+		"exact":       ExactIndicator{DB: db, Eps: amp.QueryEps()},
+		"adversarial": AdversarialIndicator{DB: db, Eps: amp.QueryEps(), Seed: 5},
+	} {
+		got, err := amp.Decode(oracle)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if !got.Equal(payload) {
+			t.Errorf("%s oracle: amplified payload not recovered", name)
+		}
+	}
+}
+
+func TestThm15AmplifiedFrequencyScaling(t *testing.T) {
+	// f_{T* ∪ T'_i}(D) must equal f_{T*}(D_i)/m.
+	amp, err := NewThm15Amplified(3, 5, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := rng.New(25)
+	payload := randomBits(r, amp.PayloadBits())
+	db, err := amp.Encode(payload)
+	if err != nil {
+		t.Fatal(err)
+	}
+	core := amp.Core()
+	// Reconstruct block 0's database independently for comparison.
+	sub := bitvec.New(core.PayloadBits())
+	for b := 0; b < core.PayloadBits(); b++ {
+		if payload.Get(b) {
+			sub.Set(b)
+		}
+	}
+	blockDB, err := core.Encode(sub)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := core.NumCols() / 2
+	_ = d
+	v := core.V()
+	for s := uint64(0); s < 8; s++ {
+		for j := 0; j < 4; j++ {
+			tStar := core.Query(s, j)
+			attrs := append([]int{}, tStar.Attrs()...)
+			// tag of block 0 = colex subset 0 = {0} shifted by 2d
+			attrs = append(attrs, 2*(core.NumCols()/2)+0)
+			big := db.Frequency(dataset.MustItemset(attrs...))
+			small := blockDB.Frequency(tStar)
+			if big*2 != small {
+				t.Fatalf("scaling: m·f_big = %g, f_block = %g (s=%b j=%d v=%d)", big*2, small, s, j, v)
+			}
+		}
+	}
+}

@@ -1,0 +1,271 @@
+package lowerbound
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/bitvec"
+	"repro/internal/dataset"
+	"repro/internal/ecc"
+	"repro/internal/linalg"
+	"repro/internal/lp"
+	"repro/internal/rng"
+)
+
+// De is the executable form of the Theorem 16 machinery (Lemmas 20,
+// 24, 25, built on KRSU [KRSU10] and De [De12]).
+//
+// Fix k ≥ 2 and draw k−1 random 0/1 matrices A_1,…,A_{k−1} ∈
+// {0,1}^{d0×n}. Their Hadamard (row-tensor) product A ∈
+// {0,1}^{d0^{k−1}×n} is, with high probability, far from singular and
+// its range is a Euclidean section (Rudelson's Lemma 26) — which makes
+// the linear map y ↦ A·y invertible from *approximate* data.
+//
+// The database D0 has n rows, row j being the concatenation of column
+// j of every A_t. Appending a secret column y yields D1(y), and for
+// every index tuple (i_1,…,i_{k−1}) the k-itemset
+//
+//	T = {t·d0 + i_t : t} ∪ {payload column}
+//
+// has frequency (A·y)_r / n. A valid For-All estimator sketch
+// therefore hands the decoder the vector A·y with entrywise error
+// ≤ n·ε, and L1 minimization (De's LP decoding, robust to a γ fraction
+// of answers with much larger error) recovers y. Lemma 25 extends this
+// to d0 payload columns holding an error-corrected encoding of an
+// arbitrary payload, giving the Ω̃(d/ε²) bound; the Theorem 16 outer
+// amplification multiplies it by k·log(d/k) exactly as in Theorem 15.
+type De struct {
+	d0, n, k int
+	mats     []*linalg.Matrix
+	a        *linalg.Matrix
+	code     *ecc.Code
+}
+
+// NewDe draws the random matrices from seed and prepares the instance.
+// k ≥ 2; d0^(k−1) is the number of queries per payload column, so keep
+// d0 and k small together.
+func NewDe(d0, n, k int, seed uint64) (*De, error) {
+	if k < 2 {
+		return nil, fmt.Errorf("lowerbound: de needs k ≥ 2, got %d", k)
+	}
+	if d0 < 2 || n < 2 {
+		return nil, fmt.Errorf("lowerbound: de needs d0, n ≥ 2, got %d, %d", d0, n)
+	}
+	rows := 1
+	for t := 0; t < k-1; t++ {
+		rows *= d0
+		if rows > 1<<20 {
+			return nil, fmt.Errorf("lowerbound: de query count d0^(k-1) too large")
+		}
+	}
+	r := rng.New(seed)
+	mats := make([]*linalg.Matrix, k-1)
+	for t := range mats {
+		m := linalg.NewMatrix(d0, n)
+		for i := range m.Data {
+			if r.Bool() {
+				m.Data[i] = 1
+			}
+		}
+		mats[t] = m
+	}
+	a := linalg.HadamardProduct(mats...)
+	code, err := ecc.NewCodeFitting(d0*n, n)
+	if err != nil {
+		return nil, fmt.Errorf("lowerbound: de cannot fit code into %d×%d cells: %w", d0, n, err)
+	}
+	return &De{d0: d0, n: n, k: k, mats: mats, a: a, code: code}, nil
+}
+
+// A returns the Hadamard-product query matrix (read-only).
+func (de *De) A() *linalg.Matrix { return de.a }
+
+// N returns the number of database rows.
+func (de *De) N() int { return de.n }
+
+// QueryRows returns d0^(k−1), the number of queries per payload column.
+func (de *De) QueryRows() int { return de.a.R }
+
+// PayloadBits returns the Lemma 25 payload size.
+func (de *De) PayloadBits() int { return de.code.PayloadBits() }
+
+// NumCols returns the Lemma 25 database width, (k−1)·d0 + d0 = k·d0.
+func (de *De) NumCols() int { return de.k * de.d0 }
+
+// K returns the query itemset size.
+func (de *De) K() int { return de.k }
+
+// baseCols returns the width of D0, (k−1)·d0.
+func (de *De) baseCols() int { return (de.k - 1) * de.d0 }
+
+// baseRow returns row j of D0 as a bit vector over width cols.
+func (de *De) baseRow(j, width int) *bitvec.Vector {
+	row := bitvec.New(width)
+	for t, m := range de.mats {
+		for i := 0; i < de.d0; i++ {
+			if m.At(i, j) == 1 {
+				row.Set(t*de.d0 + i)
+			}
+		}
+	}
+	return row
+}
+
+// Query returns the k-itemset for Hadamard row r and payload column c
+// (c indexes the payload segment; pass 0 for the Lemma 24 single
+// column).
+func (de *De) Query(r, c int) dataset.Itemset {
+	attrs := make([]int, 0, de.k)
+	// Decode r into the index tuple, last factor least significant —
+	// matching linalg.HadamardProduct's row order.
+	for t := de.k - 2; t >= 0; t-- {
+		attrs = append(attrs, t*de.d0+r%de.d0)
+		r /= de.d0
+	}
+	attrs = append(attrs, de.baseCols()+c)
+	return dataset.MustItemset(attrs...)
+}
+
+// EncodeColumn builds the Lemma 24 database D1(y): D0 plus the single
+// secret column y (length n).
+func (de *De) EncodeColumn(y *bitvec.Vector) (*dataset.Database, error) {
+	if y.Len() != de.n {
+		return nil, fmt.Errorf("lowerbound: de column length %d, want %d", y.Len(), de.n)
+	}
+	width := de.baseCols() + 1
+	db := dataset.NewDatabase(width)
+	for j := 0; j < de.n; j++ {
+		row := de.baseRow(j, width)
+		if y.Get(j) {
+			row.Set(width - 1)
+		}
+		db.AddRow(row)
+	}
+	return db, nil
+}
+
+// gather collects n·Estimate for every Hadamard row against payload
+// column c.
+func (de *De) gather(oracle EstimatorOracle, c int) []float64 {
+	b := make([]float64, de.QueryRows())
+	for r := range b {
+		b[r] = float64(de.n) * oracle.Estimate(de.Query(r, c))
+	}
+	return b
+}
+
+// DecodeColumnL1 reconstructs the secret column from any valid
+// estimator oracle by De's LP decoding:
+// argmin_{x∈[0,1]^n} ‖A·x − b‖₁, rounded to bits.
+func (de *De) DecodeColumnL1(oracle EstimatorOracle, c int) (*bitvec.Vector, error) {
+	b := de.gather(oracle, c)
+	x, _, err := lp.L1Regression(de.a, b)
+	if err != nil {
+		return nil, fmt.Errorf("lowerbound: de L1 decode: %w", err)
+	}
+	return roundBits(x), nil
+}
+
+// DecodeColumnL2 is the KRSU-style baseline: least-squares
+// reconstruction (pseudo-inverse). It matches L1 under uniformly
+// bounded error but is dragged arbitrarily far by a few outlier
+// answers — the contrast §4.1.1 draws.
+func (de *De) DecodeColumnL2(oracle EstimatorOracle, c int) (*bitvec.Vector, error) {
+	b := de.gather(oracle, c)
+	x, err := linalg.LeastSquares(de.a, b, 1e-9)
+	if err != nil {
+		return nil, fmt.Errorf("lowerbound: de L2 decode: %w", err)
+	}
+	return roundBits(x), nil
+}
+
+func roundBits(x []float64) *bitvec.Vector {
+	v := bitvec.New(len(x))
+	for i, f := range x {
+		if f >= 0.5 {
+			v.Set(i)
+		}
+	}
+	return v
+}
+
+// Encode builds the Lemma 25 database D2(payload): D0 plus d0 payload
+// columns carrying the error-corrected encoding of payload
+// (column-major, column c = codeword bits [c·n, (c+1)·n)).
+func (de *De) Encode(payload *bitvec.Vector) (*dataset.Database, error) {
+	if payload.Len() != de.PayloadBits() {
+		return nil, fmt.Errorf("lowerbound: de payload %d bits, want %d", payload.Len(), de.PayloadBits())
+	}
+	cw, err := de.code.Encode(payload)
+	if err != nil {
+		return nil, err
+	}
+	width := de.NumCols()
+	db := dataset.NewDatabase(width)
+	for j := 0; j < de.n; j++ {
+		row := de.baseRow(j, width)
+		for c := 0; c < de.d0; c++ {
+			pos := c*de.n + j
+			if pos < cw.Len() && cw.Get(pos) {
+				row.Set(de.baseCols() + c)
+			}
+		}
+		db.AddRow(row)
+	}
+	return db, nil
+}
+
+// Decode runs the full Lemma 25 reconstruction: L1-decode every
+// payload column, reassemble the codeword, and ECC-decode. Columns
+// align with ECC blocks, so a bounded fraction of wrong columns per
+// block is repaired.
+func (de *De) Decode(oracle EstimatorOracle) (*bitvec.Vector, error) {
+	cw := bitvec.New(de.code.CodewordBits())
+	cols := (cw.Len() + de.n - 1) / de.n
+	for c := 0; c < cols; c++ {
+		col, err := de.DecodeColumnL1(oracle, c)
+		if err != nil {
+			return nil, err
+		}
+		for j := 0; j < de.n; j++ {
+			pos := c*de.n + j
+			if pos >= cw.Len() {
+				break
+			}
+			cw.SetBool(pos, col.Get(j))
+		}
+	}
+	return de.code.Decode(cw)
+}
+
+// ConditionReport summarizes the Lemma 26 quantities for the drawn
+// matrices: the smallest singular value of A against the √(d0^(k−1))
+// prediction, and an empirical lower bound on the Euclidean-section
+// ratio of range(A).
+type ConditionReport struct {
+	MinSingular     float64
+	PredictedSigma  float64 // √(d0^(k−1))
+	SectionRatioMin float64 // min over sampled y of ‖Ay‖₁/(√z‖Ay‖₂)
+}
+
+// Condition measures the Lemma 26 quantities with `trials` random
+// probes of the section ratio.
+func (de *De) Condition(trials int, seed uint64) ConditionReport {
+	rep := ConditionReport{
+		MinSingular:     linalg.MinSingularValue(de.a),
+		PredictedSigma:  math.Sqrt(float64(de.QueryRows())),
+		SectionRatioMin: math.Inf(1),
+	}
+	r := rng.New(seed)
+	for i := 0; i < trials; i++ {
+		y := make([]float64, de.n)
+		for j := range y {
+			y[j] = r.Float64()*2 - 1
+		}
+		ratio := linalg.SectionRatio(de.a.MulVec(y))
+		if ratio < rep.SectionRatioMin {
+			rep.SectionRatioMin = ratio
+		}
+	}
+	return rep
+}

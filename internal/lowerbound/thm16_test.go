@@ -1,0 +1,226 @@
+package lowerbound
+
+import (
+	"testing"
+
+	"repro/internal/bitvec"
+	"repro/internal/core"
+	"repro/internal/rng"
+)
+
+func TestDeValidation(t *testing.T) {
+	if _, err := NewDe(8, 8, 1, 1); err == nil {
+		t.Error("k < 2 should fail")
+	}
+	if _, err := NewDe(1, 8, 2, 1); err == nil {
+		t.Error("d0 < 2 should fail")
+	}
+	if _, err := NewDe(8, 1, 2, 1); err == nil {
+		t.Error("n < 2 should fail")
+	}
+	if _, err := NewDe(1024, 8, 4, 1); err == nil {
+		t.Error("d0^(k-1) overflow should fail")
+	}
+}
+
+func TestDeQueryFrequencyIdentity(t *testing.T) {
+	// f_T(D1(y)) must equal (A·y)_r / n for every Hadamard row r.
+	de, err := NewDe(6, 8, 3, 42) // two factor matrices, 36 query rows
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := rng.New(30)
+	y := randomBits(r, de.N())
+	db, err := de.EncodeColumn(y)
+	if err != nil {
+		t.Fatal(err)
+	}
+	yf := make([]float64, de.N())
+	for j := 0; j < de.N(); j++ {
+		if y.Get(j) {
+			yf[j] = 1
+		}
+	}
+	ay := de.A().MulVec(yf)
+	for row := 0; row < de.QueryRows(); row++ {
+		want := ay[row] / float64(de.N())
+		got := db.Frequency(de.Query(row, 0))
+		if got != want {
+			t.Fatalf("row %d: f = %g, want %g", row, got, want)
+		}
+	}
+}
+
+func TestDeL1ExactOracle(t *testing.T) {
+	de, err := NewDe(16, 8, 2, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := rng.New(31)
+	y := randomBits(r, de.N())
+	db, err := de.EncodeColumn(y)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := de.DecodeColumnL1(ExactEstimator{DB: db}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !got.Equal(y) {
+		t.Fatalf("exact oracle: column not recovered (Hamming %d)", got.HammingDistance(y))
+	}
+}
+
+func TestDeL1NoisyOracle(t *testing.T) {
+	// Uniformly bounded noise with n·ε < 1/2 leaves rounding exact for
+	// a well-conditioned A.
+	de, err := NewDe(16, 8, 2, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := rng.New(32)
+	y := randomBits(r, de.N())
+	db, err := de.EncodeColumn(y)
+	if err != nil {
+		t.Fatal(err)
+	}
+	eps := 0.4 / float64(de.N())
+	got, err := de.DecodeColumnL1(NoisyEstimator{DB: db, MaxErr: eps, Seed: 5}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !got.Equal(y) {
+		t.Fatalf("noisy oracle: column not recovered (Hamming %d)", got.HammingDistance(y))
+	}
+}
+
+func TestDeL1SurvivesOutliersL2Breaks(t *testing.T) {
+	// The §4.1.1 contrast: a small fraction of wildly wrong answers.
+	de, err := NewDe(24, 8, 2, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := rng.New(33)
+	y := randomBits(r, de.N())
+	db, err := de.EncodeColumn(y)
+	if err != nil {
+		t.Fatal(err)
+	}
+	oracle := OutlierEstimator{
+		DB:         db,
+		MaxErr:     0.2 / float64(de.N()),
+		OutlierErr: 1.0, // garbage answers
+		Fraction:   0.08,
+		Seed:       6,
+	}
+	l1, err := de.DecodeColumnL1(oracle, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	l2, err := de.DecodeColumnL2(oracle, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d1 := l1.HammingDistance(y)
+	d2 := l2.HammingDistance(y)
+	if d1 != 0 {
+		t.Errorf("L1 should recover exactly despite outliers; Hamming %d", d1)
+	}
+	if d2 <= d1 {
+		t.Errorf("expected L2 to break under outliers: L1=%d L2=%d", d1, d2)
+	}
+}
+
+func TestDeLemma25RoundTrip(t *testing.T) {
+	de, err := NewDe(24, 16, 2, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if de.PayloadBits() <= 0 {
+		t.Fatal("payload must be positive")
+	}
+	r := rng.New(34)
+	payload := randomBits(r, de.PayloadBits())
+	db, err := de.Encode(payload)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if db.NumCols() != de.NumCols() || db.NumRows() != de.N() {
+		t.Fatalf("shape %dx%d", db.NumRows(), db.NumCols())
+	}
+	got, err := de.Decode(ExactEstimator{DB: db})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !got.Equal(payload) {
+		t.Fatal("Lemma 25 payload not recovered from exact oracle")
+	}
+	// Noisy oracle within the estimator guarantee.
+	eps := 0.3 / float64(de.N())
+	got2, err := de.Decode(NoisyEstimator{DB: db, MaxErr: eps, Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !got2.Equal(payload) {
+		t.Fatal("Lemma 25 payload not recovered from noisy oracle")
+	}
+}
+
+func TestDeDecodeFromSubsampleSketch(t *testing.T) {
+	// The Theorem 16 content: a valid For-All estimator SUBSAMPLE
+	// sketch at precision ε carries the whole payload.
+	de, err := NewDe(24, 12, 2, 11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := rng.New(35)
+	payload := randomBits(r, de.PayloadBits())
+	db, err := de.Encode(payload)
+	if err != nil {
+		t.Fatal(err)
+	}
+	eps := 0.2 / float64(de.N()) // n·ε ≤ 0.2 per answer
+	p := core.Params{K: de.K(), Eps: eps, Delta: 0.05, Mode: core.ForAll, Task: core.Estimator}
+	sk, err := core.Subsample{Seed: 19}.Sketch(db, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := de.Decode(sk.(core.EstimatorSketch))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !got.Equal(payload) {
+		t.Fatalf("subsample estimator sketch: payload not recovered (Hamming %d of %d)",
+			got.HammingDistance(payload), payload.Len())
+	}
+	if sk.SizeBits() < int64(de.PayloadBits()) {
+		t.Fatalf("impossible: %d-bit sketch decoded %d arbitrary bits", sk.SizeBits(), de.PayloadBits())
+	}
+}
+
+func TestDeCondition(t *testing.T) {
+	de, err := NewDe(16, 8, 2, 12)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep := de.Condition(50, 13)
+	if rep.MinSingular <= 0 {
+		t.Errorf("σ_min = %g, want > 0", rep.MinSingular)
+	}
+	if rep.PredictedSigma != 4 {
+		t.Errorf("predicted σ = %g, want 4", rep.PredictedSigma)
+	}
+	if rep.SectionRatioMin <= 0 || rep.SectionRatioMin > 1 {
+		t.Errorf("section ratio %g out of (0,1]", rep.SectionRatioMin)
+	}
+}
+
+func TestDeEncodeErrors(t *testing.T) {
+	de, _ := NewDe(16, 8, 2, 14)
+	if _, err := de.EncodeColumn(bitvec.New(de.N() + 1)); err == nil {
+		t.Error("wrong column length should fail")
+	}
+	if _, err := de.Encode(bitvec.New(de.PayloadBits() + 1)); err == nil {
+		t.Error("wrong payload length should fail")
+	}
+}

@@ -1,0 +1,207 @@
+package lowerbound
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/bitvec"
+	"repro/internal/rng"
+)
+
+func TestLemma21ExactEstimates(t *testing.T) {
+	// With exact inner products the LP recovers z up to LP tolerance.
+	r := rng.New(40)
+	for trial := 0; trial < 5; trial++ {
+		v := 3 + trial%3
+		z := make([]float64, v)
+		for j := range z {
+			z[j] = r.Float64()
+		}
+		fhat := make([]float64, 1<<uint(v))
+		for s := range fhat {
+			sum := 0.0
+			for j := 0; j < v; j++ {
+				if s>>uint(j)&1 == 1 {
+					sum += z[j]
+				}
+			}
+			fhat[s] = sum / float64(v)
+		}
+		zhat, dev, err := Lemma21Solve(fhat, v)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if dev > 1e-7 {
+			t.Fatalf("max deviation %g for exact input", dev)
+		}
+		for j := range z {
+			if math.Abs(zhat[j]-z[j]) > 1e-6 {
+				t.Fatalf("zhat[%d] = %g, want %g", j, zhat[j], z[j])
+			}
+		}
+	}
+}
+
+func TestLemma21NoisyWithinBound(t *testing.T) {
+	// ±ε estimates: the returned ẑ must satisfy the Lemma 21 guarantee
+	// (1/v)·‖ẑ − z‖₁ ≤ 4ε.
+	r := rng.New(41)
+	const v = 5
+	const eps = 0.02
+	for trial := 0; trial < 5; trial++ {
+		z := make([]float64, v)
+		for j := range z {
+			if r.Bool() {
+				z[j] = 1
+			}
+		}
+		fhat := make([]float64, 1<<uint(v))
+		for s := range fhat {
+			sum := 0.0
+			for j := 0; j < v; j++ {
+				if s>>uint(j)&1 == 1 {
+					sum += z[j]
+				}
+			}
+			fhat[s] = sum/float64(v) + (r.Float64()*2-1)*eps
+		}
+		zhat, dev, err := Lemma21Solve(fhat, v)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if dev > eps+1e-9 {
+			t.Fatalf("LP max deviation %g exceeds eps %g (truth is feasible at eps)", dev, eps)
+		}
+		l1 := 0.0
+		for j := range z {
+			l1 += math.Abs(zhat[j] - z[j])
+		}
+		if l1/float64(v) > 4*eps {
+			t.Fatalf("(1/v)||zhat-z||_1 = %g exceeds 4 eps = %g", l1/float64(v), 4*eps)
+		}
+	}
+}
+
+func TestLemma21Validation(t *testing.T) {
+	if _, _, err := Lemma21Solve(make([]float64, 4), 3); err == nil {
+		t.Error("wrong estimate count should fail")
+	}
+	if _, _, err := Lemma21Solve(make([]float64, 2), 0); err == nil {
+		t.Error("v = 0 should fail")
+	}
+}
+
+func TestThm16AmplifiedValidation(t *testing.T) {
+	if _, err := NewThm16Amplified(1, 0, 8, 8, 2, 1); err == nil {
+		t.Error("w = 0 should fail")
+	}
+	if _, err := NewThm16Amplified(13, 1, 8, 8, 2, 1); err == nil {
+		t.Error("v too large should fail")
+	}
+	if _, err := NewThm16Amplified(1, 3, 8, 8, 1, 1); err == nil {
+		t.Error("inner c = 1 should fail")
+	}
+}
+
+func TestThm16AmplifiedFrequencyIdentity(t *testing.T) {
+	// f_{T'(T,s)}(D) must equal <s, z_T>/v.
+	amp, err := NewThm16Amplified(1, 2, 8, 8, 2, 50) // d=4, v=2; inner 8x8
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := rng.New(51)
+	payload := randomBits(r, amp.PayloadBits())
+	db, err := amp.Encode(payload)
+	if err != nil {
+		t.Fatal(err)
+	}
+	v := amp.V()
+	// Rebuild the inner block databases to compute z_T directly.
+	per := amp.Inner().PayloadBits()
+	for s := uint64(0); s < 1<<uint(v); s++ {
+		for r0 := 0; r0 < amp.Inner().QueryRows(); r0 += 3 {
+			for col := 0; col < 2; col++ {
+				T := amp.Inner().Query(r0, col)
+				want := 0.0
+				for i := 0; i < v; i++ {
+					if s>>uint(i)&1 == 0 {
+						continue
+					}
+					sub := subPayload(payload, i, per)
+					inner, err := amp.Inner().Encode(sub)
+					if err != nil {
+						t.Fatal(err)
+					}
+					want += inner.Frequency(T)
+				}
+				want /= float64(v)
+				got := db.Frequency(amp.Query(s, r0, col))
+				if math.Abs(got-want) > 1e-12 {
+					t.Fatalf("s=%b r=%d col=%d: f = %g, want %g", s, r0, col, got, want)
+				}
+			}
+		}
+	}
+}
+
+func subPayload(payload *bitvec.Vector, i, per int) *bitvec.Vector {
+	sub := bitvec.New(per)
+	for b := 0; b < per; b++ {
+		if payload.Get(i*per + b) {
+			sub.Set(b)
+		}
+	}
+	return sub
+}
+
+func TestThm16AmplifiedRoundTripExact(t *testing.T) {
+	amp, err := NewThm16Amplified(1, 2, 12, 8, 2, 52) // d=4, v=2
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := rng.New(53)
+	payload := randomBits(r, amp.PayloadBits())
+	db, err := amp.Encode(payload)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := amp.Decode(ExactEstimator{DB: db})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !got.Equal(payload) {
+		t.Fatalf("payload not recovered (Hamming %d of %d)",
+			got.HammingDistance(payload), payload.Len())
+	}
+}
+
+func TestThm16AmplifiedRoundTripNoisy(t *testing.T) {
+	amp, err := NewThm16Amplified(1, 2, 12, 8, 2, 54)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := rng.New(55)
+	payload := randomBits(r, amp.PayloadBits())
+	db, err := amp.Encode(payload)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// ε small enough that 4ε·v stays below the rounding margin of the
+	// inner L1 decode: n·(4ε) < 1/2 with n = 8.
+	eps := 0.05 / float64(amp.Inner().N()*4)
+	got, err := amp.Decode(NoisyEstimator{DB: db, MaxErr: eps, Seed: 56})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !got.Equal(payload) {
+		t.Fatalf("noisy payload not recovered (Hamming %d of %d)",
+			got.HammingDistance(payload), payload.Len())
+	}
+}
+
+func TestThm16AmplifiedEncodeErrors(t *testing.T) {
+	amp, _ := NewThm16Amplified(1, 2, 8, 8, 2, 57)
+	if _, err := amp.Encode(bitvec.New(amp.PayloadBits() + 1)); err == nil {
+		t.Error("wrong payload size should fail")
+	}
+}

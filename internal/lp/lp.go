@@ -1,0 +1,259 @@
+// Package lp implements a dense two-phase primal simplex solver and an
+// L1-regression front-end.
+//
+// The estimator lower bound (Theorem 16) relies on De's reconstruction
+// [De12], which recovers a database column as
+//
+//	argmin_{x ∈ [0,1]^n} ‖A·x − b‖₁
+//
+// given approximate itemset-frequency answers b. L1 minimization — as
+// opposed to the L2 minimization of the earlier KRSU argument — is what
+// tolerates answers that are accurate only on average (§4.1.1). The L1
+// fit is expressed as a linear program and solved here with no
+// dependencies beyond the standard library.
+package lp
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"repro/internal/linalg"
+)
+
+// Problem is a linear program in standard form:
+//
+//	minimize    C·x
+//	subject to  A·x = B,  x ≥ 0.
+type Problem struct {
+	A *linalg.Matrix
+	B []float64
+	C []float64
+}
+
+// Errors returned by Solve.
+var (
+	ErrInfeasible = errors.New("lp: infeasible")
+	ErrUnbounded  = errors.New("lp: unbounded")
+	ErrIterLimit  = errors.New("lp: iteration limit exceeded")
+)
+
+const tol = 1e-9
+
+// Solve runs two-phase primal simplex with Bland's anti-cycling rule.
+// It returns an optimal basic solution and its objective value.
+func Solve(p Problem) (x []float64, obj float64, err error) {
+	m, n := p.A.R, p.A.C
+	if len(p.B) != m || len(p.C) != n {
+		return nil, 0, fmt.Errorf("lp: shape mismatch A=%dx%d |B|=%d |C|=%d", m, n, len(p.B), len(p.C))
+	}
+
+	// Tableau over variables [x (n), artificials (m)], columns n+m plus
+	// RHS. Rows are constraints; we keep an explicit basis index list.
+	width := n + m
+	t := make([][]float64, m)
+	for i := range t {
+		t[i] = make([]float64, width+1)
+		copy(t[i], p.A.Row(i))
+		rhs := p.B[i]
+		if rhs < 0 { // simplex needs b ≥ 0
+			for j := 0; j < n; j++ {
+				t[i][j] = -t[i][j]
+			}
+			rhs = -rhs
+		}
+		t[i][n+i] = 1
+		t[i][width] = rhs
+	}
+	basis := make([]int, m)
+	for i := range basis {
+		basis[i] = n + i
+	}
+
+	// Phase 1: minimize the sum of artificials.
+	phase1 := make([]float64, width)
+	for j := n; j < width; j++ {
+		phase1[j] = 1
+	}
+	if err := simplexIterate(t, basis, phase1, width); err != nil {
+		return nil, 0, err
+	}
+	if v := objective(t, basis, phase1, width); v > 1e-7 {
+		return nil, 0, ErrInfeasible
+	}
+	// Drive any artificial still in the basis out (degenerate case), or
+	// drop its row if the row is all-zero over structural columns.
+	for i := 0; i < m; i++ {
+		if basis[i] < n {
+			continue
+		}
+		pivoted := false
+		for j := 0; j < n; j++ {
+			if math.Abs(t[i][j]) > tol {
+				pivot(t, basis, i, j, width)
+				pivoted = true
+				break
+			}
+		}
+		if !pivoted {
+			// Redundant constraint; zero the row so it never pivots.
+			for j := 0; j <= width; j++ {
+				t[i][j] = 0
+			}
+		}
+	}
+
+	// Phase 2: original objective; forbid artificial columns.
+	phase2 := make([]float64, width)
+	copy(phase2, p.C)
+	for j := n; j < width; j++ {
+		phase2[j] = math.Inf(1) // never enters
+	}
+	if err := simplexIterate(t, basis, phase2, n); err != nil {
+		return nil, 0, err
+	}
+
+	x = make([]float64, n)
+	for i, b := range basis {
+		if b < n {
+			x[b] = t[i][width]
+		}
+	}
+	return x, linalg.Dot(p.C, x), nil
+}
+
+// objective evaluates c over the current basic solution.
+func objective(t [][]float64, basis []int, c []float64, width int) float64 {
+	v := 0.0
+	for i, b := range basis {
+		if b < len(c) && !math.IsInf(c[b], 1) {
+			v += c[b] * t[i][width]
+		}
+	}
+	return v
+}
+
+// simplexIterate runs primal simplex on tableau t, allowing entering
+// columns only in [0, ncols). It mutates t and basis in place.
+func simplexIterate(t [][]float64, basis []int, c []float64, ncols int) error {
+	m := len(t)
+	width := len(t[0]) - 1
+	// Reduced costs require expressing c over the basis: z_j = c_j −
+	// c_Bᵀ B⁻¹ A_j. With an explicit tableau, B⁻¹A_j is column j of t.
+	maxIter := 8000 + 200*(m+ncols)
+	for iter := 0; iter < maxIter; iter++ {
+		// Compute reduced costs; pick entering column by Bland's rule
+		// (smallest index with negative reduced cost).
+		enter := -1
+		for j := 0; j < ncols; j++ {
+			if math.IsInf(c[j], 1) {
+				continue
+			}
+			rc := c[j]
+			for i, b := range basis {
+				cb := 0.0
+				if b < len(c) && !math.IsInf(c[b], 1) {
+					cb = c[b]
+				}
+				if cb != 0 {
+					rc -= cb * t[i][j]
+				}
+			}
+			if rc < -tol {
+				enter = j
+				break
+			}
+		}
+		if enter == -1 {
+			return nil // optimal
+		}
+		// Ratio test (Bland: smallest basis index on ties).
+		leave := -1
+		best := math.Inf(1)
+		for i := 0; i < m; i++ {
+			if t[i][enter] > tol {
+				ratio := t[i][width] / t[i][enter]
+				if ratio < best-tol || (math.Abs(ratio-best) <= tol && (leave == -1 || basis[i] < basis[leave])) {
+					best = ratio
+					leave = i
+				}
+			}
+		}
+		if leave == -1 {
+			return ErrUnbounded
+		}
+		pivot(t, basis, leave, enter, width)
+	}
+	return ErrIterLimit
+}
+
+// pivot makes column `enter` basic in row `leave`.
+func pivot(t [][]float64, basis []int, leave, enter, width int) {
+	pr := t[leave]
+	inv := 1 / pr[enter]
+	for j := 0; j <= width; j++ {
+		pr[j] *= inv
+	}
+	pr[enter] = 1 // exact
+	for i := range t {
+		if i == leave {
+			continue
+		}
+		f := t[i][enter]
+		if f == 0 {
+			continue
+		}
+		row := t[i]
+		for j := 0; j <= width; j++ {
+			row[j] -= f * pr[j]
+		}
+		row[enter] = 0 // exact
+	}
+	basis[leave] = enter
+}
+
+// L1Regression solves
+//
+//	minimize ‖A·x − b‖₁  subject to  0 ≤ x ≤ 1,
+//
+// the LP-decoding step of Lemma 24/25. It returns the minimizer and the
+// optimal objective value.
+//
+// Formulation: variables [x (n), u (n), p (m), q (m)] all ≥ 0 with
+// x_j + u_j = 1 (box) and A·x − p + q = b (residual split); objective
+// Σ(p_i + q_i).
+func L1Regression(a *linalg.Matrix, b []float64) (x []float64, obj float64, err error) {
+	m, n := a.R, a.C
+	if len(b) != m {
+		return nil, 0, fmt.Errorf("lp: L1Regression shape mismatch %dx%d vs %d", m, n, len(b))
+	}
+	rows := n + m
+	cols := 2*n + 2*m
+	A := linalg.NewMatrix(rows, cols)
+	B := make([]float64, rows)
+	C := make([]float64, cols)
+	// Box rows: x_j + u_j = 1.
+	for j := 0; j < n; j++ {
+		A.Set(j, j, 1)
+		A.Set(j, n+j, 1)
+		B[j] = 1
+	}
+	// Residual rows: A x − p + q = b.
+	for i := 0; i < m; i++ {
+		r := n + i
+		for j := 0; j < n; j++ {
+			A.Set(r, j, a.At(i, j))
+		}
+		A.Set(r, 2*n+i, -1)  // p_i
+		A.Set(r, 2*n+m+i, 1) // q_i
+		B[r] = b[i]
+	}
+	for i := 0; i < 2*m; i++ {
+		C[2*n+i] = 1
+	}
+	sol, obj, err := Solve(Problem{A: A, B: B, C: C})
+	if err != nil {
+		return nil, 0, err
+	}
+	return sol[:n], obj, nil
+}

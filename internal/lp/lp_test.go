@@ -1,0 +1,256 @@
+package lp
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/linalg"
+	"repro/internal/rng"
+)
+
+func TestSolveKnownLP(t *testing.T) {
+	// maximize 3x+5y s.t. x<=4, 2y<=12, 3x+2y<=18, x,y>=0
+	// => minimize -3x-5y with slacks; optimum x=2, y=6, obj=-36.
+	A := linalg.FromRows([][]float64{
+		{1, 0, 1, 0, 0},
+		{0, 2, 0, 1, 0},
+		{3, 2, 0, 0, 1},
+	})
+	p := Problem{A: A, B: []float64{4, 12, 18}, C: []float64{-3, -5, 0, 0, 0}}
+	x, obj, err := Solve(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(obj+36) > 1e-7 {
+		t.Fatalf("obj = %g, want -36", obj)
+	}
+	if math.Abs(x[0]-2) > 1e-7 || math.Abs(x[1]-6) > 1e-7 {
+		t.Fatalf("x = %v, want [2 6 ...]", x)
+	}
+}
+
+func TestSolveEqualityLP(t *testing.T) {
+	// minimize x+2y s.t. x+y=10, x-y=2 => x=6, y=4, obj=14.
+	A := linalg.FromRows([][]float64{{1, 1}, {1, -1}})
+	x, obj, err := Solve(Problem{A: A, B: []float64{10, 2}, C: []float64{1, 2}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(x[0]-6) > 1e-7 || math.Abs(x[1]-4) > 1e-7 || math.Abs(obj-14) > 1e-7 {
+		t.Fatalf("x = %v obj = %g, want [6 4] 14", x, obj)
+	}
+}
+
+func TestSolveNegativeRHS(t *testing.T) {
+	// x - y = -3, x + y = 5 => x=1, y=4.
+	A := linalg.FromRows([][]float64{{1, -1}, {1, 1}})
+	x, _, err := Solve(Problem{A: A, B: []float64{-3, 5}, C: []float64{1, 1}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(x[0]-1) > 1e-7 || math.Abs(x[1]-4) > 1e-7 {
+		t.Fatalf("x = %v, want [1 4]", x)
+	}
+}
+
+func TestSolveInfeasible(t *testing.T) {
+	// x + y = 1 and x + y = 3 cannot both hold.
+	A := linalg.FromRows([][]float64{{1, 1}, {1, 1}})
+	if _, _, err := Solve(Problem{A: A, B: []float64{1, 3}, C: []float64{1, 1}}); err != ErrInfeasible {
+		t.Fatalf("err = %v, want ErrInfeasible", err)
+	}
+}
+
+func TestSolveUnbounded(t *testing.T) {
+	// minimize -x s.t. x - y = 0 (x = y can grow forever).
+	A := linalg.FromRows([][]float64{{1, -1}})
+	if _, _, err := Solve(Problem{A: A, B: []float64{0}, C: []float64{-1, 0}}); err != ErrUnbounded {
+		t.Fatalf("err = %v, want ErrUnbounded", err)
+	}
+}
+
+func TestSolveRedundantConstraint(t *testing.T) {
+	// Second row duplicates the first; solution must still be found.
+	A := linalg.FromRows([][]float64{{1, 1}, {2, 2}, {1, -1}})
+	x, _, err := Solve(Problem{A: A, B: []float64{4, 8, 0}, C: []float64{1, 1}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(x[0]-2) > 1e-7 || math.Abs(x[1]-2) > 1e-7 {
+		t.Fatalf("x = %v, want [2 2]", x)
+	}
+}
+
+func TestSolveShapeMismatch(t *testing.T) {
+	A := linalg.NewMatrix(2, 2)
+	if _, _, err := Solve(Problem{A: A, B: []float64{1}, C: []float64{1, 1}}); err == nil {
+		t.Fatal("shape mismatch should error")
+	}
+}
+
+func TestDegenerateNoCycle(t *testing.T) {
+	// Classic Beale cycling example (with Bland's rule it terminates):
+	// min −0.75x₁+150x₂−0.02x₃+6x₄ s.t. the two degenerate rows below;
+	// optimum −0.05 at x = (0.04, 0, 1, 0).
+	A := linalg.FromRows([][]float64{
+		{0.25, -60, -0.04, 9, 1, 0, 0},
+		{0.5, -90, -0.02, 3, 0, 1, 0},
+		{0, 0, 1, 0, 0, 0, 1},
+	})
+	p := Problem{
+		A: A,
+		B: []float64{0, 0, 1},
+		C: []float64{-0.75, 150, -0.02, 6, 0, 0, 0},
+	}
+	_, obj, err := Solve(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(obj-(-0.05)) > 1e-6 {
+		t.Fatalf("Beale objective = %g, want -0.05", obj)
+	}
+}
+
+func TestL1RegressionExactRecovery(t *testing.T) {
+	// Consistent system with binary solution: L1 fit must reach 0 and
+	// recover x exactly (A well-conditioned).
+	A := linalg.FromRows([][]float64{
+		{1, 0, 1},
+		{0, 1, 1},
+		{1, 1, 0},
+		{1, 1, 1},
+	})
+	xTrue := []float64{1, 0, 1}
+	b := A.MulVec(xTrue)
+	x, obj, err := L1Regression(A, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if obj > 1e-7 {
+		t.Fatalf("objective = %g, want 0", obj)
+	}
+	for i := range xTrue {
+		if math.Abs(x[i]-xTrue[i]) > 1e-6 {
+			t.Fatalf("x = %v, want %v", x, xTrue)
+		}
+	}
+}
+
+func TestL1RegressionBoxRespected(t *testing.T) {
+	// b demands values far above 1; solution must stay in [0,1].
+	A := linalg.FromRows([][]float64{{1, 0}, {0, 1}})
+	x, obj, err := L1Regression(A, []float64{5, -3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if x[0] < -1e-9 || x[0] > 1+1e-9 || x[1] < -1e-9 || x[1] > 1+1e-9 {
+		t.Fatalf("x = %v violates box", x)
+	}
+	// Optimal: x=[1,0], residual |1-5|+|0+3| = 7.
+	if math.Abs(obj-7) > 1e-7 {
+		t.Fatalf("obj = %g, want 7", obj)
+	}
+}
+
+func TestL1RegressionRobustToOutlier(t *testing.T) {
+	// The defining property for De's argument: a single wildly wrong
+	// measurement must not drag the L1 solution, while it does drag L2.
+	r := rng.New(9)
+	n, m := 6, 24
+	A := linalg.NewMatrix(m, n)
+	for i := range A.Data {
+		if r.Bool() {
+			A.Data[i] = 1
+		}
+	}
+	xTrue := make([]float64, n)
+	for j := range xTrue {
+		if r.Bool() {
+			xTrue[j] = 1
+		}
+	}
+	b := A.MulVec(xTrue)
+	b[3] += 50 // one corrupted answer
+
+	xL1, _, err := L1Regression(A, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	l1Err := 0.0
+	for j := range xTrue {
+		l1Err += math.Abs(xL1[j] - xTrue[j])
+	}
+	if l1Err > 1e-5 {
+		t.Fatalf("L1 should shrug off one outlier; recovery error = %g (x=%v want %v)", l1Err, xL1, xTrue)
+	}
+
+	xL2, err := linalg.LeastSquares(A, b, 1e-9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	l2Err := 0.0
+	for j := range xTrue {
+		l2Err += math.Abs(xL2[j] - xTrue[j])
+	}
+	if l2Err < 10*l1Err+1e-3 {
+		t.Fatalf("expected L2 to be visibly dragged by the outlier: l1=%g l2=%g", l1Err, l2Err)
+	}
+}
+
+func TestL1RegressionOptimality(t *testing.T) {
+	// Spot-check optimality against random feasible candidates.
+	r := rng.New(77)
+	n, m := 4, 10
+	A := linalg.NewMatrix(m, n)
+	for i := range A.Data {
+		A.Data[i] = math.Floor(r.Float64()*3) - 1 // {-1,0,1}
+	}
+	b := make([]float64, m)
+	for i := range b {
+		b[i] = r.Float64()*4 - 2
+	}
+	x, obj, err := L1Regression(A, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_ = x
+	for trial := 0; trial < 2000; trial++ {
+		cand := make([]float64, n)
+		for j := range cand {
+			cand[j] = r.Float64()
+		}
+		res := A.MulVec(cand)
+		v := 0.0
+		for i := range res {
+			v += math.Abs(res[i] - b[i])
+		}
+		if v < obj-1e-6 {
+			t.Fatalf("random candidate beats LP optimum: %g < %g", v, obj)
+		}
+	}
+}
+
+func BenchmarkL1Regression(b *testing.B) {
+	r := rng.New(3)
+	n, m := 16, 48
+	A := linalg.NewMatrix(m, n)
+	for i := range A.Data {
+		if r.Bool() {
+			A.Data[i] = 1
+		}
+	}
+	xTrue := make([]float64, n)
+	for j := range xTrue {
+		if r.Bool() {
+			xTrue[j] = 1
+		}
+	}
+	bv := A.MulVec(xTrue)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := L1Regression(A, bv); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

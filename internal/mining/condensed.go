@@ -1,0 +1,169 @@
+package mining
+
+import "repro/internal/dataset"
+
+// Condensed representations (§1.1.1): the maximal and closed subsets of
+// a mined collection. Both filters operate within the given collection,
+// so when mining was truncated at maxK they are relative to that bound.
+
+// FilterMaximal keeps itemsets with no frequent superset in rs — the
+// most aggressive condensed representation (frequencies of subsets are
+// not recoverable).
+func FilterMaximal(rs []Result) []Result {
+	var out []Result
+	for _, r := range rs {
+		if !hasSupersetWith(r, rs, func(Result) bool { return true }) {
+			out = append(out, r)
+		}
+	}
+	sortResults(out)
+	return out
+}
+
+// FilterClosed keeps itemsets with no superset in rs of equal
+// frequency — the lossless condensed representation (every frequent
+// itemset's frequency equals that of its smallest closed superset).
+func FilterClosed(rs []Result) []Result {
+	var out []Result
+	for _, r := range rs {
+		same := func(sup Result) bool { return sup.Freq == r.Freq }
+		if !hasSupersetWith(r, rs, same) {
+			out = append(out, r)
+		}
+	}
+	sortResults(out)
+	return out
+}
+
+// hasSupersetWith reports whether rs contains a strict superset of
+// r.Items satisfying pred.
+func hasSupersetWith(r Result, rs []Result, pred func(Result) bool) bool {
+	for _, s := range rs {
+		if s.Items.Len() <= r.Items.Len() {
+			continue
+		}
+		if containsAll(s.Items, r.Items) && pred(s) {
+			return true
+		}
+	}
+	return false
+}
+
+func containsAll(super, sub dataset.Itemset) bool {
+	for _, a := range sub.Attrs() {
+		if !super.Contains(a) {
+			return false
+		}
+	}
+	return true
+}
+
+// Rule is an association rule A ⇒ C with its quality measures.
+type Rule struct {
+	Antecedent dataset.Itemset
+	Consequent dataset.Itemset
+	Support    float64 // f(A ∪ C)
+	Confidence float64 // f(A ∪ C) / f(A)
+	Lift       float64 // confidence / f(C)
+}
+
+// Rules derives association rules from a mined collection: for every
+// itemset of size ≥ 2 and every non-empty proper subset A, emit
+// A ⇒ (items \ A) when confidence ≥ minConfidence. Frequencies are
+// looked up in the collection itself (the Mannila–Toivonen "use the
+// ε-adequate representation" workflow), so itemsets whose subsets were
+// not mined are skipped.
+func Rules(rs []Result, minConfidence float64) []Rule {
+	freq := make(map[string]float64, len(rs))
+	for _, r := range rs {
+		freq[r.Items.Key()] = r.Freq
+	}
+	var out []Rule
+	for _, r := range rs {
+		k := r.Items.Len()
+		if k < 2 {
+			continue
+		}
+		attrs := r.Items.Attrs()
+		// Enumerate non-empty proper subsets by bitmask.
+		for mask := 1; mask < 1<<uint(k)-1; mask++ {
+			var ant, con []int
+			for i, a := range attrs {
+				if mask>>uint(i)&1 == 1 {
+					ant = append(ant, a)
+				} else {
+					con = append(con, a)
+				}
+			}
+			antSet := dataset.MustItemset(ant...)
+			fAnt, ok := freq[antSet.Key()]
+			if !ok || fAnt == 0 {
+				continue
+			}
+			conf := r.Freq / fAnt
+			if conf < minConfidence {
+				continue
+			}
+			conSet := dataset.MustItemset(con...)
+			lift := 0.0
+			if fCon, ok := freq[conSet.Key()]; ok && fCon > 0 {
+				lift = conf / fCon
+			}
+			out = append(out, Rule{
+				Antecedent: antSet,
+				Consequent: conSet,
+				Support:    r.Freq,
+				Confidence: conf,
+				Lift:       lift,
+			})
+		}
+	}
+	return out
+}
+
+// CompareCollections measures how a mined collection `got` (e.g. from a
+// sketch) matches a reference collection `want` (exact mining):
+// precision, recall, and the maximum absolute frequency deviation on
+// the intersection.
+type Comparison struct {
+	Precision  float64
+	Recall     float64
+	MaxFreqErr float64
+	TruePos    int
+	FalsePos   int
+	FalseNeg   int
+}
+
+// Compare computes the Comparison of got against want.
+func Compare(got, want []Result) Comparison {
+	wantF := make(map[string]float64, len(want))
+	for _, r := range want {
+		wantF[r.Items.Key()] = r.Freq
+	}
+	var c Comparison
+	for _, g := range got {
+		if f, ok := wantF[g.Items.Key()]; ok {
+			c.TruePos++
+			if e := abs(f - g.Freq); e > c.MaxFreqErr {
+				c.MaxFreqErr = e
+			}
+		} else {
+			c.FalsePos++
+		}
+	}
+	c.FalseNeg = len(want) - c.TruePos
+	if len(got) > 0 {
+		c.Precision = float64(c.TruePos) / float64(len(got))
+	}
+	if len(want) > 0 {
+		c.Recall = float64(c.TruePos) / float64(len(want))
+	}
+	return c
+}
+
+func abs(x float64) float64 {
+	if x < 0 {
+		return -x
+	}
+	return x
+}

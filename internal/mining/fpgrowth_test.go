@@ -1,0 +1,108 @@
+package mining
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/dataset"
+	"repro/internal/rng"
+)
+
+func TestFPGrowthToy(t *testing.T) {
+	rs := FPGrowth(toyDB(), 0.4, 0)
+	ap := Apriori(DBSource{DB: toyDB()}, 0.4, 0)
+	if len(rs) != len(ap) {
+		t.Fatalf("fp-growth %d itemsets, apriori %d", len(rs), len(ap))
+	}
+	for i := range rs {
+		if !rs[i].Items.Equal(ap[i].Items) || math.Abs(rs[i].Freq-ap[i].Freq) > 1e-12 {
+			t.Fatalf("mismatch at %d: %v/%g vs %v/%g",
+				i, rs[i].Items, rs[i].Freq, ap[i].Items, ap[i].Freq)
+		}
+	}
+}
+
+func TestFPGrowthMatchesEclatRandom(t *testing.T) {
+	r := rng.New(88)
+	for trial := 0; trial < 5; trial++ {
+		db := dataset.GenMarketBasket(r, 400, 20, dataset.BasketConfig{
+			MeanSize:     4 + trial,
+			ZipfExponent: 1.0 + 0.1*float64(trial),
+			Bundles:      [][]int{{1, 2}, {5, 6, 7}},
+			BundleProb:   0.25,
+		})
+		for _, minSup := range []float64{0.03, 0.1, 0.3} {
+			fp := FPGrowth(db, minSup, 4)
+			ec := Eclat(db, minSup, 4)
+			if len(fp) != len(ec) {
+				t.Fatalf("trial %d minSup %g: fp %d vs eclat %d itemsets",
+					trial, minSup, len(fp), len(ec))
+			}
+			for i := range fp {
+				if !fp[i].Items.Equal(ec[i].Items) || math.Abs(fp[i].Freq-ec[i].Freq) > 1e-12 {
+					t.Fatalf("trial %d minSup %g: mismatch %v/%g vs %v/%g",
+						trial, minSup, fp[i].Items, fp[i].Freq, ec[i].Items, ec[i].Freq)
+				}
+			}
+		}
+	}
+}
+
+func TestFPGrowthDeepPatterns(t *testing.T) {
+	// Dense database with a long common pattern — the case FP-trees
+	// compress best and recursion runs deep.
+	db := dataset.NewDatabase(8)
+	for i := 0; i < 10; i++ {
+		db.AddRowAttrs(0, 1, 2, 3, 4)
+	}
+	for i := 0; i < 5; i++ {
+		db.AddRowAttrs(0, 1, 5)
+	}
+	db.AddRowAttrs(6)
+	fp := FPGrowth(db, 0.5, 0)
+	// {0,1,2,3,4} appears in 10/16 rows = 0.625 ≥ 0.5 — all 31 of its
+	// non-empty subsets must be found, plus nothing else is frequent
+	// except those... {0,1} has 15/16, etc.
+	if f, ok := freqOf(fp, 0, 1, 2, 3, 4); !ok || math.Abs(f-0.625) > 1e-12 {
+		t.Fatalf("deep pattern: got %v %v", f, ok)
+	}
+	if len(fp) != 31 {
+		t.Fatalf("expected exactly 31 frequent itemsets, got %d", len(fp))
+	}
+	ec := Eclat(db, 0.5, 0)
+	if len(ec) != len(fp) {
+		t.Fatalf("eclat disagrees: %d vs %d", len(ec), len(fp))
+	}
+}
+
+func TestFPGrowthMaxK(t *testing.T) {
+	db := toyDB()
+	for _, r := range FPGrowth(db, 0.2, 2) {
+		if r.Items.Len() > 2 {
+			t.Fatalf("maxK=2 emitted %v", r.Items)
+		}
+	}
+}
+
+func TestFPGrowthEmptyAndNoFrequent(t *testing.T) {
+	db := dataset.NewDatabase(4)
+	if rs := FPGrowth(db, 0.5, 0); rs != nil {
+		t.Error("empty db should mine nothing")
+	}
+	db.AddRowAttrs(0)
+	db.AddRowAttrs(1)
+	db.AddRowAttrs(2)
+	if rs := FPGrowth(db, 0.9, 0); len(rs) != 0 {
+		t.Errorf("nothing is 90%% frequent, got %v", rs)
+	}
+}
+
+func BenchmarkFPGrowth(b *testing.B) {
+	r := rng.New(1)
+	db := dataset.GenMarketBasket(r, 5000, 48, dataset.BasketConfig{MeanSize: 5, ZipfExponent: 1.2})
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = FPGrowth(db, 0.05, 3)
+	}
+}

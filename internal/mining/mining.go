@@ -1,0 +1,217 @@
+// Package mining implements frequent-itemset mining on top of either
+// an exact database or an itemset frequency sketch.
+//
+// Section 1.1.2 of the paper motivates sketches precisely this way: an
+// analyst keeps a small sketch instead of the database and runs the
+// expensive mining algorithms against the sketch. The FrequencySource
+// interface makes the two interchangeable, and the examples compare
+// mining output on a SUBSAMPLE sketch against exact mining.
+//
+// Two classical miners are provided: Apriori (level-wise candidate
+// generation over any FrequencySource) and Eclat (depth-first vertical
+// bitmap intersection; exact-database only, used as the fast baseline).
+// Post-processing covers maximal/closed filtering (the condensed
+// representations discussed in §1.1.1) and association rules.
+package mining
+
+import (
+	"sort"
+
+	"repro/internal/bitvec"
+	"repro/internal/dataset"
+)
+
+// FrequencySource answers itemset frequency queries over a universe of
+// NumAttrs attributes.
+type FrequencySource interface {
+	Frequency(t dataset.Itemset) float64
+	NumAttrs() int
+}
+
+// DBSource adapts a dataset.Database into a FrequencySource.
+type DBSource struct{ DB *dataset.Database }
+
+// Frequency implements FrequencySource.
+func (s DBSource) Frequency(t dataset.Itemset) float64 { return s.DB.Frequency(t) }
+
+// NumAttrs implements FrequencySource.
+func (s DBSource) NumAttrs() int { return s.DB.NumCols() }
+
+// EstimatorSource adapts any frequency estimator (e.g. a
+// core.EstimatorSketch) into a FrequencySource.
+type EstimatorSource struct {
+	Est interface {
+		Estimate(t dataset.Itemset) float64
+	}
+	Attrs int
+}
+
+// Frequency implements FrequencySource.
+func (s EstimatorSource) Frequency(t dataset.Itemset) float64 { return s.Est.Estimate(t) }
+
+// NumAttrs implements FrequencySource.
+func (s EstimatorSource) NumAttrs() int { return s.Attrs }
+
+// Result is one mined itemset with its (possibly estimated) frequency.
+type Result struct {
+	Items dataset.Itemset
+	Freq  float64
+}
+
+// sortResults orders by size then lexicographic attrs, for determinism.
+func sortResults(rs []Result) {
+	sort.Slice(rs, func(i, j int) bool {
+		a, b := rs[i].Items, rs[j].Items
+		if a.Len() != b.Len() {
+			return a.Len() < b.Len()
+		}
+		aa, ba := a.Attrs(), b.Attrs()
+		for x := range aa {
+			if aa[x] != ba[x] {
+				return aa[x] < ba[x]
+			}
+		}
+		return false
+	})
+}
+
+// Apriori mines all itemsets with frequency ≥ minSupport and size ≤
+// maxK (maxK ≤ 0 means unbounded), level-wise with candidate pruning.
+// It issues one Frequency query per surviving candidate, so it runs
+// unchanged against a sketch.
+func Apriori(src FrequencySource, minSupport float64, maxK int) []Result {
+	d := src.NumAttrs()
+	if maxK <= 0 || maxK > d {
+		maxK = d
+	}
+	var out []Result
+
+	// Level 1.
+	var level [][]int
+	for a := 0; a < d; a++ {
+		f := src.Frequency(dataset.MustItemset(a))
+		if f >= minSupport {
+			level = append(level, []int{a})
+			out = append(out, Result{Items: dataset.MustItemset(a), Freq: f})
+		}
+	}
+
+	for k := 2; k <= maxK && len(level) > 0; k++ {
+		prev := make(map[string]bool, len(level))
+		for _, s := range level {
+			prev[key(s)] = true
+		}
+		var next [][]int
+		// Join step: two (k−1)-sets sharing their first k−2 items.
+		for i := 0; i < len(level); i++ {
+			for j := i + 1; j < len(level); j++ {
+				a, b := level[i], level[j]
+				if !samePrefix(a, b) {
+					continue
+				}
+				cand := make([]int, k)
+				copy(cand, a)
+				if a[k-2] < b[k-2] {
+					cand[k-1] = b[k-2]
+				} else {
+					cand[k-1], cand[k-2] = a[k-2], b[k-2]
+				}
+				if !allSubsetsFrequent(cand, prev) {
+					continue
+				}
+				T := dataset.MustItemset(cand...)
+				f := src.Frequency(T)
+				if f >= minSupport {
+					next = append(next, cand)
+					out = append(out, Result{Items: T, Freq: f})
+				}
+			}
+		}
+		level = next
+	}
+	sortResults(out)
+	return out
+}
+
+func key(s []int) string {
+	return dataset.MustItemset(s...).Key()
+}
+
+func samePrefix(a, b []int) bool {
+	for i := 0; i < len(a)-1; i++ {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// allSubsetsFrequent prunes a candidate whose (k−1)-subsets are not all
+// frequent (anti-monotonicity).
+func allSubsetsFrequent(cand []int, prev map[string]bool) bool {
+	sub := make([]int, 0, len(cand)-1)
+	for drop := range cand {
+		sub = sub[:0]
+		for i, v := range cand {
+			if i != drop {
+				sub = append(sub, v)
+			}
+		}
+		if !prev[key(sub)] {
+			return false
+		}
+	}
+	return true
+}
+
+// Eclat mines frequent itemsets on the exact database by depth-first
+// vertical bitmap intersection. It produces the same collection as
+// Apriori on a DBSource but avoids repeated scans.
+func Eclat(db *dataset.Database, minSupport float64, maxK int) []Result {
+	d := db.NumCols()
+	n := db.NumRows()
+	if maxK <= 0 || maxK > d {
+		maxK = d
+	}
+	if n == 0 {
+		return nil
+	}
+	db.BuildColumnIndex()
+	minCount := int(minSupport * float64(n))
+	if float64(minCount) < minSupport*float64(n) {
+		minCount++
+	}
+	var out []Result
+	// tids == nil means "all rows" (the empty prefix).
+	var recurse func(prefix []int, tids *bitvec.Vector, candidates []int)
+	recurse = func(prefix []int, tids *bitvec.Vector, candidates []int) {
+		for ci, a := range candidates {
+			var next *bitvec.Vector
+			if tids == nil {
+				next = db.AttrColumn(a).Clone()
+			} else {
+				next = tids.Clone()
+				next.And(db.AttrColumn(a))
+			}
+			cnt := next.Count()
+			if cnt < minCount {
+				continue
+			}
+			items := append(append([]int{}, prefix...), a)
+			out = append(out, Result{
+				Items: dataset.MustItemset(items...),
+				Freq:  float64(cnt) / float64(n),
+			})
+			if len(items) < maxK {
+				recurse(items, next, candidates[ci+1:])
+			}
+		}
+	}
+	all := make([]int, d)
+	for a := range all {
+		all[a] = a
+	}
+	recurse(nil, nil, all)
+	sortResults(out)
+	return out
+}

@@ -1,0 +1,280 @@
+package mining
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/dataset"
+	"repro/internal/rng"
+)
+
+// classic toy database used across tests:
+// rows: {0,1,2}, {0,1}, {0,2}, {1,2}, {2,3}
+func toyDB() *dataset.Database {
+	db := dataset.NewDatabase(4)
+	db.AddRowAttrs(0, 1, 2)
+	db.AddRowAttrs(0, 1)
+	db.AddRowAttrs(0, 2)
+	db.AddRowAttrs(1, 2)
+	db.AddRowAttrs(2, 3)
+	return db
+}
+
+func freqOf(rs []Result, attrs ...int) (float64, bool) {
+	k := dataset.MustItemset(attrs...).Key()
+	for _, r := range rs {
+		if r.Items.Key() == k {
+			return r.Freq, true
+		}
+	}
+	return 0, false
+}
+
+func TestAprioriToy(t *testing.T) {
+	rs := Apriori(DBSource{DB: toyDB()}, 0.4, 0)
+	// f(0)=0.6 f(1)=0.6 f(2)=0.8 f(3)=0.2
+	// f(01)=0.4 f(02)=0.4 f(12)=0.4 f(012)=0.2
+	wants := []struct {
+		attrs []int
+		freq  float64
+		in    bool
+	}{
+		{[]int{0}, 0.6, true},
+		{[]int{1}, 0.6, true},
+		{[]int{2}, 0.8, true},
+		{[]int{3}, 0, false},
+		{[]int{0, 1}, 0.4, true},
+		{[]int{0, 2}, 0.4, true},
+		{[]int{1, 2}, 0.4, true},
+		{[]int{0, 1, 2}, 0, false},
+	}
+	for _, w := range wants {
+		f, ok := freqOf(rs, w.attrs...)
+		if ok != w.in {
+			t.Errorf("itemset %v: present=%v, want %v", w.attrs, ok, w.in)
+			continue
+		}
+		if ok && math.Abs(f-w.freq) > 1e-12 {
+			t.Errorf("itemset %v: freq %g, want %g", w.attrs, f, w.freq)
+		}
+	}
+	if len(rs) != 6 {
+		t.Errorf("result count %d, want 6", len(rs))
+	}
+}
+
+func TestAprioriMaxK(t *testing.T) {
+	rs := Apriori(DBSource{DB: toyDB()}, 0.2, 1)
+	for _, r := range rs {
+		if r.Items.Len() > 1 {
+			t.Fatalf("maxK=1 produced %v", r.Items)
+		}
+	}
+}
+
+func TestEclatMatchesApriori(t *testing.T) {
+	r := rng.New(77)
+	db := dataset.GenMarketBasket(r, 500, 24, dataset.BasketConfig{
+		MeanSize:     5,
+		ZipfExponent: 1.1,
+		Bundles:      [][]int{{2, 3}, {4, 5, 6}},
+		BundleProb:   0.3,
+	})
+	for _, minSup := range []float64{0.05, 0.1, 0.25} {
+		ap := Apriori(DBSource{DB: db}, minSup, 4)
+		ec := Eclat(db, minSup, 4)
+		if len(ap) != len(ec) {
+			t.Fatalf("minSup=%g: apriori %d itemsets, eclat %d", minSup, len(ap), len(ec))
+		}
+		for i := range ap {
+			if !ap[i].Items.Equal(ec[i].Items) || math.Abs(ap[i].Freq-ec[i].Freq) > 1e-12 {
+				t.Fatalf("minSup=%g: mismatch at %d: %v/%g vs %v/%g",
+					minSup, i, ap[i].Items, ap[i].Freq, ec[i].Items, ec[i].Freq)
+			}
+		}
+	}
+}
+
+func TestEclatEmptyDB(t *testing.T) {
+	db := dataset.NewDatabase(4)
+	if rs := Eclat(db, 0.5, 0); rs != nil {
+		t.Errorf("empty db should mine nothing, got %d", len(rs))
+	}
+}
+
+func TestAprioriAntiMonotonePruning(t *testing.T) {
+	// Every reported itemset's subsets must also be reported.
+	r := rng.New(5)
+	db := dataset.GenUniform(r, 300, 10, 0.5)
+	rs := Apriori(DBSource{DB: db}, 0.2, 0)
+	have := make(map[string]bool)
+	for _, x := range rs {
+		have[x.Items.Key()] = true
+	}
+	for _, x := range rs {
+		attrs := x.Items.Attrs()
+		if len(attrs) < 2 {
+			continue
+		}
+		for drop := range attrs {
+			sub := make([]int, 0, len(attrs)-1)
+			for i, a := range attrs {
+				if i != drop {
+					sub = append(sub, a)
+				}
+			}
+			if !have[dataset.MustItemset(sub...).Key()] {
+				t.Fatalf("downward closure violated: %v present but %v missing", attrs, sub)
+			}
+		}
+	}
+}
+
+func TestMiningOnSketch(t *testing.T) {
+	// §1.1.2 end to end: mine from a SUBSAMPLE estimator sketch; the
+	// planted bundles must be recovered with high precision/recall.
+	r := rng.New(99)
+	db := dataset.GenMarketBasket(r, 20000, 32, dataset.BasketConfig{
+		MeanSize:     4,
+		ZipfExponent: 1.3,
+		Bundles:      [][]int{{10, 11}, {20, 21, 22}},
+		BundleProb:   0.35,
+	})
+	exact := Apriori(DBSource{DB: db}, 0.1, 3)
+
+	p := core.Params{K: 3, Eps: 0.02, Delta: 0.05, Mode: core.ForAll, Task: core.Estimator}
+	sk, err := core.Subsample{Seed: 12}.Sketch(db, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	approx := Apriori(EstimatorSource{Est: sk.(core.EstimatorSketch), Attrs: 32}, 0.1, 3)
+
+	cmp := Compare(approx, exact)
+	if cmp.Recall < 0.85 || cmp.Precision < 0.85 {
+		t.Fatalf("sketch mining degraded: precision=%.2f recall=%.2f", cmp.Precision, cmp.Recall)
+	}
+	if cmp.MaxFreqErr > p.Eps {
+		t.Fatalf("sketch mining freq error %g > eps %g", cmp.MaxFreqErr, p.Eps)
+	}
+	// The planted 3-bundle must be found.
+	if _, ok := freqOf(approx, 20, 21, 22); !ok {
+		t.Error("planted bundle {20,21,22} not mined from sketch")
+	}
+}
+
+func TestFilterMaximal(t *testing.T) {
+	rs := Apriori(DBSource{DB: toyDB()}, 0.4, 0)
+	max := FilterMaximal(rs)
+	// Frequent: {0},{1},{2},{01},{02},{12} — maximal are the three pairs.
+	if len(max) != 3 {
+		t.Fatalf("maximal count %d, want 3: %v", len(max), max)
+	}
+	for _, m := range max {
+		if m.Items.Len() != 2 {
+			t.Errorf("unexpected maximal %v", m.Items)
+		}
+	}
+}
+
+func TestFilterClosed(t *testing.T) {
+	// DB where {0} and {0,1} always co-occur: {0} is not closed.
+	db := dataset.NewDatabase(3)
+	db.AddRowAttrs(0, 1)
+	db.AddRowAttrs(0, 1)
+	db.AddRowAttrs(2)
+	rs := Apriori(DBSource{DB: db}, 0.3, 0)
+	closed := FilterClosed(rs)
+	for _, c := range closed {
+		if c.Items.Equal(dataset.MustItemset(0)) {
+			t.Error("{0} should not be closed: {0,1} has the same support")
+		}
+	}
+	if _, ok := freqOf(closed, 0, 1); !ok {
+		t.Error("{0,1} must be closed")
+	}
+	// Closedness is lossless: every frequent itemset's frequency equals
+	// that of some closed superset.
+	for _, r := range rs {
+		found := false
+		for _, c := range closed {
+			if containsAll(c.Items, r.Items) && c.Freq == r.Freq {
+				found = true
+				break
+			}
+		}
+		if !found {
+			t.Errorf("lossless property fails for %v", r.Items)
+		}
+	}
+}
+
+func TestRules(t *testing.T) {
+	rs := Apriori(DBSource{DB: toyDB()}, 0.4, 0)
+	rules := Rules(rs, 0.6)
+	// confidence({0}⇒{1}) = 0.4/0.6 = 2/3 ≥ 0.6 — must be present.
+	found := false
+	for _, r := range rules {
+		if r.Antecedent.Equal(dataset.MustItemset(0)) && r.Consequent.Equal(dataset.MustItemset(1)) {
+			found = true
+			if math.Abs(r.Confidence-2.0/3) > 1e-12 {
+				t.Errorf("confidence = %g, want 2/3", r.Confidence)
+			}
+			if math.Abs(r.Lift-(2.0/3)/0.6) > 1e-12 {
+				t.Errorf("lift = %g, want %g", r.Lift, (2.0/3)/0.6)
+			}
+			if r.Support != 0.4 {
+				t.Errorf("support = %g, want 0.4", r.Support)
+			}
+		}
+		if r.Confidence < 0.6 {
+			t.Errorf("rule below confidence threshold: %+v", r)
+		}
+	}
+	if !found {
+		t.Error("rule {0} => {1} missing")
+	}
+}
+
+func TestCompare(t *testing.T) {
+	a := []Result{
+		{Items: dataset.MustItemset(1), Freq: 0.5},
+		{Items: dataset.MustItemset(2), Freq: 0.4},
+	}
+	b := []Result{
+		{Items: dataset.MustItemset(1), Freq: 0.55},
+		{Items: dataset.MustItemset(3), Freq: 0.9},
+	}
+	c := Compare(a, b)
+	if c.TruePos != 1 || c.FalsePos != 1 || c.FalseNeg != 1 {
+		t.Fatalf("confusion: %+v", c)
+	}
+	if c.Precision != 0.5 || c.Recall != 0.5 {
+		t.Fatalf("precision/recall: %+v", c)
+	}
+	if math.Abs(c.MaxFreqErr-0.05) > 1e-12 {
+		t.Fatalf("MaxFreqErr = %g", c.MaxFreqErr)
+	}
+}
+
+func BenchmarkAprioriExact(b *testing.B) {
+	r := rng.New(1)
+	db := dataset.GenMarketBasket(r, 5000, 48, dataset.BasketConfig{MeanSize: 5, ZipfExponent: 1.2})
+	db.BuildColumnIndex()
+	src := DBSource{DB: db}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = Apriori(src, 0.05, 3)
+	}
+}
+
+func BenchmarkEclat(b *testing.B) {
+	r := rng.New(1)
+	db := dataset.GenMarketBasket(r, 5000, 48, dataset.BasketConfig{MeanSize: 5, ZipfExponent: 1.2})
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = Eclat(db, 0.05, 3)
+	}
+}

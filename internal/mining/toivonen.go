@@ -1,0 +1,128 @@
+package mining
+
+import (
+	"fmt"
+
+	"repro/internal/dataset"
+)
+
+// Toivonen's sampling algorithm (the line of work the paper cites via
+// Mannila–Toivonen [MT96]): mine a row sample at a *lowered* threshold,
+// add the negative border, then verify every candidate against the full
+// database in a single scan. If no negative-border itemset turns out
+// frequent, the output is exactly the frequent collection of the full
+// database — exact mining with one full scan, with the sample playing
+// precisely the role of a SUBSAMPLE sketch.
+
+// aprioriWithBorder is level-wise Apriori that also reports the
+// negative border: candidates whose every (k−1)-subset is frequent but
+// which fail the support threshold themselves.
+func aprioriWithBorder(src FrequencySource, minSupport float64, maxK int) (freq []Result, border []Result) {
+	d := src.NumAttrs()
+	if maxK <= 0 || maxK > d {
+		maxK = d
+	}
+	var level [][]int
+	for a := 0; a < d; a++ {
+		T := dataset.MustItemset(a)
+		f := src.Frequency(T)
+		if f >= minSupport {
+			level = append(level, []int{a})
+			freq = append(freq, Result{Items: T, Freq: f})
+		} else {
+			border = append(border, Result{Items: T, Freq: f})
+		}
+	}
+	for k := 2; k <= maxK && len(level) > 0; k++ {
+		prev := make(map[string]bool, len(level))
+		for _, s := range level {
+			prev[key(s)] = true
+		}
+		var next [][]int
+		for i := 0; i < len(level); i++ {
+			for j := i + 1; j < len(level); j++ {
+				a, b := level[i], level[j]
+				if !samePrefix(a, b) {
+					continue
+				}
+				cand := make([]int, k)
+				copy(cand, a)
+				if a[k-2] < b[k-2] {
+					cand[k-1] = b[k-2]
+				} else {
+					cand[k-1], cand[k-2] = a[k-2], b[k-2]
+				}
+				if !allSubsetsFrequent(cand, prev) {
+					continue
+				}
+				T := dataset.MustItemset(cand...)
+				f := src.Frequency(T)
+				if f >= minSupport {
+					next = append(next, cand)
+					freq = append(freq, Result{Items: T, Freq: f})
+				} else {
+					border = append(border, Result{Items: T, Freq: f})
+				}
+			}
+		}
+		level = next
+	}
+	sortResults(freq)
+	sortResults(border)
+	return freq, border
+}
+
+// ToivonenReport is the outcome of one Toivonen pass.
+type ToivonenReport struct {
+	// Frequent holds the verified frequent itemsets with their exact
+	// full-database frequencies.
+	Frequent []Result
+	// BorderMisses holds negative-border itemsets that turned out
+	// frequent in the full database. When empty, Frequent is provably
+	// the complete answer (within MaxK); otherwise a retry with a
+	// larger sample or lower sample threshold is needed.
+	BorderMisses []Result
+	// CandidatesChecked counts full-database verifications performed.
+	CandidatesChecked int
+}
+
+// Complete reports whether the single pass certified completeness.
+func (r ToivonenReport) Complete() bool { return len(r.BorderMisses) == 0 }
+
+// Toivonen mines db exactly at minSupport (itemset sizes ≤ maxK) using
+// the given row sample and a lowered sample threshold
+// (loweredSupport < minSupport, the slack absorbing sampling noise).
+func Toivonen(db, sample *dataset.Database, minSupport, loweredSupport float64, maxK int) (ToivonenReport, error) {
+	var rep ToivonenReport
+	if sample.NumCols() != db.NumCols() {
+		return rep, fmt.Errorf("mining: sample has %d columns, database %d", sample.NumCols(), db.NumCols())
+	}
+	if loweredSupport > minSupport {
+		return rep, fmt.Errorf("mining: lowered support %g must be ≤ minSupport %g", loweredSupport, minSupport)
+	}
+	sample.BuildColumnIndex()
+	freqS, borderS := aprioriWithBorder(DBSource{DB: sample}, loweredSupport, maxK)
+
+	db.BuildColumnIndex()
+	verify := func(rs []Result, intoFreq bool) {
+		for _, r := range rs {
+			f := db.Frequency(r.Items)
+			rep.CandidatesChecked++
+			if f < minSupport {
+				continue
+			}
+			res := Result{Items: r.Items, Freq: f}
+			if intoFreq {
+				rep.Frequent = append(rep.Frequent, res)
+			} else {
+				rep.BorderMisses = append(rep.BorderMisses, res)
+				rep.Frequent = append(rep.Frequent, res)
+			}
+		}
+	}
+	verify(freqS, true)
+	verify(borderS, false)
+	sortResults(rep.Frequent)
+	sortResults(rep.BorderMisses)
+	return rep, nil
+}

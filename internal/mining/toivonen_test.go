@@ -1,0 +1,132 @@
+package mining
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/dataset"
+	"repro/internal/rng"
+	"repro/internal/stream"
+)
+
+func sampleOf(db *dataset.Database, size int, seed uint64) *dataset.Database {
+	res, err := stream.NewReservoir(db.NumCols(), size, seed)
+	if err != nil {
+		panic(err)
+	}
+	for i := 0; i < db.NumRows(); i++ {
+		res.Add(db.Row(i))
+	}
+	return res.Database()
+}
+
+func TestToivonenExactWhenComplete(t *testing.T) {
+	r := rng.New(70)
+	db := dataset.GenMarketBasket(r, 20000, 24, dataset.BasketConfig{
+		MeanSize:     4,
+		ZipfExponent: 1.3,
+		Bundles:      [][]int{{5, 6}, {10, 11, 12}},
+		BundleProb:   0.3,
+	})
+	sample := sampleOf(db, 4000, 1)
+	const minSup, lowered, maxK = 0.1, 0.07, 3
+	rep, err := Toivonen(db, sample, minSup, lowered, maxK)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.Complete() {
+		t.Fatalf("expected a complete pass; border misses: %v", rep.BorderMisses)
+	}
+	exact := Eclat(db, minSup, maxK)
+	if len(rep.Frequent) != len(exact) {
+		t.Fatalf("toivonen %d itemsets, exact %d", len(rep.Frequent), len(exact))
+	}
+	for i := range exact {
+		if !rep.Frequent[i].Items.Equal(exact[i].Items) {
+			t.Fatalf("itemset mismatch at %d: %v vs %v", i, rep.Frequent[i].Items, exact[i].Items)
+		}
+		if math.Abs(rep.Frequent[i].Freq-exact[i].Freq) > 1e-12 {
+			t.Fatalf("frequency mismatch at %d", i)
+		}
+	}
+	if rep.CandidatesChecked == 0 {
+		t.Fatal("no candidates checked?")
+	}
+}
+
+func TestToivonenFrequenciesAreExact(t *testing.T) {
+	// Whatever the sample says, reported frequencies come from the
+	// full database.
+	r := rng.New(71)
+	db := dataset.GenUniform(r, 5000, 10, 0.4)
+	sample := sampleOf(db, 300, 2)
+	rep, err := Toivonen(db, sample, 0.15, 0.1, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, res := range rep.Frequent {
+		if got := db.Frequency(res.Items); got != res.Freq {
+			t.Fatalf("reported %g, database says %g for %v", res.Freq, got, res.Items)
+		}
+		if res.Freq < 0.15 {
+			t.Fatalf("infrequent itemset reported: %v %g", res.Items, res.Freq)
+		}
+	}
+}
+
+func TestToivonenSoundnessAlways(t *testing.T) {
+	// Even with an absurdly small sample the output must be a sound
+	// subset of the true frequent collection (verification guarantees
+	// no false positives; misses are flagged, not silent).
+	r := rng.New(72)
+	db := dataset.GenMarketBasket(r, 10000, 16, dataset.BasketConfig{
+		MeanSize: 4, ZipfExponent: 1.2, Bundles: [][]int{{1, 2}}, BundleProb: 0.4,
+	})
+	sample := sampleOf(db, 20, 3)
+	rep, err := Toivonen(db, sample, 0.1, 0.1, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	exact := make(map[string]bool)
+	for _, e := range Eclat(db, 0.1, 3) {
+		exact[e.Items.Key()] = true
+	}
+	for _, res := range rep.Frequent {
+		if !exact[res.Items.Key()] {
+			t.Fatalf("false positive survived verification: %v", res.Items)
+		}
+	}
+}
+
+func TestToivonenValidation(t *testing.T) {
+	db := dataset.NewDatabase(4)
+	db.AddRowAttrs(0)
+	bad := dataset.NewDatabase(5)
+	if _, err := Toivonen(db, bad, 0.1, 0.05, 2); err == nil {
+		t.Error("column mismatch should fail")
+	}
+	ok := dataset.NewDatabase(4)
+	ok.AddRowAttrs(0)
+	if _, err := Toivonen(db, ok, 0.1, 0.2, 2); err == nil {
+		t.Error("lowered > minSupport should fail")
+	}
+}
+
+func TestNegativeBorderDefinition(t *testing.T) {
+	// On the toy DB at minsup 0.4: frequent = {0},{1},{2},{01},{02},{12};
+	// the border must contain {3} (infrequent singleton) and {0,1,2}
+	// (all 2-subsets frequent, itself 0.2 < 0.4).
+	freq, border := aprioriWithBorder(DBSource{DB: toyDB()}, 0.4, 0)
+	if len(freq) != 6 {
+		t.Fatalf("frequent count %d, want 6", len(freq))
+	}
+	wantBorder := map[string]bool{"{3}": true, "{0,1,2}": true}
+	if len(border) != len(wantBorder) {
+		t.Fatalf("border = %v, want {3} and {0,1,2}", border)
+	}
+	for _, b := range border {
+		if !wantBorder[b.Items.Key()] {
+			t.Fatalf("unexpected border member %v", b.Items)
+		}
+	}
+}

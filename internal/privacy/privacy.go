@@ -1,0 +1,119 @@
+// Package privacy implements the differentially private itemset
+// frequency release that footnote 3 of the paper connects to sketching.
+//
+// The paper's lower-bound machinery is imported wholesale from the
+// differential-privacy literature (KRSU, De, BUV), and footnote 3
+// sketches the formal bridge: an accurate sketch yields an accurate
+// DP mechanism via the exponential mechanism, so DP accuracy lower
+// bounds imply sketch size lower bounds. This package provides the
+// classical baseline DP mechanism — the Laplace release of all C(d,k)
+// itemset frequencies [DMNS06, BCD+07] — so the bridge can be measured
+// from the other side: at ε-DP, the release is a valid For-All
+// estimator sketch once n is large enough, and its error decays as
+// Θ(C(d,k)/(n·ε_DP)), the 1/n shape that footnote 3's argument turns
+// into Ω(t − εn)-style sketch bounds.
+package privacy
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/combin"
+	"repro/internal/dataset"
+	"repro/internal/rng"
+)
+
+// Release is an ε-differentially-private answer table for all
+// k-itemset frequency queries on a fixed database.
+type Release struct {
+	d, k  int
+	n     int
+	epsDP float64
+	scale float64 // Laplace scale b of the per-query noise
+	vals  []float64
+}
+
+// Laplace draws one Lap(0, b) variate from r by inverse CDF.
+func Laplace(r *rng.RNG, b float64) float64 {
+	u := r.Float64() - 0.5
+	sign := 1.0
+	if u < 0 {
+		sign = -1
+		u = -u
+	}
+	// u ∈ [0, 0.5): inverse CDF of the folded exponential.
+	return -b * sign * math.Log(1-2*u)
+}
+
+// NewLaplaceRelease builds the ε-DP release: every k-itemset frequency
+// plus independent Laplace noise of scale Δ₁/ε_DP, where the L1
+// sensitivity of the full query vector is Δ₁ = C(d,k)/n (one row change
+// moves each of the C(d,k) frequencies by at most 1/n).
+func NewLaplaceRelease(db *dataset.Database, k int, epsDP float64, seed uint64) (*Release, error) {
+	if k < 1 || k > db.NumCols() {
+		return nil, fmt.Errorf("privacy: k = %d out of range for d = %d", k, db.NumCols())
+	}
+	if epsDP <= 0 {
+		return nil, fmt.Errorf("privacy: eps_DP = %g must be positive", epsDP)
+	}
+	n := db.NumRows()
+	if n == 0 {
+		return nil, fmt.Errorf("privacy: empty database")
+	}
+	d := db.NumCols()
+	q := combin.Binomial(d, k)
+	if q > 1<<22 {
+		return nil, fmt.Errorf("privacy: C(%d,%d) = %d queries is too many to release", d, k, q)
+	}
+	scale := float64(q) / (float64(n) * epsDP)
+	r := rng.New(seed)
+	vals := make([]float64, q)
+	db.BuildColumnIndex()
+	i := 0
+	combin.ForEachSubset(d, k, func(set []int) bool {
+		f := db.Frequency(dataset.MustItemset(set...))
+		vals[i] = f + Laplace(r, scale)
+		i++
+		return true
+	})
+	return &Release{d: d, k: k, n: n, epsDP: epsDP, scale: scale, vals: vals}, nil
+}
+
+// Estimate returns the noisy frequency for a k-itemset. It panics if
+// |T| ≠ k.
+func (rl *Release) Estimate(t dataset.Itemset) float64 {
+	if t.Len() != rl.k {
+		panic(fmt.Sprintf("privacy: |T| = %d, release k = %d", t.Len(), rl.k))
+	}
+	return rl.vals[combin.Rank(t.Attrs())]
+}
+
+// Scale returns the per-query Laplace scale b.
+func (rl *Release) Scale() float64 { return rl.scale }
+
+// NumQueries returns C(d,k).
+func (rl *Release) NumQueries() int { return len(rl.vals) }
+
+// PredictedMaxError returns the high-probability bound on the maximum
+// error over all queries: b·ln(C(d,k)/δ) (union bound over Laplace
+// tails).
+func (rl *Release) PredictedMaxError(delta float64) float64 {
+	return rl.scale * math.Log(float64(len(rl.vals))/delta)
+}
+
+// MaxError measures the actual maximum error against the database the
+// release was built from.
+func (rl *Release) MaxError(db *dataset.Database) float64 {
+	maxErr := 0.0
+	i := 0
+	db.BuildColumnIndex()
+	combin.ForEachSubset(rl.d, rl.k, func(set []int) bool {
+		f := db.Frequency(dataset.MustItemset(set...))
+		if e := math.Abs(rl.vals[i] - f); e > maxErr {
+			maxErr = e
+		}
+		i++
+		return true
+	})
+	return maxErr
+}

@@ -1,0 +1,122 @@
+package privacy
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/dataset"
+	"repro/internal/rng"
+)
+
+func TestLaplaceDistribution(t *testing.T) {
+	r := rng.New(1)
+	const b = 2.5
+	const n = 200000
+	sum, sumAbs := 0.0, 0.0
+	for i := 0; i < n; i++ {
+		x := Laplace(r, b)
+		sum += x
+		sumAbs += math.Abs(x)
+	}
+	mean := sum / n
+	meanAbs := sumAbs / n // E|X| = b for Laplace
+	if math.Abs(mean) > 0.05 {
+		t.Errorf("Laplace mean %g, want ~0", mean)
+	}
+	if math.Abs(meanAbs-b) > 0.05 {
+		t.Errorf("Laplace E|X| = %g, want %g", meanAbs, b)
+	}
+}
+
+func TestReleaseValidation(t *testing.T) {
+	db := dataset.NewDatabase(4)
+	db.AddRowAttrs(0)
+	if _, err := NewLaplaceRelease(db, 0, 1, 1); err == nil {
+		t.Error("k = 0 should fail")
+	}
+	if _, err := NewLaplaceRelease(db, 5, 1, 1); err == nil {
+		t.Error("k > d should fail")
+	}
+	if _, err := NewLaplaceRelease(db, 1, 0, 1); err == nil {
+		t.Error("eps_DP = 0 should fail")
+	}
+	empty := dataset.NewDatabase(4)
+	if _, err := NewLaplaceRelease(empty, 1, 1, 1); err == nil {
+		t.Error("empty database should fail")
+	}
+}
+
+func TestReleaseAccuracyScalesWithN(t *testing.T) {
+	// Footnote 3's shape: at fixed eps_DP the error decays as 1/n, so
+	// for large n the DP release is a valid For-All estimator sketch.
+	r := rng.New(2)
+	const d, k, epsDP = 10, 2, 1.0
+	var errSmall, errLarge float64
+	{
+		db := dataset.GenUniform(r, 500, d, 0.3)
+		rel, err := NewLaplaceRelease(db, k, epsDP, 7)
+		if err != nil {
+			t.Fatal(err)
+		}
+		errSmall = rel.MaxError(db)
+	}
+	{
+		db := dataset.GenUniform(r, 50000, d, 0.3)
+		rel, err := NewLaplaceRelease(db, k, epsDP, 8)
+		if err != nil {
+			t.Fatal(err)
+		}
+		errLarge = rel.MaxError(db)
+	}
+	if errLarge >= errSmall/10 {
+		t.Fatalf("100x rows should shrink error ~100x: small-n %g vs large-n %g", errSmall, errLarge)
+	}
+}
+
+func TestReleaseWithinPredictedBound(t *testing.T) {
+	r := rng.New(3)
+	db := dataset.GenUniform(r, 20000, 12, 0.3)
+	rel, err := NewLaplaceRelease(db, 2, 1.0, 11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, bound := rel.MaxError(db), rel.PredictedMaxError(0.01); got > bound {
+		t.Fatalf("max error %g exceeds the delta=0.01 bound %g", got, bound)
+	}
+	if rel.NumQueries() != 66 {
+		t.Fatalf("queries = %d, want C(12,2)=66", rel.NumQueries())
+	}
+	if rel.Scale() != 66.0/(20000*1.0) {
+		t.Fatalf("scale = %g", rel.Scale())
+	}
+}
+
+func TestReleaseEstimatePanicsOnWrongSize(t *testing.T) {
+	r := rng.New(4)
+	db := dataset.GenUniform(r, 100, 6, 0.5)
+	rel, err := NewLaplaceRelease(db, 2, 1, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("wrong itemset size should panic")
+		}
+	}()
+	rel.Estimate(dataset.MustItemset(1))
+}
+
+func TestReleaseNoiseIsSeeded(t *testing.T) {
+	r := rng.New(5)
+	db := dataset.GenUniform(r, 1000, 8, 0.4)
+	a, _ := NewLaplaceRelease(db, 2, 1, 42)
+	b, _ := NewLaplaceRelease(db, 2, 1, 42)
+	c, _ := NewLaplaceRelease(db, 2, 1, 43)
+	T := dataset.MustItemset(2, 5)
+	if a.Estimate(T) != b.Estimate(T) {
+		t.Error("same seed must reproduce the release")
+	}
+	if a.Estimate(T) == c.Estimate(T) {
+		t.Error("different seeds should differ")
+	}
+}

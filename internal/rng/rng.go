@@ -1,0 +1,174 @@
+// Package rng provides a deterministic, splittable pseudo-random number
+// generator used for all randomized components: the SUBSAMPLE sketching
+// algorithm, workload generators, and the random matrices of Lemma 26.
+//
+// The generator is xoshiro256** seeded through splitmix64, following the
+// reference construction of Blackman and Vigna. A dedicated generator
+// (rather than math/rand's global state) keeps every experiment
+// reproducible from a single seed, and Split lets independent components
+// derive decorrelated streams from one root seed.
+package rng
+
+import (
+	"math"
+	"math/bits"
+)
+
+// RNG is a xoshiro256** generator. It is not safe for concurrent use;
+// use Split to hand each goroutine its own stream.
+type RNG struct {
+	s [4]uint64
+}
+
+// New returns a generator seeded from seed via splitmix64, so that any
+// seed (including 0) yields a well-mixed initial state.
+func New(seed uint64) *RNG {
+	r := &RNG{}
+	sm := seed
+	for i := range r.s {
+		sm += 0x9E3779B97F4A7C15
+		z := sm
+		z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9
+		z = (z ^ (z >> 27)) * 0x94D049BB133111EB
+		r.s[i] = z ^ (z >> 31)
+	}
+	return r
+}
+
+// Uint64 returns the next 64 random bits.
+func (r *RNG) Uint64() uint64 {
+	result := bits.RotateLeft64(r.s[1]*5, 7) * 9
+	t := r.s[1] << 17
+	r.s[2] ^= r.s[0]
+	r.s[3] ^= r.s[1]
+	r.s[1] ^= r.s[2]
+	r.s[0] ^= r.s[3]
+	r.s[2] ^= t
+	r.s[3] = bits.RotateLeft64(r.s[3], 45)
+	return result
+}
+
+// Split returns a new generator whose stream is decorrelated from r's.
+// It advances r.
+func (r *RNG) Split() *RNG {
+	return New(r.Uint64() ^ 0xA5A5A5A5DEADBEEF)
+}
+
+// Intn returns a uniform integer in [0, n). It panics if n <= 0.
+// It uses Lemire's nearly-divisionless bounded rejection method.
+func (r *RNG) Intn(n int) int {
+	if n <= 0 {
+		panic("rng: Intn with n <= 0")
+	}
+	bound := uint64(n)
+	x := r.Uint64()
+	hi, lo := bits.Mul64(x, bound)
+	if lo < bound {
+		thresh := -bound % bound
+		for lo < thresh {
+			x = r.Uint64()
+			hi, lo = bits.Mul64(x, bound)
+		}
+	}
+	return int(hi)
+}
+
+// Int63 returns a uniform non-negative int64.
+func (r *RNG) Int63() int64 {
+	return int64(r.Uint64() >> 1)
+}
+
+// Float64 returns a uniform float64 in [0, 1).
+func (r *RNG) Float64() float64 {
+	return float64(r.Uint64()>>11) / (1 << 53)
+}
+
+// Bool returns a uniform random bit.
+func (r *RNG) Bool() bool {
+	return r.Uint64()&1 == 1
+}
+
+// Bernoulli returns true with probability p.
+func (r *RNG) Bernoulli(p float64) bool {
+	return r.Float64() < p
+}
+
+// Perm returns a uniform random permutation of [0, n) (Fisher–Yates).
+func (r *RNG) Perm(n int) []int {
+	p := make([]int, n)
+	for i := range p {
+		p[i] = i
+	}
+	for i := n - 1; i > 0; i-- {
+		j := r.Intn(i + 1)
+		p[i], p[j] = p[j], p[i]
+	}
+	return p
+}
+
+// Sample returns k distinct uniform values from [0, n) in increasing
+// order, using a partial Fisher–Yates when k is small relative to n.
+func (r *RNG) Sample(n, k int) []int {
+	if k < 0 || k > n {
+		panic("rng: Sample k out of range")
+	}
+	chosen := make(map[int]bool, k)
+	out := make([]int, 0, k)
+	// Floyd's algorithm: uniform k-subset in O(k) expected draws.
+	for j := n - k; j < n; j++ {
+		t := r.Intn(j + 1)
+		if chosen[t] {
+			t = j
+		}
+		chosen[t] = true
+		out = append(out, t)
+	}
+	// insertion sort (k is typically small)
+	for i := 1; i < len(out); i++ {
+		for j := i; j > 0 && out[j-1] > out[j]; j-- {
+			out[j-1], out[j] = out[j], out[j-1]
+		}
+	}
+	return out
+}
+
+// Zipf samples from a Zipf-like distribution over [0, n) with exponent
+// s > 0 using inverse-CDF on precomputed weights. For repeated sampling
+// construct a ZipfGen instead.
+type ZipfGen struct {
+	cdf []float64
+	rng *RNG
+}
+
+// NewZipf builds a Zipf sampler over ranks [0, n) with exponent s.
+func NewZipf(r *RNG, n int, s float64) *ZipfGen {
+	if n <= 0 {
+		panic("rng: NewZipf n <= 0")
+	}
+	cdf := make([]float64, n)
+	sum := 0.0
+	for i := 0; i < n; i++ {
+		sum += 1.0 / math.Pow(float64(i+1), s)
+		cdf[i] = sum
+	}
+	for i := range cdf {
+		cdf[i] /= sum
+	}
+	return &ZipfGen{cdf: cdf, rng: r}
+}
+
+// Next draws one rank.
+func (z *ZipfGen) Next() int {
+	u := z.rng.Float64()
+	// binary search for first cdf[i] >= u
+	lo, hi := 0, len(z.cdf)-1
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if z.cdf[mid] < u {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return lo
+}

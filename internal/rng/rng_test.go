@@ -1,0 +1,187 @@
+package rng
+
+import (
+	"math"
+	"testing"
+)
+
+func TestDeterminism(t *testing.T) {
+	a := New(12345)
+	b := New(12345)
+	for i := 0; i < 100; i++ {
+		if a.Uint64() != b.Uint64() {
+			t.Fatal("same seed must yield same stream")
+		}
+	}
+	c := New(54321)
+	same := 0
+	a2 := New(12345)
+	for i := 0; i < 100; i++ {
+		if a2.Uint64() == c.Uint64() {
+			same++
+		}
+	}
+	if same > 2 {
+		t.Fatalf("different seeds produced %d identical draws of 100", same)
+	}
+}
+
+func TestIntnBounds(t *testing.T) {
+	r := New(1)
+	for n := 1; n <= 10; n++ {
+		for i := 0; i < 1000; i++ {
+			v := r.Intn(n)
+			if v < 0 || v >= n {
+				t.Fatalf("Intn(%d) = %d out of range", n, v)
+			}
+		}
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("Intn(0) should panic")
+		}
+	}()
+	r.Intn(0)
+}
+
+func TestIntnUniformity(t *testing.T) {
+	r := New(99)
+	const n, draws = 10, 100000
+	counts := make([]int, n)
+	for i := 0; i < draws; i++ {
+		counts[r.Intn(n)]++
+	}
+	want := float64(draws) / n
+	for i, c := range counts {
+		if math.Abs(float64(c)-want) > 5*math.Sqrt(want) {
+			t.Errorf("bucket %d count %d deviates too far from %g", i, c, want)
+		}
+	}
+}
+
+func TestFloat64Range(t *testing.T) {
+	r := New(7)
+	sum := 0.0
+	for i := 0; i < 10000; i++ {
+		f := r.Float64()
+		if f < 0 || f >= 1 {
+			t.Fatalf("Float64 = %g out of [0,1)", f)
+		}
+		sum += f
+	}
+	if mean := sum / 10000; math.Abs(mean-0.5) > 0.02 {
+		t.Errorf("Float64 mean = %g, want ~0.5", mean)
+	}
+}
+
+func TestPerm(t *testing.T) {
+	r := New(3)
+	p := r.Perm(50)
+	seen := make([]bool, 50)
+	for _, v := range p {
+		if v < 0 || v >= 50 || seen[v] {
+			t.Fatalf("Perm invalid at %d", v)
+		}
+		seen[v] = true
+	}
+}
+
+func TestSample(t *testing.T) {
+	r := New(11)
+	for trial := 0; trial < 50; trial++ {
+		n := 1 + r.Intn(40)
+		k := r.Intn(n + 1)
+		s := r.Sample(n, k)
+		if len(s) != k {
+			t.Fatalf("Sample(%d,%d) len %d", n, k, len(s))
+		}
+		for i, v := range s {
+			if v < 0 || v >= n {
+				t.Fatalf("Sample value %d out of range", v)
+			}
+			if i > 0 && s[i-1] >= v {
+				t.Fatalf("Sample not strictly increasing: %v", s)
+			}
+		}
+	}
+}
+
+func TestSampleCoversAll(t *testing.T) {
+	r := New(5)
+	s := r.Sample(10, 10)
+	for i, v := range s {
+		if v != i {
+			t.Fatalf("Sample(10,10) = %v, want identity", s)
+		}
+	}
+}
+
+func TestSplitDecorrelates(t *testing.T) {
+	r := New(1)
+	a := r.Split()
+	b := r.Split()
+	same := 0
+	for i := 0; i < 100; i++ {
+		if a.Uint64() == b.Uint64() {
+			same++
+		}
+	}
+	if same > 2 {
+		t.Fatalf("split streams matched %d/100 times", same)
+	}
+}
+
+func TestBernoulli(t *testing.T) {
+	r := New(77)
+	hits := 0
+	const draws = 50000
+	for i := 0; i < draws; i++ {
+		if r.Bernoulli(0.3) {
+			hits++
+		}
+	}
+	p := float64(hits) / draws
+	if math.Abs(p-0.3) > 0.02 {
+		t.Errorf("Bernoulli(0.3) rate = %g", p)
+	}
+}
+
+func TestZipf(t *testing.T) {
+	r := New(13)
+	z := NewZipf(r, 100, 1.2)
+	counts := make([]int, 100)
+	for i := 0; i < 20000; i++ {
+		v := z.Next()
+		if v < 0 || v >= 100 {
+			t.Fatalf("Zipf out of range: %d", v)
+		}
+		counts[v]++
+	}
+	// rank 0 must dominate rank 50 heavily.
+	if counts[0] <= counts[50]*4 {
+		t.Errorf("Zipf shape wrong: counts[0]=%d counts[50]=%d", counts[0], counts[50])
+	}
+	// monotone non-increasing in aggregate: first decile > last decile
+	first, last := 0, 0
+	for i := 0; i < 10; i++ {
+		first += counts[i]
+		last += counts[90+i]
+	}
+	if first <= last {
+		t.Errorf("Zipf deciles wrong: first=%d last=%d", first, last)
+	}
+}
+
+func BenchmarkUint64(b *testing.B) {
+	r := New(1)
+	for i := 0; i < b.N; i++ {
+		_ = r.Uint64()
+	}
+}
+
+func BenchmarkIntn(b *testing.B) {
+	r := New(1)
+	for i := 0; i < b.N; i++ {
+		_ = r.Intn(1000)
+	}
+}

@@ -1,0 +1,115 @@
+package stream
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Mergeability (in the sense of Agarwal et al.'s mergeable summaries):
+// summaries of disjoint stream shards combine into a summary of the
+// union with the same guarantees. For the paper's SUBSAMPLE sketch this
+// is what makes distributed construction possible — each shard keeps a
+// reservoir, and the coordinator merges them into a uniform sample of
+// the full database.
+
+// Merge combines two reservoirs over disjoint streams into a new
+// reservoir whose contents are a uniform sample (without replacement)
+// of the union. Both inputs must have the same attribute width and
+// capacity; they are not modified. The merged sample has the common
+// capacity (or fewer rows if the union is smaller).
+func Merge(a, b *Reservoir, seed uint64) (*Reservoir, error) {
+	if a.d != b.d {
+		return nil, fmt.Errorf("stream: merge width mismatch %d vs %d", a.d, b.d)
+	}
+	if a.capacity != b.capacity {
+		return nil, fmt.Errorf("stream: merge capacity mismatch %d vs %d", a.capacity, b.capacity)
+	}
+	out, err := NewReservoir(a.d, a.capacity, seed)
+	if err != nil {
+		return nil, err
+	}
+	out.seen = a.seen + b.seen
+
+	// Work on copies of the sample lists; draw each output slot from
+	// shard A with probability proportional to its remaining stream
+	// weight (the standard mergeable-summaries coin).
+	ra := append([]int(nil), indices(len(a.rows))...)
+	rb := append([]int(nil), indices(len(b.rows))...)
+	na, nb := a.seen, b.seen
+	for len(out.rows) < out.capacity && (len(ra) > 0 || len(rb) > 0) {
+		pickA := false
+		switch {
+		case len(ra) == 0:
+			pickA = false
+		case len(rb) == 0:
+			pickA = true
+		default:
+			pickA = out.rng.Float64()*float64(na+nb) < float64(na)
+		}
+		if pickA {
+			j := out.rng.Intn(len(ra))
+			out.rows = append(out.rows, a.rows[ra[j]].Clone())
+			ra[j] = ra[len(ra)-1]
+			ra = ra[:len(ra)-1]
+			if na > 0 {
+				na--
+			}
+		} else {
+			j := out.rng.Intn(len(rb))
+			out.rows = append(out.rows, b.rows[rb[j]].Clone())
+			rb[j] = rb[len(rb)-1]
+			rb = rb[:len(rb)-1]
+			if nb > 0 {
+				nb--
+			}
+		}
+	}
+	return out, nil
+}
+
+func indices(n int) []int {
+	out := make([]int, n)
+	for i := range out {
+		out[i] = i
+	}
+	return out
+}
+
+// MergeMG combines two Misra–Gries summaries with the same k into one
+// summary of the concatenated stream, preserving the N/k error
+// guarantee (counter addition followed by subtracting the k-th largest
+// count, per the mergeable-summaries construction).
+func MergeMG(a, b *MisraGries) (*MisraGries, error) {
+	if a.k != b.k {
+		return nil, fmt.Errorf("stream: merge k mismatch %d vs %d", a.k, b.k)
+	}
+	out, err := NewMisraGries(a.k)
+	if err != nil {
+		return nil, err
+	}
+	out.n = a.n + b.n
+	for it, c := range a.counters {
+		out.counters[it] += c
+	}
+	for it, c := range b.counters {
+		out.counters[it] += c
+	}
+	if len(out.counters) <= a.k-1 {
+		return out, nil
+	}
+	// Subtract the k-th largest counter value from all counters and
+	// drop the non-positive ones; at most k−1 survive.
+	counts := make([]int64, 0, len(out.counters))
+	for _, c := range out.counters {
+		counts = append(counts, c)
+	}
+	sort.Slice(counts, func(i, j int) bool { return counts[i] > counts[j] })
+	pivot := counts[a.k-1]
+	for it := range out.counters {
+		out.counters[it] -= pivot
+		if out.counters[it] <= 0 {
+			delete(out.counters, it)
+		}
+	}
+	return out, nil
+}

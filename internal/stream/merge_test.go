@@ -1,0 +1,189 @@
+package stream
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/bitvec"
+	"repro/internal/dataset"
+	"repro/internal/rng"
+)
+
+func TestMergeReservoirsUniform(t *testing.T) {
+	// Shard A's rows carry attribute 0, shard B's attribute 1; A saw
+	// twice as many rows. The merged sample must reflect the 2:1 mix.
+	const capacity = 200
+	const trials = 30
+	tot0, tot1 := 0, 0
+	for trial := 0; trial < trials; trial++ {
+		a, _ := NewReservoir(4, capacity, uint64(trial*2+1))
+		b, _ := NewReservoir(4, capacity, uint64(trial*2+2))
+		for i := 0; i < 4000; i++ {
+			a.Add(bitvec.FromIndices(4, []int{0}))
+		}
+		for i := 0; i < 2000; i++ {
+			b.Add(bitvec.FromIndices(4, []int{1}))
+		}
+		m, err := Merge(a, b, uint64(trial+100))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if m.Len() != capacity {
+			t.Fatalf("merged sample size %d, want %d", m.Len(), capacity)
+		}
+		if m.Seen() != 6000 {
+			t.Fatalf("merged seen %d, want 6000", m.Seen())
+		}
+		db := m.Database()
+		tot0 += db.Count(dataset.MustItemset(0))
+		tot1 += db.Count(dataset.MustItemset(1))
+	}
+	frac := float64(tot0) / float64(tot0+tot1)
+	if math.Abs(frac-2.0/3) > 0.03 {
+		t.Errorf("shard A fraction %g, want ~2/3", frac)
+	}
+}
+
+func TestMergeReservoirSmallInputs(t *testing.T) {
+	a, _ := NewReservoir(4, 10, 1)
+	b, _ := NewReservoir(4, 10, 2)
+	a.AddAttrs(0)
+	b.AddAttrs(1)
+	b.AddAttrs(2)
+	m, err := Merge(a, b, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Len() != 3 {
+		t.Fatalf("merged len %d, want all 3 rows", m.Len())
+	}
+	if m.Seen() != 3 {
+		t.Fatalf("seen %d", m.Seen())
+	}
+}
+
+func TestMergeReservoirErrors(t *testing.T) {
+	a, _ := NewReservoir(4, 10, 1)
+	b, _ := NewReservoir(5, 10, 2)
+	if _, err := Merge(a, b, 3); err == nil {
+		t.Error("width mismatch should fail")
+	}
+	c, _ := NewReservoir(4, 20, 2)
+	if _, err := Merge(a, c, 3); err == nil {
+		t.Error("capacity mismatch should fail")
+	}
+}
+
+func TestMergeMGPreservesGuarantee(t *testing.T) {
+	const k = 12
+	a, _ := NewMisraGries(k)
+	b, _ := NewMisraGries(k)
+	truth := map[int]int64{}
+	g := rng.New(15)
+	za := rng.NewZipf(g, 60, 1.3)
+	zb := rng.NewZipf(g, 60, 1.3)
+	for i := 0; i < 10000; i++ {
+		x := za.Next()
+		truth[x]++
+		a.Add(x)
+		y := zb.Next() + 5 // shifted distribution on shard B
+		if y >= 60 {
+			y -= 60
+		}
+		truth[y]++
+		b.Add(y)
+	}
+	m, err := MergeMG(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.N() != 20000 {
+		t.Fatalf("merged N = %d", m.N())
+	}
+	if m.SizeCounters() > k-1 {
+		t.Fatalf("merged counters %d exceed k-1 = %d", m.SizeCounters(), k-1)
+	}
+	slack := m.N() / int64(k)
+	for it, tc := range truth {
+		est := m.Count(it)
+		if est > tc {
+			t.Fatalf("item %d overestimated after merge: %d > %d", it, est, tc)
+		}
+		if tc-est > slack {
+			t.Fatalf("item %d: true %d est %d exceeds slack %d", it, tc, est, slack)
+		}
+	}
+}
+
+func TestMergeMGKMismatch(t *testing.T) {
+	a, _ := NewMisraGries(5)
+	b, _ := NewMisraGries(6)
+	if _, err := MergeMG(a, b); err == nil {
+		t.Error("k mismatch should fail")
+	}
+}
+
+func TestSpaceSavingGuarantee(t *testing.T) {
+	const k = 15
+	ss, err := NewSpaceSaving(k)
+	if err != nil {
+		t.Fatal(err)
+	}
+	truth := map[int]int64{}
+	g := rng.New(16)
+	z := rng.NewZipf(g, 80, 1.4)
+	for i := 0; i < 30000; i++ {
+		x := z.Next()
+		truth[x]++
+		ss.Add(x)
+	}
+	if ss.SizeCounters() > k {
+		t.Fatalf("counters %d exceed k", ss.SizeCounters())
+	}
+	slack := ss.N() / int64(k)
+	for it, tc := range truth {
+		est := ss.Count(it)
+		if est == 0 {
+			// unmonitored: truth must be below the eviction ceiling
+			if tc > slack {
+				t.Fatalf("frequent item %d (count %d) evicted beyond slack %d", it, tc, slack)
+			}
+			continue
+		}
+		if est < tc {
+			t.Fatalf("space-saving must never underestimate: item %d est %d < true %d", it, est, tc)
+		}
+		if est-tc > ss.ErrorBound(it) {
+			t.Fatalf("item %d: overestimate %d exceeds recorded bound %d", it, est-tc, ss.ErrorBound(it))
+		}
+	}
+}
+
+func TestSpaceSavingHeavyHittersNoFalseNegatives(t *testing.T) {
+	const k = 25
+	ss, _ := NewSpaceSaving(k)
+	truth := map[int]int64{}
+	g := rng.New(17)
+	z := rng.NewZipf(g, 40, 1.5)
+	for i := 0; i < 20000; i++ {
+		x := z.Next()
+		truth[x]++
+		ss.Add(x)
+	}
+	const phi = 0.08
+	hh := map[int]bool{}
+	for _, it := range ss.HeavyHitters(phi) {
+		hh[it] = true
+	}
+	for it, c := range truth {
+		if float64(c) >= phi*float64(ss.N()) && !hh[it] {
+			t.Fatalf("heavy item %d (freq %g) missed", it, float64(c)/float64(ss.N()))
+		}
+	}
+}
+
+func TestSpaceSavingValidation(t *testing.T) {
+	if _, err := NewSpaceSaving(0); err == nil {
+		t.Error("k = 0 should fail")
+	}
+}

@@ -1,0 +1,98 @@
+package stream
+
+import (
+	"fmt"
+	"sort"
+)
+
+// SpaceSaving (Metwally–Agrawal–El Abbadi) is the other classical
+// heavy-hitters counter summary: k counters; an unmonitored item evicts
+// the minimum counter and inherits its count as its error bound. It
+// overestimates: Count(x) − ErrorBound(x) ≤ true(x) ≤ Count(x), with
+// ErrorBound ≤ N/k. Included alongside Misra–Gries for the paper's
+// single-item contrast — both beat sampling for items; neither extends
+// to itemsets.
+type SpaceSaving struct {
+	k        int
+	counters map[int]*ssEntry
+	n        int64
+}
+
+type ssEntry struct {
+	count int64
+	err   int64
+}
+
+// NewSpaceSaving creates a summary with k ≥ 1 counters (choose
+// k = ⌈1/ε⌉ for additive error ε·N).
+func NewSpaceSaving(k int) (*SpaceSaving, error) {
+	if k < 1 {
+		return nil, fmt.Errorf("stream: space-saving needs k ≥ 1, got %d", k)
+	}
+	return &SpaceSaving{k: k, counters: make(map[int]*ssEntry)}, nil
+}
+
+// Add processes one occurrence of item.
+func (ss *SpaceSaving) Add(item int) {
+	ss.n++
+	if e, ok := ss.counters[item]; ok {
+		e.count++
+		return
+	}
+	if len(ss.counters) < ss.k {
+		ss.counters[item] = &ssEntry{count: 1}
+		return
+	}
+	// Evict the minimum counter.
+	minItem, minCount := 0, int64(1)<<62
+	for it, e := range ss.counters {
+		if e.count < minCount {
+			minItem, minCount = it, e.count
+		}
+	}
+	delete(ss.counters, minItem)
+	ss.counters[item] = &ssEntry{count: minCount + 1, err: minCount}
+}
+
+// N returns the number of occurrences processed.
+func (ss *SpaceSaving) N() int64 { return ss.n }
+
+// Count returns the (over)estimate of item's count; 0 if unmonitored.
+func (ss *SpaceSaving) Count(item int) int64 {
+	if e, ok := ss.counters[item]; ok {
+		return e.count
+	}
+	return 0
+}
+
+// ErrorBound returns the maximum overestimate for item.
+func (ss *SpaceSaving) ErrorBound(item int) int64 {
+	if e, ok := ss.counters[item]; ok {
+		return e.err
+	}
+	return 0
+}
+
+// HeavyHitters returns monitored items whose estimate reaches phi·N in
+// decreasing count order. Every item with true frequency ≥ phi is
+// included (counts never underestimate).
+func (ss *SpaceSaving) HeavyHitters(phi float64) []int {
+	thresh := phi * float64(ss.n)
+	var out []int
+	for it, e := range ss.counters {
+		if float64(e.count) >= thresh {
+			out = append(out, it)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		ci, cj := ss.counters[out[i]].count, ss.counters[out[j]].count
+		if ci != cj {
+			return ci > cj
+		}
+		return out[i] < out[j]
+	})
+	return out
+}
+
+// SizeCounters returns the number of live counters (≤ k).
+func (ss *SpaceSaving) SizeCounters() int { return len(ss.counters) }

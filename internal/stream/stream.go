@@ -1,0 +1,179 @@
+// Package stream provides one-pass streaming algorithms connected to
+// the paper's discussion.
+//
+// Reservoir sampling is the streaming implementation of SUBSAMPLE
+// (Definition 8): one pass over the rows maintains a uniform sample, so
+// the paper's optimal sketch is constructible without ever storing the
+// database. The paper's §1.2/§5 observation — that no streaming
+// algorithm for approximate frequent itemsets is known to beat uniform
+// row sampling, and by its lower bounds none can by more than small
+// factors — is what makes this simple sketch the practical default.
+//
+// Misra–Gries is included as the contrast: for the *single-item* heavy
+// hitters problem, deterministic counter algorithms beat sampling
+// (O(1/ε) counters, no log factors, deterministic guarantees). The
+// paper's point is that this improvement does not extend to itemsets.
+package stream
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/bitvec"
+	"repro/internal/dataset"
+	"repro/internal/rng"
+)
+
+// Reservoir maintains a uniform random sample of capacity rows from a
+// row stream (Vitter's Algorithm R). The sample is uniform without
+// replacement among all rows seen so far.
+type Reservoir struct {
+	d        int
+	capacity int
+	seen     int64
+	rows     []*bitvec.Vector
+	rng      *rng.RNG
+}
+
+// NewReservoir creates a reservoir for d-attribute rows holding up to
+// capacity rows.
+func NewReservoir(d, capacity int, seed uint64) (*Reservoir, error) {
+	if d < 1 {
+		return nil, fmt.Errorf("stream: reservoir needs d ≥ 1, got %d", d)
+	}
+	if capacity < 1 {
+		return nil, fmt.Errorf("stream: reservoir needs capacity ≥ 1, got %d", capacity)
+	}
+	return &Reservoir{d: d, capacity: capacity, rng: rng.New(seed)}, nil
+}
+
+// Add offers one row to the reservoir. The row is copied.
+func (r *Reservoir) Add(row *bitvec.Vector) {
+	if row.Len() != r.d {
+		panic(fmt.Sprintf("stream: row length %d, want %d", row.Len(), r.d))
+	}
+	r.seen++
+	if len(r.rows) < r.capacity {
+		r.rows = append(r.rows, row.Clone())
+		return
+	}
+	// Replace a random slot with probability capacity/seen.
+	j := r.rng.Int63() % r.seen
+	if j < int64(r.capacity) {
+		r.rows[j] = row.Clone()
+	}
+}
+
+// AddAttrs offers a row given as attribute indices.
+func (r *Reservoir) AddAttrs(attrs ...int) {
+	r.Add(bitvec.FromIndices(r.d, attrs))
+}
+
+// Seen returns the number of rows offered so far.
+func (r *Reservoir) Seen() int64 { return r.seen }
+
+// Len returns the current sample size.
+func (r *Reservoir) Len() int { return len(r.rows) }
+
+// Database materializes the current sample as a database — the
+// streaming SUBSAMPLE sketch payload.
+func (r *Reservoir) Database() *dataset.Database {
+	db := dataset.NewDatabase(r.d)
+	for _, row := range r.rows {
+		db.AddRow(row.Clone())
+	}
+	return db
+}
+
+// Estimate returns the sample frequency of T, the Definition 8
+// recovery procedure.
+func (r *Reservoir) Estimate(t dataset.Itemset) float64 {
+	if len(r.rows) == 0 {
+		return 0
+	}
+	ind := t.Indicator(r.d)
+	c := 0
+	for _, row := range r.rows {
+		if row.ContainsAll(ind) {
+			c++
+		}
+	}
+	return float64(c) / float64(len(r.rows))
+}
+
+// MisraGries is the deterministic heavy-hitters summary for single
+// items: at most k−1 counters; after processing n item occurrences,
+// every item's count is underestimated by at most n/k.
+type MisraGries struct {
+	k        int
+	counters map[int]int64
+	n        int64
+}
+
+// NewMisraGries creates a summary with parameter k ≥ 2 (k−1 counters;
+// choose k = ⌈1/ε⌉+1 for additive error ε·n).
+func NewMisraGries(k int) (*MisraGries, error) {
+	if k < 2 {
+		return nil, fmt.Errorf("stream: misra-gries needs k ≥ 2, got %d", k)
+	}
+	return &MisraGries{k: k, counters: make(map[int]int64)}, nil
+}
+
+// Add processes one occurrence of item.
+func (mg *MisraGries) Add(item int) {
+	mg.n++
+	if _, ok := mg.counters[item]; ok {
+		mg.counters[item]++
+		return
+	}
+	if len(mg.counters) < mg.k-1 {
+		mg.counters[item] = 1
+		return
+	}
+	// Decrement-all step; delete exhausted counters.
+	for it := range mg.counters {
+		mg.counters[it]--
+		if mg.counters[it] == 0 {
+			delete(mg.counters, it)
+		}
+	}
+}
+
+// AddRow processes every set attribute of a row as one item occurrence.
+func (mg *MisraGries) AddRow(row *bitvec.Vector) {
+	for _, a := range row.Ones() {
+		mg.Add(a)
+	}
+}
+
+// N returns the number of item occurrences processed.
+func (mg *MisraGries) N() int64 { return mg.n }
+
+// Count returns the (under)estimate of item's occurrence count; the
+// truth lies in [Count, Count + N/k].
+func (mg *MisraGries) Count(item int) int64 { return mg.counters[item] }
+
+// HeavyHitters returns all items whose true relative frequency might
+// be at least phi, in decreasing count order. Every item with true
+// frequency ≥ phi is included (no false negatives); items below
+// phi − 1/k may appear (false positives are bounded by the guarantee).
+func (mg *MisraGries) HeavyHitters(phi float64) []int {
+	thresh := phi*float64(mg.n) - float64(mg.n)/float64(mg.k)
+	var out []int
+	for it, c := range mg.counters {
+		if float64(c) >= thresh {
+			out = append(out, it)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		ci, cj := mg.counters[out[i]], mg.counters[out[j]]
+		if ci != cj {
+			return ci > cj
+		}
+		return out[i] < out[j]
+	})
+	return out
+}
+
+// SizeCounters returns the number of live counters (≤ k−1).
+func (mg *MisraGries) SizeCounters() int { return len(mg.counters) }

@@ -1,0 +1,190 @@
+package stream
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/bitvec"
+	"repro/internal/dataset"
+	"repro/internal/rng"
+)
+
+func TestReservoirValidation(t *testing.T) {
+	if _, err := NewReservoir(0, 5, 1); err == nil {
+		t.Error("d = 0 should fail")
+	}
+	if _, err := NewReservoir(5, 0, 1); err == nil {
+		t.Error("capacity = 0 should fail")
+	}
+}
+
+func TestReservoirFillsThenCaps(t *testing.T) {
+	r, err := NewReservoir(4, 10, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 7; i++ {
+		r.AddAttrs(i % 4)
+	}
+	if r.Len() != 7 || r.Seen() != 7 {
+		t.Fatalf("len=%d seen=%d, want 7/7", r.Len(), r.Seen())
+	}
+	for i := 0; i < 100; i++ {
+		r.AddAttrs(i % 4)
+	}
+	if r.Len() != 10 {
+		t.Fatalf("len=%d, want cap 10", r.Len())
+	}
+	if r.Seen() != 107 {
+		t.Fatalf("seen=%d", r.Seen())
+	}
+}
+
+func TestReservoirUniformity(t *testing.T) {
+	// Mark the first and second half of the stream with different
+	// attributes; a uniform sample retains both halves equally across
+	// many independent runs.
+	const n, cap = 1000, 100
+	const runs = 40
+	early, late := 0, 0
+	for run := 0; run < runs; run++ {
+		r, _ := NewReservoir(16, cap, uint64(run+101))
+		for i := 0; i < n; i++ {
+			row := bitvec.New(16)
+			if i < n/2 {
+				row.Set(0) // early marker
+			} else {
+				row.Set(1) // late marker
+			}
+			r.Add(row)
+		}
+		db := r.Database()
+		early += db.Count(dataset.MustItemset(0))
+		late += db.Count(dataset.MustItemset(1))
+	}
+	ratio := float64(early) / float64(early+late)
+	if math.Abs(ratio-0.5) > 0.05 {
+		t.Errorf("early fraction %g, want ~0.5 (uniform over stream)", ratio)
+	}
+}
+
+func TestReservoirEstimate(t *testing.T) {
+	r, _ := NewReservoir(8, 2000, 7)
+	g := rng.New(3)
+	db := dataset.GenPlanted(g, 10000, 8, 0.1, []dataset.Plant{
+		{Items: dataset.MustItemset(2, 5), Freq: 0.4},
+	})
+	for i := 0; i < db.NumRows(); i++ {
+		r.Add(db.Row(i))
+	}
+	T := dataset.MustItemset(2, 5)
+	if math.Abs(r.Estimate(T)-db.Frequency(T)) > 0.05 {
+		t.Errorf("reservoir estimate %g vs true %g", r.Estimate(T), db.Frequency(T))
+	}
+	if r.Estimate(dataset.MustItemset(0, 1, 2, 3, 4, 5, 6, 7)) > 0.01 {
+		t.Error("full itemset should be rare")
+	}
+}
+
+func TestReservoirEmptyEstimate(t *testing.T) {
+	r, _ := NewReservoir(4, 5, 1)
+	if r.Estimate(dataset.MustItemset(0)) != 0 {
+		t.Error("empty reservoir estimates 0")
+	}
+}
+
+func TestMisraGriesValidation(t *testing.T) {
+	if _, err := NewMisraGries(1); err == nil {
+		t.Error("k = 1 should fail")
+	}
+}
+
+func TestMisraGriesGuarantee(t *testing.T) {
+	// n occurrences, k counters: true − estimate ≤ n/k for every item.
+	const k = 10
+	mg, err := NewMisraGries(k)
+	if err != nil {
+		t.Fatal(err)
+	}
+	truth := map[int]int64{}
+	g := rng.New(11)
+	z := rng.NewZipf(g, 100, 1.5)
+	for i := 0; i < 20000; i++ {
+		it := z.Next()
+		truth[it]++
+		mg.Add(it)
+	}
+	if mg.N() != 20000 {
+		t.Fatalf("N = %d", mg.N())
+	}
+	slack := mg.N() / k
+	for it, tc := range truth {
+		est := mg.Count(it)
+		if est > tc {
+			t.Fatalf("item %d overestimated: %d > %d", it, est, tc)
+		}
+		if tc-est > slack {
+			t.Fatalf("item %d undershoots guarantee: true %d est %d slack %d", it, tc, est, slack)
+		}
+	}
+	if mg.SizeCounters() > k-1 {
+		t.Fatalf("counters %d exceed k-1", mg.SizeCounters())
+	}
+}
+
+func TestMisraGriesHeavyHittersNoFalseNegatives(t *testing.T) {
+	const k = 20
+	mg, _ := NewMisraGries(k)
+	truth := map[int]int64{}
+	g := rng.New(12)
+	z := rng.NewZipf(g, 50, 1.4)
+	for i := 0; i < 30000; i++ {
+		it := z.Next()
+		truth[it]++
+		mg.Add(it)
+	}
+	const phi = 0.1
+	hh := map[int]bool{}
+	for _, it := range mg.HeavyHitters(phi) {
+		hh[it] = true
+	}
+	for it, c := range truth {
+		if float64(c) >= phi*float64(mg.N()) && !hh[it] {
+			t.Fatalf("item %d with freq %g missed", it, float64(c)/float64(mg.N()))
+		}
+	}
+}
+
+func TestMisraGriesAddRow(t *testing.T) {
+	mg, _ := NewMisraGries(8)
+	row := bitvec.FromIndices(10, []int{1, 4, 7})
+	mg.AddRow(row)
+	if mg.N() != 3 {
+		t.Fatalf("N = %d, want 3", mg.N())
+	}
+}
+
+func BenchmarkReservoirAdd(b *testing.B) {
+	r, _ := NewReservoir(64, 1000, 1)
+	row := bitvec.FromIndices(64, []int{1, 5, 30, 62})
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		r.Add(row)
+	}
+}
+
+func BenchmarkMisraGries(b *testing.B) {
+	mg, _ := NewMisraGries(100)
+	g := rng.New(1)
+	z := rng.NewZipf(g, 1000, 1.2)
+	items := make([]int, 4096)
+	for i := range items {
+		items[i] = z.Next()
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		mg.Add(items[i%len(items)])
+	}
+}

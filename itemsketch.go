@@ -1,0 +1,206 @@
+// Package itemsketch is the public API of the reproduction of "Space
+// Lower Bounds for Itemset Frequency Sketches" (Liberty, Mitzenmacher,
+// Thaler, Ullman; PODS 2016).
+//
+// It exposes the sketching framework — binary databases, the four
+// sketching problems of Definitions 1–4, the three naive algorithms
+// (RELEASE-DB, RELEASE-ANSWERS, SUBSAMPLE), the Theorem 12 planner, and
+// the Theorem 17 median amplification — together with frequent-itemset
+// mining over sketches and streaming construction. The lower-bound
+// machinery (the reason uniform sampling is the right default) lives in
+// internal/lowerbound and is exercised by cmd/attack and the
+// experiments harness.
+//
+// Quick start:
+//
+//	db := itemsketch.NewDatabase(64)
+//	db.AddRowAttrs(3, 17, 42)
+//	// ... add rows ...
+//	p := itemsketch.Params{K: 2, Eps: 0.05, Delta: 0.05,
+//	    Mode: itemsketch.ForAll, Task: itemsketch.Estimator}
+//	sk, plan, err := itemsketch.Auto(db, p, 1)
+//	f := sk.(itemsketch.EstimatorSketch).Estimate(itemsketch.MustItemset(3, 17))
+package itemsketch
+
+import (
+	"io"
+
+	"repro/internal/bitvec"
+	"repro/internal/core"
+	"repro/internal/dataset"
+	"repro/internal/mining"
+	"repro/internal/stream"
+)
+
+// Core data types, re-exported from the implementation packages.
+type (
+	// Database is a binary database: n rows over d attribute columns.
+	Database = dataset.Database
+	// Itemset is a set of attribute indices.
+	Itemset = dataset.Itemset
+	// Plant describes an itemset planted into generated data.
+	Plant = dataset.Plant
+	// BasketConfig parameterizes the market-basket generator.
+	BasketConfig = dataset.BasketConfig
+
+	// Params carries (k, ε, δ) and the problem variant.
+	Params = core.Params
+	// Mode selects the For-All or For-Each guarantee.
+	Mode = core.Mode
+	// Task selects indicator or estimator queries.
+	Task = core.Task
+	// Sketch answers itemset frequency questions.
+	Sketch = core.Sketch
+	// EstimatorSketch additionally returns frequency estimates.
+	EstimatorSketch = core.EstimatorSketch
+	// Sketcher builds sketches from databases.
+	Sketcher = core.Sketcher
+	// Plan records the Theorem 12 algorithm comparison.
+	Plan = core.Plan
+
+	// ReleaseDB stores the database verbatim (Definition 6).
+	ReleaseDB = core.ReleaseDB
+	// ReleaseAnswers precomputes every k-itemset answer (Definition 7).
+	ReleaseAnswers = core.ReleaseAnswers
+	// Subsample stores uniform row samples (Definition 8) — the
+	// algorithm the paper proves essentially optimal.
+	Subsample = core.Subsample
+	// ImportanceSample is the §5 extension: length-weighted sampling
+	// with a Horvitz–Thompson estimator, for structured databases.
+	ImportanceSample = core.ImportanceSample
+	// MedianAmplifier converts For-Each estimators into For-All
+	// estimators (Theorem 17).
+	MedianAmplifier = core.MedianAmplifier
+
+	// MiningResult is one mined itemset with its frequency.
+	MiningResult = mining.Result
+	// Rule is an association rule with support/confidence/lift.
+	Rule = mining.Rule
+	// FrequencySource abstracts exact databases and sketches for the
+	// miners.
+	FrequencySource = mining.FrequencySource
+
+	// Reservoir is the one-pass streaming SUBSAMPLE builder.
+	Reservoir = stream.Reservoir
+	// MisraGries is the deterministic single-item heavy hitters
+	// summary, included for the paper's contrast with itemsets.
+	MisraGries = stream.MisraGries
+	// SpaceSaving is the counter-eviction heavy hitters summary.
+	SpaceSaving = stream.SpaceSaving
+)
+
+// Guarantee modes and tasks (Definitions 1–4).
+const (
+	ForEach = core.ForEach
+	ForAll  = core.ForAll
+
+	Indicator = core.Indicator
+	Estimator = core.Estimator
+)
+
+// NewDatabase returns an empty database with d attribute columns.
+func NewDatabase(d int) *Database { return dataset.NewDatabase(d) }
+
+// NewItemset builds an itemset from attribute indices.
+func NewItemset(attrs ...int) (Itemset, error) { return dataset.NewItemset(attrs...) }
+
+// MustItemset is NewItemset that panics on invalid input.
+func MustItemset(attrs ...int) Itemset { return dataset.MustItemset(attrs...) }
+
+// ReadTransactions parses the standard one-basket-per-line format.
+func ReadTransactions(r io.Reader, d int) (*Database, error) {
+	return dataset.ReadTransactions(r, d)
+}
+
+// Auto plans (Theorem 12) and builds the smallest naive sketch.
+func Auto(db *Database, p Params, seed uint64) (Sketch, Plan, error) {
+	return core.AutoSketch(db, p, seed)
+}
+
+// SampleSize returns the Lemma 9 SUBSAMPLE row count for the given
+// parameters on a d-column database.
+func SampleSize(d int, p Params) int { return core.SampleSize(d, p) }
+
+// Marshal serializes a sketch; bits is its exact size |S| in bits
+// (Definition 5) — the paper's space measure.
+func Marshal(s Sketch) (data []byte, bits int) {
+	var w bitvec.Writer
+	s.MarshalBits(&w)
+	return w.Bytes(), w.BitLen()
+}
+
+// Unmarshal decodes a sketch produced by Marshal.
+func Unmarshal(data []byte, bits int) (Sketch, error) {
+	return core.UnmarshalSketch(bitvec.NewReader(data, bits))
+}
+
+// Apriori mines itemsets with frequency ≥ minSupport and size ≤ maxK
+// from any frequency source (exact database or sketch).
+func Apriori(src FrequencySource, minSupport float64, maxK int) []MiningResult {
+	return mining.Apriori(src, minSupport, maxK)
+}
+
+// Eclat mines the same collection as Apriori from an exact database,
+// using vertical bitmap intersection.
+func Eclat(db *Database, minSupport float64, maxK int) []MiningResult {
+	return mining.Eclat(db, minSupport, maxK)
+}
+
+// FPGrowth mines the same collection as Apriori from an exact
+// database, using an FP-tree with no candidate generation.
+func FPGrowth(db *Database, minSupport float64, maxK int) []MiningResult {
+	return mining.FPGrowth(db, minSupport, maxK)
+}
+
+// ToivonenReport is the outcome of a Toivonen sample-then-verify pass.
+type ToivonenReport = mining.ToivonenReport
+
+// Toivonen mines db exactly at minSupport using a row sample mined at
+// loweredSupport plus negative-border verification — usually a single
+// full scan (Mannila–Toivonen line of work, §1.2 of the paper).
+func Toivonen(db, sample *Database, minSupport, loweredSupport float64, maxK int) (ToivonenReport, error) {
+	return mining.Toivonen(db, sample, minSupport, loweredSupport, maxK)
+}
+
+// OnDatabase adapts an exact database into a FrequencySource.
+func OnDatabase(db *Database) FrequencySource { return mining.DBSource{DB: db} }
+
+// OnSketch adapts an estimator sketch over d attributes into a
+// FrequencySource — the §1.1.2 "mine the sketch, not the data" path.
+func OnSketch(s EstimatorSketch, d int) FrequencySource {
+	return mining.EstimatorSource{Est: s, Attrs: d}
+}
+
+// Maximal filters a mined collection to its maximal itemsets.
+func Maximal(rs []MiningResult) []MiningResult { return mining.FilterMaximal(rs) }
+
+// Closed filters a mined collection to its closed itemsets.
+func Closed(rs []MiningResult) []MiningResult { return mining.FilterClosed(rs) }
+
+// AssociationRules derives rules with confidence ≥ minConfidence.
+func AssociationRules(rs []MiningResult, minConfidence float64) []Rule {
+	return mining.Rules(rs, minConfidence)
+}
+
+// NewReservoir creates a streaming uniform row sampler.
+func NewReservoir(d, capacity int, seed uint64) (*Reservoir, error) {
+	return stream.NewReservoir(d, capacity, seed)
+}
+
+// NewMisraGries creates a deterministic heavy-hitters summary.
+func NewMisraGries(k int) (*MisraGries, error) { return stream.NewMisraGries(k) }
+
+// NewSpaceSaving creates a counter-eviction heavy-hitters summary.
+func NewSpaceSaving(k int) (*SpaceSaving, error) { return stream.NewSpaceSaving(k) }
+
+// MergeReservoirs combines reservoirs over disjoint stream shards into
+// a uniform sample of the union — distributed SUBSAMPLE construction.
+func MergeReservoirs(a, b *Reservoir, seed uint64) (*Reservoir, error) {
+	return stream.Merge(a, b, seed)
+}
+
+// MergeMisraGries combines two Misra–Gries summaries of disjoint
+// shards, preserving the N/k error guarantee.
+func MergeMisraGries(a, b *MisraGries) (*MisraGries, error) {
+	return stream.MergeMG(a, b)
+}

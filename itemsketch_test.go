@@ -1,0 +1,236 @@
+package itemsketch_test
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	itemsketch "repro"
+	"repro/internal/rng"
+)
+
+func buildDB(t testing.TB) *itemsketch.Database {
+	t.Helper()
+	db := itemsketch.NewDatabase(16)
+	r := rng.New(7)
+	for i := 0; i < 5000; i++ {
+		var attrs []int
+		for a := 0; a < 16; a++ {
+			if r.Bernoulli(0.2) {
+				attrs = append(attrs, a)
+			}
+		}
+		if r.Bernoulli(0.5) {
+			attrs = append(attrs, 2, 3)
+		}
+		db.AddRowAttrs(dedupe(attrs)...)
+	}
+	return db
+}
+
+func dedupe(a []int) []int {
+	seen := map[int]bool{}
+	var out []int
+	for _, v := range a {
+		if !seen[v] {
+			seen[v] = true
+			out = append(out, v)
+		}
+	}
+	return out
+}
+
+func TestPublicAPIEndToEnd(t *testing.T) {
+	db := buildDB(t)
+	p := itemsketch.Params{K: 2, Eps: 0.05, Delta: 0.05,
+		Mode: itemsketch.ForAll, Task: itemsketch.Estimator}
+	sk, plan, err := itemsketch.Auto(db, p, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plan.Winner == nil || len(plan.Costs) != 3 {
+		t.Fatal("plan incomplete")
+	}
+	T := itemsketch.MustItemset(2, 3)
+	est := sk.(itemsketch.EstimatorSketch).Estimate(T)
+	if math.Abs(est-db.Frequency(T)) > p.Eps {
+		t.Fatalf("estimate %g vs true %g beyond eps", est, db.Frequency(T))
+	}
+
+	// Serialization round trip through the public helpers.
+	data, bits := itemsketch.Marshal(sk)
+	if int64(bits) != sk.SizeBits() {
+		t.Fatalf("Marshal bits %d != SizeBits %d", bits, sk.SizeBits())
+	}
+	got, err := itemsketch.Unmarshal(data, bits)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.(itemsketch.EstimatorSketch).Estimate(T) != est {
+		t.Fatal("estimate changed after round trip")
+	}
+}
+
+func TestPublicMiningOnSketch(t *testing.T) {
+	db := buildDB(t)
+	p := itemsketch.Params{K: 3, Eps: 0.02, Delta: 0.05,
+		Mode: itemsketch.ForAll, Task: itemsketch.Estimator}
+	sk, err := itemsketch.Subsample{Seed: 5}.Sketch(db, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	exact := itemsketch.Apriori(itemsketch.OnDatabase(db), 0.3, 2)
+	approx := itemsketch.Apriori(itemsketch.OnSketch(sk.(itemsketch.EstimatorSketch), 16), 0.3, 2)
+	if len(exact) == 0 || len(approx) == 0 {
+		t.Fatal("mining found nothing")
+	}
+	// The planted pair {2,3} must appear in both.
+	found := 0
+	for _, rs := range [][]itemsketch.MiningResult{exact, approx} {
+		for _, r := range rs {
+			if r.Items.Equal(itemsketch.MustItemset(2, 3)) {
+				found++
+			}
+		}
+	}
+	if found != 2 {
+		t.Fatalf("planted pair found %d/2 times", found)
+	}
+	// Eclat agrees with Apriori on the exact database.
+	ec := itemsketch.Eclat(db, 0.3, 2)
+	if len(ec) != len(exact) {
+		t.Fatalf("eclat %d vs apriori %d", len(ec), len(exact))
+	}
+	// Condensed representations and rules run.
+	if m := itemsketch.Maximal(exact); len(m) == 0 {
+		t.Error("no maximal itemsets")
+	}
+	if c := itemsketch.Closed(exact); len(c) == 0 {
+		t.Error("no closed itemsets")
+	}
+	_ = itemsketch.AssociationRules(exact, 0.5)
+}
+
+func TestPublicStreaming(t *testing.T) {
+	res, err := itemsketch.NewReservoir(8, 500, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 3000; i++ {
+		res.AddAttrs(i%8, (i+1)%8)
+	}
+	if res.Len() != 500 || res.Seen() != 3000 {
+		t.Fatalf("reservoir state %d/%d", res.Len(), res.Seen())
+	}
+	mg, err := itemsketch.NewMisraGries(10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 1000; i++ {
+		mg.Add(i % 3)
+	}
+	if len(mg.HeavyHitters(0.2)) == 0 {
+		t.Error("heavy hitters missing")
+	}
+}
+
+func TestPublicTransactionsAndSampleSize(t *testing.T) {
+	db, err := itemsketch.ReadTransactions(strings.NewReader("0 1\n2\n"), 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if db.NumRows() != 2 {
+		t.Fatalf("rows %d", db.NumRows())
+	}
+	p := itemsketch.Params{K: 2, Eps: 0.1, Delta: 0.1,
+		Mode: itemsketch.ForEach, Task: itemsketch.Indicator}
+	if itemsketch.SampleSize(16, p) <= 0 {
+		t.Error("sample size must be positive")
+	}
+	if _, err := itemsketch.NewItemset(1, 1); err == nil {
+		t.Error("duplicate attrs should fail")
+	}
+}
+
+func TestPublicMergeAndSpaceSaving(t *testing.T) {
+	// Two shards, merged reservoir covers both.
+	a, err := itemsketch.NewReservoir(8, 100, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := itemsketch.NewReservoir(8, 100, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 1000; i++ {
+		a.AddAttrs(0, 1)
+		b.AddAttrs(2, 3)
+	}
+	m, err := itemsketch.MergeReservoirs(a, b, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Seen() != 2000 || m.Len() != 100 {
+		t.Fatalf("merged reservoir state %d/%d", m.Len(), m.Seen())
+	}
+	fa := m.Estimate(itemsketch.MustItemset(0, 1))
+	fb := m.Estimate(itemsketch.MustItemset(2, 3))
+	if fa == 0 || fb == 0 {
+		t.Fatal("merged sample must contain rows from both shards")
+	}
+
+	// Misra-Gries merge.
+	mg1, _ := itemsketch.NewMisraGries(10)
+	mg2, _ := itemsketch.NewMisraGries(10)
+	for i := 0; i < 500; i++ {
+		mg1.Add(1)
+		mg2.Add(2)
+	}
+	mgm, err := itemsketch.MergeMisraGries(mg1, mg2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mgm.N() != 1000 {
+		t.Fatalf("merged N = %d", mgm.N())
+	}
+
+	// SpaceSaving basics via the facade.
+	ss, err := itemsketch.NewSpaceSaving(8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 300; i++ {
+		ss.Add(i % 3)
+	}
+	if len(ss.HeavyHitters(0.2)) == 0 {
+		t.Error("space-saving heavy hitters missing")
+	}
+}
+
+func TestPublicToivonenAndFPGrowth(t *testing.T) {
+	db := buildDB(t)
+	// A reservoir sample drives Toivonen.
+	res, err := itemsketch.NewReservoir(16, 1500, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < db.NumRows(); i++ {
+		res.Add(db.Row(i))
+	}
+	rep, err := itemsketch.Toivonen(db, res.Database(), 0.3, 0.25, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.Complete() {
+		t.Log("single Toivonen pass incomplete (allowed; would retry)")
+	}
+	exact := itemsketch.FPGrowth(db, 0.3, 2)
+	if rep.Complete() && len(rep.Frequent) != len(exact) {
+		t.Fatalf("complete Toivonen pass found %d itemsets, exact %d", len(rep.Frequent), len(exact))
+	}
+	// FP-Growth agrees with Eclat through the facade.
+	ec := itemsketch.Eclat(db, 0.3, 2)
+	if len(exact) != len(ec) {
+		t.Fatalf("fp-growth %d vs eclat %d", len(exact), len(ec))
+	}
+}
