@@ -1,0 +1,23 @@
+GO ?= go
+
+.PHONY: all build test vet bench fuzz
+
+all: vet build test
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+vet:
+	$(GO) vet ./...
+
+# bench runs the operational benchmark suite and records the results;
+# bump the output name (BENCH_2.json, ...) in later PRs to keep a
+# perf trajectory.
+bench:
+	$(GO) run ./cmd/bench -out BENCH_1.json
+
+fuzz:
+	$(GO) test ./internal/dataset/ -run '^$$' -fuzz FuzzCountPaths -fuzztime 30s

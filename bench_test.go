@@ -7,6 +7,7 @@ package itemsketch_test
 
 import (
 	"io"
+	"runtime"
 	"testing"
 
 	itemsketch "repro"
@@ -113,6 +114,52 @@ func BenchmarkExactFrequencyQuery(b *testing.B) {
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		_ = db.Frequency(T)
+	}
+}
+
+// BenchmarkScanSerialVsParallel compares the horizontal scan paths on
+// the 100k-row benchmark database without a column index. The parallel
+// variant shards rows across GOMAXPROCS goroutines (it only wins with
+// more than one CPU; Count falls back to serial automatically on a
+// single-CPU machine).
+func BenchmarkScanSerialVsParallel(b *testing.B) {
+	db := benchDB(100000, 64)
+	T := itemsketch.MustItemset(3, 41, 50)
+	b.Run("Serial", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			_ = db.ScanCount(T, 1)
+		}
+	})
+	b.Run("Parallel", func(b *testing.B) {
+		workers := runtime.GOMAXPROCS(0)
+		if workers < 2 {
+			workers = 2 // still exercise the sharded path
+		}
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			_ = db.ScanCount(T, workers)
+		}
+	})
+}
+
+// BenchmarkCountManyBatch measures the batched exact-query API against
+// the equivalent loop of single queries on the vertical path.
+func BenchmarkCountManyBatch(b *testing.B) {
+	db := benchDB(100000, 64)
+	db.BuildColumnIndex()
+	r := rng.New(99)
+	ts := make([]itemsketch.Itemset, 256)
+	for i := range ts {
+		a := r.Intn(64)
+		c := (a + 1 + r.Intn(63)) % 64
+		ts[i] = itemsketch.MustItemset(a, c)
+	}
+	out := make([]int, len(ts))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		db.CountManyInto(out, ts)
 	}
 }
 

@@ -1,0 +1,244 @@
+// Command bench runs the operational benchmarks of the public API and
+// writes the results as JSON, so successive PRs accumulate a perf
+// trajectory (BENCH_1.json, BENCH_2.json, ...) that can be compared
+// mechanically.
+//
+// Usage:
+//
+//	go run ./cmd/bench -out BENCH_1.json        # full run
+//	go run ./cmd/bench -quick -out bench.json   # CI smoke run
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+	"testing"
+	"time"
+
+	itemsketch "repro"
+	"repro/internal/rng"
+)
+
+type result struct {
+	Name        string  `json:"name"`
+	NsPerOp     float64 `json:"ns_per_op"`
+	AllocsPerOp int64   `json:"allocs_per_op"`
+	BytesPerOp  int64   `json:"bytes_per_op"`
+	Iterations  int     `json:"iterations"`
+}
+
+type report struct {
+	Date       string   `json:"date"`
+	GoVersion  string   `json:"go_version"`
+	GOOS       string   `json:"goos"`
+	GOARCH     string   `json:"goarch"`
+	NumCPU     int      `json:"num_cpu"`
+	GOMAXPROCS int      `json:"gomaxprocs"`
+	Notes      string   `json:"notes,omitempty"`
+	Results    []result `json:"results"`
+}
+
+func benchDB(n, d int) *itemsketch.Database {
+	r := rng.New(1)
+	db := itemsketch.NewDatabase(d)
+	for i := 0; i < n; i++ {
+		var attrs []int
+		for a := 0; a < d; a++ {
+			if r.Bernoulli(0.1) {
+				attrs = append(attrs, a)
+			}
+		}
+		db.AddRowAttrs(attrs...)
+	}
+	return db
+}
+
+func main() {
+	out := flag.String("out", "BENCH_1.json", "output JSON path")
+	quick := flag.Bool("quick", false, "smaller databases for CI smoke runs")
+	flag.Parse()
+
+	nRows := 100000
+	nBuild := 50000
+	nMine := 10000
+	if *quick {
+		nRows, nBuild, nMine = 20000, 10000, 2000
+	}
+
+	var results []result
+	record := func(name string, f func(b *testing.B)) {
+		r := testing.Benchmark(f)
+		results = append(results, result{
+			Name:        name,
+			NsPerOp:     float64(r.T.Nanoseconds()) / float64(r.N),
+			AllocsPerOp: r.AllocsPerOp(),
+			BytesPerOp:  r.AllocedBytesPerOp(),
+			Iterations:  r.N,
+		})
+		fmt.Printf("%-32s %12.1f ns/op %8d allocs/op %10d B/op\n",
+			name, float64(r.T.Nanoseconds())/float64(r.N), r.AllocsPerOp(), r.AllocedBytesPerOp())
+	}
+
+	p := itemsketch.Params{K: 2, Eps: 0.05, Delta: 0.05,
+		Mode: itemsketch.ForAll, Task: itemsketch.Estimator}
+
+	// Exact frequency query, vertical fused path.
+	{
+		db := benchDB(nRows, 64)
+		db.BuildColumnIndex()
+		T := itemsketch.MustItemset(3, 41, 50)
+		record("exact_frequency_query", func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				_ = db.Frequency(T)
+			}
+		})
+	}
+
+	// Horizontal scan, serial vs sharded.
+	{
+		db := benchDB(nRows, 64)
+		T := itemsketch.MustItemset(3, 41, 50)
+		record("scan_serial", func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				_ = db.ScanCount(T, 1)
+			}
+		})
+		workers := runtime.GOMAXPROCS(0)
+		if workers < 2 {
+			workers = 2
+		}
+		record("scan_parallel", func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				_ = db.ScanCount(T, workers)
+			}
+		})
+	}
+
+	// Batched exact queries on the vertical index.
+	{
+		db := benchDB(nRows, 64)
+		db.BuildColumnIndex()
+		r := rng.New(99)
+		ts := make([]itemsketch.Itemset, 256)
+		for i := range ts {
+			a := r.Intn(64)
+			c := (a + 1 + r.Intn(63)) % 64
+			ts[i] = itemsketch.MustItemset(a, c)
+		}
+		dst := make([]int, len(ts))
+		record("count_many_256", func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				db.CountManyInto(dst, ts)
+			}
+		})
+	}
+
+	// Sketch build and query.
+	{
+		db := benchDB(nBuild, 64)
+		record("sketch_build_subsample", func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := (itemsketch.Subsample{Seed: uint64(i)}).Sketch(db, p); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+		sk, err := (itemsketch.Subsample{Seed: 1}).Sketch(db, p)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		es := sk.(itemsketch.EstimatorSketch)
+		T := itemsketch.MustItemset(3, 41)
+		record("sketch_query_estimate", func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				_ = es.Estimate(T)
+			}
+		})
+	}
+
+	// Streaming ingest.
+	{
+		res, err := itemsketch.NewReservoir(64, 10000, 1)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		record("reservoir_add_attrs", func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				res.AddAttrs(i%64, (i+7)%64, (i+13)%64)
+			}
+		})
+	}
+
+	// Miners on an exact market-basket database.
+	{
+		r := rng.New(1)
+		gen := benchMarketBasket(r, nMine, 48)
+		gen.BuildColumnIndex()
+		record("mine_eclat", func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				_ = itemsketch.Eclat(gen, 0.05, 3)
+			}
+		})
+		src := itemsketch.OnDatabase(gen)
+		record("mine_apriori", func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				_ = itemsketch.Apriori(src, 0.05, 3)
+			}
+		})
+	}
+
+	rep := report{
+		Date:       time.Now().UTC().Format(time.RFC3339),
+		GoVersion:  runtime.Version(),
+		GOOS:       runtime.GOOS,
+		GOARCH:     runtime.GOARCH,
+		NumCPU:     runtime.NumCPU(),
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+		Notes:      "scan_parallel shards across goroutines; it only beats scan_serial with >1 CPU",
+		Results:    results,
+	}
+	data, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	data = append(data, '\n')
+	if err := os.WriteFile(*out, data, 0o644); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	fmt.Printf("wrote %s\n", *out)
+}
+
+// benchMarketBasket mirrors the bench_test.go mining workload via the
+// public API (Zipfian baskets, mean size 5).
+func benchMarketBasket(r *rng.RNG, n, d int) *itemsketch.Database {
+	z := rng.NewZipf(r, d, 1.2)
+	db := itemsketch.NewDatabase(d)
+	for i := 0; i < n; i++ {
+		var attrs []int
+		seen := make(map[int]bool)
+		size := 1 + r.Intn(9)
+		for j := 0; j < size; j++ {
+			a := z.Next()
+			if !seen[a] {
+				seen[a] = true
+				attrs = append(attrs, a)
+			}
+		}
+		db.AddRowAttrs(attrs...)
+	}
+	return db
+}

@@ -1,13 +1,21 @@
-// Package bitvec provides packed bit vectors, bit matrices, and
-// bit-granular I/O streams.
+// Package bitvec provides packed bit vectors, bit matrices, word-slice
+// kernels, and bit-granular I/O streams.
 //
 // The sketching framework measures sketch sizes in bits, exactly as the
 // paper does (Definition 5 measures |S| in bits). Every sketch in this
 // repository serializes itself through a bitvec.Writer so that reported
 // sizes are the length of a real encoding rather than an in-memory
-// estimate. Databases also store their rows as packed bit vectors, which
-// makes itemset containment tests (the inner loop of every frequency
-// query) word-parallel.
+// estimate. Databases store their rows in contiguous packed-word
+// arenas, which makes itemset containment tests (the inner loop of
+// every frequency query) word-parallel.
+//
+// Two tiers of API are provided. Vector is the safe, bounds-checked
+// bit-vector type used throughout the lower-bound and coding machinery.
+// The word-slice kernels in words.go (CountWords, AndCountWords,
+// AndInto, AndCountAll, ContainsAllWords) are the zero-allocation hot
+// path used by the dataset query engine: fused single-pass loops over
+// raw []uint64 storage, with Wrap bridging the two representations as
+// a no-copy view.
 package bitvec
 
 import (

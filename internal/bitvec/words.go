@@ -1,0 +1,148 @@
+package bitvec
+
+import "math/bits"
+
+// Word-slice kernels: the zero-allocation building blocks of the
+// dataset query engine. The dataset package stores databases as one
+// contiguous row-major []uint64 arena and column indexes as one
+// contiguous column-major arena; these functions operate directly on
+// word slices carved out of those arenas so that the hot query paths
+// (exact frequency counts, Eclat intersections, sketch estimates)
+// never materialize intermediate Vectors.
+//
+// All kernels treat their inputs as equal-length packed bit strings;
+// bits past the logical length must be zero (Vector and the dataset
+// arena both maintain that invariant). Kernels are written as single
+// fused passes — one load per word, popcount in the same loop — so a
+// k-way intersection count touches each cache line exactly once
+// instead of once per And plus once per Count.
+
+// CountWords returns the number of set bits in w.
+func CountWords(w []uint64) int {
+	c := 0
+	for _, x := range w {
+		c += bits.OnesCount64(x)
+	}
+	return c
+}
+
+// AndCountWords returns popcount(a AND b) in a single fused pass.
+// The slices must have the same length.
+func AndCountWords(a, b []uint64) int {
+	if len(a) != len(b) {
+		panic("bitvec: AndCountWords length mismatch")
+	}
+	c := 0
+	for i, x := range a {
+		c += bits.OnesCount64(x & b[i])
+	}
+	return c
+}
+
+// ContainsAllWords reports whether every bit set in t is also set in
+// row (t ⊆ row). t must not be longer than row; extra row words are
+// ignored, matching Vector.ContainsAll.
+func ContainsAllWords(row, t []uint64) bool {
+	if len(t) > len(row) {
+		panic("bitvec: ContainsAllWords pattern longer than row")
+	}
+	for i, w := range t {
+		if w&^row[i] != 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// AndInto sets dst = a AND b and returns popcount(dst), fused into one
+// pass. dst may alias a and/or b (the common in-place accumulator
+// pattern is AndInto(acc, acc, col)). All three slices must have the
+// same length.
+func AndInto(dst, a, b []uint64) int {
+	if len(dst) != len(a) || len(a) != len(b) {
+		panic("bitvec: AndInto length mismatch")
+	}
+	c := 0
+	for i := range dst {
+		w := a[i] & b[i]
+		dst[i] = w
+		c += bits.OnesCount64(w)
+	}
+	return c
+}
+
+// AndCountAll returns the popcount of the AND of all cols in a single
+// pass, without materializing the intersection. It panics if cols is
+// empty or the slices differ in length. The caller's backing array for
+// cols is not retained, so a stack-allocated [k][]uint64 may be passed.
+func AndCountAll(cols [][]uint64) int {
+	switch len(cols) {
+	case 0:
+		panic("bitvec: AndCountAll of no columns")
+	case 1:
+		return CountWords(cols[0])
+	case 2:
+		return AndCountWords(cols[0], cols[1])
+	}
+	first := cols[0]
+	for _, c := range cols[1:] {
+		if len(c) != len(first) {
+			panic("bitvec: AndCountAll length mismatch")
+		}
+	}
+	n := 0
+	for i, w := range first {
+		for _, c := range cols[1:] {
+			w &= c[i]
+		}
+		n += bits.OnesCount64(w)
+	}
+	return n
+}
+
+// Wrap returns a Vector of length n that views words as its backing
+// storage, without copying. Mutations through the returned Vector are
+// visible in words and vice versa. len(words) must be exactly
+// wordsFor(n), and bits past n must be zero (the Vector invariant).
+// Wrap returns a value so that callers building view tables (for
+// example, a column index) pay no per-view allocation.
+func Wrap(n int, words []uint64) Vector {
+	if n < 0 {
+		panic("bitvec: negative length")
+	}
+	if len(words) != wordsFor(n) {
+		panic("bitvec: Wrap word count mismatch")
+	}
+	return Vector{n: n, words: words}
+}
+
+// WriteWords appends the first n bits of words to w in index order,
+// producing the identical stream to writing each bit individually.
+func WriteWords(w *Writer, words []uint64, n int) {
+	for i := 0; n > 0; i++ {
+		bitsHere := n
+		if bitsHere > wordBits {
+			bitsHere = wordBits
+		}
+		w.WriteUint(words[i], bitsHere)
+		n -= bitsHere
+	}
+}
+
+// ReadWords reads n bits from r into words (which must hold at least
+// wordsFor(n) words), in index order.
+func ReadWords(r *Reader, words []uint64, n int) error {
+	for i := 0; n > 0; i++ {
+		bitsHere := n
+		if bitsHere > wordBits {
+			bitsHere = wordBits
+		}
+		v, err := r.ReadUint(bitsHere)
+		if err != nil {
+			return err
+		}
+		words[i] = v
+		n -= bitsHere
+	}
+	return nil
+}

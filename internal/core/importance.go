@@ -79,7 +79,9 @@ func (is ImportanceSample) Sketch(db *dataset.Database, p Params) (Sketch, error
 	if n == 0 {
 		return sk, nil
 	}
-	// Cumulative weights for inverse-CDF sampling.
+	// Per-row weights (computed once) and their cumulative sums for
+	// inverse-CDF sampling.
+	weights := make([]float64, n)
 	cum := make([]float64, n)
 	total := 0.0
 	for i := 0; i < n; i++ {
@@ -87,6 +89,7 @@ func (is ImportanceSample) Sketch(db *dataset.Database, p Params) (Sketch, error
 		if w <= 0 || math.IsNaN(w) || math.IsInf(w, 0) {
 			return nil, fmt.Errorf("core: importance weight %g for row %d must be positive and finite", w, i)
 		}
+		weights[i] = w
 		total += w
 		cum[i] = total
 	}
@@ -99,7 +102,7 @@ func (is ImportanceSample) Sketch(db *dataset.Database, p Params) (Sketch, error
 			i = n - 1
 		}
 		sk.rows = append(sk.rows, db.Row(i).Clone())
-		sk.weights = append(sk.weights, is.weight(db.Row(i)))
+		sk.weights = append(sk.weights, weights[i])
 	}
 	return sk, nil
 }

@@ -83,11 +83,12 @@ func (ss Subsample) Sketch(db *dataset.Database, p Params) (Sketch, error) {
 	r := rng.New(ss.Seed)
 	sample := dataset.NewDatabase(db.NumCols())
 	n := db.NumRows()
-	for i := 0; i < s; i++ {
-		if n == 0 {
-			break
+	if n > 0 {
+		// Each draw is an arena block copy; no row vectors are built.
+		sample.Reserve(s)
+		for i := 0; i < s; i++ {
+			sample.CopyRowFrom(db, r.Intn(n))
 		}
-		sample.AddRow(db.Row(r.Intn(n)).Clone())
 	}
 	sample.BuildColumnIndex()
 	return &subsampleSketch{sample: sample, params: p}, nil

@@ -3,11 +3,49 @@
 // T ⊆ [d], and itemset frequencies f_T(D) — the fraction of rows that
 // contain T (a 1 in every column of T).
 //
-// Two query paths are provided. The horizontal path scans packed rows
-// and tests containment word-parallel. The vertical path (ColumnIndex)
-// intersects per-attribute row bitmaps, which is the classical "vertical
-// database" layout from the frequent-itemset-mining literature and is
-// much faster for small k over many rows.
+// # Storage layout
+//
+// A Database is a single contiguous row-major []uint64 arena. Each row
+// occupies stride = ⌈d/64⌉ words (rows are padded to a word boundary),
+// so row i lives at arena[i*stride : (i+1)*stride] and an append is a
+// block copy into the arena with amortized geometric growth. There is
+// no per-row header, no pointer chasing, and a full-database clone or
+// merge is a single memcpy. Bits past column d−1 in a row's last word
+// are always zero.
+//
+// The vertical layout (BuildColumnIndex) is a second contiguous arena,
+// column-major: attribute a's n-bit row bitmap occupies colStride =
+// ⌈n/64⌉ words. It is invalidated by any mutation.
+//
+// # Query paths
+//
+// Three query paths answer Count/Frequency; the serial and vertical
+// paths are zero-allocation in steady state (the sharded scan pays a
+// small per-call allocation for the shared indicator, the per-shard
+// counters, and goroutine spawns — amortized across the rows each
+// shard scans):
+//
+//   - Horizontal scan: tests itemset containment word-parallel against
+//     each row. Wins when there is no column index, or for itemsets
+//     touching many attributes on narrow databases.
+//   - Sharded horizontal scan: the same scan split across GOMAXPROCS
+//     goroutines over row ranges (capped by SetMaxWorkers); engaged
+//     automatically above parallelRowThreshold rows. See ScanCount to
+//     force a worker count.
+//   - Vertical fused intersection: ANDs the k attribute bitmaps of the
+//     column index in a single fused pass that popcounts as it goes
+//     (bitvec.AndCountAll), never materializing the intersection. Wins
+//     for small k over many rows — the classical vertical / tidlist
+//     layout from the frequent-itemset-mining literature — and is used
+//     automatically whenever the column index is built. Itemsets wider
+//     than maxFusedCols fall back to a pooled accumulator with
+//     early-exit (bitvec.AndInto returns the running popcount, so an
+//     empty intersection stops the attribute loop without a second
+//     popcount pass).
+//
+// CountMany batches queries and shards them across CPUs when the
+// column index is present, answering each query with the fused
+// vertical kernel.
 package dataset
 
 import (
@@ -15,9 +53,12 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"math/bits"
+	"runtime"
 	"sort"
 	"strconv"
 	"strings"
+	"sync"
 
 	"repro/internal/bitvec"
 )
@@ -130,6 +171,18 @@ func (t Itemset) Indicator(d int) *bitvec.Vector {
 	return v
 }
 
+// indicatorWords fills dst (length ≥ ⌈d/64⌉, zeroed by this call up to
+// that length) with the itemset's indicator bits. It is the
+// allocation-free core of Indicator used by the query paths.
+func (t Itemset) indicatorWords(dst []uint64) {
+	for i := range dst {
+		dst[i] = 0
+	}
+	for _, a := range t.attrs {
+		dst[a>>6] |= 1 << (uint(a) & 63)
+	}
+}
+
 // String renders the itemset as {a,b,c}.
 func (t Itemset) String() string {
 	parts := make([]string, len(t.attrs))
@@ -144,14 +197,46 @@ func (t Itemset) Key() string {
 	return t.String()
 }
 
+const wordBits = 64
+
+// wordsFor returns the number of 64-bit words needed to hold n bits.
+func wordsFor(n int) int {
+	return (n + wordBits - 1) / wordBits
+}
+
+// maxFusedCols caps the arity of the single-pass fused vertical
+// intersection; wider itemsets use the pooled accumulator path. Eight
+// column streams keep the inner loop in registers while covering every
+// itemset size the paper's regimes (k = O(1)) care about.
+const maxFusedCols = 8
+
+// parallelRowThreshold is the minimum row count before a horizontal
+// scan shards across goroutines; below it, goroutine startup dominates.
+const parallelRowThreshold = 1 << 14
+
+// stackIndicatorWords is the widest indicator built on the stack by the
+// query paths (1024 columns); wider databases fall back to one heap
+// allocation per query.
+const stackIndicatorWords = 16
+
 // Database is a binary database with a fixed number of attribute
-// columns and an append-only list of rows.
+// columns and an append-only list of rows, stored as a contiguous
+// row-major bit-matrix arena (see the package documentation).
 type Database struct {
-	d    int
-	rows []*bitvec.Vector
-	// colIndex, if non-nil, is the vertical layout: colIndex[a] has bit
-	// r set iff row r has attribute a. It is invalidated by AddRow.
-	colIndex []*bitvec.Vector
+	d      int
+	stride int // words per row
+	n      int
+	arena  []uint64 // len n*stride, row-major
+
+	// Vertical layout: colArena, if non-nil, holds d row-bitmaps of
+	// colStride words each; cols[a] is a Vector view of attribute a's
+	// bitmap. Invalidated by any mutation.
+	colStride int
+	colArena  []uint64
+	cols      []bitvec.Vector
+
+	// maxWorkers caps query parallelism; 0 means GOMAXPROCS.
+	maxWorkers int
 }
 
 // NewDatabase returns an empty database with d attribute columns.
@@ -159,141 +244,480 @@ func NewDatabase(d int) *Database {
 	if d <= 0 {
 		panic("dataset: database needs at least one column")
 	}
-	return &Database{d: d}
+	return &Database{d: d, stride: wordsFor(d)}
 }
 
 // NumCols returns d, the number of attributes.
 func (db *Database) NumCols() int { return db.d }
 
 // NumRows returns n, the number of rows.
-func (db *Database) NumRows() int { return len(db.rows) }
+func (db *Database) NumRows() int { return db.n }
 
-// AddRow appends a row. The vector's length must equal NumCols. The
-// database takes ownership of the vector.
+// Reserve grows the arena capacity to hold at least nrows rows without
+// further reallocation.
+func (db *Database) Reserve(nrows int) {
+	need := nrows * db.stride
+	if cap(db.arena) >= need {
+		return
+	}
+	a := make([]uint64, len(db.arena), need)
+	copy(a, db.arena)
+	db.arena = a
+}
+
+// grow appends one zeroed row to the arena and returns its word slice.
+// It invalidates the column index.
+func (db *Database) grow() []uint64 {
+	need := len(db.arena) + db.stride
+	if cap(db.arena) < need {
+		newCap := 2 * cap(db.arena)
+		if newCap < need {
+			newCap = need
+		}
+		a := make([]uint64, len(db.arena), newCap)
+		copy(a, db.arena)
+		db.arena = a
+	}
+	db.arena = db.arena[:need]
+	db.n++
+	db.invalidateIndex()
+	row := db.arena[need-db.stride : need]
+	for i := range row {
+		row[i] = 0
+	}
+	return row
+}
+
+func (db *Database) invalidateIndex() {
+	db.colArena = nil
+	db.cols = nil
+}
+
+// AddRow appends a copy of row. The vector's length must equal NumCols.
+// The caller keeps ownership of the vector.
 func (db *Database) AddRow(row *bitvec.Vector) {
 	if row.Len() != db.d {
 		panic(fmt.Sprintf("dataset: row length %d != %d columns", row.Len(), db.d))
 	}
-	db.rows = append(db.rows, row)
-	db.colIndex = nil
+	copy(db.grow(), row.Words())
 }
 
 // AddRowAttrs appends a row containing exactly the given attributes.
 func (db *Database) AddRowAttrs(attrs ...int) {
-	db.AddRow(bitvec.FromIndices(db.d, attrs))
+	db.checkAttrs(attrs)
+	db.setAttrs(db.grow(), attrs)
 }
 
-// Row returns row i. Callers must not mutate it.
-func (db *Database) Row(i int) *bitvec.Vector { return db.rows[i] }
+// checkAttrs validates attribute ranges before any mutation, so a
+// recovered panic never leaves a phantom or partially written row.
+func (db *Database) checkAttrs(attrs []int) {
+	for _, a := range attrs {
+		if a < 0 || a >= db.d {
+			panic(fmt.Sprintf("dataset: attribute %d out of range [0,%d)", a, db.d))
+		}
+	}
+}
+
+// setAttrs sets already-validated attribute bits in row.
+func (db *Database) setAttrs(row []uint64, attrs []int) {
+	for _, a := range attrs {
+		row[a>>6] |= 1 << (uint(a) & 63)
+	}
+}
+
+// SetRow overwrites row i with a copy of row.
+func (db *Database) SetRow(i int, row *bitvec.Vector) {
+	if row.Len() != db.d {
+		panic(fmt.Sprintf("dataset: row length %d != %d columns", row.Len(), db.d))
+	}
+	copy(db.RowWords(i), row.Words())
+	db.invalidateIndex()
+}
+
+// SetRowAttrs overwrites row i with a row containing exactly the given
+// attributes.
+func (db *Database) SetRowAttrs(i int, attrs ...int) {
+	db.checkAttrs(attrs)
+	w := db.RowWords(i)
+	for j := range w {
+		w[j] = 0
+	}
+	db.setAttrs(w, attrs)
+	db.invalidateIndex()
+}
+
+// CopyRowFrom appends a copy of row i of src, which must have the same
+// number of columns. This is the arena block-copy append used by the
+// samplers: no intermediate Vector is materialized.
+func (db *Database) CopyRowFrom(src *Database, i int) {
+	if src.d != db.d {
+		panic(fmt.Sprintf("dataset: column mismatch %d vs %d", src.d, db.d))
+	}
+	copy(db.grow(), src.RowWords(i))
+}
+
+// SetRowFrom overwrites row i with a copy of row j of src, which must
+// have the same number of columns.
+func (db *Database) SetRowFrom(i int, src *Database, j int) {
+	if src.d != db.d {
+		panic(fmt.Sprintf("dataset: column mismatch %d vs %d", src.d, db.d))
+	}
+	copy(db.RowWords(i), src.RowWords(j))
+	db.invalidateIndex()
+}
+
+// RowWords returns row i's packed words, a view into the arena. The
+// slice is valid until the next mutation; callers must not modify it
+// or grow it.
+func (db *Database) RowWords(i int) []uint64 {
+	if i < 0 || i >= db.n {
+		panic(fmt.Sprintf("dataset: row %d out of range [0,%d)", i, db.n))
+	}
+	lo := i * db.stride
+	hi := lo + db.stride
+	return db.arena[lo:hi:hi]
+}
+
+// Row returns row i as a read-only Vector view into the arena. The
+// view is valid until the next mutation; callers must not mutate it.
+func (db *Database) Row(i int) *bitvec.Vector {
+	v := bitvec.Wrap(db.d, db.RowWords(i))
+	return &v
+}
+
+// AppendRowOnes appends the set attribute indices of row i to dst and
+// returns it — the allocation-free alternative to Row(i).Ones().
+func (db *Database) AppendRowOnes(dst []int, i int) []int {
+	for wi, w := range db.RowWords(i) {
+		for w != 0 {
+			dst = append(dst, wi*wordBits+bits.TrailingZeros64(w))
+			w &= w - 1
+		}
+	}
+	return dst
+}
 
 // RowContains reports whether row i contains itemset T.
 func (db *Database) RowContains(i int, t Itemset) bool {
-	return db.rows[i].ContainsAll(t.Indicator(db.d))
+	row := db.RowWords(i)
+	for _, a := range t.attrs {
+		if a >= db.d {
+			panic(fmt.Sprintf("dataset: attribute %d exceeds %d columns", a, db.d))
+		}
+		if row[a>>6]>>(uint(a)&63)&1 == 0 {
+			return false
+		}
+	}
+	return true
 }
 
-// Count returns the number of rows that contain T.
+// SetMaxWorkers caps the number of goroutines query paths may use.
+// k ≤ 0 restores the default (GOMAXPROCS).
+func (db *Database) SetMaxWorkers(k int) {
+	if k < 0 {
+		k = 0
+	}
+	db.maxWorkers = k
+}
+
+func (db *Database) workers() int {
+	w := db.maxWorkers
+	if w == 0 {
+		w = runtime.GOMAXPROCS(0)
+	}
+	return w
+}
+
+// Count returns the number of rows that contain T. With a column index
+// it uses the fused vertical kernel; otherwise it scans horizontally,
+// sharding across CPUs for large row counts.
 func (db *Database) Count(t Itemset) int {
 	if t.MaxAttr() >= db.d {
 		panic(fmt.Sprintf("dataset: itemset %v exceeds %d columns", t, db.d))
 	}
-	if db.colIndex != nil {
+	if db.cols != nil {
 		return db.countVertical(t)
 	}
-	ind := t.Indicator(db.d)
+	workers := 1
+	if db.n >= parallelRowThreshold {
+		workers = db.workers()
+	}
+	return db.ScanCount(t, workers)
+}
+
+// Frequency returns f_T(D) = Count(T)/n. The frequency of any itemset
+// on an empty database is 0.
+func (db *Database) Frequency(t Itemset) float64 {
+	if db.n == 0 {
+		return 0
+	}
+	return float64(db.Count(t)) / float64(db.n)
+}
+
+// CountMany answers one Count per itemset, sharding the batch across
+// CPUs when a column index is present and the batch is large enough.
+func (db *Database) CountMany(ts []Itemset) []int {
+	out := make([]int, len(ts))
+	db.CountManyInto(out, ts)
+	return out
+}
+
+// CountManyInto is CountMany into a caller-provided slice, which must
+// have len(ts) elements.
+func (db *Database) CountManyInto(dst []int, ts []Itemset) {
+	if len(dst) != len(ts) {
+		panic(fmt.Sprintf("dataset: CountManyInto dst length %d != %d itemsets", len(dst), len(ts)))
+	}
+	// Validate every itemset before spawning workers: a panic inside a
+	// worker goroutine could not be recovered by the caller.
+	for _, t := range ts {
+		if t.MaxAttr() >= db.d {
+			panic(fmt.Sprintf("dataset: itemset %v exceeds %d columns", t, db.d))
+		}
+	}
+	workers := db.workers()
+	if workers > len(ts)/2 {
+		workers = len(ts) / 2
+	}
+	if db.cols == nil || workers <= 1 {
+		for i, t := range ts {
+			dst[i] = db.Count(t)
+		}
+		return
+	}
+	var wg sync.WaitGroup
+	chunk := (len(ts) + workers - 1) / workers
+	for w := 0; w < workers; w++ {
+		lo := w * chunk
+		hi := lo + chunk
+		if hi > len(ts) {
+			hi = len(ts)
+		}
+		if lo >= hi {
+			break
+		}
+		wg.Add(1)
+		go func(lo, hi int) {
+			defer wg.Done()
+			for i := lo; i < hi; i++ {
+				dst[i] = db.Count(ts[i])
+			}
+		}(lo, hi)
+	}
+	wg.Wait()
+}
+
+// ScanCount counts rows containing T by horizontal scan, ignoring any
+// column index. workers ≤ 1 scans serially; otherwise the row range is
+// split across that many goroutines. Exposed so callers (and
+// benchmarks) can pin the scan strategy; Count picks automatically,
+// engaging the sharded scan only above parallelRowThreshold rows and
+// when more than one CPU is available.
+func (db *Database) ScanCount(t Itemset, workers int) int {
+	if t.MaxAttr() >= db.d {
+		panic(fmt.Sprintf("dataset: itemset %v exceeds %d columns", t, db.d))
+	}
+	if workers <= 1 || db.n == 0 {
+		return db.scanSerial(t)
+	}
+	return db.scanParallel(t, workers)
+}
+
+// scanSerial is the single-goroutine scan, kept free of closures so
+// the stack-allocated indicator never escapes: zero allocations for
+// databases up to stackIndicatorWords·64 columns.
+func (db *Database) scanSerial(t Itemset) int {
+	var stackInd [stackIndicatorWords]uint64
+	var ind []uint64
+	if db.stride <= stackIndicatorWords {
+		ind = stackInd[:db.stride]
+	} else {
+		ind = make([]uint64, db.stride)
+	}
+	t.indicatorWords(ind)
+	return db.scanRange(ind, 0, db.n)
+}
+
+// scanParallel shards the scan across workers goroutines; the
+// indicator is shared read-only by the shards (it escapes to the heap
+// here, which is why the serial path lives in its own function).
+func (db *Database) scanParallel(t Itemset, workers int) int {
+	ind := make([]uint64, db.stride)
+	t.indicatorWords(ind)
+	if workers > db.n {
+		workers = db.n
+	}
+	counts := make([]int, workers)
+	var wg sync.WaitGroup
+	chunk := (db.n + workers - 1) / workers
+	for w := 0; w < workers; w++ {
+		lo := w * chunk
+		hi := lo + chunk
+		if hi > db.n {
+			hi = db.n
+		}
+		if lo >= hi {
+			break
+		}
+		wg.Add(1)
+		go func(w, lo, hi int) {
+			defer wg.Done()
+			counts[w] = db.scanRange(ind, lo, hi)
+		}(w, lo, hi)
+	}
+	wg.Wait()
 	c := 0
-	for _, r := range db.rows {
-		if r.ContainsAll(ind) {
+	for _, x := range counts {
+		c += x
+	}
+	return c
+}
+
+// scanRange counts rows in [lo, hi) containing the indicator ind.
+func (db *Database) scanRange(ind []uint64, lo, hi int) int {
+	c := 0
+	if db.stride == 1 {
+		// Common narrow-database case (d ≤ 64): one word per row.
+		t := ind[0]
+		for _, w := range db.arena[lo:hi] {
+			if t&^w == 0 {
+				c++
+			}
+		}
+		return c
+	}
+	s := db.stride
+	for r := lo; r < hi; r++ {
+		if bitvec.ContainsAllWords(db.arena[r*s:(r+1)*s], ind) {
 			c++
 		}
 	}
 	return c
 }
 
-// Frequency returns f_T(D) = Count(T)/n. The frequency of any itemset
-// on an empty database is 0.
-func (db *Database) Frequency(t Itemset) float64 {
-	if len(db.rows) == 0 {
-		return 0
-	}
-	return float64(db.Count(t)) / float64(len(db.rows))
-}
-
 // BuildColumnIndex materializes the vertical layout so subsequent Count
-// calls intersect per-attribute bitmaps instead of scanning rows.
+// calls intersect per-attribute bitmaps instead of scanning rows. The
+// index is one contiguous column-major arena.
 func (db *Database) BuildColumnIndex() {
-	n := len(db.rows)
-	idx := make([]*bitvec.Vector, db.d)
-	for a := 0; a < db.d; a++ {
-		idx[a] = bitvec.New(n)
-	}
-	for r, row := range db.rows {
-		for _, a := range row.Ones() {
-			idx[a].Set(r)
+	cs := wordsFor(db.n)
+	db.colStride = cs
+	db.colArena = make([]uint64, db.d*cs)
+	for r := 0; r < db.n; r++ {
+		rowBit := uint64(1) << (uint(r) & 63)
+		rowWord := r >> 6
+		for wi, w := range db.RowWords(r) {
+			for w != 0 {
+				a := wi*wordBits + bits.TrailingZeros64(w)
+				db.colArena[a*cs+rowWord] |= rowBit
+				w &= w - 1
+			}
 		}
 	}
-	db.colIndex = idx
+	db.cols = make([]bitvec.Vector, db.d)
+	for a := 0; a < db.d; a++ {
+		db.cols[a] = bitvec.Wrap(db.n, db.colArena[a*cs:(a+1)*cs:(a+1)*cs])
+	}
 }
 
 // HasColumnIndex reports whether the vertical layout is materialized.
-func (db *Database) HasColumnIndex() bool { return db.colIndex != nil }
+func (db *Database) HasColumnIndex() bool { return db.cols != nil }
 
 // AttrColumn returns the row bitmap of attribute a from the column
-// index, building the index if needed. Callers must not mutate it.
+// index, building the index if needed. The returned Vector is a view;
+// callers must not mutate it.
 func (db *Database) AttrColumn(a int) *bitvec.Vector {
-	if db.colIndex == nil {
+	if db.cols == nil {
 		db.BuildColumnIndex()
 	}
-	return db.colIndex[a]
+	return &db.cols[a]
 }
 
+// colWords returns attribute a's row-bitmap words from the column
+// index, which must be built.
+func (db *Database) colWords(a int) []uint64 {
+	lo := a * db.colStride
+	hi := lo + db.colStride
+	return db.colArena[lo:hi:hi]
+}
+
+// accPool recycles wide-itemset vertical accumulators so countVertical
+// stays allocation-free in steady state regardless of itemset width.
+var accPool = sync.Pool{New: func() any { return new([]uint64) }}
+
 func (db *Database) countVertical(t Itemset) int {
-	attrs := t.Attrs()
-	if len(attrs) == 0 {
-		return len(db.rows)
+	attrs := t.attrs
+	switch len(attrs) {
+	case 0:
+		return db.n
+	case 1:
+		return bitvec.CountWords(db.colWords(attrs[0]))
 	}
-	acc := db.colIndex[attrs[0]].Clone()
-	for _, a := range attrs[1:] {
-		acc.And(db.colIndex[a])
-		if acc.Count() == 0 {
-			return 0
+	if len(attrs) <= maxFusedCols {
+		// Single fused pass over all k column bitmaps; the stack
+		// array never escapes (AndCountAll does not retain it).
+		var buf [maxFusedCols][]uint64
+		cols := buf[:len(attrs)]
+		for i, a := range attrs {
+			cols[i] = db.colWords(a)
 		}
+		return bitvec.AndCountAll(cols)
 	}
-	return acc.Count()
+	// Wide itemsets: pooled accumulator with early exit. AndInto
+	// returns the running popcount, so an empty intersection stops
+	// the loop with no separate Count pass.
+	ap := accPool.Get().(*[]uint64)
+	acc := *ap
+	if cap(acc) < db.colStride {
+		acc = make([]uint64, db.colStride)
+	}
+	acc = acc[:db.colStride]
+	cnt := bitvec.AndInto(acc, db.colWords(attrs[0]), db.colWords(attrs[1]))
+	for _, a := range attrs[2:] {
+		if cnt == 0 {
+			break
+		}
+		cnt = bitvec.AndInto(acc, acc, db.colWords(a))
+	}
+	*ap = acc
+	accPool.Put(ap)
+	return cnt
 }
 
 // Clone returns a deep copy of the database (without the column index).
+// With the arena layout this is a single block copy.
 func (db *Database) Clone() *Database {
 	c := NewDatabase(db.d)
-	for _, r := range db.rows {
-		c.rows = append(c.rows, r.Clone())
-	}
+	c.n = db.n
+	c.arena = append([]uint64(nil), db.arena...)
+	c.maxWorkers = db.maxWorkers
 	return c
 }
 
 // AppendDatabase appends all rows of other, which must have the same
-// number of columns.
+// number of columns. Same-width databases share a stride, so this is a
+// single arena block copy.
 func (db *Database) AppendDatabase(other *Database) {
 	if other.d != db.d {
 		panic(fmt.Sprintf("dataset: column mismatch %d vs %d", other.d, db.d))
 	}
-	for _, r := range other.rows {
-		db.AddRow(r.Clone())
-	}
+	db.arena = append(db.arena, other.arena...)
+	db.n += other.n
+	db.invalidateIndex()
 }
 
 // SizeBits returns n·d, the verbatim size of the database in bits —
 // exactly the space complexity of RELEASE-DB in the paper.
 func (db *Database) SizeBits() int64 {
-	return int64(len(db.rows)) * int64(db.d)
+	return int64(db.n) * int64(db.d)
 }
 
 // MarshalBits writes the database to w: d and n as 32-bit counts
 // followed by the n·d row bits.
 func (db *Database) MarshalBits(w *bitvec.Writer) {
 	w.WriteUint(uint64(db.d), 32)
-	w.WriteUint(uint64(len(db.rows)), 32)
-	for _, r := range db.rows {
-		r.AppendTo(w)
+	w.WriteUint(uint64(db.n), 32)
+	for i := 0; i < db.n; i++ {
+		bitvec.WriteWords(w, db.RowWords(i), db.d)
 	}
 }
 
@@ -311,12 +735,15 @@ func UnmarshalBits(r *bitvec.Reader) (*Database, error) {
 		return nil, errors.New("dataset: zero columns in encoded database")
 	}
 	db := NewDatabase(int(d))
+	// Reserve for the declared row count, capped by what the stream can
+	// actually hold so a corrupt header cannot trigger a huge allocation.
+	if maxRows := uint64(r.Remaining()) / d; n <= maxRows {
+		db.Reserve(int(n))
+	}
 	for i := uint64(0); i < n; i++ {
-		row, err := bitvec.ReadVector(r, int(d))
-		if err != nil {
+		if err := bitvec.ReadWords(r, db.grow(), int(d)); err != nil {
 			return nil, err
 		}
-		db.AddRow(row)
 	}
 	return db, nil
 }
@@ -326,10 +753,11 @@ func UnmarshalBits(r *bitvec.Reader) (*Database, error) {
 // space-separated attribute indices of the 1-entries.
 func (db *Database) WriteTransactions(w io.Writer) error {
 	bw := bufio.NewWriter(w)
-	for _, row := range db.rows {
-		ones := row.Ones()
-		for i, a := range ones {
-			if i > 0 {
+	var ones []int
+	for i := 0; i < db.n; i++ {
+		ones = db.AppendRowOnes(ones[:0], i)
+		for j, a := range ones {
+			if j > 0 {
 				if err := bw.WriteByte(' '); err != nil {
 					return err
 				}
@@ -355,7 +783,7 @@ func ReadTransactions(r io.Reader, d int) (*Database, error) {
 	for sc.Scan() {
 		lineno++
 		line := strings.TrimSpace(sc.Text())
-		row := bitvec.New(d)
+		row := db.grow()
 		if line != "" {
 			for _, f := range strings.Fields(line) {
 				a, err := strconv.Atoi(f)
@@ -365,10 +793,9 @@ func ReadTransactions(r io.Reader, d int) (*Database, error) {
 				if a < 0 || a >= d {
 					return nil, fmt.Errorf("dataset: line %d: attribute %d out of range [0,%d)", lineno, a, d)
 				}
-				row.Set(a)
+				row[a>>6] |= 1 << (uint(a) & 63)
 			}
 		}
-		db.AddRow(row)
 	}
 	if err := sc.Err(); err != nil {
 		return nil, err

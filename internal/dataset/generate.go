@@ -44,14 +44,14 @@ func GenPlanted(r *rng.RNG, n, d int, p float64, plants []Plant) *Database {
 		}
 		for i := 0; i < n; i++ {
 			if r.Bernoulli(pl.Freq) {
-				row := db.rows[i]
+				row := db.RowWords(i)
 				for _, a := range pl.Items.Attrs() {
-					row.Set(a)
+					row[a>>6] |= 1 << (uint(a) & 63)
 				}
 			}
 		}
 	}
-	db.colIndex = nil
+	db.invalidateIndex()
 	return db
 }
 
@@ -101,8 +101,9 @@ func GenMarketBasket(r *rng.RNG, n, d int, cfg BasketConfig) *Database {
 // GenFromRows builds a database from explicit row vectors (deep-copied).
 func GenFromRows(d int, rows []*bitvec.Vector) *Database {
 	db := NewDatabase(d)
+	db.Reserve(len(rows))
 	for _, r := range rows {
-		db.AddRow(r.Clone())
+		db.AddRow(r)
 	}
 	return db
 }

@@ -99,7 +99,7 @@ func (t *Thm13) Encode(payload *bitvec.Vector, dup int) (*dataset.Database, erro
 			}
 		}
 		for c := 0; c < dup; c++ {
-			db.AddRow(row.Clone())
+			db.AddRow(row) // AddRow copies into the arena
 		}
 	}
 	return db, nil

@@ -75,8 +75,10 @@ func FPGrowth(db *dataset.Database, minSupport float64, maxK int) []Result {
 
 	// Pass 1: item frequencies; order items by descending count.
 	itemCount := make([]int, d)
+	var ones []int
 	for i := 0; i < n; i++ {
-		for _, a := range db.Row(i).Ones() {
+		ones = db.AppendRowOnes(ones[:0], i)
+		for _, a := range ones {
 			itemCount[a]++
 		}
 	}
@@ -102,7 +104,8 @@ func FPGrowth(db *dataset.Database, minSupport float64, maxK int) []Result {
 	var buf []int
 	for i := 0; i < n; i++ {
 		buf = buf[:0]
-		for _, a := range db.Row(i).Ones() {
+		ones = db.AppendRowOnes(ones[:0], i)
+		for _, a := range ones {
 			if _, ok := rank[a]; ok {
 				buf = append(buf, a)
 			}

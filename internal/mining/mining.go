@@ -167,6 +167,13 @@ func allSubsetsFrequent(cand []int, prev map[string]bool) bool {
 // Eclat mines frequent itemsets on the exact database by depth-first
 // vertical bitmap intersection. It produces the same collection as
 // Apriori on a DBSource but avoids repeated scans.
+//
+// The recursion owns one scratch tidlist buffer per depth, reused
+// across all siblings at that depth, so a whole mining run performs no
+// per-candidate allocation: each candidate costs exactly one fused
+// AND+popcount pass (bitvec.AndInto) into its depth's buffer. At the
+// root the attribute columns are read directly from the database's
+// column index without cloning.
 func Eclat(db *dataset.Database, minSupport float64, maxK int) []Result {
 	d := db.NumCols()
 	n := db.NumRows()
@@ -176,42 +183,58 @@ func Eclat(db *dataset.Database, minSupport float64, maxK int) []Result {
 	if n == 0 {
 		return nil
 	}
-	db.BuildColumnIndex()
+	if !db.HasColumnIndex() {
+		db.BuildColumnIndex()
+	}
 	minCount := int(minSupport * float64(n))
 	if float64(minCount) < minSupport*float64(n) {
 		minCount++
 	}
+	nw := len(db.AttrColumn(0).Words())
 	var out []Result
-	// tids == nil means "all rows" (the empty prefix).
-	var recurse func(prefix []int, tids *bitvec.Vector, candidates []int)
-	recurse = func(prefix []int, tids *bitvec.Vector, candidates []int) {
+	var scratch [][]uint64 // scratch[depth] is that depth's tidlist buffer
+	prefix := make([]int, 0, maxK)
+	// tids == nil means "all rows" (the empty prefix); depth counts
+	// intersections taken so far.
+	var recurse func(tids []uint64, depth int, candidates []int)
+	recurse = func(tids []uint64, depth int, candidates []int) {
 		for ci, a := range candidates {
-			var next *bitvec.Vector
+			col := db.AttrColumn(a).Words()
+			var next []uint64
+			var cnt int
 			if tids == nil {
-				next = db.AttrColumn(a).Clone()
+				// Root level: the column itself is the tidlist; it is
+				// only read below, never written.
+				next = col
+				cnt = bitvec.CountWords(col)
 			} else {
-				next = tids.Clone()
-				next.And(db.AttrColumn(a))
+				// First intersection happens at depth 1, so the
+				// buffer for depth d lives at scratch[d-1].
+				for depth-1 >= len(scratch) {
+					scratch = append(scratch, make([]uint64, nw))
+				}
+				next = scratch[depth-1]
+				cnt = bitvec.AndInto(next, tids, col)
 			}
-			cnt := next.Count()
 			if cnt < minCount {
 				continue
 			}
-			items := append(append([]int{}, prefix...), a)
+			prefix = append(prefix, a)
 			out = append(out, Result{
-				Items: dataset.MustItemset(items...),
+				Items: dataset.MustItemset(prefix...),
 				Freq:  float64(cnt) / float64(n),
 			})
-			if len(items) < maxK {
-				recurse(items, next, candidates[ci+1:])
+			if len(prefix) < maxK {
+				recurse(next, depth+1, candidates[ci+1:])
 			}
+			prefix = prefix[:len(prefix)-1]
 		}
 	}
 	all := make([]int, d)
 	for a := range all {
 		all[a] = a
 	}
-	recurse(nil, nil, all)
+	recurse(nil, 0, all)
 	sortResults(out)
 	return out
 }

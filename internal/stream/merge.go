@@ -30,13 +30,15 @@ func Merge(a, b *Reservoir, seed uint64) (*Reservoir, error) {
 	}
 	out.seen = a.seen + b.seen
 
-	// Work on copies of the sample lists; draw each output slot from
-	// shard A with probability proportional to its remaining stream
-	// weight (the standard mergeable-summaries coin).
-	ra := append([]int(nil), indices(len(a.rows))...)
-	rb := append([]int(nil), indices(len(b.rows))...)
+	// Work on copies of the sample index lists; draw each output slot
+	// from shard A with probability proportional to its remaining
+	// stream weight (the standard mergeable-summaries coin). Each
+	// accepted row is an arena-to-arena block copy.
+	ra := indices(a.sample.NumRows())
+	rb := indices(b.sample.NumRows())
 	na, nb := a.seen, b.seen
-	for len(out.rows) < out.capacity && (len(ra) > 0 || len(rb) > 0) {
+	out.sample.Reserve(out.capacity)
+	for out.sample.NumRows() < out.capacity && (len(ra) > 0 || len(rb) > 0) {
 		pickA := false
 		switch {
 		case len(ra) == 0:
@@ -48,7 +50,7 @@ func Merge(a, b *Reservoir, seed uint64) (*Reservoir, error) {
 		}
 		if pickA {
 			j := out.rng.Intn(len(ra))
-			out.rows = append(out.rows, a.rows[ra[j]].Clone())
+			out.sample.CopyRowFrom(a.sample, ra[j])
 			ra[j] = ra[len(ra)-1]
 			ra = ra[:len(ra)-1]
 			if na > 0 {
@@ -56,7 +58,7 @@ func Merge(a, b *Reservoir, seed uint64) (*Reservoir, error) {
 			}
 		} else {
 			j := out.rng.Intn(len(rb))
-			out.rows = append(out.rows, b.rows[rb[j]].Clone())
+			out.sample.CopyRowFrom(b.sample, rb[j])
 			rb[j] = rb[len(rb)-1]
 			rb = rb[:len(rb)-1]
 			if nb > 0 {

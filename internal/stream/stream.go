@@ -27,11 +27,16 @@ import (
 // Reservoir maintains a uniform random sample of capacity rows from a
 // row stream (Vitter's Algorithm R). The sample is uniform without
 // replacement among all rows seen so far.
+//
+// The sample is held in a dataset.Database, i.e. the contiguous
+// row-major arena layout: accepting a row is a block copy into a slot,
+// Estimate runs the database's zero-allocation horizontal scan, and
+// Merge copies rows arena-to-arena.
 type Reservoir struct {
 	d        int
 	capacity int
 	seen     int64
-	rows     []*bitvec.Vector
+	sample   *dataset.Database
 	rng      *rng.RNG
 }
 
@@ -44,7 +49,23 @@ func NewReservoir(d, capacity int, seed uint64) (*Reservoir, error) {
 	if capacity < 1 {
 		return nil, fmt.Errorf("stream: reservoir needs capacity ≥ 1, got %d", capacity)
 	}
-	return &Reservoir{d: d, capacity: capacity, rng: rng.New(seed)}, nil
+	return &Reservoir{d: d, capacity: capacity, sample: dataset.NewDatabase(d), rng: rng.New(seed)}, nil
+}
+
+// accept returns the sample slot the next offered row should occupy:
+// the append slot (== current size) while filling, a random slot in
+// [0, capacity) to replace with probability capacity/seen, or -1 to
+// discard the row. It advances the seen counter.
+func (r *Reservoir) accept() int {
+	r.seen++
+	if n := r.sample.NumRows(); n < r.capacity {
+		return n
+	}
+	j := r.rng.Int63() % r.seen
+	if j < int64(r.capacity) {
+		return int(j)
+	}
+	return -1
 }
 
 // Add offers one row to the reservoir. The row is copied.
@@ -52,53 +73,51 @@ func (r *Reservoir) Add(row *bitvec.Vector) {
 	if row.Len() != r.d {
 		panic(fmt.Sprintf("stream: row length %d, want %d", row.Len(), r.d))
 	}
-	r.seen++
-	if len(r.rows) < r.capacity {
-		r.rows = append(r.rows, row.Clone())
-		return
-	}
-	// Replace a random slot with probability capacity/seen.
-	j := r.rng.Int63() % r.seen
-	if j < int64(r.capacity) {
-		r.rows[j] = row.Clone()
+	switch j := r.accept(); {
+	case j < 0:
+	case j == r.sample.NumRows():
+		r.sample.AddRow(row)
+	default:
+		r.sample.SetRow(j, row)
 	}
 }
 
-// AddAttrs offers a row given as attribute indices.
+// AddAttrs offers a row given as attribute indices. No row vector is
+// materialized: the bits are written directly into the sample arena.
 func (r *Reservoir) AddAttrs(attrs ...int) {
-	r.Add(bitvec.FromIndices(r.d, attrs))
+	// Validate before touching any state, so a recovered panic leaves
+	// the seen counter and the sample intact.
+	for _, a := range attrs {
+		if a < 0 || a >= r.d {
+			panic(fmt.Sprintf("stream: attribute %d out of range [0,%d)", a, r.d))
+		}
+	}
+	switch j := r.accept(); {
+	case j < 0: // discarded
+	case j == r.sample.NumRows():
+		r.sample.AddRowAttrs(attrs...)
+	default:
+		r.sample.SetRowAttrs(j, attrs...)
+	}
 }
 
 // Seen returns the number of rows offered so far.
 func (r *Reservoir) Seen() int64 { return r.seen }
 
 // Len returns the current sample size.
-func (r *Reservoir) Len() int { return len(r.rows) }
+func (r *Reservoir) Len() int { return r.sample.NumRows() }
 
 // Database materializes the current sample as a database — the
-// streaming SUBSAMPLE sketch payload.
+// streaming SUBSAMPLE sketch payload. With the arena layout this is a
+// single block copy.
 func (r *Reservoir) Database() *dataset.Database {
-	db := dataset.NewDatabase(r.d)
-	for _, row := range r.rows {
-		db.AddRow(row.Clone())
-	}
-	return db
+	return r.sample.Clone()
 }
 
 // Estimate returns the sample frequency of T, the Definition 8
 // recovery procedure.
 func (r *Reservoir) Estimate(t dataset.Itemset) float64 {
-	if len(r.rows) == 0 {
-		return 0
-	}
-	ind := t.Indicator(r.d)
-	c := 0
-	for _, row := range r.rows {
-		if row.ContainsAll(ind) {
-			c++
-		}
-	}
-	return float64(c) / float64(len(r.rows))
+	return r.sample.Frequency(t)
 }
 
 // MisraGries is the deterministic heavy-hitters summary for single

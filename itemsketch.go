@@ -11,6 +11,13 @@
 // internal/lowerbound and is exercised by cmd/attack and the
 // experiments harness.
 //
+// Databases are backed by a contiguous row-major bit-matrix arena with
+// zero-allocation query paths: exact Count/Frequency queries pick
+// automatically between a fused vertical bitmap intersection (after
+// BuildColumnIndex), a serial horizontal scan, and a goroutine-sharded
+// scan on large databases. Database.CountMany batches queries across
+// CPUs; see the internal/dataset package docs for layout details.
+//
 // Quick start:
 //
 //	db := itemsketch.NewDatabase(64)
@@ -110,6 +117,23 @@ func MustItemset(attrs ...int) Itemset { return dataset.MustItemset(attrs...) }
 // ReadTransactions parses the standard one-basket-per-line format.
 func ReadTransactions(r io.Reader, d int) (*Database, error) {
 	return dataset.ReadTransactions(r, d)
+}
+
+// Frequencies answers a batch of exact frequency queries against db,
+// sharding the batch across CPUs when a column index is present. It is
+// the batched form of Database.Frequency; use Database.CountMany for
+// raw counts.
+func Frequencies(db *Database, ts []Itemset) []float64 {
+	out := make([]float64, len(ts))
+	if db.NumRows() == 0 {
+		return out
+	}
+	counts := db.CountMany(ts)
+	n := float64(db.NumRows())
+	for i, c := range counts {
+		out[i] = float64(c) / n
+	}
+	return out
 }
 
 // Auto plans (Theorem 12) and builds the smallest naive sketch.
