@@ -1,8 +1,8 @@
 GO ?= go
 
-.PHONY: all build test vet bench fuzz
+.PHONY: all build test vet doclint bench fuzz
 
-all: vet build test
+all: vet doclint build test
 
 build:
 	$(GO) build ./...
@@ -13,11 +13,17 @@ test:
 vet:
 	$(GO) vet ./...
 
-# bench runs the operational benchmark suite and records the results;
-# bump the output name (BENCH_2.json, ...) in later PRs to keep a
-# perf trajectory.
+# doclint fails if any exported symbol of the public itemsketch package
+# is missing a doc comment.
+doclint:
+	$(GO) run ./cmd/doclint
+
+# bench runs the operational benchmark suite, records the results, and
+# gates the construction benchmarks against the previous PR's numbers;
+# bump the output/baseline names (BENCH_3.json vs BENCH_2.json, ...) in
+# later PRs to keep the perf trajectory.
 bench:
-	$(GO) run ./cmd/bench -out BENCH_1.json
+	$(GO) run ./cmd/bench -out BENCH_2.json -compare BENCH_1.json
 
 fuzz:
 	$(GO) test ./internal/dataset/ -run '^$$' -fuzz FuzzCountPaths -fuzztime 30s

@@ -58,16 +58,75 @@ func benchDB(n, d int) *itemsketch.Database {
 	return db
 }
 
-func BenchmarkSketchBuildSubsample(b *testing.B) {
+// BenchmarkSubsampleBuild measures sketch construction, the operation
+// the paper proves is the whole game. Serial pins one worker; Parallel
+// uses the default GOMAXPROCS fan-out of the chunked deterministic
+// build (identical output bits; only wall-clock differs). The sample
+// override spans several construction chunks so the sharded path
+// engages; Parallel only beats Serial with GOMAXPROCS > 1.
+func BenchmarkSubsampleBuild(b *testing.B) {
+	db := benchDB(50000, 64)
+	p := itemsketch.Params{K: 2, Eps: 0.05, Delta: 0.05,
+		Mode: itemsketch.ForAll, Task: itemsketch.Estimator}
+	const sample = 1 << 15
+	run := func(workers int) func(b *testing.B) {
+		return func(b *testing.B) {
+			itemsketch.SetSketchWorkers(workers)
+			defer itemsketch.SetSketchWorkers(0)
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				sk := itemsketch.Subsample{Seed: uint64(i), SampleOverride: sample}
+				if _, err := sk.Sketch(db, p); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}
+	}
+	b.Run("Serial", run(1))
+	b.Run("Parallel", run(0))
+}
+
+// BenchmarkMedianAmplifierBuild measures the Theorem 17 amplifier
+// build: independent sub-sketches fanned out across the worker pool,
+// seeded deterministically per copy.
+func BenchmarkMedianAmplifierBuild(b *testing.B) {
+	db := benchDB(50000, 64)
+	p := itemsketch.Params{K: 2, Eps: 0.05, Delta: 0.05,
+		Mode: itemsketch.ForAll, Task: itemsketch.Estimator}
+	m := itemsketch.MedianAmplifier{
+		Base:           itemsketch.Subsample{Seed: 1, SampleOverride: 2048},
+		CopiesOverride: 32,
+	}
+	run := func(workers int) func(b *testing.B) {
+		return func(b *testing.B) {
+			itemsketch.SetSketchWorkers(workers)
+			defer itemsketch.SetSketchWorkers(0)
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := m.Sketch(db, p); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}
+	}
+	b.Run("Serial", run(1))
+	b.Run("Parallel", run(0))
+}
+
+// BenchmarkImportanceSampleIngest reports the amortized per-row ingest
+// cost of the arena-backed ImportanceSample: one Sketch call draws b.N
+// rows, so per-op numbers are per sampled row and the fixed setup
+// allocations (weights, cumulative sums, one arena) amortize to
+// 0 allocs/op.
+func BenchmarkImportanceSampleIngest(b *testing.B) {
 	db := benchDB(50000, 64)
 	p := itemsketch.Params{K: 2, Eps: 0.05, Delta: 0.05,
 		Mode: itemsketch.ForAll, Task: itemsketch.Estimator}
 	b.ReportAllocs()
 	b.ResetTimer()
-	for i := 0; i < b.N; i++ {
-		if _, err := (itemsketch.Subsample{Seed: uint64(i)}).Sketch(db, p); err != nil {
-			b.Fatal(err)
-		}
+	is := itemsketch.ImportanceSample{Seed: 1, SampleOverride: b.N}
+	if _, err := is.Sketch(db, p); err != nil {
+		b.Fatal(err)
 	}
 }
 

@@ -5,8 +5,16 @@
 //
 // Usage:
 //
-//	go run ./cmd/bench -out BENCH_1.json        # full run
-//	go run ./cmd/bench -quick -out bench.json   # CI smoke run
+//	go run ./cmd/bench -out BENCH_2.json                          # full run
+//	go run ./cmd/bench -quick -out bench.json                     # CI smoke run
+//	go run ./cmd/bench -quick -out b.json -compare BENCH_1.json   # + regression gate
+//
+// With -compare, construction benchmarks (sketch builds and streaming
+// ingest — the operations a PR must not slow down) that appear in both
+// runs are checked against the baseline ns/op; any regression beyond
+// -maxregress (default 20%) fails the run with exit status 1. Query
+// benchmarks are reported but not gated, since their thresholds live
+// with the fuzz/property tests instead.
 package main
 
 import (
@@ -15,6 +23,7 @@ import (
 	"fmt"
 	"os"
 	"runtime"
+	"strings"
 	"testing"
 	"time"
 
@@ -56,9 +65,55 @@ func benchDB(n, d int) *itemsketch.Database {
 	return db
 }
 
+// constructionPrefixes name the benchmark families gated by -compare:
+// the sketch-construction and streaming-ingest paths.
+var constructionPrefixes = []string{
+	"sketch_build",
+	"subsample_build",
+	"median_amplifier_build",
+	"importance_ingest",
+	"reservoir_add",
+}
+
+func isConstruction(name string) bool {
+	for _, p := range constructionPrefixes {
+		if strings.HasPrefix(name, p) {
+			return true
+		}
+	}
+	return false
+}
+
+// compareBaseline checks the construction benchmarks present in both
+// runs and returns the names that regressed beyond maxRegress.
+func compareBaseline(baseline report, results []result, maxRegress float64) []string {
+	base := make(map[string]float64, len(baseline.Results))
+	for _, r := range baseline.Results {
+		base[r.Name] = r.NsPerOp
+	}
+	var failures []string
+	for _, r := range results {
+		b, ok := base[r.Name]
+		if !ok || !isConstruction(r.Name) || b <= 0 {
+			continue
+		}
+		ratio := r.NsPerOp / b
+		status := "ok"
+		if ratio > 1+maxRegress {
+			status = "REGRESSED"
+			failures = append(failures, r.Name)
+		}
+		fmt.Printf("compare %-32s %8.1f -> %8.1f ns/op  (%+.1f%%)  %s\n",
+			r.Name, b, r.NsPerOp, (ratio-1)*100, status)
+	}
+	return failures
+}
+
 func main() {
-	out := flag.String("out", "BENCH_1.json", "output JSON path")
+	out := flag.String("out", "BENCH_2.json", "output JSON path")
 	quick := flag.Bool("quick", false, "smaller databases for CI smoke runs")
+	compare := flag.String("compare", "", "baseline BENCH_*.json to gate construction benchmarks against")
+	maxRegress := flag.Float64("maxregress", 0.20, "allowed fractional ns/op regression vs -compare baseline")
 	flag.Parse()
 
 	nRows := 100000
@@ -151,6 +206,68 @@ func main() {
 				}
 			}
 		})
+		// Large-sample build, serial vs parallel. The sample spans
+		// several deterministic construction chunks so the sharded
+		// build engages; with one CPU both variants should match.
+		// Workload-size-dependent benchmarks carry the size in their
+		// name so -compare can never silently match a -quick run
+		// against a full-run baseline of the same label.
+		buildSample := 1 << 15
+		if *quick {
+			buildSample = 1 << 13
+		}
+		recordBuild := func(name string, workers int) {
+			record(name, func(b *testing.B) {
+				itemsketch.SetSketchWorkers(workers)
+				defer itemsketch.SetSketchWorkers(0)
+				b.ReportAllocs()
+				for i := 0; i < b.N; i++ {
+					sk := itemsketch.Subsample{Seed: uint64(i), SampleOverride: buildSample}
+					if _, err := sk.Sketch(db, p); err != nil {
+						b.Fatal(err)
+					}
+				}
+			})
+		}
+		recordBuild(fmt.Sprintf("subsample_build_serial_s%d", buildSample), 1)
+		recordBuild(fmt.Sprintf("subsample_build_parallel_s%d", buildSample), 0)
+
+		// Theorem 17 amplifier: independent sub-sketches fanned out
+		// across the worker pool, deterministically seeded per copy.
+		copies := 32
+		if *quick {
+			copies = 8
+		}
+		m := itemsketch.MedianAmplifier{
+			Base:           itemsketch.Subsample{Seed: 1, SampleOverride: 2048},
+			CopiesOverride: copies,
+		}
+		recordAmp := func(name string, workers int) {
+			record(name, func(b *testing.B) {
+				itemsketch.SetSketchWorkers(workers)
+				defer itemsketch.SetSketchWorkers(0)
+				b.ReportAllocs()
+				for i := 0; i < b.N; i++ {
+					if _, err := m.Sketch(db, p); err != nil {
+						b.Fatal(err)
+					}
+				}
+			})
+		}
+		recordAmp(fmt.Sprintf("median_amplifier_build_serial_c%d", copies), 1)
+		recordAmp(fmt.Sprintf("median_amplifier_build_c%d", copies), 0)
+
+		// Amortized per-row ingest of the arena-backed importance
+		// sampler: one Sketch call draws b.N rows, so per-op numbers
+		// are per sampled row and fixed setup costs amortize to
+		// 0 allocs/op.
+		record("importance_ingest", func(b *testing.B) {
+			b.ReportAllocs()
+			is := itemsketch.ImportanceSample{Seed: 1, SampleOverride: b.N}
+			if _, err := is.Sketch(db, p); err != nil {
+				b.Fatal(err)
+			}
+		})
 		sk, err := (itemsketch.Subsample{Seed: 1}).Sketch(db, p)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, err)
@@ -206,7 +323,7 @@ func main() {
 		GOARCH:     runtime.GOARCH,
 		NumCPU:     runtime.NumCPU(),
 		GOMAXPROCS: runtime.GOMAXPROCS(0),
-		Notes:      "scan_parallel shards across goroutines; it only beats scan_serial with >1 CPU",
+		Notes:      "parallel/sharded variants (scan_parallel, subsample_build_parallel, median_amplifier_build) only beat their serial twins with >1 CPU; on a single-CPU runner read them as no-regression checks",
 		Results:    results,
 	}
 	data, err := json.MarshalIndent(rep, "", "  ")
@@ -220,6 +337,24 @@ func main() {
 		os.Exit(1)
 	}
 	fmt.Printf("wrote %s\n", *out)
+
+	if *compare != "" {
+		raw, err := os.ReadFile(*compare)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		var baseline report
+		if err := json.Unmarshal(raw, &baseline); err != nil {
+			fmt.Fprintf(os.Stderr, "bench: parsing baseline %s: %v\n", *compare, err)
+			os.Exit(1)
+		}
+		if failures := compareBaseline(baseline, results, *maxRegress); len(failures) > 0 {
+			fmt.Fprintf(os.Stderr, "bench: construction benchmarks regressed >%.0f%% vs %s: %s\n",
+				*maxRegress*100, *compare, strings.Join(failures, ", "))
+			os.Exit(1)
+		}
+	}
 }
 
 // benchMarketBasket mirrors the bench_test.go mining workload via the

@@ -1,0 +1,148 @@
+// Command doclint checks that every exported symbol of the public
+// itemsketch package (the repository root) carries a doc comment, so
+// the API surface godoc renders never silently grows undocumented
+// entries. It is part of the CI docs-lint step alongside go vet.
+//
+// Usage:
+//
+//	go run ./cmd/doclint            # lint the repository root package
+//	go run ./cmd/doclint ./pkg ...  # lint specific package directories
+//
+// Exported methods on exported types are checked too; test files and
+// example files are skipped. Exit status is 1 when any symbol is
+// missing documentation, with one "file:line: symbol" diagnostic per
+// finding.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"os"
+	"sort"
+	"strings"
+)
+
+func main() {
+	flag.Parse()
+	dirs := flag.Args()
+	if len(dirs) == 0 {
+		dirs = []string{"."}
+	}
+	bad := 0
+	for _, dir := range dirs {
+		missing, err := lintDir(dir)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "doclint: %v\n", err)
+			os.Exit(2)
+		}
+		for _, m := range missing {
+			fmt.Println(m)
+		}
+		bad += len(missing)
+	}
+	if bad > 0 {
+		fmt.Fprintf(os.Stderr, "doclint: %d exported symbols without doc comments\n", bad)
+		os.Exit(1)
+	}
+}
+
+// lintDir parses the non-test Go files of one package directory and
+// returns a "file:line: symbol" line per undocumented exported symbol.
+func lintDir(dir string) ([]string, error) {
+	fset := token.NewFileSet()
+	pkgs, err := parser.ParseDir(fset, dir, func(fi os.FileInfo) bool {
+		return !strings.HasSuffix(fi.Name(), "_test.go")
+	}, parser.ParseComments)
+	if err != nil {
+		return nil, err
+	}
+	var missing []string
+	report := func(pos token.Pos, what string) {
+		p := fset.Position(pos)
+		missing = append(missing, fmt.Sprintf("%s:%d: %s", p.Filename, p.Line, what))
+	}
+	for _, pkg := range pkgs {
+		for _, file := range pkg.Files {
+			for _, decl := range file.Decls {
+				checkDecl(decl, report)
+			}
+		}
+	}
+	sort.Strings(missing)
+	return missing, nil
+}
+
+func checkDecl(decl ast.Decl, report func(token.Pos, string)) {
+	switch d := decl.(type) {
+	case *ast.FuncDecl:
+		if !d.Name.IsExported() || isExportedRecv(d) == recvUnexported {
+			return
+		}
+		if d.Doc == nil {
+			report(d.Pos(), "func "+funcName(d))
+		}
+	case *ast.GenDecl:
+		checkGenDecl(d, report)
+	}
+}
+
+type recvKind int
+
+const (
+	recvNone recvKind = iota
+	recvExported
+	recvUnexported
+)
+
+// isExportedRecv classifies a function declaration's receiver: methods
+// on unexported types are not part of the public API surface.
+func isExportedRecv(d *ast.FuncDecl) recvKind {
+	if d.Recv == nil || len(d.Recv.List) == 0 {
+		return recvNone
+	}
+	t := d.Recv.List[0].Type
+	if star, ok := t.(*ast.StarExpr); ok {
+		t = star.X
+	}
+	if idx, ok := t.(*ast.IndexExpr); ok { // generic receiver T[P]
+		t = idx.X
+	}
+	if id, ok := t.(*ast.Ident); ok && !id.IsExported() {
+		return recvUnexported
+	}
+	return recvExported
+}
+
+func funcName(d *ast.FuncDecl) string {
+	if d.Recv == nil || len(d.Recv.List) == 0 {
+		return d.Name.Name
+	}
+	return "(method) " + d.Name.Name
+}
+
+// checkGenDecl handles const/var/type declarations. A doc comment on
+// the grouped declaration covers all of its specs (matching godoc's
+// rendering); otherwise each exported spec needs its own comment.
+func checkGenDecl(d *ast.GenDecl, report func(token.Pos, string)) {
+	groupDocumented := d.Doc != nil
+	for _, spec := range d.Specs {
+		switch s := spec.(type) {
+		case *ast.TypeSpec:
+			if s.Name.IsExported() && !groupDocumented && s.Doc == nil && s.Comment == nil {
+				report(s.Pos(), "type "+s.Name.Name)
+			}
+		case *ast.ValueSpec:
+			if groupDocumented || s.Doc != nil || s.Comment != nil {
+				continue
+			}
+			for _, name := range s.Names {
+				if name.IsExported() {
+					report(name.Pos(), "const/var "+name.Name)
+				}
+			}
+		}
+	}
+}

@@ -86,6 +86,90 @@ func ExampleApriori() {
 	// {0,1} ~0.7
 }
 
+// ExampleFrequencies answers a batch of exact frequency queries in one
+// call; with a column index built, the batch is sharded across CPUs
+// and each query runs on the fused vertical kernel.
+func ExampleFrequencies() {
+	db := itemsketch.NewDatabase(8)
+	for i := 0; i < 1000; i++ {
+		switch i % 4 {
+		case 0, 1:
+			db.AddRowAttrs(1, 3)
+		case 2:
+			db.AddRowAttrs(1)
+		default:
+			db.AddRowAttrs(6)
+		}
+	}
+	db.BuildColumnIndex()
+	fs := itemsketch.Frequencies(db, []itemsketch.Itemset{
+		itemsketch.MustItemset(1),
+		itemsketch.MustItemset(1, 3),
+		itemsketch.MustItemset(6),
+	})
+	fmt.Printf("f({1}) = %.2f\n", fs[0])
+	fmt.Printf("f({1,3}) = %.2f\n", fs[1])
+	fmt.Printf("f({6}) = %.2f\n", fs[2])
+	// Output:
+	// f({1}) = 0.75
+	// f({1,3}) = 0.50
+	// f({6}) = 0.25
+}
+
+// ExampleImportanceSample sketches a structured database where the
+// interesting itemset lives in a small subpopulation of long rows —
+// the §5 regime where length-weighted sampling with a Horvitz–Thompson
+// estimator beats uniform sampling at equal space.
+func ExampleImportanceSample() {
+	db := itemsketch.NewDatabase(16)
+	for i := 0; i < 2000; i++ {
+		if i%20 == 0 {
+			// Heavy row: contains {0,1,2} plus a long tail of items.
+			db.AddRowAttrs(0, 1, 2, 5, 6, 7, 8, 9, 10, 11, 12, 13, 14, 15)
+		} else {
+			db.AddRowAttrs(3 + i%13)
+		}
+	}
+	p := itemsketch.Params{K: 3, Eps: 0.05, Delta: 0.1,
+		Mode: itemsketch.ForEach, Task: itemsketch.Estimator}
+	sk, err := itemsketch.ImportanceSample{Seed: 2, SampleOverride: 400}.Sketch(db, p)
+	if err != nil {
+		panic(err)
+	}
+	est := sk.(itemsketch.EstimatorSketch).Estimate(itemsketch.MustItemset(0, 1, 2))
+	fmt.Printf("true f = %.2f, HT estimate = %.2f\n", db.Frequency(itemsketch.MustItemset(0, 1, 2)), est)
+	// Output:
+	// true f = 0.05, HT estimate = 0.05
+}
+
+// ExampleMergeReservoirs merges per-shard reservoirs into a uniform
+// sample of the union — distributed construction of the SUBSAMPLE
+// sketch, one reservoir per stream shard.
+func ExampleMergeReservoirs() {
+	shardA, err := itemsketch.NewReservoir(4, 200, 1)
+	if err != nil {
+		panic(err)
+	}
+	shardB, err := itemsketch.NewReservoir(4, 200, 2)
+	if err != nil {
+		panic(err)
+	}
+	// Shard A's rows all contain {0}; shard B's all contain {1}.
+	for i := 0; i < 6000; i++ {
+		shardA.AddAttrs(0)
+		shardB.AddAttrs(1)
+	}
+	merged, err := itemsketch.MergeReservoirs(shardA, shardB, 3)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println("seen:", merged.Seen(), "stored:", merged.Len())
+	fmt.Printf("f({0}) = %.1f\n", merged.Estimate(itemsketch.MustItemset(0)))
+	// Output:
+	// seen: 12000 stored: 200
+	// f({0}) = 0.5
+}
+
 // ExampleNewReservoir shows one-pass streaming construction of the
 // SUBSAMPLE sketch.
 func ExampleNewReservoir() {

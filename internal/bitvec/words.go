@@ -16,6 +16,28 @@ import "math/bits"
 // fused passes — one load per word, popcount in the same loop — so a
 // k-way intersection count touches each cache line exactly once
 // instead of once per And plus once per Count.
+//
+// The k-ary kernels process batchWords (4) words per loop iteration:
+// hoisting four words of the accumulator per trip amortizes the inner
+// column loop's setup and keeps four independent AND/popcount chains
+// in flight, which is the portable (no build-tagged assembly)
+// equivalent of a SIMD-width inner loop. A scalar tail handles the
+// last len%4 words.
+//
+// The 2-operand kernels (CountWords, AndCountWords, AndInto) stay as
+// plain range loops on purpose: measured on the reference hardware
+// (Xeon 2.1GHz, go1.24), an indexed 4-way unroll of those loops is
+// 20–35% *slower* than the compiler's range-loop codegen at both
+// L1-resident (157-word) and L2 (1563-word) operand sizes — the
+// compiler already eliminates bounds checks in the range form and the
+// core's out-of-order window extracts the ILP without help. Batching
+// only pays where it removes per-word work (the k-ary inner loop of
+// AndCountAll) or per-word branches (the multi-word containment test).
+
+// batchWords is the kernel unroll factor: four 64-bit lanes per
+// iteration, the widest batch that keeps every accumulator chain in
+// registers on amd64 and arm64 without spilling.
+const batchWords = 4
 
 // CountWords returns the number of set bits in w.
 func CountWords(w []uint64) int {
@@ -46,8 +68,15 @@ func ContainsAllWords(row, t []uint64) bool {
 	if len(t) > len(row) {
 		panic("bitvec: ContainsAllWords pattern longer than row")
 	}
-	for i, w := range t {
-		if w&^row[i] != 0 {
+	i := 0
+	for ; i+batchWords <= len(t); i += batchWords {
+		if (t[i]&^row[i])|(t[i+1]&^row[i+1])|
+			(t[i+2]&^row[i+2])|(t[i+3]&^row[i+3]) != 0 {
+			return false
+		}
+	}
+	for ; i < len(t); i++ {
+		if t[i]&^row[i] != 0 {
 			return false
 		}
 	}
@@ -57,7 +86,8 @@ func ContainsAllWords(row, t []uint64) bool {
 // AndInto sets dst = a AND b and returns popcount(dst), fused into one
 // pass. dst may alias a and/or b (the common in-place accumulator
 // pattern is AndInto(acc, acc, col)). All three slices must have the
-// same length.
+// same length. Kept as a range loop — see the package comment on why
+// unrolling the 2-operand kernels measures slower.
 func AndInto(dst, a, b []uint64) int {
 	if len(dst) != len(a) || len(a) != len(b) {
 		panic("bitvec: AndInto length mismatch")
@@ -91,7 +121,21 @@ func AndCountAll(cols [][]uint64) int {
 		}
 	}
 	n := 0
-	for i, w := range first {
+	i := 0
+	for ; i+batchWords <= len(first); i += batchWords {
+		w0, w1 := first[i], first[i+1]
+		w2, w3 := first[i+2], first[i+3]
+		for _, c := range cols[1:] {
+			w0 &= c[i]
+			w1 &= c[i+1]
+			w2 &= c[i+2]
+			w3 &= c[i+3]
+		}
+		n += bits.OnesCount64(w0) + bits.OnesCount64(w1) +
+			bits.OnesCount64(w2) + bits.OnesCount64(w3)
+	}
+	for ; i < len(first); i++ {
+		w := first[i]
 		for _, c := range cols[1:] {
 			w &= c[i]
 		}

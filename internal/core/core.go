@@ -23,6 +23,13 @@
 //
 // Every sketch serializes to a bit stream; SizeBits is the length of
 // that stream, which is the paper's space measure |S| (Definition 5).
+//
+// Sketch construction is parallel and deterministic: Subsample,
+// ImportanceSample and MedianAmplifier shard their row draws, block
+// copies and sub-sketch builds across CPUs while remaining a pure
+// function of (seed, database) — the same seed yields bit-identical
+// Marshal output for any GOMAXPROCS or SetBuildWorkers cap. See
+// parallel.go for the chunked seeding scheme that makes this hold.
 package core
 
 import (

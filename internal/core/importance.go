@@ -14,7 +14,9 @@ import (
 // optimal on the paper's hard distributions, but the conclusion
 // explicitly singles out importance sampling as the natural candidate
 // on *structured* databases with non-uniform query loads (the
-// direction taken by Lang–Liberty–Shmakov [LLS16]).
+// direction taken by Lang–Liberty–Shmakov [LLS16]). Price's follow-up
+// lower bound for indicator sketches closes the For-Each indicator gap
+// the paper left open; see the README's paper↔code map.
 //
 // Rows are drawn with replacement with probability proportional to a
 // weight (default: 1 + |row|, so long rows — the ones that can contain
@@ -27,6 +29,17 @@ import (
 // variance for the same space; on the paper's hard instances (all rows
 // equally weighted) it degenerates to uniform sampling — exactly the
 // behaviour the lower bounds require. The E12 ablation measures both.
+//
+// Like Subsample (and Reservoir in internal/stream), the sampled rows
+// live in a contiguous dataset.Database arena with the per-row weights
+// stored alongside in one flat []float64: ingesting a sampled row is a
+// block copy plus one float store (zero allocations in steady state),
+// and the Horvitz–Thompson Estimate walks the arena with the
+// allocation-free RowContains test. Construction is parallel: weight
+// computation and the sample block copies are sharded across CPUs with
+// the deterministic chunk scheme of parallel.go, while the inverse-CDF
+// draws stay on a single serial stream so the sketch is a pure
+// function of (Seed, db).
 type ImportanceSample struct {
 	// Seed seeds the sampling randomness.
 	Seed uint64
@@ -34,7 +47,8 @@ type ImportanceSample struct {
 	// instead of the Lemma 9 estimator size.
 	SampleOverride int
 	// Weight, if non-nil, replaces the default 1+|row| row weight. It
-	// must be strictly positive for every row.
+	// must be strictly positive for every row. The function may be
+	// called concurrently from several goroutines during construction.
 	Weight func(row *bitvec.Vector) float64
 }
 
@@ -54,11 +68,26 @@ func (is ImportanceSample) SpaceBits(n, d int, p Params) float64 {
 	return float64(tagBits+paramsBits+64+64+64) + float64(s)*float64(d+weightBits)
 }
 
-func (is ImportanceSample) weight(row *bitvec.Vector) float64 {
-	if is.Weight != nil {
-		return is.Weight(row)
+// rowWeights fills weights[i] with the weight of row i of db, sharding
+// the rows across the build workers. The default 1+|row| weight is one
+// fused popcount over the row's arena words; a custom Weight function
+// sees a read-only Vector view of the row.
+func (is ImportanceSample) rowWeights(db *dataset.Database, weights []float64) {
+	if is.Weight == nil {
+		runRowChunks(len(weights), func(_, lo, hi int) {
+			for i := lo; i < hi; i++ {
+				weights[i] = 1 + float64(bitvec.CountWords(db.RowWords(i)))
+			}
+		})
+		return
 	}
-	return 1 + float64(row.Count())
+	d := db.NumCols()
+	runRowChunks(len(weights), func(_, lo, hi int) {
+		for i := lo; i < hi; i++ {
+			v := bitvec.Wrap(d, db.RowWords(i))
+			weights[i] = is.Weight(&v)
+		}
+	})
 }
 
 // Sketch implements Sketcher.
@@ -75,43 +104,58 @@ func (is ImportanceSample) Sketch(db *dataset.Database, p Params) (Sketch, error
 		d:      db.NumCols(),
 		n:      int64(n),
 		params: p,
+		sample: dataset.NewDatabase(db.NumCols()),
 	}
 	if n == 0 {
 		return sk, nil
 	}
-	// Per-row weights (computed once) and their cumulative sums for
-	// inverse-CDF sampling.
+	// Per-row weights (computed once, in parallel) and their cumulative
+	// sums for inverse-CDF sampling; validation happens on the serial
+	// summation pass so the first bad row wins deterministically.
 	weights := make([]float64, n)
+	is.rowWeights(db, weights)
 	cum := make([]float64, n)
 	total := 0.0
-	for i := 0; i < n; i++ {
-		w := is.weight(db.Row(i))
+	for i, w := range weights {
 		if w <= 0 || math.IsNaN(w) || math.IsInf(w, 0) {
 			return nil, fmt.Errorf("core: importance weight %g for row %d must be positive and finite", w, i)
 		}
-		weights[i] = w
 		total += w
 		cum[i] = total
 	}
 	sk.totalWeight = total
+	// The s draws consume a single serial RNG stream (so the sketch is
+	// reproducible independent of the worker count); the block copies
+	// of the drawn rows into the sample arena are sharded across CPUs.
 	r := rng.New(is.Seed)
-	for j := 0; j < s; j++ {
+	idx := make([]int, s)
+	for j := range idx {
 		u := r.Float64() * total
 		i := sort.SearchFloat64s(cum, u)
 		if i >= n {
 			i = n - 1
 		}
-		sk.rows = append(sk.rows, db.Row(i).Clone())
-		sk.weights = append(sk.weights, weights[i])
+		idx[j] = i
 	}
+	sk.weights = make([]float64, s)
+	sk.sample.Grow(s)
+	runRowChunks(s, func(_, lo, hi int) {
+		for j := lo; j < hi; j++ {
+			copy(sk.sample.RowWords(j), db.RowWords(idx[j]))
+			sk.weights[j] = weights[idx[j]]
+		}
+	})
 	return sk, nil
 }
 
+// importanceSketch stores the sampled rows in a contiguous Database
+// arena with the per-row Horvitz–Thompson weights alongside; weights[j]
+// is the sampling weight of sample row j.
 type importanceSketch struct {
 	d           int
 	n           int64
 	totalWeight float64
-	rows        []*bitvec.Vector
+	sample      *dataset.Database
 	weights     []float64
 	params      Params
 }
@@ -120,19 +164,21 @@ func (s *importanceSketch) Name() string   { return "importance-sample" }
 func (s *importanceSketch) Params() Params { return s.params }
 
 // Estimate returns the Horvitz–Thompson frequency estimate, clamped to
-// [0, 1].
+// [0, 1]. The pass over the sample is allocation-free: each row is a
+// RowContains bit test against the arena, no indicator vector is
+// materialized.
 func (s *importanceSketch) Estimate(t dataset.Itemset) float64 {
-	if len(s.rows) == 0 || s.n == 0 {
+	m := s.sample.NumRows()
+	if m == 0 || s.n == 0 {
 		return 0
 	}
-	ind := t.Indicator(s.d)
 	sum := 0.0
-	for j, row := range s.rows {
-		if row.ContainsAll(ind) {
+	for j := 0; j < m; j++ {
+		if s.sample.RowContains(j, t) {
 			sum += 1 / s.weights[j]
 		}
 	}
-	f := s.totalWeight * sum / (float64(s.n) * float64(len(s.rows)))
+	f := s.totalWeight * sum / (float64(s.n) * float64(m))
 	if f > 1 {
 		return 1
 	}
@@ -143,6 +189,9 @@ func (s *importanceSketch) Frequent(t dataset.Itemset) bool {
 	return s.Estimate(t) >= indicatorThreshold(s.params.Eps)
 }
 
+// SampleRows returns the number of sampled rows stored in the sketch.
+func (s *importanceSketch) SampleRows() int { return s.sample.NumRows() }
+
 func (s *importanceSketch) SizeBits() int64 { return MarshaledSizeBits(s) }
 
 func (s *importanceSketch) MarshalBits(w *bitvec.Writer) {
@@ -151,12 +200,12 @@ func (s *importanceSketch) MarshalBits(w *bitvec.Writer) {
 	w.WriteUint(uint64(s.d), 32)
 	w.WriteUint(uint64(s.n), 64)
 	w.WriteUint(math.Float64bits(s.totalWeight), 64)
-	w.WriteUint(uint64(len(s.rows)), 32)
-	// Weights are quantized to weightBits on a log scale relative to
-	// the mean weight; row bits follow verbatim.
-	for j, row := range s.rows {
+	w.WriteUint(uint64(s.sample.NumRows()), 32)
+	// Weights are quantized to weightBits on a log scale; each row's
+	// bits follow verbatim, streamed straight from the arena.
+	for j := 0; j < s.sample.NumRows(); j++ {
 		w.WriteUint(quantizeWeight(s.weights[j]), weightBits)
-		row.AppendTo(w)
+		bitvec.WriteWords(w, s.sample.RowWords(j), s.d)
 	}
 }
 
@@ -198,23 +247,39 @@ func unmarshalImportance(r *bitvec.Reader) (Sketch, error) {
 	if err != nil {
 		return nil, err
 	}
+	if d == 0 {
+		return nil, fmt.Errorf("core: importance sketch with zero columns")
+	}
 	s := &importanceSketch{
 		d:           int(d),
 		n:           int64(n),
 		totalWeight: math.Float64frombits(twBits),
 		params:      p,
+		sample:      dataset.NewDatabase(int(d)),
+	}
+	// Pre-size for the declared row count, capped by what the stream
+	// can actually hold so a corrupt header cannot force a huge
+	// allocation.
+	if maxRows := uint64(r.Remaining()) / (d + weightBits); cnt <= maxRows {
+		s.sample.Reserve(int(cnt))
+		s.weights = make([]float64, 0, cnt)
 	}
 	for j := uint64(0); j < cnt; j++ {
 		q, err := r.ReadUint(weightBits)
 		if err != nil {
 			return nil, err
 		}
-		row, err := bitvec.ReadVector(r, int(d))
-		if err != nil {
+		// The row's d bits must still be in the stream before the row
+		// is allocated — otherwise a corrupt header declaring a huge d
+		// would allocate a ~d-bit row just to fail the read after it.
+		if uint64(r.Remaining()) < d {
+			return nil, fmt.Errorf("core: importance sketch truncated at row %d", j)
+		}
+		s.sample.Grow(1)
+		if err := bitvec.ReadWords(r, s.sample.RowWords(int(j)), int(d)); err != nil {
 			return nil, err
 		}
 		s.weights = append(s.weights, dequantizeWeight(q))
-		s.rows = append(s.rows, row)
 	}
 	return s, nil
 }

@@ -82,16 +82,40 @@ func (m MedianAmplifier) Sketch(db *dataset.Database, p Params) (Sketch, error) 
 		copies = Copies(db.NumCols(), p)
 	}
 	bp := m.baseParams(p)
+	// Per-copy seeds are drawn serially from the base seed (the same
+	// derivation the serial builder used), then the independent copies
+	// are built concurrently and stored at their drawn index —
+	// reproducible for any worker count. The BuildWorkers() budget is
+	// split across the two levels: outer workers fan out over copies
+	// and each copy's inner Subsample build gets the remaining share,
+	// so the levels never multiply into more than ~BuildWorkers()
+	// runnable goroutines.
 	r := rng.New(m.Base.Seed)
-	sk := &medianSketch{params: p, baseDelta: bd}
-	for i := 0; i < copies; i++ {
+	seeds := make([]uint64, copies)
+	for i := range seeds {
+		seeds[i] = r.Uint64()
+	}
+	outer := BuildWorkers()
+	if outer > copies {
+		outer = copies
+	}
+	inner := BuildWorkers() / outer
+	if inner < 1 {
+		inner = 1
+	}
+	sk := &medianSketch{params: p, baseDelta: bd, copies: make([]*subsampleSketch, copies)}
+	err := runParallelErr(outer, copies, func(i int) error {
 		base := m.Base
-		base.Seed = r.Uint64()
-		c, err := base.Sketch(db, bp)
+		base.Seed = seeds[i]
+		c, err := base.sketchWorkers(db, bp, inner)
 		if err != nil {
-			return nil, err
+			return err
 		}
-		sk.copies = append(sk.copies, c.(*subsampleSketch))
+		sk.copies[i] = c.(*subsampleSketch)
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	return sk, nil
 }

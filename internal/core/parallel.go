@@ -1,0 +1,186 @@
+package core
+
+// Parallel sketch construction.
+//
+// The paper's central object — the SUBSAMPLE sketch and everything
+// built from it — is embarrassingly parallel to construct: sampled rows
+// are independent draws, and the Theorem 17 amplifier's sub-sketches
+// are independent sketches. The builders in this package fan that work
+// out across CPUs while keeping construction bit-for-bit deterministic
+// in the seed, independent of GOMAXPROCS, the worker cap, and
+// goroutine scheduling.
+//
+// # Determinism scheme
+//
+// Work is divided into fixed-size chunks (buildChunkRows sample slots
+// per chunk), never into per-worker ranges. A root generator seeded
+// with the sketcher's Seed first emits one derived seed per chunk, in
+// chunk order, on a single goroutine; each chunk then fills its
+// pre-assigned slot range [c·buildChunkRows, (c+1)·buildChunkRows)
+// using its own rng.New(seed_c) stream. Because both the chunk
+// boundaries and the chunk seeds are functions of (Seed, total rows)
+// alone, any schedule — serial, 2 workers, 64 workers — writes the
+// same bits to the same slots, which the determinism tests assert by
+// comparing Marshal output across worker counts.
+//
+// MedianAmplifier uses the same pattern one level up: per-copy seeds
+// are drawn serially from the base seed (one Uint64 per copy, exactly
+// the derivation the serial builder used), then the independent copies
+// are built concurrently and stored at their drawn index.
+//
+// # Worker pool
+//
+// runParallel is a minimal errgroup-style pool: min(BuildWorkers(),
+// tasks) goroutines pull task indices from an atomic counter until
+// exhausted. Nested fan-outs split the budget explicitly: the
+// amplifier gives each of its `outer` copy workers a budget of
+// BuildWorkers()/outer for the copy's inner Subsample build (and
+// single-chunk builds run inline with no goroutine at all), so the
+// two levels never multiply into more than ~BuildWorkers() runnable
+// goroutines.
+//
+// As with the query-side sharding (see internal/dataset), the parallel
+// build only wins wall-clock with GOMAXPROCS > 1; on the single-CPU CI
+// container it degrades gracefully to the serial path plus a few
+// goroutine spawns per build.
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// buildChunkRows is the number of sample slots per deterministic
+// construction chunk. It balances scheduling granularity (enough chunks
+// to keep workers busy) against per-chunk overhead (one derived seed
+// and one rng.New per chunk); samples at or below this size build
+// inline on the calling goroutine.
+const buildChunkRows = 4096
+
+// buildWorkerCap caps construction parallelism; 0 means GOMAXPROCS.
+var buildWorkerCap atomic.Int32
+
+// SetBuildWorkers caps the number of goroutines sketch construction may
+// use. k ≤ 0 restores the default (GOMAXPROCS). The cap is global to
+// the package; it changes only wall-clock behaviour, never the
+// constructed bits (see the determinism scheme above).
+func SetBuildWorkers(k int) {
+	if k < 0 {
+		k = 0
+	}
+	buildWorkerCap.Store(int32(k))
+}
+
+// BuildWorkers returns the effective construction worker count.
+func BuildWorkers() int {
+	w := int(buildWorkerCap.Load())
+	if w == 0 {
+		w = runtime.GOMAXPROCS(0)
+	}
+	return w
+}
+
+// runParallel executes fn(i) for every i in [0, tasks), fanning out
+// across at most BuildWorkers() goroutines. With one worker (or one
+// task) it runs inline on the calling goroutine. fn must be safe to
+// call concurrently for distinct i.
+func runParallel(tasks int, fn func(i int)) {
+	runParallelN(BuildWorkers(), tasks, fn)
+}
+
+// runParallelN is runParallel with an explicit worker budget. Nested
+// fan-outs (MedianAmplifier copies that each build a Subsample) split
+// the BuildWorkers() budget across levels through this entry point
+// instead of both levels claiming the full budget.
+func runParallelN(workers, tasks int, fn func(i int)) {
+	if workers > tasks {
+		workers = tasks
+	}
+	if workers <= 1 {
+		for i := 0; i < tasks; i++ {
+			fn(i)
+		}
+		return
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	// A panicking task (e.g. a user-supplied ImportanceSample.Weight
+	// function) must not kill the process from a worker goroutine: the
+	// first panic value is captured and re-thrown on the calling
+	// goroutine, preserving the serial path's recover contract.
+	var panicked atomic.Value
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			defer func() {
+				if r := recover(); r != nil {
+					panicked.CompareAndSwap(nil, &r)
+				}
+			}()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= tasks || panicked.Load() != nil {
+					return
+				}
+				fn(i)
+			}
+		}()
+	}
+	wg.Wait()
+	if r := panicked.Load(); r != nil {
+		panic(*r.(*any))
+	}
+}
+
+// runParallelErr is runParallelN for fallible tasks: it runs fn(i) for
+// every i, stops issuing new tasks after the first failure, and
+// returns the lowest-index error among the tasks that actually ran.
+// Which tasks ran past the first failure depends on scheduling, so
+// when distinct tasks can fail with distinct errors the choice of
+// reported error is not deterministic — only its presence is.
+func runParallelErr(workers, tasks int, fn func(i int) error) error {
+	errs := make([]error, tasks)
+	var failed atomic.Bool
+	runParallelN(workers, tasks, func(i int) {
+		if failed.Load() {
+			return
+		}
+		if err := fn(i); err != nil {
+			errs[i] = err
+			failed.Store(true)
+		}
+	})
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// rowChunks returns the number of buildChunkRows-sized chunks covering
+// total rows.
+func rowChunks(total int) int {
+	return (total + buildChunkRows - 1) / buildChunkRows
+}
+
+// runRowChunks splits [0, total) into buildChunkRows-sized chunks and
+// runs body(c, lo, hi) for each chunk c covering rows [lo, hi),
+// fanning the chunks out across the build workers.
+func runRowChunks(total int, body func(c, lo, hi int)) {
+	runRowChunksN(BuildWorkers(), total, body)
+}
+
+// runRowChunksN is runRowChunks with an explicit worker budget, for
+// callers already running inside a fan-out.
+func runRowChunksN(workers, total int, body func(c, lo, hi int)) {
+	runParallelN(workers, rowChunks(total), func(c int) {
+		lo := c * buildChunkRows
+		hi := lo + buildChunkRows
+		if hi > total {
+			hi = total
+		}
+		body(c, lo, hi)
+	})
+}

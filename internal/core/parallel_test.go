@@ -1,0 +1,217 @@
+package core
+
+import (
+	"bytes"
+	"math"
+	"testing"
+
+	"repro/internal/bitvec"
+	"repro/internal/dataset"
+	"repro/internal/rng"
+)
+
+// parallelTestDB is large enough that Subsample overrides spanning
+// several buildChunkRows chunks exercise the sharded build.
+func parallelTestDB(t testing.TB, n, d int) *dataset.Database {
+	t.Helper()
+	r := rng.New(7)
+	return dataset.GenUniform(r, n, d, 0.2)
+}
+
+func marshalBytes(t testing.TB, s Sketch) []byte {
+	t.Helper()
+	var w bitvec.Writer
+	s.MarshalBits(&w)
+	return w.Bytes()
+}
+
+// TestConstructionDeterministicAcrossWorkers asserts the central
+// contract of the parallel builders: for a fixed seed, serial and
+// parallel construction produce bit-identical sketches, for every
+// sketch type that uses the worker pool.
+func TestConstructionDeterministicAcrossWorkers(t *testing.T) {
+	defer SetBuildWorkers(0)
+	db := parallelTestDB(t, 4000, 32)
+	p := Params{K: 2, Eps: 0.1, Delta: 0.1, Mode: ForEach, Task: Estimator}
+	pa := Params{K: 2, Eps: 0.1, Delta: 0.1, Mode: ForAll, Task: Estimator}
+	cases := []struct {
+		name string
+		sk   Sketcher
+		p    Params
+	}{
+		// SampleOverride of 3 chunks plus a partial tail, so parallel
+		// schedules genuinely interleave.
+		{"subsample", Subsample{Seed: 11, SampleOverride: 3*buildChunkRows + 100}, p},
+		{"importance", ImportanceSample{Seed: 12, SampleOverride: 2*buildChunkRows + 33}, p},
+		{"median", MedianAmplifier{Base: Subsample{Seed: 13, SampleOverride: 500}, CopiesOverride: 9}, pa},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			var ref []byte
+			for _, workers := range []int{1, 2, 8} {
+				SetBuildWorkers(workers)
+				s, err := c.sk.Sketch(db, c.p)
+				if err != nil {
+					t.Fatalf("workers=%d: %v", workers, err)
+				}
+				b := marshalBytes(t, s)
+				if ref == nil {
+					ref = b
+					continue
+				}
+				if !bytes.Equal(ref, b) {
+					t.Fatalf("workers=%d produced different bits than workers=1", workers)
+				}
+			}
+		})
+	}
+}
+
+// TestMarshalRoundTripAllSketchTypes round-trips every sketch type in
+// the package through its bit encoding and requires the re-marshaled
+// bytes to be identical — a stronger check than comparing query
+// answers, and one that covers the arena-backed ImportanceSample
+// (whose estimates may legitimately drift by the 2^-9 weight
+// quantization, but whose encoding must be a fixed point).
+func TestMarshalRoundTripAllSketchTypes(t *testing.T) {
+	db := parallelTestDB(t, 600, 12)
+	pEach := Params{K: 2, Eps: 0.1, Delta: 0.1, Mode: ForEach, Task: Estimator}
+	pAllE := Params{K: 2, Eps: 0.1, Delta: 0.1, Mode: ForAll, Task: Estimator}
+	pAllI := Params{K: 2, Eps: 0.1, Delta: 0.1, Mode: ForAll, Task: Indicator}
+	cases := []struct {
+		name string
+		sk   Sketcher
+		p    Params
+	}{
+		{"release-db", ReleaseDB{}, pAllE},
+		{"release-answers-indicator", ReleaseAnswers{}, pAllI},
+		{"release-answers-estimator", ReleaseAnswers{}, pAllE},
+		{"subsample", Subsample{Seed: 3, SampleOverride: 200}, pEach},
+		{"importance-sample", ImportanceSample{Seed: 4, SampleOverride: 150}, pEach},
+		{"median-amplify", MedianAmplifier{Base: Subsample{Seed: 5, SampleOverride: 100}, CopiesOverride: 5}, pAllE},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			s, err := c.sk.Sketch(db, c.p)
+			if err != nil {
+				t.Fatal(err)
+			}
+			var w bitvec.Writer
+			s.MarshalBits(&w)
+			if int64(w.BitLen()) != s.SizeBits() {
+				t.Fatalf("SizeBits %d != encoded length %d", s.SizeBits(), w.BitLen())
+			}
+			back, err := UnmarshalSketch(bitvec.NewReader(w.Bytes(), w.BitLen()))
+			if err != nil {
+				t.Fatal(err)
+			}
+			if back.Name() != s.Name() {
+				t.Fatalf("name changed across round trip: %q vs %q", back.Name(), s.Name())
+			}
+			if back.Params() != s.Params() {
+				t.Fatalf("params changed across round trip: %v vs %v", back.Params(), s.Params())
+			}
+			var w2 bitvec.Writer
+			back.MarshalBits(&w2)
+			if w.BitLen() != w2.BitLen() || !bytes.Equal(w.Bytes(), w2.Bytes()) {
+				t.Fatal("re-marshaled bytes differ from the original encoding")
+			}
+		})
+	}
+}
+
+// TestImportanceIngestAllocationFree pins the arena migration: after
+// the fixed-size setup allocations, ingesting each additional sampled
+// row (block copy + weight store) allocates nothing, so the per-row
+// allocation count amortizes to zero.
+func TestImportanceIngestAllocationFree(t *testing.T) {
+	db := parallelTestDB(t, 2000, 64)
+	p := Params{K: 2, Eps: 0.1, Delta: 0.1, Mode: ForEach, Task: Estimator}
+	defer SetBuildWorkers(0)
+	SetBuildWorkers(1) // keep goroutine spawns out of the alloc count
+	const small, large = 1 << 12, 1 << 16
+	build := func(s int) {
+		if _, err := (ImportanceSample{Seed: 1, SampleOverride: s}).Sketch(db, p); err != nil {
+			t.Fatal(err)
+		}
+	}
+	asmall := testing.AllocsPerRun(3, func() { build(small) })
+	alarge := testing.AllocsPerRun(3, func() { build(large) })
+	// 16× the rows must not mean 16× the allocations: the per-build
+	// allocation count is O(1) in the sample size (weights, cum, idx,
+	// one arena), not O(s).
+	if alarge > asmall+8 {
+		t.Fatalf("ingest allocates per row: %v allocs at s=%d vs %v at s=%d", alarge, large, asmall, small)
+	}
+}
+
+// TestWeightPanicPropagatesToCaller asserts that a panic in a
+// user-supplied Weight function surfaces on the goroutine that called
+// Sketch — recoverable by the caller — even when the weight pass runs
+// on worker goroutines.
+func TestWeightPanicPropagatesToCaller(t *testing.T) {
+	defer SetBuildWorkers(0)
+	SetBuildWorkers(4)
+	db := parallelTestDB(t, 3*buildChunkRows, 8)
+	p := Params{K: 1, Eps: 0.1, Delta: 0.1}
+	is := ImportanceSample{Seed: 1, SampleOverride: 10,
+		Weight: func(*bitvec.Vector) float64 { panic("boom") }}
+	defer func() {
+		if r := recover(); r != "boom" {
+			t.Fatalf("expected to recover the weight panic, got %v", r)
+		}
+	}()
+	_, _ = is.Sketch(db, p)
+	t.Fatal("Sketch should have panicked")
+}
+
+// TestUnmarshalImportanceCorruptHeader asserts a corrupt stream that
+// declares a huge column width fails cleanly before allocating a row
+// of that width.
+func TestUnmarshalImportanceCorruptHeader(t *testing.T) {
+	var w bitvec.Writer
+	w.WriteUint(tagImportance, tagBits)
+	marshalParams(&w, Params{K: 1, Eps: 0.1, Delta: 0.1})
+	w.WriteUint(1<<31, 32)                  // d ~ 2 billion columns
+	w.WriteUint(100, 64)                    // n
+	w.WriteUint(math.Float64bits(100), 64)  // total weight
+	w.WriteUint(3, 32)                      // claims 3 rows
+	w.WriteUint(quantizeWeight(1), weightBits)
+	w.WriteUint(0xDEAD, 16) // a few junk bits, nowhere near d
+	if _, err := UnmarshalSketch(bitvec.NewReader(w.Bytes(), w.BitLen())); err == nil {
+		t.Fatal("corrupt importance header must fail to unmarshal")
+	}
+}
+
+// TestGrowMatchesIncrementalAppend pins dataset.Grow (the pre-sizing
+// half of the parallel build) against the incremental append path.
+func TestGrowMatchesIncrementalAppend(t *testing.T) {
+	src := parallelTestDB(t, 300, 20)
+	inc := dataset.NewDatabase(20)
+	for i := 0; i < src.NumRows(); i++ {
+		inc.CopyRowFrom(src, i)
+	}
+	grown := dataset.NewDatabase(20)
+	grown.Grow(src.NumRows())
+	for i := 0; i < src.NumRows(); i++ {
+		copy(grown.RowWords(i), src.RowWords(i))
+	}
+	if grown.NumRows() != inc.NumRows() {
+		t.Fatalf("row count %d vs %d", grown.NumRows(), inc.NumRows())
+	}
+	for i := 0; i < src.NumRows(); i++ {
+		if !bytes.Equal(wordsAsBytes(grown.RowWords(i)), wordsAsBytes(inc.RowWords(i))) {
+			t.Fatalf("row %d differs", i)
+		}
+	}
+}
+
+func wordsAsBytes(w []uint64) []byte {
+	out := make([]byte, 0, len(w)*8)
+	for _, x := range w {
+		for s := 0; s < 64; s += 8 {
+			out = append(out, byte(x>>s))
+		}
+	}
+	return out
+}

@@ -72,7 +72,22 @@ func (ss Subsample) SpaceBits(n, d int, p Params) float64 {
 
 // Sketch implements Sketcher: draws the sample and packages it as a
 // small database.
+//
+// Construction is sharded across CPUs with the deterministic chunk
+// scheme described in parallel.go: a root generator seeded with Seed
+// emits one seed per buildChunkRows-sized chunk of sample slots, and
+// each chunk draws its row indices from its own stream and block-copies
+// the rows into its pre-grown arena range. The resulting sketch is a
+// pure function of (Seed, db) — identical bits for any worker count.
 func (ss Subsample) Sketch(db *dataset.Database, p Params) (Sketch, error) {
+	return ss.sketchWorkers(db, p, BuildWorkers())
+}
+
+// sketchWorkers is Sketch with an explicit worker budget, so outer
+// fan-outs (MedianAmplifier) can split BuildWorkers() across their
+// copies instead of every copy claiming the full budget. The budget
+// affects wall-clock only, never the constructed bits.
+func (ss Subsample) sketchWorkers(db *dataset.Database, p Params, workers int) (Sketch, error) {
 	if err := checkDims(db, p); err != nil {
 		return nil, err
 	}
@@ -80,15 +95,23 @@ func (ss Subsample) Sketch(db *dataset.Database, p Params) (Sketch, error) {
 	if s <= 0 {
 		s = SampleSize(db.NumCols(), p)
 	}
-	r := rng.New(ss.Seed)
 	sample := dataset.NewDatabase(db.NumCols())
 	n := db.NumRows()
 	if n > 0 {
-		// Each draw is an arena block copy; no row vectors are built.
-		sample.Reserve(s)
-		for i := 0; i < s; i++ {
-			sample.CopyRowFrom(db, r.Intn(n))
+		r := rng.New(ss.Seed)
+		seeds := make([]uint64, rowChunks(s))
+		for c := range seeds {
+			seeds[c] = r.Uint64()
 		}
+		sample.Grow(s)
+		// Each draw is an arena block copy into the chunk's disjoint
+		// slot range; no row vectors are built and no locks are taken.
+		runRowChunksN(workers, s, func(c, lo, hi int) {
+			cr := rng.New(seeds[c])
+			for i := lo; i < hi; i++ {
+				copy(sample.RowWords(i), db.RowWords(cr.Intn(n)))
+			}
+		})
 	}
 	sample.BuildColumnIndex()
 	return &subsampleSketch{sample: sample, params: p}, nil

@@ -212,6 +212,14 @@ const maxFusedCols = 8
 
 // parallelRowThreshold is the minimum row count before a horizontal
 // scan shards across goroutines; below it, goroutine startup dominates.
+// The 2^14 value was tuned on the 100k-row × 64-col benchmark database:
+// a shard needs tens of microseconds of scanning to amortize its spawn.
+//
+// CI caveat: the sharded paths only beat the serial ones with
+// GOMAXPROCS > 1. The reference CI container has a single CPU, so there
+// scan_parallel ≈ scan_serial (plus a few hundred bytes of goroutine
+// bookkeeping) and the BENCH_*.json numbers for parallel paths should
+// be read as "no regression", not as the speedup; see README.md.
 const parallelRowThreshold = 1 << 14
 
 // stackIndicatorWords is the widest indicator built on the stack by the
@@ -265,10 +273,17 @@ func (db *Database) Reserve(nrows int) {
 	db.arena = a
 }
 
-// grow appends one zeroed row to the arena and returns its word slice.
-// It invalidates the column index.
-func (db *Database) grow() []uint64 {
-	need := len(db.arena) + db.stride
+// Grow appends nrows zeroed rows in one arena extension. It is the
+// pre-sizing half of the parallel sketch-construction pattern in
+// internal/core: Grow once from a single goroutine, then let workers
+// fill disjoint rows concurrently through RowWords (writes to distinct
+// rows never alias, so no synchronization beyond the final join is
+// needed). It invalidates the column index.
+func (db *Database) Grow(nrows int) {
+	if nrows <= 0 {
+		return
+	}
+	need := (db.n + nrows) * db.stride
 	if cap(db.arena) < need {
 		newCap := 2 * cap(db.arena)
 		if newCap < need {
@@ -278,14 +293,21 @@ func (db *Database) grow() []uint64 {
 		copy(a, db.arena)
 		db.arena = a
 	}
+	lo := db.n * db.stride
 	db.arena = db.arena[:need]
-	db.n++
-	db.invalidateIndex()
-	row := db.arena[need-db.stride : need]
-	for i := range row {
-		row[i] = 0
+	fresh := db.arena[lo:]
+	for i := range fresh {
+		fresh[i] = 0
 	}
-	return row
+	db.n += nrows
+	db.invalidateIndex()
+}
+
+// grow appends one zeroed row to the arena and returns its word slice.
+// It invalidates the column index.
+func (db *Database) grow() []uint64 {
+	db.Grow(1)
+	return db.arena[(db.n-1)*db.stride : db.n*db.stride]
 }
 
 func (db *Database) invalidateIndex() {

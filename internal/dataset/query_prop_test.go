@@ -27,6 +27,12 @@ func naiveCount(db *Database, t Itemset) int {
 }
 
 func randomItemset(r *rng.RNG, d, maxK int) Itemset {
+	// Only d distinct attributes exist; without this cap the collection
+	// loop below would never terminate for k > d (the fuzzer found this
+	// with d=9, maxK=10 — kept as corpus entry 5a6614a1854e4619).
+	if maxK > d {
+		maxK = d
+	}
 	k := r.Intn(maxK + 1) // 0 allowed: empty itemset edge case
 	seen := map[int]bool{}
 	var attrs []int

@@ -13,6 +13,19 @@
 // hitters problem, deterministic counter algorithms beat sampling
 // (O(1/ε) counters, no log factors, deterministic guarantees). The
 // paper's point is that this improvement does not extend to itemsets.
+//
+// # Relation to the parallel batch builders
+//
+// internal/core parallelizes *batch* construction (the whole database
+// is in memory and chunks of sample slots are filled concurrently
+// under a deterministic per-chunk seeding scheme — see
+// internal/core/parallel.go). This package is the *distributed*
+// counterpart: each stream shard runs its own Reservoir with its own
+// seed, and Merge combines the shard reservoirs into a uniform sample
+// of the union. Both constructions are deterministic functions of
+// their seeds and inputs — a merged reservoir is reproducible from
+// (shard seeds, merge seed, shard streams), just as a batch sketch is
+// reproducible from (seed, database) for any worker count.
 package stream
 
 import (

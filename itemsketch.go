@@ -18,6 +18,12 @@
 // scan on large databases. Database.CountMany batches queries across
 // CPUs; see the internal/dataset package docs for layout details.
 //
+// Sketch construction is parallel and deterministic: Subsample,
+// ImportanceSample and MedianAmplifier shard their work across CPUs
+// (capped by SetSketchWorkers) while the same seed always produces
+// bit-identical Marshal output, independent of the worker count; see
+// the internal/core package docs for the seeding scheme.
+//
 // Quick start:
 //
 //	db := itemsketch.NewDatabase(64)
@@ -144,6 +150,21 @@ func Auto(db *Database, p Params, seed uint64) (Sketch, Plan, error) {
 // SampleSize returns the Lemma 9 SUBSAMPLE row count for the given
 // parameters on a d-column database.
 func SampleSize(d int, p Params) int { return core.SampleSize(d, p) }
+
+// Copies returns the Theorem 17 number of independent base sketches the
+// median amplification runs, ⌈10·log₂(C(d,k)/δ)⌉.
+func Copies(d int, p Params) int { return core.Copies(d, p) }
+
+// SetSketchWorkers caps the number of goroutines sketch construction
+// (Subsample, ImportanceSample, MedianAmplifier) may use; k ≤ 0
+// restores the default (GOMAXPROCS). The cap changes only wall-clock
+// behaviour: construction is deterministic in the seed for any worker
+// count, and with a single CPU (e.g. the reference CI container) the
+// parallel build degrades gracefully to the serial path.
+func SetSketchWorkers(k int) { core.SetBuildWorkers(k) }
+
+// SketchWorkers returns the effective sketch-construction worker count.
+func SketchWorkers() int { return core.BuildWorkers() }
 
 // Marshal serializes a sketch; bits is its exact size |S| in bits
 // (Definition 5) — the paper's space measure.
