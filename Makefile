@@ -20,10 +20,13 @@ doclint:
 
 # bench runs the operational benchmark suite, records the results, and
 # gates the construction benchmarks against the previous PR's numbers;
-# bump the output/baseline names (BENCH_3.json vs BENCH_2.json, ...) in
+# bump the output/baseline names (BENCH_4.json vs BENCH_3.json, ...) in
 # later PRs to keep the perf trajectory.
 bench:
-	$(GO) run ./cmd/bench -out BENCH_2.json -compare BENCH_1.json
+	$(GO) run ./cmd/bench -out BENCH_3.json -compare BENCH_2.json
 
+# fuzz exercises the two decoder/query surfaces: the exact-query paths
+# and the wire-envelope decoder.
 fuzz:
 	$(GO) test ./internal/dataset/ -run '^$$' -fuzz FuzzCountPaths -fuzztime 30s
+	$(GO) test . -run '^$$' -fuzz FuzzUnmarshalEnvelope -fuzztime 30s

@@ -158,8 +158,7 @@ func BenchmarkSketchSerialize(b *testing.B) {
 	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		data, bits := itemsketch.Marshal(sk)
-		if _, err := itemsketch.Unmarshal(data, bits); err != nil {
+		if _, err := itemsketch.Unmarshal(itemsketch.Marshal(sk)); err != nil {
 			b.Fatal(err)
 		}
 	}

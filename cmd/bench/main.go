@@ -5,9 +5,9 @@
 //
 // Usage:
 //
-//	go run ./cmd/bench -out BENCH_2.json                          # full run
+//	go run ./cmd/bench -out BENCH_3.json                          # full run
 //	go run ./cmd/bench -quick -out bench.json                     # CI smoke run
-//	go run ./cmd/bench -quick -out b.json -compare BENCH_1.json   # + regression gate
+//	go run ./cmd/bench -quick -out b.json -compare BENCH_2.json   # + regression gate
 //
 // With -compare, construction benchmarks (sketch builds and streaming
 // ingest — the operations a PR must not slow down) that appear in both
@@ -110,7 +110,7 @@ func compareBaseline(baseline report, results []result, maxRegress float64) []st
 }
 
 func main() {
-	out := flag.String("out", "BENCH_2.json", "output JSON path")
+	out := flag.String("out", "BENCH_3.json", "output JSON path")
 	quick := flag.Bool("quick", false, "smaller databases for CI smoke runs")
 	compare := flag.String("compare", "", "baseline BENCH_*.json to gate construction benchmarks against")
 	maxRegress := flag.Float64("maxregress", 0.20, "allowed fractional ns/op regression vs -compare baseline")
@@ -279,6 +279,16 @@ func main() {
 			b.ReportAllocs()
 			for i := 0; i < b.N; i++ {
 				_ = es.Estimate(T)
+			}
+		})
+		// Wire round trip through the self-describing envelope
+		// (header + CRC32 + payload decode).
+		record("sketch_envelope_roundtrip", func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := itemsketch.Unmarshal(itemsketch.Marshal(sk)); err != nil {
+					b.Fatal(err)
+				}
 			}
 		})
 	}

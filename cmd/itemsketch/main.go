@@ -5,14 +5,17 @@
 //
 //	itemsketch sketch -in baskets.txt -d 64 -out sketch.bin [-k 2 -eps 0.05 -delta 0.05 -mode forall -task estimator -algo auto]
 //	itemsketch query  -sketch sketch.bin -items 3,17
-//	itemsketch mine   -sketch sketch.bin -d 64 -minsup 0.1 -maxk 3 [-rules 0.6]
+//	itemsketch mine   -sketch sketch.bin -minsup 0.1 -maxk 3 [-rules 0.6]
 //	itemsketch info   -sketch sketch.bin
 //
 // The transaction format is one basket per line: space-separated
-// attribute indices in [0, d).
+// attribute indices in [0, d). Sketch files are the versioned
+// self-describing envelope written by itemsketch.Marshal; files from
+// the pre-envelope format are still read transparently.
 package main
 
 import (
+	"context"
 	"encoding/binary"
 	"errors"
 	"flag"
@@ -51,9 +54,9 @@ func main() {
 
 func usage() {
 	fmt.Fprintln(os.Stderr, `usage: itemsketch <sketch|query|mine|info> [flags]
-  sketch -in FILE -d COLS -out FILE [-k K -eps E -delta D -mode forall|foreach -task estimator|indicator -algo auto|subsample|release-db|release-answers -seed N]
+  sketch -in FILE -d COLS -out FILE [-k K -eps E -delta D -mode forall|foreach -task estimator|indicator -algo auto|subsample|release-db|release-answers|importance-sample -seed N]
   query  -sketch FILE -items a,b,c
-  mine   -sketch FILE -d COLS -minsup F -maxk K [-rules CONF]
+  mine   -sketch FILE -minsup F -maxk K [-rules CONF]
   info   -sketch FILE`)
 }
 
@@ -107,29 +110,31 @@ func cmdSketch(args []string) error {
 	if err != nil {
 		return err
 	}
-	var sk itemsketch.Sketch
+	opts := []itemsketch.BuildOption{itemsketch.WithParams(p), itemsketch.WithSeed(*seed)}
 	switch *algo {
 	case "auto":
-		var plan itemsketch.Plan
-		sk, plan, err = itemsketch.Auto(db, p, *seed)
-		if err == nil {
-			fmt.Printf("planner: release-db=%.0f release-answers=%.0f subsample=%.0f bits -> %s\n",
-				plan.Costs["release-db"], plan.Costs["release-answers"], plan.Costs["subsample"],
-				plan.Winner.Name())
-		}
+		// No WithAlgorithm: the Theorem 12 planner picks.
 	case "subsample":
-		sk, err = itemsketch.Subsample{Seed: *seed}.Sketch(db, p)
+		opts = append(opts, itemsketch.WithAlgorithm(itemsketch.Subsample{}))
 	case "release-db":
-		sk, err = itemsketch.ReleaseDB{}.Sketch(db, p)
+		opts = append(opts, itemsketch.WithAlgorithm(itemsketch.ReleaseDB{}))
 	case "release-answers":
-		sk, err = itemsketch.ReleaseAnswers{}.Sketch(db, p)
+		opts = append(opts, itemsketch.WithAlgorithm(itemsketch.ReleaseAnswers{}))
+	case "importance-sample":
+		opts = append(opts, itemsketch.WithAlgorithm(itemsketch.ImportanceSample{}))
 	default:
 		return fmt.Errorf("unknown algo %q", *algo)
 	}
+	sk, plan, err := itemsketch.Build(context.Background(), db, opts...)
 	if err != nil {
 		return err
 	}
-	if err := writeSketchFile(*out, sk); err != nil {
+	if *algo == "auto" {
+		fmt.Printf("planner: release-db=%.0f release-answers=%.0f subsample=%.0f bits -> %s\n",
+			plan.Costs["release-db"], plan.Costs["release-answers"], plan.Costs["subsample"],
+			plan.Winner.Name())
+	}
+	if err := os.WriteFile(*out, itemsketch.Marshal(sk), 0o644); err != nil {
 		return err
 	}
 	fmt.Printf("wrote %s: %s sketch, %d bits (%.1f KB) for %d rows x %d cols\n",
@@ -137,24 +142,29 @@ func cmdSketch(args []string) error {
 	return nil
 }
 
-// Sketch files: 8-byte little-endian bit count, then the packed bits.
-func writeSketchFile(path string, sk itemsketch.Sketch) error {
-	data, bits := itemsketch.Marshal(sk)
-	hdr := make([]byte, 8)
-	binary.LittleEndian.PutUint64(hdr, uint64(bits))
-	return os.WriteFile(path, append(hdr, data...), 0o644)
-}
-
+// Sketch files are the Marshal envelope verbatim. Files written before
+// the envelope existed (8-byte little-endian bit count, then the
+// packed bits) are still readable through the deprecated raw path.
 func readSketchFile(path string) (itemsketch.Sketch, error) {
 	raw, err := os.ReadFile(path)
 	if err != nil {
 		return nil, err
 	}
-	if len(raw) < 8 {
-		return nil, errors.New("sketch file too short")
+	return decodeSketchBytes(raw)
+}
+
+func decodeSketchBytes(raw []byte) (itemsketch.Sketch, error) {
+	sk, err := itemsketch.Unmarshal(raw)
+	if err == nil || !errors.Is(err, itemsketch.ErrCorruptSketch) || len(raw) < 8 {
+		return sk, err
 	}
-	bits := binary.LittleEndian.Uint64(raw[:8])
-	return itemsketch.Unmarshal(raw[8:], int(bits))
+	// Legacy fallback: interpret the first 8 bytes as a bit count.
+	if bits := binary.LittleEndian.Uint64(raw[:8]); bits <= uint64(len(raw)-8)*8 {
+		if legacy, lerr := itemsketch.UnmarshalRaw(raw[8:], int(bits)); lerr == nil {
+			return legacy, nil
+		}
+	}
+	return nil, err
 }
 
 func parseItems(s string) (itemsketch.Itemset, error) {
@@ -191,33 +201,45 @@ func cmdQuery(args []string) error {
 	}
 	p := sk.Params()
 	fmt.Printf("sketch: %s %v\n", sk.Name(), p)
-	if es, ok := sk.(itemsketch.EstimatorSketch); ok {
-		fmt.Printf("estimate f(%v) = %.5f\n", T, es.Estimate(T))
+	ctx := context.Background()
+	q := itemsketch.QuerySketch(sk)
+	switch est, err := q.Estimate(ctx, T); {
+	case err == nil:
+		fmt.Printf("estimate f(%v) = %.5f\n", T, est)
+	case errors.Is(err, itemsketch.ErrTaskMismatch):
+		// Indicator-only sketch: the Contains answer below is all it has.
+	default:
+		return err
 	}
-	fmt.Printf("frequent(%v) at eps=%g: %v\n", T, p.Eps, sk.Frequent(T))
+	frequent, err := q.Contains(ctx, T)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("frequent(%v) at eps=%g: %v\n", T, p.Eps, frequent)
 	return nil
 }
 
 func cmdMine(args []string) error {
 	fs := flag.NewFlagSet("mine", flag.ExitOnError)
 	path := fs.String("sketch", "", "sketch file (required)")
-	d := fs.Int("d", 0, "number of attribute columns (required)")
 	minsup := fs.Float64("minsup", 0.1, "minimum support")
 	maxk := fs.Int("maxk", 3, "maximum itemset size")
 	rules := fs.Float64("rules", 0, "if > 0, also derive rules at this confidence")
 	fs.Parse(args)
-	if *path == "" || *d <= 0 {
-		return errors.New("mine: -sketch and -d are required")
+	if *path == "" {
+		return errors.New("mine: -sketch is required")
 	}
 	sk, err := readSketchFile(*path)
 	if err != nil {
 		return err
 	}
-	es, ok := sk.(itemsketch.EstimatorSketch)
-	if !ok {
-		return errors.New("mine: sketch does not support estimates (indicator-only)")
+	rs, err := itemsketch.AprioriContext(context.Background(), itemsketch.QuerySketch(sk), *minsup, *maxk)
+	if err != nil {
+		if errors.Is(err, itemsketch.ErrTaskMismatch) {
+			return fmt.Errorf("mine: %s sketch does not support estimates (indicator-only)", sk.Name())
+		}
+		return err
 	}
-	rs := itemsketch.Apriori(itemsketch.OnSketch(es, *d), *minsup, *maxk)
 	fmt.Printf("%d frequent itemsets at minsup=%g (maxk=%d):\n", len(rs), *minsup, *maxk)
 	for _, r := range rs {
 		fmt.Printf("  %-20v %.4f\n", r.Items, r.Freq)
@@ -240,13 +262,26 @@ func cmdInfo(args []string) error {
 	if *path == "" {
 		return errors.New("info: -sketch is required")
 	}
-	sk, err := readSketchFile(*path)
+	raw, err := os.ReadFile(*path)
+	if err != nil {
+		return err
+	}
+	if env, err := itemsketch.Inspect(raw); err == nil {
+		fmt.Printf("envelope:   v%d %s, %d payload bits, crc %08x\n",
+			env.Version, env.Kind, env.PayloadBits, env.Checksum)
+	} else if errors.Is(err, itemsketch.ErrUnsupportedVersion) {
+		return err
+	} else {
+		fmt.Printf("envelope:   none (pre-envelope file)\n")
+	}
+	sk, err := decodeSketchBytes(raw)
 	if err != nil {
 		return err
 	}
 	p := sk.Params()
 	fmt.Printf("algorithm:  %s\n", sk.Name())
 	fmt.Printf("params:     %v\n", p)
+	fmt.Printf("attributes: %d\n", sk.NumAttrs())
 	fmt.Printf("size:       %d bits (%.1f KB)\n", sk.SizeBits(), float64(sk.SizeBits())/8192)
 	_, isEst := sk.(itemsketch.EstimatorSketch)
 	fmt.Printf("estimates:  %v\n", isEst)

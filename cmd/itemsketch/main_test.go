@@ -59,7 +59,7 @@ func TestSketchFileRoundTrip(t *testing.T) {
 		t.Fatal(err)
 	}
 	path := filepath.Join(dir, "s.bin")
-	if err := writeSketchFile(path, sk); err != nil {
+	if err := os.WriteFile(path, itemsketch.Marshal(sk), 0o644); err != nil {
 		t.Fatal(err)
 	}
 	got, err := readSketchFile(path)
@@ -69,6 +69,25 @@ func TestSketchFileRoundTrip(t *testing.T) {
 	T := itemsketch.MustItemset(1, 4)
 	if got.(itemsketch.EstimatorSketch).Estimate(T) != sk.(itemsketch.EstimatorSketch).Estimate(T) {
 		t.Fatal("estimate changed across file round trip")
+	}
+
+	// Files from the pre-envelope format (8-byte bit count + raw
+	// payload) still read through the legacy fallback.
+	raw, bits := itemsketch.MarshalRaw(sk)
+	hdr := make([]byte, 8)
+	for i := 0; i < 8; i++ {
+		hdr[i] = byte(uint64(bits) >> (8 * i))
+	}
+	legacy := filepath.Join(dir, "legacy.bin")
+	if err := os.WriteFile(legacy, append(hdr, raw...), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	old, err := readSketchFile(legacy)
+	if err != nil {
+		t.Fatalf("legacy read: %v", err)
+	}
+	if old.(itemsketch.EstimatorSketch).Estimate(T) != sk.(itemsketch.EstimatorSketch).Estimate(T) {
+		t.Fatal("estimate changed across legacy round trip")
 	}
 }
 
@@ -108,7 +127,7 @@ func TestCommandsEndToEnd(t *testing.T) {
 	if err := cmdQuery([]string{"-sketch", out, "-items", "0,1"}); err != nil {
 		t.Fatalf("cmdQuery: %v", err)
 	}
-	if err := cmdMine([]string{"-sketch", out, "-d", "8", "-minsup", "0.3", "-maxk", "2", "-rules", "0.5"}); err != nil {
+	if err := cmdMine([]string{"-sketch", out, "-minsup", "0.3", "-maxk", "2", "-rules", "0.5"}); err != nil {
 		t.Fatalf("cmdMine: %v", err)
 	}
 	if err := cmdInfo([]string{"-sketch", out}); err != nil {
@@ -121,8 +140,8 @@ func TestCommandsEndToEnd(t *testing.T) {
 	if err := cmdQuery([]string{"-sketch", out}); err == nil {
 		t.Error("missing -items should fail")
 	}
-	if err := cmdMine([]string{"-sketch", out}); err == nil {
-		t.Error("missing -d should fail")
+	if err := cmdMine([]string{}); err == nil {
+		t.Error("missing -sketch should fail")
 	}
 	if err := cmdInfo([]string{}); err == nil {
 		t.Error("missing -sketch should fail")

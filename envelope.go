@@ -1,0 +1,232 @@
+package itemsketch
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+
+	"repro/internal/bitvec"
+	"repro/internal/core"
+)
+
+// Wire format: Marshal wraps the sketch's bit stream in a small
+// self-describing envelope so Unmarshal needs no side-channel bit
+// length and corrupt or future-versioned payloads fail with typed
+// errors instead of misdecoding.
+//
+// Layout (all multi-byte fields little-endian):
+//
+//	offset  size  field
+//	     0     4  magic "ISKB"
+//	     4     1  format version (EnvelopeVersion)
+//	     5     1  sketch kind (SketchKind; mirrors the payload tag)
+//	     6     8  payload length in bits — the paper's |S| measure
+//	    14     4  CRC-32 (IEEE) of the payload bytes
+//	    18     …  payload: the sketch bit stream, LSB-first packed
+//
+// The kind byte duplicates the payload's leading type tag so tools can
+// identify a sketch without decoding it; Unmarshal cross-checks the
+// two and rejects disagreement as corruption. The CRC covers every
+// payload byte (including the zero padding bits of the last byte), so
+// any single-bit flip past the header fails the checksum, and header
+// flips are caught by the magic/version/kind/length checks.
+
+// EnvelopeVersion is the wire format version this library writes.
+// Decoding accepts exactly versions 1..EnvelopeVersion; newer versions
+// fail with ErrUnsupportedVersion.
+const EnvelopeVersion = 1
+
+// envelopeHeaderLen is the fixed byte length of the envelope header.
+const envelopeHeaderLen = 18
+
+var envelopeMagic = [4]byte{'I', 'S', 'K', 'B'}
+
+// SketchKind identifies the algorithm family of a serialized sketch.
+// The values mirror the payload type tags and are stable across
+// versions.
+type SketchKind uint8
+
+// The sketch kinds of the version-1 wire format.
+const (
+	KindReleaseDB SketchKind = iota
+	KindReleaseAnswersIndicator
+	KindReleaseAnswersEstimator
+	KindSubsample
+	KindMedianAmplify
+	KindImportanceSample
+
+	numSketchKinds // sentinel: first invalid kind
+)
+
+// String returns the algorithm name of the kind.
+func (k SketchKind) String() string {
+	switch k {
+	case KindReleaseDB:
+		return "release-db"
+	case KindReleaseAnswersIndicator:
+		return "release-answers-indicator"
+	case KindReleaseAnswersEstimator:
+		return "release-answers-estimator"
+	case KindSubsample:
+		return "subsample"
+	case KindMedianAmplify:
+		return "median-amplify"
+	case KindImportanceSample:
+		return "importance-sample"
+	default:
+		return fmt.Sprintf("SketchKind(%d)", uint8(k))
+	}
+}
+
+// Envelope describes a serialized sketch without decoding its payload.
+type Envelope struct {
+	// Version is the wire format version byte.
+	Version int
+	// Kind identifies the sketching algorithm.
+	Kind SketchKind
+	// PayloadBits is the exact payload length in bits — the paper's
+	// space measure |S| (Definition 5), excluding envelope overhead.
+	PayloadBits int
+	// Checksum is the CRC-32 (IEEE) of the payload bytes.
+	Checksum uint32
+}
+
+// Marshal serializes a sketch into the self-describing envelope. The
+// encoding is deterministic: the same sketch always produces the same
+// bytes, and Unmarshal followed by Marshal is byte-identical. The
+// paper's space measure |S| is s.SizeBits() (the payload bit length,
+// also recoverable from the envelope via Inspect).
+func Marshal(s Sketch) []byte {
+	var w bitvec.Writer
+	s.MarshalBits(&w)
+	payload := w.Bytes()
+	buf := make([]byte, envelopeHeaderLen+len(payload))
+	copy(buf[0:4], envelopeMagic[:])
+	buf[4] = EnvelopeVersion
+	if len(payload) > 0 {
+		// The payload's first 4 bits (LSB-first) are the sketch type
+		// tag; surface it as the envelope kind byte.
+		buf[5] = payload[0] & 0x0f
+	}
+	binary.LittleEndian.PutUint64(buf[6:14], uint64(w.BitLen()))
+	binary.LittleEndian.PutUint32(buf[14:18], crc32.ChecksumIEEE(payload))
+	copy(buf[envelopeHeaderLen:], payload)
+	return buf
+}
+
+// Unmarshal decodes a sketch serialized by Marshal. It needs no
+// side-channel bit length: the envelope carries it. Corrupt data —
+// wrong magic, truncation, checksum mismatch, kind/payload
+// disagreement, or an undecodable payload — fails with an error
+// wrapping ErrCorruptSketch; an envelope from a newer format version
+// fails with ErrUnsupportedVersion.
+func Unmarshal(data []byte) (Sketch, error) {
+	env, payload, err := parseEnvelope(data)
+	if err != nil {
+		return nil, err
+	}
+	r := bitvec.NewReader(payload, env.PayloadBits)
+	sk, err := core.UnmarshalSketch(r)
+	if err != nil {
+		// Already wraps core.ErrCorruptSketch (== ErrCorruptSketch).
+		return nil, err
+	}
+	// The declared bit length must be exactly what the decoder
+	// consumed: trailing undeclared bits would survive decoding but
+	// vanish on re-marshal, breaking the byte-identity contract.
+	if r.Remaining() != 0 {
+		return nil, fmt.Errorf("%w: %d unconsumed payload bits after decoding", ErrCorruptSketch, r.Remaining())
+	}
+	if got := sketchKindOf(sk); got != env.Kind {
+		return nil, fmt.Errorf("%w: envelope kind %v but payload decodes as %v", ErrCorruptSketch, env.Kind, got)
+	}
+	return sk, nil
+}
+
+// Inspect parses and validates an envelope header (including the
+// payload checksum) without decoding the sketch, so callers can
+// identify version, kind and size cheaply.
+func Inspect(data []byte) (Envelope, error) {
+	env, _, err := parseEnvelope(data)
+	return env, err
+}
+
+func parseEnvelope(data []byte) (Envelope, []byte, error) {
+	var env Envelope
+	if len(data) < envelopeHeaderLen {
+		return env, nil, fmt.Errorf("%w: %d bytes is shorter than the %d-byte envelope header", ErrCorruptSketch, len(data), envelopeHeaderLen)
+	}
+	if [4]byte(data[0:4]) != envelopeMagic {
+		return env, nil, fmt.Errorf("%w: bad magic %q", ErrCorruptSketch, data[0:4])
+	}
+	env.Version = int(data[4])
+	if env.Version > EnvelopeVersion {
+		return env, nil, fmt.Errorf("%w: envelope version %d, this library reads up to %d", ErrUnsupportedVersion, env.Version, EnvelopeVersion)
+	}
+	if env.Version == 0 {
+		return env, nil, fmt.Errorf("%w: envelope version 0", ErrCorruptSketch)
+	}
+	env.Kind = SketchKind(data[5])
+	if env.Kind >= numSketchKinds {
+		return env, nil, fmt.Errorf("%w: unknown sketch kind %d", ErrCorruptSketch, data[5])
+	}
+	bits := binary.LittleEndian.Uint64(data[6:14])
+	payload := data[envelopeHeaderLen:]
+	if bits > uint64(len(payload))*8 || (bits+7)/8 != uint64(len(payload)) {
+		return env, nil, fmt.Errorf("%w: envelope declares %d payload bits but carries %d bytes", ErrCorruptSketch, bits, len(payload))
+	}
+	env.PayloadBits = int(bits)
+	env.Checksum = binary.LittleEndian.Uint32(data[14:18])
+	if sum := crc32.ChecksumIEEE(payload); sum != env.Checksum {
+		return env, nil, fmt.Errorf("%w: payload checksum %08x, envelope says %08x", ErrCorruptSketch, sum, env.Checksum)
+	}
+	return env, payload, nil
+}
+
+// sketchKindOf maps a decoded sketch back to its wire kind. It mirrors
+// the envelope's kind byte derivation (the payload tag), distinguishing
+// the two RELEASE-ANSWERS variants by their estimate capability.
+func sketchKindOf(s Sketch) SketchKind {
+	_, isEst := s.(EstimatorSketch)
+	switch s.Name() {
+	case "release-db":
+		return KindReleaseDB
+	case "release-answers":
+		if isEst {
+			return KindReleaseAnswersEstimator
+		}
+		return KindReleaseAnswersIndicator
+	case "subsample":
+		return KindSubsample
+	case "median-amplify":
+		return KindMedianAmplify
+	case "importance-sample":
+		return KindImportanceSample
+	default:
+		return numSketchKinds
+	}
+}
+
+// MarshalRaw serializes a sketch as a bare bit stream without the
+// envelope; bits is its exact size |S| in bits (Definition 5).
+//
+// Deprecated: use Marshal, whose envelope carries the bit length,
+// kind, version and a checksum. MarshalRaw remains for byte-level
+// compatibility with payloads written before the envelope existed.
+func MarshalRaw(s Sketch) (data []byte, bits int) {
+	var w bitvec.Writer
+	s.MarshalBits(&w)
+	return w.Bytes(), w.BitLen()
+}
+
+// UnmarshalRaw decodes a bare bit stream produced by MarshalRaw (the
+// pre-envelope two-argument Unmarshal path), given its exact bit
+// length. Decoding failures wrap ErrCorruptSketch.
+//
+// Deprecated: use Unmarshal, which needs no side-channel bit length.
+func UnmarshalRaw(data []byte, bits int) (Sketch, error) {
+	if bits < 0 || bits > len(data)*8 {
+		return nil, fmt.Errorf("%w: %d bits does not fit %d bytes", ErrCorruptSketch, bits, len(data))
+	}
+	return core.UnmarshalSketch(bitvec.NewReader(data, bits))
+}

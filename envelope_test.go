@@ -1,0 +1,194 @@
+package itemsketch_test
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"testing"
+
+	itemsketch "repro"
+)
+
+// buildAllKinds returns one built sketch per wire kind, keyed by the
+// expected SketchKind.
+func buildAllKinds(t testing.TB) map[itemsketch.SketchKind]itemsketch.Sketch {
+	t.Helper()
+	db := itemsketch.NewDatabase(12)
+	for i := 0; i < 400; i++ {
+		db.AddRowAttrs(i%12, (i+1)%12, (i*7)%12)
+	}
+	est := itemsketch.Params{K: 2, Eps: 0.1, Delta: 0.1,
+		Mode: itemsketch.ForAll, Task: itemsketch.Estimator}
+	ind := est
+	ind.Task = itemsketch.Indicator
+	build := func(s itemsketch.Sketcher, p itemsketch.Params) itemsketch.Sketch {
+		sk, err := s.Sketch(db, p)
+		if err != nil {
+			t.Fatalf("%s: %v", s.Name(), err)
+		}
+		return sk
+	}
+	return map[itemsketch.SketchKind]itemsketch.Sketch{
+		itemsketch.KindReleaseDB:               build(itemsketch.ReleaseDB{}, est),
+		itemsketch.KindReleaseAnswersIndicator: build(itemsketch.ReleaseAnswers{}, ind),
+		itemsketch.KindReleaseAnswersEstimator: build(itemsketch.ReleaseAnswers{}, est),
+		itemsketch.KindSubsample:               build(itemsketch.Subsample{Seed: 5, SampleOverride: 200}, est),
+		itemsketch.KindMedianAmplify:           build(itemsketch.MedianAmplifier{Base: itemsketch.Subsample{Seed: 5, SampleOverride: 64}, CopiesOverride: 5}, est),
+		itemsketch.KindImportanceSample:        build(itemsketch.ImportanceSample{Seed: 5, SampleOverride: 200}, est),
+	}
+}
+
+// TestEnvelopeRoundTripAllKinds round-trips every sketch kind through
+// the envelope byte-identically, with the header kind and payload bits
+// matching the sketch.
+func TestEnvelopeRoundTripAllKinds(t *testing.T) {
+	for kind, sk := range buildAllKinds(t) {
+		wire := itemsketch.Marshal(sk)
+		env, err := itemsketch.Inspect(wire)
+		if err != nil {
+			t.Fatalf("%v: Inspect: %v", kind, err)
+		}
+		if env.Version != itemsketch.EnvelopeVersion {
+			t.Errorf("%v: version %d", kind, env.Version)
+		}
+		if env.Kind != kind {
+			t.Errorf("%v: envelope kind %v", kind, env.Kind)
+		}
+		if int64(env.PayloadBits) != sk.SizeBits() {
+			t.Errorf("%v: payload bits %d != SizeBits %d", kind, env.PayloadBits, sk.SizeBits())
+		}
+		back, err := itemsketch.Unmarshal(wire)
+		if err != nil {
+			t.Fatalf("%v: Unmarshal: %v", kind, err)
+		}
+		wire2 := itemsketch.Marshal(back)
+		if !bytes.Equal(wire, wire2) {
+			t.Errorf("%v: re-marshal is not byte-identical (%d vs %d bytes)", kind, len(wire), len(wire2))
+		}
+		if back.Name() != sk.Name() || back.NumAttrs() != sk.NumAttrs() {
+			t.Errorf("%v: identity changed: %s/%d vs %s/%d",
+				kind, back.Name(), back.NumAttrs(), sk.Name(), sk.NumAttrs())
+		}
+	}
+}
+
+// TestEnvelopeRejectsCorruption flips every byte of a valid envelope
+// (header and payload) and truncates it at every length, asserting a
+// typed error each time: any single-byte corruption must surface as
+// ErrCorruptSketch or (for the version byte) ErrUnsupportedVersion.
+func TestEnvelopeRejectsCorruption(t *testing.T) {
+	db := itemsketch.NewDatabase(8)
+	for i := 0; i < 100; i++ {
+		db.AddRowAttrs(i%8, (i+2)%8)
+	}
+	sk, _, err := itemsketch.Build(context.Background(), db,
+		itemsketch.WithAlgorithm(itemsketch.Subsample{}), itemsketch.WithSeed(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	wire := itemsketch.Marshal(sk)
+
+	for i := range wire {
+		mut := bytes.Clone(wire)
+		mut[i] ^= 0xFF
+		_, err := itemsketch.Unmarshal(mut)
+		if err == nil {
+			t.Fatalf("byte %d flipped: decode succeeded", i)
+		}
+		if !errors.Is(err, itemsketch.ErrCorruptSketch) && !errors.Is(err, itemsketch.ErrUnsupportedVersion) {
+			t.Fatalf("byte %d flipped: untyped error %v", i, err)
+		}
+	}
+	for n := 0; n < len(wire); n++ {
+		_, err := itemsketch.Unmarshal(wire[:n])
+		if !errors.Is(err, itemsketch.ErrCorruptSketch) {
+			t.Fatalf("truncated to %d bytes: err = %v, want ErrCorruptSketch", n, err)
+		}
+	}
+}
+
+// TestEnvelopeFutureVersion asserts a payload stamped with a newer
+// format version fails with ErrUnsupportedVersion, not a decode
+// attempt.
+func TestEnvelopeFutureVersion(t *testing.T) {
+	db := itemsketch.NewDatabase(4)
+	db.AddRowAttrs(0, 1)
+	sk, _, err := itemsketch.Build(context.Background(), db,
+		itemsketch.WithAlgorithm(itemsketch.ReleaseDB{}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	wire := itemsketch.Marshal(sk)
+	wire[4] = itemsketch.EnvelopeVersion + 1
+	if _, err := itemsketch.Unmarshal(wire); !errors.Is(err, itemsketch.ErrUnsupportedVersion) {
+		t.Fatalf("future version: err = %v, want ErrUnsupportedVersion", err)
+	}
+	if _, err := itemsketch.Inspect(wire); !errors.Is(err, itemsketch.ErrUnsupportedVersion) {
+		t.Fatalf("future version Inspect: err = %v, want ErrUnsupportedVersion", err)
+	}
+}
+
+// TestUnmarshalRawCompat pins the deprecated raw path: MarshalRaw
+// bytes decode through UnmarshalRaw given the exact bit length, and
+// the raw payload equals the envelope payload.
+func TestUnmarshalRawCompat(t *testing.T) {
+	for kind, sk := range buildAllKinds(t) {
+		data, bits := itemsketch.MarshalRaw(sk)
+		if int64(bits) != sk.SizeBits() {
+			t.Errorf("%v: raw bits %d != SizeBits %d", kind, bits, sk.SizeBits())
+		}
+		back, err := itemsketch.UnmarshalRaw(data, bits)
+		if err != nil {
+			t.Fatalf("%v: UnmarshalRaw: %v", kind, err)
+		}
+		if back.Name() != sk.Name() {
+			t.Errorf("%v: name changed over raw round trip", kind)
+		}
+		wire := itemsketch.Marshal(sk)
+		if !bytes.Equal(wire[18:], data) {
+			t.Errorf("%v: envelope payload differs from raw encoding", kind)
+		}
+		if _, err := itemsketch.UnmarshalRaw(data, len(data)*8+1); !errors.Is(err, itemsketch.ErrCorruptSketch) {
+			t.Errorf("%v: oversized bit count: err = %v", kind, err)
+		}
+	}
+}
+
+// FuzzUnmarshalEnvelope fuzzes the envelope decoder: arbitrary bytes
+// must either fail with a typed error or decode to a sketch that
+// re-marshals byte-identically. Run in CI as a short smoke alongside
+// the query-path fuzz.
+func FuzzUnmarshalEnvelope(f *testing.F) {
+	db := itemsketch.NewDatabase(8)
+	for i := 0; i < 50; i++ {
+		db.AddRowAttrs(i%8, (i+3)%8)
+	}
+	p := itemsketch.Params{K: 2, Eps: 0.2, Delta: 0.2,
+		Mode: itemsketch.ForEach, Task: itemsketch.Estimator}
+	for _, s := range []itemsketch.Sketcher{
+		itemsketch.ReleaseDB{},
+		itemsketch.Subsample{Seed: 1, SampleOverride: 40},
+		itemsketch.ImportanceSample{Seed: 1, SampleOverride: 40},
+	} {
+		sk, err := s.Sketch(db, p)
+		if err != nil {
+			f.Fatal(err)
+		}
+		f.Add(itemsketch.Marshal(sk))
+	}
+	f.Add([]byte("ISKB"))
+	f.Add([]byte{})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		sk, err := itemsketch.Unmarshal(data)
+		if err != nil {
+			if !errors.Is(err, itemsketch.ErrCorruptSketch) && !errors.Is(err, itemsketch.ErrUnsupportedVersion) {
+				t.Fatalf("untyped error: %v", err)
+			}
+			return
+		}
+		wire := itemsketch.Marshal(sk)
+		if !bytes.Equal(wire, data) {
+			t.Fatalf("accepted payload does not re-marshal identically")
+		}
+	})
+}

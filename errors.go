@@ -1,0 +1,38 @@
+package itemsketch
+
+import (
+	"errors"
+
+	"repro/internal/core"
+)
+
+// Sentinel errors of the public API. Every error returned by this
+// package wraps exactly one of them, so callers dispatch with
+// errors.Is instead of string matching:
+//
+//	sk, err := itemsketch.Unmarshal(data)
+//	switch {
+//	case errors.Is(err, itemsketch.ErrCorruptSketch):       // re-fetch
+//	case errors.Is(err, itemsketch.ErrUnsupportedVersion):  // upgrade
+//	}
+var (
+	// ErrInvalidParams marks out-of-range sketching parameters or
+	// otherwise unusable inputs (bad Build options, mismatched batch
+	// slice lengths, invalid importance weights, ...).
+	ErrInvalidParams = core.ErrInvalidParams
+	// ErrTaskMismatch marks an operation the sketch's Task cannot
+	// answer: Estimate on an indicator-only sketch, BuildEstimator
+	// with an Indicator task, or amplifying to the wrong variant.
+	ErrTaskMismatch = core.ErrTaskMismatch
+	// ErrWrongItemsetSize marks a query whose |T| differs from the k
+	// the sketch was built for (RELEASE-ANSWERS stores k-itemset
+	// answers only).
+	ErrWrongItemsetSize = core.ErrWrongItemsetSize
+	// ErrCorruptSketch marks an envelope or payload that cannot be
+	// decoded: bad magic, truncation, checksum mismatch, or an
+	// undecodable bit stream.
+	ErrCorruptSketch = core.ErrCorruptSketch
+	// ErrUnsupportedVersion marks an envelope written by a newer
+	// format version than this library understands.
+	ErrUnsupportedVersion = errors.New("itemsketch: unsupported sketch envelope version")
+)

@@ -1,6 +1,8 @@
 package itemsketch_test
 
 import (
+	"context"
+	"errors"
 	"fmt"
 
 	itemsketch "repro"
@@ -45,8 +47,7 @@ func ExampleSubsample() {
 	if err != nil {
 		panic(err)
 	}
-	data, bits := itemsketch.Marshal(sk)
-	back, err := itemsketch.Unmarshal(data, bits)
+	back, err := itemsketch.Unmarshal(itemsketch.Marshal(sk))
 	if err != nil {
 		panic(err)
 	}
@@ -185,4 +186,135 @@ func ExampleNewReservoir() {
 	// Output:
 	// seen: 10000 stored: 50
 	// f({0,3}) = 1.0
+}
+
+// ExampleBuildEstimator shows the functional-options construction
+// path: validated defaults, a planner-chosen algorithm, and a concrete
+// EstimatorSketch return — no type assertion needed.
+func ExampleBuildEstimator() {
+	db := itemsketch.NewDatabase(8)
+	for i := 0; i < 1000; i++ {
+		if i%2 == 0 {
+			db.AddRowAttrs(1, 3)
+		} else {
+			db.AddRowAttrs(2)
+		}
+	}
+	sk, plan, err := itemsketch.BuildEstimator(context.Background(), db,
+		itemsketch.WithK(2), itemsketch.WithEps(0.1), itemsketch.WithDelta(0.1),
+		itemsketch.WithMode(itemsketch.ForAll), itemsketch.WithSeed(1))
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println("winner:", plan.Winner.Name())
+	fmt.Printf("f({1,3}) = %.1f\n", sk.Estimate(itemsketch.MustItemset(1, 3)))
+	// Output:
+	// winner: release-answers
+	// f({1,3}) = 0.5
+}
+
+// ExampleUnmarshal round-trips a sketch through the versioned
+// self-describing envelope: no side-channel bit length is needed, and
+// the header identifies the payload without decoding it.
+func ExampleUnmarshal() {
+	db := itemsketch.NewDatabase(4)
+	for i := 0; i < 300; i++ {
+		db.AddRowAttrs(0, 2)
+	}
+	sk, _, err := itemsketch.Build(context.Background(), db,
+		itemsketch.WithEps(0.25), itemsketch.WithDelta(0.1),
+		itemsketch.WithMode(itemsketch.ForEach),
+		itemsketch.WithAlgorithm(itemsketch.Subsample{}), itemsketch.WithSeed(7))
+	if err != nil {
+		panic(err)
+	}
+	wire := itemsketch.Marshal(sk)
+	env, err := itemsketch.Inspect(wire)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("envelope v%d: %s\n", env.Version, env.Kind)
+	back, err := itemsketch.Unmarshal(wire)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println("frequent {0,2}:", back.Frequent(itemsketch.MustItemset(0, 2)))
+	// A flipped payload bit fails the checksum with a typed error.
+	wire[len(wire)-1] ^= 0x04
+	_, err = itemsketch.Unmarshal(wire)
+	fmt.Println("corrupt payload rejected:", errors.Is(err, itemsketch.ErrCorruptSketch))
+	// Output:
+	// envelope v1: subsample
+	// frequent {0,2}: true
+	// corrupt payload rejected: true
+}
+
+// ExampleQuerySketch mines frequent itemsets straight from a sketch
+// through the unified Querier interface — the paper's §1.1.2 workflow
+// with batched, cancellable queries.
+func ExampleQuerySketch() {
+	db := itemsketch.NewDatabase(6)
+	for i := 0; i < 900; i++ {
+		switch i % 3 {
+		case 0:
+			db.AddRowAttrs(0, 1)
+		case 1:
+			db.AddRowAttrs(0, 1, 4)
+		default:
+			db.AddRowAttrs(5)
+		}
+	}
+	ctx := context.Background()
+	sk, _, err := itemsketch.BuildEstimator(ctx, db,
+		itemsketch.WithK(2), itemsketch.WithEps(0.05), itemsketch.WithDelta(0.05),
+		itemsketch.WithAlgorithm(itemsketch.Subsample{}), itemsketch.WithSeed(3))
+	if err != nil {
+		panic(err)
+	}
+	rs, err := itemsketch.AprioriContext(ctx, itemsketch.QuerySketch(sk), 0.5, 2)
+	if err != nil {
+		panic(err)
+	}
+	for _, r := range rs {
+		fmt.Printf("%v ~%.1f\n", r.Items, r.Freq)
+	}
+	// Output:
+	// {0} ~0.7
+	// {1} ~0.7
+	// {0,1} ~0.7
+}
+
+// ExampleQueryDatabase answers a batch of exact queries through the
+// Querier interface; the batch is sharded across CPUs and can be
+// cancelled between chunks via the context.
+func ExampleQueryDatabase() {
+	db := itemsketch.NewDatabase(8)
+	for i := 0; i < 1000; i++ {
+		switch i % 4 {
+		case 0, 1:
+			db.AddRowAttrs(1, 3)
+		case 2:
+			db.AddRowAttrs(1)
+		default:
+			db.AddRowAttrs(6)
+		}
+	}
+	db.BuildColumnIndex()
+	q := itemsketch.QueryDatabase(db)
+	ts := []itemsketch.Itemset{
+		itemsketch.MustItemset(1),
+		itemsketch.MustItemset(1, 3),
+		itemsketch.MustItemset(6),
+	}
+	fs := make([]float64, len(ts))
+	if err := q.EstimateMany(context.Background(), ts, fs); err != nil {
+		panic(err)
+	}
+	for i, T := range ts {
+		fmt.Printf("f(%v) = %.2f\n", T, fs[i])
+	}
+	// Output:
+	// f({1}) = 0.75
+	// f({1,3}) = 0.50
+	// f({6}) = 0.25
 }

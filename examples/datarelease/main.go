@@ -7,6 +7,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"math/bits"
@@ -73,9 +74,10 @@ func main() {
 	// Publish: a For-All estimator sketch covering up to 3-way
 	// marginals at ±0.5% — every downstream user gets the same
 	// guarantee without the curator re-touching the microdata.
-	p := itemsketch.Params{K: 3, Eps: 0.005, Delta: 0.01,
-		Mode: itemsketch.ForAll, Task: itemsketch.Estimator}
-	sk, err := itemsketch.Subsample{Seed: 3}.Sketch(db, p)
+	sk, _, err := itemsketch.BuildEstimator(context.Background(), db,
+		itemsketch.WithK(3), itemsketch.WithEps(0.005), itemsketch.WithDelta(0.01),
+		itemsketch.WithMode(itemsketch.ForAll),
+		itemsketch.WithAlgorithm(itemsketch.Subsample{}), itemsketch.WithSeed(3))
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -83,7 +85,7 @@ func main() {
 		float64(db.SizeBits())/8192, float64(sk.SizeBits())/8192)
 
 	// A user rebuilds the (married, homeowner) 2-way marginal table.
-	table := marginal(sk.(itemsketch.EstimatorSketch), []int{attrMarried, attrHomeowner})
+	table := marginal(sk, []int{attrMarried, attrHomeowner})
 	exact := marginalSource(dbFreq{db}, []int{attrMarried, attrHomeowner})
 	fmt.Println("2-way marginal (married x homeowner): sketch vs exact")
 	for cell := 0; cell < 4; cell++ {
@@ -93,7 +95,7 @@ func main() {
 
 	// And a 3-way marginal.
 	attrs3 := []int{attrEmployed, attrRetired, attrCollege}
-	t3 := marginal(sk.(itemsketch.EstimatorSketch), attrs3)
+	t3 := marginal(sk, attrs3)
 	e3 := marginalSource(dbFreq{db}, attrs3)
 	fmt.Println("\n3-way marginal (employed x retired x college): sketch vs exact")
 	maxErr := 0.0

@@ -6,6 +6,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -30,9 +31,11 @@ func main() {
 	})
 
 	// The retailer ships a sketch sized for all 3-itemset queries.
+	ctx := context.Background()
 	p := itemsketch.Params{K: 3, Eps: 0.015, Delta: 0.05,
 		Mode: itemsketch.ForAll, Task: itemsketch.Estimator}
-	sk, err := itemsketch.Subsample{Seed: 99}.Sketch(db, p)
+	sk, _, err := itemsketch.BuildEstimator(ctx, db, itemsketch.WithParams(p),
+		itemsketch.WithAlgorithm(itemsketch.Subsample{}), itemsketch.WithSeed(99))
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -41,9 +44,17 @@ func main() {
 		itemsketch.SampleSize(d, p), float64(sk.SizeBits())/8192,
 		float64(db.SizeBits())/float64(sk.SizeBits()))
 
+	// Mining runs on the unified Querier interface: the same call
+	// against the exact database and against the sketch.
 	const minSup = 0.08
-	exact := itemsketch.Apriori(itemsketch.OnDatabase(db), minSup, 3)
-	approx := itemsketch.Apriori(itemsketch.OnSketch(sk.(itemsketch.EstimatorSketch), d), minSup, 3)
+	exact, err := itemsketch.AprioriContext(ctx, itemsketch.QueryDatabase(db), minSup, 3)
+	if err != nil {
+		log.Fatal(err)
+	}
+	approx, err := itemsketch.AprioriContext(ctx, itemsketch.QuerySketch(sk), minSup, 3)
+	if err != nil {
+		log.Fatal(err)
+	}
 
 	fmt.Printf("frequent itemsets at minsup=%.2f: exact %d, from sketch %d\n", minSup, len(exact), len(approx))
 	fmt.Println("\nbundles of size >= 2 mined from the sketch:")

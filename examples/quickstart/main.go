@@ -3,6 +3,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -38,10 +39,12 @@ func main() {
 	}
 
 	// Ask for a For-All estimator: every 2-itemset within ±0.02,
-	// failure probability 5%.
-	p := itemsketch.Params{K: 2, Eps: 0.02, Delta: 0.05,
-		Mode: itemsketch.ForAll, Task: itemsketch.Estimator}
-	sk, plan, err := itemsketch.Auto(db, p, 7)
+	// failure probability 5%. BuildEstimator returns a concrete
+	// EstimatorSketch, so no type assertion is needed to query it.
+	ctx := context.Background()
+	sk, plan, err := itemsketch.BuildEstimator(ctx, db,
+		itemsketch.WithK(2), itemsketch.WithEps(0.02), itemsketch.WithDelta(0.05),
+		itemsketch.WithMode(itemsketch.ForAll), itemsketch.WithSeed(7))
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -50,19 +53,41 @@ func main() {
 	fmt.Printf("chose %s: %d bits = %.1f KB (database itself: %.1f KB)\n",
 		sk.Name(), sk.SizeBits(), float64(sk.SizeBits())/8192, float64(db.SizeBits())/8192)
 
-	// Query.
+	// Query directly...
 	T := itemsketch.MustItemset(7, 21)
-	est := sk.(itemsketch.EstimatorSketch).Estimate(T)
-	fmt.Printf("f(%v): true %.4f, sketch %.4f\n", T, db.Frequency(T), est)
-	fmt.Printf("frequent(%v) at eps=%g? %v\n", T, p.Eps, sk.Frequent(T))
+	fmt.Printf("f(%v): true %.4f, sketch %.4f\n", T, db.Frequency(T), sk.Estimate(T))
 
-	// Serialize — the bit length is the paper's |S| measure — and
-	// recover on the "other side".
-	data, bits := itemsketch.Marshal(sk)
-	sk2, err := itemsketch.Unmarshal(data, bits)
+	// ...or through the unified Querier interface, which also serves
+	// exact databases and batches queries across CPUs.
+	q := itemsketch.QuerySketch(sk)
+	frequent, err := q.Contains(ctx, T)
 	if err != nil {
 		log.Fatal(err)
 	}
-	fmt.Printf("after round trip over %d bytes: f(%v) = %.4f\n",
-		len(data), T, sk2.(itemsketch.EstimatorSketch).Estimate(T))
+	fmt.Printf("frequent(%v) at eps=0.02? %v\n", T, frequent)
+	batch := []itemsketch.Itemset{T, itemsketch.MustItemset(1, 2), itemsketch.MustItemset(40, 41)}
+	ests := make([]float64, len(batch))
+	if err := q.EstimateMany(ctx, batch, ests); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("batched estimates: %.4f %.4f %.4f\n", ests[0], ests[1], ests[2])
+
+	// Serialize into the self-describing envelope — the payload bit
+	// length is the paper's |S| measure — and recover on the "other
+	// side" from the bytes alone.
+	wire := itemsketch.Marshal(sk)
+	env, err := itemsketch.Inspect(wire)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("envelope: v%d %s, %d payload bits\n", env.Version, env.Kind, env.PayloadBits)
+	sk2, err := itemsketch.Unmarshal(wire)
+	if err != nil {
+		log.Fatal(err)
+	}
+	est2, err := itemsketch.QuerySketch(sk2).Estimate(ctx, T)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("after round trip over %d bytes: f(%v) = %.4f\n", len(wire), T, est2)
 }

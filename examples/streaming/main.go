@@ -5,6 +5,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -70,10 +71,15 @@ func main() {
 	fmt.Println("\nMisra-Gries cannot answer f({5,9}); the reservoir can — and the paper")
 	fmt.Println("proves no summary of comparable size can do fundamentally better.")
 
-	// The reservoir contents also feed the offline miners directly.
+	// The reservoir contents also feed the offline miners directly,
+	// through the same Querier interface sketches use.
 	sample := res.Database()
 	sample.BuildColumnIndex()
-	top := itemsketch.Apriori(itemsketch.OnDatabase(sample), 0.15, 2)
+	top, err := itemsketch.AprioriContext(context.Background(),
+		itemsketch.QueryDatabase(sample), 0.15, 2)
+	if err != nil {
+		log.Fatal(err)
+	}
 	fmt.Printf("\nfrequent itemsets mined from the reservoir (minsup 0.15): %d found\n", len(top))
 	for _, m := range top {
 		if m.Items.Len() == 2 {

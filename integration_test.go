@@ -69,9 +69,9 @@ func TestIntegrationFullPipeline(t *testing.T) {
 		if maxErr > p.Eps {
 			t.Errorf("%s: ForAll max error %g > eps %g", name, maxErr, p.Eps)
 		}
-		// Serialization round trip preserves answers.
-		data, bits := itemsketch.Marshal(s)
-		back, err := itemsketch.Unmarshal(data, bits)
+		// Serialization round trip through the envelope preserves
+		// answers.
+		back, err := itemsketch.Unmarshal(itemsketch.Marshal(s))
 		if err != nil {
 			t.Fatalf("%s: unmarshal: %v", name, err)
 		}

@@ -1,0 +1,70 @@
+package core
+
+import (
+	"context"
+
+	"repro/internal/dataset"
+)
+
+// ctxSketcher is implemented by sketchers whose construction honors a
+// context and an explicit per-build worker budget. The samplers
+// (Subsample, ImportanceSample, MedianAmplifier) implement it; the
+// deterministic release algorithms build through their plain Sketch
+// method, which is fast enough that mid-build cancellation points add
+// nothing.
+type ctxSketcher interface {
+	sketchCtx(ctx context.Context, db *dataset.Database, p Params, workers int) (Sketch, error)
+}
+
+// BuildSketch builds s's sketch of db with an explicit per-build worker
+// budget (workers ≤ 0 means the process default, BuildWorkers()).
+// Construction checks ctx at chunk boundaries: a cancelled context
+// aborts the build between chunks (or between amplifier copies) and
+// returns ctx.Err(). The worker budget and the context never change the
+// constructed bits — only whether and how fast they are produced.
+func BuildSketch(ctx context.Context, db *dataset.Database, p Params, s Sketcher, workers int) (Sketch, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	if workers <= 0 {
+		workers = BuildWorkers()
+	}
+	if cs, ok := s.(ctxSketcher); ok {
+		return cs.sketchCtx(ctx, db, p, workers)
+	}
+	sk, err := s.Sketch(db, p)
+	if err != nil {
+		return nil, err
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	return sk, nil
+}
+
+// SeedSketcher returns a copy of s reseeded with seed where the
+// algorithm is randomized (Subsample, ImportanceSample, and a
+// MedianAmplifier's base); deterministic sketchers are returned
+// unchanged.
+func SeedSketcher(s Sketcher, seed uint64) Sketcher {
+	switch v := s.(type) {
+	case Subsample:
+		v.Seed = seed
+		return v
+	case ImportanceSample:
+		v.Seed = seed
+		return v
+	case MedianAmplifier:
+		v.Base.Seed = seed
+		return v
+	}
+	return s
+}
+
+// AutoSketchCtx is AutoSketch with a context and per-build worker
+// budget: it plans (Theorem 12) and builds the cheapest naive sketch.
+func AutoSketchCtx(ctx context.Context, db *dataset.Database, p Params, seed uint64, workers int) (Sketch, Plan, error) {
+	plan := PlanSketch(db.NumRows(), db.NumCols(), p, seed)
+	s, err := BuildSketch(ctx, db, p, plan.Winner, workers)
+	return s, plan, err
+}

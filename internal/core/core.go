@@ -96,22 +96,23 @@ type Params struct {
 	Task  Task
 }
 
-// Validate reports whether the parameters are in range.
+// Validate reports whether the parameters are in range. Every failure
+// wraps ErrInvalidParams so callers can match with errors.Is.
 func (p Params) Validate() error {
 	if p.K < 1 {
-		return fmt.Errorf("core: k = %d, need k >= 1", p.K)
+		return fmt.Errorf("%w: k = %d, need k >= 1", ErrInvalidParams, p.K)
 	}
 	if !(p.Eps > 0 && p.Eps < 1) {
-		return fmt.Errorf("core: eps = %g, need 0 < eps < 1", p.Eps)
+		return fmt.Errorf("%w: eps = %g, need 0 < eps < 1", ErrInvalidParams, p.Eps)
 	}
 	if !(p.Delta > 0 && p.Delta < 1) {
-		return fmt.Errorf("core: delta = %g, need 0 < delta < 1", p.Delta)
+		return fmt.Errorf("%w: delta = %g, need 0 < delta < 1", ErrInvalidParams, p.Delta)
 	}
 	if p.Mode != ForEach && p.Mode != ForAll {
-		return fmt.Errorf("core: invalid mode %d", int(p.Mode))
+		return fmt.Errorf("%w: invalid mode %d", ErrInvalidParams, int(p.Mode))
 	}
 	if p.Task != Indicator && p.Task != Estimator {
-		return fmt.Errorf("core: invalid task %d", int(p.Task))
+		return fmt.Errorf("%w: invalid task %d", ErrInvalidParams, int(p.Task))
 	}
 	return nil
 }
@@ -130,6 +131,10 @@ func indicatorThreshold(eps float64) float64 { return 0.75 * eps }
 type Sketch interface {
 	// Frequent returns the indicator bit for T (Definitions 1 and 3).
 	Frequent(t dataset.Itemset) bool
+	// NumAttrs returns the size d of the attribute universe the sketch
+	// was built over, so downstream consumers (miners, queriers) need
+	// no side-channel dimension argument.
+	NumAttrs() int
 	// SizeBits returns the exact size of MarshalBits' output in bits —
 	// the paper's |S(D, k, ε, δ)|.
 	SizeBits() int64
@@ -165,6 +170,21 @@ type Sketcher interface {
 	Sketch(db *dataset.Database, p Params) (Sketch, error)
 }
 
+// Sentinel errors of the sketching framework. Every error returned by
+// this package wraps one of these (or ErrWrongItemsetSize below), so
+// callers dispatch with errors.Is rather than string matching.
+var (
+	// ErrInvalidParams marks out-of-range sketching parameters or
+	// otherwise unusable construction inputs.
+	ErrInvalidParams = errors.New("core: invalid sketch parameters")
+	// ErrTaskMismatch marks an operation the sketch's Task cannot
+	// answer (e.g. Estimate on an indicator-only sketch) or a
+	// construction whose parameters request the wrong variant.
+	ErrTaskMismatch = errors.New("core: sketch task mismatch")
+	// ErrCorruptSketch marks an undecodable serialized sketch.
+	ErrCorruptSketch = errors.New("core: corrupt sketch encoding")
+)
+
 // ErrWrongItemsetSize is returned (wrapped) when a sketch that only
 // covers k-itemsets is queried with |T| ≠ k.
 var ErrWrongItemsetSize = errors.New("core: itemset size does not match sketch k")
@@ -175,7 +195,7 @@ func checkDims(db *dataset.Database, p Params) error {
 		return err
 	}
 	if p.K > db.NumCols() {
-		return fmt.Errorf("core: k = %d exceeds d = %d columns", p.K, db.NumCols())
+		return fmt.Errorf("%w: k = %d exceeds d = %d columns", ErrInvalidParams, p.K, db.NumCols())
 	}
 	return nil
 }
@@ -236,28 +256,36 @@ const (
 const tagBits = 4
 
 // UnmarshalSketch decodes any sketch written by a MarshalBits method in
-// this package.
+// this package. Decoding failures wrap ErrCorruptSketch.
 func UnmarshalSketch(r *bitvec.Reader) (Sketch, error) {
 	tag, err := r.ReadUint(tagBits)
 	if err != nil {
-		return nil, err
+		return nil, fmt.Errorf("%w: %v", ErrCorruptSketch, err)
 	}
+	var s Sketch
 	switch tag {
 	case tagReleaseDB:
-		return unmarshalReleaseDB(r)
+		s, err = unmarshalReleaseDB(r)
 	case tagReleaseAnswersIndicator:
-		return unmarshalReleaseAnswersIndicator(r)
+		s, err = unmarshalReleaseAnswersIndicator(r)
 	case tagReleaseAnswersEstimator:
-		return unmarshalReleaseAnswersEstimator(r)
+		s, err = unmarshalReleaseAnswersEstimator(r)
 	case tagSubsample:
-		return unmarshalSubsample(r)
+		s, err = unmarshalSubsample(r)
 	case tagMedian:
-		return unmarshalMedian(r)
+		s, err = unmarshalMedian(r)
 	case tagImportance:
-		return unmarshalImportance(r)
+		s, err = unmarshalImportance(r)
 	default:
-		return nil, fmt.Errorf("core: unknown sketch tag %d", tag)
+		return nil, fmt.Errorf("%w: unknown sketch tag %d", ErrCorruptSketch, tag)
 	}
+	if err != nil && !errors.Is(err, ErrCorruptSketch) {
+		err = fmt.Errorf("%w: %v", ErrCorruptSketch, err)
+	}
+	if err != nil {
+		return nil, err
+	}
+	return s, nil
 }
 
 // MarshaledSizeBits returns the exact encoded size of s by serializing

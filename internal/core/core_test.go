@@ -341,6 +341,16 @@ func TestUnmarshalCorrupt(t *testing.T) {
 	if _, err := UnmarshalSketch(bitvec.NewReader(w2.Bytes(), w2.BitLen()/2)); err == nil {
 		t.Error("truncated sketch should fail")
 	}
+	// Median sketch claiming zero copies: decodes cleanly bit-wise but
+	// would panic on the first query, so the decoder must reject it.
+	var w3 bitvec.Writer
+	w3.WriteUint(tagMedian, tagBits)
+	marshalParams(&w3, Params{K: 2, Eps: 0.1, Delta: 0.1, Mode: ForAll, Task: Estimator})
+	w3.WriteUint(math.Float64bits(1.0/3), 64)
+	w3.WriteUint(0, 32) // zero copies
+	if _, err := UnmarshalSketch(bitvec.NewReader(w3.Bytes(), w3.BitLen())); !errors.Is(err, ErrCorruptSketch) {
+		t.Errorf("zero-copy median sketch: err = %v, want ErrCorruptSketch", err)
+	}
 }
 
 func TestPlannerRegimes(t *testing.T) {

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"sort"
@@ -72,9 +73,9 @@ func (is ImportanceSample) SpaceBits(n, d int, p Params) float64 {
 // the rows across the build workers. The default 1+|row| weight is one
 // fused popcount over the row's arena words; a custom Weight function
 // sees a read-only Vector view of the row.
-func (is ImportanceSample) rowWeights(db *dataset.Database, weights []float64) {
+func (is ImportanceSample) rowWeights(db *dataset.Database, weights []float64, workers int) {
 	if is.Weight == nil {
-		runRowChunks(len(weights), func(_, lo, hi int) {
+		runRowChunksN(workers, len(weights), func(_, lo, hi int) {
 			for i := lo; i < hi; i++ {
 				weights[i] = 1 + float64(bitvec.CountWords(db.RowWords(i)))
 			}
@@ -82,7 +83,7 @@ func (is ImportanceSample) rowWeights(db *dataset.Database, weights []float64) {
 		return
 	}
 	d := db.NumCols()
-	runRowChunks(len(weights), func(_, lo, hi int) {
+	runRowChunksN(workers, len(weights), func(_, lo, hi int) {
 		for i := lo; i < hi; i++ {
 			v := bitvec.Wrap(d, db.RowWords(i))
 			weights[i] = is.Weight(&v)
@@ -92,6 +93,12 @@ func (is ImportanceSample) rowWeights(db *dataset.Database, weights []float64) {
 
 // Sketch implements Sketcher.
 func (is ImportanceSample) Sketch(db *dataset.Database, p Params) (Sketch, error) {
+	return is.sketchCtx(context.Background(), db, p, BuildWorkers())
+}
+
+// sketchCtx is Sketch with an explicit worker budget and a context
+// checked between construction chunks.
+func (is ImportanceSample) sketchCtx(ctx context.Context, db *dataset.Database, p Params, workers int) (Sketch, error) {
 	if err := checkDims(db, p); err != nil {
 		return nil, err
 	}
@@ -113,12 +120,15 @@ func (is ImportanceSample) Sketch(db *dataset.Database, p Params) (Sketch, error
 	// sums for inverse-CDF sampling; validation happens on the serial
 	// summation pass so the first bad row wins deterministically.
 	weights := make([]float64, n)
-	is.rowWeights(db, weights)
+	is.rowWeights(db, weights, workers)
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	cum := make([]float64, n)
 	total := 0.0
 	for i, w := range weights {
 		if w <= 0 || math.IsNaN(w) || math.IsInf(w, 0) {
-			return nil, fmt.Errorf("core: importance weight %g for row %d must be positive and finite", w, i)
+			return nil, fmt.Errorf("%w: importance weight %g for row %d must be positive and finite", ErrInvalidParams, w, i)
 		}
 		total += w
 		cum[i] = total
@@ -139,12 +149,18 @@ func (is ImportanceSample) Sketch(db *dataset.Database, p Params) (Sketch, error
 	}
 	sk.weights = make([]float64, s)
 	sk.sample.Grow(s)
-	runRowChunks(s, func(_, lo, hi int) {
+	runRowChunksN(workers, s, func(_, lo, hi int) {
+		if ctx.Err() != nil {
+			return
+		}
 		for j := lo; j < hi; j++ {
 			copy(sk.sample.RowWords(j), db.RowWords(idx[j]))
 			sk.weights[j] = weights[idx[j]]
 		}
 	})
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	return sk, nil
 }
 
@@ -162,6 +178,7 @@ type importanceSketch struct {
 
 func (s *importanceSketch) Name() string   { return "importance-sample" }
 func (s *importanceSketch) Params() Params { return s.params }
+func (s *importanceSketch) NumAttrs() int  { return s.d }
 
 // Estimate returns the Horvitz–Thompson frequency estimate, clamped to
 // [0, 1]. The pass over the sample is allocation-free: each row is a
@@ -248,7 +265,7 @@ func unmarshalImportance(r *bitvec.Reader) (Sketch, error) {
 		return nil, err
 	}
 	if d == 0 {
-		return nil, fmt.Errorf("core: importance sketch with zero columns")
+		return nil, fmt.Errorf("%w: importance sketch with zero columns", ErrCorruptSketch)
 	}
 	s := &importanceSketch{
 		d:           int(d),
@@ -273,7 +290,7 @@ func unmarshalImportance(r *bitvec.Reader) (Sketch, error) {
 		// is allocated — otherwise a corrupt header declaring a huge d
 		// would allocate a ~d-bit row just to fail the read after it.
 		if uint64(r.Remaining()) < d {
-			return nil, fmt.Errorf("core: importance sketch truncated at row %d", j)
+			return nil, fmt.Errorf("%w: importance sketch truncated at row %d", ErrCorruptSketch, j)
 		}
 		s.sample.Grow(1)
 		if err := bitvec.ReadWords(r, s.sample.RowWords(int(j)), int(d)); err != nil {

@@ -1,9 +1,11 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"sort"
+	"sync"
 
 	"repro/internal/bitvec"
 	"repro/internal/combin"
@@ -64,18 +66,24 @@ func (m MedianAmplifier) SpaceBits(n, d int, p Params) float64 {
 // Sketch implements Sketcher. The requested params must be
 // ForAll/Estimator (that is what the transformation produces).
 func (m MedianAmplifier) Sketch(db *dataset.Database, p Params) (Sketch, error) {
+	return m.sketchCtx(context.Background(), db, p, BuildWorkers())
+}
+
+// sketchCtx is Sketch with an explicit worker budget and a context
+// checked between copy builds.
+func (m MedianAmplifier) sketchCtx(ctx context.Context, db *dataset.Database, p Params, workers int) (Sketch, error) {
 	if err := checkDims(db, p); err != nil {
 		return nil, err
 	}
 	if p.Mode != ForAll || p.Task != Estimator {
-		return nil, fmt.Errorf("core: median amplification produces a ForAll-Estimator sketch; got %v", p)
+		return nil, fmt.Errorf("%w: median amplification produces a ForAll-Estimator sketch; got %v", ErrTaskMismatch, p)
 	}
 	bd := m.BaseDelta
 	if bd == 0 {
 		bd = 1.0 / 3
 	}
 	if bd >= 0.5 {
-		return nil, fmt.Errorf("core: base delta %g must be < 1/2 for the median argument", bd)
+		return nil, fmt.Errorf("%w: base delta %g must be < 1/2 for the median argument", ErrInvalidParams, bd)
 	}
 	copies := m.CopiesOverride
 	if copies <= 0 {
@@ -85,29 +93,35 @@ func (m MedianAmplifier) Sketch(db *dataset.Database, p Params) (Sketch, error) 
 	// Per-copy seeds are drawn serially from the base seed (the same
 	// derivation the serial builder used), then the independent copies
 	// are built concurrently and stored at their drawn index —
-	// reproducible for any worker count. The BuildWorkers() budget is
-	// split across the two levels: outer workers fan out over copies
-	// and each copy's inner Subsample build gets the remaining share,
-	// so the levels never multiply into more than ~BuildWorkers()
-	// runnable goroutines.
+	// reproducible for any worker count. The worker budget is split
+	// across the two levels: outer workers fan out over copies and each
+	// copy's inner Subsample build gets the remaining share, so the
+	// levels never multiply into more than ~workers runnable
+	// goroutines.
 	r := rng.New(m.Base.Seed)
 	seeds := make([]uint64, copies)
 	for i := range seeds {
 		seeds[i] = r.Uint64()
 	}
-	outer := BuildWorkers()
+	outer := workers
 	if outer > copies {
 		outer = copies
 	}
-	inner := BuildWorkers() / outer
+	if outer < 1 {
+		outer = 1
+	}
+	inner := workers / outer
 	if inner < 1 {
 		inner = 1
 	}
 	sk := &medianSketch{params: p, baseDelta: bd, copies: make([]*subsampleSketch, copies)}
 	err := runParallelErr(outer, copies, func(i int) error {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
 		base := m.Base
 		base.Seed = seeds[i]
-		c, err := base.sketchWorkers(db, bp, inner)
+		c, err := base.sketchCtx(ctx, db, bp, inner)
 		if err != nil {
 			return err
 		}
@@ -129,18 +143,41 @@ type medianSketch struct {
 func (s *medianSketch) Name() string   { return "median-amplify" }
 func (s *medianSketch) Params() Params { return s.params }
 
-// Estimate returns the median of the copies' estimates.
+// NumAttrs returns the attribute universe of the underlying copies.
+func (s *medianSketch) NumAttrs() int {
+	if len(s.copies) == 0 {
+		return 0
+	}
+	return s.copies[0].NumAttrs()
+}
+
+// medianEstPool recycles the per-query estimate buffer so amplified
+// queries stay allocation-free in steady state (amplified sketches run
+// tens to hundreds of copies, and mining issues thousands of queries).
+var medianEstPool = sync.Pool{New: func() any { return new([]float64) }}
+
+// Estimate returns the median of the copies' estimates. The per-copy
+// estimate slice comes from a pool and the in-place sort allocates
+// nothing, so repeated queries amortize to zero allocations.
 func (s *medianSketch) Estimate(t dataset.Itemset) float64 {
-	ests := make([]float64, len(s.copies))
+	n := len(s.copies)
+	buf := medianEstPool.Get().(*[]float64)
+	if cap(*buf) < n {
+		*buf = make([]float64, n)
+	}
+	ests := (*buf)[:n]
 	for i, c := range s.copies {
 		ests[i] = c.Estimate(t)
 	}
 	sort.Float64s(ests)
-	n := len(ests)
+	var med float64
 	if n%2 == 1 {
-		return ests[n/2]
+		med = ests[n/2]
+	} else {
+		med = (ests[n/2-1] + ests[n/2]) / 2
 	}
-	return (ests[n/2-1] + ests[n/2]) / 2
+	medianEstPool.Put(buf)
+	return med
 }
 
 func (s *medianSketch) Frequent(t dataset.Itemset) bool {
@@ -175,6 +212,11 @@ func unmarshalMedian(r *bitvec.Reader) (Sketch, error) {
 	if err != nil {
 		return nil, err
 	}
+	// Copies() is always ≥ 1, so a zero copy count can only come from
+	// a corrupt stream; without copies the median query would panic.
+	if nc == 0 {
+		return nil, fmt.Errorf("%w: median sketch with zero copies", ErrCorruptSketch)
+	}
 	s := &medianSketch{params: p, baseDelta: math.Float64frombits(bdBits)}
 	for i := uint64(0); i < nc; i++ {
 		c, err := UnmarshalSketch(r)
@@ -183,7 +225,7 @@ func unmarshalMedian(r *bitvec.Reader) (Sketch, error) {
 		}
 		sub, ok := c.(*subsampleSketch)
 		if !ok {
-			return nil, fmt.Errorf("core: median sketch copy %d has unexpected type %T", i, c)
+			return nil, fmt.Errorf("%w: median sketch copy %d has unexpected type %T", ErrCorruptSketch, i, c)
 		}
 		s.copies = append(s.copies, sub)
 	}

@@ -145,6 +145,31 @@ func TestImportanceIngestAllocationFree(t *testing.T) {
 	}
 }
 
+// TestMedianEstimateAllocationFree pins the pooled estimate buffer:
+// amplified queries reuse one per-copy slice from medianEstPool, so in
+// steady state a query performs (amortized) zero allocations no matter
+// how many copies the sketch runs.
+func TestMedianEstimateAllocationFree(t *testing.T) {
+	db := parallelTestDB(t, 2000, 32)
+	p := Params{K: 2, Eps: 0.1, Delta: 0.1, Mode: ForAll, Task: Estimator}
+	m := MedianAmplifier{
+		Base:           Subsample{Seed: 1, SampleOverride: 256},
+		CopiesOverride: 33,
+	}
+	sk, err := m.Sketch(db, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	es := sk.(EstimatorSketch)
+	T := dataset.MustItemset(3, 17)
+	es.Estimate(T) // warm the pool
+	// A small slack absorbs the rare pool miss after a GC cycle; the
+	// pre-pool behaviour (one 33-element slice per query) would fail.
+	if allocs := testing.AllocsPerRun(200, func() { es.Estimate(T) }); allocs > 0.5 {
+		t.Fatalf("amplified Estimate allocates %v per query; want amortized 0", allocs)
+	}
+}
+
 // TestWeightPanicPropagatesToCaller asserts that a panic in a
 // user-supplied Weight function surfaces on the goroutine that called
 // Sketch — recoverable by the caller — even when the weight pass runs
@@ -172,10 +197,10 @@ func TestUnmarshalImportanceCorruptHeader(t *testing.T) {
 	var w bitvec.Writer
 	w.WriteUint(tagImportance, tagBits)
 	marshalParams(&w, Params{K: 1, Eps: 0.1, Delta: 0.1})
-	w.WriteUint(1<<31, 32)                  // d ~ 2 billion columns
-	w.WriteUint(100, 64)                    // n
-	w.WriteUint(math.Float64bits(100), 64)  // total weight
-	w.WriteUint(3, 32)                      // claims 3 rows
+	w.WriteUint(1<<31, 32)                 // d ~ 2 billion columns
+	w.WriteUint(100, 64)                   // n
+	w.WriteUint(math.Float64bits(100), 64) // total weight
+	w.WriteUint(3, 32)                     // claims 3 rows
 	w.WriteUint(quantizeWeight(1), weightBits)
 	w.WriteUint(0xDEAD, 16) // a few junk bits, nowhere near d
 	if _, err := UnmarshalSketch(bitvec.NewReader(w.Bytes(), w.BitLen())); err == nil {

@@ -55,7 +55,7 @@ func (ReleaseAnswers) Sketch(db *dataset.Database, p Params) (Sketch, error) {
 	d := db.NumCols()
 	nq := combin.Binomial(d, p.K)
 	if nq > maxEnumerable {
-		return nil, fmt.Errorf("core: release-answers would store C(%d,%d) = %d answers; too many", d, p.K, nq)
+		return nil, fmt.Errorf("%w: release-answers would store C(%d,%d) = %d answers; too many", ErrInvalidParams, d, p.K, nq)
 	}
 	if p.Task == Indicator {
 		bits := bitvec.New(int(nq))
@@ -96,6 +96,7 @@ type releaseAnswersIndicator struct {
 
 func (s *releaseAnswersIndicator) Name() string   { return "release-answers" }
 func (s *releaseAnswersIndicator) Params() Params { return s.params }
+func (s *releaseAnswersIndicator) NumAttrs() int  { return s.d }
 
 // Frequent looks up the precomputed decision bit for T. It panics if
 // |T| ≠ k, because no answer was stored for other sizes; use
@@ -136,7 +137,13 @@ func unmarshalReleaseAnswersIndicator(r *bitvec.Reader) (Sketch, error) {
 	}
 	nq := combin.Binomial(int(d), p.K)
 	if nq > maxEnumerable {
-		return nil, fmt.Errorf("core: encoded release-answers too large")
+		return nil, fmt.Errorf("%w: encoded release-answers too large", ErrCorruptSketch)
+	}
+	// The nq decision bits must still be in the stream before the
+	// vector is allocated, so a corrupt header cannot force a large
+	// allocation just to fail the read after it.
+	if int64(r.Remaining()) < nq {
+		return nil, fmt.Errorf("%w: release-answers indicator truncated", ErrCorruptSketch)
 	}
 	bits, err := bitvec.ReadVector(r, int(nq))
 	if err != nil {
@@ -156,6 +163,7 @@ type releaseAnswersEstimator struct {
 
 func (s *releaseAnswersEstimator) Name() string   { return "release-answers" }
 func (s *releaseAnswersEstimator) Params() Params { return s.params }
+func (s *releaseAnswersEstimator) NumAttrs() int  { return s.d }
 
 // Estimate returns the dequantized stored frequency. It panics if
 // |T| ≠ k; use EstimateErr for a non-panicking variant.
@@ -202,9 +210,14 @@ func unmarshalReleaseAnswersEstimator(r *bitvec.Reader) (Sketch, error) {
 	}
 	nq := combin.Binomial(int(d), p.K)
 	if nq > maxEnumerable {
-		return nil, fmt.Errorf("core: encoded release-answers too large")
+		return nil, fmt.Errorf("%w: encoded release-answers too large", ErrCorruptSketch)
 	}
 	q := answerBits(p)
+	// All nq quantized answers must still be in the stream before the
+	// value table is allocated (same guard as the indicator variant).
+	if int64(r.Remaining()) < nq*int64(q) {
+		return nil, fmt.Errorf("%w: release-answers estimator truncated", ErrCorruptSketch)
+	}
 	vals := make([]uint32, nq)
 	for i := range vals {
 		v, err := r.ReadUint(q)

@@ -24,7 +24,13 @@ func (ReleaseDB) Sketch(db *dataset.Database, p Params) (Sketch, error) {
 	if err := checkDims(db, p); err != nil {
 		return nil, err
 	}
-	return &releaseDBSketch{db: db.Clone(), params: p}, nil
+	// The clone drops any column index; rebuild it so queries run on
+	// the fused vertical path instead of falling back to row scans
+	// (whose internal sharding would nest under the batched Querier
+	// fan-out and oversubscribe the CPUs).
+	clone := db.Clone()
+	clone.BuildColumnIndex()
+	return &releaseDBSketch{db: clone, params: p}, nil
 }
 
 type releaseDBSketch struct {
@@ -34,6 +40,7 @@ type releaseDBSketch struct {
 
 func (s *releaseDBSketch) Name() string   { return "release-db" }
 func (s *releaseDBSketch) Params() Params { return s.params }
+func (s *releaseDBSketch) NumAttrs() int  { return s.db.NumCols() }
 
 // Estimate returns the exact frequency f_T(D).
 func (s *releaseDBSketch) Estimate(t dataset.Itemset) float64 {
@@ -63,6 +70,7 @@ func unmarshalReleaseDB(r *bitvec.Reader) (Sketch, error) {
 	if err != nil {
 		return nil, err
 	}
+	db.BuildColumnIndex()
 	return &releaseDBSketch{db: db, params: p}, nil
 }
 

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"math"
 
 	"repro/internal/bitvec"
@@ -80,14 +81,15 @@ func (ss Subsample) SpaceBits(n, d int, p Params) float64 {
 // the rows into its pre-grown arena range. The resulting sketch is a
 // pure function of (Seed, db) — identical bits for any worker count.
 func (ss Subsample) Sketch(db *dataset.Database, p Params) (Sketch, error) {
-	return ss.sketchWorkers(db, p, BuildWorkers())
+	return ss.sketchCtx(context.Background(), db, p, BuildWorkers())
 }
 
-// sketchWorkers is Sketch with an explicit worker budget, so outer
+// sketchCtx is Sketch with an explicit worker budget, so outer
 // fan-outs (MedianAmplifier) can split BuildWorkers() across their
-// copies instead of every copy claiming the full budget. The budget
-// affects wall-clock only, never the constructed bits.
-func (ss Subsample) sketchWorkers(db *dataset.Database, p Params, workers int) (Sketch, error) {
+// copies instead of every copy claiming the full budget, and a context
+// checked between construction chunks. The budget and the context
+// affect wall-clock only, never the constructed bits.
+func (ss Subsample) sketchCtx(ctx context.Context, db *dataset.Database, p Params, workers int) (Sketch, error) {
 	if err := checkDims(db, p); err != nil {
 		return nil, err
 	}
@@ -106,12 +108,20 @@ func (ss Subsample) sketchWorkers(db *dataset.Database, p Params, workers int) (
 		sample.Grow(s)
 		// Each draw is an arena block copy into the chunk's disjoint
 		// slot range; no row vectors are built and no locks are taken.
+		// A cancelled context makes the remaining chunks no-ops; the
+		// partially filled sample is discarded below.
 		runRowChunksN(workers, s, func(c, lo, hi int) {
+			if ctx.Err() != nil {
+				return
+			}
 			cr := rng.New(seeds[c])
 			for i := lo; i < hi; i++ {
 				copy(sample.RowWords(i), db.RowWords(cr.Intn(n)))
 			}
 		})
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 	}
 	sample.BuildColumnIndex()
 	return &subsampleSketch{sample: sample, params: p}, nil
@@ -124,6 +134,7 @@ type subsampleSketch struct {
 
 func (s *subsampleSketch) Name() string   { return "subsample" }
 func (s *subsampleSketch) Params() Params { return s.params }
+func (s *subsampleSketch) NumAttrs() int  { return s.sample.NumCols() }
 
 // Estimate returns the empirical frequency of T on the sample; this is
 // the recovery algorithm Q of Definition 8.

@@ -95,11 +95,11 @@ func checkAllPathsAgree(t *testing.T, db *Database, ts []Itemset) {
 func TestQueryPathsAgreeProperty(t *testing.T) {
 	r := rng.New(7)
 	dims := []struct{ n, d int }{
-		{0, 5},    // empty database
-		{1, 1},    // minimal
-		{17, 63},  // just under a word
-		{33, 64},  // exactly a word
-		{40, 65},  // just over a word
+		{0, 5},   // empty database
+		{1, 1},   // minimal
+		{17, 63}, // just under a word
+		{33, 64}, // exactly a word
+		{40, 65}, // just over a word
 		{100, 100},
 		{257, 130}, // multi-word stride
 		{1000, 40},

@@ -193,15 +193,9 @@ func worstItemset(db *dataset.Database, d, k int) (worst dataset.Itemset) {
 	return worst
 }
 
+// allQueriesWithin checks the ForAll guarantee exhaustively: every
+// k-itemset estimate within ±eps of the exact frequency, answered
+// through the batched Querier path (see maxAbsError in upper.go).
 func allQueriesWithin(db *dataset.Database, es core.EstimatorSketch, d, k int, eps float64) bool {
-	ok := true
-	combin.ForEachSubset(d, k, func(set []int) bool {
-		T := dataset.MustItemset(set...)
-		if math.Abs(es.Estimate(T)-db.Frequency(T)) > eps {
-			ok = false
-			return false
-		}
-		return true
-	})
-	return ok
+	return maxAbsError(db, es, d, k) <= eps
 }

@@ -1,11 +1,13 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 
 	"repro/internal/core"
 	"repro/internal/dataset"
 	"repro/internal/mining"
+	"repro/internal/query"
 	"repro/internal/rng"
 	"repro/internal/stream"
 )
@@ -29,8 +31,14 @@ func E11(seed uint64) *Table {
 		BundleProb:   0.35,
 	})
 	db.BuildColumnIndex()
+	// Both mines run through the unified Querier interface, so the
+	// exact and sketch paths differ only in the backend.
+	ctx := context.Background()
 	const minSup, maxK = 0.1, 3
-	exact := mining.Apriori(mining.DBSource{DB: db}, minSup, maxK)
+	exact, err := mining.AprioriContext(ctx, query.FromDatabase(db), minSup, maxK)
+	if err != nil {
+		panic(err)
+	}
 
 	for _, eps := range []float64{0.05, 0.02, 0.01} {
 		p := core.Params{K: maxK, Eps: eps, Delta: 0.05, Mode: core.ForAll, Task: core.Estimator}
@@ -38,7 +46,10 @@ func E11(seed uint64) *Table {
 		if err != nil {
 			panic(err)
 		}
-		approx := mining.Apriori(mining.EstimatorSource{Est: sk.(core.EstimatorSketch), Attrs: d}, minSup, maxK)
+		approx, err := mining.AprioriContext(ctx, query.FromSketch(sk), minSup, maxK)
+		if err != nil {
+			panic(err)
+		}
 		cmp := mining.Compare(approx, exact)
 		pass := cmp.MaxFreqErr <= eps && cmp.Recall >= 0.8
 		t.AddRow(n, eps, core.SampleSize(d, p), kb(sk.SizeBits()),

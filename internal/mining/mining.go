@@ -8,17 +8,26 @@
 // mining output on a SUBSAMPLE sketch against exact mining.
 //
 // Two classical miners are provided: Apriori (level-wise candidate
-// generation over any FrequencySource) and Eclat (depth-first vertical
-// bitmap intersection; exact-database only, used as the fast baseline).
-// Post-processing covers maximal/closed filtering (the condensed
-// representations discussed in §1.1.1) and association rules.
+// generation over any frequency backend) and Eclat (depth-first
+// vertical bitmap intersection; exact-database only, used as the fast
+// baseline). Post-processing covers maximal/closed filtering (the
+// condensed representations discussed in §1.1.1) and association
+// rules.
+//
+// The miners run on the query.Querier interface: AprioriContext issues
+// one batched EstimateMany call per level, so candidate evaluation is
+// sharded across CPUs by the backend and a cancelled context stops the
+// mine within one chunk of queries. The FrequencySource forms are kept
+// as thin wrappers over the Querier path.
 package mining
 
 import (
+	"context"
 	"sort"
 
 	"repro/internal/bitvec"
 	"repro/internal/dataset"
+	"repro/internal/query"
 )
 
 // FrequencySource answers itemset frequency queries over a universe of
@@ -77,22 +86,63 @@ func sortResults(rs []Result) {
 
 // Apriori mines all itemsets with frequency ≥ minSupport and size ≤
 // maxK (maxK ≤ 0 means unbounded), level-wise with candidate pruning.
-// It issues one Frequency query per surviving candidate, so it runs
-// unchanged against a sketch.
+// It is the legacy form of AprioriContext, wrapping src as a serial
+// Querier under a background context.
 func Apriori(src FrequencySource, minSupport float64, maxK int) []Result {
-	d := src.NumAttrs()
+	rs, err := AprioriContext(context.Background(), query.FromSource(src), minSupport, maxK)
+	if err != nil {
+		// Unreachable: a background context never cancels and a
+		// FromSource querier returns no query errors.
+		return nil
+	}
+	return rs
+}
+
+// AprioriContext mines all itemsets with frequency ≥ minSupport and
+// size ≤ maxK (maxK ≤ 0 means unbounded), level-wise with candidate
+// pruning. Each level's surviving candidates are answered by a single
+// batched EstimateMany call, so the backend shards the work across
+// CPUs and a cancelled ctx aborts the mine with ctx.Err(). Against a
+// sketch-backed Querier this is the paper's §1.1.2 "mine the sketch,
+// not the data" path.
+func AprioriContext(ctx context.Context, q query.Querier, minSupport float64, maxK int) ([]Result, error) {
+	out, err := aprioriLevels(ctx, q, minSupport, maxK, nil)
+	if err != nil {
+		return nil, err
+	}
+	sortResults(out)
+	return out, nil
+}
+
+// aprioriLevels is the shared level-wise engine behind AprioriContext
+// and the Toivonen negative-border mine: candidate generation with
+// subset pruning, one batched EstimateMany per level. Frequent results
+// are returned (unsorted); if onInfrequent is non-nil it receives
+// every generated candidate that failed the threshold — exactly the
+// negative border.
+func aprioriLevels(ctx context.Context, q query.Querier, minSupport float64, maxK int, onInfrequent func(Result)) ([]Result, error) {
+	d := q.NumAttrs()
 	if maxK <= 0 || maxK > d {
 		maxK = d
 	}
 	var out []Result
 
-	// Level 1.
+	// Level 1: one batched call over all d singletons.
+	ts := make([]dataset.Itemset, d)
+	for a := 0; a < d; a++ {
+		ts[a] = dataset.MustItemset(a)
+	}
+	fs := make([]float64, d)
+	if err := q.EstimateMany(ctx, ts, fs); err != nil {
+		return nil, err
+	}
 	var level [][]int
 	for a := 0; a < d; a++ {
-		f := src.Frequency(dataset.MustItemset(a))
-		if f >= minSupport {
+		if fs[a] >= minSupport {
 			level = append(level, []int{a})
-			out = append(out, Result{Items: dataset.MustItemset(a), Freq: f})
+			out = append(out, Result{Items: ts[a], Freq: fs[a]})
+		} else if onInfrequent != nil {
+			onInfrequent(Result{Items: ts[a], Freq: fs[a]})
 		}
 	}
 
@@ -101,8 +151,11 @@ func Apriori(src FrequencySource, minSupport float64, maxK int) []Result {
 		for _, s := range level {
 			prev[key(s)] = true
 		}
-		var next [][]int
 		// Join step: two (k−1)-sets sharing their first k−2 items.
+		// Candidates surviving the subset pruning are collected and
+		// answered in one batch.
+		var cands [][]int
+		ts = ts[:0]
 		for i := 0; i < len(level); i++ {
 			for j := i + 1; j < len(level); j++ {
 				a, b := level[i], level[j]
@@ -119,18 +172,29 @@ func Apriori(src FrequencySource, minSupport float64, maxK int) []Result {
 				if !allSubsetsFrequent(cand, prev) {
 					continue
 				}
-				T := dataset.MustItemset(cand...)
-				f := src.Frequency(T)
-				if f >= minSupport {
-					next = append(next, cand)
-					out = append(out, Result{Items: T, Freq: f})
-				}
+				cands = append(cands, cand)
+				ts = append(ts, dataset.MustItemset(cand...))
+			}
+		}
+		if cap(fs) < len(ts) {
+			fs = make([]float64, len(ts))
+		}
+		fs = fs[:len(ts)]
+		if err := q.EstimateMany(ctx, ts, fs); err != nil {
+			return nil, err
+		}
+		var next [][]int
+		for i, cand := range cands {
+			if fs[i] >= minSupport {
+				next = append(next, cand)
+				out = append(out, Result{Items: ts[i], Freq: fs[i]})
+			} else if onInfrequent != nil {
+				onInfrequent(Result{Items: ts[i], Freq: fs[i]})
 			}
 		}
 		level = next
 	}
-	sortResults(out)
-	return out
+	return out, nil
 }
 
 func key(s []int) string {
@@ -174,6 +238,13 @@ func allSubsetsFrequent(cand []int, prev map[string]bool) bool {
 // AND+popcount pass (bitvec.AndInto) into its depth's buffer. At the
 // root the attribute columns are read directly from the database's
 // column index without cloning.
+//
+// Root candidates are visited in ascending support order: extending
+// the rarest items first keeps the early tidlists sparse and fails the
+// minCount test as high in the tree as possible, shrinking the search
+// tree versus attribute order. The mined collection is unchanged (the
+// enumeration still visits every frequent set exactly once and output
+// is sorted), which the Apriori-equivalence tests pin down.
 func Eclat(db *dataset.Database, minSupport float64, maxK int) []Result {
 	d := db.NumCols()
 	n := db.NumRows()
@@ -230,11 +301,19 @@ func Eclat(db *dataset.Database, minSupport float64, maxK int) []Result {
 			prefix = prefix[:len(prefix)-1]
 		}
 	}
-	all := make([]int, d)
-	for a := range all {
-		all[a] = a
+	order := make([]int, d)
+	counts := make([]int, d)
+	for a := 0; a < d; a++ {
+		order[a] = a
+		counts[a] = bitvec.CountWords(db.AttrColumn(a).Words())
 	}
-	recurse(nil, 0, all)
+	sort.Slice(order, func(i, j int) bool {
+		if counts[order[i]] != counts[order[j]] {
+			return counts[order[i]] < counts[order[j]]
+		}
+		return order[i] < order[j]
+	})
+	recurse(nil, 0, order)
 	sortResults(out)
 	return out
 }

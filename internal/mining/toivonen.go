@@ -1,9 +1,12 @@
 package mining
 
 import (
+	"context"
 	"fmt"
 
+	"repro/internal/core"
 	"repro/internal/dataset"
+	"repro/internal/query"
 )
 
 // Toivonen's sampling algorithm (the line of work the paper cites via
@@ -16,60 +19,19 @@ import (
 
 // aprioriWithBorder is level-wise Apriori that also reports the
 // negative border: candidates whose every (k−1)-subset is frequent but
-// which fail the support threshold themselves.
-func aprioriWithBorder(src FrequencySource, minSupport float64, maxK int) (freq []Result, border []Result) {
-	d := src.NumAttrs()
-	if maxK <= 0 || maxK > d {
-		maxK = d
-	}
-	var level [][]int
-	for a := 0; a < d; a++ {
-		T := dataset.MustItemset(a)
-		f := src.Frequency(T)
-		if f >= minSupport {
-			level = append(level, []int{a})
-			freq = append(freq, Result{Items: T, Freq: f})
-		} else {
-			border = append(border, Result{Items: T, Freq: f})
-		}
-	}
-	for k := 2; k <= maxK && len(level) > 0; k++ {
-		prev := make(map[string]bool, len(level))
-		for _, s := range level {
-			prev[key(s)] = true
-		}
-		var next [][]int
-		for i := 0; i < len(level); i++ {
-			for j := i + 1; j < len(level); j++ {
-				a, b := level[i], level[j]
-				if !samePrefix(a, b) {
-					continue
-				}
-				cand := make([]int, k)
-				copy(cand, a)
-				if a[k-2] < b[k-2] {
-					cand[k-1] = b[k-2]
-				} else {
-					cand[k-1], cand[k-2] = a[k-2], b[k-2]
-				}
-				if !allSubsetsFrequent(cand, prev) {
-					continue
-				}
-				T := dataset.MustItemset(cand...)
-				f := src.Frequency(T)
-				if f >= minSupport {
-					next = append(next, cand)
-					freq = append(freq, Result{Items: T, Freq: f})
-				} else {
-					border = append(border, Result{Items: T, Freq: f})
-				}
-			}
-		}
-		level = next
+// which fail the support threshold themselves. It is the shared
+// aprioriLevels engine with the infrequent-candidate callback
+// collecting the border.
+func aprioriWithBorder(ctx context.Context, q query.Querier, minSupport float64, maxK int) (freq, border []Result, err error) {
+	freq, err = aprioriLevels(ctx, q, minSupport, maxK, func(r Result) {
+		border = append(border, r)
+	})
+	if err != nil {
+		return nil, nil, err
 	}
 	sortResults(freq)
 	sortResults(border)
-	return freq, border
+	return freq, border, nil
 }
 
 // ToivonenReport is the outcome of one Toivonen pass.
@@ -92,36 +54,56 @@ func (r ToivonenReport) Complete() bool { return len(r.BorderMisses) == 0 }
 // Toivonen mines db exactly at minSupport (itemset sizes ≤ maxK) using
 // the given row sample and a lowered sample threshold
 // (loweredSupport < minSupport, the slack absorbing sampling noise).
+// It is ToivonenContext under a background context.
 func Toivonen(db, sample *dataset.Database, minSupport, loweredSupport float64, maxK int) (ToivonenReport, error) {
+	return ToivonenContext(context.Background(), db, sample, minSupport, loweredSupport, maxK)
+}
+
+// ToivonenContext is Toivonen with a context: both the sample mine and
+// the full-database verification run through batched, cancellable
+// Querier calls, so the verification scan is sharded across CPUs and a
+// cancelled ctx aborts with ctx.Err(). Argument errors wrap
+// core.ErrInvalidParams.
+func ToivonenContext(ctx context.Context, db, sample *dataset.Database, minSupport, loweredSupport float64, maxK int) (ToivonenReport, error) {
 	var rep ToivonenReport
 	if sample.NumCols() != db.NumCols() {
-		return rep, fmt.Errorf("mining: sample has %d columns, database %d", sample.NumCols(), db.NumCols())
+		return rep, fmt.Errorf("%w: sample has %d columns, database %d", core.ErrInvalidParams, sample.NumCols(), db.NumCols())
 	}
 	if loweredSupport > minSupport {
-		return rep, fmt.Errorf("mining: lowered support %g must be ≤ minSupport %g", loweredSupport, minSupport)
+		return rep, fmt.Errorf("%w: lowered support %g must be ≤ minSupport %g", core.ErrInvalidParams, loweredSupport, minSupport)
 	}
 	sample.BuildColumnIndex()
-	freqS, borderS := aprioriWithBorder(DBSource{DB: sample}, loweredSupport, maxK)
+	freqS, borderS, err := aprioriWithBorder(ctx, query.FromDatabase(sample), loweredSupport, maxK)
+	if err != nil {
+		return rep, err
+	}
 
+	// Verify every candidate — the sample's frequent sets plus its
+	// negative border — against the full database in one batched pass.
 	db.BuildColumnIndex()
-	verify := func(rs []Result, intoFreq bool) {
-		for _, r := range rs {
-			f := db.Frequency(r.Items)
-			rep.CandidatesChecked++
-			if f < minSupport {
-				continue
-			}
-			res := Result{Items: r.Items, Freq: f}
-			if intoFreq {
-				rep.Frequent = append(rep.Frequent, res)
-			} else {
-				rep.BorderMisses = append(rep.BorderMisses, res)
-				rep.Frequent = append(rep.Frequent, res)
-			}
+	cands := make([]dataset.Itemset, 0, len(freqS)+len(borderS))
+	for _, r := range freqS {
+		cands = append(cands, r.Items)
+	}
+	for _, r := range borderS {
+		cands = append(cands, r.Items)
+	}
+	exact := make([]float64, len(cands))
+	if err := query.FromDatabase(db).EstimateMany(ctx, cands, exact); err != nil {
+		return rep, err
+	}
+	rep.CandidatesChecked = len(cands)
+	for i, T := range cands {
+		f := exact[i]
+		if f < minSupport {
+			continue
+		}
+		res := Result{Items: T, Freq: f}
+		rep.Frequent = append(rep.Frequent, res)
+		if i >= len(freqS) { // negative-border itemset that is frequent after all
+			rep.BorderMisses = append(rep.BorderMisses, res)
 		}
 	}
-	verify(freqS, true)
-	verify(borderS, false)
 	sortResults(rep.Frequent)
 	sortResults(rep.BorderMisses)
 	return rep, nil

@@ -1,10 +1,12 @@
 package mining
 
 import (
+	"context"
 	"math"
 	"testing"
 
 	"repro/internal/dataset"
+	"repro/internal/query"
 	"repro/internal/rng"
 	"repro/internal/stream"
 )
@@ -116,7 +118,10 @@ func TestNegativeBorderDefinition(t *testing.T) {
 	// On the toy DB at minsup 0.4: frequent = {0},{1},{2},{01},{02},{12};
 	// the border must contain {3} (infrequent singleton) and {0,1,2}
 	// (all 2-subsets frequent, itself 0.2 < 0.4).
-	freq, border := aprioriWithBorder(DBSource{DB: toyDB()}, 0.4, 0)
+	freq, border, err := aprioriWithBorder(context.Background(), query.FromDatabase(toyDB()), 0.4, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
 	if len(freq) != 6 {
 		t.Fatalf("frequent count %d, want 6", len(freq))
 	}

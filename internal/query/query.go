@@ -1,0 +1,302 @@
+// Package query defines the unified, context-aware read interface over
+// itemset frequency data: the Querier. It is the contract shared by
+// exact databases (repro/internal/dataset), every sketch produced by
+// repro/internal/core, and ad-hoc frequency sources, so the miners and
+// the experiment harness run unchanged against any of them.
+//
+// The interface is deliberately batched: EstimateMany answers a slice
+// of queries in one call, sharding the batch across CPUs where the
+// backend is safe for concurrent use and checking the context between
+// chunks so a cancelled batch stops within one chunk of work. All
+// errors wrap the core sentinel taxonomy (core.ErrInvalidParams,
+// core.ErrTaskMismatch, core.ErrWrongItemsetSize) and are matched with
+// errors.Is.
+package query
+
+import (
+	"context"
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/core"
+	"repro/internal/dataset"
+)
+
+// Querier answers itemset frequency questions over a universe of
+// NumAttrs attributes.
+//
+// Contains is the indicator-style query: sketches report their
+// Definition 1/3 decision at the ε they were built for; exact databases
+// and plain frequency sources report whether the (estimated) frequency
+// is positive. Estimate returns a frequency in [0, 1]; indicator-only
+// sketches fail it with core.ErrTaskMismatch. EstimateMany fills
+// out[i] with the estimate for ts[i]; len(out) must equal len(ts).
+//
+// Implementations returned by FromDatabase and FromSketch are safe for
+// concurrent use and shard EstimateMany batches across CPUs;
+// FromSource makes no thread-safety assumption about the wrapped
+// source and issues its queries serially. Every method observes ctx:
+// single queries check it on entry, EstimateMany between chunks, and a
+// cancelled context surfaces as ctx.Err().
+type Querier interface {
+	// Contains reports the indicator decision for t.
+	Contains(ctx context.Context, t dataset.Itemset) (bool, error)
+	// Estimate returns a frequency estimate for t.
+	Estimate(ctx context.Context, t dataset.Itemset) (float64, error)
+	// EstimateMany answers one Estimate per itemset into out.
+	EstimateMany(ctx context.Context, ts []dataset.Itemset, out []float64) error
+	// NumAttrs returns the attribute universe size d.
+	NumAttrs() int
+}
+
+// Source is the minimal legacy frequency interface (the shape of
+// mining.FrequencySource), bridged into a Querier by FromSource.
+type Source interface {
+	Frequency(t dataset.Itemset) float64
+	NumAttrs() int
+}
+
+// batchChunk is the EstimateMany sharding granularity: large enough to
+// amortize dispatch, small enough that cancellation lands within a few
+// hundred queries.
+const batchChunk = 256
+
+// checkBatch validates the parallel slices of an EstimateMany call.
+func checkBatch(ts []dataset.Itemset, out []float64) error {
+	if len(ts) != len(out) {
+		return fmt.Errorf("%w: EstimateMany got %d itemsets but %d output slots", core.ErrInvalidParams, len(ts), len(out))
+	}
+	return nil
+}
+
+// forEachChunk runs body(lo, hi) over [0, n) in batchChunk-sized
+// chunks, checking ctx before each chunk. With parallel set, chunks are
+// fanned out across up to GOMAXPROCS goroutines; body must then be
+// safe to call concurrently for disjoint ranges. The first body error
+// (lowest chunk index among those that ran) is returned; a cancelled
+// context wins over chunk errors so callers always see ctx.Err() after
+// cancellation.
+func forEachChunk(ctx context.Context, n int, parallel bool, body func(lo, hi int) error) error {
+	chunks := (n + batchChunk - 1) / batchChunk
+	workers := 1
+	if parallel {
+		workers = runtime.GOMAXPROCS(0)
+		if workers > chunks {
+			workers = chunks
+		}
+	}
+	run := func(c int) error {
+		lo := c * batchChunk
+		hi := lo + batchChunk
+		if hi > n {
+			hi = n
+		}
+		return body(lo, hi)
+	}
+	if workers <= 1 {
+		for c := 0; c < chunks; c++ {
+			if err := ctx.Err(); err != nil {
+				return err
+			}
+			if err := run(c); err != nil {
+				return err
+			}
+		}
+		return ctx.Err()
+	}
+	errs := make([]error, chunks)
+	var failed atomic.Bool
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			for {
+				c := int(next.Add(1)) - 1
+				if c >= chunks || failed.Load() || ctx.Err() != nil {
+					return
+				}
+				if err := run(c); err != nil {
+					errs[c] = err
+					failed.Store(true)
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	if err := ctx.Err(); err != nil {
+		return err
+	}
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// FromDatabase wraps an exact database as a Querier. Estimates are
+// exact frequencies (or 0 on an empty database), Contains reports
+// Count > 0, and EstimateMany chunks the batch through the database's
+// CPU-sharded CountMany path. The returned Querier is safe for
+// concurrent use.
+func FromDatabase(db *dataset.Database) Querier { return dbQuerier{db} }
+
+type dbQuerier struct{ db *dataset.Database }
+
+func (q dbQuerier) NumAttrs() int { return q.db.NumCols() }
+
+func (q dbQuerier) Contains(ctx context.Context, t dataset.Itemset) (bool, error) {
+	if err := ctx.Err(); err != nil {
+		return false, err
+	}
+	return q.db.NumRows() > 0 && q.db.Count(t) > 0, nil
+}
+
+func (q dbQuerier) Estimate(ctx context.Context, t dataset.Itemset) (float64, error) {
+	if err := ctx.Err(); err != nil {
+		return 0, err
+	}
+	if q.db.NumRows() == 0 {
+		return 0, nil
+	}
+	return q.db.Frequency(t), nil
+}
+
+func (q dbQuerier) EstimateMany(ctx context.Context, ts []dataset.Itemset, out []float64) error {
+	if err := checkBatch(ts, out); err != nil {
+		return err
+	}
+	n := q.db.NumRows()
+	if n == 0 {
+		for i := range out {
+			out[i] = 0
+		}
+		return ctx.Err()
+	}
+	counts := make([]int, batchChunk)
+	// Serial outer loop: CountManyInto already shards each chunk across
+	// CPUs, so parallelizing here would only oversubscribe. The plain
+	// division keeps results bit-identical to Database.Frequency.
+	return forEachChunk(ctx, len(ts), false, func(lo, hi int) error {
+		c := counts[:hi-lo]
+		q.db.CountManyInto(c, ts[lo:hi])
+		for i, v := range c {
+			out[lo+i] = float64(v) / float64(n)
+		}
+		return nil
+	})
+}
+
+// estimateErrer / frequentErrer are the non-panicking query variants
+// RELEASE-ANSWERS exposes for |T| ≠ k; the adapters prefer them so a
+// wrong-size query surfaces as core.ErrWrongItemsetSize instead of a
+// panic.
+type estimateErrer interface {
+	EstimateErr(t dataset.Itemset) (float64, error)
+}
+
+type frequentErrer interface {
+	FrequentErr(t dataset.Itemset) (bool, error)
+}
+
+// FromSketch wraps any core sketch as a Querier. Contains is the
+// sketch's Definition 1/3 indicator; Estimate requires an estimator
+// sketch and fails with core.ErrTaskMismatch on indicator-only
+// sketches; wrong-size queries against RELEASE-ANSWERS return
+// core.ErrWrongItemsetSize. Sketch queries are read-only, so the
+// returned Querier is safe for concurrent use and EstimateMany shards
+// its batch across CPUs.
+func FromSketch(s core.Sketch) Querier {
+	es, _ := s.(core.EstimatorSketch)
+	return sketchQuerier{s: s, es: es}
+}
+
+type sketchQuerier struct {
+	s  core.Sketch
+	es core.EstimatorSketch
+}
+
+func (q sketchQuerier) NumAttrs() int { return q.s.NumAttrs() }
+
+func (q sketchQuerier) Contains(ctx context.Context, t dataset.Itemset) (bool, error) {
+	if err := ctx.Err(); err != nil {
+		return false, err
+	}
+	if fe, ok := q.s.(frequentErrer); ok {
+		return fe.FrequentErr(t)
+	}
+	return q.s.Frequent(t), nil
+}
+
+func (q sketchQuerier) estimate(t dataset.Itemset) (float64, error) {
+	if q.es == nil {
+		return 0, fmt.Errorf("%w: %s sketch is indicator-only and cannot estimate", core.ErrTaskMismatch, q.s.Name())
+	}
+	if ee, ok := q.s.(estimateErrer); ok {
+		return ee.EstimateErr(t)
+	}
+	return q.es.Estimate(t), nil
+}
+
+func (q sketchQuerier) Estimate(ctx context.Context, t dataset.Itemset) (float64, error) {
+	if err := ctx.Err(); err != nil {
+		return 0, err
+	}
+	return q.estimate(t)
+}
+
+func (q sketchQuerier) EstimateMany(ctx context.Context, ts []dataset.Itemset, out []float64) error {
+	if err := checkBatch(ts, out); err != nil {
+		return err
+	}
+	return forEachChunk(ctx, len(ts), true, func(lo, hi int) error {
+		for i := lo; i < hi; i++ {
+			f, err := q.estimate(ts[i])
+			if err != nil {
+				return err
+			}
+			out[i] = f
+		}
+		return nil
+	})
+}
+
+// FromSource wraps a legacy frequency source as a Querier. Contains
+// reports Frequency > 0. Because an arbitrary Source's thread-safety
+// is unknown, EstimateMany issues its chunks serially (still checking
+// ctx between chunks).
+func FromSource(src Source) Querier { return sourceQuerier{src} }
+
+type sourceQuerier struct{ src Source }
+
+func (q sourceQuerier) NumAttrs() int { return q.src.NumAttrs() }
+
+func (q sourceQuerier) Contains(ctx context.Context, t dataset.Itemset) (bool, error) {
+	if err := ctx.Err(); err != nil {
+		return false, err
+	}
+	return q.src.Frequency(t) > 0, nil
+}
+
+func (q sourceQuerier) Estimate(ctx context.Context, t dataset.Itemset) (float64, error) {
+	if err := ctx.Err(); err != nil {
+		return 0, err
+	}
+	return q.src.Frequency(t), nil
+}
+
+func (q sourceQuerier) EstimateMany(ctx context.Context, ts []dataset.Itemset, out []float64) error {
+	if err := checkBatch(ts, out); err != nil {
+		return err
+	}
+	return forEachChunk(ctx, len(ts), false, func(lo, hi int) error {
+		for i := lo; i < hi; i++ {
+			out[i] = q.src.Frequency(ts[i])
+		}
+		return nil
+	})
+}

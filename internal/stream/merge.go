@@ -3,6 +3,8 @@ package stream
 import (
 	"fmt"
 	"sort"
+
+	"repro/internal/core"
 )
 
 // Mergeability (in the sense of Agarwal et al.'s mergeable summaries):
@@ -19,10 +21,10 @@ import (
 // capacity (or fewer rows if the union is smaller).
 func Merge(a, b *Reservoir, seed uint64) (*Reservoir, error) {
 	if a.d != b.d {
-		return nil, fmt.Errorf("stream: merge width mismatch %d vs %d", a.d, b.d)
+		return nil, fmt.Errorf("%w: merge width mismatch %d vs %d", core.ErrInvalidParams, a.d, b.d)
 	}
 	if a.capacity != b.capacity {
-		return nil, fmt.Errorf("stream: merge capacity mismatch %d vs %d", a.capacity, b.capacity)
+		return nil, fmt.Errorf("%w: merge capacity mismatch %d vs %d", core.ErrInvalidParams, a.capacity, b.capacity)
 	}
 	out, err := NewReservoir(a.d, a.capacity, seed)
 	if err != nil {
@@ -83,7 +85,7 @@ func indices(n int) []int {
 // count, per the mergeable-summaries construction).
 func MergeMG(a, b *MisraGries) (*MisraGries, error) {
 	if a.k != b.k {
-		return nil, fmt.Errorf("stream: merge k mismatch %d vs %d", a.k, b.k)
+		return nil, fmt.Errorf("%w: merge k mismatch %d vs %d", core.ErrInvalidParams, a.k, b.k)
 	}
 	out, err := NewMisraGries(a.k)
 	if err != nil {

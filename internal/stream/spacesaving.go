@@ -3,6 +3,8 @@ package stream
 import (
 	"fmt"
 	"sort"
+
+	"repro/internal/core"
 )
 
 // SpaceSaving (Metwally–Agrawal–El Abbadi) is the other classical
@@ -27,7 +29,7 @@ type ssEntry struct {
 // k = ⌈1/ε⌉ for additive error ε·N).
 func NewSpaceSaving(k int) (*SpaceSaving, error) {
 	if k < 1 {
-		return nil, fmt.Errorf("stream: space-saving needs k ≥ 1, got %d", k)
+		return nil, fmt.Errorf("%w: space-saving needs k ≥ 1, got %d", core.ErrInvalidParams, k)
 	}
 	return &SpaceSaving{k: k, counters: make(map[int]*ssEntry)}, nil
 }

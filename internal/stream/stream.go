@@ -33,6 +33,7 @@ import (
 	"sort"
 
 	"repro/internal/bitvec"
+	"repro/internal/core"
 	"repro/internal/dataset"
 	"repro/internal/rng"
 )
@@ -57,10 +58,10 @@ type Reservoir struct {
 // capacity rows.
 func NewReservoir(d, capacity int, seed uint64) (*Reservoir, error) {
 	if d < 1 {
-		return nil, fmt.Errorf("stream: reservoir needs d ≥ 1, got %d", d)
+		return nil, fmt.Errorf("%w: reservoir needs d ≥ 1, got %d", core.ErrInvalidParams, d)
 	}
 	if capacity < 1 {
-		return nil, fmt.Errorf("stream: reservoir needs capacity ≥ 1, got %d", capacity)
+		return nil, fmt.Errorf("%w: reservoir needs capacity ≥ 1, got %d", core.ErrInvalidParams, capacity)
 	}
 	return &Reservoir{d: d, capacity: capacity, sample: dataset.NewDatabase(d), rng: rng.New(seed)}, nil
 }
@@ -146,7 +147,7 @@ type MisraGries struct {
 // choose k = ⌈1/ε⌉+1 for additive error ε·n).
 func NewMisraGries(k int) (*MisraGries, error) {
 	if k < 2 {
-		return nil, fmt.Errorf("stream: misra-gries needs k ≥ 2, got %d", k)
+		return nil, fmt.Errorf("%w: misra-gries needs k ≥ 2, got %d", core.ErrInvalidParams, k)
 	}
 	return &MisraGries{k: k, counters: make(map[int]int64)}, nil
 }

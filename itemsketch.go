@@ -29,16 +29,26 @@
 //	db := itemsketch.NewDatabase(64)
 //	db.AddRowAttrs(3, 17, 42)
 //	// ... add rows ...
-//	p := itemsketch.Params{K: 2, Eps: 0.05, Delta: 0.05,
-//	    Mode: itemsketch.ForAll, Task: itemsketch.Estimator}
-//	sk, plan, err := itemsketch.Auto(db, p, 1)
-//	f := sk.(itemsketch.EstimatorSketch).Estimate(itemsketch.MustItemset(3, 17))
+//	sk, plan, err := itemsketch.BuildEstimator(ctx, db,
+//	    itemsketch.WithK(2), itemsketch.WithEps(0.05), itemsketch.WithDelta(0.05),
+//	    itemsketch.WithMode(itemsketch.ForAll), itemsketch.WithSeed(1))
+//	f := sk.Estimate(itemsketch.MustItemset(3, 17))
+//	wire := itemsketch.Marshal(sk)   // self-describing envelope
+//	back, err := itemsketch.Unmarshal(wire)
+//
+// Construction goes through Build/BuildEstimator (functional options
+// over validated defaults), queries through the Querier interface
+// (context-aware, with CPU-sharded batched EstimateMany), and the wire
+// format is a versioned self-describing envelope (see Marshal). All
+// failures wrap the sentinel taxonomy in errors.go and are matched
+// with errors.Is. The positional entry points (Auto, MarshalRaw,
+// UnmarshalRaw, SetSketchWorkers) remain as deprecated wrappers; see
+// the README's MIGRATION section for the mapping.
 package itemsketch
 
 import (
 	"io"
 
-	"repro/internal/bitvec"
 	"repro/internal/core"
 	"repro/internal/dataset"
 	"repro/internal/mining"
@@ -143,6 +153,12 @@ func Frequencies(db *Database, ts []Itemset) []float64 {
 }
 
 // Auto plans (Theorem 12) and builds the smallest naive sketch.
+//
+// Deprecated: use Build, which takes functional options, a context,
+// and a per-build worker budget:
+//
+//	sk, plan, err := itemsketch.Build(ctx, db,
+//	    itemsketch.WithParams(p), itemsketch.WithSeed(seed))
 func Auto(db *Database, p Params, seed uint64) (Sketch, Plan, error) {
 	return core.AutoSketch(db, p, seed)
 }
@@ -161,23 +177,15 @@ func Copies(d int, p Params) int { return core.Copies(d, p) }
 // behaviour: construction is deterministic in the seed for any worker
 // count, and with a single CPU (e.g. the reference CI container) the
 // parallel build degrades gracefully to the serial path.
+//
+// Deprecated: the process-global cap remains as the default budget,
+// but per-build caps via Build(..., WithWorkers(n)) compose better —
+// prefer them in new code.
 func SetSketchWorkers(k int) { core.SetBuildWorkers(k) }
 
-// SketchWorkers returns the effective sketch-construction worker count.
+// SketchWorkers returns the effective process-default sketch
+// construction worker count (see SetSketchWorkers).
 func SketchWorkers() int { return core.BuildWorkers() }
-
-// Marshal serializes a sketch; bits is its exact size |S| in bits
-// (Definition 5) — the paper's space measure.
-func Marshal(s Sketch) (data []byte, bits int) {
-	var w bitvec.Writer
-	s.MarshalBits(&w)
-	return w.Bytes(), w.BitLen()
-}
-
-// Unmarshal decodes a sketch produced by Marshal.
-func Unmarshal(data []byte, bits int) (Sketch, error) {
-	return core.UnmarshalSketch(bitvec.NewReader(data, bits))
-}
 
 // Apriori mines itemsets with frequency ≥ minSupport and size ≤ maxK
 // from any frequency source (exact database or sketch).
@@ -212,6 +220,10 @@ func OnDatabase(db *Database) FrequencySource { return mining.DBSource{DB: db} }
 
 // OnSketch adapts an estimator sketch over d attributes into a
 // FrequencySource — the §1.1.2 "mine the sketch, not the data" path.
+//
+// Deprecated: use QuerySketch, which needs no side-channel d (sketches
+// know their attribute universe) and supports batched, cancellable
+// queries.
 func OnSketch(s EstimatorSketch, d int) FrequencySource {
 	return mining.EstimatorSource{Est: s, Attrs: d}
 }

@@ -57,12 +57,16 @@ func TestPublicAPIEndToEnd(t *testing.T) {
 		t.Fatalf("estimate %g vs true %g beyond eps", est, db.Frequency(T))
 	}
 
-	// Serialization round trip through the public helpers.
-	data, bits := itemsketch.Marshal(sk)
-	if int64(bits) != sk.SizeBits() {
-		t.Fatalf("Marshal bits %d != SizeBits %d", bits, sk.SizeBits())
+	// Serialization round trip through the public envelope helpers.
+	wire := itemsketch.Marshal(sk)
+	env, err := itemsketch.Inspect(wire)
+	if err != nil {
+		t.Fatal(err)
 	}
-	got, err := itemsketch.Unmarshal(data, bits)
+	if int64(env.PayloadBits) != sk.SizeBits() {
+		t.Fatalf("envelope payload bits %d != SizeBits %d", env.PayloadBits, sk.SizeBits())
+	}
+	got, err := itemsketch.Unmarshal(wire)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,0 +1,143 @@
+package itemsketch
+
+import (
+	"context"
+	"fmt"
+
+	"repro/internal/core"
+)
+
+// BuildOption configures a Build or BuildEstimator call. Options are
+// applied in order over validated defaults (k=2, ε=0.05, δ=0.05,
+// ForAll, Estimator, seed 1, process-default workers, Theorem 12
+// planner); validation happens once, after all options are applied,
+// and failures wrap ErrInvalidParams.
+type BuildOption func(*buildConfig)
+
+type buildConfig struct {
+	p       Params
+	seed    uint64
+	seedSet bool
+	workers int
+	algo    Sketcher
+}
+
+func defaultBuildConfig() buildConfig {
+	return buildConfig{
+		p:    Params{K: 2, Eps: 0.05, Delta: 0.05, Mode: ForAll, Task: Estimator},
+		seed: 1,
+	}
+}
+
+// WithK sets the itemset size k of Definitions 1–4.
+func WithK(k int) BuildOption { return func(c *buildConfig) { c.p.K = k } }
+
+// WithEps sets the precision ε ∈ (0, 1).
+func WithEps(eps float64) BuildOption { return func(c *buildConfig) { c.p.Eps = eps } }
+
+// WithDelta sets the failure probability δ ∈ (0, 1).
+func WithDelta(delta float64) BuildOption { return func(c *buildConfig) { c.p.Delta = delta } }
+
+// WithMode selects the ForAll or ForEach guarantee.
+func WithMode(m Mode) BuildOption { return func(c *buildConfig) { c.p.Mode = m } }
+
+// WithTask selects Indicator or Estimator queries.
+func WithTask(t Task) BuildOption { return func(c *buildConfig) { c.p.Task = t } }
+
+// WithParams sets all of (k, ε, δ, mode, task) at once — the migration
+// path for code holding a Params value from the positional API.
+func WithParams(p Params) BuildOption { return func(c *buildConfig) { c.p = p } }
+
+// WithSeed seeds the sketching randomness. The same seed over the same
+// database yields bit-identical Marshal output for any worker count.
+// When combined with WithAlgorithm, the seed is applied onto the given
+// sketcher (its own Seed field is overwritten); without WithSeed, a
+// forced sketcher keeps whatever Seed it carries, and the default
+// seed 1 governs only the planner path.
+func WithSeed(seed uint64) BuildOption {
+	return func(c *buildConfig) { c.seed = seed; c.seedSet = true }
+}
+
+// WithWorkers caps the number of goroutines this one build may use;
+// n ≤ 0 means the process default (SetSketchWorkers, else GOMAXPROCS),
+// matching the SetSketchWorkers convention. Unlike the deprecated
+// process-global cap, this one is scoped to the build. It changes
+// wall-clock behaviour only, never the constructed bits.
+func WithWorkers(n int) BuildOption { return func(c *buildConfig) { c.workers = n } }
+
+// WithAlgorithm forces a specific sketching algorithm instead of the
+// Theorem 12 planner: any Sketcher, including the naive algorithms
+// (ReleaseDB, ReleaseAnswers, Subsample), ImportanceSample, and
+// MedianAmplifier. The returned Plan records just the forced choice.
+func WithAlgorithm(s Sketcher) BuildOption { return func(c *buildConfig) { c.algo = s } }
+
+// Build compresses db into the sketch described by the options,
+// returning the built sketch and the Theorem 12 plan that chose (or
+// recorded) the algorithm. With no WithAlgorithm option the planner
+// compares RELEASE-DB, RELEASE-ANSWERS and SUBSAMPLE and builds the
+// smallest.
+//
+// Construction honors ctx between internal chunks — a cancelled
+// context aborts the build and returns ctx.Err() — and shards its work
+// across the WithWorkers budget. Option failures wrap ErrInvalidParams
+// (or ErrTaskMismatch for variant mismatches) and are errors.Is-able.
+func Build(ctx context.Context, db *Database, opts ...BuildOption) (Sketch, Plan, error) {
+	c := defaultBuildConfig()
+	for _, o := range opts {
+		o(&c)
+	}
+	return buildSketch(ctx, db, c)
+}
+
+// BuildEstimator is Build for estimator sketches: it requires the
+// (default) Estimator task and returns the concrete EstimatorSketch,
+// so callers query Estimate without a type assertion. Passing
+// WithTask(Indicator) fails with ErrTaskMismatch.
+func BuildEstimator(ctx context.Context, db *Database, opts ...BuildOption) (EstimatorSketch, Plan, error) {
+	c := defaultBuildConfig()
+	for _, o := range opts {
+		o(&c)
+	}
+	if c.p.Task != Estimator {
+		return nil, Plan{}, fmt.Errorf("%w: BuildEstimator requires the Estimator task; got %v", ErrTaskMismatch, c.p.Task)
+	}
+	sk, plan, err := buildSketch(ctx, db, c)
+	if err != nil {
+		return nil, plan, err
+	}
+	es, ok := sk.(EstimatorSketch)
+	if !ok {
+		return nil, plan, fmt.Errorf("%w: %s sketch does not answer estimates", ErrTaskMismatch, sk.Name())
+	}
+	return es, plan, nil
+}
+
+func buildSketch(ctx context.Context, db *Database, c buildConfig) (Sketch, Plan, error) {
+	if db == nil {
+		return nil, Plan{}, fmt.Errorf("%w: nil database", ErrInvalidParams)
+	}
+	if err := c.p.Validate(); err != nil {
+		return nil, Plan{}, err
+	}
+	var plan Plan
+	if c.algo != nil {
+		algo := c.algo
+		if c.seedSet {
+			algo = core.SeedSketcher(algo, c.seed)
+		}
+		cost := algo.SpaceBits(db.NumRows(), db.NumCols(), c.p)
+		plan = Plan{
+			N: db.NumRows(), D: db.NumCols(), Params: c.p,
+			Costs:   map[string]float64{algo.Name(): cost},
+			Winner:  algo,
+			Minimum: cost,
+		}
+	} else {
+		plan = core.PlanSketch(db.NumRows(), db.NumCols(), c.p, c.seed)
+	}
+	sk, err := core.BuildSketch(ctx, db, c.p, plan.Winner, c.workers)
+	if err != nil {
+		return nil, plan, err
+	}
+	return sk, plan, nil
+}

@@ -1,0 +1,192 @@
+package itemsketch_test
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"testing"
+
+	itemsketch "repro"
+	"repro/internal/bitvec"
+)
+
+func optionsDB(t testing.TB) *itemsketch.Database {
+	t.Helper()
+	db := itemsketch.NewDatabase(16)
+	for i := 0; i < 2000; i++ {
+		db.AddRowAttrs(i%16, (i+1)%16, (i*3)%16)
+	}
+	return db
+}
+
+// TestBuildOptionValidation table-tests the functional options: every
+// out-of-range option fails Build with an errors.Is-able sentinel.
+func TestBuildOptionValidation(t *testing.T) {
+	db := optionsDB(t)
+	ctx := context.Background()
+	cases := []struct {
+		name string
+		opts []itemsketch.BuildOption
+		want error
+	}{
+		{"k zero", []itemsketch.BuildOption{itemsketch.WithK(0)}, itemsketch.ErrInvalidParams},
+		{"k negative", []itemsketch.BuildOption{itemsketch.WithK(-3)}, itemsketch.ErrInvalidParams},
+		{"k exceeds d", []itemsketch.BuildOption{itemsketch.WithK(17)}, itemsketch.ErrInvalidParams},
+		{"eps zero", []itemsketch.BuildOption{itemsketch.WithEps(0)}, itemsketch.ErrInvalidParams},
+		{"eps one", []itemsketch.BuildOption{itemsketch.WithEps(1)}, itemsketch.ErrInvalidParams},
+		{"delta negative", []itemsketch.BuildOption{itemsketch.WithDelta(-0.1)}, itemsketch.ErrInvalidParams},
+		{"delta one", []itemsketch.BuildOption{itemsketch.WithDelta(1)}, itemsketch.ErrInvalidParams},
+		{"bad mode", []itemsketch.BuildOption{itemsketch.WithMode(itemsketch.Mode(9))}, itemsketch.ErrInvalidParams},
+		{"bad task", []itemsketch.BuildOption{itemsketch.WithTask(itemsketch.Task(9))}, itemsketch.ErrInvalidParams},
+		{"bad params struct", []itemsketch.BuildOption{itemsketch.WithParams(itemsketch.Params{})}, itemsketch.ErrInvalidParams},
+		{"amplifier on foreach", []itemsketch.BuildOption{
+			itemsketch.WithMode(itemsketch.ForEach),
+			itemsketch.WithAlgorithm(itemsketch.MedianAmplifier{Base: itemsketch.Subsample{}}),
+		}, itemsketch.ErrTaskMismatch},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			if _, _, err := itemsketch.Build(ctx, db, tc.opts...); !errors.Is(err, tc.want) {
+				t.Fatalf("err = %v, want %v", err, tc.want)
+			}
+		})
+	}
+	if _, _, err := itemsketch.Build(ctx, nil); !errors.Is(err, itemsketch.ErrInvalidParams) {
+		t.Fatalf("nil database: err = %v", err)
+	}
+}
+
+// TestBuildDefaultsAndPlan pins the documented defaults: Build with no
+// options plans a valid ForAll-Estimator k=2 sketch over the three
+// naive algorithms.
+func TestBuildDefaultsAndPlan(t *testing.T) {
+	db := optionsDB(t)
+	sk, plan, err := itemsketch.Build(context.Background(), db)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(plan.Costs) != 3 || plan.Winner == nil {
+		t.Fatalf("default plan incomplete: %+v", plan)
+	}
+	p := sk.Params()
+	if p.K != 2 || p.Eps != 0.05 || p.Delta != 0.05 || p.Mode != itemsketch.ForAll || p.Task != itemsketch.Estimator {
+		t.Fatalf("default params %v", p)
+	}
+	if _, ok := sk.(itemsketch.EstimatorSketch); !ok {
+		t.Fatal("default build is not an estimator")
+	}
+}
+
+// TestBuildMatchesAuto asserts the new construction path is
+// bit-compatible with the deprecated positional one: same params and
+// seed produce byte-identical envelopes.
+func TestBuildMatchesAuto(t *testing.T) {
+	db := optionsDB(t)
+	p := itemsketch.Params{K: 2, Eps: 0.05, Delta: 0.05,
+		Mode: itemsketch.ForAll, Task: itemsketch.Estimator}
+	old, _, err := itemsketch.Auto(db, p, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sk, _, err := itemsketch.Build(context.Background(), db,
+		itemsketch.WithParams(p), itemsketch.WithSeed(9))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(itemsketch.Marshal(old), itemsketch.Marshal(sk)) {
+		t.Fatal("Build and Auto disagree for the same seed")
+	}
+}
+
+// TestBuildWorkersDeterminism asserts WithWorkers changes wall-clock
+// behaviour only: 1-worker and default-worker builds are
+// byte-identical, for the planner winner and for every forced sampler.
+func TestBuildWorkersDeterminism(t *testing.T) {
+	db := optionsDB(t)
+	ctx := context.Background()
+	algos := []itemsketch.BuildOption{
+		nil, // planner
+		itemsketch.WithAlgorithm(itemsketch.Subsample{SampleOverride: 5000}),
+		itemsketch.WithAlgorithm(itemsketch.ImportanceSample{SampleOverride: 5000}),
+		itemsketch.WithAlgorithm(itemsketch.MedianAmplifier{Base: itemsketch.Subsample{SampleOverride: 512}, CopiesOverride: 6}),
+	}
+	for i, algo := range algos {
+		base := []itemsketch.BuildOption{itemsketch.WithSeed(11)}
+		if algo != nil {
+			base = append(base, algo)
+		}
+		serial, _, err := itemsketch.Build(ctx, db, append(base, itemsketch.WithWorkers(1))...)
+		if err != nil {
+			t.Fatal(err)
+		}
+		wide, _, err := itemsketch.Build(ctx, db, append(base, itemsketch.WithWorkers(8))...)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(itemsketch.Marshal(serial), itemsketch.Marshal(wide)) {
+			t.Fatalf("algo %d: worker count changed the constructed bits", i)
+		}
+	}
+	// n ≤ 0 means the process default (the SetSketchWorkers
+	// convention), not an error.
+	def, _, err := itemsketch.Build(ctx, db, itemsketch.WithSeed(11), itemsketch.WithWorkers(-1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	one, _, err := itemsketch.Build(ctx, db, itemsketch.WithSeed(11), itemsketch.WithWorkers(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(itemsketch.Marshal(def), itemsketch.Marshal(one)) {
+		t.Fatal("WithWorkers(-1) changed the constructed bits")
+	}
+}
+
+// TestBuildEstimatorTaskMismatch pins the BuildEstimator contract: an
+// explicit Indicator task is refused with ErrTaskMismatch rather than
+// silently overridden.
+func TestBuildEstimatorTaskMismatch(t *testing.T) {
+	db := optionsDB(t)
+	if _, _, err := itemsketch.BuildEstimator(context.Background(), db,
+		itemsketch.WithTask(itemsketch.Indicator)); !errors.Is(err, itemsketch.ErrTaskMismatch) {
+		t.Fatalf("err = %v, want ErrTaskMismatch", err)
+	}
+	sk, _, err := itemsketch.BuildEstimator(context.Background(), db, itemsketch.WithEps(0.1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sk.Estimate(itemsketch.MustItemset(0, 1)) < 0 {
+		t.Fatal("estimate out of range")
+	}
+}
+
+// TestBuildCancelled asserts Build observes an already-cancelled
+// context and a context cancelled mid-build, returning ctx.Err().
+func TestBuildCancelled(t *testing.T) {
+	db := optionsDB(t)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, _, err := itemsketch.Build(ctx, db); !errors.Is(err, context.Canceled) {
+		t.Fatalf("pre-cancelled: err = %v", err)
+	}
+	// A custom Weight function cancels partway through weight
+	// computation; the build must abort with ctx.Err() instead of
+	// returning a sketch.
+	ctx2, cancel2 := context.WithCancel(context.Background())
+	calls := 0
+	_, _, err := itemsketch.Build(ctx2, db,
+		itemsketch.WithAlgorithm(itemsketch.ImportanceSample{
+			SampleOverride: 10000,
+			Weight: func(row *bitvec.Vector) float64 {
+				calls++
+				if calls == 100 {
+					cancel2()
+				}
+				return 1
+			},
+		}))
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("mid-build cancel: err = %v", err)
+	}
+	cancel2()
+}

@@ -1,0 +1,55 @@
+package itemsketch
+
+import (
+	"context"
+
+	"repro/internal/mining"
+	"repro/internal/query"
+)
+
+// Querier is the unified, context-aware read interface over itemset
+// frequency data: exact databases, every sketch, and legacy frequency
+// sources all answer queries through it, and the miners run unchanged
+// against any implementation.
+//
+// Contains is the indicator-style query (a sketch's Definition 1/3
+// decision; frequency positivity for exact databases and plain
+// sources). Estimate returns a frequency in [0, 1] and fails with
+// ErrTaskMismatch on indicator-only sketches. EstimateMany answers a
+// batch in one call — len(out) must equal len(ts) — sharding the work
+// across CPUs where the backend is concurrency-safe (QueryDatabase,
+// QuerySketch) and checking ctx between chunks, so a cancelled batch
+// returns ctx.Err() within one chunk of work.
+type Querier = query.Querier
+
+// QueryDatabase adapts an exact database into a Querier: estimates are
+// exact frequencies, Contains reports Count > 0, and EstimateMany runs
+// on the CPU-sharded CountMany path. Safe for concurrent use.
+func QueryDatabase(db *Database) Querier { return query.FromDatabase(db) }
+
+// QuerySketch adapts any sketch into a Querier: Contains is the
+// sketch's indicator at its built ε, Estimate requires an estimator
+// sketch (ErrTaskMismatch otherwise), and wrong-size queries against
+// RELEASE-ANSWERS surface as ErrWrongItemsetSize instead of panics.
+// Safe for concurrent use; EstimateMany shards across CPUs.
+func QuerySketch(s Sketch) Querier { return query.FromSketch(s) }
+
+// QuerySource adapts a legacy FrequencySource into a Querier. No
+// thread-safety is assumed of src, so batches run serially (still
+// cancellable between chunks).
+func QuerySource(src FrequencySource) Querier { return query.FromSource(src) }
+
+// AprioriContext mines itemsets with frequency ≥ minSupport and size
+// ≤ maxK from any Querier, answering each candidate level with one
+// batched EstimateMany call; a cancelled ctx aborts with ctx.Err().
+// This is the context-aware form of Apriori.
+func AprioriContext(ctx context.Context, q Querier, minSupport float64, maxK int) ([]MiningResult, error) {
+	return mining.AprioriContext(ctx, q, minSupport, maxK)
+}
+
+// ToivonenContext is Toivonen with a context: the sample mine and the
+// single full-database verification pass both run through batched,
+// cancellable queries.
+func ToivonenContext(ctx context.Context, db, sample *Database, minSupport, loweredSupport float64, maxK int) (ToivonenReport, error) {
+	return mining.ToivonenContext(ctx, db, sample, minSupport, loweredSupport, maxK)
+}

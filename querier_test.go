@@ -1,0 +1,244 @@
+package itemsketch_test
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"testing"
+
+	itemsketch "repro"
+)
+
+func querierDB(t testing.TB) *itemsketch.Database {
+	t.Helper()
+	db := itemsketch.NewDatabase(16)
+	for i := 0; i < 3000; i++ {
+		switch i % 3 {
+		case 0:
+			db.AddRowAttrs(2, 3, 5)
+		case 1:
+			db.AddRowAttrs(2, 7)
+		default:
+			db.AddRowAttrs(11)
+		}
+	}
+	db.BuildColumnIndex()
+	return db
+}
+
+// TestQueryDatabaseMatchesSingles asserts EstimateMany over a batch
+// larger than one chunk matches Database.Frequency bit-for-bit, and
+// Contains reports containment.
+func TestQueryDatabaseMatchesSingles(t *testing.T) {
+	db := querierDB(t)
+	q := itemsketch.QueryDatabase(db)
+	ctx := context.Background()
+	var ts []itemsketch.Itemset
+	for i := 0; i < 600; i++ { // > 2 chunks of 256
+		ts = append(ts, itemsketch.MustItemset(i%16, (i+1+i%14)%16))
+	}
+	out := make([]float64, len(ts))
+	if err := q.EstimateMany(ctx, ts, out); err != nil {
+		t.Fatal(err)
+	}
+	for i, T := range ts {
+		if want := db.Frequency(T); out[i] != want {
+			t.Fatalf("batch[%d] = %g, Frequency = %g", i, out[i], want)
+		}
+	}
+	if got, err := q.Contains(ctx, itemsketch.MustItemset(2, 3)); err != nil || !got {
+		t.Fatalf("Contains({2,3}) = %v, %v", got, err)
+	}
+	if got, err := q.Contains(ctx, itemsketch.MustItemset(3, 7)); err != nil || got {
+		t.Fatalf("Contains({3,7}) = %v, %v", got, err)
+	}
+	// Mismatched slice lengths are a typed error.
+	if err := q.EstimateMany(ctx, ts, out[:1]); !errors.Is(err, itemsketch.ErrInvalidParams) {
+		t.Fatalf("length mismatch: err = %v", err)
+	}
+}
+
+// TestQuerySketchTaskAndSize pins the typed query errors: Estimate on
+// an indicator-only sketch is ErrTaskMismatch, and a wrong-size query
+// against RELEASE-ANSWERS is ErrWrongItemsetSize instead of a panic.
+func TestQuerySketchTaskAndSize(t *testing.T) {
+	db := querierDB(t)
+	ctx := context.Background()
+	ind, _, err := itemsketch.Build(ctx, db,
+		itemsketch.WithTask(itemsketch.Indicator), itemsketch.WithEps(0.2),
+		itemsketch.WithAlgorithm(itemsketch.ReleaseAnswers{}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	q := itemsketch.QuerySketch(ind)
+	if _, err := q.Estimate(ctx, itemsketch.MustItemset(2, 3)); !errors.Is(err, itemsketch.ErrTaskMismatch) {
+		t.Fatalf("indicator Estimate: err = %v", err)
+	}
+	out := make([]float64, 1)
+	if err := q.EstimateMany(ctx, []itemsketch.Itemset{itemsketch.MustItemset(2, 3)}, out); !errors.Is(err, itemsketch.ErrTaskMismatch) {
+		t.Fatalf("indicator EstimateMany: err = %v", err)
+	}
+	if _, err := q.Contains(ctx, itemsketch.MustItemset(1, 2, 3)); !errors.Is(err, itemsketch.ErrWrongItemsetSize) {
+		t.Fatalf("wrong-size Contains: err = %v", err)
+	}
+	est, _, err := itemsketch.BuildEstimator(ctx, db,
+		itemsketch.WithEps(0.2), itemsketch.WithAlgorithm(itemsketch.ReleaseAnswers{}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	qe := itemsketch.QuerySketch(est)
+	if _, err := qe.Estimate(ctx, itemsketch.MustItemset(5)); !errors.Is(err, itemsketch.ErrWrongItemsetSize) {
+		t.Fatalf("wrong-size Estimate: err = %v", err)
+	}
+}
+
+// TestQuerySketchMatchesEstimate asserts the sketch querier returns
+// exactly EstimatorSketch.Estimate for every sketch kind and that
+// NumAttrs flows through.
+func TestQuerySketchMatchesEstimate(t *testing.T) {
+	ctx := context.Background()
+	for kind, sk := range buildAllKinds(t) {
+		q := itemsketch.QuerySketch(sk)
+		if q.NumAttrs() != sk.NumAttrs() {
+			t.Fatalf("%v: NumAttrs %d vs %d", kind, q.NumAttrs(), sk.NumAttrs())
+		}
+		es, ok := sk.(itemsketch.EstimatorSketch)
+		if !ok {
+			continue
+		}
+		T := itemsketch.MustItemset(3, 7)
+		got, err := q.Estimate(ctx, T)
+		if err != nil {
+			t.Fatalf("%v: %v", kind, err)
+		}
+		if want := es.Estimate(T); got != want {
+			t.Fatalf("%v: querier %g, sketch %g", kind, got, want)
+		}
+	}
+}
+
+// cancellingSource is a FrequencySource that cancels a context after a
+// fixed number of queries — it simulates a batch that is cancelled
+// while in flight.
+type cancellingSource struct {
+	db     *itemsketch.Database
+	cancel context.CancelFunc
+	after  int
+	mu     sync.Mutex
+	calls  int
+}
+
+func (s *cancellingSource) NumAttrs() int { return s.db.NumCols() }
+
+func (s *cancellingSource) Frequency(t itemsketch.Itemset) float64 {
+	s.mu.Lock()
+	s.calls++
+	if s.calls == s.after {
+		s.cancel()
+	}
+	s.mu.Unlock()
+	return s.db.Frequency(t)
+}
+
+// TestEstimateManyCancelledMidBatch is the acceptance-criteria test:
+// a context cancelled partway through an EstimateMany batch surfaces
+// as ctx.Err(), and the batch stops within one chunk instead of
+// querying all itemsets.
+func TestEstimateManyCancelledMidBatch(t *testing.T) {
+	db := querierDB(t)
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	src := &cancellingSource{db: db, cancel: cancel, after: 300} // inside chunk 2 of 4
+	q := itemsketch.QuerySource(src)
+	ts := make([]itemsketch.Itemset, 1000)
+	for i := range ts {
+		ts[i] = itemsketch.MustItemset(i % 16)
+	}
+	out := make([]float64, len(ts))
+	err := q.EstimateMany(ctx, ts, out)
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if src.calls >= len(ts) {
+		t.Fatalf("batch ran to completion (%d calls) despite cancellation", src.calls)
+	}
+
+	// A pre-cancelled context never issues a query at all.
+	pre, preCancel := context.WithCancel(context.Background())
+	preCancel()
+	src2 := &cancellingSource{db: db, cancel: func() {}, after: -1}
+	if err := itemsketch.QuerySource(src2).EstimateMany(pre, ts, out); !errors.Is(err, context.Canceled) {
+		t.Fatalf("pre-cancelled: err = %v", err)
+	}
+	if src2.calls != 0 {
+		t.Fatalf("pre-cancelled batch issued %d queries", src2.calls)
+	}
+
+	// The parallel sketch path also observes cancellation between
+	// chunks (cancel up front so the check is deterministic).
+	sk, _, err := itemsketch.BuildEstimator(context.Background(), db,
+		itemsketch.WithAlgorithm(itemsketch.Subsample{}), itemsketch.WithSeed(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	skCtx, skCancel := context.WithCancel(context.Background())
+	skCancel()
+	if err := itemsketch.QuerySketch(sk).EstimateMany(skCtx, ts, out); !errors.Is(err, context.Canceled) {
+		t.Fatalf("sketch pre-cancelled: err = %v", err)
+	}
+}
+
+// TestAprioriContextMatchesLegacy asserts the Querier-threaded miner
+// produces the same collection as the legacy FrequencySource path and
+// as Eclat, and that cancellation aborts the mine.
+func TestAprioriContextMatchesLegacy(t *testing.T) {
+	db := querierDB(t)
+	legacy := itemsketch.Apriori(itemsketch.OnDatabase(db), 0.2, 3)
+	viaQ, err := itemsketch.AprioriContext(context.Background(), itemsketch.QueryDatabase(db), 0.2, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(legacy) != len(viaQ) {
+		t.Fatalf("legacy %d results, querier %d", len(legacy), len(viaQ))
+	}
+	for i := range legacy {
+		if !legacy[i].Items.Equal(viaQ[i].Items) || legacy[i].Freq != viaQ[i].Freq {
+			t.Fatalf("result %d differs: %v/%g vs %v/%g",
+				i, legacy[i].Items, legacy[i].Freq, viaQ[i].Items, viaQ[i].Freq)
+		}
+	}
+	ec := itemsketch.Eclat(db, 0.2, 3)
+	if len(ec) != len(viaQ) {
+		t.Fatalf("eclat %d results, querier apriori %d", len(ec), len(viaQ))
+	}
+	cancelled, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := itemsketch.AprioriContext(cancelled, itemsketch.QueryDatabase(db), 0.2, 3); !errors.Is(err, context.Canceled) {
+		t.Fatalf("cancelled mine: err = %v", err)
+	}
+}
+
+// TestToivonenContextMatchesLegacy asserts the batched verification
+// path reports the same frequent collection as before.
+func TestToivonenContextMatchesLegacy(t *testing.T) {
+	db := querierDB(t)
+	sample := itemsketch.NewDatabase(16)
+	for i := 0; i < db.NumRows(); i += 3 {
+		sample.AddRow(db.Row(i))
+	}
+	repA, err := itemsketch.Toivonen(db, sample, 0.3, 0.25, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	repB, err := itemsketch.ToivonenContext(context.Background(), db, sample.Clone(), 0.3, 0.25, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(repA.Frequent) != len(repB.Frequent) || repA.Complete() != repB.Complete() {
+		t.Fatalf("reports differ: %d/%v vs %d/%v",
+			len(repA.Frequent), repA.Complete(), len(repB.Frequent), repB.Complete())
+	}
+	if _, err := itemsketch.ToivonenContext(context.Background(), db, itemsketch.NewDatabase(4), 0.3, 0.25, 3); !errors.Is(err, itemsketch.ErrInvalidParams) {
+		t.Fatalf("column mismatch: err = %v", err)
+	}
+}
