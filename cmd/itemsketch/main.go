@@ -10,8 +10,9 @@
 //
 // The transaction format is one basket per line: space-separated
 // attribute indices in [0, d). Sketch files are the versioned
-// self-describing envelope written by itemsketch.Marshal; files from
-// the pre-envelope format are still read transparently.
+// self-describing envelope streamed by itemsketch.MarshalTo (version 2,
+// chunked, optionally compressed with -compress); version-1 envelopes
+// and files from the pre-envelope format are still read transparently.
 package main
 
 import (
@@ -20,6 +21,7 @@ import (
 	"errors"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"strconv"
 	"strings"
@@ -54,7 +56,7 @@ func main() {
 
 func usage() {
 	fmt.Fprintln(os.Stderr, `usage: itemsketch <sketch|query|mine|info> [flags]
-  sketch -in FILE -d COLS -out FILE [-k K -eps E -delta D -mode forall|foreach -task estimator|indicator -algo auto|subsample|release-db|release-answers|importance-sample -seed N]
+  sketch -in FILE -d COLS -out FILE [-k K -eps E -delta D -mode forall|foreach -task estimator|indicator -algo auto|subsample|release-db|release-answers|importance-sample -seed N -compress]
   query  -sketch FILE -items a,b,c
   mine   -sketch FILE -minsup F -maxk K [-rules CONF]
   info   -sketch FILE`)
@@ -93,6 +95,7 @@ func cmdSketch(args []string) error {
 	task := fs.String("task", "estimator", "estimator|indicator")
 	algo := fs.String("algo", "auto", "auto|subsample|release-db|release-answers")
 	seed := fs.Uint64("seed", 1, "sketching randomness seed")
+	compress := fs.Bool("compress", false, "flate-compress the sketch payload")
 	fs.Parse(args)
 	if *in == "" || *out == "" || *d <= 0 {
 		return errors.New("sketch: -in, -d and -out are required")
@@ -134,37 +137,60 @@ func cmdSketch(args []string) error {
 			plan.Costs["release-db"], plan.Costs["release-answers"], plan.Costs["subsample"],
 			plan.Winner.Name())
 	}
-	if err := os.WriteFile(*out, itemsketch.Marshal(sk), 0o644); err != nil {
+	var mopts []itemsketch.MarshalOption
+	if *compress {
+		mopts = append(mopts, itemsketch.WithCompression())
+	}
+	of, err := os.Create(*out)
+	if err != nil {
 		return err
 	}
-	fmt.Printf("wrote %s: %s sketch, %d bits (%.1f KB) for %d rows x %d cols\n",
-		*out, sk.Name(), sk.SizeBits(), float64(sk.SizeBits())/8192, db.NumRows(), db.NumCols())
+	// The sketch streams to disk chunk by chunk; nothing buffers the
+	// whole payload, so RELEASE-DB sketches at census scale spill
+	// straight through.
+	written, err := itemsketch.MarshalTo(of, sk, mopts...)
+	if cerr := of.Close(); err == nil {
+		err = cerr
+	}
+	if err != nil {
+		return err
+	}
+	fmt.Printf("wrote %s: %s sketch, %d bits (%.1f KB payload, %.1f KB on disk) for %d rows x %d cols\n",
+		*out, sk.Name(), sk.SizeBits(), float64(sk.SizeBits())/8192, float64(written)/1024, db.NumRows(), db.NumCols())
 	return nil
 }
 
-// Sketch files are the Marshal envelope verbatim. Files written before
-// the envelope existed (8-byte little-endian bit count, then the
-// packed bits) are still readable through the deprecated raw path.
+// Sketch files are the MarshalTo envelope verbatim (version 1 or 2),
+// decoded through the streaming path so only one chunk is buffered.
+// Files written before the envelope existed (8-byte little-endian bit
+// count, then the packed bits) are still readable through the
+// deprecated raw path, which needs the whole file in memory.
 func readSketchFile(path string) (itemsketch.Sketch, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	sk, serr := itemsketch.UnmarshalFrom(f)
+	f.Close()
+	if serr == nil || !errors.Is(serr, itemsketch.ErrCorruptSketch) {
+		return sk, serr
+	}
+	// Not a (valid) envelope: try the pre-envelope format directly —
+	// the envelope decode already failed, so only the legacy
+	// interpretation is left, and its failure reports the envelope
+	// error (the likelier diagnosis).
 	raw, err := os.ReadFile(path)
 	if err != nil {
 		return nil, err
 	}
-	return decodeSketchBytes(raw)
-}
-
-func decodeSketchBytes(raw []byte) (itemsketch.Sketch, error) {
-	sk, err := itemsketch.Unmarshal(raw)
-	if err == nil || !errors.Is(err, itemsketch.ErrCorruptSketch) || len(raw) < 8 {
-		return sk, err
-	}
-	// Legacy fallback: interpret the first 8 bytes as a bit count.
-	if bits := binary.LittleEndian.Uint64(raw[:8]); bits <= uint64(len(raw)-8)*8 {
-		if legacy, lerr := itemsketch.UnmarshalRaw(raw[8:], int(bits)); lerr == nil {
-			return legacy, nil
+	if len(raw) >= 8 {
+		if bits := binary.LittleEndian.Uint64(raw[:8]); bits <= uint64(len(raw)-8)*8 {
+			if legacy, lerr := itemsketch.UnmarshalRaw(raw[8:], int(bits)); lerr == nil {
+				return legacy, nil
+			}
 		}
 	}
-	return nil, err
+	return nil, serr
 }
 
 func parseItems(s string) (itemsketch.Itemset, error) {
@@ -262,19 +288,41 @@ func cmdInfo(args []string) error {
 	if *path == "" {
 		return errors.New("info: -sketch is required")
 	}
-	raw, err := os.ReadFile(*path)
+	// One file handle for both passes: the envelope walk (header,
+	// framing, checksums — cheap, no decode) and the decode that
+	// yields the sketch's own view of its parameters. The decode
+	// streams from a rewind of the same descriptor, so the file is
+	// opened once and never buffered whole.
+	f, err := os.Open(*path)
 	if err != nil {
 		return err
 	}
-	if env, err := itemsketch.Inspect(raw); err == nil {
+	defer f.Close()
+	env, ierr := itemsketch.InspectFrom(f)
+	switch {
+	case ierr == nil && env.Version >= 2:
+		comp := "uncompressed"
+		if env.Compressed {
+			comp = "flate-compressed"
+		}
+		fmt.Printf("envelope:   v%d %s, %d payload bits, %d chunks x %d bytes, %s\n",
+			env.Version, env.Kind, env.PayloadBits, env.Chunks, env.ChunkBytes, comp)
+	case ierr == nil:
 		fmt.Printf("envelope:   v%d %s, %d payload bits, crc %08x\n",
 			env.Version, env.Kind, env.PayloadBits, env.Checksum)
-	} else if errors.Is(err, itemsketch.ErrUnsupportedVersion) {
-		return err
-	} else {
+	case errors.Is(ierr, itemsketch.ErrUnsupportedVersion):
+		return ierr
+	default:
 		fmt.Printf("envelope:   none (pre-envelope file)\n")
 	}
-	sk, err := decodeSketchBytes(raw)
+	if _, err := f.Seek(0, io.SeekStart); err != nil {
+		return err
+	}
+	sk, err := itemsketch.UnmarshalFrom(f)
+	if err != nil && errors.Is(err, itemsketch.ErrCorruptSketch) && ierr != nil {
+		// Not an envelope at all: fall back to the pre-envelope format.
+		sk, err = readSketchFile(*path)
+	}
 	if err != nil {
 		return err
 	}

@@ -1,9 +1,8 @@
 package itemsketch
 
 import (
-	"encoding/binary"
+	"bytes"
 	"fmt"
-	"hash/crc32"
 
 	"repro/internal/bitvec"
 	"repro/internal/core"
@@ -14,27 +13,54 @@ import (
 // length and corrupt or future-versioned payloads fail with typed
 // errors instead of misdecoding.
 //
-// Layout (all multi-byte fields little-endian):
+// Both versions share the 18-byte header family (all multi-byte fields
+// little-endian):
 //
 //	offset  size  field
 //	     0     4  magic "ISKB"
-//	     4     1  format version (EnvelopeVersion)
+//	     4     1  format version (1 or 2)
 //	     5     1  sketch kind (SketchKind; mirrors the payload tag)
 //	     6     8  payload length in bits — the paper's |S| measure
-//	    14     4  CRC-32 (IEEE) of the payload bytes
-//	    18     …  payload: the sketch bit stream, LSB-first packed
+//	    14     4  version-dependent trailer (see below)
+//	    18     …  payload
+//
+// Version 1 (legacy, still readable): the trailer is the CRC-32 (IEEE)
+// of the payload bytes and the payload is the raw sketch bit stream,
+// LSB-first packed, in one piece. Decoding must buffer the whole
+// payload before the checksum can be verified.
+//
+// Version 2 (written by this library): the trailer is
+//
+//	offset  size  field
+//	    14     1  flags (bit 0: payload stream is flate-compressed)
+//	    15     1  chunk capacity as log₂ bytes (chunk size = 1<<this)
+//	    16     2  header check: low 16 bits of CRC-32 (IEEE) of bytes 0–15
+//
+// and the payload is framed in chunks, each carrying its own length
+// and checksum:
+//
+//	offset  size  field
+//	     0     4  chunk data length L in bytes (0 terminates the payload)
+//	     4     4  CRC-32 (IEEE) of the L data bytes (0 for the terminator)
+//	     8     L  chunk data
+//
+// Every chunk except the last must be full (L = chunk capacity), so the
+// encoding is canonical; a zero-length terminator chunk closes the
+// payload. The chunk data, concatenated (and inflated when the
+// compressed flag is set), is the same LSB-first sketch bit stream
+// version 1 carries. Chunked framing is what makes UnmarshalFrom
+// streaming: the decoder holds at most one chunk at a time, and a
+// corrupted byte is reported at the offending chunk instead of after
+// reading the whole stream.
 //
 // The kind byte duplicates the payload's leading type tag so tools can
-// identify a sketch without decoding it; Unmarshal cross-checks the
-// two and rejects disagreement as corruption. The CRC covers every
-// payload byte (including the zero padding bits of the last byte), so
-// any single-bit flip past the header fails the checksum, and header
-// flips are caught by the magic/version/kind/length checks.
+// identify a sketch without decoding it; decoding cross-checks the two
+// and rejects disagreement as corruption.
 
 // EnvelopeVersion is the wire format version this library writes.
 // Decoding accepts exactly versions 1..EnvelopeVersion; newer versions
 // fail with ErrUnsupportedVersion.
-const EnvelopeVersion = 1
+const EnvelopeVersion = 2
 
 // envelopeHeaderLen is the fixed byte length of the envelope header.
 const envelopeHeaderLen = 18
@@ -46,7 +72,7 @@ var envelopeMagic = [4]byte{'I', 'S', 'K', 'B'}
 // versions.
 type SketchKind uint8
 
-// The sketch kinds of the version-1 wire format.
+// The sketch kinds of the wire format (shared by versions 1 and 2).
 const (
 	KindReleaseDB SketchKind = iota
 	KindReleaseAnswersIndicator
@@ -85,102 +111,77 @@ type Envelope struct {
 	// Kind identifies the sketching algorithm.
 	Kind SketchKind
 	// PayloadBits is the exact payload length in bits — the paper's
-	// space measure |S| (Definition 5), excluding envelope overhead.
+	// space measure |S| (Definition 5), excluding envelope overhead
+	// and before any compression.
 	PayloadBits int
-	// Checksum is the CRC-32 (IEEE) of the payload bytes.
+	// Checksum is the CRC-32 (IEEE) of the payload bytes. Version 1
+	// only; version 2 checksums each chunk separately and leaves this
+	// zero.
 	Checksum uint32
+	// Compressed reports whether the version-2 payload stream is
+	// flate-compressed. Always false for version 1.
+	Compressed bool
+	// ChunkBytes is the version-2 chunk capacity in bytes. Zero for
+	// version 1.
+	ChunkBytes int
+	// Chunks is the number of data chunks the version-2 payload spans.
+	// It is filled by Inspect/InspectFrom (which walk the chunk frames)
+	// and zero for version 1.
+	Chunks int
 }
 
-// Marshal serializes a sketch into the self-describing envelope. The
-// encoding is deterministic: the same sketch always produces the same
-// bytes, and Unmarshal followed by Marshal is byte-identical. The
-// paper's space measure |S| is s.SizeBits() (the payload bit length,
-// also recoverable from the envelope via Inspect).
+// Marshal serializes a sketch into the self-describing version-2
+// envelope. The encoding is deterministic: the same sketch always
+// produces the same bytes, and Unmarshal followed by Marshal is
+// byte-identical. The paper's space measure |S| is s.SizeBits() (the
+// payload bit length, also recoverable from the envelope via Inspect).
+//
+// Marshal is a thin wrapper over MarshalTo; it panics if s is not one
+// of this package's sketch types (such a sketch could never round-trip
+// through Unmarshal, which only produces the built-in kinds).
 func Marshal(s Sketch) []byte {
-	var w bitvec.Writer
-	s.MarshalBits(&w)
-	payload := w.Bytes()
-	buf := make([]byte, envelopeHeaderLen+len(payload))
-	copy(buf[0:4], envelopeMagic[:])
-	buf[4] = EnvelopeVersion
-	if len(payload) > 0 {
-		// The payload's first 4 bits (LSB-first) are the sketch type
-		// tag; surface it as the envelope kind byte.
-		buf[5] = payload[0] & 0x0f
+	var buf bytes.Buffer
+	if _, err := MarshalTo(&buf, s); err != nil {
+		// A bytes.Buffer never fails, so the only causes are a foreign
+		// sketch type or a Sketch whose SizeBits disagrees with its
+		// MarshalBits — both implementation bugs, not runtime inputs.
+		panic(fmt.Sprintf("itemsketch: Marshal(%T): %v", s, err))
 	}
-	binary.LittleEndian.PutUint64(buf[6:14], uint64(w.BitLen()))
-	binary.LittleEndian.PutUint32(buf[14:18], crc32.ChecksumIEEE(payload))
-	copy(buf[envelopeHeaderLen:], payload)
-	return buf
+	return buf.Bytes()
 }
 
-// Unmarshal decodes a sketch serialized by Marshal. It needs no
-// side-channel bit length: the envelope carries it. Corrupt data —
-// wrong magic, truncation, checksum mismatch, kind/payload
-// disagreement, or an undecodable payload — fails with an error
-// wrapping ErrCorruptSketch; an envelope from a newer format version
-// fails with ErrUnsupportedVersion.
+// Unmarshal decodes a sketch serialized by Marshal (either envelope
+// version). It needs no side-channel bit length: the envelope carries
+// it. Corrupt data — wrong magic, truncation, checksum mismatch,
+// kind/payload disagreement, trailing bytes, or an undecodable payload
+// — fails with an error wrapping ErrCorruptSketch (truncation
+// additionally wraps ErrTruncatedStream); an envelope from a newer
+// format version fails with ErrUnsupportedVersion.
 func Unmarshal(data []byte) (Sketch, error) {
-	env, payload, err := parseEnvelope(data)
+	br := bytes.NewReader(data)
+	sk, err := UnmarshalFrom(br)
 	if err != nil {
 		return nil, err
 	}
-	r := bitvec.NewReader(payload, env.PayloadBits)
-	sk, err := core.UnmarshalSketch(r)
-	if err != nil {
-		// Already wraps core.ErrCorruptSketch (== ErrCorruptSketch).
-		return nil, err
-	}
-	// The declared bit length must be exactly what the decoder
-	// consumed: trailing undeclared bits would survive decoding but
-	// vanish on re-marshal, breaking the byte-identity contract.
-	if r.Remaining() != 0 {
-		return nil, fmt.Errorf("%w: %d unconsumed payload bits after decoding", ErrCorruptSketch, r.Remaining())
-	}
-	if got := sketchKindOf(sk); got != env.Kind {
-		return nil, fmt.Errorf("%w: envelope kind %v but payload decodes as %v", ErrCorruptSketch, env.Kind, got)
+	if br.Len() != 0 {
+		return nil, fmt.Errorf("%w: %d trailing bytes after the envelope", ErrCorruptSketch, br.Len())
 	}
 	return sk, nil
 }
 
-// Inspect parses and validates an envelope header (including the
-// payload checksum) without decoding the sketch, so callers can
+// Inspect parses and validates an envelope (header, framing and
+// payload checksums) without decoding the sketch, so callers can
 // identify version, kind and size cheaply.
 func Inspect(data []byte) (Envelope, error) {
-	env, _, err := parseEnvelope(data)
-	return env, err
-}
-
-func parseEnvelope(data []byte) (Envelope, []byte, error) {
-	var env Envelope
-	if len(data) < envelopeHeaderLen {
-		return env, nil, fmt.Errorf("%w: %d bytes is shorter than the %d-byte envelope header", ErrCorruptSketch, len(data), envelopeHeaderLen)
+	br := bytes.NewReader(data)
+	env, err := InspectFrom(br)
+	if err != nil {
+		return env, err
 	}
-	if [4]byte(data[0:4]) != envelopeMagic {
-		return env, nil, fmt.Errorf("%w: bad magic %q", ErrCorruptSketch, data[0:4])
+	if br.Len() != 0 {
+		return env, fmt.Errorf("%w: %d trailing bytes after the envelope", ErrCorruptSketch, br.Len())
 	}
-	env.Version = int(data[4])
-	if env.Version > EnvelopeVersion {
-		return env, nil, fmt.Errorf("%w: envelope version %d, this library reads up to %d", ErrUnsupportedVersion, env.Version, EnvelopeVersion)
-	}
-	if env.Version == 0 {
-		return env, nil, fmt.Errorf("%w: envelope version 0", ErrCorruptSketch)
-	}
-	env.Kind = SketchKind(data[5])
-	if env.Kind >= numSketchKinds {
-		return env, nil, fmt.Errorf("%w: unknown sketch kind %d", ErrCorruptSketch, data[5])
-	}
-	bits := binary.LittleEndian.Uint64(data[6:14])
-	payload := data[envelopeHeaderLen:]
-	if bits > uint64(len(payload))*8 || (bits+7)/8 != uint64(len(payload)) {
-		return env, nil, fmt.Errorf("%w: envelope declares %d payload bits but carries %d bytes", ErrCorruptSketch, bits, len(payload))
-	}
-	env.PayloadBits = int(bits)
-	env.Checksum = binary.LittleEndian.Uint32(data[14:18])
-	if sum := crc32.ChecksumIEEE(payload); sum != env.Checksum {
-		return env, nil, fmt.Errorf("%w: payload checksum %08x, envelope says %08x", ErrCorruptSketch, sum, env.Checksum)
-	}
-	return env, payload, nil
+	return env, nil
 }
 
 // sketchKindOf maps a decoded sketch back to its wire kind. It mirrors

@@ -3,11 +3,31 @@ package itemsketch_test
 import (
 	"bytes"
 	"context"
+	"encoding/binary"
 	"errors"
+	"hash/crc32"
 	"testing"
 
 	itemsketch "repro"
 )
+
+// marshalV1 builds a version-1 envelope from the public raw encoding —
+// the exact byte layout the library wrote before envelope version 2 —
+// so compatibility tests have genuine v1 fixtures without the library
+// keeping a legacy writer.
+func marshalV1(sk itemsketch.Sketch) []byte {
+	payload, bits := itemsketch.MarshalRaw(sk)
+	buf := make([]byte, 18+len(payload))
+	copy(buf[0:4], "ISKB")
+	buf[4] = 1
+	if len(payload) > 0 {
+		buf[5] = payload[0] & 0x0f
+	}
+	binary.LittleEndian.PutUint64(buf[6:14], uint64(bits))
+	binary.LittleEndian.PutUint32(buf[14:18], crc32.ChecksumIEEE(payload))
+	copy(buf[18:], payload)
+	return buf
+}
 
 // buildAllKinds returns one built sketch per wire kind, keyed by the
 // expected SketchKind.
@@ -144,9 +164,14 @@ func TestUnmarshalRawCompat(t *testing.T) {
 		if back.Name() != sk.Name() {
 			t.Errorf("%v: name changed over raw round trip", kind)
 		}
-		wire := itemsketch.Marshal(sk)
-		if !bytes.Equal(wire[18:], data) {
-			t.Errorf("%v: envelope payload differs from raw encoding", kind)
+		// A version-1 envelope over the raw payload still decodes, and
+		// re-marshals to the same (version-2) bytes as the original.
+		v1back, err := itemsketch.Unmarshal(marshalV1(sk))
+		if err != nil {
+			t.Fatalf("%v: Unmarshal of v1 envelope: %v", kind, err)
+		}
+		if !bytes.Equal(itemsketch.Marshal(v1back), itemsketch.Marshal(sk)) {
+			t.Errorf("%v: v1 envelope decode re-marshals differently", kind)
 		}
 		if _, err := itemsketch.UnmarshalRaw(data, len(data)*8+1); !errors.Is(err, itemsketch.ErrCorruptSketch) {
 			t.Errorf("%v: oversized bit count: err = %v", kind, err)
@@ -175,6 +200,12 @@ func FuzzUnmarshalEnvelope(f *testing.F) {
 			f.Fatal(err)
 		}
 		f.Add(itemsketch.Marshal(sk))
+		f.Add(marshalV1(sk))
+		var comp bytes.Buffer
+		if _, err := itemsketch.MarshalTo(&comp, sk, itemsketch.WithCompression()); err != nil {
+			f.Fatal(err)
+		}
+		f.Add(comp.Bytes())
 	}
 	f.Add([]byte("ISKB"))
 	f.Add([]byte{})
@@ -186,9 +217,36 @@ func FuzzUnmarshalEnvelope(f *testing.F) {
 			}
 			return
 		}
-		wire := itemsketch.Marshal(sk)
-		if !bytes.Equal(wire, data) {
-			t.Fatalf("accepted payload does not re-marshal identically")
+		env, err := itemsketch.Inspect(data)
+		if err != nil {
+			t.Fatalf("decoded but Inspect fails: %v", err)
+		}
+		switch {
+		case env.Version == 1:
+			// Accepted v1 envelopes are canonical: rebuilding one from
+			// the decoded sketch reproduces the input bytes.
+			if !bytes.Equal(marshalV1(sk), data) {
+				t.Fatalf("accepted v1 envelope does not re-marshal identically")
+			}
+		case env.Compressed:
+			// Flate encodings are not canonical (many valid streams per
+			// payload), so require semantic identity: the sketch behind
+			// the stream is pinned by its uncompressed marshal.
+			back, err := itemsketch.Unmarshal(itemsketch.Marshal(sk))
+			if err != nil {
+				t.Fatalf("re-marshal of accepted compressed envelope: %v", err)
+			}
+			if !bytes.Equal(itemsketch.Marshal(back), itemsketch.Marshal(sk)) {
+				t.Fatalf("compressed envelope does not round-trip semantically")
+			}
+		default:
+			var wire bytes.Buffer
+			if _, err := itemsketch.MarshalTo(&wire, sk, itemsketch.WithChunkBytes(env.ChunkBytes)); err != nil {
+				t.Fatalf("re-marshal: %v", err)
+			}
+			if !bytes.Equal(wire.Bytes(), data) {
+				t.Fatalf("accepted v2 envelope does not re-marshal identically")
+			}
 		}
 	})
 }

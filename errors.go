@@ -35,4 +35,13 @@ var (
 	// ErrUnsupportedVersion marks an envelope written by a newer
 	// format version than this library understands.
 	ErrUnsupportedVersion = errors.New("itemsketch: unsupported sketch envelope version")
+	// ErrTruncatedStream marks a sketch stream that ended before
+	// delivering its declared payload: an interrupted transfer, a
+	// partially written file, or an envelope whose declared bit length
+	// exceeds what the stream actually carries. Truncation errors wrap
+	// both ErrTruncatedStream and ErrCorruptSketch, so callers that
+	// only dispatch on ErrCorruptSketch keep catching them, while
+	// callers that want to retry the transfer can match the narrower
+	// sentinel.
+	ErrTruncatedStream = errors.New("itemsketch: truncated sketch stream")
 )

@@ -244,7 +244,7 @@ func ExampleUnmarshal() {
 	_, err = itemsketch.Unmarshal(wire)
 	fmt.Println("corrupt payload rejected:", errors.Is(err, itemsketch.ErrCorruptSketch))
 	// Output:
-	// envelope v1: subsample
+	// envelope v2: subsample
 	// frequent {0,2}: true
 	// corrupt payload rejected: true
 }

@@ -7,6 +7,7 @@
 package main
 
 import (
+	"bytes"
 	"context"
 	"fmt"
 	"log"
@@ -83,6 +84,49 @@ func main() {
 	}
 	fmt.Printf("microdata: %.1f KB; published sketch: %.1f KB\n\n",
 		float64(db.SizeBits())/8192, float64(sk.SizeBits())/8192)
+
+	// Ship it: the sketch streams to its chunked wire form
+	// (itemsketch.MarshalTo) without ever materializing the payload —
+	// the path a curator takes when the sketch itself is too big for
+	// one []byte. Census attributes are heavily correlated, so the
+	// optional flate compression buys a real factor on the wire; the
+	// RELEASE-DB checkpoint of the full microdata (the other artifact a
+	// curator archives) compresses even harder.
+	var plain, packed bytes.Buffer
+	if _, err := itemsketch.MarshalTo(&plain, sk); err != nil {
+		log.Fatal(err)
+	}
+	if _, err := itemsketch.MarshalTo(&packed, sk, itemsketch.WithCompression()); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("wire: %.1f KB plain, %.1f KB compressed (%.2fx)\n",
+		float64(plain.Len())/1024, float64(packed.Len())/1024,
+		float64(plain.Len())/float64(packed.Len()))
+	rdb, _, err := itemsketch.Build(context.Background(), db,
+		itemsketch.WithK(3), itemsketch.WithEps(0.005), itemsketch.WithDelta(0.01),
+		itemsketch.WithMode(itemsketch.ForAll),
+		itemsketch.WithAlgorithm(itemsketch.ReleaseDB{}))
+	if err != nil {
+		log.Fatal(err)
+	}
+	var rplain, rpacked bytes.Buffer
+	if _, err := itemsketch.MarshalTo(&rplain, rdb); err != nil {
+		log.Fatal(err)
+	}
+	if _, err := itemsketch.MarshalTo(&rpacked, rdb, itemsketch.WithCompression()); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("release-db checkpoint: %.1f KB plain, %.1f KB compressed (%.2fx)\n\n",
+		float64(rplain.Len())/1024, float64(rpacked.Len())/1024,
+		float64(rplain.Len())/float64(rpacked.Len()))
+
+	// Every user decodes the same stream back — one chunk of buffering,
+	// any io.Reader source.
+	decoded, err := itemsketch.UnmarshalFrom(bytes.NewReader(packed.Bytes()))
+	if err != nil {
+		log.Fatal(err)
+	}
+	sk = decoded.(itemsketch.EstimatorSketch)
 
 	// A user rebuilds the (married, homeowner) 2-way marginal table.
 	table := marginal(sk, []int{attrMarried, attrHomeowner})

@@ -283,14 +283,14 @@ func (v *Vector) String() string {
 func (v *Vector) Words() []uint64 { return v.words }
 
 // AppendTo writes the vector's bits to w, in index order.
-func (v *Vector) AppendTo(w *Writer) {
+func (v *Vector) AppendTo(w BitWriter) {
 	for i := 0; i < v.n; i++ {
 		w.WriteBit(v.Get(i))
 	}
 }
 
 // ReadVector reads an n-bit vector from r.
-func ReadVector(r *Reader, n int) (*Vector, error) {
+func ReadVector(r BitReader, n int) (*Vector, error) {
 	v := New(n)
 	for i := 0; i < n; i++ {
 		b, err := r.ReadBit()

@@ -1,0 +1,128 @@
+package bitvec
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"testing"
+	"testing/iotest"
+)
+
+// writeMixed drives a BitWriter through every write shape with a
+// deterministic pattern.
+func writeMixed(w BitWriter, n int) {
+	for i := 0; i < n; i++ {
+		switch i % 3 {
+		case 0:
+			w.WriteBit(i%5 == 0)
+		case 1:
+			w.WriteUint(uint64(i)*0x9e3779b97f4a7c15, 1+i%64)
+		default:
+			w.WriteBytes([]byte{byte(i), byte(i >> 3)})
+		}
+	}
+}
+
+// TestIOWriterMatchesWriter pins the streaming writer to the in-memory
+// one: identical bit sequences produce identical bytes and BitLen.
+func TestIOWriterMatchesWriter(t *testing.T) {
+	var mem Writer
+	writeMixed(&mem, 500)
+	var buf bytes.Buffer
+	iw := NewIOWriter(&buf)
+	writeMixed(iw, 500)
+	if iw.BitLen() != mem.BitLen() {
+		t.Fatalf("BitLen %d vs %d", iw.BitLen(), mem.BitLen())
+	}
+	if err := iw.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := iw.Close(); err != nil { // idempotent
+		t.Fatal(err)
+	}
+	if !bytes.Equal(buf.Bytes(), mem.Bytes()) {
+		t.Fatalf("streamed bytes differ from in-memory bytes")
+	}
+}
+
+// TestIOReaderMatchesReader pins the streaming reader to the in-memory
+// one across read shapes and underlying reader granularities.
+func TestIOReaderMatchesReader(t *testing.T) {
+	var mem Writer
+	writeMixed(&mem, 500)
+	data, nbits := mem.Bytes(), mem.BitLen()
+	for name, src := range map[string]io.Reader{
+		"whole":   bytes.NewReader(data),
+		"onebyte": iotest.OneByteReader(bytes.NewReader(data)),
+		"half":    iotest.HalfReader(bytes.NewReader(data)),
+	} {
+		ref := NewReader(data, nbits)
+		got := NewIOReader(src, nbits)
+		for i := 0; got.Remaining() > 0; i++ {
+			if got.Remaining() != ref.Remaining() {
+				t.Fatalf("%s: Remaining %d vs %d", name, got.Remaining(), ref.Remaining())
+			}
+			switch i % 3 {
+			case 0:
+				a, errA := ref.ReadBit()
+				b, errB := got.ReadBit()
+				if a != b || (errA == nil) != (errB == nil) {
+					t.Fatalf("%s: ReadBit %v/%v vs %v/%v", name, a, errA, b, errB)
+				}
+			case 1:
+				n := 1 + i%64
+				if n > ref.Remaining() {
+					n = ref.Remaining()
+				}
+				a, errA := ref.ReadUint(n)
+				b, errB := got.ReadUint(n)
+				if a != b || (errA == nil) != (errB == nil) {
+					t.Fatalf("%s: ReadUint(%d) %x/%v vs %x/%v", name, n, a, errA, b, errB)
+				}
+			default:
+				n := i % 4
+				if n*8 > ref.Remaining() {
+					n = 0
+				}
+				a, errA := ref.ReadBytes(n)
+				b, errB := got.ReadBytes(n)
+				if !bytes.Equal(a, b) || (errA == nil) != (errB == nil) {
+					t.Fatalf("%s: ReadBytes(%d) mismatch", name, n)
+				}
+			}
+		}
+		if _, err := got.ReadBit(); !errors.Is(err, ErrShortStream) {
+			t.Fatalf("%s: read past declared end: %v", name, err)
+		}
+	}
+}
+
+// TestIOReaderUnderlyingTruncation asserts a source that ends before
+// the declared bit count fails with io.ErrUnexpectedEOF (the signal
+// the envelope layer maps to its truncation sentinel) and never
+// touches the source past the declared length.
+func TestIOReaderUnderlyingTruncation(t *testing.T) {
+	data := bytes.Repeat([]byte{0xa5}, 100)
+	r := NewIOReader(bytes.NewReader(data[:40]), 100*8)
+	var lastErr error
+	for i := 0; i < 100*8; i++ {
+		if _, err := r.ReadBit(); err != nil {
+			lastErr = err
+			break
+		}
+	}
+	if !errors.Is(lastErr, io.ErrUnexpectedEOF) {
+		t.Fatalf("truncated source: err = %v, want io.ErrUnexpectedEOF", lastErr)
+	}
+
+	// Declared length caps the bytes pulled from the source: after
+	// reading all declared bits, the byte past the end is untouched.
+	src := bytes.NewReader(data)
+	r = NewIOReader(src, 24)
+	if _, err := r.ReadUint(24); err != nil {
+		t.Fatal(err)
+	}
+	if r.BytesRead() != 3 || src.Len() != 97 {
+		t.Fatalf("read %d bytes (src has %d left), want exactly the 3 declared", r.BytesRead(), src.Len())
+	}
+}

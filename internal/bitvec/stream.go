@@ -3,11 +3,45 @@ package bitvec
 import (
 	"errors"
 	"fmt"
+	"io"
 )
 
 // ErrShortStream is returned by Reader methods when the stream is
 // exhausted before the requested number of bits could be read.
 var ErrShortStream = errors.New("bitvec: read past end of bit stream")
+
+// BitWriter is the sink side of sketch serialization: an LSB-first bit
+// stream accepting individual bits, fixed-width integers and raw bytes.
+// Writer (in-memory) and IOWriter (streaming to an io.Writer) both
+// implement it, so codecs encode once and run over either.
+type BitWriter interface {
+	// WriteBit appends one bit.
+	WriteBit(b bool)
+	// WriteUint appends the low `bits` bits of v, least significant
+	// first. bits must be in [0, 64].
+	WriteUint(v uint64, bits int)
+	// WriteBytes appends the bytes of p as 8·len(p) bits.
+	WriteBytes(p []byte)
+	// BitLen returns the number of bits written so far.
+	BitLen() int
+}
+
+// BitReader is the source side of sketch deserialization: a bounded
+// LSB-first bit stream. Reader (over an in-memory slice) and IOReader
+// (incremental, over an io.Reader) both implement it, so decoders never
+// require the full payload up front.
+type BitReader interface {
+	// ReadBit reads one bit.
+	ReadBit() (bool, error)
+	// ReadUint reads `bits` bits as an unsigned integer, least
+	// significant bit first. bits must be in [0, 64].
+	ReadUint(bits int) (uint64, error)
+	// ReadBytes reads 8·n bits as n bytes.
+	ReadBytes(n int) ([]byte, error)
+	// Remaining returns the number of unread bits before the declared
+	// end of the stream.
+	Remaining() int
+}
 
 // Writer accumulates a bit stream. Bits are packed LSB-first within each
 // byte. The zero value is ready to use.
@@ -36,6 +70,16 @@ func (w *Writer) WriteUint(v uint64, bits int) {
 	if bits < 0 || bits > 64 {
 		panic(fmt.Sprintf("bitvec: WriteUint bits=%d out of range", bits))
 	}
+	// Byte-aligned fast path: whole bytes append directly. Encoders
+	// write mostly 8·k-bit fields from byte boundaries (rows, counts),
+	// so this is the hot case.
+	if w.nbit%8 == 0 && bits%8 == 0 {
+		for i := 0; i < bits; i += 8 {
+			w.buf = append(w.buf, byte(v>>uint(i)))
+		}
+		w.nbit += bits
+		return
+	}
 	for i := 0; i < bits; i++ {
 		w.WriteBit(v>>uint(i)&1 == 1)
 	}
@@ -54,6 +98,29 @@ func (w *Writer) BitLen() int { return w.nbit }
 // Bytes returns the packed stream. The final byte is zero-padded.
 // The returned slice aliases the writer's buffer.
 func (w *Writer) Bytes() []byte { return w.buf }
+
+// SizeWriter is a BitWriter that counts bits without storing them, so
+// exact encoded sizes (the paper's |S|) cost no allocation and no
+// buffering — the counting pass of a streaming encode. The zero value
+// is ready to use.
+type SizeWriter struct{ nbit int }
+
+// WriteBit implements BitWriter.
+func (w *SizeWriter) WriteBit(bool) { w.nbit++ }
+
+// WriteUint implements BitWriter.
+func (w *SizeWriter) WriteUint(_ uint64, bits int) {
+	if bits < 0 || bits > 64 {
+		panic(fmt.Sprintf("bitvec: WriteUint bits=%d out of range", bits))
+	}
+	w.nbit += bits
+}
+
+// WriteBytes implements BitWriter.
+func (w *SizeWriter) WriteBytes(p []byte) { w.nbit += 8 * len(p) }
+
+// BitLen implements BitWriter.
+func (w *SizeWriter) BitLen() int { return w.nbit }
 
 // Reader consumes a bit stream produced by Writer.
 type Reader struct {
@@ -90,6 +157,15 @@ func (r *Reader) ReadUint(bits int) (uint64, error) {
 	if bits < 0 || bits > 64 {
 		panic(fmt.Sprintf("bitvec: ReadUint bits=%d out of range", bits))
 	}
+	// Byte-aligned fast path mirroring Writer.WriteUint.
+	if r.pos%8 == 0 && bits%8 == 0 && r.pos+bits <= r.nbit {
+		var v uint64
+		for i := 0; i < bits; i += 8 {
+			v |= uint64(r.buf[r.pos/8]) << uint(i)
+			r.pos += 8
+		}
+		return v, nil
+	}
 	var v uint64
 	for i := 0; i < bits; i++ {
 		b, err := r.ReadBit()
@@ -118,3 +194,237 @@ func (r *Reader) ReadBytes(n int) ([]byte, error) {
 
 // Remaining returns the number of unread bits.
 func (r *Reader) Remaining() int { return r.nbit - r.pos }
+
+// ioBufBytes is the read-ahead / write-behind window of the streaming
+// bit adapters. It bounds their working set independently of the stream
+// length; the envelope layer's chunk framing bounds the layer below.
+const ioBufBytes = 4096
+
+// IOReader is a BitReader that pulls bytes from an io.Reader on demand,
+// so decoding a stream buffers at most ioBufBytes here regardless of
+// payload size. The total bit length must be declared up front (the
+// wire envelope carries it); reads past it fail with ErrShortStream
+// without touching the underlying reader, and an underlying stream that
+// ends before delivering all declared bits fails with an error wrapping
+// io.ErrUnexpectedEOF.
+type IOReader struct {
+	src   io.Reader
+	nbit  int // declared total bits
+	pos   int // consumed bits
+	buf   []byte
+	r, w  int   // valid window is buf[r:w]
+	nread int   // bytes pulled from src so far
+	err   error // sticky underlying error
+}
+
+// NewIOReader returns an IOReader over the first nbits bits of src.
+// nbits must be non-negative.
+func NewIOReader(src io.Reader, nbits int) *IOReader {
+	if nbits < 0 {
+		panic("bitvec: NewIOReader negative bit count")
+	}
+	return &IOReader{src: src, nbit: nbits, buf: make([]byte, ioBufBytes)}
+}
+
+// fill refreshes the window. It is only called at byte boundaries
+// (pos%8 == 0) with the window empty, and never requests more bytes
+// from src than the declared bit length still covers.
+func (x *IOReader) fill() error {
+	if x.err != nil {
+		return x.err
+	}
+	// Overflow-safe ceil-division: nbit may be hostile header input
+	// near MaxInt, where nbit-pos+7 would wrap negative.
+	remaining := x.nbit - x.pos
+	want := remaining / 8
+	if remaining%8 != 0 {
+		want++
+	}
+	if want > len(x.buf) {
+		want = len(x.buf)
+	}
+	n, err := io.ReadFull(x.src, x.buf[:want])
+	x.r, x.w = 0, n
+	x.nread += n
+	if n > 0 {
+		// Serve what arrived; a short read's error resurfaces on the
+		// next fill.
+		if err != nil && err != io.ErrUnexpectedEOF && err != io.EOF {
+			x.err = err
+		}
+		return nil
+	}
+	if err == io.EOF || err == io.ErrUnexpectedEOF {
+		err = fmt.Errorf("%w: stream ended with %d of %d declared payload bits undelivered", io.ErrUnexpectedEOF, x.nbit-x.pos, x.nbit)
+	}
+	x.err = err
+	return err
+}
+
+// ReadBit implements BitReader.
+func (x *IOReader) ReadBit() (bool, error) {
+	if x.pos >= x.nbit {
+		return false, ErrShortStream
+	}
+	if x.r == x.w {
+		if err := x.fill(); err != nil {
+			return false, err
+		}
+	}
+	b := x.buf[x.r]>>(uint(x.pos)%8)&1 == 1
+	x.pos++
+	if x.pos%8 == 0 {
+		x.r++
+	}
+	return b, nil
+}
+
+// ReadUint implements BitReader.
+func (x *IOReader) ReadUint(bits int) (uint64, error) {
+	if bits < 0 || bits > 64 {
+		panic(fmt.Sprintf("bitvec: ReadUint bits=%d out of range", bits))
+	}
+	// Byte-aligned fast path: assemble whole bytes from the window.
+	if x.pos%8 == 0 && bits%8 == 0 && x.pos+bits <= x.nbit {
+		var v uint64
+		for i := 0; i < bits; i += 8 {
+			if x.r == x.w {
+				if err := x.fill(); err != nil {
+					return 0, err
+				}
+			}
+			v |= uint64(x.buf[x.r]) << uint(i)
+			x.r++
+			x.pos += 8
+		}
+		return v, nil
+	}
+	var v uint64
+	for i := 0; i < bits; i++ {
+		b, err := x.ReadBit()
+		if err != nil {
+			return 0, err
+		}
+		if b {
+			v |= 1 << uint(i)
+		}
+	}
+	return v, nil
+}
+
+// ReadBytes implements BitReader.
+func (x *IOReader) ReadBytes(n int) ([]byte, error) {
+	out := make([]byte, n)
+	for i := range out {
+		v, err := x.ReadUint(8)
+		if err != nil {
+			return nil, err
+		}
+		out[i] = byte(v)
+	}
+	return out, nil
+}
+
+// Remaining implements BitReader.
+func (x *IOReader) Remaining() int { return x.nbit - x.pos }
+
+// BytesRead reports how many bytes have been pulled from the
+// underlying reader so far (consumed bits plus read-ahead), letting
+// callers distinguish a stream that never carried its declared bytes
+// from one that carried bits the decoder did not consume.
+func (x *IOReader) BytesRead() int { return x.nread }
+
+// IOWriter is a BitWriter that streams its bytes to an io.Writer
+// through a fixed ioBufBytes window, so encoding never materializes the
+// payload. Write errors are sticky and surface from Close (the
+// BitWriter methods are error-free by contract); Close flushes the
+// zero-padded final byte.
+type IOWriter struct {
+	dst    io.Writer
+	buf    []byte
+	cur    byte // partial byte under construction
+	nbit   int
+	closed bool
+	err    error
+}
+
+// NewIOWriter returns an IOWriter streaming to dst.
+func NewIOWriter(dst io.Writer) *IOWriter {
+	return &IOWriter{dst: dst, buf: make([]byte, 0, ioBufBytes)}
+}
+
+func (w *IOWriter) flush() {
+	if w.err == nil && len(w.buf) > 0 {
+		_, w.err = w.dst.Write(w.buf)
+	}
+	w.buf = w.buf[:0]
+}
+
+// WriteBit implements BitWriter.
+func (w *IOWriter) WriteBit(b bool) {
+	if b {
+		w.cur |= 1 << (uint(w.nbit) % 8)
+	}
+	w.nbit++
+	if w.nbit%8 == 0 {
+		w.buf = append(w.buf, w.cur)
+		w.cur = 0
+		if len(w.buf) == cap(w.buf) {
+			w.flush()
+		}
+	}
+}
+
+// WriteUint implements BitWriter.
+func (w *IOWriter) WriteUint(v uint64, bits int) {
+	if bits < 0 || bits > 64 {
+		panic(fmt.Sprintf("bitvec: WriteUint bits=%d out of range", bits))
+	}
+	// Byte-aligned fast path: whole bytes go straight into the window.
+	if w.nbit%8 == 0 && bits%8 == 0 {
+		for i := 0; i < bits; i += 8 {
+			w.buf = append(w.buf, byte(v>>uint(i)))
+			if len(w.buf) == cap(w.buf) {
+				w.flush()
+			}
+		}
+		w.nbit += bits
+		return
+	}
+	for i := 0; i < bits; i++ {
+		w.WriteBit(v>>uint(i)&1 == 1)
+	}
+}
+
+// WriteBytes implements BitWriter.
+func (w *IOWriter) WriteBytes(p []byte) {
+	for _, b := range p {
+		w.WriteUint(uint64(b), 8)
+	}
+}
+
+// BitLen implements BitWriter.
+func (w *IOWriter) BitLen() int { return w.nbit }
+
+// Close flushes any buffered bytes, including the zero-padded final
+// partial byte, and returns the first write error encountered. It does
+// not close the underlying writer.
+func (w *IOWriter) Close() error {
+	if !w.closed {
+		w.closed = true
+		if w.nbit%8 != 0 {
+			w.buf = append(w.buf, w.cur)
+			w.cur = 0
+		}
+		w.flush()
+	}
+	return w.err
+}
+
+var (
+	_ BitReader = (*Reader)(nil)
+	_ BitReader = (*IOReader)(nil)
+	_ BitWriter = (*Writer)(nil)
+	_ BitWriter = (*IOWriter)(nil)
+	_ BitWriter = (*SizeWriter)(nil)
+)

@@ -162,7 +162,7 @@ func Wrap(n int, words []uint64) Vector {
 
 // WriteWords appends the first n bits of words to w in index order,
 // producing the identical stream to writing each bit individually.
-func WriteWords(w *Writer, words []uint64, n int) {
+func WriteWords(w BitWriter, words []uint64, n int) {
 	for i := 0; n > 0; i++ {
 		bitsHere := n
 		if bitsHere > wordBits {
@@ -175,7 +175,7 @@ func WriteWords(w *Writer, words []uint64, n int) {
 
 // ReadWords reads n bits from r into words (which must hold at least
 // wordsFor(n) words), in index order.
-func ReadWords(r *Reader, words []uint64, n int) error {
+func ReadWords(r BitReader, words []uint64, n int) error {
 	for i := 0; n > 0; i++ {
 		bitsHere := n
 		if bitsHere > wordBits {

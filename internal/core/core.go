@@ -139,7 +139,7 @@ type Sketch interface {
 	// the paper's |S(D, k, ε, δ)|.
 	SizeBits() int64
 	// MarshalBits appends a self-describing encoding of the sketch.
-	MarshalBits(w *bitvec.Writer)
+	MarshalBits(w bitvec.BitWriter)
 	// Params returns the parameters the sketch was built for.
 	Params() Params
 	// Name identifies the producing algorithm.
@@ -203,7 +203,7 @@ func checkDims(db *dataset.Database, p Params) error {
 // paramsBits is the serialized size of a Params header.
 const paramsBits = 16 + 64 + 64 + 1 + 1
 
-func marshalParams(w *bitvec.Writer, p Params) {
+func marshalParams(w bitvec.BitWriter, p Params) {
 	w.WriteUint(uint64(p.K), 16)
 	w.WriteUint(math.Float64bits(p.Eps), 64)
 	w.WriteUint(math.Float64bits(p.Delta), 64)
@@ -211,7 +211,7 @@ func marshalParams(w *bitvec.Writer, p Params) {
 	w.WriteUint(uint64(p.Task), 1)
 }
 
-func unmarshalParams(r *bitvec.Reader) (Params, error) {
+func unmarshalParams(r bitvec.BitReader) (Params, error) {
 	var p Params
 	k, err := r.ReadUint(16)
 	if err != nil {
@@ -257,10 +257,10 @@ const tagBits = 4
 
 // UnmarshalSketch decodes any sketch written by a MarshalBits method in
 // this package. Decoding failures wrap ErrCorruptSketch.
-func UnmarshalSketch(r *bitvec.Reader) (Sketch, error) {
+func UnmarshalSketch(r bitvec.BitReader) (Sketch, error) {
 	tag, err := r.ReadUint(tagBits)
 	if err != nil {
-		return nil, fmt.Errorf("%w: %v", ErrCorruptSketch, err)
+		return nil, fmt.Errorf("%w: %w", ErrCorruptSketch, err)
 	}
 	var s Sketch
 	switch tag {
@@ -279,8 +279,10 @@ func UnmarshalSketch(r *bitvec.Reader) (Sketch, error) {
 	default:
 		return nil, fmt.Errorf("%w: unknown sketch tag %d", ErrCorruptSketch, tag)
 	}
+	// Wrap with %w so stream-level causes (a chunk CRC failure, an
+	// io.ErrUnexpectedEOF truncation) stay matchable through the chain.
 	if err != nil && !errors.Is(err, ErrCorruptSketch) {
-		err = fmt.Errorf("%w: %v", ErrCorruptSketch, err)
+		err = fmt.Errorf("%w: %w", ErrCorruptSketch, err)
 	}
 	if err != nil {
 		return nil, err
@@ -288,11 +290,13 @@ func UnmarshalSketch(r *bitvec.Reader) (Sketch, error) {
 	return s, nil
 }
 
-// MarshaledSizeBits returns the exact encoded size of s by serializing
-// it into a throwaway writer. Implementations use it to define SizeBits
-// so the reported size can never drift from the real encoding.
+// MarshaledSizeBits returns the exact encoded size of s by running its
+// encoder against a counting writer — no bytes are materialized.
+// Implementations use it to define SizeBits so the reported size can
+// never drift from the real encoding, and the streaming marshal uses
+// it as the allocation-free sizing pass before the framed encode.
 func MarshaledSizeBits(s Sketch) int64 {
-	var w bitvec.Writer
+	var w bitvec.SizeWriter
 	s.MarshalBits(&w)
 	return int64(w.BitLen())
 }

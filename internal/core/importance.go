@@ -211,7 +211,7 @@ func (s *importanceSketch) SampleRows() int { return s.sample.NumRows() }
 
 func (s *importanceSketch) SizeBits() int64 { return MarshaledSizeBits(s) }
 
-func (s *importanceSketch) MarshalBits(w *bitvec.Writer) {
+func (s *importanceSketch) MarshalBits(w bitvec.BitWriter) {
 	w.WriteUint(tagImportance, tagBits)
 	marshalParams(w, s.params)
 	w.WriteUint(uint64(s.d), 32)
@@ -243,7 +243,7 @@ func dequantizeWeight(q uint64) float64 {
 	return math.Exp2(float64(q)/512 - 64)
 }
 
-func unmarshalImportance(r *bitvec.Reader) (Sketch, error) {
+func unmarshalImportance(r bitvec.BitReader) (Sketch, error) {
 	p, err := unmarshalParams(r)
 	if err != nil {
 		return nil, err

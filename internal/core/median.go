@@ -189,7 +189,7 @@ func (s *medianSketch) NumCopies() int { return len(s.copies) }
 
 func (s *medianSketch) SizeBits() int64 { return MarshaledSizeBits(s) }
 
-func (s *medianSketch) MarshalBits(w *bitvec.Writer) {
+func (s *medianSketch) MarshalBits(w bitvec.BitWriter) {
 	w.WriteUint(tagMedian, tagBits)
 	marshalParams(w, s.params)
 	w.WriteUint(math.Float64bits(s.baseDelta), 64)
@@ -199,7 +199,7 @@ func (s *medianSketch) MarshalBits(w *bitvec.Writer) {
 	}
 }
 
-func unmarshalMedian(r *bitvec.Reader) (Sketch, error) {
+func unmarshalMedian(r bitvec.BitReader) (Sketch, error) {
 	p, err := unmarshalParams(r)
 	if err != nil {
 		return nil, err

@@ -119,14 +119,14 @@ func (s *releaseAnswersIndicator) FrequentErr(t dataset.Itemset) (bool, error) {
 
 func (s *releaseAnswersIndicator) SizeBits() int64 { return MarshaledSizeBits(s) }
 
-func (s *releaseAnswersIndicator) MarshalBits(w *bitvec.Writer) {
+func (s *releaseAnswersIndicator) MarshalBits(w bitvec.BitWriter) {
 	w.WriteUint(tagReleaseAnswersIndicator, tagBits)
 	marshalParams(w, s.params)
 	w.WriteUint(uint64(s.d), 32)
 	s.bits.AppendTo(w)
 }
 
-func unmarshalReleaseAnswersIndicator(r *bitvec.Reader) (Sketch, error) {
+func unmarshalReleaseAnswersIndicator(r bitvec.BitReader) (Sketch, error) {
 	p, err := unmarshalParams(r)
 	if err != nil {
 		return nil, err
@@ -190,7 +190,7 @@ func (s *releaseAnswersEstimator) Frequent(t dataset.Itemset) bool {
 
 func (s *releaseAnswersEstimator) SizeBits() int64 { return MarshaledSizeBits(s) }
 
-func (s *releaseAnswersEstimator) MarshalBits(w *bitvec.Writer) {
+func (s *releaseAnswersEstimator) MarshalBits(w bitvec.BitWriter) {
 	w.WriteUint(tagReleaseAnswersEstimator, tagBits)
 	marshalParams(w, s.params)
 	w.WriteUint(uint64(s.d), 32)
@@ -199,7 +199,7 @@ func (s *releaseAnswersEstimator) MarshalBits(w *bitvec.Writer) {
 	}
 }
 
-func unmarshalReleaseAnswersEstimator(r *bitvec.Reader) (Sketch, error) {
+func unmarshalReleaseAnswersEstimator(r bitvec.BitReader) (Sketch, error) {
 	p, err := unmarshalParams(r)
 	if err != nil {
 		return nil, err

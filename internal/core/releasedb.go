@@ -55,13 +55,13 @@ func (s *releaseDBSketch) Frequent(t dataset.Itemset) bool {
 
 func (s *releaseDBSketch) SizeBits() int64 { return MarshaledSizeBits(s) }
 
-func (s *releaseDBSketch) MarshalBits(w *bitvec.Writer) {
+func (s *releaseDBSketch) MarshalBits(w bitvec.BitWriter) {
 	w.WriteUint(tagReleaseDB, tagBits)
 	marshalParams(w, s.params)
 	s.db.MarshalBits(w)
 }
 
-func unmarshalReleaseDB(r *bitvec.Reader) (Sketch, error) {
+func unmarshalReleaseDB(r bitvec.BitReader) (Sketch, error) {
 	p, err := unmarshalParams(r)
 	if err != nil {
 		return nil, err

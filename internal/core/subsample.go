@@ -154,13 +154,13 @@ func (s *subsampleSketch) SampleRows() int { return s.sample.NumRows() }
 
 func (s *subsampleSketch) SizeBits() int64 { return MarshaledSizeBits(s) }
 
-func (s *subsampleSketch) MarshalBits(w *bitvec.Writer) {
+func (s *subsampleSketch) MarshalBits(w bitvec.BitWriter) {
 	w.WriteUint(tagSubsample, tagBits)
 	marshalParams(w, s.params)
 	s.sample.MarshalBits(w)
 }
 
-func unmarshalSubsample(r *bitvec.Reader) (Sketch, error) {
+func unmarshalSubsample(r bitvec.BitReader) (Sketch, error) {
 	p, err := unmarshalParams(r)
 	if err != nil {
 		return nil, err

@@ -735,7 +735,7 @@ func (db *Database) SizeBits() int64 {
 
 // MarshalBits writes the database to w: d and n as 32-bit counts
 // followed by the n·d row bits.
-func (db *Database) MarshalBits(w *bitvec.Writer) {
+func (db *Database) MarshalBits(w bitvec.BitWriter) {
 	w.WriteUint(uint64(db.d), 32)
 	w.WriteUint(uint64(db.n), 32)
 	for i := 0; i < db.n; i++ {
@@ -744,7 +744,7 @@ func (db *Database) MarshalBits(w *bitvec.Writer) {
 }
 
 // UnmarshalBits reads a database written by MarshalBits.
-func UnmarshalBits(r *bitvec.Reader) (*Database, error) {
+func UnmarshalBits(r bitvec.BitReader) (*Database, error) {
 	d, err := r.ReadUint(32)
 	if err != nil {
 		return nil, err

@@ -1,0 +1,248 @@
+package query
+
+import (
+	"context"
+	"errors"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/dataset"
+)
+
+// testDB builds a deterministic database over d attributes.
+func testDB(t testing.TB, d, rows int) *dataset.Database {
+	t.Helper()
+	db := dataset.NewDatabase(d)
+	for i := 0; i < rows; i++ {
+		db.AddRowAttrs(i%d, (i*7+1)%d, (i*13+2)%d)
+	}
+	return db
+}
+
+// dbSource adapts a database to the minimal Source shape (Database
+// itself exposes NumCols, not NumAttrs).
+type dbSource struct{ db *dataset.Database }
+
+func (s dbSource) Frequency(t dataset.Itemset) float64 { return s.db.Frequency(t) }
+func (s dbSource) NumAttrs() int                       { return s.db.NumCols() }
+
+// allPairs enumerates every 2-itemset over d attributes — enough to
+// span several batchChunk-sized chunks for d ≥ 33.
+func allPairs(d int) []dataset.Itemset {
+	var ts []dataset.Itemset
+	for i := 0; i < d; i++ {
+		for j := i + 1; j < d; j++ {
+			ts = append(ts, dataset.MustItemset(i, j))
+		}
+	}
+	return ts
+}
+
+// TestFromDatabaseMatchesFrequency pins the exact adapter: EstimateMany
+// over a multi-chunk batch returns bit-identical values to the serial
+// Frequency path, and Contains mirrors Count > 0.
+func TestFromDatabaseMatchesFrequency(t *testing.T) {
+	db := testDB(t, 56, 4000)
+	q := FromDatabase(db)
+	ts := allPairs(56)
+	if len(ts) <= 4*batchChunk {
+		t.Fatalf("want a batch spanning several chunks, got %d queries", len(ts))
+	}
+	out := make([]float64, len(ts))
+	ctx := context.Background()
+	if err := q.EstimateMany(ctx, ts, out); err != nil {
+		t.Fatal(err)
+	}
+	for i, T := range ts {
+		if want := db.Frequency(T); out[i] != want {
+			t.Fatalf("query %d: EstimateMany %g, Frequency %g", i, out[i], want)
+		}
+		single, err := q.Estimate(ctx, T)
+		if err != nil || single != out[i] {
+			t.Fatalf("query %d: Estimate %g (%v) vs batch %g", i, single, err, out[i])
+		}
+		has, err := q.Contains(ctx, T)
+		if err != nil || has != (db.Count(T) > 0) {
+			t.Fatalf("query %d: Contains %v (%v), Count %d", i, has, err, db.Count(T))
+		}
+	}
+	if q.NumAttrs() != 56 {
+		t.Errorf("NumAttrs = %d", q.NumAttrs())
+	}
+}
+
+// TestFromSketchShardedMatchesSerial is the chunk-sharding equivalence
+// check: the CPU-sharded EstimateMany of a sketch querier returns
+// exactly the values of one-at-a-time Estimate calls, in order.
+func TestFromSketchShardedMatchesSerial(t *testing.T) {
+	db := testDB(t, 56, 2000)
+	p := core.Params{K: 2, Eps: 0.1, Delta: 0.1, Mode: core.ForEach, Task: core.Estimator}
+	sk, err := core.Subsample{Seed: 3, SampleOverride: 500}.Sketch(db, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	es := sk.(core.EstimatorSketch)
+	q := FromSketch(sk)
+	ts := allPairs(56)
+	out := make([]float64, len(ts))
+	ctx := context.Background()
+	if err := q.EstimateMany(ctx, ts, out); err != nil {
+		t.Fatal(err)
+	}
+	for i, T := range ts {
+		if want := es.Estimate(T); out[i] != want {
+			t.Fatalf("query %d: sharded %g, serial %g", i, out[i], want)
+		}
+	}
+}
+
+// TestEstimateManyBatchValidation pins the parallel-slice check: a
+// length mismatch fails with core.ErrInvalidParams on every adapter.
+func TestEstimateManyBatchValidation(t *testing.T) {
+	db := testDB(t, 8, 50)
+	p := core.Params{K: 2, Eps: 0.2, Delta: 0.2, Mode: core.ForEach, Task: core.Estimator}
+	sk, err := core.Subsample{Seed: 1, SampleOverride: 20}.Sketch(db, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := allPairs(8)
+	for name, q := range map[string]Querier{
+		"database": FromDatabase(db),
+		"sketch":   FromSketch(sk),
+		"source":   FromSource(dbSource{db}),
+	} {
+		err := q.EstimateMany(context.Background(), ts, make([]float64, len(ts)-1))
+		if !errors.Is(err, core.ErrInvalidParams) {
+			t.Errorf("%s: err = %v, want ErrInvalidParams", name, err)
+		}
+	}
+}
+
+// TestFromSketchTaskAndSizeErrors pins the typed error surface:
+// indicator-only sketches refuse Estimate/EstimateMany with
+// ErrTaskMismatch, and RELEASE-ANSWERS rejects wrong-size itemsets
+// with ErrWrongItemsetSize instead of panicking.
+func TestFromSketchTaskAndSizeErrors(t *testing.T) {
+	db := testDB(t, 10, 200)
+	p := core.Params{K: 2, Eps: 0.2, Delta: 0.2, Mode: core.ForEach, Task: core.Indicator}
+	sk, err := core.ReleaseAnswers{}.Sketch(db, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	q := FromSketch(sk)
+	ctx := context.Background()
+	pair := dataset.MustItemset(1, 2)
+	if _, err := q.Estimate(ctx, pair); !errors.Is(err, core.ErrTaskMismatch) {
+		t.Errorf("Estimate on indicator sketch: %v", err)
+	}
+	if err := q.EstimateMany(ctx, []dataset.Itemset{pair}, make([]float64, 1)); !errors.Is(err, core.ErrTaskMismatch) {
+		t.Errorf("EstimateMany on indicator sketch: %v", err)
+	}
+	if _, err := q.Contains(ctx, dataset.MustItemset(1, 2, 3)); !errors.Is(err, core.ErrWrongItemsetSize) {
+		t.Errorf("wrong-size Contains: %v", err)
+	}
+	if _, err := q.Contains(ctx, pair); err != nil {
+		t.Errorf("right-size Contains: %v", err)
+	}
+}
+
+// TestCancelledContext pins the entry checks: an already-cancelled
+// context surfaces as ctx.Err() from every method of every adapter.
+func TestCancelledContext(t *testing.T) {
+	db := testDB(t, 12, 100)
+	p := core.Params{K: 2, Eps: 0.2, Delta: 0.2, Mode: core.ForEach, Task: core.Estimator}
+	sk, err := core.Subsample{Seed: 2, SampleOverride: 30}.Sketch(db, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	ts := allPairs(12)
+	out := make([]float64, len(ts))
+	for name, q := range map[string]Querier{
+		"database": FromDatabase(db),
+		"sketch":   FromSketch(sk),
+		"source":   FromSource(dbSource{db}),
+	} {
+		if _, err := q.Contains(ctx, ts[0]); !errors.Is(err, context.Canceled) {
+			t.Errorf("%s: Contains err = %v", name, err)
+		}
+		if _, err := q.Estimate(ctx, ts[0]); !errors.Is(err, context.Canceled) {
+			t.Errorf("%s: Estimate err = %v", name, err)
+		}
+		if err := q.EstimateMany(ctx, ts, out); !errors.Is(err, context.Canceled) {
+			t.Errorf("%s: EstimateMany err = %v", name, err)
+		}
+	}
+}
+
+// cancellingSource cancels its context after a fixed number of
+// Frequency calls and records every query index it served, in order.
+type cancellingSource struct {
+	d       int
+	cancel  context.CancelFunc
+	after   int
+	calls   int
+	served  []float64
+	nocancl bool
+}
+
+func (s *cancellingSource) NumAttrs() int { return s.d }
+
+func (s *cancellingSource) Frequency(t dataset.Itemset) float64 {
+	s.calls++
+	if !s.nocancl && s.calls == s.after {
+		s.cancel()
+	}
+	v := float64(s.calls)
+	s.served = append(s.served, v)
+	return v
+}
+
+// TestFromSourceMidBatchCancellation cancels the context from inside
+// the batch: EstimateMany must stop within one chunk of the
+// cancellation point and report ctx.Err(), not run the batch to
+// completion.
+func TestFromSourceMidBatchCancellation(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	src := &cancellingSource{d: 64, cancel: cancel, after: 300}
+	q := FromSource(src)
+	ts := allPairs(64) // 2016 queries ≫ the cancellation point
+	out := make([]float64, len(ts))
+	err := q.EstimateMany(ctx, ts, out)
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if src.calls >= len(ts) {
+		t.Errorf("batch ran to completion (%d calls) despite cancellation", src.calls)
+	}
+	// The context is checked between chunks, so at most the chunk in
+	// flight finishes after the cancel.
+	if max := ((src.after/batchChunk)+2)*batchChunk - 1; src.calls > max {
+		t.Errorf("%d calls after cancelling at %d; want ≤ %d (one chunk of slack)", src.calls, src.after, max)
+	}
+}
+
+// TestFromSourceSerialFallback pins the thread-safety contract: a
+// Source of unknown thread-safety is queried strictly serially and in
+// index order — the cancellingSource mutates itself without locks, so
+// any parallel issue would also trip the race detector.
+func TestFromSourceSerialFallback(t *testing.T) {
+	src := &cancellingSource{d: 64, nocancl: true}
+	q := FromSource(src)
+	ts := allPairs(64)
+	out := make([]float64, len(ts))
+	if err := q.EstimateMany(context.Background(), ts, out); err != nil {
+		t.Fatal(err)
+	}
+	if src.calls != len(ts) {
+		t.Fatalf("%d calls for %d queries", src.calls, len(ts))
+	}
+	for i, v := range out {
+		// Frequency returns its call sequence number, so in-order
+		// serial issue means out is exactly 1, 2, 3, ...
+		if v != float64(i+1) {
+			t.Fatalf("query %d served out of order: got sequence %g", i, v)
+		}
+	}
+}

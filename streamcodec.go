@@ -1,0 +1,670 @@
+package itemsketch
+
+import (
+	"compress/flate"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"math"
+
+	"repro/internal/bitvec"
+	"repro/internal/core"
+)
+
+// This file is the streaming side of the wire codec: MarshalTo,
+// UnmarshalFrom and InspectFrom move envelope version 2 over
+// io.Writer/io.Reader with bounded memory. The one-shot Marshal,
+// Unmarshal and Inspect in envelope.go are thin wrappers over these,
+// so there is exactly one codec.
+
+// DefaultChunkBytes is the chunk capacity MarshalTo uses unless
+// overridden with WithChunkBytes: large enough that frame overhead
+// (8 bytes per chunk) is negligible, small enough that decoding
+// buffers well under a hundred kilobytes.
+const DefaultChunkBytes = 64 * 1024
+
+const (
+	// minChunkLog..maxChunkLog bound the accepted chunk capacity
+	// (16 B .. 64 MiB). The lower bound keeps frame overhead sane, the
+	// upper bound caps how much memory a hostile header can make the
+	// decoder stage for a single chunk.
+	minChunkLog = 4
+	maxChunkLog = 26
+
+	// chunkFrameLen is the per-chunk frame: u32 data length + u32 CRC.
+	chunkFrameLen = 8
+
+	// flagCompressed marks a flate-compressed version-2 payload stream.
+	flagCompressed = 0x01
+
+	// chunkAllocStep caps how far the chunk buffer grows ahead of bytes
+	// actually delivered, so a frame declaring a large length cannot
+	// force a large allocation before the stream proves it has the data.
+	chunkAllocStep = 64 * 1024
+)
+
+// corruptf returns a corruption error wrapping ErrCorruptSketch.
+func corruptf(format string, args ...any) error {
+	return fmt.Errorf("%w: %s", ErrCorruptSketch, fmt.Sprintf(format, args...))
+}
+
+// truncatedf returns a truncation error wrapping both ErrCorruptSketch
+// (so corruption-only dispatch still catches it) and the narrower
+// ErrTruncatedStream.
+func truncatedf(format string, args ...any) error {
+	return fmt.Errorf("%w: %w: %s", ErrCorruptSketch, ErrTruncatedStream, fmt.Sprintf(format, args...))
+}
+
+// headerCheck returns the low 16 bits of the CRC-32 (IEEE) of the
+// first 16 header bytes — the version-2 header integrity field.
+func headerCheck(hdr []byte) uint16 {
+	return uint16(crc32.ChecksumIEEE(hdr[:16]))
+}
+
+// MarshalOption customizes MarshalTo. The zero configuration —
+// DefaultChunkBytes chunks, no compression — is what Marshal uses.
+type MarshalOption func(*marshalOptions) error
+
+type marshalOptions struct {
+	chunkBytes int
+	compress   bool
+}
+
+// WithChunkBytes sets the chunk capacity of the version-2 payload
+// framing. n must be a power of two in [16, 64·1024·1024]. Smaller
+// chunks detect corruption earlier and bound decoder memory tighter at
+// the price of 8 bytes of frame overhead per chunk.
+func WithChunkBytes(n int) MarshalOption {
+	return func(o *marshalOptions) error {
+		if n < 1<<minChunkLog || n > 1<<maxChunkLog || n&(n-1) != 0 {
+			return fmt.Errorf("%w: chunk size %d must be a power of two in [%d, %d]", ErrInvalidParams, n, 1<<minChunkLog, 1<<maxChunkLog)
+		}
+		o.chunkBytes = n
+		return nil
+	}
+}
+
+// WithCompression flate-compresses the payload stream before chunking.
+// Highly regular payloads — RELEASE-ANSWERS tables, RELEASE-DB over
+// skewed data — shrink severalfold; the declared payload bit length
+// (the paper's |S|) always refers to the uncompressed stream.
+func WithCompression() MarshalOption {
+	return func(o *marshalOptions) error {
+		o.compress = true
+		return nil
+	}
+}
+
+// countingWriter tracks bytes written through it.
+type countingWriter struct {
+	w io.Writer
+	n int64
+}
+
+func (cw *countingWriter) Write(p []byte) (int, error) {
+	n, err := cw.w.Write(p)
+	cw.n += int64(n)
+	return n, err
+}
+
+// chunkWriter frames its input into CRC-carrying chunks. Close flushes
+// the final (possibly short) chunk and appends the zero-length
+// terminator.
+type chunkWriter struct {
+	w   io.Writer
+	buf []byte // accumulating chunk; cap is the chunk capacity
+	err error
+}
+
+func newChunkWriter(w io.Writer, chunkBytes int) *chunkWriter {
+	return &chunkWriter{w: w, buf: make([]byte, 0, chunkBytes)}
+}
+
+func (cw *chunkWriter) Write(p []byte) (int, error) {
+	total := len(p)
+	for len(p) > 0 && cw.err == nil {
+		space := cap(cw.buf) - len(cw.buf)
+		if space == 0 {
+			cw.flush()
+			continue
+		}
+		take := len(p)
+		if take > space {
+			take = space
+		}
+		cw.buf = append(cw.buf, p[:take]...)
+		p = p[take:]
+	}
+	if cw.err != nil {
+		return total - len(p), cw.err
+	}
+	return total, nil
+}
+
+// flush emits the buffered bytes as one framed chunk.
+func (cw *chunkWriter) flush() {
+	if cw.err != nil || len(cw.buf) == 0 {
+		return
+	}
+	var frame [chunkFrameLen]byte
+	binary.LittleEndian.PutUint32(frame[0:4], uint32(len(cw.buf)))
+	binary.LittleEndian.PutUint32(frame[4:8], crc32.ChecksumIEEE(cw.buf))
+	if _, err := cw.w.Write(frame[:]); err != nil {
+		cw.err = err
+		return
+	}
+	if _, err := cw.w.Write(cw.buf); err != nil {
+		cw.err = err
+		return
+	}
+	cw.buf = cw.buf[:0]
+}
+
+// Close flushes the final chunk and writes the terminator frame. It
+// does not close the underlying writer.
+func (cw *chunkWriter) Close() error {
+	cw.flush()
+	if cw.err == nil {
+		var term [chunkFrameLen]byte // zero length, zero CRC
+		if _, err := cw.w.Write(term[:]); err != nil {
+			cw.err = err
+		}
+	}
+	return cw.err
+}
+
+// MarshalTo streams a sketch to w as a version-2 envelope and returns
+// the number of bytes written. The sketch is encoded incrementally —
+// the payload is never materialized in memory — and framed in
+// WithChunkBytes-sized chunks, each with its own CRC-32, optionally
+// flate-compressed (WithCompression). The output is deterministic for
+// a fixed option set, so re-marshaling a decoded sketch with the same
+// options is byte-identical.
+//
+// Errors from w are returned as-is; an s that is not one of this
+// package's sketch types fails with ErrInvalidParams.
+func MarshalTo(w io.Writer, s Sketch, opts ...MarshalOption) (int64, error) {
+	o := marshalOptions{chunkBytes: DefaultChunkBytes}
+	for _, opt := range opts {
+		if err := opt(&o); err != nil {
+			return 0, err
+		}
+	}
+	kind := sketchKindOf(s)
+	if kind >= numSketchKinds {
+		return 0, fmt.Errorf("%w: cannot marshal foreign sketch type %T", ErrInvalidParams, s)
+	}
+	bits := s.SizeBits()
+
+	var hdr [envelopeHeaderLen]byte
+	copy(hdr[0:4], envelopeMagic[:])
+	hdr[4] = EnvelopeVersion
+	hdr[5] = byte(kind)
+	binary.LittleEndian.PutUint64(hdr[6:14], uint64(bits))
+	if o.compress {
+		hdr[14] |= flagCompressed
+	}
+	hdr[15] = byte(math.Ilogb(float64(o.chunkBytes)))
+	binary.LittleEndian.PutUint16(hdr[16:18], headerCheck(hdr[:]))
+
+	cw := &countingWriter{w: w}
+	if _, err := cw.Write(hdr[:]); err != nil {
+		return cw.n, err
+	}
+	chunker := newChunkWriter(cw, o.chunkBytes)
+	var sink io.Writer = chunker
+	var fw *flate.Writer
+	if o.compress {
+		// DefaultCompression is deterministic for a fixed input, which
+		// the re-marshal byte-identity contract relies on.
+		fw, _ = flate.NewWriter(chunker, flate.DefaultCompression)
+		sink = fw
+	}
+	bw := bitvec.NewIOWriter(sink)
+	s.MarshalBits(bw)
+	if int64(bw.BitLen()) != bits {
+		return cw.n, fmt.Errorf("%w: sketch %T declared %d bits but encoded %d", ErrInvalidParams, s, bits, bw.BitLen())
+	}
+	if err := bw.Close(); err != nil {
+		return cw.n, err
+	}
+	if fw != nil {
+		if err := fw.Close(); err != nil {
+			return cw.n, err
+		}
+	}
+	return cw.n, chunker.Close()
+}
+
+// chunkReader un-frames a version-2 payload stream: it verifies each
+// chunk's length and CRC as it arrives and serves the de-framed bytes,
+// holding at most one chunk at a time. A clean io.EOF is only returned
+// after the zero-length terminator frame.
+type chunkReader struct {
+	r          io.Reader
+	chunkBytes int
+	buf        []byte // current chunk's data
+	pos        int    // read cursor into buf
+	idx        int    // chunks consumed so far
+	sawShort   bool   // a non-full chunk arrived; it must be the last
+	done       bool   // terminator seen
+	err        error  // sticky
+	// transportErr records a genuine I/O failure of the underlying
+	// reader (anything but end-of-stream), so the entry points can
+	// report it bare instead of letting the decode layers above
+	// mislabel it as a corrupt or truncated sketch.
+	transportErr error
+}
+
+func newChunkReader(r io.Reader, chunkBytes int) *chunkReader {
+	return &chunkReader{r: r, chunkBytes: chunkBytes}
+}
+
+func (cr *chunkReader) Read(p []byte) (int, error) {
+	if cr.err != nil {
+		return 0, cr.err
+	}
+	for cr.pos == len(cr.buf) {
+		if err := cr.next(); err != nil {
+			cr.err = err
+			return 0, err
+		}
+	}
+	n := copy(p, cr.buf[cr.pos:])
+	cr.pos += n
+	return n, nil
+}
+
+// ReadByte implements io.ByteReader. Because chunkReader provides it,
+// flate.NewReader uses the chunk stream directly instead of wrapping
+// it in a read-ahead bufio.Reader — so the flate layer never consumes
+// framed bytes past its own end-of-stream marker, and trailing garbage
+// stays detectable after decompression finishes.
+func (cr *chunkReader) ReadByte() (byte, error) {
+	if cr.err != nil {
+		return 0, cr.err
+	}
+	for cr.pos == len(cr.buf) {
+		if err := cr.next(); err != nil {
+			cr.err = err
+			return 0, err
+		}
+	}
+	b := cr.buf[cr.pos]
+	cr.pos++
+	return b, nil
+}
+
+// next loads the following chunk into cr.buf.
+func (cr *chunkReader) next() error {
+	if cr.done {
+		return io.EOF
+	}
+	var frame [chunkFrameLen]byte
+	if _, err := io.ReadFull(cr.r, frame[:]); err != nil {
+		if err == io.EOF || err == io.ErrUnexpectedEOF {
+			return truncatedf("stream ended inside the frame of chunk %d (missing terminator?)", cr.idx)
+		}
+		cr.transportErr = err
+		return err
+	}
+	length := int(binary.LittleEndian.Uint32(frame[0:4]))
+	sum := binary.LittleEndian.Uint32(frame[4:8])
+	if length == 0 {
+		if sum != 0 {
+			return corruptf("terminator frame carries nonzero checksum %08x", sum)
+		}
+		cr.done = true
+		return io.EOF
+	}
+	if length > cr.chunkBytes {
+		return corruptf("chunk %d declares %d bytes, chunk capacity is %d", cr.idx, length, cr.chunkBytes)
+	}
+	if cr.sawShort {
+		return corruptf("short chunk %d was not the final data chunk", cr.idx-1)
+	}
+	if err := cr.fill(length); err != nil {
+		return err
+	}
+	if got := crc32.ChecksumIEEE(cr.buf); got != sum {
+		return corruptf("chunk %d checksum %08x, frame says %08x", cr.idx, got, sum)
+	}
+	if length < cr.chunkBytes {
+		cr.sawShort = true
+	}
+	cr.pos = 0
+	cr.idx++
+	return nil
+}
+
+// fill reads the chunk's `length` data bytes into cr.buf, growing the
+// buffer at most chunkAllocStep ahead of the bytes actually delivered
+// so a hostile length cannot force a large allocation up front. The
+// buffer is reused across chunks, so steady-state decoding allocates
+// one chunk's worth of memory total.
+func (cr *chunkReader) fill(length int) error {
+	if cap(cr.buf) >= length {
+		cr.buf = cr.buf[:length]
+		if _, err := io.ReadFull(cr.r, cr.buf); err != nil {
+			return cr.dataErr(err, length)
+		}
+		return nil
+	}
+	cr.buf = cr.buf[:0]
+	for got := 0; got < length; {
+		step := length - got
+		if step > chunkAllocStep {
+			step = chunkAllocStep
+		}
+		if cap(cr.buf) < got+step {
+			// Geometric growth keeps the copying linear; the cap stays
+			// within 2× of the bytes actually delivered (and never past
+			// the chunk length), so a lying frame still cannot reserve
+			// much beyond what the stream has proven it carries.
+			newcap := 2 * cap(cr.buf)
+			if newcap < got+step {
+				newcap = got + step
+			}
+			if newcap > length {
+				newcap = length
+			}
+			nb := make([]byte, got, newcap)
+			copy(nb, cr.buf)
+			cr.buf = nb
+		}
+		cr.buf = cr.buf[:got+step]
+		if _, err := io.ReadFull(cr.r, cr.buf[got:]); err != nil {
+			return cr.dataErr(err, length)
+		}
+		got += step
+	}
+	return nil
+}
+
+// dataErr maps a failure while reading a chunk's data bytes: an end of
+// stream is a truncated chunk; any other error is a genuine I/O
+// failure, recorded as such so it passes through untouched (callers
+// can retry the transport instead of discarding the stream as
+// corrupt).
+func (cr *chunkReader) dataErr(err error, length int) error {
+	if err == io.EOF || err == io.ErrUnexpectedEOF {
+		return truncatedf("chunk %d truncated before its %d data bytes arrived", cr.idx, length)
+	}
+	cr.transportErr = err
+	return err
+}
+
+// maxBuffered reports the chunk reader's peak data buffer, for the
+// working-set tests: it never exceeds the envelope's chunk capacity.
+func (cr *chunkReader) maxBuffered() int { return cap(cr.buf) }
+
+// readStreamHeader reads and validates the 18-byte header shared by
+// both envelope versions.
+func readStreamHeader(r io.Reader) (Envelope, error) {
+	var env Envelope
+	var hdr [envelopeHeaderLen]byte
+	if n, err := io.ReadFull(r, hdr[:]); err != nil {
+		if err == io.EOF || err == io.ErrUnexpectedEOF {
+			return env, truncatedf("%d bytes is shorter than the %d-byte envelope header", n, envelopeHeaderLen)
+		}
+		return env, err
+	}
+	if [4]byte(hdr[0:4]) != envelopeMagic {
+		return env, corruptf("bad magic %q", hdr[0:4])
+	}
+	env.Version = int(hdr[4])
+	if env.Version > EnvelopeVersion {
+		return env, fmt.Errorf("%w: envelope version %d, this library reads up to %d", ErrUnsupportedVersion, env.Version, EnvelopeVersion)
+	}
+	if env.Version == 0 {
+		return env, corruptf("envelope version 0")
+	}
+	env.Kind = SketchKind(hdr[5])
+	if env.Kind >= numSketchKinds {
+		return env, corruptf("unknown sketch kind %d", hdr[5])
+	}
+	bits := binary.LittleEndian.Uint64(hdr[6:14])
+	// The bound keeps every downstream computation on the declared
+	// length (byte counts, ceil-divisions) clear of int64 overflow.
+	if bits > math.MaxInt64-7 {
+		return env, corruptf("payload bit length %d overflows", bits)
+	}
+	env.PayloadBits = int(bits)
+	if env.Version == 1 {
+		env.Checksum = binary.LittleEndian.Uint32(hdr[14:18])
+		return env, nil
+	}
+	if hdr[14]&^flagCompressed != 0 {
+		return env, corruptf("unknown envelope flags %02x", hdr[14])
+	}
+	env.Compressed = hdr[14]&flagCompressed != 0
+	if log := int(hdr[15]); log < minChunkLog || log > maxChunkLog {
+		return env, corruptf("chunk capacity 2^%d out of range", log)
+	} else {
+		env.ChunkBytes = 1 << log
+	}
+	if want := headerCheck(hdr[:]); binary.LittleEndian.Uint16(hdr[16:18]) != want {
+		return env, corruptf("header check %04x, header says %04x", want, binary.LittleEndian.Uint16(hdr[16:18]))
+	}
+	return env, nil
+}
+
+// payloadBytes is the byte length of an nbits-bit payload stream.
+func payloadBytes(nbits int) int64 { return (int64(nbits) + 7) / 8 }
+
+// classifyStreamErr upgrades decode errors whose root cause is an
+// unexpected end of stream to also wrap ErrTruncatedStream.
+func classifyStreamErr(err error) error {
+	if err == nil || errors.Is(err, ErrTruncatedStream) || !errors.Is(err, io.ErrUnexpectedEOF) {
+		return err
+	}
+	return fmt.Errorf("%w: %w", ErrTruncatedStream, err)
+}
+
+// UnmarshalFrom decodes a sketch stream written by MarshalTo (envelope
+// version 2) or by a version-1 Marshal. Version-2 decoding is
+// streaming: it never buffers more than one chunk of payload, so
+// sketches larger than memory-comfortable one-shot buffers decode with
+// a bounded working set, and a corrupted byte fails at its chunk.
+//
+// Failures wrap ErrCorruptSketch; streams that end before delivering
+// the declared payload additionally wrap ErrTruncatedStream; envelopes
+// from a newer format version fail with ErrUnsupportedVersion.
+// UnmarshalFrom reads exactly the envelope's bytes from r, leaving any
+// following data unread.
+func UnmarshalFrom(r io.Reader) (Sketch, error) {
+	env, err := readStreamHeader(r)
+	if err != nil {
+		return nil, err
+	}
+	if env.Version == 1 {
+		return unmarshalV1Body(r, env)
+	}
+	cr := newChunkReader(r, env.ChunkBytes)
+	var src io.Reader = cr
+	if env.Compressed {
+		src = flate.NewReader(cr)
+	}
+	br := bitvec.NewIOReader(src, env.PayloadBits)
+	sk, err := core.UnmarshalSketch(br)
+	if err != nil {
+		if cr.transportErr != nil {
+			return nil, cr.transportErr
+		}
+		return nil, classifyStreamErr(err)
+	}
+	// The declared bit length must be exactly what the decoder
+	// consumed: trailing undeclared bits would survive decoding but
+	// vanish on re-marshal, breaking the byte-identity contract. When
+	// bits are left over, drain the payload stream to tell a header
+	// that over-declares what the stream carries (truncation) from a
+	// stream carrying bits the decoder did not consume (corruption).
+	if br.Remaining() != 0 {
+		want := payloadBytes(env.PayloadBits)
+		drained, _ := io.Copy(io.Discard, src)
+		if int64(br.BytesRead())+drained < want {
+			return nil, truncatedf("payload carries %d bytes, header declares %d bits (%d bytes)", int64(br.BytesRead())+drained, env.PayloadBits, want)
+		}
+		return nil, corruptf("%d unconsumed payload bits after decoding", br.Remaining())
+	}
+	if got := sketchKindOf(sk); got != env.Kind {
+		return nil, corruptf("envelope kind %v but payload decodes as %v", env.Kind, got)
+	}
+	// The payload stream must end exactly at the declared length...
+	if err := expectEOF(src, cr, "payload bytes past the declared bit length"); err != nil {
+		return nil, err
+	}
+	// ...and the chunk framing must close with its terminator (the
+	// flate layer can reach its own end-of-stream marker with framed
+	// garbage still unread underneath).
+	if env.Compressed {
+		if err := expectEOF(cr, cr, "framed bytes past the compressed payload"); err != nil {
+			return nil, err
+		}
+	}
+	return sk, nil
+}
+
+// expectEOF verifies src is exhausted: the next read must cleanly
+// report io.EOF. Failures keep the package contract — the truncation
+// and corruption sentinels are wrapped in, while genuine transport
+// errors (recorded on cr) pass through bare.
+func expectEOF(src io.Reader, cr *chunkReader, what string) error {
+	var one [1]byte
+	for {
+		n, err := src.Read(one[:])
+		switch {
+		case n != 0:
+			return corruptf("%s", what)
+		case err == io.EOF:
+			return nil
+		case err != nil:
+			if cr != nil && cr.transportErr != nil {
+				return cr.transportErr
+			}
+			err = classifyStreamErr(err)
+			if !errors.Is(err, ErrCorruptSketch) {
+				// A flate-layer decode failure surfacing here (e.g. a
+				// corrupt trailer past the last byte the sketch needed)
+				// is still a corrupt stream.
+				err = fmt.Errorf("%w: %w", ErrCorruptSketch, err)
+			}
+			return err
+		}
+	}
+}
+
+// unmarshalV1Body decodes the version-1 single-piece payload following
+// an already-parsed header. Version 1 predates chunking, so this path
+// buffers the whole payload (growing with the bytes actually delivered,
+// never trusting the header's length alone).
+func unmarshalV1Body(r io.Reader, env Envelope) (Sketch, error) {
+	payload, err := readAllGrow(r, payloadBytes(env.PayloadBits))
+	if err != nil {
+		return nil, err
+	}
+	if sum := crc32.ChecksumIEEE(payload); sum != env.Checksum {
+		return nil, corruptf("payload checksum %08x, envelope says %08x", sum, env.Checksum)
+	}
+	br := bitvec.NewReader(payload, env.PayloadBits)
+	sk, err := core.UnmarshalSketch(br)
+	if err != nil {
+		return nil, err
+	}
+	if br.Remaining() != 0 {
+		return nil, corruptf("%d unconsumed payload bits after decoding", br.Remaining())
+	}
+	if got := sketchKindOf(sk); got != env.Kind {
+		return nil, corruptf("envelope kind %v but payload decodes as %v", env.Kind, got)
+	}
+	return sk, nil
+}
+
+// readAllGrow reads exactly n bytes from r, growing the buffer at most
+// chunkAllocStep ahead of delivery (the same hostile-length guard as
+// chunkReader.fill).
+func readAllGrow(r io.Reader, n int64) ([]byte, error) {
+	var buf []byte
+	for int64(len(buf)) < n {
+		step := n - int64(len(buf))
+		if step > chunkAllocStep {
+			step = chunkAllocStep
+		}
+		got := len(buf)
+		nb := append(buf, make([]byte, step)...)
+		if _, err := io.ReadFull(r, nb[got:]); err != nil {
+			if err == io.EOF || err == io.ErrUnexpectedEOF {
+				return nil, truncatedf("stream ended after %d of %d payload bytes", got, n)
+			}
+			return nil, err
+		}
+		buf = nb
+	}
+	return buf, nil
+}
+
+// InspectFrom reads an envelope from r and validates it — header,
+// chunk framing and every checksum — without decoding the sketch. For
+// version 2 it walks (and for compressed payloads inflates) the whole
+// stream with a bounded working set, verifying that the payload's byte
+// count matches the declared bit length; it consumes exactly the
+// envelope's bytes from r.
+func InspectFrom(r io.Reader) (Envelope, error) {
+	env, err := readStreamHeader(r)
+	if err != nil {
+		return env, err
+	}
+	want := payloadBytes(env.PayloadBits)
+	if env.Version == 1 {
+		h := crc32.NewIEEE()
+		n, err := io.Copy(h, io.LimitReader(r, want))
+		if err != nil {
+			// io.Copy never surfaces io.EOF, so this is a genuine I/O
+			// failure, not a short stream.
+			return env, err
+		}
+		if n != want {
+			return env, truncatedf("stream ended after %d of %d payload bytes", n, want)
+		}
+		if sum := h.Sum32(); sum != env.Checksum {
+			return env, corruptf("payload checksum %08x, envelope says %08x", sum, env.Checksum)
+		}
+		return env, nil
+	}
+	cr := newChunkReader(r, env.ChunkBytes)
+	var src io.Reader = cr
+	if env.Compressed {
+		src = flate.NewReader(cr)
+	}
+	n, err := io.Copy(io.Discard, src)
+	if err != nil {
+		if cr.transportErr != nil {
+			return env, cr.transportErr
+		}
+		if !errors.Is(err, ErrCorruptSketch) {
+			// A flate-layer failure: classify truncation, mark the rest
+			// corrupt.
+			if errors.Is(err, io.ErrUnexpectedEOF) || errors.Is(err, io.EOF) {
+				err = truncatedf("compressed payload ended early: %v", err)
+			} else {
+				err = fmt.Errorf("%w: %w", ErrCorruptSketch, err)
+			}
+		}
+		return env, err
+	}
+	switch {
+	case n < want:
+		return env, truncatedf("payload carries %d bytes, header declares %d bits (%d bytes)", n, env.PayloadBits, want)
+	case n > want:
+		return env, corruptf("payload carries %d bytes, header declares %d bits (%d bytes)", n, env.PayloadBits, want)
+	}
+	if env.Compressed {
+		if err := expectEOF(cr, cr, "framed bytes past the compressed payload"); err != nil {
+			return env, err
+		}
+	}
+	env.Chunks = cr.idx
+	return env, nil
+}

@@ -1,0 +1,86 @@
+package itemsketch
+
+import (
+	"bytes"
+	"io"
+	"runtime"
+	"runtime/debug"
+	"testing"
+
+	"repro/internal/dataset"
+)
+
+// bigSketchWire builds a subsample sketch with a ~1 MiB payload and
+// returns it plus its v2 wire image framed in chunkBytes-sized chunks.
+func bigSketchWire(t testing.TB, chunkBytes int) (Sketch, []byte) {
+	t.Helper()
+	const d, rows = 512, 16384 // 512 bits × 16384 rows = 1 MiB payload
+	db := dataset.NewDatabase(d)
+	for i := 0; i < 64; i++ {
+		db.AddRowAttrs(i%d, (i*31)%d, (i*101)%d)
+	}
+	p := Params{K: 2, Eps: 0.1, Delta: 0.1, Mode: ForEach, Task: Estimator}
+	sk, err := Subsample{Seed: 11, SampleOverride: rows}.Sketch(db, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wire bytes.Buffer
+	if _, err := MarshalTo(&wire, sk, WithChunkBytes(chunkBytes)); err != nil {
+		t.Fatal(err)
+	}
+	return sk, wire.Bytes()
+}
+
+// TestChunkReaderWorkingSet is the direct working-set assertion: the
+// chunk reader's data buffer never grows past the chunk capacity, no
+// matter how much payload flows through it.
+func TestChunkReaderWorkingSet(t *testing.T) {
+	const chunkBytes = 4096
+	_, wire := bigSketchWire(t, chunkBytes)
+	cr := newChunkReader(bytes.NewReader(wire[envelopeHeaderLen:]), chunkBytes)
+	n, err := io.Copy(io.Discard, cr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n < 1<<20 {
+		t.Fatalf("fixture payload only %d bytes, want ≥ 1 MiB", n)
+	}
+	if got := cr.maxBuffered(); got > chunkBytes {
+		t.Errorf("chunk reader buffered %d bytes, chunk capacity is %d", got, chunkBytes)
+	}
+}
+
+// TestUnmarshalFromWorkingSet asserts the end-to-end property the
+// chunked format exists for: decoding a ~1 MiB-payload stream through
+// UnmarshalFrom allocates the sketch itself (arena + column index,
+// ~2× payload) plus at most a few chunks of transient buffering —
+// never a whole-payload staging buffer. The one-shot pre-v2 path
+// necessarily added the full payload on top.
+func TestUnmarshalFromWorkingSet(t *testing.T) {
+	const chunkBytes = 4096
+	sk, wire := bigSketchWire(t, chunkBytes)
+	payload := sk.SizeBits() / 8
+
+	defer debug.SetGCPercent(debug.SetGCPercent(-1))
+	var before, after runtime.MemStats
+	runtime.ReadMemStats(&before)
+	back, err := UnmarshalFrom(bytes.NewReader(wire))
+	runtime.ReadMemStats(&after)
+	if err != nil {
+		t.Fatal(err)
+	}
+	runtime.KeepAlive(back)
+
+	delta := int64(after.TotalAlloc - before.TotalAlloc)
+	// Sketch footprint: the sample arena (≈ payload) and its column
+	// index (≈ payload again). Allow half a payload of slack for the
+	// decoder's fixed windows, pre-sizing rounding and test noise; a
+	// full-payload staging buffer would blow well past this.
+	budget := payload*2 + payload/2
+	if delta > budget {
+		t.Errorf("UnmarshalFrom allocated %d bytes decoding a %d-byte payload (budget %d): payload is being buffered whole", delta, payload, budget)
+	}
+	if back.SizeBits() != sk.SizeBits() {
+		t.Errorf("size changed across round trip: %d vs %d", back.SizeBits(), sk.SizeBits())
+	}
+}

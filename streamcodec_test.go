@@ -1,0 +1,484 @@
+package itemsketch_test
+
+import (
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"math"
+	"strings"
+	"testing"
+	"testing/iotest"
+
+	itemsketch "repro"
+)
+
+// marshalOpts builds the option list for a (chunkBytes, compress) pair.
+func marshalOpts(chunkBytes int, compress bool) []itemsketch.MarshalOption {
+	opts := []itemsketch.MarshalOption{itemsketch.WithChunkBytes(chunkBytes)}
+	if compress {
+		opts = append(opts, itemsketch.WithCompression())
+	}
+	return opts
+}
+
+// chunkSizesFor picks chunk capacities that straddle the payload
+// boundary: many tiny chunks, a handful of chunks, and a single chunk
+// holding the whole payload.
+func chunkSizesFor(payloadLen int) []int {
+	one := 16
+	for one < payloadLen {
+		one <<= 1
+	}
+	several := one >> 3
+	if several < 16 {
+		several = 16
+	}
+	return []int{16, several, one}
+}
+
+// TestStreamRoundTripAllKinds is the streaming property test: for every
+// sketch kind, chunk capacities below/around/above the payload size,
+// compressed and uncompressed, MarshalTo → UnmarshalFrom round-trips
+// bit-identically and re-marshaling with the same options is
+// byte-identical.
+func TestStreamRoundTripAllKinds(t *testing.T) {
+	for kind, sk := range buildAllKinds(t) {
+		rawWant, bitsWant := itemsketch.MarshalRaw(sk)
+		for _, chunkBytes := range chunkSizesFor(len(rawWant)) {
+			for _, compress := range []bool{false, true} {
+				name := fmt.Sprintf("%v/chunk=%d/compress=%v", kind, chunkBytes, compress)
+				opts := marshalOpts(chunkBytes, compress)
+				var wire bytes.Buffer
+				n, err := itemsketch.MarshalTo(&wire, sk, opts...)
+				if err != nil {
+					t.Fatalf("%s: MarshalTo: %v", name, err)
+				}
+				if n != int64(wire.Len()) {
+					t.Errorf("%s: MarshalTo reported %d bytes, wrote %d", name, n, wire.Len())
+				}
+				env, err := itemsketch.Inspect(wire.Bytes())
+				if err != nil {
+					t.Fatalf("%s: Inspect: %v", name, err)
+				}
+				if env.Version != 2 || env.Kind != kind || env.ChunkBytes != chunkBytes || env.Compressed != compress {
+					t.Errorf("%s: envelope %+v", name, env)
+				}
+				if int64(env.PayloadBits) != sk.SizeBits() {
+					t.Errorf("%s: payload bits %d != SizeBits %d", name, env.PayloadBits, sk.SizeBits())
+				}
+				if !compress {
+					wantChunks := (len(rawWant) + chunkBytes - 1) / chunkBytes
+					if env.Chunks != wantChunks {
+						t.Errorf("%s: %d chunks, want %d", name, env.Chunks, wantChunks)
+					}
+				}
+				back, err := itemsketch.UnmarshalFrom(bytes.NewReader(wire.Bytes()))
+				if err != nil {
+					t.Fatalf("%s: UnmarshalFrom: %v", name, err)
+				}
+				rawGot, bitsGot := itemsketch.MarshalRaw(back)
+				if bitsGot != bitsWant || !bytes.Equal(rawGot, rawWant) {
+					t.Errorf("%s: decoded sketch is not bit-identical (%d vs %d bits)", name, bitsGot, bitsWant)
+				}
+				var wire2 bytes.Buffer
+				if _, err := itemsketch.MarshalTo(&wire2, back, opts...); err != nil {
+					t.Fatalf("%s: re-MarshalTo: %v", name, err)
+				}
+				if !bytes.Equal(wire.Bytes(), wire2.Bytes()) {
+					t.Errorf("%s: re-marshal is not byte-identical (%d vs %d bytes)", name, wire.Len(), wire2.Len())
+				}
+				// The one-shot wrapper reads the same stream.
+				if _, err := itemsketch.Unmarshal(wire.Bytes()); err != nil {
+					t.Errorf("%s: one-shot Unmarshal: %v", name, err)
+				}
+			}
+		}
+	}
+}
+
+// TestStreamExactChunkBoundary pins the payload-exactly-fills-chunks
+// cases: a RELEASE-ANSWERS indicator with k=1 over d columns has a
+// payload of exactly 182+d bits, so d = 8·2^m − 182 makes it exactly
+// 2^m bytes — one full chunk at WithChunkBytes(2^m), two at 2^(m−1).
+func TestStreamExactChunkBoundary(t *testing.T) {
+	const payloadBytes = 256
+	d := 8*payloadBytes - 182
+	db := itemsketch.NewDatabase(d)
+	for i := 0; i < 64; i++ {
+		db.AddRowAttrs(i % d)
+	}
+	p := itemsketch.Params{K: 1, Eps: 0.1, Delta: 0.1,
+		Mode: itemsketch.ForEach, Task: itemsketch.Indicator}
+	sk, err := itemsketch.ReleaseAnswers{}.Sketch(db, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if raw, _ := itemsketch.MarshalRaw(sk); len(raw) != payloadBytes {
+		t.Fatalf("payload is %d bytes, test wants exactly %d", len(raw), payloadBytes)
+	}
+	for _, tc := range []struct{ chunkBytes, wantChunks int }{
+		{payloadBytes, 1},     // payload == one full chunk
+		{payloadBytes / 2, 2}, // two exactly-full chunks
+		{payloadBytes * 2, 1}, // payload < one chunk
+	} {
+		var wire bytes.Buffer
+		if _, err := itemsketch.MarshalTo(&wire, sk, itemsketch.WithChunkBytes(tc.chunkBytes)); err != nil {
+			t.Fatal(err)
+		}
+		env, err := itemsketch.Inspect(wire.Bytes())
+		if err != nil {
+			t.Fatalf("chunk=%d: Inspect: %v", tc.chunkBytes, err)
+		}
+		if env.Chunks != tc.wantChunks {
+			t.Errorf("chunk=%d: %d chunks, want %d", tc.chunkBytes, env.Chunks, tc.wantChunks)
+		}
+		back, err := itemsketch.UnmarshalFrom(bytes.NewReader(wire.Bytes()))
+		if err != nil {
+			t.Fatalf("chunk=%d: UnmarshalFrom: %v", tc.chunkBytes, err)
+		}
+		if !bytes.Equal(itemsketch.Marshal(back), itemsketch.Marshal(sk)) {
+			t.Errorf("chunk=%d: round-trip changed the sketch", tc.chunkBytes)
+		}
+	}
+}
+
+// streamFixture builds a deterministic multi-chunk wire image for the
+// adversarial tests.
+func streamFixture(t testing.TB, compress bool) []byte {
+	t.Helper()
+	db := itemsketch.NewDatabase(48)
+	for i := 0; i < 400; i++ {
+		db.AddRowAttrs(i%48, (i+7)%48, (i*5)%48)
+	}
+	p := itemsketch.Params{K: 2, Eps: 0.1, Delta: 0.1,
+		Mode: itemsketch.ForEach, Task: itemsketch.Estimator}
+	sk, err := itemsketch.Subsample{Seed: 9, SampleOverride: 300}.Sketch(db, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wire bytes.Buffer
+	if _, err := itemsketch.MarshalTo(&wire, sk, marshalOpts(256, compress)...); err != nil {
+		t.Fatal(err)
+	}
+	return wire.Bytes()
+}
+
+// TestStreamEveryTruncation feeds the decoder every possible prefix of
+// a valid stream (io.LimitReader is the reader-side truncator; iotest
+// only has the writer-side TruncateWriter): it must never panic and
+// must always fail with a typed error — a truncation that lands inside
+// the payload must be identified as ErrTruncatedStream.
+func TestStreamEveryTruncation(t *testing.T) {
+	for _, compress := range []bool{false, true} {
+		wire := streamFixture(t, compress)
+		for n := 0; n < len(wire); n++ {
+			r := io.LimitReader(bytes.NewReader(wire), int64(n))
+			_, err := itemsketch.UnmarshalFrom(r)
+			if err == nil {
+				t.Fatalf("compress=%v: truncation to %d of %d bytes decoded successfully", compress, n, len(wire))
+			}
+			if !errors.Is(err, itemsketch.ErrCorruptSketch) {
+				t.Fatalf("compress=%v: truncation to %d bytes: untyped error %v", compress, n, err)
+			}
+			if n >= 18 && !errors.Is(err, itemsketch.ErrTruncatedStream) {
+				t.Errorf("compress=%v: truncation to %d bytes not flagged ErrTruncatedStream: %v", compress, n, err)
+			}
+		}
+	}
+}
+
+// TestStreamOneByteReader decodes through a reader that delivers one
+// byte per Read call — the pathological io.Reader — and must produce
+// the identical sketch.
+func TestStreamOneByteReader(t *testing.T) {
+	for _, compress := range []bool{false, true} {
+		wire := streamFixture(t, compress)
+		want, err := itemsketch.UnmarshalFrom(bytes.NewReader(wire))
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := itemsketch.UnmarshalFrom(iotest.OneByteReader(bytes.NewReader(wire)))
+		if err != nil {
+			t.Fatalf("compress=%v: one-byte reader: %v", compress, err)
+		}
+		if !bytes.Equal(itemsketch.Marshal(got), itemsketch.Marshal(want)) {
+			t.Errorf("compress=%v: one-byte decode differs", compress)
+		}
+		// InspectFrom must cope with the same reader.
+		if _, err := itemsketch.InspectFrom(iotest.OneByteReader(bytes.NewReader(wire))); err != nil {
+			t.Errorf("compress=%v: one-byte InspectFrom: %v", compress, err)
+		}
+	}
+}
+
+// chunkRegions walks a v2 wire image and returns the [start, end) byte
+// range of each chunk's data section.
+func chunkRegions(t testing.TB, wire []byte) [][2]int {
+	t.Helper()
+	var regions [][2]int
+	o := 18
+	for {
+		if o+8 > len(wire) {
+			t.Fatalf("walked off the wire at %d", o)
+		}
+		l := int(binary.LittleEndian.Uint32(wire[o : o+4]))
+		if l == 0 {
+			return regions
+		}
+		regions = append(regions, [2]int{o + 8, o + 8 + l})
+		o += 8 + l
+	}
+}
+
+// TestStreamFlippedByteNamesChunk flips one byte in each chunk's data
+// and asserts the decoder fails with ErrCorruptSketch identifying that
+// chunk — corruption is localized, not discovered at the end of the
+// stream.
+func TestStreamFlippedByteNamesChunk(t *testing.T) {
+	wire := streamFixture(t, false)
+	regions := chunkRegions(t, wire)
+	if len(regions) < 3 {
+		t.Fatalf("fixture spans %d chunks, want several", len(regions))
+	}
+	for i, reg := range regions {
+		mut := bytes.Clone(wire)
+		mut[(reg[0]+reg[1])/2] ^= 0x40
+		_, err := itemsketch.UnmarshalFrom(bytes.NewReader(mut))
+		if err == nil {
+			t.Fatalf("chunk %d: flipped byte decoded successfully", i)
+		}
+		if !errors.Is(err, itemsketch.ErrCorruptSketch) {
+			t.Fatalf("chunk %d: untyped error %v", i, err)
+		}
+		if want := fmt.Sprintf("chunk %d", i); !strings.Contains(err.Error(), want) {
+			t.Errorf("chunk %d: error does not name the chunk: %v", i, err)
+		}
+	}
+}
+
+// rewriteDeclaredBits patches the header's payload bit length and fixes
+// the header check so only the length lies.
+func rewriteDeclaredBits(wire []byte, bits uint64) []byte {
+	mut := bytes.Clone(wire)
+	binary.LittleEndian.PutUint64(mut[6:14], bits)
+	binary.LittleEndian.PutUint16(mut[16:18], uint16(crc32.ChecksumIEEE(mut[:16])))
+	return mut
+}
+
+// TestStreamDeclaredLengthMismatch serves a stream whose header
+// declares more payload bits than its chunks deliver: the decoder must
+// identify it as ErrTruncatedStream, and the opposite direction (fewer
+// declared bits than delivered) as corruption.
+func TestStreamDeclaredLengthMismatch(t *testing.T) {
+	wire := streamFixture(t, false)
+	env, err := itemsketch.Inspect(wire)
+	if err != nil {
+		t.Fatal(err)
+	}
+	over := rewriteDeclaredBits(wire, uint64(env.PayloadBits)+64)
+	if _, err := itemsketch.UnmarshalFrom(bytes.NewReader(over)); !errors.Is(err, itemsketch.ErrTruncatedStream) {
+		t.Errorf("declared > actual: err = %v, want ErrTruncatedStream", err)
+	}
+	if _, err := itemsketch.InspectFrom(bytes.NewReader(over)); !errors.Is(err, itemsketch.ErrTruncatedStream) {
+		t.Errorf("declared > actual InspectFrom: err = %v, want ErrTruncatedStream", err)
+	}
+	under := rewriteDeclaredBits(wire, uint64(env.PayloadBits)-64)
+	if _, err := itemsketch.UnmarshalFrom(bytes.NewReader(under)); !errors.Is(err, itemsketch.ErrCorruptSketch) {
+		t.Errorf("declared < actual: err = %v, want ErrCorruptSketch", err)
+	}
+}
+
+// TestStreamHostileDeclaredBits pins the overflow regression: headers
+// declaring payload bit lengths near MaxInt64 (where naive ceil
+// division like bits+7 wraps negative) must fail typed, never panic.
+func TestStreamHostileDeclaredBits(t *testing.T) {
+	wire := streamFixture(t, false)
+	for _, bits := range []uint64{
+		math.MaxInt64,     // +7 wraps int64 negative
+		math.MaxInt64 - 6, // boundary of the wrap
+		math.MaxInt64 - 7, // largest value the byte-count math survives
+		1 << 62,
+		math.MaxUint64,
+	} {
+		mut := rewriteDeclaredBits(wire, bits)
+		if _, err := itemsketch.UnmarshalFrom(bytes.NewReader(mut)); !errors.Is(err, itemsketch.ErrCorruptSketch) {
+			t.Errorf("bits=%d: err = %v, want a typed failure", bits, err)
+		}
+		if _, err := itemsketch.InspectFrom(bytes.NewReader(mut)); !errors.Is(err, itemsketch.ErrCorruptSketch) {
+			t.Errorf("bits=%d: InspectFrom err = %v, want a typed failure", bits, err)
+		}
+	}
+}
+
+// TestStreamHostileChunkLength serves a frame declaring a huge chunk
+// with almost no data behind it: the decoder must fail without
+// allocating anywhere near the declared size (the grow-as-delivered
+// guard).
+func TestStreamHostileChunkLength(t *testing.T) {
+	wire := streamFixture(t, false)
+	// Rewrite the first chunk frame to declare the maximum the header's
+	// chunk capacity allows, keeping only a few real bytes behind it.
+	mut := bytes.Clone(wire[:18+8+16])
+	binary.LittleEndian.PutUint32(mut[18:22], 1<<uint(mut[15]))
+	allocs := testing.AllocsPerRun(10, func() {
+		if _, err := itemsketch.UnmarshalFrom(bytes.NewReader(mut)); err == nil {
+			t.Fatal("hostile chunk length decoded successfully")
+		}
+	})
+	if allocs > 64 {
+		t.Errorf("hostile chunk length cost %.0f allocations", allocs)
+	}
+}
+
+// failingReader serves its prefix, then fails with a non-EOF error —
+// a stand-in for a transport fault (network reset, disk EIO).
+type failingReader struct {
+	data []byte
+	pos  int
+	err  error
+}
+
+func (f *failingReader) Read(p []byte) (int, error) {
+	if f.pos >= len(f.data) {
+		return 0, f.err
+	}
+	n := copy(p, f.data[f.pos:])
+	f.pos += n
+	return n, nil
+}
+
+// TestStreamTransportErrorPassthrough pins the I/O-failure contract: a
+// genuine transport error from the underlying reader surfaces as
+// itself — matchable with errors.Is, NOT mislabeled ErrCorruptSketch
+// or ErrTruncatedStream — so callers retry the transport instead of
+// discarding a valid stream as corrupt.
+func TestStreamTransportErrorPassthrough(t *testing.T) {
+	errBoom := errors.New("transport: connection reset")
+	for _, compress := range []bool{false, true} {
+		wire := streamFixture(t, compress)
+		for _, cut := range []int{10, 20, 30, 100, len(wire) - 5} {
+			_, err := itemsketch.UnmarshalFrom(&failingReader{data: wire[:cut], err: errBoom})
+			if !errors.Is(err, errBoom) {
+				t.Fatalf("compress=%v cut=%d: transport error not passed through: %v", compress, cut, err)
+			}
+			if errors.Is(err, itemsketch.ErrCorruptSketch) {
+				t.Fatalf("compress=%v cut=%d: transport error mislabeled corrupt: %v", compress, cut, err)
+			}
+		}
+		if _, err := itemsketch.InspectFrom(&failingReader{data: wire[:100], err: errBoom}); !errors.Is(err, errBoom) {
+			t.Fatalf("compress=%v: InspectFrom transport error: %v", compress, err)
+		}
+	}
+}
+
+// TestInspectFromStopsAtEnvelope verifies the streaming reads consume
+// exactly the envelope, leaving following data in place — the property
+// that lets envelopes be concatenated or embedded.
+func TestInspectFromStopsAtEnvelope(t *testing.T) {
+	for _, compress := range []bool{false, true} {
+		wire := streamFixture(t, compress)
+		r := bytes.NewReader(append(bytes.Clone(wire), "TRAILER"...))
+		if _, err := itemsketch.UnmarshalFrom(r); err != nil {
+			t.Fatalf("compress=%v: %v", compress, err)
+		}
+		rest, _ := io.ReadAll(r)
+		if string(rest) != "TRAILER" {
+			t.Errorf("compress=%v: %d bytes left after UnmarshalFrom, want the 7-byte trailer", compress, len(rest))
+		}
+		// The one-shot wrappers, by contrast, reject trailing bytes.
+		if _, err := itemsketch.Unmarshal(append(bytes.Clone(wire), 0)); !errors.Is(err, itemsketch.ErrCorruptSketch) {
+			t.Errorf("compress=%v: trailing byte: err = %v", compress, err)
+		}
+	}
+}
+
+// TestStreamV1Readable pins backward compatibility: version-1 envelopes
+// (single-piece payload + whole-payload CRC) decode through the same
+// streaming entry points, from any reader shape.
+func TestStreamV1Readable(t *testing.T) {
+	for kind, sk := range buildAllKinds(t) {
+		v1 := marshalV1(sk)
+		back, err := itemsketch.UnmarshalFrom(iotest.OneByteReader(bytes.NewReader(v1)))
+		if err != nil {
+			t.Fatalf("%v: v1 stream: %v", kind, err)
+		}
+		if !bytes.Equal(itemsketch.Marshal(back), itemsketch.Marshal(sk)) {
+			t.Errorf("%v: v1 decode differs", kind)
+		}
+		env, err := itemsketch.InspectFrom(bytes.NewReader(v1))
+		if err != nil {
+			t.Fatalf("%v: v1 InspectFrom: %v", kind, err)
+		}
+		if env.Version != 1 || env.Kind != kind || env.Compressed || env.ChunkBytes != 0 {
+			t.Errorf("%v: v1 envelope %+v", kind, env)
+		}
+		for n := 0; n < len(v1); n += 7 {
+			if _, err := itemsketch.UnmarshalFrom(io.LimitReader(bytes.NewReader(v1), int64(n))); !errors.Is(err, itemsketch.ErrCorruptSketch) {
+				t.Fatalf("%v: v1 truncation to %d: err = %v", kind, n, err)
+			}
+		}
+	}
+}
+
+// FuzzUnmarshalFromEnvelope fuzzes the streaming decoder with v1 and
+// v2 (plain and compressed) corpora: it must never panic, always fail
+// typed, agree with itself across reader shapes, and decode to a
+// sketch whose canonical re-marshal is stable.
+func FuzzUnmarshalFromEnvelope(f *testing.F) {
+	db := itemsketch.NewDatabase(8)
+	for i := 0; i < 50; i++ {
+		db.AddRowAttrs(i%8, (i+3)%8)
+	}
+	p := itemsketch.Params{K: 2, Eps: 0.2, Delta: 0.2,
+		Mode: itemsketch.ForEach, Task: itemsketch.Estimator}
+	for _, s := range []itemsketch.Sketcher{
+		itemsketch.ReleaseDB{},
+		itemsketch.Subsample{Seed: 1, SampleOverride: 40},
+		itemsketch.ImportanceSample{Seed: 1, SampleOverride: 40},
+	} {
+		sk, err := s.Sketch(db, p)
+		if err != nil {
+			f.Fatal(err)
+		}
+		f.Add(itemsketch.Marshal(sk))
+		f.Add(marshalV1(sk))
+		var tiny, comp bytes.Buffer
+		if _, err := itemsketch.MarshalTo(&tiny, sk, itemsketch.WithChunkBytes(16)); err != nil {
+			f.Fatal(err)
+		}
+		f.Add(tiny.Bytes())
+		if _, err := itemsketch.MarshalTo(&comp, sk, itemsketch.WithCompression()); err != nil {
+			f.Fatal(err)
+		}
+		f.Add(comp.Bytes())
+	}
+	f.Add([]byte("ISKB"))
+	f.Add([]byte{})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		sk, err := itemsketch.UnmarshalFrom(bytes.NewReader(data))
+		skB, errB := itemsketch.UnmarshalFrom(iotest.OneByteReader(bytes.NewReader(data)))
+		if (err == nil) != (errB == nil) {
+			t.Fatalf("reader-shape disagreement: %v vs %v", err, errB)
+		}
+		if err != nil {
+			if !errors.Is(err, itemsketch.ErrCorruptSketch) && !errors.Is(err, itemsketch.ErrUnsupportedVersion) {
+				t.Fatalf("untyped error: %v", err)
+			}
+			return
+		}
+		canon := itemsketch.Marshal(sk)
+		if !bytes.Equal(canon, itemsketch.Marshal(skB)) {
+			t.Fatalf("reader shapes decoded different sketches")
+		}
+		back, err := itemsketch.Unmarshal(canon)
+		if err != nil {
+			t.Fatalf("canonical re-marshal does not decode: %v", err)
+		}
+		if !bytes.Equal(itemsketch.Marshal(back), canon) {
+			t.Fatalf("canonical re-marshal is unstable")
+		}
+	})
+}
