@@ -2,8 +2,9 @@ GO ?= go
 
 # Minimum total test coverage (go tool cover -func, statements). CI
 # fails below this; re-baseline deliberately when adding code, never to
-# paper over deleted tests. Current measured total: 76.1% (PR 4).
-COVER_FLOOR ?= 75.0
+# paper over deleted tests. Raised to 76.0 at PR 5 (76.1% measured at
+# PR 4).
+COVER_FLOOR ?= 76.0
 
 .PHONY: all build test race cover vet doclint bench fuzz
 
@@ -37,11 +38,11 @@ doclint:
 	$(GO) run ./cmd/doclint
 
 # bench runs the operational benchmark suite, records the results, and
-# gates the construction benchmarks against the previous PR's numbers;
-# bump the output/baseline names (BENCH_5.json vs BENCH_4.json, ...) in
-# later PRs to keep the perf trajectory.
+# gates the construction + mining benchmarks against the previous PR's
+# numbers; bump the output/baseline names (BENCH_6.json vs BENCH_5.json,
+# ...) in later PRs to keep the perf trajectory.
 bench:
-	$(GO) run ./cmd/bench -out BENCH_4.json -compare BENCH_3.json
+	$(GO) run ./cmd/bench -out BENCH_5.json -compare BENCH_4.json
 
 # fuzz exercises the three decoder/query surfaces: the exact-query
 # paths, the one-shot wire-envelope decoder, and the streaming decoder

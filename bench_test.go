@@ -6,6 +6,7 @@
 package itemsketch_test
 
 import (
+	"context"
 	"io"
 	"runtime"
 	"testing"
@@ -69,14 +70,17 @@ func BenchmarkSubsampleBuild(b *testing.B) {
 	p := itemsketch.Params{K: 2, Eps: 0.05, Delta: 0.05,
 		Mode: itemsketch.ForAll, Task: itemsketch.Estimator}
 	const sample = 1 << 15
+	ctx := context.Background()
 	run := func(workers int) func(b *testing.B) {
 		return func(b *testing.B) {
-			itemsketch.SetSketchWorkers(workers)
-			defer itemsketch.SetSketchWorkers(0)
 			b.ReportAllocs()
 			for i := 0; i < b.N; i++ {
-				sk := itemsketch.Subsample{Seed: uint64(i), SampleOverride: sample}
-				if _, err := sk.Sketch(db, p); err != nil {
+				_, _, err := itemsketch.Build(ctx, db,
+					itemsketch.WithParams(p),
+					itemsketch.WithAlgorithm(itemsketch.Subsample{SampleOverride: sample}),
+					itemsketch.WithSeed(uint64(i)),
+					itemsketch.WithWorkers(workers))
+				if err != nil {
 					b.Fatal(err)
 				}
 			}
@@ -97,13 +101,17 @@ func BenchmarkMedianAmplifierBuild(b *testing.B) {
 		Base:           itemsketch.Subsample{Seed: 1, SampleOverride: 2048},
 		CopiesOverride: 32,
 	}
+	ctx := context.Background()
 	run := func(workers int) func(b *testing.B) {
 		return func(b *testing.B) {
-			itemsketch.SetSketchWorkers(workers)
-			defer itemsketch.SetSketchWorkers(0)
 			b.ReportAllocs()
 			for i := 0; i < b.N; i++ {
-				if _, err := m.Sketch(db, p); err != nil {
+				_, _, err := itemsketch.Build(ctx, db,
+					itemsketch.WithParams(p),
+					itemsketch.WithAlgorithm(m),
+					itemsketch.WithSeed(1),
+					itemsketch.WithWorkers(workers))
+				if err != nil {
 					b.Fatal(err)
 				}
 			}
@@ -229,11 +237,14 @@ func BenchmarkAprioriOnSketch(b *testing.B) {
 	if err != nil {
 		b.Fatal(err)
 	}
-	src := itemsketch.OnSketch(sk.(itemsketch.EstimatorSketch), 48)
+	q := itemsketch.QuerySketch(sk)
+	ctx := context.Background()
 	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		_ = itemsketch.Apriori(src, 0.08, 3)
+		if _, err := itemsketch.AprioriContext(ctx, q, 0.08, 3); err != nil {
+			b.Fatal(err)
+		}
 	}
 }
 
@@ -342,10 +353,13 @@ func BenchmarkAblationMinersExactDB(b *testing.B) {
 	r := rng.New(1)
 	db := dataset.GenMarketBasket(r, 10000, 48, dataset.BasketConfig{MeanSize: 5, ZipfExponent: 1.2})
 	db.BuildColumnIndex()
+	ctx := context.Background()
 	b.Run("Apriori", func(b *testing.B) {
-		src := itemsketch.OnDatabase(db)
+		q := itemsketch.QueryDatabase(db)
 		for i := 0; i < b.N; i++ {
-			_ = itemsketch.Apriori(src, 0.05, 3)
+			if _, err := itemsketch.AprioriContext(ctx, q, 0.05, 3); err != nil {
+				b.Fatal(err)
+			}
 		}
 	})
 	b.Run("Eclat", func(b *testing.B) {

@@ -27,6 +27,8 @@ import (
 	"strings"
 
 	itemsketch "repro"
+	"repro/internal/bitvec"
+	"repro/internal/core"
 )
 
 func main() {
@@ -163,8 +165,11 @@ func cmdSketch(args []string) error {
 // Sketch files are the MarshalTo envelope verbatim (version 1 or 2),
 // decoded through the streaming path so only one chunk is buffered.
 // Files written before the envelope existed (8-byte little-endian bit
-// count, then the packed bits) are still readable through the
-// deprecated raw path, which needs the whole file in memory.
+// count, then the packed bits) are still readable through the legacy
+// raw fallback below — the public MarshalRaw/UnmarshalRaw wrappers are
+// gone, but the CLI keeps decoding old files by driving the core
+// decoder over the bare bit stream, which needs the whole file in
+// memory.
 func readSketchFile(path string) (itemsketch.Sketch, error) {
 	f, err := os.Open(path)
 	if err != nil {
@@ -185,7 +190,7 @@ func readSketchFile(path string) (itemsketch.Sketch, error) {
 	}
 	if len(raw) >= 8 {
 		if bits := binary.LittleEndian.Uint64(raw[:8]); bits <= uint64(len(raw)-8)*8 {
-			if legacy, lerr := itemsketch.UnmarshalRaw(raw[8:], int(bits)); lerr == nil {
+			if legacy, lerr := core.UnmarshalSketch(bitvec.NewReader(raw[8:], int(bits))); lerr == nil {
 				return legacy, nil
 			}
 		}

@@ -6,6 +6,7 @@ import (
 	"testing"
 
 	itemsketch "repro"
+	"repro/internal/bitvec"
 )
 
 func TestParseItems(t *testing.T) {
@@ -73,7 +74,9 @@ func TestSketchFileRoundTrip(t *testing.T) {
 
 	// Files from the pre-envelope format (8-byte bit count + raw
 	// payload) still read through the legacy fallback.
-	raw, bits := itemsketch.MarshalRaw(sk)
+	var w bitvec.Writer
+	sk.MarshalBits(&w)
+	raw, bits := w.Bytes(), w.BitLen()
 	hdr := make([]byte, 8)
 	for i := 0; i < 8; i++ {
 		hdr[i] = byte(uint64(bits) >> (8 * i))

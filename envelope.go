@@ -3,9 +3,6 @@ package itemsketch
 import (
 	"bytes"
 	"fmt"
-
-	"repro/internal/bitvec"
-	"repro/internal/core"
 )
 
 // Wire format: Marshal wraps the sketch's bit stream in a small
@@ -136,15 +133,26 @@ type Envelope struct {
 // byte-identical. The paper's space measure |S| is s.SizeBits() (the
 // payload bit length, also recoverable from the envelope via Inspect).
 //
-// Marshal is a thin wrapper over MarshalTo; it panics if s is not one
-// of this package's sketch types (such a sketch could never round-trip
-// through Unmarshal, which only produces the built-in kinds).
+// Marshal is a thin wrapper over the MarshalTo streaming path; it
+// panics if s is not one of this package's sketch types (such a sketch
+// could never round-trip through Unmarshal, which only produces the
+// built-in kinds). The output buffer is pre-sized from the sketch's
+// declared bit length (header + payload + chunk frames), so the encode
+// performs a single buffer allocation.
 func Marshal(s Sketch) []byte {
+	kind := sketchKindOf(s)
+	if kind >= numSketchKinds {
+		panic(fmt.Sprintf("itemsketch: Marshal(%T): cannot marshal foreign sketch type", s))
+	}
+	bits := s.SizeBits()
+	payload := (bits + 7) / 8
+	chunks := (payload + DefaultChunkBytes - 1) / DefaultChunkBytes
 	var buf bytes.Buffer
-	if _, err := MarshalTo(&buf, s); err != nil {
-		// A bytes.Buffer never fails, so the only causes are a foreign
-		// sketch type or a Sketch whose SizeBits disagrees with its
-		// MarshalBits — both implementation bugs, not runtime inputs.
+	buf.Grow(envelopeHeaderLen + int(payload) + chunkFrameLen*(int(chunks)+1))
+	if _, err := marshalToSized(&buf, s, kind, bits, marshalOptions{chunkBytes: DefaultChunkBytes}); err != nil {
+		// A bytes.Buffer never fails, so the only cause is a Sketch
+		// whose SizeBits disagrees with its MarshalBits — an
+		// implementation bug, not a runtime input.
 		panic(fmt.Sprintf("itemsketch: Marshal(%T): %v", s, err))
 	}
 	return buf.Bytes()
@@ -206,28 +214,4 @@ func sketchKindOf(s Sketch) SketchKind {
 	default:
 		return numSketchKinds
 	}
-}
-
-// MarshalRaw serializes a sketch as a bare bit stream without the
-// envelope; bits is its exact size |S| in bits (Definition 5).
-//
-// Deprecated: use Marshal, whose envelope carries the bit length,
-// kind, version and a checksum. MarshalRaw remains for byte-level
-// compatibility with payloads written before the envelope existed.
-func MarshalRaw(s Sketch) (data []byte, bits int) {
-	var w bitvec.Writer
-	s.MarshalBits(&w)
-	return w.Bytes(), w.BitLen()
-}
-
-// UnmarshalRaw decodes a bare bit stream produced by MarshalRaw (the
-// pre-envelope two-argument Unmarshal path), given its exact bit
-// length. Decoding failures wrap ErrCorruptSketch.
-//
-// Deprecated: use Unmarshal, which needs no side-channel bit length.
-func UnmarshalRaw(data []byte, bits int) (Sketch, error) {
-	if bits < 0 || bits > len(data)*8 {
-		return nil, fmt.Errorf("%w: %d bits does not fit %d bytes", ErrCorruptSketch, bits, len(data))
-	}
-	return core.UnmarshalSketch(bitvec.NewReader(data, bits))
 }

@@ -8,9 +8,9 @@ import (
 	itemsketch "repro"
 )
 
-// ExampleAuto demonstrates the Theorem 12 planner choosing the
+// ExampleBuild demonstrates the Theorem 12 planner choosing the
 // smallest sketch for the requested guarantee.
-func ExampleAuto() {
+func ExampleBuild() {
 	db := itemsketch.NewDatabase(8)
 	for i := 0; i < 1000; i++ {
 		if i%2 == 0 {
@@ -21,7 +21,8 @@ func ExampleAuto() {
 	}
 	p := itemsketch.Params{K: 2, Eps: 0.1, Delta: 0.1,
 		Mode: itemsketch.ForAll, Task: itemsketch.Estimator}
-	sk, plan, err := itemsketch.Auto(db, p, 1)
+	sk, plan, err := itemsketch.Build(context.Background(), db,
+		itemsketch.WithParams(p), itemsketch.WithSeed(1))
 	if err != nil {
 		panic(err)
 	}
@@ -58,9 +59,11 @@ func ExampleSubsample() {
 	// frequent {1,3}: false
 }
 
-// ExampleApriori mines frequent itemsets straight from a sketch — the
-// paper's §1.1.2 workflow.
-func ExampleApriori() {
+// ExampleNewMiner mines a database repeatedly on one reusable engine:
+// the arenas warm up on the first call and every later mine runs
+// allocation-free. Results view the engine's arenas, so they are read
+// before the next call.
+func ExampleNewMiner() {
 	db := itemsketch.NewDatabase(6)
 	for i := 0; i < 900; i++ {
 		switch i % 3 {
@@ -72,19 +75,26 @@ func ExampleApriori() {
 			db.AddRowAttrs(5)
 		}
 	}
-	p := itemsketch.Params{K: 2, Eps: 0.05, Delta: 0.05,
-		Mode: itemsketch.ForAll, Task: itemsketch.Estimator}
-	sk, err := itemsketch.Subsample{Seed: 3}.Sketch(db, p)
-	if err != nil {
-		panic(err)
-	}
-	for _, r := range itemsketch.Apriori(itemsketch.OnSketch(sk.(itemsketch.EstimatorSketch), 6), 0.5, 2) {
-		fmt.Printf("%v ~%.1f\n", r.Items, r.Freq)
+	m := itemsketch.NewMiner()
+	for _, minSup := range []float64{0.5, 0.3} {
+		fmt.Println("minSup", minSup)
+		for _, r := range m.Eclat(db, minSup, 2) {
+			fmt.Printf("  %v %.2f\n", r.Items, r.Freq)
+		}
 	}
 	// Output:
-	// {0} ~0.7
-	// {1} ~0.7
-	// {0,1} ~0.7
+	// minSup 0.5
+	//   {0} 0.67
+	//   {1} 0.67
+	//   {0,1} 0.67
+	// minSup 0.3
+	//   {0} 0.67
+	//   {1} 0.67
+	//   {4} 0.33
+	//   {5} 0.33
+	//   {0,1} 0.67
+	//   {0,4} 0.33
+	//   {1,4} 0.33
 }
 
 // ExampleFrequencies answers a batch of exact frequency queries in one

@@ -1,6 +1,7 @@
 package itemsketch_test
 
 import (
+	"context"
 	"math"
 	"testing"
 
@@ -85,7 +86,10 @@ func TestIntegrationFullPipeline(t *testing.T) {
 		// is excluded: it stores answers for exactly-k itemsets only
 		// (Definition 7), and Apriori needs level-1 queries.
 		if name != "release-answers" {
-			rs := itemsketch.Apriori(itemsketch.OnSketch(es, d), 0.3, 2)
+			rs, err := itemsketch.AprioriContext(context.Background(), itemsketch.QuerySketch(es), 0.3, 2)
+			if err != nil {
+				t.Fatalf("%s: mining on sketch: %v", name, err)
+			}
 			found := false
 			for _, m := range rs {
 				if m.Items.Equal(T) {
@@ -113,7 +117,8 @@ func TestIntegrationPlannerConsistency(t *testing.T) {
 		{K: 2, Eps: 0.1, Delta: 0.1, Mode: itemsketch.ForAll, Task: itemsketch.Indicator},
 		{K: 2, Eps: 0.005, Delta: 0.1, Mode: itemsketch.ForAll, Task: itemsketch.Indicator},
 	} {
-		sk, plan, err := itemsketch.Auto(db, p, 9)
+		sk, plan, err := itemsketch.Build(context.Background(), db,
+			itemsketch.WithParams(p), itemsketch.WithSeed(9))
 		if err != nil {
 			t.Fatal(err)
 		}

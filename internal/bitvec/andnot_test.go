@@ -1,0 +1,153 @@
+package bitvec
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// The AndNot kernels are the dEclat diffset building blocks; they are
+// checked word-by-word against the Vector reference operations.
+
+func randWords(r *rand.Rand, n int) []uint64 {
+	w := make([]uint64, n)
+	for i := range w {
+		w[i] = r.Uint64()
+	}
+	return w
+}
+
+func TestAndNotKernels(t *testing.T) {
+	r := rand.New(rand.NewSource(42))
+	for _, nw := range []int{0, 1, 3, 4, 7, 16, 33} {
+		a := randWords(r, nw)
+		b := randWords(r, nw)
+		want := make([]uint64, nw)
+		wantCnt := 0
+		for i := range want {
+			want[i] = a[i] &^ b[i]
+			wantCnt += popcount(want[i])
+		}
+		if got := AndNotCountWords(a, b); got != wantCnt {
+			t.Fatalf("nw=%d: AndNotCountWords = %d, want %d", nw, got, wantCnt)
+		}
+		dst := make([]uint64, nw)
+		if got := AndNotInto(dst, a, b); got != wantCnt {
+			t.Fatalf("nw=%d: AndNotInto count = %d, want %d", nw, got, wantCnt)
+		}
+		for i := range dst {
+			if dst[i] != want[i] {
+				t.Fatalf("nw=%d: AndNotInto word %d = %x, want %x", nw, i, dst[i], want[i])
+			}
+		}
+		// In-place aliasing: dst == a is the accumulator pattern.
+		acc := append([]uint64(nil), a...)
+		if got := AndNotInto(acc, acc, b); got != wantCnt {
+			t.Fatalf("nw=%d: aliased AndNotInto count = %d, want %d", nw, got, wantCnt)
+		}
+		for i := range acc {
+			if acc[i] != want[i] {
+				t.Fatalf("nw=%d: aliased AndNotInto word %d differs", nw, i)
+			}
+		}
+	}
+}
+
+func TestCappedKernels(t *testing.T) {
+	r := rand.New(rand.NewSource(9))
+	for _, nw := range []int{1, 31, 32, 33, 64, 157} {
+		a := randWords(r, nw)
+		b := randWords(r, nw)
+		full := AndNotCountWords(a, b)
+		fullAnd := AndCountWords(a, b)
+
+		// Unlimited budget: identical to the plain kernels.
+		dst := make([]uint64, nw)
+		if cnt, ok := AndNotIntoCapped(dst, a, b, nw*64); !ok || cnt != full {
+			t.Fatalf("nw=%d: uncapped AndNotIntoCapped = (%d,%v), want (%d,true)", nw, cnt, ok, full)
+		}
+		for i := range dst {
+			if dst[i] != a[i]&^b[i] {
+				t.Fatalf("nw=%d: AndNotIntoCapped word %d wrong", nw, i)
+			}
+		}
+		if cnt, ok := AndIntoCapped(dst, a, b, nw*64); !ok || cnt != fullAnd {
+			t.Fatalf("nw=%d: uncapped AndIntoCapped = (%d,%v), want (%d,true)", nw, cnt, ok, fullAnd)
+		}
+
+		// Budget exactly the count: still a full pass.
+		if cnt, ok := AndNotIntoCapped(dst, a, b, full); !ok || cnt != full {
+			t.Fatalf("nw=%d: exact-budget pass = (%d,%v)", nw, cnt, ok)
+		}
+		// Budget below the count: must report an early exit with a
+		// running count already past the budget.
+		if full > 0 {
+			cnt, ok := AndNotIntoCapped(dst, a, b, full-1)
+			if ok {
+				t.Fatalf("nw=%d: budget %d not enforced (cnt=%d)", nw, full-1, cnt)
+			}
+			if cnt <= full-1 {
+				t.Fatalf("nw=%d: early exit with cnt %d ≤ budget %d", nw, cnt, full-1)
+			}
+		}
+		if fullAnd > 0 {
+			if cnt, ok := AndIntoCapped(dst, a, b, fullAnd-1); ok || cnt <= fullAnd-1 {
+				t.Fatalf("nw=%d: AndIntoCapped budget not enforced (%d,%v)", nw, cnt, ok)
+			}
+		}
+	}
+}
+
+func popcount(x uint64) int {
+	c := 0
+	for ; x != 0; x &= x - 1 {
+		c++
+	}
+	return c
+}
+
+func TestNotInto(t *testing.T) {
+	r := rand.New(rand.NewSource(7))
+	for _, n := range []int{1, 5, 63, 64, 65, 129, 200} {
+		nw := wordsFor(n)
+		src := make([]uint64, nw)
+		v := New(n)
+		for i := 0; i < n; i++ {
+			if r.Intn(2) == 1 {
+				v.Set(i)
+			}
+		}
+		copy(src, v.Words())
+		dst := make([]uint64, nw)
+		cnt := NotInto(dst, src, n)
+		if want := n - v.Count(); cnt != want {
+			t.Fatalf("n=%d: NotInto count = %d, want %d", n, cnt, want)
+		}
+		got := Wrap(n, dst)
+		for i := 0; i < n; i++ {
+			if got.Get(i) == v.Get(i) {
+				t.Fatalf("n=%d: bit %d not complemented", n, i)
+			}
+		}
+		// The invariant every kernel relies on: bits past n are zero.
+		if n%64 != 0 && dst[nw-1]>>(uint(n)%64) != 0 {
+			t.Fatalf("n=%d: NotInto left tail bits set: %x", n, dst[nw-1])
+		}
+	}
+}
+
+func TestAndNotMismatchPanics(t *testing.T) {
+	for name, f := range map[string]func(){
+		"AndNotCountWords": func() { AndNotCountWords(make([]uint64, 2), make([]uint64, 3)) },
+		"AndNotInto":       func() { AndNotInto(make([]uint64, 2), make([]uint64, 2), make([]uint64, 3)) },
+		"NotInto":          func() { NotInto(make([]uint64, 2), make([]uint64, 2), 200) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s: length mismatch did not panic", name)
+				}
+			}()
+			f()
+		}()
+	}
+}

@@ -4,6 +4,7 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"sync"
 )
 
 // ErrShortStream is returned by Reader methods when the stream is
@@ -200,6 +201,19 @@ func (r *Reader) Remaining() int { return r.nbit - r.pos }
 // length; the envelope layer's chunk framing bounds the layer below.
 const ioBufBytes = 4096
 
+// ioBufPool recycles the ioBufBytes windows (and the adapter structs
+// wrapping them) across encode/decode calls: a codec round trip on a
+// warm pool allocates no window buffers. Adapters are returned by
+// their Release methods.
+var (
+	ioReaderPool = sync.Pool{New: func() any {
+		return &IOReader{buf: make([]byte, ioBufBytes)}
+	}}
+	ioWriterPool = sync.Pool{New: func() any {
+		return &IOWriter{buf: make([]byte, 0, ioBufBytes)}
+	}}
+)
+
 // IOReader is a BitReader that pulls bytes from an io.Reader on demand,
 // so decoding a stream buffers at most ioBufBytes here regardless of
 // payload size. The total bit length must be declared up front (the
@@ -218,12 +232,23 @@ type IOReader struct {
 }
 
 // NewIOReader returns an IOReader over the first nbits bits of src.
-// nbits must be non-negative.
+// nbits must be non-negative. The reader comes from an internal pool;
+// callers that decode in a loop can return it with Release.
 func NewIOReader(src io.Reader, nbits int) *IOReader {
 	if nbits < 0 {
 		panic("bitvec: NewIOReader negative bit count")
 	}
-	return &IOReader{src: src, nbit: nbits, buf: make([]byte, ioBufBytes)}
+	x := ioReaderPool.Get().(*IOReader)
+	*x = IOReader{src: src, nbit: nbits, buf: x.buf}
+	return x
+}
+
+// Release returns the reader and its window to the internal pool. The
+// reader must not be used afterwards.
+func (x *IOReader) Release() {
+	x.src = nil
+	x.err = nil
+	ioReaderPool.Put(x)
 }
 
 // fill refreshes the window. It is only called at byte boundaries
@@ -348,9 +373,21 @@ type IOWriter struct {
 	err    error
 }
 
-// NewIOWriter returns an IOWriter streaming to dst.
+// NewIOWriter returns an IOWriter streaming to dst. The writer comes
+// from an internal pool; callers that encode in a loop can return it
+// with Release (after Close).
 func NewIOWriter(dst io.Writer) *IOWriter {
-	return &IOWriter{dst: dst, buf: make([]byte, 0, ioBufBytes)}
+	w := ioWriterPool.Get().(*IOWriter)
+	*w = IOWriter{dst: dst, buf: w.buf[:0]}
+	return w
+}
+
+// Release returns the writer and its window to the internal pool. The
+// writer must not be used afterwards; call Close first to flush.
+func (w *IOWriter) Release() {
+	w.dst = nil
+	w.err = nil
+	ioWriterPool.Put(w)
 }
 
 func (w *IOWriter) flush() {

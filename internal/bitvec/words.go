@@ -101,6 +101,126 @@ func AndInto(dst, a, b []uint64) int {
 	return c
 }
 
+// AndNotCountWords returns popcount(a AND NOT b) in a single fused
+// pass. The slices must have the same length. With b a tidset and a its
+// parent's tidset this is the size of the dEclat diffset without
+// materializing it.
+func AndNotCountWords(a, b []uint64) int {
+	if len(a) != len(b) {
+		panic("bitvec: AndNotCountWords length mismatch")
+	}
+	c := 0
+	for i, x := range a {
+		c += bits.OnesCount64(x &^ b[i])
+	}
+	return c
+}
+
+// AndNotInto sets dst = a AND NOT b and returns popcount(dst), fused
+// into one pass — the diffset construction kernel of the dEclat miner
+// (t(P)∖t(P∪{a}), or d(PY)∖d(PX) between sibling diffsets). dst may
+// alias a and/or b. All three slices must have the same length. Kept as
+// a range loop like the other 2-operand kernels; see the package
+// comment on why unrolling them measures slower.
+func AndNotInto(dst, a, b []uint64) int {
+	if len(dst) != len(a) || len(a) != len(b) {
+		panic("bitvec: AndNotInto length mismatch")
+	}
+	c := 0
+	for i := range dst {
+		w := a[i] &^ b[i]
+		dst[i] = w
+		c += bits.OnesCount64(w)
+	}
+	return c
+}
+
+// cappedBlockWords is the budget-check granularity of the capped
+// kernels: 32 words (2 KiB, four cache lines) per check keeps the
+// branch out of the inner loop while stopping a doomed candidate
+// within one block of proving it.
+const cappedBlockWords = 32
+
+// AndNotIntoCapped sets dst = a AND NOT b like AndNotInto, but gives
+// up as soon as the running popcount exceeds budget, re-checking every
+// cappedBlockWords words. It returns the count so far and whether the
+// full pass completed; after an early exit dst's remaining words are
+// unspecified. This is the dEclat pruning kernel: a diffset larger
+// than sup(parent) − minCount belongs to an infrequent candidate, so
+// on dense databases most failing candidates abort after a fraction of
+// the scan that the plain kernel would always pay in full.
+func AndNotIntoCapped(dst, a, b []uint64, budget int) (int, bool) {
+	if len(dst) != len(a) || len(a) != len(b) {
+		panic("bitvec: AndNotIntoCapped length mismatch")
+	}
+	c := 0
+	for lo := 0; lo < len(dst); {
+		hi := lo + cappedBlockWords
+		if hi > len(dst) {
+			hi = len(dst)
+		}
+		d, av, bv := dst[lo:hi], a[lo:hi], b[lo:hi]
+		for j := range d {
+			w := av[j] &^ bv[j]
+			d[j] = w
+			c += bits.OnesCount64(w)
+		}
+		if c > budget {
+			return c, false
+		}
+		lo = hi
+	}
+	return c, true
+}
+
+// AndIntoCapped is AndNotIntoCapped for dst = a AND b — the diffset of
+// a tidset parent against a diffset sibling.
+func AndIntoCapped(dst, a, b []uint64, budget int) (int, bool) {
+	if len(dst) != len(a) || len(a) != len(b) {
+		panic("bitvec: AndIntoCapped length mismatch")
+	}
+	c := 0
+	for lo := 0; lo < len(dst); {
+		hi := lo + cappedBlockWords
+		if hi > len(dst) {
+			hi = len(dst)
+		}
+		d, av, bv := dst[lo:hi], a[lo:hi], b[lo:hi]
+		for j := range d {
+			w := av[j] & bv[j]
+			d[j] = w
+			c += bits.OnesCount64(w)
+		}
+		if c > budget {
+			return c, false
+		}
+		lo = hi
+	}
+	return c, true
+}
+
+// NotInto sets dst = NOT a over the first n bits — bits at positions
+// ≥ n in the final word are zeroed, maintaining the packed-string
+// invariant — and returns popcount(dst). len(dst) and len(a) must both
+// equal wordsFor(n). It builds root-level diffsets: the complement of a
+// dense attribute column is the rows *not* containing the attribute.
+func NotInto(dst, a []uint64, n int) int {
+	nw := wordsFor(n)
+	if len(dst) != nw || len(a) != nw {
+		panic("bitvec: NotInto word count mismatch")
+	}
+	c := 0
+	for i := range dst {
+		w := ^a[i]
+		if i == nw-1 && n%wordBits != 0 {
+			w &= (uint64(1) << (uint(n) % wordBits)) - 1
+		}
+		dst[i] = w
+		c += bits.OnesCount64(w)
+	}
+	return c
+}
+
 // AndCountAll returns the popcount of the AND of all cols in a single
 // pass, without materializing the intersection. It panics if cols is
 // empty or the slices differ in length. The caller's backing array for

@@ -36,6 +36,7 @@ import (
 	"errors"
 	"fmt"
 	"math"
+	"sync"
 
 	"repro/internal/bitvec"
 	"repro/internal/dataset"
@@ -295,8 +296,16 @@ func UnmarshalSketch(r bitvec.BitReader) (Sketch, error) {
 // Implementations use it to define SizeBits so the reported size can
 // never drift from the real encoding, and the streaming marshal uses
 // it as the allocation-free sizing pass before the framed encode.
+// sizeWriterPool recycles the counting writers: the writer escapes
+// through the MarshalBits interface call, so without pooling every
+// SizeBits query would pay one allocation.
+var sizeWriterPool = sync.Pool{New: func() any { return new(bitvec.SizeWriter) }}
+
 func MarshaledSizeBits(s Sketch) int64 {
-	var w bitvec.SizeWriter
-	s.MarshalBits(&w)
-	return int64(w.BitLen())
+	w := sizeWriterPool.Get().(*bitvec.SizeWriter)
+	*w = bitvec.SizeWriter{}
+	s.MarshalBits(w)
+	bits := int64(w.BitLen())
+	sizeWriterPool.Put(w)
+	return bits
 }

@@ -95,6 +95,24 @@ func MustItemset(attrs ...int) Itemset {
 	return t
 }
 
+// ItemsetView wraps attrs as an Itemset without copying — the
+// zero-allocation constructor the mining engine uses to carve result
+// itemsets out of a reused arena. attrs must be strictly increasing and
+// non-negative (checked; panics otherwise, so the sortedness invariant
+// every query path relies on cannot be broken silently). The caller
+// retains ownership: mutating attrs afterwards changes the itemset.
+func ItemsetView(attrs []int) Itemset {
+	for i, a := range attrs {
+		if a < 0 {
+			panic(fmt.Sprintf("dataset: negative attribute %d", a))
+		}
+		if i > 0 && attrs[i-1] >= a {
+			panic(fmt.Sprintf("dataset: ItemsetView attrs not strictly increasing at %d", i))
+		}
+	}
+	return Itemset{attrs: attrs}
+}
+
 // Len returns the number of attributes (k for a k-itemset).
 func (t Itemset) Len() int { return len(t.attrs) }
 
@@ -652,6 +670,20 @@ func (db *Database) AttrColumn(a int) *bitvec.Vector {
 		db.BuildColumnIndex()
 	}
 	return &db.cols[a]
+}
+
+// ColumnCount returns the number of rows containing attribute a — the
+// popcount of a's column bitmap, building the column index if needed.
+// It is the per-column density statistic the adaptive miners use to
+// pick tidset vs diffset representation at the root.
+func (db *Database) ColumnCount(a int) int {
+	if a < 0 || a >= db.d {
+		panic(fmt.Sprintf("dataset: attribute %d out of range [0,%d)", a, db.d))
+	}
+	if db.cols == nil {
+		db.BuildColumnIndex()
+	}
+	return bitvec.CountWords(db.colWords(a))
 }
 
 // colWords returns attribute a's row-bitmap words from the column

@@ -1,0 +1,228 @@
+package mining
+
+import (
+	"slices"
+
+	"repro/internal/bitvec"
+	"repro/internal/dataset"
+)
+
+// Adaptive diffset Eclat (Zaki's dEclat). The classic Eclat recursion
+// carries each candidate's tidset — the row bitmap of the rows
+// containing the prefix — and intersects it with a sibling's to extend
+// the prefix. On dense databases tidsets stay dense and every failing
+// candidate still pays a full AND+popcount pass. dEclat stores the
+// *diffset* instead: d(PX) = t(P) ∖ t(PX), the rows the extension
+// loses, with sup(PX) = sup(P) − |d(PX)|. Two things fall out:
+//
+//   - Diffsets compose without ever rebuilding a tidset: for siblings
+//     X, Y of a prefix class, d(PXY) = d(PY) ∖ d(PX).
+//   - Diffset construction admits early exit. The diffset count only
+//     grows as the kernel scans, and the candidate is infrequent as
+//     soon as it exceeds sup(PX) − minCount — on dense data most
+//     failing candidates are rejected after a fraction of the scan,
+//     where the tidset kernel always pays the full pass.
+//
+// Representation is chosen per branch. At the root, an attribute whose
+// column popcount (dataset.Database.ColumnCount) exceeds half the rows
+// stores its complement (bitvec.NotInto); below the root a child is
+// computed as a diffset when its predicted support exceeds half its
+// parent's (sibling support over class support as the density proxy),
+// except where the parent representations force the choice:
+//
+//	parent X \ sibling Y    tidset Y            diffset Y
+//	tidset X                either (adaptive)   either (adaptive)
+//	diffset X               tidset only         diffset only
+//
+// All four transitions are single fused bitvec kernels (AndInto,
+// AndNotInto) over per-mine arena windows, so a warm Miner runs the
+// whole search with zero allocations.
+
+// EclatMode selects the Eclat vertical representation.
+type EclatMode int
+
+const (
+	// EclatAuto switches per branch between tidsets and diffsets —
+	// the dEclat heuristic, and the default.
+	EclatAuto EclatMode = iota
+	// EclatTidsets forces classic tidset Eclat everywhere (the
+	// baseline the benchmarks compare against).
+	EclatTidsets
+	// EclatDiffsets forces diffsets everywhere, including sparse
+	// roots.
+	EclatDiffsets
+)
+
+// eclatNode is one member of a prefix equivalence class: the itemset
+// prefix+item, its support, and its tidset or diffset (relative to the
+// class prefix) carved from the mine's word arena.
+type eclatNode struct {
+	item int
+	sup  int
+	set  []uint64
+	diff bool
+}
+
+// Eclat mines frequent itemsets on the exact database by depth-first
+// vertical intersection with the adaptive tidset/diffset
+// representation. See EclatWith.
+func (m *Miner) Eclat(db *dataset.Database, minSupport float64, maxK int) []Result {
+	return m.EclatWith(db, minSupport, maxK, EclatAuto)
+}
+
+// EclatWith is Eclat with an explicit representation mode. It produces
+// the same collection as Apriori on a database-backed Querier in any
+// mode; the mode changes only how supports are computed. Results are
+// valid until the next call on this Miner.
+func (m *Miner) EclatWith(db *dataset.Database, minSupport float64, maxK int, mode EclatMode) []Result {
+	d := db.NumCols()
+	n := db.NumRows()
+	if maxK <= 0 || maxK > d {
+		maxK = d
+	}
+	if n == 0 {
+		return nil
+	}
+	if !db.HasColumnIndex() {
+		db.BuildColumnIndex()
+	}
+	minCount := minCountFor(minSupport, n)
+	nw := len(db.AttrColumn(0).Words())
+
+	m.beginMine()
+	m.prefix = m.prefix[:0]
+
+	// Root class: one member per frequent attribute. Tidsets are
+	// zero-copy views of the column index; diffsets (chosen for
+	// columns denser than half the rows, or forced by mode) are
+	// complements built in the arena.
+	root := m.nodesAt(0)
+	for a := 0; a < d; a++ {
+		sup := db.ColumnCount(a)
+		if sup < minCount {
+			continue
+		}
+		diff := mode == EclatDiffsets || (mode == EclatAuto && 2*sup > n)
+		var set []uint64
+		if diff {
+			set = m.words.alloc(nw)
+			bitvec.NotInto(set, db.AttrColumn(a).Words(), n)
+		} else {
+			set = db.AttrColumn(a).Words()
+		}
+		root = append(root, eclatNode{item: a, sup: sup, set: set, diff: diff})
+	}
+	m.nodes[0] = root
+	sortClass(root)
+	m.eclatClass(root, 1, n, minCount, maxK, n, mode)
+	return m.finish()
+}
+
+// sortClass orders class members by ascending support (ties by item):
+// extending the rarest members first keeps early sets small and fails
+// candidates as high in the tree as possible, and it is what makes the
+// support-ratio representation heuristic meaningful.
+func sortClass(nodes []eclatNode) {
+	slices.SortFunc(nodes, func(a, b eclatNode) int {
+		if a.sup != b.sup {
+			return a.sup - b.sup
+		}
+		return a.item - b.item
+	})
+}
+
+// eclatClass emits every member of an equivalence class and recurses
+// into the classes they head. classSup is the support of the class
+// prefix (n at the root); depth is the class scratch index.
+func (m *Miner) eclatClass(members []eclatNode, depth, classSup, minCount, maxK, n int, mode EclatMode) {
+	for i := range members {
+		x := &members[i]
+		m.prefix = append(m.prefix, x.item)
+		m.emitSortedCopy(m.prefix, float64(x.sup)/float64(n))
+		if len(m.prefix) < maxK && i+1 < len(members) {
+			mark := m.words.mark()
+			children := m.nodesAt(depth)
+			for j := i + 1; j < len(members); j++ {
+				at := m.words.mark()
+				child, ok := m.extend(x, &members[j], classSup, minCount, mode)
+				if ok {
+					children = append(children, child)
+				} else {
+					m.words.release(at)
+				}
+			}
+			m.nodes[depth] = children
+			if len(children) > 0 {
+				sortClass(children)
+				m.eclatClass(children, depth+1, x.sup, minCount, maxK, n, mode)
+			}
+			m.words.release(mark)
+		}
+		m.prefix = m.prefix[:len(m.prefix)-1]
+	}
+}
+
+// extend computes the class member for prefix∪{x.item, y.item} from the
+// sets of x and y (both relative to the class prefix), choosing the
+// representation per the table above. It returns ok=false for an
+// infrequent candidate; the caller then rolls the arena back so the
+// failed candidate's window is reused immediately.
+func (m *Miner) extend(x, y *eclatNode, classSup, minCount int, mode EclatMode) (eclatNode, bool) {
+	nw := len(x.set)
+	budget := x.sup - minCount // largest diffset a frequent child may have
+	dst := m.words.alloc(nw)
+	var cnt int
+	var full bool
+	var diff bool
+	switch {
+	case x.diff && y.diff:
+		// Forced diffset: d(PXY) = d(PY) ∖ d(PX).
+		diff = true
+		cnt, full = bitvec.AndNotIntoCapped(dst, y.set, x.set, budget)
+	case x.diff && !y.diff:
+		// Forced tidset: t(PXY) = t(PY) ∖ d(PX).
+		cnt = bitvec.AndNotInto(dst, y.set, x.set)
+		full = true
+	case !x.diff && y.diff:
+		if wantDiff(y.sup, classSup, mode) {
+			diff = true
+			cnt, full = bitvec.AndIntoCapped(dst, x.set, y.set, budget)
+		} else {
+			cnt = bitvec.AndNotInto(dst, x.set, y.set)
+			full = true
+		}
+	default: // both tidsets
+		if wantDiff(y.sup, classSup, mode) {
+			diff = true
+			cnt, full = bitvec.AndNotIntoCapped(dst, x.set, y.set, budget)
+		} else {
+			cnt = bitvec.AndInto(dst, x.set, y.set)
+			full = true
+		}
+	}
+	var sup int
+	if diff {
+		if !full || cnt > budget {
+			return eclatNode{}, false
+		}
+		sup = x.sup - cnt
+	} else {
+		if cnt < minCount {
+			return eclatNode{}, false
+		}
+		sup = cnt
+	}
+	return eclatNode{item: y.item, sup: sup, set: dst, diff: diff}, true
+}
+
+// wantDiff is the per-branch representation heuristic where the parent
+// representations leave a choice: predict the child dense — and take
+// the diffset with its early exit — when the sibling covers more than
+// half the class (Zaki's sup(child) > ½·sup(parent) rule, with
+// y.sup/classSup standing in for the unknown child/parent ratio).
+func wantDiff(ySup, classSup int, mode EclatMode) bool {
+	if mode != EclatAuto {
+		return mode == EclatDiffsets
+	}
+	return 2*ySup > classSup
+}

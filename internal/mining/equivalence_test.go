@@ -1,0 +1,212 @@
+package mining
+
+import (
+	"context"
+	"math"
+	"testing"
+
+	"repro/internal/dataset"
+	"repro/internal/query"
+	"repro/internal/rng"
+)
+
+// The miners must all enumerate exactly the frequent collection. The
+// property tests here pin tidset-Eclat ≡ diffset-Eclat ≡ adaptive
+// Eclat ≡ trie-Apriori ≡ naive subset enumeration on random sparse and
+// dense databases, across widths that do and do not divide 64 and the
+// minSupport edge cases (0, 1, just above the maximum support).
+
+// naiveMine enumerates every itemset of size ≤ maxK and keeps those
+// with frequency ≥ minSupport — the specification the fast miners are
+// checked against.
+func naiveMine(db *dataset.Database, minSupport float64, maxK int) []Result {
+	d := db.NumCols()
+	if maxK <= 0 || maxK > d {
+		maxK = d
+	}
+	if db.NumRows() == 0 {
+		return nil
+	}
+	var out []Result
+	var attrs []int
+	var recurse func(next int)
+	recurse = func(next int) {
+		if len(attrs) > 0 {
+			f := db.Frequency(dataset.MustItemset(attrs...))
+			if f < minSupport {
+				// Anti-monotone: no superset can pass either, but keep
+				// the enumeration simple and just skip emitting.
+			} else {
+				out = append(out, Result{Items: dataset.MustItemset(attrs...), Freq: f})
+			}
+		}
+		if len(attrs) == maxK {
+			return
+		}
+		for a := next; a < d; a++ {
+			attrs = append(attrs, a)
+			recurse(a + 1)
+			attrs = attrs[:len(attrs)-1]
+		}
+	}
+	recurse(0)
+	sortResults(out)
+	return out
+}
+
+func sameResults(t *testing.T, label string, got, want []Result) {
+	t.Helper()
+	if len(got) != len(want) {
+		t.Fatalf("%s: %d results, want %d", label, len(got), len(want))
+	}
+	for i := range got {
+		if !got[i].Items.Equal(want[i].Items) {
+			t.Fatalf("%s: result %d is %v, want %v", label, i, got[i].Items, want[i].Items)
+		}
+		if math.Abs(got[i].Freq-want[i].Freq) > 1e-12 {
+			t.Fatalf("%s: %v freq %g, want %g", label, got[i].Items, got[i].Freq, want[i].Freq)
+		}
+	}
+}
+
+// maxSingletonSupport returns the largest single-attribute frequency.
+func maxSingletonSupport(db *dataset.Database) float64 {
+	best := 0
+	for a := 0; a < db.NumCols(); a++ {
+		if c := db.ColumnCount(a); c > best {
+			best = c
+		}
+	}
+	return float64(best) / float64(db.NumRows())
+}
+
+func TestMinerEquivalenceProperty(t *testing.T) {
+	r := rng.New(20260727)
+	ctx := context.Background()
+	m := NewMiner() // shared across all cases: reuse must not leak state
+	cases := []struct {
+		name    string
+		n, d    int
+		density float64
+		maxK    int
+	}{
+		{"sparse_d37", 180, 37, 0.10, 3},   // 37 ∤ 64
+		{"sparse_d64", 200, 64, 0.08, 3},   // exact word width
+		{"dense_d20", 150, 20, 0.55, 3},    // dense: diffset roots
+		{"dense_d70", 120, 70, 0.60, 2},    // dense and 70 ∤ 64
+		{"verydense_d10", 90, 10, 0.85, 4}, // nearly full columns
+	}
+	for _, tc := range cases {
+		db := dataset.GenUniform(r, tc.n, tc.d, tc.density)
+		supports := []float64{0.05, 0.2, 0.5}
+		// Edge thresholds: 0 admits everything (cap the width via a
+		// small maxK), 1 admits only always-present itemsets, and just
+		// above the max support admits nothing.
+		supports = append(supports, 0, 1, maxSingletonSupport(db)+1e-9)
+		for _, minSup := range supports {
+			maxK := tc.maxK
+			if minSup == 0 && tc.d > 20 {
+				maxK = 2 // keep the full enumeration tractable
+			}
+			want := naiveMine(db, minSup, maxK)
+			sameResults(t, tc.name+"/eclat-tidset", m.EclatWith(db, minSup, maxK, EclatTidsets), want)
+			sameResults(t, tc.name+"/eclat-diffset", m.EclatWith(db, minSup, maxK, EclatDiffsets), want)
+			sameResults(t, tc.name+"/eclat-auto", m.EclatWith(db, minSup, maxK, EclatAuto), want)
+			ap, err := m.AprioriContext(ctx, query.FromDatabase(db), minSup, maxK)
+			if err != nil {
+				t.Fatal(err)
+			}
+			sameResults(t, tc.name+"/apriori-trie", ap, want)
+			if minSup > 0 {
+				// FP-Growth clamps minCount to ≥ 1 by design, so it is
+				// compared away from the minSupport = 0 edge.
+				sameResults(t, tc.name+"/fpgrowth", m.FPGrowth(db, minSup, maxK), want)
+			}
+		}
+	}
+}
+
+// TestMinerEquivalenceMarketBasket runs the same cross-check on the
+// correlated generator (bundles make deep frequent sets, which the
+// uniform generator rarely produces).
+func TestMinerEquivalenceMarketBasket(t *testing.T) {
+	r := rng.New(7)
+	ctx := context.Background()
+	db := dataset.GenMarketBasket(r, 600, 33, dataset.BasketConfig{
+		MeanSize:     6,
+		ZipfExponent: 1.1,
+		Bundles:      [][]int{{2, 3, 4}, {10, 11}, {5, 6, 7, 8}},
+		BundleProb:   0.4,
+	})
+	m := NewMiner()
+	for _, minSup := range []float64{0.02, 0.1, 0.3} {
+		want := naiveMine(db, minSup, 4)
+		sameResults(t, "mb/eclat-tidset", m.EclatWith(db, minSup, 4, EclatTidsets), want)
+		sameResults(t, "mb/eclat-diffset", m.EclatWith(db, minSup, 4, EclatDiffsets), want)
+		sameResults(t, "mb/eclat-auto", m.EclatWith(db, minSup, 4, EclatAuto), want)
+		ap, err := m.AprioriContext(ctx, query.FromDatabase(db), minSup, 4)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sameResults(t, "mb/apriori-trie", ap, want)
+		sameResults(t, "mb/fpgrowth", m.FPGrowth(db, minSup, 4), want)
+	}
+}
+
+// TestWarmEclatAllocationFree pins the tentpole guarantee: a warm
+// Miner's Eclat performs zero allocations, in every representation
+// mode.
+func TestWarmEclatAllocationFree(t *testing.T) {
+	r := rng.New(3)
+	db := dataset.GenMarketBasket(r, 2000, 40, dataset.BasketConfig{MeanSize: 5, ZipfExponent: 1.2})
+	db.BuildColumnIndex()
+	m := NewMiner()
+	for _, mode := range []EclatMode{EclatTidsets, EclatDiffsets, EclatAuto} {
+		m.EclatWith(db, 0.05, 3, mode) // warm the arenas
+		avg := testing.AllocsPerRun(10, func() {
+			m.EclatWith(db, 0.05, 3, mode)
+		})
+		if avg != 0 {
+			t.Errorf("mode %d: warm Eclat allocates %.1f/op, want 0", mode, avg)
+		}
+	}
+}
+
+// TestMinerResultsValidUntilNextCall pins the aliasing contract: a
+// Miner's results are views that the next call on the same engine
+// overwrites, so callers copy what they keep; and results from a fresh
+// engine (the package-level functions) are unaffected by later mines.
+func TestMinerResultsValidUntilNextCall(t *testing.T) {
+	db := toyDB()
+	owned := Eclat(db, 0.4, 0) // fresh engine per call: caller owns
+	snapshot := make([]string, len(owned))
+	for i, r := range owned {
+		snapshot[i] = r.Items.Key()
+	}
+	m := NewMiner()
+	m.Eclat(db, 0.4, 0)
+	m.Eclat(db, 0.2, 0) // overwrites the previous call's arenas
+	for i, r := range owned {
+		if r.Items.Key() != snapshot[i] {
+			t.Fatalf("package-level results mutated by an unrelated Miner: %v", r.Items)
+		}
+	}
+}
+
+func TestEclatModesOnEmptyAndTiny(t *testing.T) {
+	m := NewMiner()
+	empty := dataset.NewDatabase(5)
+	for _, mode := range []EclatMode{EclatTidsets, EclatDiffsets, EclatAuto} {
+		if rs := m.EclatWith(empty, 0.5, 0, mode); rs != nil {
+			t.Errorf("mode %d: empty db mined %d itemsets", mode, len(rs))
+		}
+	}
+	one := dataset.NewDatabase(3)
+	one.AddRowAttrs(0, 2)
+	for _, mode := range []EclatMode{EclatTidsets, EclatDiffsets, EclatAuto} {
+		rs := m.EclatWith(one, 1, 0, mode)
+		if len(rs) != 3 { // {0}, {2}, {0,2}
+			t.Errorf("mode %d: single-row db mined %v", mode, rs)
+		}
+	}
+}

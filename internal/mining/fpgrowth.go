@@ -1,7 +1,7 @@
 package mining
 
 import (
-	"sort"
+	"slices"
 
 	"repro/internal/dataset"
 )
@@ -9,54 +9,108 @@ import (
 // FP-Growth [Han et al.]: mine frequent itemsets with no candidate
 // generation, by building a compressed prefix tree (FP-tree) of the
 // transactions and recursively mining conditional trees. It produces
-// exactly the Apriori/Eclat collection on an exact database and is the
-// fastest of the three on dense data; the miners cross-check each
-// other in the tests.
+// exactly the Apriori/Eclat collection on an exact database; the
+// miners cross-check each other in the tests.
+//
+// The trees follow the engine's arena discipline: nodes are index-
+// linked structs in one contiguous slice per tree (no pointers, no
+// child maps), each recursion depth owns one reusable conditional
+// tree, and the conditional pattern base is filtered through a shared
+// per-item count scratch — so a warm Miner rebuilds every conditional
+// tree without allocating.
 
+// fpNode is one arena node of an FP-tree: a prefix-tree node with its
+// multiplicity count, parent/child/sibling links by index, and the
+// header-chain link threading all nodes of the same item.
 type fpNode struct {
-	item     int
-	count    int
-	parent   *fpNode
-	children map[int]*fpNode
-	next     *fpNode // header chain
+	item    int32
+	count   int
+	parent  int32
+	child   int32
+	sibling int32
+	hnext   int32
 }
 
-type fpTree struct {
-	root    *fpNode
-	headers map[int]*fpNode
-	counts  map[int]int
+// fpTreeScratch is one FP-tree (the global tree at depth 0, a
+// conditional tree per recursion depth below). headers and counts are
+// indexed by item id and kept in canonical state (-1 / 0) for every
+// item NOT in touched, so reset pays for the items the previous tree
+// actually used — not O(d) per conditional tree. order is the depth's
+// mining-order scratch.
+type fpTreeScratch struct {
+	nodes   []fpNode
+	headers []int32
+	counts  []int
+	touched []int32 // items with a non-canonical header/count slot
+	order   []int32
 }
 
-func newFPTree() *fpTree {
-	return &fpTree{
-		root:    &fpNode{item: -1, children: make(map[int]*fpNode)},
-		headers: make(map[int]*fpNode),
-		counts:  make(map[int]int),
+func (t *fpTreeScratch) reset(d int) {
+	t.nodes = append(t.nodes[:0], fpNode{item: -1, parent: -1, child: -1, sibling: -1, hnext: -1})
+	if cap(t.headers) < d {
+		t.headers = make([]int32, d)
+		t.counts = make([]int, d)
+		for i := range t.headers {
+			t.headers[i] = -1
+		}
+		t.touched = t.touched[:0]
+		return
 	}
+	// Slices keep their high-water length (indexing only ever uses
+	// item ids < d ≤ len); restore the slots the previous tree used.
+	for _, it := range t.touched {
+		t.headers[it] = -1
+		t.counts[it] = 0
+	}
+	t.touched = t.touched[:0]
 }
 
 // insert adds a transaction (items pre-sorted in the tree's global
 // order) with multiplicity count.
-func (t *fpTree) insert(items []int, count int) {
-	node := t.root
+func (t *fpTreeScratch) insert(items []int, count int) {
+	cur := int32(0)
 	for _, it := range items {
-		child, ok := node.children[it]
-		if !ok {
-			child = &fpNode{item: it, parent: node, children: make(map[int]*fpNode)}
-			node.children[it] = child
-			// Prepend to the header chain.
-			child.next = t.headers[it]
-			t.headers[it] = child
+		c := t.nodes[cur].child
+		for c != -1 && t.nodes[c].item != int32(it) {
+			c = t.nodes[c].sibling
 		}
-		child.count += count
+		if c == -1 {
+			c = int32(len(t.nodes))
+			t.nodes = append(t.nodes, fpNode{
+				item: int32(it), parent: cur,
+				child: -1, sibling: t.nodes[cur].child,
+				hnext: t.headers[it],
+			})
+			t.nodes[cur].child = c
+			t.headers[it] = c
+		}
+		t.nodes[c].count += count
+		if t.counts[it] == 0 {
+			t.touched = append(t.touched, int32(it))
+		}
 		t.counts[it] += count
-		node = child
+		cur = c
 	}
 }
 
+// fpTreeAt returns the (existing or fresh) tree scratch for a depth.
+func (m *Miner) fpTreeAt(depth int) *fpTreeScratch {
+	for depth >= len(m.fpTrees) {
+		m.fpTrees = append(m.fpTrees, fpTreeScratch{})
+	}
+	return &m.fpTrees[depth]
+}
+
 // FPGrowth mines all itemsets with frequency ≥ minSupport and size ≤
-// maxK (maxK ≤ 0 means unbounded) from the exact database.
+// maxK (maxK ≤ 0 means unbounded) from the exact database. It runs on
+// a fresh engine, so the results own their memory.
 func FPGrowth(db *dataset.Database, minSupport float64, maxK int) []Result {
+	return new(Miner).FPGrowth(db, minSupport, maxK)
+}
+
+// FPGrowth is the engine form of the package-level FPGrowth. Results
+// are valid until the next call on this Miner.
+func (m *Miner) FPGrowth(db *dataset.Database, minSupport float64, maxK int) []Result {
 	d := db.NumCols()
 	n := db.NumRows()
 	if maxK <= 0 || maxK > d {
@@ -65,133 +119,144 @@ func FPGrowth(db *dataset.Database, minSupport float64, maxK int) []Result {
 	if n == 0 {
 		return nil
 	}
-	minCount := int(minSupport * float64(n))
-	if float64(minCount) < minSupport*float64(n) {
-		minCount++
-	}
+	minCount := minCountFor(minSupport, n)
 	if minCount < 1 {
 		minCount = 1
 	}
+	m.beginMine()
 
-	// Pass 1: item frequencies; order items by descending count.
-	itemCount := make([]int, d)
-	var ones []int
-	for i := 0; i < n; i++ {
-		ones = db.AppendRowOnes(ones[:0], i)
-		for _, a := range ones {
-			itemCount[a]++
-		}
+	// Pass 1: item frequencies from the column index; order frequent
+	// items by descending count (the FP-tree insertion order).
+	if cap(m.itemRank) < d {
+		m.itemRank = make([]int32, d)
 	}
-	order := make([]int, 0, d) // frequent items, most frequent first
+	m.itemRank = m.itemRank[:d]
+	m.itemOrder = m.itemOrder[:0]
 	for a := 0; a < d; a++ {
-		if itemCount[a] >= minCount {
-			order = append(order, a)
+		m.itemRank[a] = -1
+		if db.ColumnCount(a) >= minCount {
+			m.itemOrder = append(m.itemOrder, a)
 		}
 	}
-	sort.Slice(order, func(i, j int) bool {
-		if itemCount[order[i]] != itemCount[order[j]] {
-			return itemCount[order[i]] > itemCount[order[j]]
+	slices.SortFunc(m.itemOrder, func(x, y int) int {
+		if cx, cy := db.ColumnCount(x), db.ColumnCount(y); cx != cy {
+			return cy - cx
 		}
-		return order[i] < order[j]
+		return x - y
 	})
-	rank := make(map[int]int, len(order))
-	for r, a := range order {
-		rank[a] = r
+	for r, a := range m.itemOrder {
+		m.itemRank[a] = int32(r)
 	}
 
-	// Pass 2: build the global tree.
-	tree := newFPTree()
-	var buf []int
+	// Pass 2: build the global tree. The per-depth tree table is grown
+	// up front so the *fpTreeScratch pointers held across the recursion
+	// never dangle on an append.
+	m.fpTreeAt(maxK)
+	root := m.fpTreeAt(0)
+	root.reset(d)
 	for i := 0; i < n; i++ {
-		buf = buf[:0]
-		ones = db.AppendRowOnes(ones[:0], i)
-		for _, a := range ones {
-			if _, ok := rank[a]; ok {
-				buf = append(buf, a)
+		m.rowOnes = db.AppendRowOnes(m.rowOnes[:0], i)
+		m.rowBuf = m.rowBuf[:0]
+		for _, a := range m.rowOnes {
+			if m.itemRank[a] >= 0 {
+				m.rowBuf = append(m.rowBuf, a)
 			}
 		}
-		sort.Slice(buf, func(x, y int) bool { return rank[buf[x]] < rank[buf[y]] })
-		if len(buf) > 0 {
-			tree.insert(buf, 1)
+		slices.SortFunc(m.rowBuf, func(x, y int) int { return int(m.itemRank[x] - m.itemRank[y]) })
+		if len(m.rowBuf) > 0 {
+			root.insert(m.rowBuf, 1)
 		}
 	}
 
-	var out []Result
-	mineFPTree(tree, nil, minCount, maxK, n, &out)
-	sortResults(out)
-	return out
+	if cap(m.condCount) < d {
+		m.condCount = make([]int32, d)
+	}
+	m.condCount = m.condCount[:d]
+	m.suffix = m.suffix[:0]
+	m.mineFPTree(0, minCount, maxK, n, d)
+	return m.finish()
 }
 
-// mineFPTree emits every frequent extension of `suffix` found in tree.
-func mineFPTree(tree *fpTree, suffix []int, minCount, maxK, n int, out *[]Result) {
-	// Items in the tree, mined least-frequent first (bottom-up).
-	items := make([]int, 0, len(tree.counts))
-	for it, c := range tree.counts {
-		if c >= minCount {
-			items = append(items, it)
+// mineFPTree emits every frequent extension of the current suffix
+// found in the depth's tree and recurses into conditional trees.
+func (m *Miner) mineFPTree(depth, minCount, maxK, n, d int) {
+	t := m.fpTreeAt(depth)
+	// Items in the tree (the touched list, so a small conditional tree
+	// never scans all d slots), mined least-frequent first (bottom-up).
+	t.order = t.order[:0]
+	for _, it := range t.touched {
+		if t.counts[it] >= minCount {
+			t.order = append(t.order, it)
 		}
 	}
-	sort.Slice(items, func(i, j int) bool {
-		if tree.counts[items[i]] != tree.counts[items[j]] {
-			return tree.counts[items[i]] < tree.counts[items[j]]
+	order := t.order
+	slices.SortFunc(order, func(x, y int32) int {
+		if t.counts[x] != t.counts[y] {
+			return t.counts[x] - t.counts[y]
 		}
-		return items[i] < items[j]
+		return int(x - y)
 	})
-	for _, it := range items {
-		newSuffix := append(append([]int{}, suffix...), it)
-		*out = append(*out, Result{
-			Items: dataset.MustItemset(newSuffix...),
-			Freq:  float64(tree.counts[it]) / float64(n),
-		})
-		if len(newSuffix) >= maxK {
-			continue
-		}
-		// Conditional pattern base: prefix paths of every `it` node.
-		cond := newFPTree()
-		for node := tree.headers[it]; node != nil; node = node.next {
-			var path []int
-			for p := node.parent; p != nil && p.item != -1; p = p.parent {
-				path = append(path, p.item)
-			}
-			// path is leaf→root; reverse to root→leaf insertion order.
-			for l, r := 0, len(path)-1; l < r; l, r = l+1, r-1 {
-				path[l], path[r] = path[r], path[l]
-			}
-			if len(path) > 0 {
-				cond.insert(path, node.count)
+	for _, it := range order {
+		m.suffix = append(m.suffix, int(it))
+		m.emitSortedCopy(m.suffix, float64(t.counts[it])/float64(n))
+		if len(m.suffix) < maxK {
+			m.buildConditional(depth, int(it), minCount, d)
+			cond := m.fpTreeAt(depth + 1)
+			if len(cond.nodes) > 1 {
+				m.mineFPTree(depth+1, minCount, maxK, n, d)
 			}
 		}
-		// Prune conditional items below minCount, then recurse.
-		pruned := newFPTree()
-		rebuildPruned(cond, pruned, minCount)
-		if len(pruned.counts) > 0 {
-			mineFPTree(pruned, newSuffix, minCount, maxK, n, out)
-		}
+		m.suffix = m.suffix[:len(m.suffix)-1]
 	}
 }
 
-// rebuildPruned copies cond into dst, dropping items whose conditional
-// count is below minCount. Each root-to-node path is re-inserted with
-// the node's residual count (its count minus its children's counts),
-// which reproduces the original path multiset exactly.
-func rebuildPruned(cond, dst *fpTree, minCount int) {
-	var walk func(node *fpNode, path []int)
-	walk = func(node *fpNode, path []int) {
-		childSum := 0
-		for _, c := range node.children {
-			childSum += c.count
-		}
-		if node.item != -1 {
-			if cond.counts[node.item] >= minCount {
-				path = append(append([]int{}, path...), node.item)
+// emitSortedCopy emits attrs as a result after sorting a scratch copy
+// (the FP-Growth suffix and the Eclat prefix grow in mining order, not
+// attribute order).
+func (m *Miner) emitSortedCopy(attrs []int, freq float64) {
+	m.sortBuf = append(m.sortBuf[:0], attrs...)
+	slices.Sort(m.sortBuf)
+	m.emit(m.sortBuf, freq)
+}
+
+// buildConditional fills the depth+1 tree with item's conditional
+// pattern base from the depth tree, pruned to items whose conditional
+// count reaches minCount. Two passes over the header chain: the first
+// accumulates conditional counts into the shared scratch, the second
+// re-inserts each prefix path filtered by them — equivalent to
+// building and then pruning the conditional tree, without the
+// intermediate copy.
+func (m *Miner) buildConditional(depth, item, minCount, d int) {
+	t := m.fpTreeAt(depth)
+	m.condItems = m.condItems[:0]
+	for node := t.headers[item]; node != -1; node = t.nodes[node].hnext {
+		cnt := t.nodes[node].count
+		for p := t.nodes[node].parent; p > 0; p = t.nodes[p].parent {
+			it := t.nodes[p].item
+			if m.condCount[it] == 0 {
+				m.condItems = append(m.condItems, it)
 			}
-			if residual := node.count - childSum; residual > 0 && len(path) > 0 {
-				dst.insert(path, residual)
-			}
-		}
-		for _, c := range node.children {
-			walk(c, path)
+			m.condCount[it] += int32(cnt)
 		}
 	}
-	walk(cond.root, nil)
+	cond := m.fpTreeAt(depth + 1)
+	cond.reset(d)
+	for node := t.headers[item]; node != -1; node = t.nodes[node].hnext {
+		m.rowBuf = m.rowBuf[:0]
+		for p := t.nodes[node].parent; p > 0; p = t.nodes[p].parent {
+			if it := t.nodes[p].item; int(m.condCount[it]) >= minCount {
+				m.rowBuf = append(m.rowBuf, int(it))
+			}
+		}
+		// rowBuf is leaf→root; reverse to root→leaf insertion order.
+		for l, r := 0, len(m.rowBuf)-1; l < r; l, r = l+1, r-1 {
+			m.rowBuf[l], m.rowBuf[r] = m.rowBuf[r], m.rowBuf[l]
+		}
+		if len(m.rowBuf) > 0 {
+			cond.insert(m.rowBuf, t.nodes[node].count)
+		}
+	}
+	for _, it := range m.condItems {
+		m.condCount[it] = 0
+	}
 }

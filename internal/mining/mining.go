@@ -7,25 +7,32 @@
 // interface makes the two interchangeable, and the examples compare
 // mining output on a SUBSAMPLE sketch against exact mining.
 //
-// Two classical miners are provided: Apriori (level-wise candidate
-// generation over any frequency backend) and Eclat (depth-first
-// vertical bitmap intersection; exact-database only, used as the fast
-// baseline). Post-processing covers maximal/closed filtering (the
-// condensed representations discussed in §1.1.1) and association
-// rules.
+// Four classical miners are provided: Apriori (level-wise candidate
+// generation over any frequency backend), Eclat (depth-first vertical
+// intersection with adaptive tidset/diffset representation —
+// exact-database only, the fast baseline), FP-Growth (pattern growth
+// with no candidate generation) and Toivonen (sample, mine, verify).
+// Post-processing covers maximal/closed filtering (the condensed
+// representations discussed in §1.1.1) and association rules.
 //
-// The miners run on the query.Querier interface: AprioriContext issues
-// one batched EstimateMany call per level, so candidate evaluation is
-// sharded across CPUs by the backend and a cancelled context stops the
-// mine within one chunk of queries. The FrequencySource forms are kept
-// as thin wrappers over the Querier path.
+// All miners run on the reusable Miner engine: scratch lives in
+// per-engine arenas (tidset windows, trie node pools, batched query
+// buffers), so steady-state mining on a warm Miner allocates nothing
+// per candidate. The package-level functions wrap a fresh engine per
+// call and keep the original ownership semantics.
+//
+// Apriori's candidate bookkeeping is a prefix trie over sorted item
+// ids in a contiguous node arena: generation joins sibling leaves,
+// pruning walks the trie (no per-candidate keys or maps), and each
+// level's surviving candidates are answered by a single batched
+// query.Querier EstimateMany call, so candidate evaluation is sharded
+// across CPUs by the backend and a cancelled context stops the mine
+// within one chunk of queries.
 package mining
 
 import (
 	"context"
-	"sort"
 
-	"repro/internal/bitvec"
 	"repro/internal/dataset"
 	"repro/internal/query"
 )
@@ -67,23 +74,6 @@ type Result struct {
 	Freq  float64
 }
 
-// sortResults orders by size then lexicographic attrs, for determinism.
-func sortResults(rs []Result) {
-	sort.Slice(rs, func(i, j int) bool {
-		a, b := rs[i].Items, rs[j].Items
-		if a.Len() != b.Len() {
-			return a.Len() < b.Len()
-		}
-		aa, ba := a.Attrs(), b.Attrs()
-		for x := range aa {
-			if aa[x] != ba[x] {
-				return aa[x] < ba[x]
-			}
-		}
-		return false
-	})
-}
-
 // Apriori mines all itemsets with frequency ≥ minSupport and size ≤
 // maxK (maxK ≤ 0 means unbounded), level-wise with candidate pruning.
 // It is the legacy form of AprioriContext, wrapping src as a serial
@@ -104,124 +94,182 @@ func Apriori(src FrequencySource, minSupport float64, maxK int) []Result {
 // batched EstimateMany call, so the backend shards the work across
 // CPUs and a cancelled ctx aborts the mine with ctx.Err(). Against a
 // sketch-backed Querier this is the paper's §1.1.2 "mine the sketch,
-// not the data" path.
+// not the data" path. It runs on a fresh engine; use Miner for the
+// buffer-reusing form.
 func AprioriContext(ctx context.Context, q query.Querier, minSupport float64, maxK int) ([]Result, error) {
-	out, err := aprioriLevels(ctx, q, minSupport, maxK, nil)
-	if err != nil {
+	return new(Miner).AprioriContext(ctx, q, minSupport, maxK)
+}
+
+// AprioriContext is the engine form of the package-level
+// AprioriContext. Results are valid until the next call on this Miner.
+func (m *Miner) AprioriContext(ctx context.Context, q query.Querier, minSupport float64, maxK int) ([]Result, error) {
+	if err := m.aprioriLevels(ctx, q, minSupport, maxK, false); err != nil {
 		return nil, err
 	}
-	sortResults(out)
-	return out, nil
+	return m.finish(), nil
 }
 
-// aprioriLevels is the shared level-wise engine behind AprioriContext
-// and the Toivonen negative-border mine: candidate generation with
-// subset pruning, one batched EstimateMany per level. Frequent results
-// are returned (unsorted); if onInfrequent is non-nil it receives
-// every generated candidate that failed the threshold — exactly the
-// negative border.
-func aprioriLevels(ctx context.Context, q query.Querier, minSupport float64, maxK int, onInfrequent func(Result)) ([]Result, error) {
-	d := q.NumAttrs()
-	if maxK <= 0 || maxK > d {
-		maxK = d
-	}
-	var out []Result
-
-	// Level 1: one batched call over all d singletons.
-	ts := make([]dataset.Itemset, d)
-	for a := 0; a < d; a++ {
-		ts[a] = dataset.MustItemset(a)
-	}
-	fs := make([]float64, d)
-	if err := q.EstimateMany(ctx, ts, fs); err != nil {
-		return nil, err
-	}
-	var level [][]int
-	for a := 0; a < d; a++ {
-		if fs[a] >= minSupport {
-			level = append(level, []int{a})
-			out = append(out, Result{Items: ts[a], Freq: fs[a]})
-		} else if onInfrequent != nil {
-			onInfrequent(Result{Items: ts[a], Freq: fs[a]})
-		}
-	}
-
-	for k := 2; k <= maxK && len(level) > 0; k++ {
-		prev := make(map[string]bool, len(level))
-		for _, s := range level {
-			prev[key(s)] = true
-		}
-		// Join step: two (k−1)-sets sharing their first k−2 items.
-		// Candidates surviving the subset pruning are collected and
-		// answered in one batch.
-		var cands [][]int
-		ts = ts[:0]
-		for i := 0; i < len(level); i++ {
-			for j := i + 1; j < len(level); j++ {
-				a, b := level[i], level[j]
-				if !samePrefix(a, b) {
-					continue
-				}
-				cand := make([]int, k)
-				copy(cand, a)
-				if a[k-2] < b[k-2] {
-					cand[k-1] = b[k-2]
-				} else {
-					cand[k-1], cand[k-2] = a[k-2], b[k-2]
-				}
-				if !allSubsetsFrequent(cand, prev) {
-					continue
-				}
-				cands = append(cands, cand)
-				ts = append(ts, dataset.MustItemset(cand...))
-			}
-		}
-		if cap(fs) < len(ts) {
-			fs = make([]float64, len(ts))
-		}
-		fs = fs[:len(ts)]
-		if err := q.EstimateMany(ctx, ts, fs); err != nil {
-			return nil, err
-		}
-		var next [][]int
-		for i, cand := range cands {
-			if fs[i] >= minSupport {
-				next = append(next, cand)
-				out = append(out, Result{Items: ts[i], Freq: fs[i]})
-			} else if onInfrequent != nil {
-				onInfrequent(Result{Items: ts[i], Freq: fs[i]})
-			}
-		}
-		level = next
-	}
-	return out, nil
+// trieNode is one node of the Apriori candidate trie. Every frequent
+// itemset mined so far is a root path over its sorted attributes;
+// children of a node are a sibling list in ascending item order. Nodes
+// live in the Miner's contiguous arena and are addressed by index, so
+// the trie allocates nothing per candidate.
+type trieNode struct {
+	item    int32
+	child   int32 // first child, -1 if none
+	sibling int32 // next sibling, -1 if none
 }
 
-func key(s []int) string {
-	return dataset.MustItemset(s...).Key()
+const trieNil = int32(-1)
+
+// trieInsert appends a node for item and returns its id. Linking is
+// done by the caller (items arrive in ascending order per parent, so
+// the caller threads the sibling chain as it inserts).
+func (m *Miner) trieInsert(item int) int32 {
+	id := int32(len(m.trie))
+	m.trie = append(m.trie, trieNode{item: int32(item), child: trieNil, sibling: trieNil})
+	return id
 }
 
-func samePrefix(a, b []int) bool {
-	for i := 0; i < len(a)-1; i++ {
-		if a[i] != b[i] {
+// trieContains reports whether attrs (sorted) is a path in the trie,
+// i.e. was accepted as a frequent itemset.
+func (m *Miner) trieContains(attrs []int) bool {
+	cur := int32(0)
+	for _, a := range attrs {
+		c := m.trie[cur].child
+		for c != trieNil && m.trie[c].item < int32(a) {
+			c = m.trie[c].sibling
+		}
+		if c == trieNil || m.trie[c].item != int32(a) {
 			return false
 		}
+		cur = c
 	}
 	return true
 }
 
-// allSubsetsFrequent prunes a candidate whose (k−1)-subsets are not all
-// frequent (anti-monotonicity).
-func allSubsetsFrequent(cand []int, prev map[string]bool) bool {
-	sub := make([]int, 0, len(cand)-1)
-	for drop := range cand {
-		sub = sub[:0]
-		for i, v := range cand {
-			if i != drop {
-				sub = append(sub, v)
+// aprioriLevels is the shared level-wise engine behind AprioriContext
+// and the Toivonen negative-border mine: trie-based candidate
+// generation with subset pruning, one batched EstimateMany per level.
+// Frequent itemsets are recorded via emit; with wantBorder set, every
+// generated candidate that fails the threshold — exactly the negative
+// border — is recorded via emitBorder.
+func (m *Miner) aprioriLevels(ctx context.Context, q query.Querier, minSupport float64, maxK int, wantBorder bool) error {
+	d := q.NumAttrs()
+	if maxK <= 0 || maxK > d {
+		maxK = d
+	}
+	m.beginMine()
+	m.trie = append(m.trie[:0], trieNode{item: -1, child: trieNil, sibling: trieNil})
+	m.levelNodes = m.levelNodes[:0]
+	m.paths = m.paths[:0]
+
+	// Level 1 candidates: all d singletons under the root.
+	m.candPaths = m.candPaths[:0]
+	m.candParent = m.candParent[:0]
+	for a := 0; a < d; a++ {
+		m.candPaths = append(m.candPaths, a)
+		m.candParent = append(m.candParent, 0)
+	}
+
+	for k := 1; k <= maxK; k++ {
+		nCand := len(m.candParent)
+		if nCand == 0 {
+			return nil
+		}
+		// One batched call answers the whole level. The itemsets are
+		// zero-copy views into the candidate path arena, built only
+		// after generation finished growing it.
+		m.ts = m.ts[:0]
+		for i := 0; i < nCand; i++ {
+			lo, hi := i*k, (i+1)*k
+			m.ts = append(m.ts, dataset.ItemsetView(m.candPaths[lo:hi:hi]))
+		}
+		if cap(m.fs) < nCand {
+			m.fs = make([]float64, nCand)
+		}
+		m.fs = m.fs[:nCand]
+		if err := q.EstimateMany(ctx, m.ts, m.fs); err != nil {
+			return err
+		}
+
+		// Accept survivors: record the result, add the trie node, and
+		// keep the leaf for the next level's join. Candidates arrive
+		// grouped by parent with items ascending, so the sibling chain
+		// threads in one pass.
+		m.nextNodes = m.nextNodes[:0]
+		m.nextPaths = m.nextPaths[:0]
+		lastParent, lastNode := trieNil, trieNil
+		for i := 0; i < nCand; i++ {
+			attrs := m.candPaths[i*k : (i+1)*k]
+			if m.fs[i] >= minSupport {
+				m.emit(attrs, m.fs[i])
+				id := m.trieInsert(attrs[k-1])
+				if p := m.candParent[i]; p == lastParent {
+					m.trie[lastNode].sibling = id
+				} else {
+					m.trie[p].child = id
+					lastParent = p
+				}
+				lastNode = id
+				m.nextNodes = append(m.nextNodes, id)
+				m.nextPaths = append(m.nextPaths, attrs...)
+			} else if wantBorder {
+				m.emitBorder(attrs, m.fs[i])
 			}
 		}
-		if !prev[key(sub)] {
+		m.levelNodes, m.nextNodes = m.nextNodes, m.levelNodes
+		m.paths, m.nextPaths = m.nextPaths, m.paths
+		if k == maxK || len(m.levelNodes) == 0 {
+			return nil
+		}
+
+		// Join step: two frequent k-sets sharing their first k−1 items
+		// are siblings in the trie; each ordered sibling pair yields
+		// one (k+1)-candidate, kept only if its other k-subsets are
+		// trie paths (anti-monotonicity; the two subsets obtained by
+		// dropping either joined item are the joined leaves
+		// themselves).
+		m.candPaths = m.candPaths[:0]
+		m.candParent = m.candParent[:0]
+		for s := 0; s < len(m.levelNodes); {
+			// The sibling run [s, e): consecutive leaves chained by
+			// their trie sibling pointers share a parent.
+			e := s
+			for e+1 < len(m.levelNodes) && m.trie[m.levelNodes[e]].sibling == m.levelNodes[e+1] {
+				e++
+			}
+			e++
+			for gi := s; gi < e; gi++ {
+				base := m.paths[gi*k : (gi+1)*k]
+				for gj := gi + 1; gj < e; gj++ {
+					item := int(m.trie[m.levelNodes[gj]].item)
+					if !m.prunedSubsetsPresent(base, item) {
+						continue
+					}
+					m.candPaths = append(m.candPaths, base...)
+					m.candPaths = append(m.candPaths, item)
+					m.candParent = append(m.candParent, m.levelNodes[gi])
+				}
+			}
+			s = e
+		}
+	}
+	return nil
+}
+
+// prunedSubsetsPresent checks the k-subsets of base∪{item} obtained by
+// dropping one of base's first k−1 attributes (the remaining two
+// subsets are the joined leaves, present by construction). The scratch
+// subset lives in the Miner's prefix buffer.
+func (m *Miner) prunedSubsetsPresent(base []int, item int) bool {
+	k := len(base)
+	for drop := 0; drop < k-1; drop++ {
+		m.prefix = m.prefix[:0]
+		m.prefix = append(m.prefix, base[:drop]...)
+		m.prefix = append(m.prefix, base[drop+1:]...)
+		m.prefix = append(m.prefix, item)
+		if !m.trieContains(m.prefix) {
 			return false
 		}
 	}
@@ -229,91 +277,11 @@ func allSubsetsFrequent(cand []int, prev map[string]bool) bool {
 }
 
 // Eclat mines frequent itemsets on the exact database by depth-first
-// vertical bitmap intersection. It produces the same collection as
-// Apriori on a DBSource but avoids repeated scans.
-//
-// The recursion owns one scratch tidlist buffer per depth, reused
-// across all siblings at that depth, so a whole mining run performs no
-// per-candidate allocation: each candidate costs exactly one fused
-// AND+popcount pass (bitvec.AndInto) into its depth's buffer. At the
-// root the attribute columns are read directly from the database's
-// column index without cloning.
-//
-// Root candidates are visited in ascending support order: extending
-// the rarest items first keeps the early tidlists sparse and fails the
-// minCount test as high in the tree as possible, shrinking the search
-// tree versus attribute order. The mined collection is unchanged (the
-// enumeration still visits every frequent set exactly once and output
-// is sorted), which the Apriori-equivalence tests pin down.
+// vertical intersection with the adaptive tidset/diffset
+// representation (see EclatMode and the engine documentation in
+// eclat.go). It produces the same collection as Apriori on a DBSource
+// but avoids repeated scans; it runs on a fresh engine, so the results
+// own their memory.
 func Eclat(db *dataset.Database, minSupport float64, maxK int) []Result {
-	d := db.NumCols()
-	n := db.NumRows()
-	if maxK <= 0 || maxK > d {
-		maxK = d
-	}
-	if n == 0 {
-		return nil
-	}
-	if !db.HasColumnIndex() {
-		db.BuildColumnIndex()
-	}
-	minCount := int(minSupport * float64(n))
-	if float64(minCount) < minSupport*float64(n) {
-		minCount++
-	}
-	nw := len(db.AttrColumn(0).Words())
-	var out []Result
-	var scratch [][]uint64 // scratch[depth] is that depth's tidlist buffer
-	prefix := make([]int, 0, maxK)
-	// tids == nil means "all rows" (the empty prefix); depth counts
-	// intersections taken so far.
-	var recurse func(tids []uint64, depth int, candidates []int)
-	recurse = func(tids []uint64, depth int, candidates []int) {
-		for ci, a := range candidates {
-			col := db.AttrColumn(a).Words()
-			var next []uint64
-			var cnt int
-			if tids == nil {
-				// Root level: the column itself is the tidlist; it is
-				// only read below, never written.
-				next = col
-				cnt = bitvec.CountWords(col)
-			} else {
-				// First intersection happens at depth 1, so the
-				// buffer for depth d lives at scratch[d-1].
-				for depth-1 >= len(scratch) {
-					scratch = append(scratch, make([]uint64, nw))
-				}
-				next = scratch[depth-1]
-				cnt = bitvec.AndInto(next, tids, col)
-			}
-			if cnt < minCount {
-				continue
-			}
-			prefix = append(prefix, a)
-			out = append(out, Result{
-				Items: dataset.MustItemset(prefix...),
-				Freq:  float64(cnt) / float64(n),
-			})
-			if len(prefix) < maxK {
-				recurse(next, depth+1, candidates[ci+1:])
-			}
-			prefix = prefix[:len(prefix)-1]
-		}
-	}
-	order := make([]int, d)
-	counts := make([]int, d)
-	for a := 0; a < d; a++ {
-		order[a] = a
-		counts[a] = bitvec.CountWords(db.AttrColumn(a).Words())
-	}
-	sort.Slice(order, func(i, j int) bool {
-		if counts[order[i]] != counts[order[j]] {
-			return counts[order[i]] < counts[order[j]]
-		}
-		return order[i] < order[j]
-	})
-	recurse(nil, 0, order)
-	sortResults(out)
-	return out
+	return new(Miner).Eclat(db, minSupport, maxK)
 }

@@ -19,19 +19,14 @@ import (
 
 // aprioriWithBorder is level-wise Apriori that also reports the
 // negative border: candidates whose every (k−1)-subset is frequent but
-// which fail the support threshold themselves. It is the shared
-// aprioriLevels engine with the infrequent-candidate callback
-// collecting the border.
+// which fail the support threshold themselves. It is the engine's
+// aprioriLevels with border collection, on a fresh Miner.
 func aprioriWithBorder(ctx context.Context, q query.Querier, minSupport float64, maxK int) (freq, border []Result, err error) {
-	freq, err = aprioriLevels(ctx, q, minSupport, maxK, func(r Result) {
-		border = append(border, r)
-	})
-	if err != nil {
+	m := new(Miner)
+	if err := m.aprioriLevels(ctx, q, minSupport, maxK, true); err != nil {
 		return nil, nil, err
 	}
-	sortResults(freq)
-	sortResults(border)
-	return freq, border, nil
+	return m.finish(), m.finishBorder(), nil
 }
 
 // ToivonenReport is the outcome of one Toivonen pass.
@@ -63,8 +58,18 @@ func Toivonen(db, sample *dataset.Database, minSupport, loweredSupport float64, 
 // the full-database verification run through batched, cancellable
 // Querier calls, so the verification scan is sharded across CPUs and a
 // cancelled ctx aborts with ctx.Err(). Argument errors wrap
-// core.ErrInvalidParams.
+// core.ErrInvalidParams. It runs on a fresh engine, so the report owns
+// its memory.
 func ToivonenContext(ctx context.Context, db, sample *dataset.Database, minSupport, loweredSupport float64, maxK int) (ToivonenReport, error) {
+	return new(Miner).ToivonenContext(ctx, db, sample, minSupport, loweredSupport, maxK)
+}
+
+// ToivonenContext is the engine form of the package-level
+// ToivonenContext: the sample mine runs on the engine's trie-Apriori
+// (negative border collected as it falls out of candidate generation),
+// and the verification pass reuses the engine's batched-query buffers.
+// The report's results are valid until the next call on this Miner.
+func (m *Miner) ToivonenContext(ctx context.Context, db, sample *dataset.Database, minSupport, loweredSupport float64, maxK int) (ToivonenReport, error) {
 	var rep ToivonenReport
 	if sample.NumCols() != db.NumCols() {
 		return rep, fmt.Errorf("%w: sample has %d columns, database %d", core.ErrInvalidParams, sample.NumCols(), db.NumCols())
@@ -73,28 +78,33 @@ func ToivonenContext(ctx context.Context, db, sample *dataset.Database, minSuppo
 		return rep, fmt.Errorf("%w: lowered support %g must be ≤ minSupport %g", core.ErrInvalidParams, loweredSupport, minSupport)
 	}
 	sample.BuildColumnIndex()
-	freqS, borderS, err := aprioriWithBorder(ctx, query.FromDatabase(sample), loweredSupport, maxK)
-	if err != nil {
+	if err := m.aprioriLevels(ctx, query.FromDatabase(sample), loweredSupport, maxK, true); err != nil {
 		return rep, err
 	}
+	freqS := m.finish()
+	borderS := m.finishBorder()
 
 	// Verify every candidate — the sample's frequent sets plus its
-	// negative border — against the full database in one batched pass.
+	// negative border — against the full database in one batched pass
+	// through the engine's pooled query buffers.
 	db.BuildColumnIndex()
-	cands := make([]dataset.Itemset, 0, len(freqS)+len(borderS))
+	m.ts = m.ts[:0]
 	for _, r := range freqS {
-		cands = append(cands, r.Items)
+		m.ts = append(m.ts, r.Items)
 	}
 	for _, r := range borderS {
-		cands = append(cands, r.Items)
+		m.ts = append(m.ts, r.Items)
 	}
-	exact := make([]float64, len(cands))
-	if err := query.FromDatabase(db).EstimateMany(ctx, cands, exact); err != nil {
+	if cap(m.fs) < len(m.ts) {
+		m.fs = make([]float64, len(m.ts))
+	}
+	m.fs = m.fs[:len(m.ts)]
+	if err := query.FromDatabase(db).EstimateMany(ctx, m.ts, m.fs); err != nil {
 		return rep, err
 	}
-	rep.CandidatesChecked = len(cands)
-	for i, T := range cands {
-		f := exact[i]
+	rep.CandidatesChecked = len(m.ts)
+	for i, T := range m.ts {
+		f := m.fs[i]
 		if f < minSupport {
 			continue
 		}

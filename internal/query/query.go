@@ -177,11 +177,12 @@ func (q dbQuerier) EstimateMany(ctx context.Context, ts []dataset.Itemset, out [
 		}
 		return ctx.Err()
 	}
-	counts := make([]int, batchChunk)
+	cp := countsPool.Get().(*[]int)
+	counts := *cp
 	// Serial outer loop: CountManyInto already shards each chunk across
 	// CPUs, so parallelizing here would only oversubscribe. The plain
 	// division keeps results bit-identical to Database.Frequency.
-	return forEachChunk(ctx, len(ts), false, func(lo, hi int) error {
+	err := forEachChunk(ctx, len(ts), false, func(lo, hi int) error {
 		c := counts[:hi-lo]
 		q.db.CountManyInto(c, ts[lo:hi])
 		for i, v := range c {
@@ -189,7 +190,17 @@ func (q dbQuerier) EstimateMany(ctx context.Context, ts []dataset.Itemset, out [
 		}
 		return nil
 	})
+	countsPool.Put(cp)
+	return err
 }
+
+// countsPool recycles the per-chunk count buffers of the database
+// EstimateMany path, so a mining run issuing one batched call per
+// Apriori level allocates no fresh scratch per level.
+var countsPool = sync.Pool{New: func() any {
+	s := make([]int, batchChunk)
+	return &s
+}}
 
 // estimateErrer / frequentErrer are the non-panicking query variants
 // RELEASE-ANSWERS exposes for |T| ≠ k; the adapters prefer them so a

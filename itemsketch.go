@@ -20,9 +20,9 @@
 //
 // Sketch construction is parallel and deterministic: Subsample,
 // ImportanceSample and MedianAmplifier shard their work across CPUs
-// (capped by SetSketchWorkers) while the same seed always produces
-// bit-identical Marshal output, independent of the worker count; see
-// the internal/core package docs for the seeding scheme.
+// (capped per build with WithWorkers) while the same seed always
+// produces bit-identical Marshal output, independent of the worker
+// count; see the internal/core package docs for the seeding scheme.
 //
 // Quick start:
 //
@@ -41,9 +41,11 @@
 // (context-aware, with CPU-sharded batched EstimateMany), and the wire
 // format is a versioned self-describing envelope (see Marshal). All
 // failures wrap the sentinel taxonomy in errors.go and are matched
-// with errors.Is. The positional entry points (Auto, MarshalRaw,
-// UnmarshalRaw, SetSketchWorkers) remain as deprecated wrappers; see
-// the README's MIGRATION section for the mapping.
+// with errors.Is. The pre-envelope positional entry points (Auto,
+// MarshalRaw, UnmarshalRaw, SetSketchWorkers, OnSketch, OnDatabase)
+// completed their deprecation window and were removed; see the
+// README's MIGRATION section for the mapping onto Build, the Querier
+// adapters and the envelope codec.
 package itemsketch
 
 import (
@@ -152,17 +154,6 @@ func Frequencies(db *Database, ts []Itemset) []float64 {
 	return out
 }
 
-// Auto plans (Theorem 12) and builds the smallest naive sketch.
-//
-// Deprecated: use Build, which takes functional options, a context,
-// and a per-build worker budget:
-//
-//	sk, plan, err := itemsketch.Build(ctx, db,
-//	    itemsketch.WithParams(p), itemsketch.WithSeed(seed))
-func Auto(db *Database, p Params, seed uint64) (Sketch, Plan, error) {
-	return core.AutoSketch(db, p, seed)
-}
-
 // SampleSize returns the Lemma 9 SUBSAMPLE row count for the given
 // parameters on a d-column database.
 func SampleSize(d int, p Params) int { return core.SampleSize(d, p) }
@@ -171,22 +162,6 @@ func SampleSize(d int, p Params) int { return core.SampleSize(d, p) }
 // median amplification runs, ⌈10·log₂(C(d,k)/δ)⌉.
 func Copies(d int, p Params) int { return core.Copies(d, p) }
 
-// SetSketchWorkers caps the number of goroutines sketch construction
-// (Subsample, ImportanceSample, MedianAmplifier) may use; k ≤ 0
-// restores the default (GOMAXPROCS). The cap changes only wall-clock
-// behaviour: construction is deterministic in the seed for any worker
-// count, and with a single CPU (e.g. the reference CI container) the
-// parallel build degrades gracefully to the serial path.
-//
-// Deprecated: the process-global cap remains as the default budget,
-// but per-build caps via Build(..., WithWorkers(n)) compose better —
-// prefer them in new code.
-func SetSketchWorkers(k int) { core.SetBuildWorkers(k) }
-
-// SketchWorkers returns the effective process-default sketch
-// construction worker count (see SetSketchWorkers).
-func SketchWorkers() int { return core.BuildWorkers() }
-
 // Apriori mines itemsets with frequency ≥ minSupport and size ≤ maxK
 // from any frequency source (exact database or sketch).
 func Apriori(src FrequencySource, minSupport float64, maxK int) []MiningResult {
@@ -194,7 +169,8 @@ func Apriori(src FrequencySource, minSupport float64, maxK int) []MiningResult {
 }
 
 // Eclat mines the same collection as Apriori from an exact database,
-// using vertical bitmap intersection.
+// using vertical intersection with the adaptive tidset/diffset
+// (dEclat) representation.
 func Eclat(db *Database, minSupport float64, maxK int) []MiningResult {
 	return mining.Eclat(db, minSupport, maxK)
 }
@@ -205,6 +181,37 @@ func FPGrowth(db *Database, minSupport float64, maxK int) []MiningResult {
 	return mining.FPGrowth(db, minSupport, maxK)
 }
 
+// Miner is the reusable mining engine behind Apriori, Eclat, FPGrowth
+// and Toivonen: all scratch (vertical tidset/diffset windows, the
+// Apriori candidate trie, batched query buffers, result storage) lives
+// in per-engine arenas that the next call reuses, so steady-state
+// mining on a warm Miner performs no per-candidate allocation — Eclat
+// reaches zero allocations per mine. Results returned by a Miner's
+// methods view those arenas and stay valid only until the next call on
+// the same engine; the package-level mining functions run each call on
+// a fresh engine and keep the copy-free ownership semantics. A Miner
+// must not be used concurrently.
+type Miner = mining.Miner
+
+// NewMiner returns a fresh reusable mining engine.
+func NewMiner() *Miner { return mining.NewMiner() }
+
+// EclatMode selects the Eclat vertical representation: adaptive
+// tidset/diffset switching (the dEclat default), or one representation
+// forced everywhere. All modes mine the identical collection.
+type EclatMode = mining.EclatMode
+
+// The Eclat representation modes.
+const (
+	// EclatAuto switches per branch between tidsets and diffsets.
+	EclatAuto = mining.EclatAuto
+	// EclatTidsets forces classic tidset Eclat (the benchmark
+	// baseline).
+	EclatTidsets = mining.EclatTidsets
+	// EclatDiffsets forces diffsets everywhere.
+	EclatDiffsets = mining.EclatDiffsets
+)
+
 // ToivonenReport is the outcome of a Toivonen sample-then-verify pass.
 type ToivonenReport = mining.ToivonenReport
 
@@ -213,19 +220,6 @@ type ToivonenReport = mining.ToivonenReport
 // full scan (Mannila–Toivonen line of work, §1.2 of the paper).
 func Toivonen(db, sample *Database, minSupport, loweredSupport float64, maxK int) (ToivonenReport, error) {
 	return mining.Toivonen(db, sample, minSupport, loweredSupport, maxK)
-}
-
-// OnDatabase adapts an exact database into a FrequencySource.
-func OnDatabase(db *Database) FrequencySource { return mining.DBSource{DB: db} }
-
-// OnSketch adapts an estimator sketch over d attributes into a
-// FrequencySource — the §1.1.2 "mine the sketch, not the data" path.
-//
-// Deprecated: use QuerySketch, which needs no side-channel d (sketches
-// know their attribute universe) and supports batched, cancellable
-// queries.
-func OnSketch(s EstimatorSketch, d int) FrequencySource {
-	return mining.EstimatorSource{Est: s, Attrs: d}
 }
 
 // Maximal filters a mined collection to its maximal itemsets.

@@ -1,6 +1,7 @@
 package itemsketch_test
 
 import (
+	"context"
 	"math"
 	"strings"
 	"testing"
@@ -44,7 +45,8 @@ func TestPublicAPIEndToEnd(t *testing.T) {
 	db := buildDB(t)
 	p := itemsketch.Params{K: 2, Eps: 0.05, Delta: 0.05,
 		Mode: itemsketch.ForAll, Task: itemsketch.Estimator}
-	sk, plan, err := itemsketch.Auto(db, p, 1)
+	sk, plan, err := itemsketch.Build(context.Background(), db,
+		itemsketch.WithParams(p), itemsketch.WithSeed(1))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -83,8 +85,15 @@ func TestPublicMiningOnSketch(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	exact := itemsketch.Apriori(itemsketch.OnDatabase(db), 0.3, 2)
-	approx := itemsketch.Apriori(itemsketch.OnSketch(sk.(itemsketch.EstimatorSketch), 16), 0.3, 2)
+	ctx := context.Background()
+	exact, err := itemsketch.AprioriContext(ctx, itemsketch.QueryDatabase(db), 0.3, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	approx, err := itemsketch.AprioriContext(ctx, itemsketch.QuerySketch(sk), 0.3, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
 	if len(exact) == 0 || len(approx) == 0 {
 		t.Fatal("mining found nothing")
 	}

@@ -59,10 +59,9 @@ func WithSeed(seed uint64) BuildOption {
 }
 
 // WithWorkers caps the number of goroutines this one build may use;
-// n ≤ 0 means the process default (SetSketchWorkers, else GOMAXPROCS),
-// matching the SetSketchWorkers convention. Unlike the deprecated
-// process-global cap, this one is scoped to the build. It changes
-// wall-clock behaviour only, never the constructed bits.
+// n ≤ 0 means the process default (GOMAXPROCS). The cap is scoped to
+// the build and changes wall-clock behaviour only, never the
+// constructed bits.
 func WithWorkers(n int) BuildOption { return func(c *buildConfig) { c.workers = n } }
 
 // WithAlgorithm forces a specific sketching algorithm instead of the

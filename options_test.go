@@ -8,6 +8,7 @@ import (
 
 	itemsketch "repro"
 	"repro/internal/bitvec"
+	"repro/internal/core"
 )
 
 func optionsDB(t testing.TB) *itemsketch.Database {
@@ -77,14 +78,14 @@ func TestBuildDefaultsAndPlan(t *testing.T) {
 	}
 }
 
-// TestBuildMatchesAuto asserts the new construction path is
-// bit-compatible with the deprecated positional one: same params and
-// seed produce byte-identical envelopes.
+// TestBuildMatchesAuto asserts the construction path is bit-compatible
+// with the positional planner entry point it replaced (now internal):
+// same params and seed produce byte-identical envelopes.
 func TestBuildMatchesAuto(t *testing.T) {
 	db := optionsDB(t)
 	p := itemsketch.Params{K: 2, Eps: 0.05, Delta: 0.05,
 		Mode: itemsketch.ForAll, Task: itemsketch.Estimator}
-	old, _, err := itemsketch.Auto(db, p, 9)
+	old, _, err := core.AutoSketch(db, p, 9)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -127,8 +128,7 @@ func TestBuildWorkersDeterminism(t *testing.T) {
 			t.Fatalf("algo %d: worker count changed the constructed bits", i)
 		}
 	}
-	// n ≤ 0 means the process default (the SetSketchWorkers
-	// convention), not an error.
+	// n ≤ 0 means the process default worker budget, not an error.
 	def, _, err := itemsketch.Build(ctx, db, itemsketch.WithSeed(11), itemsketch.WithWorkers(-1))
 	if err != nil {
 		t.Fatal(err)

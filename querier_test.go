@@ -188,12 +188,20 @@ func TestEstimateManyCancelledMidBatch(t *testing.T) {
 	}
 }
 
+// legacyDBSource adapts a database as a caller-implemented
+// FrequencySource — what external code migrating from the removed
+// OnDatabase adapter looks like.
+type legacyDBSource struct{ db *itemsketch.Database }
+
+func (s legacyDBSource) Frequency(t itemsketch.Itemset) float64 { return s.db.Frequency(t) }
+func (s legacyDBSource) NumAttrs() int                          { return s.db.NumCols() }
+
 // TestAprioriContextMatchesLegacy asserts the Querier-threaded miner
 // produces the same collection as the legacy FrequencySource path and
 // as Eclat, and that cancellation aborts the mine.
 func TestAprioriContextMatchesLegacy(t *testing.T) {
 	db := querierDB(t)
-	legacy := itemsketch.Apriori(itemsketch.OnDatabase(db), 0.2, 3)
+	legacy := itemsketch.Apriori(legacyDBSource{db}, 0.2, 3)
 	viaQ, err := itemsketch.AprioriContext(context.Background(), itemsketch.QueryDatabase(db), 0.2, 3)
 	if err != nil {
 		t.Fatal(err)

@@ -8,6 +8,7 @@ import (
 	"hash/crc32"
 	"io"
 	"math"
+	"sync"
 
 	"repro/internal/bitvec"
 	"repro/internal/core"
@@ -97,29 +98,50 @@ func WithCompression() MarshalOption {
 	}
 }
 
-// countingWriter tracks bytes written through it.
-type countingWriter struct {
-	w io.Writer
-	n int64
-}
-
-func (cw *countingWriter) Write(p []byte) (int, error) {
-	n, err := cw.w.Write(p)
-	cw.n += int64(n)
-	return n, err
-}
-
-// chunkWriter frames its input into CRC-carrying chunks. Close flushes
-// the final (possibly short) chunk and appends the zero-length
-// terminator.
+// chunkWriter frames its input into CRC-carrying chunks and tracks the
+// bytes actually delivered to the underlying writer. Close flushes the
+// final (possibly short) chunk and appends the zero-length terminator.
+// The frame scratch lives in the struct: a stack array would escape
+// through the io.Writer interface call and cost one allocation per
+// chunk.
 type chunkWriter struct {
-	w   io.Writer
-	buf []byte // accumulating chunk; cap is the chunk capacity
-	err error
+	w       io.Writer
+	buf     []byte // accumulating chunk; cap is the chunk capacity
+	written int64  // bytes delivered to w (frames + data)
+	err     error
+	frame   [chunkFrameLen]byte
+	// hdr is the envelope-header staging area marshalToSized borrows,
+	// for the same escape-avoidance reason as frame.
+	hdr [envelopeHeaderLen]byte
 }
+
+// chunkWriterPool / chunkReaderPool recycle the framing layer — the
+// structs and their chunk buffers — across codec calls, so a round
+// trip on a warm pool allocates no chunk-sized scratch. Buffers are
+// reused only when their capacity fits the requested chunk size (the
+// reader's buffer must never exceed it: the one-chunk working-set
+// bound is part of the format's contract), which in practice means the
+// DefaultChunkBytes streams every production caller writes.
+var (
+	chunkWriterPool = sync.Pool{New: func() any { return new(chunkWriter) }}
+	chunkReaderPool = sync.Pool{New: func() any { return new(chunkReader) }}
+)
 
 func newChunkWriter(w io.Writer, chunkBytes int) *chunkWriter {
-	return &chunkWriter{w: w, buf: make([]byte, 0, chunkBytes)}
+	cw := chunkWriterPool.Get().(*chunkWriter)
+	buf := cw.buf
+	if cap(buf) != chunkBytes {
+		buf = make([]byte, 0, chunkBytes)
+	}
+	*cw = chunkWriter{w: w, buf: buf[:0]}
+	return cw
+}
+
+// release returns the writer to the pool; it must not be used after.
+func (cw *chunkWriter) release() {
+	cw.w = nil
+	cw.err = nil
+	chunkWriterPool.Put(cw)
 }
 
 func (cw *chunkWriter) Write(p []byte) (int, error) {
@@ -148,14 +170,17 @@ func (cw *chunkWriter) flush() {
 	if cw.err != nil || len(cw.buf) == 0 {
 		return
 	}
-	var frame [chunkFrameLen]byte
-	binary.LittleEndian.PutUint32(frame[0:4], uint32(len(cw.buf)))
-	binary.LittleEndian.PutUint32(frame[4:8], crc32.ChecksumIEEE(cw.buf))
-	if _, err := cw.w.Write(frame[:]); err != nil {
+	binary.LittleEndian.PutUint32(cw.frame[0:4], uint32(len(cw.buf)))
+	binary.LittleEndian.PutUint32(cw.frame[4:8], crc32.ChecksumIEEE(cw.buf))
+	n, err := cw.w.Write(cw.frame[:])
+	cw.written += int64(n)
+	if err != nil {
 		cw.err = err
 		return
 	}
-	if _, err := cw.w.Write(cw.buf); err != nil {
+	n, err = cw.w.Write(cw.buf)
+	cw.written += int64(n)
+	if err != nil {
 		cw.err = err
 		return
 	}
@@ -167,8 +192,10 @@ func (cw *chunkWriter) flush() {
 func (cw *chunkWriter) Close() error {
 	cw.flush()
 	if cw.err == nil {
-		var term [chunkFrameLen]byte // zero length, zero CRC
-		if _, err := cw.w.Write(term[:]); err != nil {
+		cw.frame = [chunkFrameLen]byte{} // zero length, zero CRC
+		n, err := cw.w.Write(cw.frame[:])
+		cw.written += int64(n)
+		if err != nil {
 			cw.err = err
 		}
 	}
@@ -196,9 +223,19 @@ func MarshalTo(w io.Writer, s Sketch, opts ...MarshalOption) (int64, error) {
 	if kind >= numSketchKinds {
 		return 0, fmt.Errorf("%w: cannot marshal foreign sketch type %T", ErrInvalidParams, s)
 	}
-	bits := s.SizeBits()
+	return marshalToSized(w, s, kind, s.SizeBits(), o)
+}
 
-	var hdr [envelopeHeaderLen]byte
+// marshalToSized is MarshalTo after validation, with the SizeBits
+// counting pass already done (Marshal reuses the count to pre-size its
+// buffer, so the pass runs once per encode).
+func marshalToSized(w io.Writer, s Sketch, kind SketchKind, bits int64, o marshalOptions) (int64, error) {
+	chunker := newChunkWriter(w, o.chunkBytes)
+	defer chunker.release()
+	hdr := chunker.hdr[:]
+	for i := range hdr {
+		hdr[i] = 0
+	}
 	copy(hdr[0:4], envelopeMagic[:])
 	hdr[4] = EnvelopeVersion
 	hdr[5] = byte(kind)
@@ -207,13 +244,13 @@ func MarshalTo(w io.Writer, s Sketch, opts ...MarshalOption) (int64, error) {
 		hdr[14] |= flagCompressed
 	}
 	hdr[15] = byte(math.Ilogb(float64(o.chunkBytes)))
-	binary.LittleEndian.PutUint16(hdr[16:18], headerCheck(hdr[:]))
+	binary.LittleEndian.PutUint16(hdr[16:18], headerCheck(hdr))
 
-	cw := &countingWriter{w: w}
-	if _, err := cw.Write(hdr[:]); err != nil {
-		return cw.n, err
+	hn, err := w.Write(hdr)
+	if err != nil {
+		return int64(hn), err
 	}
-	chunker := newChunkWriter(cw, o.chunkBytes)
+	total := func() int64 { return int64(hn) + chunker.written }
 	var sink io.Writer = chunker
 	var fw *flate.Writer
 	if o.compress {
@@ -223,19 +260,21 @@ func MarshalTo(w io.Writer, s Sketch, opts ...MarshalOption) (int64, error) {
 		sink = fw
 	}
 	bw := bitvec.NewIOWriter(sink)
+	defer bw.Release()
 	s.MarshalBits(bw)
 	if int64(bw.BitLen()) != bits {
-		return cw.n, fmt.Errorf("%w: sketch %T declared %d bits but encoded %d", ErrInvalidParams, s, bits, bw.BitLen())
+		return total(), fmt.Errorf("%w: sketch %T declared %d bits but encoded %d", ErrInvalidParams, s, bits, bw.BitLen())
 	}
 	if err := bw.Close(); err != nil {
-		return cw.n, err
+		return total(), err
 	}
 	if fw != nil {
 		if err := fw.Close(); err != nil {
-			return cw.n, err
+			return total(), err
 		}
 	}
-	return cw.n, chunker.Close()
+	err = chunker.Close()
+	return total(), err
 }
 
 // chunkReader un-frames a version-2 payload stream: it verifies each
@@ -256,10 +295,30 @@ type chunkReader struct {
 	// report it bare instead of letting the decode layers above
 	// mislabel it as a corrupt or truncated sketch.
 	transportErr error
+	// frame is the chunk-frame scratch; a stack array would escape
+	// through the io.ReadFull interface call, one allocation per chunk.
+	frame [chunkFrameLen]byte
 }
 
 func newChunkReader(r io.Reader, chunkBytes int) *chunkReader {
-	return &chunkReader{r: r, chunkBytes: chunkBytes}
+	cr := chunkReaderPool.Get().(*chunkReader)
+	buf := cr.buf
+	if cap(buf) > chunkBytes {
+		// Never hand a stream a buffer larger than its chunk capacity:
+		// maxBuffered (the decoder's working-set bound) must stay
+		// within the envelope's declared chunk size.
+		buf = nil
+	}
+	*cr = chunkReader{r: r, chunkBytes: chunkBytes, buf: buf[:0]}
+	return cr
+}
+
+// release returns the reader to the pool; it must not be used after.
+func (cr *chunkReader) release() {
+	cr.r = nil
+	cr.err = nil
+	cr.transportErr = nil
+	chunkReaderPool.Put(cr)
 }
 
 func (cr *chunkReader) Read(p []byte) (int, error) {
@@ -302,16 +361,15 @@ func (cr *chunkReader) next() error {
 	if cr.done {
 		return io.EOF
 	}
-	var frame [chunkFrameLen]byte
-	if _, err := io.ReadFull(cr.r, frame[:]); err != nil {
+	if _, err := io.ReadFull(cr.r, cr.frame[:]); err != nil {
 		if err == io.EOF || err == io.ErrUnexpectedEOF {
 			return truncatedf("stream ended inside the frame of chunk %d (missing terminator?)", cr.idx)
 		}
 		cr.transportErr = err
 		return err
 	}
-	length := int(binary.LittleEndian.Uint32(frame[0:4]))
-	sum := binary.LittleEndian.Uint32(frame[4:8])
+	length := int(binary.LittleEndian.Uint32(cr.frame[0:4]))
+	sum := binary.LittleEndian.Uint32(cr.frame[4:8])
 	if length == 0 {
 		if sum != 0 {
 			return corruptf("terminator frame carries nonzero checksum %08x", sum)
@@ -483,11 +541,13 @@ func UnmarshalFrom(r io.Reader) (Sketch, error) {
 		return unmarshalV1Body(r, env)
 	}
 	cr := newChunkReader(r, env.ChunkBytes)
+	defer cr.release()
 	var src io.Reader = cr
 	if env.Compressed {
 		src = flate.NewReader(cr)
 	}
 	br := bitvec.NewIOReader(src, env.PayloadBits)
+	defer br.Release()
 	sk, err := core.UnmarshalSketch(br)
 	if err != nil {
 		if cr.transportErr != nil {
@@ -530,11 +590,13 @@ func UnmarshalFrom(r io.Reader) (Sketch, error) {
 // expectEOF verifies src is exhausted: the next read must cleanly
 // report io.EOF. Failures keep the package contract — the truncation
 // and corruption sentinels are wrapped in, while genuine transport
-// errors (recorded on cr) pass through bare.
+// errors (recorded on cr) pass through bare. The one-byte probe
+// borrows cr's frame scratch: a local array would escape through the
+// Read interface call.
 func expectEOF(src io.Reader, cr *chunkReader, what string) error {
-	var one [1]byte
+	one := cr.frame[:1]
 	for {
-		n, err := src.Read(one[:])
+		n, err := src.Read(one)
 		switch {
 		case n != 0:
 			return corruptf("%s", what)
@@ -634,6 +696,7 @@ func InspectFrom(r io.Reader) (Envelope, error) {
 		return env, nil
 	}
 	cr := newChunkReader(r, env.ChunkBytes)
+	defer cr.release()
 	var src io.Reader = cr
 	if env.Compressed {
 		src = flate.NewReader(cr)

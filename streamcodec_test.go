@@ -46,7 +46,7 @@ func chunkSizesFor(payloadLen int) []int {
 // byte-identical.
 func TestStreamRoundTripAllKinds(t *testing.T) {
 	for kind, sk := range buildAllKinds(t) {
-		rawWant, bitsWant := itemsketch.MarshalRaw(sk)
+		rawWant, bitsWant := rawBits(sk)
 		for _, chunkBytes := range chunkSizesFor(len(rawWant)) {
 			for _, compress := range []bool{false, true} {
 				name := fmt.Sprintf("%v/chunk=%d/compress=%v", kind, chunkBytes, compress)
@@ -79,7 +79,7 @@ func TestStreamRoundTripAllKinds(t *testing.T) {
 				if err != nil {
 					t.Fatalf("%s: UnmarshalFrom: %v", name, err)
 				}
-				rawGot, bitsGot := itemsketch.MarshalRaw(back)
+				rawGot, bitsGot := rawBits(back)
 				if bitsGot != bitsWant || !bytes.Equal(rawGot, rawWant) {
 					t.Errorf("%s: decoded sketch is not bit-identical (%d vs %d bits)", name, bitsGot, bitsWant)
 				}
@@ -116,7 +116,7 @@ func TestStreamExactChunkBoundary(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if raw, _ := itemsketch.MarshalRaw(sk); len(raw) != payloadBytes {
+	if raw, _ := rawBits(sk); len(raw) != payloadBytes {
 		t.Fatalf("payload is %d bytes, test wants exactly %d", len(raw), payloadBytes)
 	}
 	for _, tc := range []struct{ chunkBytes, wantChunks int }{
