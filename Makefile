@@ -2,11 +2,10 @@ GO ?= go
 
 # Minimum total test coverage (go tool cover -func, statements). CI
 # fails below this; re-baseline deliberately when adding code, never to
-# paper over deleted tests. Raised to 76.0 at PR 5 (76.1% measured at
-# PR 4).
-COVER_FLOOR ?= 76.0
+# paper over deleted tests. Raised to 76.6 at PR 6 (77.2% measured).
+COVER_FLOOR ?= 76.6
 
-.PHONY: all build test race cover vet doclint bench fuzz
+.PHONY: all build test race cover vet doclint bench chaos fuzz
 
 all: vet doclint build test
 
@@ -39,10 +38,23 @@ doclint:
 
 # bench runs the operational benchmark suite, records the results, and
 # gates the construction + mining benchmarks against the previous PR's
-# numbers; bump the output/baseline names (BENCH_6.json vs BENCH_5.json,
-# ...) in later PRs to keep the perf trajectory.
+# numbers; bump the output/baseline names in later PRs to keep the perf
+# trajectory. The PR 6 baseline is BENCH_5_remeasured.json — a same-day
+# re-run of the PR 5 tree — because the shared reference container's
+# clock drifted ~40% since BENCH_5.json was recorded; when the clock
+# drifts again, re-measure the previous PR's tree (git worktree add) on
+# the same day rather than comparing wall-clock numbers across weeks.
 bench:
-	$(GO) run ./cmd/bench -out BENCH_5.json -compare BENCH_4.json
+	$(GO) run ./cmd/bench -out BENCH_6.json -compare BENCH_5_remeasured.json
+
+# chaos runs the fault-injection suites — checkpoint recovery sweeps,
+# codec fault classification, and the mixed-load kill-shards service
+# test — under the race detector, across several fault seeds. Any seed
+# may be reproduced standalone with FAULT_SEED=<n>.
+chaos:
+	for seed in 1 42 31337; do \
+		FAULT_SEED=$$seed $(GO) test -race -run 'Fault|Chaos|Recovery' ./... || exit 1; \
+	done
 
 # fuzz exercises the three decoder/query surfaces: the exact-query
 # paths, the one-shot wire-envelope decoder, and the streaming decoder

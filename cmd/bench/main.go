@@ -5,9 +5,9 @@
 //
 // Usage:
 //
-//	go run ./cmd/bench -out BENCH_5.json                          # full run
+//	go run ./cmd/bench -out BENCH_6.json                          # full run
 //	go run ./cmd/bench -quick -out bench.json                     # CI smoke run
-//	go run ./cmd/bench -quick -out b.json -compare BENCH_4.json   # + regression gate
+//	go run ./cmd/bench -quick -out b.json -compare BENCH_5.json   # + regression gate
 //
 // With -compare, the gated benchmark families (sketch builds,
 // streaming ingest and the miners — the operations a PR must not slow
@@ -24,12 +24,14 @@ import (
 	"fmt"
 	"os"
 	"runtime"
+	"sort"
 	"strings"
 	"testing"
 	"time"
 
 	itemsketch "repro"
 	"repro/internal/rng"
+	"repro/internal/service"
 )
 
 type result struct {
@@ -122,7 +124,7 @@ func compareBaseline(baseline report, results []result, maxRegress float64) []st
 }
 
 func main() {
-	out := flag.String("out", "BENCH_5.json", "output JSON path")
+	out := flag.String("out", "BENCH_6.json", "output JSON path")
 	quick := flag.Bool("quick", false, "smaller databases for CI smoke runs")
 	compare := flag.String("compare", "", "baseline BENCH_*.json to gate benchmarks against")
 	maxRegress := flag.Float64("maxregress", 0.20, "allowed fractional ns/op regression vs -compare baseline")
@@ -390,6 +392,81 @@ func main() {
 		})
 	}
 
+	// Sharded service tier: ingest throughput and query latency through
+	// the fan-out/merge path (the Service API directly; HTTP codec cost
+	// is not part of these numbers). The p99 row is a latency quantile,
+	// not a throughput mean: NsPerOp holds the 99th-percentile
+	// single-query latency over Iterations sequential calls. Reported,
+	// not gated — tail latency on the shared reference container is too
+	// noisy for a 20% gate.
+	{
+		svc, err := service.New(service.Config{
+			Shards: 8, NumAttrs: 64, SampleCapacity: 4096, Seed: 1,
+		})
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		r := rng.New(11)
+		batch := make([][]int, 256)
+		for i := range batch {
+			var attrs []int
+			for a := 0; a < 64; a++ {
+				if r.Bernoulli(0.1) {
+					attrs = append(attrs, a)
+				}
+			}
+			batch[i] = attrs
+		}
+		record("service_ingest_batch256", func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := svc.Ingest(ctx, batch); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+		ts := make([]itemsketch.Itemset, 64)
+		for i := range ts {
+			a := r.Intn(64)
+			c := (a + 1 + r.Intn(63)) % 64
+			ts[i] = itemsketch.MustItemset(a, c)
+		}
+		record("service_estimate_batch64", func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, _, err := svc.Estimate(ctx, ts); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+		// p99 single-query latency across the 8-shard fan-out.
+		nLat := 2000
+		if *quick {
+			nLat = 500
+		}
+		one := ts[:1]
+		lats := make([]time.Duration, nLat)
+		for i := range lats {
+			start := time.Now()
+			if _, _, err := svc.Estimate(ctx, one); err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(1)
+			}
+			lats[i] = time.Since(start)
+		}
+		sort.Slice(lats, func(i, j int) bool { return lats[i] < lats[j] })
+		p99 := lats[nLat*99/100]
+		results = append(results, result{
+			Name:       "service_estimate_p99",
+			NsPerOp:    float64(p99.Nanoseconds()),
+			Iterations: nLat,
+		})
+		fmt.Printf("%-32s %12.1f ns/op (p99 latency, %d samples)\n",
+			"service_estimate_p99", float64(p99.Nanoseconds()), nLat)
+		svc.Close()
+	}
+
 	rep := report{
 		Date:       time.Now().UTC().Format(time.RFC3339),
 		GoVersion:  runtime.Version(),
@@ -397,7 +474,7 @@ func main() {
 		GOARCH:     runtime.GOARCH,
 		NumCPU:     runtime.NumCPU(),
 		GOMAXPROCS: runtime.GOMAXPROCS(0),
-		Notes:      "parallel/sharded variants (scan_parallel, subsample_build_parallel, median_amplifier_build) only beat their serial twins with >1 CPU; on a single-CPU runner read them as no-regression checks. mine_eclat_dense is the forced-tidset baseline on the dense database; mine_eclat_diffset is the same mine with forced diffsets.",
+		Notes:      "parallel/sharded variants (scan_parallel, subsample_build_parallel, median_amplifier_build) only beat their serial twins with >1 CPU; on a single-CPU runner read them as no-regression checks. mine_eclat_dense is the forced-tidset baseline on the dense database; mine_eclat_diffset is the same mine with forced diffsets. service_* rows measure the sharded sketch service (8 shards, d=64) through its Go API; service_estimate_p99 is a latency quantile (99th percentile single-query latency), not a throughput mean, and the service rows are reported, not gated.",
 		Results:    results,
 	}
 	data, err := json.MarshalIndent(rep, "", "  ")

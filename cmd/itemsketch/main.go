@@ -27,6 +27,7 @@ import (
 	"strings"
 
 	itemsketch "repro"
+	"repro/internal/atomicfile"
 	"repro/internal/bitvec"
 	"repro/internal/core"
 )
@@ -143,17 +144,17 @@ func cmdSketch(args []string) error {
 	if *compress {
 		mopts = append(mopts, itemsketch.WithCompression())
 	}
-	of, err := os.Create(*out)
-	if err != nil {
-		return err
-	}
 	// The sketch streams to disk chunk by chunk; nothing buffers the
 	// whole payload, so RELEASE-DB sketches at census scale spill
-	// straight through.
-	written, err := itemsketch.MarshalTo(of, sk, mopts...)
-	if cerr := of.Close(); err == nil {
-		err = cerr
-	}
+	// straight through. atomicfile stages the stream in a temp file
+	// that is fsynced and renamed over the destination, so a crash or
+	// I/O error mid-write never leaves a torn sketch under *out.
+	var written int64
+	err = atomicfile.Write(*out, func(w io.Writer) error {
+		var werr error
+		written, werr = itemsketch.MarshalTo(w, sk, mopts...)
+		return werr
+	})
 	if err != nil {
 		return err
 	}

@@ -1,0 +1,191 @@
+// Command loadgen drives the sharded sketch service with a mixed
+// ingest/query workload while (optionally) injecting ingest faults and
+// killing shards mid-run — a repeatable harness for measuring how the
+// degradation machinery behaves under pressure, outside of the unit
+// tests.
+//
+// It runs the Service in-process (no HTTP), reports sustained ingest
+// and query throughput, query latency percentiles (p50/p90/p99), and
+// how many queries came back partial, and exits non-zero if any query
+// failed outright without the expected degradation signal.
+//
+// Usage:
+//
+//	go run ./cmd/loadgen                                   # defaults
+//	go run ./cmd/loadgen -shards 8 -kill 2 -fault 0.05     # chaos-ish
+//	go run ./cmd/loadgen -rows 200000 -workers 8 -ckpt dir # with persistence
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	itemsketch "repro"
+	"repro/internal/faultio"
+	"repro/internal/rng"
+	"repro/internal/service"
+)
+
+func main() {
+	shards := flag.Int("shards", 8, "number of service shards")
+	d := flag.Int("d", 64, "attribute universe size")
+	capacity := flag.Int("cap", 4096, "per-shard reservoir capacity")
+	rows := flag.Int("rows", 100000, "total rows to ingest")
+	batch := flag.Int("batch", 256, "rows per ingest call")
+	workers := flag.Int("workers", 4, "concurrent query workers")
+	queries := flag.Int("queries", 2000, "estimate queries per worker")
+	kill := flag.Int("kill", 0, "shards to kill mid-run")
+	fault := flag.Float64("fault", 0, "ingest fault probability per attempt")
+	seed := flag.Uint64("seed", faultio.EnvSeed(1), "workload seed (FAULT_SEED overrides the default)")
+	ckpt := flag.String("ckpt", "", "checkpoint directory (empty = no persistence)")
+	flag.Parse()
+
+	if err := run(*shards, *d, *capacity, *rows, *batch, *workers, *queries, *kill, *fault, *seed, *ckpt); err != nil {
+		fmt.Fprintln(os.Stderr, "loadgen:", err)
+		os.Exit(1)
+	}
+}
+
+func run(shards, d, capacity, rows, batch, workers, queries, kill int, fault float64, seed uint64, ckpt string) error {
+	if ckpt != "" {
+		if err := os.MkdirAll(ckpt, 0o755); err != nil {
+			return err
+		}
+	}
+	cfg := service.Config{
+		Shards:         shards,
+		NumAttrs:       d,
+		SampleCapacity: capacity,
+		Seed:           seed,
+		CheckpointDir:  ckpt,
+	}
+	if fault > 0 {
+		fr := rng.New(seed ^ 0x10adbeef)
+		var mu sync.Mutex
+		cfg.IngestFault = func(shard, attempt int) error {
+			mu.Lock()
+			hit := fr.Float64() < fault
+			mu.Unlock()
+			if hit {
+				return fmt.Errorf("%w: loadgen ingest fault on shard %d attempt %d", faultio.ErrInjected, shard, attempt)
+			}
+			return nil
+		}
+	}
+	svc, err := service.New(cfg)
+	if err != nil {
+		return err
+	}
+	defer svc.Close()
+	ctx := context.Background()
+
+	fmt.Printf("loadgen: %d shards, d=%d, cap=%d, %d rows in batches of %d, %d×%d queries, kill=%d, fault=%.3f, seed=%d\n",
+		shards, d, capacity, rows, batch, workers, queries, kill, fault, seed)
+
+	// Ingest phase: sequential batches, measuring sustained row rate.
+	r := rng.New(seed)
+	mk := func() [][]int {
+		rs := make([][]int, batch)
+		for i := range rs {
+			var attrs []int
+			for a := 0; a < d; a++ {
+				if r.Float64() < float64(a+1)/float64(d+1)/4 {
+					attrs = append(attrs, a)
+				}
+			}
+			rs[i] = attrs
+		}
+		return rs
+	}
+	start := time.Now()
+	ingested := 0
+	for ingested < rows {
+		n, err := svc.Ingest(ctx, mk())
+		if err != nil {
+			return fmt.Errorf("ingest after %d rows: %w", ingested, err)
+		}
+		ingested += n
+	}
+	ingestDur := time.Since(start)
+	fmt.Printf("ingest:   %d rows in %v (%.0f rows/s)\n",
+		ingested, ingestDur.Round(time.Millisecond), float64(ingested)/ingestDur.Seconds())
+
+	// Query phase: workers hammer Estimate while a killer takes shards
+	// down partway through, so the tail of the run exercises the
+	// degraded fan-out path.
+	var (
+		wg       sync.WaitGroup
+		partials atomic.Int64
+		hardErrs atomic.Int64
+		latMu    sync.Mutex
+		lats     []time.Duration
+	)
+	killAt := queries / 2
+	var killOnce sync.Once
+	qStart := time.Now()
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			qr := rng.New(seed + uint64(w)*7919)
+			local := make([]time.Duration, 0, queries)
+			for q := 0; q < queries; q++ {
+				if w == 0 && q == killAt && kill > 0 {
+					killOnce.Do(func() {
+						for i := 0; i < kill && i < shards; i++ {
+							svc.KillShard(i)
+						}
+						fmt.Printf("killed:   shards 0..%d at query %d\n", kill-1, q)
+					})
+				}
+				a := qr.Intn(d)
+				b := (a + 1 + qr.Intn(d-1)) % d
+				ts := []itemsketch.Itemset{itemsketch.MustItemset(a, b)}
+				t0 := time.Now()
+				_, p, err := svc.Estimate(ctx, ts)
+				local = append(local, time.Since(t0))
+				switch {
+				case err != nil && !errors.Is(err, service.ErrNoShards):
+					hardErrs.Add(1)
+				case err == nil && p.Degraded():
+					partials.Add(1)
+				}
+			}
+			latMu.Lock()
+			lats = append(lats, local...)
+			latMu.Unlock()
+		}(w)
+	}
+	wg.Wait()
+	qDur := time.Since(qStart)
+
+	sort.Slice(lats, func(i, j int) bool { return lats[i] < lats[j] })
+	pct := func(p int) time.Duration { return lats[len(lats)*p/100] }
+	total := len(lats)
+	fmt.Printf("queries:  %d in %v (%.0f q/s)\n", total, qDur.Round(time.Millisecond), float64(total)/qDur.Seconds())
+	fmt.Printf("latency:  p50=%v p90=%v p99=%v\n", pct(50), pct(90), pct(99))
+	fmt.Printf("partial:  %d/%d answered degraded, %d hard errors\n", partials.Load(), total, hardErrs.Load())
+	for _, h := range svc.HealthReport() {
+		fmt.Printf("shard %2d: %s seen=%d checkpoints=%d\n", h.ID, h.State, h.Seen, h.Checkpoints)
+	}
+	if ckpt != "" {
+		if err := svc.Checkpoint(); err != nil {
+			return fmt.Errorf("final checkpoint: %w", err)
+		}
+		fmt.Printf("ckpt:     final checkpoint written to %s\n", ckpt)
+	}
+	if hardErrs.Load() > 0 {
+		return fmt.Errorf("%d queries failed without a degradation signal", hardErrs.Load())
+	}
+	if kill > 0 && partials.Load() == 0 && kill < shards {
+		return fmt.Errorf("killed %d shards but no query reported a partial result", kill)
+	}
+	return nil
+}

@@ -1,0 +1,53 @@
+package main
+
+import (
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// TestRunCleanWorkload: the default-shaped workload (no kills, no
+// faults) must complete with no partials and exit clean.
+func TestRunCleanWorkload(t *testing.T) {
+	if err := run(4, 16, 256, 3000, 128, 2, 50, 0, 0, 7, ""); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestRunKillsProducePartials: killing shards mid-run must surface as
+// degraded queries, not hard errors, and the run still exits clean.
+func TestRunKillsProducePartials(t *testing.T) {
+	dir := t.TempDir()
+	if err := run(4, 16, 256, 3000, 128, 2, 60, 2, 0.05, 42, dir); err != nil {
+		t.Fatal(err)
+	}
+	// The final checkpoint must cover the surviving shards.
+	m, err := filepath.Glob(filepath.Join(dir, "shard-*.ckpt"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(m) < 2 {
+		t.Fatalf("expected checkpoints for the surviving shards, found %v", m)
+	}
+}
+
+// TestRunKillAllShards: with every shard dead the tail queries answer
+// ErrNoShards — the expected degradation signal, not a hard error — so
+// the run still exits clean. Operators read the partial/health report.
+func TestRunKillAllShards(t *testing.T) {
+	if err := run(2, 16, 256, 1000, 128, 1, 40, 2, 0, 3, ""); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestRunRejectsBadConfig: an invalid universe size must surface the
+// service constructor's validation error.
+func TestRunRejectsBadConfig(t *testing.T) {
+	err := run(2, 0, 256, 100, 64, 1, 10, 0, 0, 1, "")
+	if err == nil {
+		t.Fatal("d=0 should fail service construction")
+	}
+	if !strings.Contains(err.Error(), "NumAttrs") {
+		t.Fatalf("unexpected error: %v", err)
+	}
+}

@@ -1,0 +1,62 @@
+// Package atomicfile writes files crash-safely: content goes to a
+// temporary file in the destination directory, is fsynced, and is
+// atomically renamed over the destination. A crash — or an injected
+// I/O fault — at ANY byte of the write leaves the destination exactly
+// as it was: either the complete old content or the complete new
+// content is visible, never a torn mix. This is the persistence
+// primitive under the service's shard checkpoints and the CLI's sketch
+// saves.
+package atomicfile
+
+import (
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+)
+
+// Write atomically replaces path with the bytes produced by write.
+// write receives the temporary file as an io.Writer; if it (or any of
+// the sync/close/rename steps) fails, the temporary file is removed
+// and the previous content of path is untouched. On success the new
+// content is fsynced before the rename and the directory entry is
+// synced after it, so a machine crash immediately after Write returns
+// still finds the new file.
+func Write(path string, write func(w io.Writer) error) (err error) {
+	dir := filepath.Dir(path)
+	tmp, err := os.CreateTemp(dir, filepath.Base(path)+".tmp-*")
+	if err != nil {
+		return fmt.Errorf("atomicfile: staging %s: %w", path, err)
+	}
+	tmpName := tmp.Name()
+	defer func() {
+		if err != nil {
+			// Best effort: the temp file is garbage after any failure.
+			tmp.Close()
+			os.Remove(tmpName)
+		}
+	}()
+	if err = write(tmp); err != nil {
+		return err
+	}
+	// The data must be durable before the rename publishes it: rename
+	// first and a crash could expose a named file whose bytes never hit
+	// the disk.
+	if err = tmp.Sync(); err != nil {
+		return fmt.Errorf("atomicfile: syncing %s: %w", tmpName, err)
+	}
+	if err = tmp.Close(); err != nil {
+		return fmt.Errorf("atomicfile: closing %s: %w", tmpName, err)
+	}
+	if err = os.Rename(tmpName, path); err != nil {
+		return fmt.Errorf("atomicfile: publishing %s: %w", path, err)
+	}
+	// Sync the directory so the rename itself survives a crash. Some
+	// filesystems reject fsync on directories; the rename is already
+	// atomic there, so a failure here is not worth failing the write.
+	if d, derr := os.Open(dir); derr == nil {
+		d.Sync()
+		d.Close()
+	}
+	return nil
+}

@@ -1,0 +1,103 @@
+package atomicfile
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/faultio"
+)
+
+func listDir(t *testing.T, dir string) []string {
+	t.Helper()
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var names []string
+	for _, e := range ents {
+		names = append(names, e.Name())
+	}
+	return names
+}
+
+func TestWriteCreatesAndReplaces(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "state.bin")
+	for _, content := range [][]byte{[]byte("generation-1"), []byte("generation-2, longer")} {
+		if err := Write(path, func(w io.Writer) error {
+			_, err := w.Write(content)
+			return err
+		}); err != nil {
+			t.Fatal(err)
+		}
+		got, err := os.ReadFile(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(got, content) {
+			t.Fatalf("content %q, want %q", got, content)
+		}
+	}
+	if names := listDir(t, dir); len(names) != 1 {
+		t.Fatalf("leftover temp files: %v", names)
+	}
+}
+
+// TestWriteFaultKillEveryOffset is the crash-safety property: a write
+// torn at ANY byte offset (injected via faultio) leaves the old file
+// byte-identical and no temp debris behind.
+func TestWriteFaultKillEveryOffset(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "state.bin")
+	old := []byte("the good old checkpoint that must survive")
+	next := bytes.Repeat([]byte("NEW"), 40)
+	if err := Write(path, func(w io.Writer) error { _, err := w.Write(old); return err }); err != nil {
+		t.Fatal(err)
+	}
+	for off := int64(0); off <= int64(len(next)); off++ {
+		err := Write(path, func(w io.Writer) error {
+			fw := faultio.NewWriter(w, faultio.WithFailAt(off, nil))
+			_, werr := fw.Write(next)
+			return werr
+		})
+		if off == int64(len(next)) {
+			// The tear lands past the payload: the write completes.
+			if err != nil {
+				t.Fatalf("offset %d: full write failed: %v", off, err)
+			}
+			break
+		}
+		if !errors.Is(err, faultio.ErrInjected) {
+			t.Fatalf("offset %d: want injected failure, got %v", off, err)
+		}
+		got, rerr := os.ReadFile(path)
+		if rerr != nil {
+			t.Fatalf("offset %d: old file unreadable: %v", off, rerr)
+		}
+		if !bytes.Equal(got, old) {
+			t.Fatalf("offset %d: old content clobbered", off)
+		}
+		if names := listDir(t, dir); len(names) != 1 {
+			t.Fatalf("offset %d: temp debris left: %v", off, names)
+		}
+	}
+	if got, _ := os.ReadFile(path); !bytes.Equal(got, next) {
+		t.Fatal("final successful write not visible")
+	}
+}
+
+func TestWriteCallbackErrorPassesThrough(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "f")
+	sentinel := errors.New("encoder exploded")
+	if err := Write(path, func(io.Writer) error { return sentinel }); !errors.Is(err, sentinel) {
+		t.Fatalf("want callback error, got %v", err)
+	}
+	if _, err := os.Stat(path); !os.IsNotExist(err) {
+		t.Fatal("failed first write must not create the destination")
+	}
+}

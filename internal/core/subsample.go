@@ -127,6 +127,21 @@ func (ss Subsample) sketchCtx(ctx context.Context, db *dataset.Database, p Param
 	return &subsampleSketch{sample: sample, params: p}, nil
 }
 
+// SubsampleFromSample wraps an already-drawn uniform row sample as a
+// SUBSAMPLE sketch, so externally maintained samples — a streaming
+// Reservoir, a merged set of shard reservoirs — ship through the same
+// envelope codec, Querier adapters and miners as batch-built sketches.
+// The sample is adopted, not copied (its column index is built here);
+// the caller must stop mutating it. It is the sketch-construction half
+// of the service's checkpoint/replication path.
+func SubsampleFromSample(sample *dataset.Database, p Params) (EstimatorSketch, error) {
+	if err := checkDims(sample, p); err != nil {
+		return nil, err
+	}
+	sample.BuildColumnIndex()
+	return &subsampleSketch{sample: sample, params: p}, nil
+}
+
 type subsampleSketch struct {
 	sample *dataset.Database
 	params Params
@@ -152,6 +167,12 @@ func (s *subsampleSketch) Frequent(t dataset.Itemset) bool {
 // SampleRows returns the number of sampled rows stored in the sketch.
 func (s *subsampleSketch) SampleRows() int { return s.sample.NumRows() }
 
+// Sample exposes the underlying sample database. It aliases the
+// sketch's storage — callers that mutate it (e.g. a checkpoint
+// recovery re-seeding a reservoir from it) own the sketch and must not
+// query it afterwards. SampleHolder is the interface to assert for.
+func (s *subsampleSketch) Sample() *dataset.Database { return s.sample }
+
 func (s *subsampleSketch) SizeBits() int64 { return MarshaledSizeBits(s) }
 
 func (s *subsampleSketch) MarshalBits(w bitvec.BitWriter) {
@@ -173,7 +194,16 @@ func unmarshalSubsample(r bitvec.BitReader) (Sketch, error) {
 	return &subsampleSketch{sample: sample, params: p}, nil
 }
 
+// SampleHolder is implemented by sketches that are backed by a row
+// sample and can hand it back — the decode half of the service's
+// checkpoint path, which rebuilds a streaming reservoir from the
+// sample a recovered SUBSAMPLE sketch carries.
+type SampleHolder interface {
+	Sample() *dataset.Database
+}
+
 var (
 	_ Sketcher        = Subsample{}
 	_ EstimatorSketch = (*subsampleSketch)(nil)
+	_ SampleHolder    = (*subsampleSketch)(nil)
 )

@@ -1,0 +1,310 @@
+// Package faultio provides deterministic, seeded fault injection for
+// io.Reader / io.Writer pipelines: short reads, mid-stream transport
+// errors (sticky or transient), clean truncation, byte corruption and
+// artificial latency. It exists so the codec, checkpoint and service
+// layers can be tested against every failure a real transport or disk
+// exhibits, with failures that reproduce exactly from a seed.
+//
+// Faults are scheduled against the wrapper's byte offset (the count of
+// bytes that have passed through it), so "fail at offset 1234" means
+// the same thing for any caller read/write pattern — the property the
+// kill-at-every-byte-offset checkpoint tests and the chunk-boundary
+// codec sweeps rely on.
+//
+// The wrappers are not safe for concurrent use; wrap one per stream.
+package faultio
+
+import (
+	"errors"
+	"io"
+	"os"
+	"strconv"
+	"time"
+
+	"repro/internal/rng"
+)
+
+// ErrInjected is the default error delivered by injected transport
+// faults. It deliberately wraps nothing: the codec contract says
+// genuine transport errors pass through the decoder bare, and tests
+// assert exactly that with errors.Is(err, faultio.ErrInjected).
+var ErrInjected = errors.New("faultio: injected fault")
+
+// EnvSeed returns the fault seed for this process: the FAULT_SEED
+// environment variable when set (the CI chaos job sweeps it), def
+// otherwise. A malformed value falls back to def, never panics — a
+// chaos run must not be killable by its own configuration.
+func EnvSeed(def uint64) uint64 {
+	v := os.Getenv("FAULT_SEED")
+	if v == "" {
+		return def
+	}
+	n, err := strconv.ParseUint(v, 10, 64)
+	if err != nil {
+		return def
+	}
+	return n
+}
+
+// config is the shared fault schedule of Reader and Writer.
+type config struct {
+	seed        uint64
+	shortOps    bool
+	failAt      int64 // injected error once offset reaches this, -1 = never
+	failErr     error
+	flakyP      float64 // per-call transient error probability
+	flakyErr    error
+	truncateAt  int64 // clean io.EOF once offset reaches this, -1 = never
+	corruptAt   int64 // XOR-corrupt the byte at this offset, -1 = never
+	corruptMask byte
+	latency     time.Duration
+	sleep       func(time.Duration)
+}
+
+func defaultConfig() config {
+	return config{
+		seed:        1,
+		failAt:      -1,
+		truncateAt:  -1,
+		corruptAt:   -1,
+		corruptMask: 0xA5,
+		failErr:     ErrInjected,
+		flakyErr:    ErrInjected,
+		sleep:       time.Sleep,
+	}
+}
+
+// Option configures a fault-injecting wrapper.
+type Option func(*config)
+
+// WithSeed seeds the deterministic randomness behind short operations
+// and transient (flaky) errors. The same seed over the same call
+// pattern reproduces the same fault sequence.
+func WithSeed(seed uint64) Option { return func(c *config) { c.seed = seed } }
+
+// WithShortOps makes every Read deliver (and every Write accept) a
+// random nonempty prefix of the requested bytes — the iotest.HalfReader
+// idea generalized to seeded random lengths, exercising every resume
+// path of the consumer.
+func WithShortOps() Option { return func(c *config) { c.shortOps = true } }
+
+// WithFailAt injects err once the wrapper's byte offset reaches off:
+// the call that would move past off delivers the bytes before off and
+// then fails. The error is sticky — a broken transport stays broken —
+// matching a killed connection or a yanked disk. A nil err means
+// ErrInjected.
+func WithFailAt(off int64, err error) Option {
+	return func(c *config) {
+		c.failAt = off
+		if err != nil {
+			c.failErr = err
+		}
+	}
+}
+
+// WithFlakyErrors makes each call fail with probability p before
+// touching any bytes. Unlike WithFailAt the error is transient — the
+// next call may succeed — modelling the retryable faults the service's
+// backoff path must absorb. A nil err means ErrInjected.
+func WithFlakyErrors(p float64, err error) Option {
+	return func(c *config) {
+		c.flakyP = p
+		if err != nil {
+			c.flakyErr = err
+		}
+	}
+}
+
+// WithTruncateAt ends the stream with a clean io.EOF once the offset
+// reaches off, as if the peer closed mid-transfer or the file was torn
+// at that byte.
+func WithTruncateAt(off int64) Option { return func(c *config) { c.truncateAt = off } }
+
+// WithCorruptByte XORs the byte at offset off with mask as it passes
+// through (mask 0 means the default 0xA5). The stream's length is
+// unchanged — exactly the single-byte rot the per-chunk CRCs must
+// catch.
+func WithCorruptByte(off int64, mask byte) Option {
+	return func(c *config) {
+		c.corruptAt = off
+		if mask != 0 {
+			c.corruptMask = mask
+		}
+	}
+}
+
+// WithLatency sleeps d before every call, for deadline and timeout
+// tests against real clocks.
+func WithLatency(d time.Duration) Option { return func(c *config) { c.latency = d } }
+
+// WithSleep replaces the latency sleep function (tests use a recording
+// no-op so latency schedules stay fast).
+func WithSleep(f func(time.Duration)) Option { return func(c *config) { c.sleep = f } }
+
+// Reader is a fault-injecting io.Reader wrapper.
+type Reader struct {
+	r   io.Reader
+	cfg config
+	rng *rng.RNG
+	off int64
+	err error // sticky failure
+}
+
+// NewReader wraps r with the configured fault schedule.
+func NewReader(r io.Reader, opts ...Option) *Reader {
+	cfg := defaultConfig()
+	for _, o := range opts {
+		o(&cfg)
+	}
+	return &Reader{r: r, cfg: cfg, rng: rng.New(cfg.seed)}
+}
+
+// Offset returns the number of bytes delivered so far.
+func (f *Reader) Offset() int64 { return f.off }
+
+// Read implements io.Reader under the fault schedule. Bytes before a
+// scheduled fault are always delivered, so a fault at offset N tears
+// the stream at exactly N bytes.
+func (f *Reader) Read(p []byte) (int, error) {
+	if f.err != nil {
+		return 0, f.err
+	}
+	if f.cfg.latency > 0 {
+		f.cfg.sleep(f.cfg.latency)
+	}
+	if f.cfg.flakyP > 0 && f.rng.Bernoulli(f.cfg.flakyP) {
+		return 0, f.cfg.flakyErr
+	}
+	if len(p) == 0 {
+		return 0, nil
+	}
+	n := len(p)
+	if f.cfg.shortOps && n > 1 {
+		n = 1 + f.rng.Intn(n)
+	}
+	// Clip the request so it never crosses a scheduled tear: the bytes
+	// before the fault offset are delivered first, the fault fires on
+	// the call that reaches it.
+	n = f.clip(n)
+	if n == 0 {
+		if f.cfg.truncateAt >= 0 && f.off >= f.cfg.truncateAt {
+			return 0, io.EOF
+		}
+		f.err = f.cfg.failErr
+		return 0, f.err
+	}
+	got, err := f.r.Read(p[:n])
+	f.corrupt(p[:got], f.off)
+	f.off += int64(got)
+	return got, err
+}
+
+// clip bounds a transfer of want bytes so it stops at the nearest
+// scheduled tear (truncation or sticky failure); 0 means the tear is
+// now.
+func (f *Reader) clip(want int) int {
+	n := int64(want)
+	if f.cfg.truncateAt >= 0 && f.off+n > f.cfg.truncateAt {
+		n = f.cfg.truncateAt - f.off
+	}
+	if f.cfg.failAt >= 0 && f.off+n > f.cfg.failAt {
+		n = f.cfg.failAt - f.off
+	}
+	if n < 0 {
+		n = 0
+	}
+	return int(n)
+}
+
+// corrupt applies the scheduled byte corruption to a transfer that
+// started at offset start.
+func (f *Reader) corrupt(p []byte, start int64) {
+	at := f.cfg.corruptAt
+	if at >= 0 && at >= start && at < start+int64(len(p)) {
+		p[at-start] ^= f.cfg.corruptMask
+	}
+}
+
+// Writer is a fault-injecting io.Writer wrapper.
+type Writer struct {
+	w   io.Writer
+	cfg config
+	rng *rng.RNG
+	off int64
+	err error // sticky failure
+}
+
+// NewWriter wraps w with the configured fault schedule. WithTruncateAt
+// behaves as a silent tear: bytes past the offset are reported as an
+// ErrInjected failure (a writer cannot signal EOF), which is what a
+// process kill mid-write looks like to the caller.
+func NewWriter(w io.Writer, opts ...Option) *Writer {
+	cfg := defaultConfig()
+	for _, o := range opts {
+		o(&cfg)
+	}
+	if cfg.truncateAt >= 0 && (cfg.failAt < 0 || cfg.truncateAt < cfg.failAt) {
+		cfg.failAt = cfg.truncateAt
+	}
+	return &Writer{w: w, cfg: cfg, rng: rng.New(cfg.seed)}
+}
+
+// Offset returns the number of bytes accepted so far.
+func (f *Writer) Offset() int64 { return f.off }
+
+// Write implements io.Writer under the fault schedule: bytes before a
+// scheduled fault are written through (so the underlying stream holds
+// exactly the pre-fault prefix — a torn write), then the error is
+// returned with the partial count.
+func (f *Writer) Write(p []byte) (int, error) {
+	if f.err != nil {
+		return 0, f.err
+	}
+	if f.cfg.latency > 0 {
+		f.cfg.sleep(f.cfg.latency)
+	}
+	if f.cfg.flakyP > 0 && f.rng.Bernoulli(f.cfg.flakyP) {
+		return 0, f.cfg.flakyErr
+	}
+	total := 0
+	for len(p) > 0 {
+		n := len(p)
+		if f.cfg.shortOps && n > 1 {
+			n = 1 + f.rng.Intn(n)
+		}
+		torn := false
+		if f.cfg.failAt >= 0 && f.off+int64(n) > f.cfg.failAt {
+			n = int(f.cfg.failAt - f.off)
+			torn = true
+		}
+		if n > 0 {
+			var buf [256]byte
+			chunk := p[:n]
+			if at := f.cfg.corruptAt; at >= 0 && at >= f.off && at < f.off+int64(n) {
+				// Corrupt a copy; the caller's buffer is not ours to edit.
+				chunk = corruptCopy(buf[:0], p[:n], int(at-f.off), f.cfg.corruptMask)
+			}
+			got, err := f.w.Write(chunk)
+			f.off += int64(got)
+			total += got
+			if err != nil {
+				f.err = err
+				return total, err
+			}
+			p = p[n:]
+		}
+		if torn {
+			f.err = f.cfg.failErr
+			return total, f.err
+		}
+	}
+	return total, nil
+}
+
+// corruptCopy returns a copy of p with the byte at index i XORed by
+// mask, reusing buf when it fits.
+func corruptCopy(buf, p []byte, i int, mask byte) []byte {
+	out := append(buf, p...)
+	out[i] ^= mask
+	return out
+}

@@ -1,0 +1,212 @@
+package faultio
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"testing"
+	"time"
+)
+
+func payload(n int) []byte {
+	p := make([]byte, n)
+	for i := range p {
+		p[i] = byte(i * 31)
+	}
+	return p
+}
+
+func TestReaderCleanPassthrough(t *testing.T) {
+	src := payload(4096)
+	got, err := io.ReadAll(NewReader(bytes.NewReader(src)))
+	if err != nil {
+		t.Fatalf("clean read: %v", err)
+	}
+	if !bytes.Equal(got, src) {
+		t.Fatal("clean passthrough altered bytes")
+	}
+}
+
+func TestReaderShortOpsDeterministic(t *testing.T) {
+	src := payload(8192)
+	read := func(seed uint64) ([]byte, []int) {
+		r := NewReader(bytes.NewReader(src), WithShortOps(), WithSeed(seed))
+		var sizes []int
+		var out []byte
+		buf := make([]byte, 1024)
+		for {
+			n, err := r.Read(buf)
+			out = append(out, buf[:n]...)
+			if n > 0 {
+				sizes = append(sizes, n)
+			}
+			if err == io.EOF {
+				return out, sizes
+			}
+			if err != nil {
+				t.Fatalf("short read: %v", err)
+			}
+		}
+	}
+	a, sa := read(7)
+	b, sb := read(7)
+	if !bytes.Equal(a, src) || !bytes.Equal(b, src) {
+		t.Fatal("short reads lost bytes")
+	}
+	if len(sa) != len(sb) {
+		t.Fatalf("same seed, different schedules: %d vs %d reads", len(sa), len(sb))
+	}
+	for i := range sa {
+		if sa[i] != sb[i] {
+			t.Fatalf("same seed, different read %d: %d vs %d", i, sa[i], sb[i])
+		}
+	}
+	if len(sa) <= len(src)/1024 {
+		t.Fatalf("short ops never shortened anything (%d reads)", len(sa))
+	}
+}
+
+func TestReaderFailAtDeliversPrefixThenSticks(t *testing.T) {
+	src := payload(1000)
+	for _, off := range []int64{0, 1, 17, 999} {
+		r := NewReader(bytes.NewReader(src), WithFailAt(off, nil))
+		got, err := io.ReadAll(r)
+		if !errors.Is(err, ErrInjected) {
+			t.Fatalf("offset %d: want ErrInjected, got %v", off, err)
+		}
+		if int64(len(got)) != off {
+			t.Fatalf("offset %d: delivered %d bytes before failing", off, len(got))
+		}
+		if !bytes.Equal(got, src[:off]) {
+			t.Fatalf("offset %d: prefix corrupted", off)
+		}
+		if _, err := r.Read(make([]byte, 1)); !errors.Is(err, ErrInjected) {
+			t.Fatalf("offset %d: failure not sticky: %v", off, err)
+		}
+	}
+}
+
+func TestReaderTruncateAtIsCleanEOF(t *testing.T) {
+	src := payload(500)
+	r := NewReader(bytes.NewReader(src), WithTruncateAt(123))
+	got, err := io.ReadAll(r)
+	if err != nil {
+		t.Fatalf("truncated read must end in clean EOF, got %v", err)
+	}
+	if !bytes.Equal(got, src[:123]) {
+		t.Fatalf("truncation delivered %d bytes, want 123", len(got))
+	}
+}
+
+func TestReaderCorruptByte(t *testing.T) {
+	src := payload(300)
+	r := NewReader(bytes.NewReader(src), WithCorruptByte(200, 0xFF), WithShortOps())
+	got, err := io.ReadAll(r)
+	if err != nil || len(got) != len(src) {
+		t.Fatalf("corrupting read: n=%d err=%v", len(got), err)
+	}
+	for i := range src {
+		want := src[i]
+		if i == 200 {
+			want ^= 0xFF
+		}
+		if got[i] != want {
+			t.Fatalf("byte %d: got %02x want %02x", i, got[i], want)
+		}
+	}
+}
+
+func TestReaderFlakyErrorsAreTransient(t *testing.T) {
+	src := payload(1 << 15)
+	r := NewReader(bytes.NewReader(src), WithFlakyErrors(0.3, nil), WithSeed(EnvSeed(3)))
+	var out []byte
+	buf := make([]byte, 512)
+	failures := 0
+	for {
+		n, err := r.Read(buf)
+		out = append(out, buf[:n]...)
+		if err == io.EOF {
+			break
+		}
+		if errors.Is(err, ErrInjected) {
+			failures++
+			continue // transient: retry the same reader
+		}
+		if err != nil {
+			t.Fatalf("unexpected error: %v", err)
+		}
+	}
+	if !bytes.Equal(out, src) {
+		t.Fatal("flaky reader lost or reordered bytes across retries")
+	}
+	if failures == 0 {
+		t.Fatal("p=0.3 flaky reader never failed")
+	}
+}
+
+func TestWriterFailAtTearsAtExactOffset(t *testing.T) {
+	src := payload(1000)
+	for _, off := range []int64{0, 1, 64, 999} {
+		var sink bytes.Buffer
+		w := NewWriter(&sink, WithFailAt(off, nil))
+		n, err := w.Write(src)
+		if !errors.Is(err, ErrInjected) {
+			t.Fatalf("offset %d: want ErrInjected, got %v", off, err)
+		}
+		if int64(n) != off || int64(sink.Len()) != off {
+			t.Fatalf("offset %d: accepted %d, sink holds %d", off, n, sink.Len())
+		}
+		if !bytes.Equal(sink.Bytes(), src[:off]) {
+			t.Fatalf("offset %d: torn prefix corrupted", off)
+		}
+		if _, err := w.Write([]byte{1}); !errors.Is(err, ErrInjected) {
+			t.Fatalf("offset %d: failure not sticky: %v", off, err)
+		}
+	}
+}
+
+func TestWriterCorruptByteLeavesCallerBufferAlone(t *testing.T) {
+	src := payload(300)
+	orig := append([]byte(nil), src...)
+	var sink bytes.Buffer
+	w := NewWriter(&sink, WithCorruptByte(123, 0))
+	if _, err := w.Write(src); err != nil {
+		t.Fatalf("corrupting write: %v", err)
+	}
+	if !bytes.Equal(src, orig) {
+		t.Fatal("writer corrupted the caller's buffer")
+	}
+	want := append([]byte(nil), src...)
+	want[123] ^= 0xA5
+	if !bytes.Equal(sink.Bytes(), want) {
+		t.Fatal("corruption missing or misplaced in the sink")
+	}
+}
+
+func TestLatencyUsesInjectedSleep(t *testing.T) {
+	var slept []time.Duration
+	r := NewReader(bytes.NewReader(payload(10)),
+		WithLatency(5*time.Millisecond),
+		WithSleep(func(d time.Duration) { slept = append(slept, d) }))
+	if _, err := io.ReadAll(r); err != nil {
+		t.Fatal(err)
+	}
+	if len(slept) == 0 || slept[0] != 5*time.Millisecond {
+		t.Fatalf("latency sleeps: %v", slept)
+	}
+}
+
+func TestEnvSeed(t *testing.T) {
+	t.Setenv("FAULT_SEED", "")
+	if got := EnvSeed(7); got != 7 {
+		t.Fatalf("unset: %d", got)
+	}
+	t.Setenv("FAULT_SEED", "12345")
+	if got := EnvSeed(7); got != 12345 {
+		t.Fatalf("set: %d", got)
+	}
+	t.Setenv("FAULT_SEED", "bogus")
+	if got := EnvSeed(7); got != 7 {
+		t.Fatalf("malformed: %d", got)
+	}
+}

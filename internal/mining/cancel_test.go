@@ -1,0 +1,117 @@
+package mining
+
+import (
+	"context"
+	"errors"
+	"testing"
+
+	"repro/internal/dataset"
+	"repro/internal/query"
+	"repro/internal/rng"
+)
+
+// bigDB builds a database wide and dense enough that a mine over it is
+// real work: the cancellation tests assert an already-cancelled ctx
+// returns before any of it happens.
+func bigDB(d, n int) *dataset.Database {
+	db := dataset.NewDatabase(d)
+	r := rng.New(99)
+	attrs := make([]int, 0, d/2)
+	for i := 0; i < n; i++ {
+		attrs = attrs[:0]
+		for a := 0; a < d; a++ {
+			if r.Float64() < 0.45 {
+				attrs = append(attrs, a)
+			}
+		}
+		db.AddRowAttrs(attrs...)
+	}
+	db.BuildColumnIndex()
+	return db
+}
+
+func cancelledCtx() context.Context {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	return ctx
+}
+
+func TestFPGrowthContextCancelled(t *testing.T) {
+	db := bigDB(40, 3000)
+	rs, err := FPGrowthContext(cancelledCtx(), db, 0.01, 0)
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("cancelled FP-Growth: %v, want context.Canceled", err)
+	}
+	if rs != nil {
+		t.Fatalf("cancelled FP-Growth returned %d results", len(rs))
+	}
+}
+
+func TestFPGrowthContextCancelledMidRecursion(t *testing.T) {
+	db := bigDB(40, 3000)
+	// A context that cancels itself after a fixed number of Err polls:
+	// the mine must stop at the next branch and propagate the error up
+	// through the recursion.
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	polls := 0
+	wrapped := &countingCtx{Context: ctx, trip: 50, cancel: cancel, polls: &polls}
+	_, err := FPGrowthContext(wrapped, db, 0.01, 0)
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("mid-mine cancel: %v, want context.Canceled", err)
+	}
+	if polls < 50 {
+		t.Fatalf("mine finished after %d branch checks without tripping", polls)
+	}
+}
+
+// countingCtx cancels its parent after trip Err() calls — a
+// deterministic stand-in for a deadline firing mid-recursion.
+type countingCtx struct {
+	context.Context
+	trip   int
+	cancel context.CancelFunc
+	polls  *int
+}
+
+func (c *countingCtx) Err() error {
+	*c.polls++
+	if *c.polls == c.trip {
+		c.cancel()
+	}
+	return c.Context.Err()
+}
+
+func TestFPGrowthContextMatchesFPGrowth(t *testing.T) {
+	db := bigDB(16, 500)
+	want := FPGrowth(db, 0.15, 3)
+	got, err := FPGrowthContext(context.Background(), db, 0.15, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(want) {
+		t.Fatalf("ctx form mined %d itemsets, plain form %d", len(got), len(want))
+	}
+	for i := range got {
+		if !got[i].Items.Equal(want[i].Items) || got[i].Freq != want[i].Freq {
+			t.Fatalf("result %d: %v vs %v", i, got[i], want[i])
+		}
+	}
+}
+
+func TestAprioriContextCancelledBeforeAnyLevel(t *testing.T) {
+	db := bigDB(40, 2000)
+	_, err := AprioriContext(cancelledCtx(), query.FromDatabase(db), 0.01, 0)
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("cancelled Apriori: %v, want context.Canceled", err)
+	}
+}
+
+func TestToivonenContextCancelled(t *testing.T) {
+	db := bigDB(30, 2000)
+	sample := bigDB(30, 200)
+	_, err := ToivonenContext(cancelledCtx(), db, sample, 0.2, 0.15, 3)
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("cancelled Toivonen: %v, want context.Canceled", err)
+	}
+}

@@ -1,6 +1,7 @@
 package mining
 
 import (
+	"context"
 	"slices"
 
 	"repro/internal/dataset"
@@ -108,16 +109,40 @@ func FPGrowth(db *dataset.Database, minSupport float64, maxK int) []Result {
 	return new(Miner).FPGrowth(db, minSupport, maxK)
 }
 
+// FPGrowthContext is FPGrowth under a context: the recursion checks
+// ctx at every conditional-tree branch, so a cancelled mine stops
+// after at most one branch of work and returns ctx.Err(). It runs on
+// a fresh engine, so the results own their memory.
+func FPGrowthContext(ctx context.Context, db *dataset.Database, minSupport float64, maxK int) ([]Result, error) {
+	return new(Miner).FPGrowthContext(ctx, db, minSupport, maxK)
+}
+
 // FPGrowth is the engine form of the package-level FPGrowth. Results
 // are valid until the next call on this Miner.
 func (m *Miner) FPGrowth(db *dataset.Database, minSupport float64, maxK int) []Result {
+	rs, err := m.FPGrowthContext(context.Background(), db, minSupport, maxK)
+	if err != nil {
+		// Unreachable: a background context never cancels and the mine
+		// has no other failure mode.
+		panic(err)
+	}
+	return rs
+}
+
+// FPGrowthContext is the engine form of the package-level
+// FPGrowthContext. Results are valid until the next call on this
+// Miner.
+func (m *Miner) FPGrowthContext(ctx context.Context, db *dataset.Database, minSupport float64, maxK int) ([]Result, error) {
 	d := db.NumCols()
 	n := db.NumRows()
 	if maxK <= 0 || maxK > d {
 		maxK = d
 	}
 	if n == 0 {
-		return nil
+		return nil, ctx.Err()
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
 	}
 	minCount := minCountFor(minSupport, n)
 	if minCount < 1 {
@@ -173,13 +198,21 @@ func (m *Miner) FPGrowth(db *dataset.Database, minSupport float64, maxK int) []R
 	}
 	m.condCount = m.condCount[:d]
 	m.suffix = m.suffix[:0]
-	m.mineFPTree(0, minCount, maxK, n, d)
-	return m.finish()
+	if err := m.mineFPTree(ctx, 0, minCount, maxK, n, d); err != nil {
+		return nil, err
+	}
+	return m.finish(), nil
 }
 
 // mineFPTree emits every frequent extension of the current suffix
-// found in the depth's tree and recurses into conditional trees.
-func (m *Miner) mineFPTree(depth, minCount, maxK, n, d int) {
+// found in the depth's tree and recurses into conditional trees. The
+// context is checked once per branch (each conditional-tree entry), so
+// cancellation cuts deep recursions off without taxing the per-node
+// hot path.
+func (m *Miner) mineFPTree(ctx context.Context, depth, minCount, maxK, n, d int) error {
+	if err := ctx.Err(); err != nil {
+		return err
+	}
 	t := m.fpTreeAt(depth)
 	// Items in the tree (the touched list, so a small conditional tree
 	// never scans all d slots), mined least-frequent first (bottom-up).
@@ -203,11 +236,14 @@ func (m *Miner) mineFPTree(depth, minCount, maxK, n, d int) {
 			m.buildConditional(depth, int(it), minCount, d)
 			cond := m.fpTreeAt(depth + 1)
 			if len(cond.nodes) > 1 {
-				m.mineFPTree(depth+1, minCount, maxK, n, d)
+				if err := m.mineFPTree(ctx, depth+1, minCount, maxK, n, d); err != nil {
+					return err
+				}
 			}
 		}
 		m.suffix = m.suffix[:len(m.suffix)-1]
 	}
+	return nil
 }
 
 // emitSortedCopy emits attrs as a result after sorting a scratch copy

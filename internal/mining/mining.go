@@ -173,6 +173,12 @@ func (m *Miner) aprioriLevels(ctx context.Context, q query.Querier, minSupport f
 	}
 
 	for k := 1; k <= maxK; k++ {
+		// Check once per level: EstimateMany observes ctx mid-batch, but
+		// candidate generation between batches can be sizable on wide
+		// levels and must not outlive a cancelled mine.
+		if err := ctx.Err(); err != nil {
+			return err
+		}
 		nCand := len(m.candParent)
 		if nCand == 0 {
 			return nil

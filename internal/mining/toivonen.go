@@ -84,6 +84,14 @@ func (m *Miner) ToivonenContext(ctx context.Context, db, sample *dataset.Databas
 	freqS := m.finish()
 	borderS := m.finishBorder()
 
+	// Phase boundary: the sample mine is done, the verification scan is
+	// next. Building the full database's column index is the single
+	// largest block of un-interruptible work in the pass, so a caller
+	// cancelled during the sample mine must not pay for it.
+	if err := ctx.Err(); err != nil {
+		return rep, err
+	}
+
 	// Verify every candidate — the sample's frequent sets plus its
 	// negative border — against the full database in one batched pass
 	// through the engine's pooled query buffers.

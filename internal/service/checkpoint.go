@@ -1,0 +1,328 @@
+package service
+
+import (
+	"bytes"
+	"context"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"os"
+	"path/filepath"
+
+	itemsketch "repro"
+	"repro/internal/atomicfile"
+	"repro/internal/core"
+	"repro/internal/stream"
+)
+
+// Checkpoint file layout (all integers little-endian):
+//
+//	offset  size  field
+//	0       4     magic "ISKP"
+//	4       1     version (1)
+//	5       2     shard id
+//	7       8     rows seen
+//	15      4     reservoir capacity
+//	19      4     Misra–Gries k (0 = heavy-hitter path disabled)
+//	23      8     reservoir restart seed
+//	31      4     CRC-32 (IEEE) of bytes [0,31)
+//	35      ...   sketch envelope (itemsketch.MarshalTo of the sample
+//	              wrapped as a SUBSAMPLE sketch)
+//	...     ...   Misra–Gries section when k > 0:
+//	              n u64, counter count u32, (item u32, count u64)...,
+//	              CRC-32 of the section bytes
+//
+// The envelope reuses the public streaming codec, so a checkpoint's
+// sketch portion is inspectable and recoverable by the same tooling as
+// any other sketch file, and inherits its chunked-CRC torn-stream
+// detection. The header carries exactly the state the envelope cannot:
+// Algorithm R's stream position, the capacity (the sample may be
+// smaller near the start of a stream), and a fresh seed — which is all
+// a reservoir needs to continue the stream with its uniformity
+// guarantee intact (see stream.RestoreReservoir).
+const (
+	ckptMagic      = "ISKP"
+	ckptVersion    = 1
+	ckptHeaderSize = 35
+)
+
+// ckptCorruptf mirrors the codec's corruptf for checkpoint-level
+// failures, wrapping the public ErrCorruptSketch.
+func ckptCorruptf(format string, args ...any) error {
+	return fmt.Errorf("%w: checkpoint %s", itemsketch.ErrCorruptSketch, fmt.Sprintf(format, args...))
+}
+
+// ckptTruncatedf marks a checkpoint that ended early, wrapping both
+// ErrCorruptSketch and ErrTruncatedStream like the codec does.
+func ckptTruncatedf(format string, args ...any) error {
+	return fmt.Errorf("%w: %w: checkpoint %s", itemsketch.ErrCorruptSketch, itemsketch.ErrTruncatedStream, fmt.Sprintf(format, args...))
+}
+
+// checkpointPath returns shard i's checkpoint file path.
+func (s *Service) checkpointPath(id int) string {
+	return filepath.Join(s.cfg.CheckpointDir, fmt.Sprintf("shard-%d.ckpt", id))
+}
+
+// ckptState is the frozen shard state a checkpoint persists, captured
+// under the shard lock and written outside it.
+type ckptState struct {
+	seen     int64
+	capacity int
+	seed     uint64
+	sketch   itemsketch.Sketch
+	mgK      int
+	mgN      int64
+	mgItems  []int
+	mgCounts []int64
+}
+
+// Checkpoint persists the shard's current state crash-safely: the
+// state is frozen under the shard lock, encoded through the public
+// envelope codec, and written with atomicfile (temp + fsync + rename)
+// under the retry policy, through Config.CheckpointWriteWrap when set.
+// A kill at any byte offset leaves the previous checkpoint intact.
+// Failures degrade the shard; success resets its failure streak.
+func (sh *Shard) Checkpoint() error {
+	if sh.svc.cfg.CheckpointDir == "" {
+		return nil
+	}
+	st, err := sh.freezeForCheckpoint()
+	if err != nil {
+		sh.recordFailure(err)
+		return err
+	}
+	err = sh.withRetry(context.Background(), func(int) error {
+		return atomicfile.Write(sh.svc.checkpointPath(sh.id), func(w io.Writer) error {
+			if wrap := sh.svc.cfg.CheckpointWriteWrap; wrap != nil {
+				w = wrap(w)
+			}
+			return writeCheckpoint(w, sh.id, st)
+		})
+	})
+	if err != nil {
+		sh.recordFailure(err)
+		return err
+	}
+	sh.checkpoints.Add(1)
+	sh.recordSuccess()
+	return nil
+}
+
+// freezeForCheckpoint captures a consistent snapshot of the shard's
+// persistent state and resets the auto-checkpoint counter. The restart
+// seed is drawn from the shard's generator, so recovered reservoirs
+// get coins independent of anything used before the crash.
+func (sh *Shard) freezeForCheckpoint() (ckptState, error) {
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	st := ckptState{
+		seen:     sh.res.Seen(),
+		capacity: sh.res.Capacity(),
+		seed:     sh.jrng.Uint64(),
+	}
+	sk, err := core.SubsampleFromSample(sh.res.Database(), sh.svc.cfg.Params)
+	if err != nil {
+		return ckptState{}, err
+	}
+	st.sketch = sk
+	if sh.mg != nil {
+		st.mgK = sh.svc.cfg.HeavyK
+		st.mgN, st.mgItems, st.mgCounts = sh.mg.Snapshot()
+	}
+	sh.sinceCkpt = 0
+	return st, nil
+}
+
+// writeCheckpoint streams one checkpoint image to w.
+func writeCheckpoint(w io.Writer, id int, st ckptState) error {
+	var hdr [ckptHeaderSize]byte
+	copy(hdr[0:4], ckptMagic)
+	hdr[4] = ckptVersion
+	binary.LittleEndian.PutUint16(hdr[5:7], uint16(id))
+	binary.LittleEndian.PutUint64(hdr[7:15], uint64(st.seen))
+	binary.LittleEndian.PutUint32(hdr[15:19], uint32(st.capacity))
+	binary.LittleEndian.PutUint32(hdr[19:23], uint32(st.mgK))
+	binary.LittleEndian.PutUint64(hdr[23:31], st.seed)
+	binary.LittleEndian.PutUint32(hdr[31:35], crc32.ChecksumIEEE(hdr[:31]))
+	if _, err := w.Write(hdr[:]); err != nil {
+		return err
+	}
+	if _, err := itemsketch.MarshalTo(w, st.sketch); err != nil {
+		return err
+	}
+	if st.mgK == 0 {
+		return nil
+	}
+	var sec bytes.Buffer
+	var b8 [8]byte
+	binary.LittleEndian.PutUint64(b8[:], uint64(st.mgN))
+	sec.Write(b8[:])
+	binary.LittleEndian.PutUint32(b8[:4], uint32(len(st.mgItems)))
+	sec.Write(b8[:4])
+	for i, it := range st.mgItems {
+		binary.LittleEndian.PutUint32(b8[:4], uint32(it))
+		sec.Write(b8[:4])
+		binary.LittleEndian.PutUint64(b8[:], uint64(st.mgCounts[i]))
+		sec.Write(b8[:])
+	}
+	binary.LittleEndian.PutUint32(b8[:4], crc32.ChecksumIEEE(sec.Bytes()))
+	sec.Write(b8[:4])
+	_, err := w.Write(sec.Bytes())
+	return err
+}
+
+// readSection fills buf from r, classifying an early end of stream as
+// the given truncation message while letting transport errors (a
+// failing disk, an injected fault) surface bare.
+func readSection(r io.Reader, buf []byte, truncMsg string) error {
+	if _, err := io.ReadFull(r, buf); err != nil {
+		if err == io.EOF || err == io.ErrUnexpectedEOF {
+			return ckptTruncatedf("%s", truncMsg)
+		}
+		return err
+	}
+	return nil
+}
+
+// recovered is the state readCheckpoint hands back for shard restart.
+type recovered struct {
+	res *stream.Reservoir
+	mg  *stream.MisraGries
+}
+
+// readCheckpoint decodes and validates one checkpoint image from r.
+// Truncation wraps ErrTruncatedStream, corruption wraps
+// ErrCorruptSketch (the sketch envelope's own classification passes
+// through), and transport errors from r surface bare.
+func readCheckpoint(r io.Reader, wantID, wantAttrs, wantK int) (recovered, error) {
+	var hdr [ckptHeaderSize]byte
+	if err := readSection(r, hdr[:], "header cut short"); err != nil {
+		return recovered{}, err
+	}
+	if string(hdr[0:4]) != ckptMagic {
+		return recovered{}, ckptCorruptf("bad magic %q", hdr[0:4])
+	}
+	if got, want := binary.LittleEndian.Uint32(hdr[31:35]), crc32.ChecksumIEEE(hdr[:31]); got != want {
+		return recovered{}, ckptCorruptf("header checksum 0x%08x, want 0x%08x", got, want)
+	}
+	if hdr[4] != ckptVersion {
+		return recovered{}, fmt.Errorf("%w: checkpoint version %d, this build reads %d",
+			itemsketch.ErrUnsupportedVersion, hdr[4], ckptVersion)
+	}
+	if id := int(binary.LittleEndian.Uint16(hdr[5:7])); id != wantID {
+		return recovered{}, ckptCorruptf("belongs to shard %d, not %d", id, wantID)
+	}
+	seen := int64(binary.LittleEndian.Uint64(hdr[7:15]))
+	capacity := int(binary.LittleEndian.Uint32(hdr[15:19]))
+	mgK := int(binary.LittleEndian.Uint32(hdr[19:23]))
+	seed := binary.LittleEndian.Uint64(hdr[23:31])
+	if mgK != wantK && !(mgK == 0 && wantK <= 0) {
+		return recovered{}, ckptCorruptf("misra-gries k = %d, config wants %d", mgK, wantK)
+	}
+
+	sk, err := itemsketch.UnmarshalFrom(r)
+	if err != nil {
+		return recovered{}, err
+	}
+	holder, ok := sk.(core.SampleHolder)
+	if !ok {
+		return recovered{}, ckptCorruptf("envelope holds a %s sketch, not a sample-backed one", sk.Name())
+	}
+	sample := holder.Sample()
+	if sample.NumCols() != wantAttrs {
+		return recovered{}, ckptCorruptf("sample has %d attributes, config wants %d", sample.NumCols(), wantAttrs)
+	}
+	res, err := stream.RestoreReservoir(sample, capacity, seen, seed)
+	if err != nil {
+		return recovered{}, ckptCorruptf("reservoir state rejected: %v", err)
+	}
+	out := recovered{res: res}
+
+	if mgK > 0 {
+		var fixed [12]byte
+		if err := readSection(r, fixed[:], "heavy-hitter section header missing"); err != nil {
+			return recovered{}, err
+		}
+		n := int64(binary.LittleEndian.Uint64(fixed[0:8]))
+		count := int(binary.LittleEndian.Uint32(fixed[8:12]))
+		if count > mgK-1 {
+			return recovered{}, ckptCorruptf("heavy-hitter section claims %d counters for k = %d", count, mgK)
+		}
+		body := make([]byte, count*12)
+		if err := readSection(r, body, "heavy-hitter counters truncated"); err != nil {
+			return recovered{}, err
+		}
+		var crcBuf [4]byte
+		if err := readSection(r, crcBuf[:], "heavy-hitter checksum missing"); err != nil {
+			return recovered{}, err
+		}
+		crc := crc32.ChecksumIEEE(fixed[:])
+		crc = crc32.Update(crc, crc32.IEEETable, body)
+		if got := binary.LittleEndian.Uint32(crcBuf[:]); got != crc {
+			return recovered{}, ckptCorruptf("heavy-hitter checksum 0x%08x, want 0x%08x", got, crc)
+		}
+		items := make([]int, count)
+		counts := make([]int64, count)
+		for i := 0; i < count; i++ {
+			items[i] = int(binary.LittleEndian.Uint32(body[i*12 : i*12+4]))
+			counts[i] = int64(binary.LittleEndian.Uint64(body[i*12+4 : i*12+12]))
+		}
+		mg, err := stream.RestoreMisraGries(mgK, n, items, counts)
+		if err != nil {
+			return recovered{}, ckptCorruptf("heavy-hitter state rejected: %v", err)
+		}
+		out.mg = mg
+	}
+	return out, nil
+}
+
+// recoverAll replays the newest valid checkpoint of every shard from
+// cfg.CheckpointDir. A missing file starts the shard empty (a fresh
+// deployment, not a fault). A torn or corrupt checkpoint fails New
+// under StrictRecovery; otherwise the shard starts empty and Degraded,
+// with the decode error held as its last error — visible on /healthz,
+// recoverable by the next successful ingest.
+func (s *Service) recoverAll() error {
+	for _, sh := range s.shards {
+		err := sh.recover()
+		if err == nil {
+			continue
+		}
+		if s.cfg.StrictRecovery {
+			return fmt.Errorf("shard %d: %w", sh.id, err)
+		}
+		sh.recordFailure(fmt.Errorf("recovery: %w", err))
+		sh.state.CompareAndSwap(int32(Healthy), int32(Degraded))
+	}
+	return nil
+}
+
+// recover replays this shard's checkpoint file if one exists.
+func (sh *Shard) recover() error {
+	f, err := os.Open(sh.svc.checkpointPath(sh.id))
+	if err != nil {
+		if errors.Is(err, os.ErrNotExist) {
+			return nil
+		}
+		return err
+	}
+	defer f.Close()
+	var r io.Reader = f
+	if wrap := sh.svc.cfg.CheckpointReadWrap; wrap != nil {
+		r = wrap(r)
+	}
+	rec, err := readCheckpoint(r, sh.id, sh.svc.cfg.NumAttrs, sh.svc.cfg.HeavyK)
+	if err != nil {
+		return err
+	}
+	sh.mu.Lock()
+	sh.res = rec.res
+	if sh.mg != nil && rec.mg != nil {
+		sh.mg = rec.mg
+	}
+	sh.publishSnapshotLocked()
+	sh.mu.Unlock()
+	return nil
+}

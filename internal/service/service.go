@@ -1,0 +1,608 @@
+// Package service is the network-facing query tier over mergeable
+// sketch shards — the serving architecture the paper's O(1)-mergeable
+// summaries make possible, built with fault tolerance as the design
+// center.
+//
+// Each shard owns an independent row stream: a worker goroutine
+// ingests rows into a streaming Reservoir (the paper's SUBSAMPLE
+// sketch built one pass at a time) and, optionally, a Misra–Gries
+// heavy-hitter summary. Queries never touch live ingest state; they
+// read immutable snapshots (cloned, column-indexed samples) published
+// after every ingest batch, fan out per shard through the ctx-aware
+// query.EstimateMany batch path, and combine cross-shard on read:
+// frequency estimates by seen-weighted averaging (the merged-reservoir
+// expectation), mining over a stream.Merge of the shard reservoirs,
+// heavy hitters over stream.MergeMG.
+//
+// The robustness model:
+//
+//   - Shard failures are isolated and degraded, never fatal. Shards
+//     carry a health state (Healthy → Degraded → Dead) driven by
+//     consecutive-failure counters; queries skip dead shards and
+//     report partial results naming who was missing
+//     (X-Shards-Answered) instead of failing the request.
+//   - Fallible operations — ingest application and checkpoint I/O —
+//     run under bounded retry with exponential backoff and seeded
+//     jitter.
+//   - Checkpoints are crash-safe: shard state streams through
+//     itemsketch.MarshalTo into a temp file that is fsynced and
+//     atomically renamed (internal/atomicfile), so a kill at any byte
+//     offset leaves the previous checkpoint intact; recovery replays
+//     the newest valid checkpoint and reports torn ones cleanly.
+//   - Deadlines thread from the HTTP request context into
+//     EstimateMany's mid-batch cancellation, so a slow shard costs at
+//     most one chunk of work past its budget.
+//
+// Fault injection hooks (Config.IngestFault and the checkpoint
+// read/write wrappers) accept internal/faultio wrappers, which is how
+// the chaos tests and cmd/loadgen drive the service through injected
+// short reads, torn writes and transient transport errors.
+package service
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"io"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	itemsketch "repro"
+	"repro/internal/rng"
+	"repro/internal/stream"
+)
+
+// Health is a shard's serving state.
+type Health int32
+
+// The shard health states: a Healthy shard serves and ingests;
+// Degraded marks recent failures (still serving, still retrying);
+// Dead shards are excluded from ingest routing and query fan-out.
+const (
+	Healthy Health = iota
+	Degraded
+	Dead
+)
+
+// String returns the lowercase state name.
+func (h Health) String() string {
+	switch h {
+	case Healthy:
+		return "healthy"
+	case Degraded:
+		return "degraded"
+	case Dead:
+		return "dead"
+	}
+	return fmt.Sprintf("health(%d)", int32(h))
+}
+
+// Sentinel errors of the service layer. They wrap the public
+// itemsketch taxonomy where one applies.
+var (
+	// ErrNoShards marks a query that no live shard could answer — the
+	// fully-degraded case a caller sees as 503.
+	ErrNoShards = errors.New("service: no shards answered")
+	// ErrShardDead marks an operation addressed to a dead shard.
+	ErrShardDead = errors.New("service: shard is dead")
+	// ErrRetriesExhausted marks an operation that failed through every
+	// backoff attempt.
+	ErrRetriesExhausted = errors.New("service: retries exhausted")
+)
+
+// Config parameterizes a Service. The zero value is completed by
+// sensible defaults in New; NumAttrs is the only required field.
+type Config struct {
+	// Shards is the number of independent shards (default 8).
+	Shards int
+	// NumAttrs is the attribute universe size d (required).
+	NumAttrs int
+	// SampleCapacity is each shard's reservoir capacity in rows
+	// (default 4096).
+	SampleCapacity int
+	// HeavyK is the Misra–Gries counter parameter for the heavy-hitter
+	// path; 0 keeps the default 64, negative disables the summary.
+	HeavyK int
+	// Params are the sketch parameters recorded into checkpoints and
+	// replication envelopes (default k=2, ε=δ=0.05, ForAll Estimator).
+	Params itemsketch.Params
+	// Seed roots all service randomness: per-shard reservoir seeds,
+	// retry jitter, merge seeds. The same seed over the same input
+	// streams reproduces the same shard samples.
+	Seed uint64
+	// CheckpointDir enables crash-safe persistence when non-empty:
+	// shard i checkpoints to CheckpointDir/shard-<i>.ckpt and New
+	// recovers from the files found there.
+	CheckpointDir string
+	// CheckpointEvery auto-checkpoints a shard after this many
+	// ingested rows (0 = only explicit Checkpoint calls).
+	CheckpointEvery int
+	// RequestTimeout bounds each HTTP request (0 = none). The deadline
+	// threads into EstimateMany, cancelling mid-batch.
+	RequestTimeout time.Duration
+	// MaxRetries bounds the backoff loop for ingest and checkpoint I/O
+	// (default 4 attempts).
+	MaxRetries int
+	// RetryBase and RetryMax bound the exponential backoff with full
+	// jitter: sleep ~ U[0, min(RetryMax, RetryBase·2^attempt)]
+	// (defaults 2ms and 50ms).
+	RetryBase time.Duration
+	RetryMax  time.Duration
+	// DegradeAfter and DeadAfter are the consecutive-failure
+	// thresholds for the health transitions (defaults 1 and 5).
+	DegradeAfter int
+	DeadAfter    int
+	// MinReady is the live-shard quorum /readyz requires (default 1).
+	MinReady int
+
+	// IngestFault, when set, is consulted before each ingest
+	// application attempt; a non-nil return is treated as a transient
+	// storage fault and retried with backoff. Chaos tests inject here.
+	IngestFault func(shard, attempt int) error
+	// CheckpointWriteWrap / CheckpointReadWrap wrap the checkpoint
+	// file streams — the hook the chaos tests use to interpose
+	// faultio writers/readers on the persistence path.
+	CheckpointWriteWrap func(io.Writer) io.Writer
+	CheckpointReadWrap  func(io.Reader) io.Reader
+	// Sleep replaces the backoff sleep (tests use a no-op). nil means
+	// a context-respecting real sleep.
+	Sleep func(time.Duration)
+	// StrictRecovery makes New fail on a torn or corrupt checkpoint
+	// instead of starting the shard empty and Degraded.
+	StrictRecovery bool
+}
+
+// withDefaults returns cfg with zero fields filled in.
+func (cfg Config) withDefaults() Config {
+	if cfg.Shards <= 0 {
+		cfg.Shards = 8
+	}
+	if cfg.SampleCapacity <= 0 {
+		cfg.SampleCapacity = 4096
+	}
+	if cfg.HeavyK == 0 {
+		cfg.HeavyK = 64
+	}
+	if cfg.Params == (itemsketch.Params{}) {
+		cfg.Params = itemsketch.Params{K: 2, Eps: 0.05, Delta: 0.05,
+			Mode: itemsketch.ForAll, Task: itemsketch.Estimator}
+	}
+	if cfg.MaxRetries <= 0 {
+		cfg.MaxRetries = 4
+	}
+	if cfg.RetryBase <= 0 {
+		cfg.RetryBase = 2 * time.Millisecond
+	}
+	if cfg.RetryMax <= 0 {
+		cfg.RetryMax = 50 * time.Millisecond
+	}
+	if cfg.DegradeAfter <= 0 {
+		cfg.DegradeAfter = 1
+	}
+	if cfg.DeadAfter <= 0 {
+		cfg.DeadAfter = 5
+	}
+	if cfg.MinReady <= 0 {
+		cfg.MinReady = 1
+	}
+	return cfg
+}
+
+// Service is a fault-tolerant sharded sketch service. Create with New,
+// serve with Handler, stop with Close.
+type Service struct {
+	cfg    Config
+	shards []*Shard
+	next   atomic.Uint64 // round-robin ingest cursor
+	mseed  atomic.Uint64 // merge-seed counter
+	closed atomic.Bool
+	wg     sync.WaitGroup
+}
+
+// New builds the shard set, recovers any checkpoints found in
+// cfg.CheckpointDir, and starts the per-shard ingest workers.
+func New(cfg Config) (*Service, error) {
+	cfg = cfg.withDefaults()
+	if cfg.NumAttrs < 1 {
+		return nil, fmt.Errorf("%w: service needs NumAttrs ≥ 1", itemsketch.ErrInvalidParams)
+	}
+	if err := cfg.Params.Validate(); err != nil {
+		return nil, err
+	}
+	if cfg.Params.K > cfg.NumAttrs {
+		return nil, fmt.Errorf("%w: params k = %d exceeds NumAttrs = %d", itemsketch.ErrInvalidParams, cfg.Params.K, cfg.NumAttrs)
+	}
+	s := &Service{cfg: cfg}
+	root := rng.New(cfg.Seed)
+	for i := 0; i < cfg.Shards; i++ {
+		sh, err := newShard(s, i, root.Uint64(), root.Uint64())
+		if err != nil {
+			return nil, err
+		}
+		s.shards = append(s.shards, sh)
+	}
+	if cfg.CheckpointDir != "" {
+		if err := s.recoverAll(); err != nil {
+			return nil, err
+		}
+	}
+	for _, sh := range s.shards {
+		s.wg.Add(1)
+		go sh.run()
+	}
+	return s, nil
+}
+
+// Close stops the ingest workers, takes a best-effort final checkpoint
+// of every live shard when persistence is enabled, and returns the
+// first checkpoint error.
+func (s *Service) Close() error {
+	if s.closed.Swap(true) {
+		return nil
+	}
+	for _, sh := range s.shards {
+		close(sh.ch)
+	}
+	s.wg.Wait()
+	var first error
+	if s.cfg.CheckpointDir != "" {
+		for _, sh := range s.shards {
+			if sh.State() == Dead {
+				continue
+			}
+			if err := sh.Checkpoint(); err != nil && first == nil {
+				first = err
+			}
+		}
+	}
+	return first
+}
+
+// NumShards returns the configured shard count.
+func (s *Service) NumShards() int { return len(s.shards) }
+
+// Shard returns shard i, for tests and the admin surface.
+func (s *Service) Shard(i int) *Shard { return s.shards[i] }
+
+// KillShard marks shard i Dead: it stops receiving ingest routing and
+// is excluded from query fan-out. This is the chaos lever — the
+// degraded-operation tests and cmd/loadgen kill shards through it.
+func (s *Service) KillShard(i int) {
+	if i >= 0 && i < len(s.shards) {
+		s.shards[i].setState(Dead)
+	}
+}
+
+// live returns the shards currently eligible for routing and fan-out
+// (everything not Dead).
+func (s *Service) live() []*Shard {
+	out := make([]*Shard, 0, len(s.shards))
+	for _, sh := range s.shards {
+		if sh.State() != Dead {
+			out = append(out, sh)
+		}
+	}
+	return out
+}
+
+// Partial reports which shards contributed to a response. Total counts
+// every configured shard; Missing lists the ids (dead, failed, or out
+// of deadline) that did not answer.
+type Partial struct {
+	Answered int   `json:"answered"`
+	Total    int   `json:"total"`
+	Missing  []int `json:"missing,omitempty"`
+}
+
+// Degraded reports whether any shard was missing from the response.
+func (p Partial) Degraded() bool { return p.Answered < p.Total }
+
+// String formats as the X-Shards-Answered header value ("7/8").
+func (p Partial) String() string { return fmt.Sprintf("%d/%d", p.Answered, p.Total) }
+
+// partialFor builds the Partial for the answered flag vector.
+func (s *Service) partialFor(answered map[int]bool) Partial {
+	p := Partial{Total: len(s.shards)}
+	for _, sh := range s.shards {
+		if answered[sh.id] {
+			p.Answered++
+		} else {
+			p.Missing = append(p.Missing, sh.id)
+		}
+	}
+	sort.Ints(p.Missing)
+	return p
+}
+
+// Ingest validates and routes rows (attribute-index lists) across the
+// live shards round-robin, in per-shard batches applied by the shard
+// workers under retry. A shard whose application ultimately fails is
+// degraded and its batch is re-routed once to the next live shard, so
+// single-shard trouble sheds load instead of losing rows. Returns the
+// number of rows accepted.
+func (s *Service) Ingest(ctx context.Context, rows [][]int) (int, error) {
+	if err := ctx.Err(); err != nil {
+		return 0, err
+	}
+	for _, row := range rows {
+		for _, a := range row {
+			if a < 0 || a >= s.cfg.NumAttrs {
+				return 0, fmt.Errorf("%w: attribute %d out of range [0,%d)", itemsketch.ErrInvalidParams, a, s.cfg.NumAttrs)
+			}
+		}
+	}
+	live := s.live()
+	if len(live) == 0 {
+		return 0, ErrNoShards
+	}
+	// Partition round-robin from a persistent cursor so successive
+	// small batches still spread across shards.
+	batches := make([][][]int, len(live))
+	for _, row := range rows {
+		i := int(s.next.Add(1)-1) % len(live)
+		batches[i] = append(batches[i], row)
+	}
+	var (
+		wg       sync.WaitGroup
+		mu       sync.Mutex
+		accepted int
+		firstErr error
+	)
+	for i, batch := range batches {
+		if len(batch) == 0 {
+			continue
+		}
+		wg.Add(1)
+		go func(sh *Shard, batch [][]int) {
+			defer wg.Done()
+			err := sh.submit(ctx, batch)
+			if err != nil {
+				// Graceful degradation: one re-route attempt to the next
+				// live shard (the failed one is degraded or dead by now).
+				if alt := s.reroute(sh); alt != nil {
+					err = alt.submit(ctx, batch)
+				}
+			}
+			mu.Lock()
+			if err == nil {
+				accepted += len(batch)
+			} else if firstErr == nil {
+				firstErr = err
+			}
+			mu.Unlock()
+		}(live[i], batch)
+	}
+	wg.Wait()
+	if accepted == 0 && firstErr != nil {
+		return 0, firstErr
+	}
+	return accepted, nil
+}
+
+// reroute picks a live shard other than the failed one, or nil.
+func (s *Service) reroute(failed *Shard) *Shard {
+	for _, sh := range s.live() {
+		if sh != failed {
+			return sh
+		}
+	}
+	return nil
+}
+
+// Estimate answers a batch of itemset frequency queries by fanning out
+// to every live shard's snapshot through query.EstimateMany (so each
+// shard's batch is CPU-sharded and ctx-cancellable mid-batch) and
+// combining the per-shard estimates weighted by rows seen — the
+// expectation of querying the merged reservoir. Shards that fail or
+// miss the deadline are reported in the Partial, not fatal; only zero
+// answering shards is an error (ErrNoShards, or ctx.Err() when the
+// deadline caused it).
+func (s *Service) Estimate(ctx context.Context, ts []itemsketch.Itemset) ([]float64, Partial, error) {
+	live := s.live()
+	answered := make(map[int]bool, len(live))
+	if len(live) == 0 {
+		return nil, s.partialFor(answered), ErrNoShards
+	}
+	type shardRes struct {
+		id   int
+		seen int64
+		ests []float64
+		err  error
+	}
+	results := make([]shardRes, len(live))
+	var wg sync.WaitGroup
+	for i, sh := range live {
+		wg.Add(1)
+		go func(i int, sh *Shard) {
+			defer wg.Done()
+			snap := sh.snapshot()
+			out := make([]float64, len(ts))
+			err := snap.q.EstimateMany(ctx, ts, out)
+			if err != nil && ctx.Err() == nil {
+				// A genuine shard-side failure, not the caller's deadline.
+				sh.recordFailure(err)
+			}
+			results[i] = shardRes{id: sh.id, seen: snap.seen, ests: out, err: err}
+		}(i, sh)
+	}
+	wg.Wait()
+	ests := make([]float64, len(ts))
+	var weight float64
+	for _, r := range results {
+		if r.err != nil {
+			continue
+		}
+		answered[r.id] = true
+		if r.seen == 0 {
+			continue // an empty shard answers, with nothing to add
+		}
+		w := float64(r.seen)
+		weight += w
+		for j, f := range r.ests {
+			ests[j] += w * f
+		}
+	}
+	p := s.partialFor(answered)
+	if p.Answered == 0 {
+		if err := ctx.Err(); err != nil {
+			return nil, p, err
+		}
+		return nil, p, ErrNoShards
+	}
+	if weight > 0 {
+		for j := range ests {
+			ests[j] /= weight
+		}
+	}
+	return ests, p, nil
+}
+
+// Mine runs a frequent-itemset mine over the union of the live shard
+// samples: the shard reservoirs are merged on read with stream.Merge
+// (the mergeable-summaries property — the merged sample is a uniform
+// sample of the union stream) and mined with the ctx-aware batched
+// Apriori. Dead or snapshot-less shards degrade the result to a
+// partial over the answering shards.
+func (s *Service) Mine(ctx context.Context, minSupport float64, maxK int) ([]itemsketch.MiningResult, Partial, error) {
+	live := s.live()
+	answered := make(map[int]bool, len(live))
+	var merged *stream.Reservoir
+	for _, sh := range live {
+		if err := ctx.Err(); err != nil {
+			return nil, s.partialFor(answered), err
+		}
+		snap := sh.snapshot()
+		if merged == nil {
+			merged = snap.res
+			answered[sh.id] = true
+			continue
+		}
+		m, err := stream.Merge(merged, snap.res, s.nextMergeSeed())
+		if err != nil {
+			sh.recordFailure(err)
+			continue
+		}
+		merged = m
+		answered[sh.id] = true
+	}
+	p := s.partialFor(answered)
+	if merged == nil {
+		if err := ctx.Err(); err != nil {
+			return nil, p, err
+		}
+		return nil, p, ErrNoShards
+	}
+	db := merged.Database()
+	db.BuildColumnIndex()
+	rs, err := itemsketch.AprioriContext(ctx, itemsketch.QueryDatabase(db), minSupport, maxK)
+	if err != nil {
+		return nil, p, err
+	}
+	return rs, p, nil
+}
+
+// HeavyHitter is one heavy single item from the merged Misra–Gries
+// view: the item, its (under)estimated count and the merged stream's
+// occurrence total.
+type HeavyHitter struct {
+	Item  int   `json:"item"`
+	Count int64 `json:"count"`
+}
+
+// HeavyHitters merges the live shards' Misra–Gries summaries on read
+// with stream.MergeMG and returns the items whose frequency may reach
+// phi, with the merged occurrence total. Fails with ErrNoShards when
+// the heavy-hitter path is disabled or fully degraded.
+func (s *Service) HeavyHitters(ctx context.Context, phi float64) ([]HeavyHitter, int64, Partial, error) {
+	live := s.live()
+	answered := make(map[int]bool, len(live))
+	var merged *stream.MisraGries
+	for _, sh := range live {
+		if err := ctx.Err(); err != nil {
+			return nil, 0, s.partialFor(answered), err
+		}
+		snap := sh.snapshot()
+		if snap.mg == nil {
+			continue
+		}
+		if merged == nil {
+			merged = snap.mg
+			answered[sh.id] = true
+			continue
+		}
+		m, err := stream.MergeMG(merged, snap.mg)
+		if err != nil {
+			sh.recordFailure(err)
+			continue
+		}
+		merged = m
+		answered[sh.id] = true
+	}
+	p := s.partialFor(answered)
+	if merged == nil {
+		if err := ctx.Err(); err != nil {
+			return nil, 0, p, err
+		}
+		return nil, 0, p, ErrNoShards
+	}
+	var out []HeavyHitter
+	for _, it := range merged.HeavyHitters(phi) {
+		out = append(out, HeavyHitter{Item: it, Count: merged.Count(it)})
+	}
+	return out, merged.N(), p, nil
+}
+
+// nextMergeSeed derives a fresh deterministic seed for a read-side
+// reservoir merge.
+func (s *Service) nextMergeSeed() uint64 {
+	return s.cfg.Seed ^ (0x9e3779b97f4a7c15 * s.mseed.Add(1))
+}
+
+// Checkpoint persists every live shard (see Shard.Checkpoint),
+// returning the first error after attempting all of them.
+func (s *Service) Checkpoint() error {
+	var first error
+	for _, sh := range s.shards {
+		if sh.State() == Dead {
+			continue
+		}
+		if err := sh.Checkpoint(); err != nil && first == nil {
+			first = err
+		}
+	}
+	return first
+}
+
+// ShardHealth is one shard's row in the health report.
+type ShardHealth struct {
+	ID          int    `json:"id"`
+	State       string `json:"state"`
+	Seen        int64  `json:"seen"`
+	SampleRows  int    `json:"sample_rows"`
+	Failures    int    `json:"consecutive_failures"`
+	Checkpoints int64  `json:"checkpoints"`
+	LastError   string `json:"last_error,omitempty"`
+}
+
+// HealthReport returns the per-shard states for /healthz.
+func (s *Service) HealthReport() []ShardHealth {
+	out := make([]ShardHealth, len(s.shards))
+	for i, sh := range s.shards {
+		snap := sh.snapshot()
+		out[i] = ShardHealth{
+			ID:          sh.id,
+			State:       sh.State().String(),
+			Seen:        snap.seen,
+			SampleRows:  snap.db.NumRows(),
+			Failures:    int(sh.fails.Load()),
+			Checkpoints: sh.checkpoints.Load(),
+			LastError:   sh.lastError(),
+		}
+	}
+	return out
+}
+
+// Ready reports whether the live-shard quorum is met.
+func (s *Service) Ready() bool { return len(s.live()) >= s.cfg.MinReady }

@@ -1,0 +1,355 @@
+package service
+
+import (
+	"context"
+	"errors"
+	"math"
+	"testing"
+	"time"
+
+	itemsketch "repro"
+	"repro/internal/rng"
+)
+
+// testConfig returns a small deterministic config with sleeps disabled.
+func testConfig(d int) Config {
+	return Config{
+		Shards:         4,
+		NumAttrs:       d,
+		SampleCapacity: 512,
+		Seed:           7,
+		Sleep:          func(time.Duration) {},
+	}
+}
+
+// genRows produces n deterministic rows over d attributes where
+// attribute a fires with probability (a+1)/(d+1) — denser columns for
+// higher indices, so estimates have known targets.
+func genRows(n, d int, seed uint64) [][]int {
+	r := rng.New(seed)
+	rows := make([][]int, n)
+	for i := range rows {
+		var row []int
+		for a := 0; a < d; a++ {
+			if r.Float64() < float64(a+1)/float64(d+1) {
+				row = append(row, a)
+			}
+		}
+		rows[i] = row
+	}
+	return rows
+}
+
+func mustNew(t *testing.T, cfg Config) *Service {
+	t.Helper()
+	s, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { s.Close() })
+	return s
+}
+
+func TestIngestAndEstimate(t *testing.T) {
+	const d = 8
+	s := mustNew(t, testConfig(d))
+	ctx := context.Background()
+	rows := genRows(4000, d, 1)
+	n, err := s.Ingest(ctx, rows)
+	if err != nil || n != len(rows) {
+		t.Fatalf("Ingest = (%d, %v), want (%d, nil)", n, err, len(rows))
+	}
+	ts := []itemsketch.Itemset{itemsketch.MustItemset(d - 1), itemsketch.MustItemset(0)}
+	ests, p, err := s.Estimate(ctx, ts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Degraded() {
+		t.Fatalf("healthy service reported partial %v", p)
+	}
+	// Column d-1 fires w.p. d/(d+1); column 0 w.p. 1/(d+1).
+	if want := float64(d) / float64(d+1); math.Abs(ests[0]-want) > 0.05 {
+		t.Errorf("dense column estimate %v, want ≈ %v", ests[0], want)
+	}
+	if want := 1 / float64(d+1); math.Abs(ests[1]-want) > 0.05 {
+		t.Errorf("sparse column estimate %v, want ≈ %v", ests[1], want)
+	}
+}
+
+func TestEstimateDegradedPartialAfterKill(t *testing.T) {
+	const d = 6
+	s := mustNew(t, testConfig(d))
+	ctx := context.Background()
+	if _, err := s.Ingest(ctx, genRows(2000, d, 2)); err != nil {
+		t.Fatal(err)
+	}
+	s.KillShard(1)
+	s.KillShard(3)
+	ests, p, err := s.Estimate(ctx, []itemsketch.Itemset{itemsketch.MustItemset(d - 1)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !p.Degraded() || p.Answered != 2 || p.Total != 4 {
+		t.Fatalf("partial = %+v, want 2/4 degraded", p)
+	}
+	if got := p.String(); got != "2/4" {
+		t.Fatalf("header value %q, want 2/4", got)
+	}
+	if len(p.Missing) != 2 || p.Missing[0] != 1 || p.Missing[1] != 3 {
+		t.Fatalf("missing = %v, want [1 3]", p.Missing)
+	}
+	if want := float64(d) / float64(d+1); math.Abs(ests[0]-want) > 0.08 {
+		t.Errorf("degraded estimate %v strayed from %v", ests[0], want)
+	}
+}
+
+func TestEstimateAllShardsDead(t *testing.T) {
+	const d = 4
+	s := mustNew(t, testConfig(d))
+	for i := 0; i < s.NumShards(); i++ {
+		s.KillShard(i)
+	}
+	_, p, err := s.Estimate(context.Background(), []itemsketch.Itemset{itemsketch.MustItemset(0)})
+	if !errors.Is(err, ErrNoShards) {
+		t.Fatalf("want ErrNoShards, got %v", err)
+	}
+	if p.Answered != 0 || p.Total != 4 {
+		t.Fatalf("partial = %+v, want 0/4", p)
+	}
+}
+
+func TestIngestReroutesAroundFailingShard(t *testing.T) {
+	const d = 4
+	cfg := testConfig(d)
+	cfg.MaxRetries = 2
+	cfg.DeadAfter = 1 // first exhausted retry kills the shard
+	// Shard 2's storage always fails; everyone else is clean.
+	cfg.IngestFault = func(shard, attempt int) error {
+		if shard == 2 {
+			return errors.New("disk on fire")
+		}
+		return nil
+	}
+	s := mustNew(t, cfg)
+	ctx := context.Background()
+	rows := genRows(400, d, 3)
+	n, err := s.Ingest(ctx, rows)
+	if err != nil {
+		t.Fatalf("ingest failed despite reroute: %v", err)
+	}
+	if n != len(rows) {
+		t.Fatalf("accepted %d rows, want %d (failed batches must reroute)", n, len(rows))
+	}
+	if st := s.Shard(2).State(); st != Dead {
+		t.Fatalf("shard 2 state %v, want dead", st)
+	}
+	var total int64
+	for i := 0; i < s.NumShards(); i++ {
+		total += s.Shard(i).Seen()
+	}
+	if total != int64(len(rows)) {
+		t.Fatalf("shards saw %d rows total, want %d", total, len(rows))
+	}
+}
+
+func TestRetryRecoversFromTransientFaults(t *testing.T) {
+	const d = 4
+	cfg := testConfig(d)
+	cfg.Shards = 1
+	cfg.MaxRetries = 4
+	cfg.DeadAfter = 10
+	attempts := 0
+	cfg.IngestFault = func(shard, attempt int) error {
+		attempts++
+		if attempt < 2 {
+			return errors.New("transient blip")
+		}
+		return nil
+	}
+	s := mustNew(t, cfg)
+	if _, err := s.Ingest(context.Background(), [][]int{{0, 1}}); err != nil {
+		t.Fatalf("retry should have absorbed the transient fault: %v", err)
+	}
+	if attempts != 3 {
+		t.Fatalf("hook consulted %d times, want 3 (fail, fail, succeed)", attempts)
+	}
+	if st := s.Shard(0).State(); st != Healthy {
+		t.Fatalf("state %v after recovered retries, want healthy", st)
+	}
+}
+
+func TestHealthStateMachine(t *testing.T) {
+	const d = 4
+	cfg := testConfig(d)
+	cfg.Shards = 1
+	cfg.MaxRetries = 1
+	cfg.DegradeAfter = 1
+	cfg.DeadAfter = 3
+	fail := true
+	cfg.IngestFault = func(int, int) error {
+		if fail {
+			return errors.New("flaky store")
+		}
+		return nil
+	}
+	s := mustNew(t, cfg)
+	ctx := context.Background()
+	sh := s.Shard(0)
+
+	if _, err := s.Ingest(ctx, [][]int{{0}}); err == nil {
+		t.Fatal("want ingest error with no reroute target")
+	}
+	if sh.State() != Degraded {
+		t.Fatalf("after 1 failure: %v, want degraded", sh.State())
+	}
+	fail = false
+	if _, err := s.Ingest(ctx, [][]int{{0}}); err != nil {
+		t.Fatal(err)
+	}
+	if sh.State() != Healthy {
+		t.Fatalf("after success: %v, want healthy (degraded recovers)", sh.State())
+	}
+	fail = true
+	for i := 0; i < 3; i++ {
+		s.Ingest(ctx, [][]int{{0}})
+	}
+	if sh.State() != Dead {
+		t.Fatalf("after 3 straight failures: %v, want dead", sh.State())
+	}
+	// Dead is terminal for the running instance.
+	fail = false
+	if _, err := s.Ingest(ctx, [][]int{{0}}); !errors.Is(err, ErrNoShards) {
+		t.Fatalf("ingest into all-dead service: %v, want ErrNoShards", err)
+	}
+	if sh.State() != Dead {
+		t.Fatalf("dead shard resurrected to %v", sh.State())
+	}
+}
+
+func TestEstimateDeadlineCancelsMidBatch(t *testing.T) {
+	const d = 10
+	s := mustNew(t, testConfig(d))
+	bg := context.Background()
+	if _, err := s.Ingest(bg, genRows(3000, d, 4)); err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(bg)
+	cancel()
+	_, p, err := s.Estimate(ctx, []itemsketch.Itemset{itemsketch.MustItemset(0, 1)})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("cancelled estimate: %v, want context.Canceled", err)
+	}
+	if p.Answered != 0 {
+		t.Fatalf("cancelled estimate answered %d shards", p.Answered)
+	}
+	// The cancellation must not have damaged shard health.
+	for i := 0; i < s.NumShards(); i++ {
+		if st := s.Shard(i).State(); st != Healthy {
+			t.Fatalf("shard %d %v after caller-side cancel, want healthy", i, st)
+		}
+	}
+}
+
+func TestMineOverMergedShards(t *testing.T) {
+	const d = 5
+	s := mustNew(t, testConfig(d))
+	ctx := context.Background()
+	// Attributes 0 and 1 always co-occur; 4 is always alone.
+	var rows [][]int
+	for i := 0; i < 1200; i++ {
+		if i%3 == 0 {
+			rows = append(rows, []int{4})
+		} else {
+			rows = append(rows, []int{0, 1})
+		}
+	}
+	if _, err := s.Ingest(ctx, rows); err != nil {
+		t.Fatal(err)
+	}
+	rs, p, err := s.Mine(ctx, 0.5, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Degraded() {
+		t.Fatalf("partial %v on healthy mine", p)
+	}
+	want := itemsketch.MustItemset(0, 1)
+	found := false
+	for _, res := range rs {
+		if res.Items.Equal(want) {
+			found = true
+			if math.Abs(res.Freq-2.0/3.0) > 0.08 {
+				t.Errorf("pair frequency %v, want ≈ 2/3", res.Freq)
+			}
+		}
+	}
+	if !found {
+		t.Fatalf("mine missed the planted pair {0,1}; got %v", rs)
+	}
+}
+
+func TestHeavyHittersMergedAcrossShards(t *testing.T) {
+	const d = 6
+	s := mustNew(t, testConfig(d))
+	ctx := context.Background()
+	var rows [][]int
+	for i := 0; i < 900; i++ {
+		rows = append(rows, []int{5})
+		if i%10 == 0 {
+			rows = append(rows, []int{1})
+		}
+	}
+	if _, err := s.Ingest(ctx, rows); err != nil {
+		t.Fatal(err)
+	}
+	items, n, p, err := s.HeavyHitters(ctx, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Degraded() {
+		t.Fatalf("partial %v on healthy heavy hitters", p)
+	}
+	if n != 990 {
+		t.Fatalf("merged occurrence total %d, want 990", n)
+	}
+	if len(items) == 0 || items[0].Item != 5 {
+		t.Fatalf("heavy hitters %v, want item 5 on top", items)
+	}
+}
+
+func TestIngestValidatesAttributeRange(t *testing.T) {
+	s := mustNew(t, testConfig(4))
+	if _, err := s.Ingest(context.Background(), [][]int{{0, 4}}); !errors.Is(err, itemsketch.ErrInvalidParams) {
+		t.Fatalf("out-of-range attribute: %v, want ErrInvalidParams", err)
+	}
+	if _, err := s.Ingest(context.Background(), [][]int{{-1}}); !errors.Is(err, itemsketch.ErrInvalidParams) {
+		t.Fatalf("negative attribute: %v, want ErrInvalidParams", err)
+	}
+}
+
+func TestNewValidatesConfig(t *testing.T) {
+	if _, err := New(Config{}); !errors.Is(err, itemsketch.ErrInvalidParams) {
+		t.Fatalf("NumAttrs-less config: %v, want ErrInvalidParams", err)
+	}
+	if _, err := New(Config{NumAttrs: 1, Params: itemsketch.Params{K: 3, Eps: 0.1, Delta: 0.1,
+		Mode: itemsketch.ForAll, Task: itemsketch.Estimator}}); !errors.Is(err, itemsketch.ErrInvalidParams) {
+		t.Fatalf("k > d config: %v, want ErrInvalidParams", err)
+	}
+}
+
+func TestReadyQuorum(t *testing.T) {
+	cfg := testConfig(4)
+	cfg.MinReady = 3
+	s := mustNew(t, cfg)
+	if !s.Ready() {
+		t.Fatal("fresh service must be ready")
+	}
+	s.KillShard(0)
+	if !s.Ready() {
+		t.Fatal("3 live of 4 meets MinReady=3")
+	}
+	s.KillShard(1)
+	if s.Ready() {
+		t.Fatal("2 live of 4 misses MinReady=3")
+	}
+}

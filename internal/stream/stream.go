@@ -121,6 +121,54 @@ func (r *Reservoir) Seen() int64 { return r.seen }
 // Len returns the current sample size.
 func (r *Reservoir) Len() int { return r.sample.NumRows() }
 
+// Capacity returns the maximum sample size.
+func (r *Reservoir) Capacity() int { return r.capacity }
+
+// Clone returns an independent copy of the reservoir: sample arena,
+// seen counter and the generator state are all duplicated, so the
+// clone and the original evolve identically-but-independently from
+// here. The service layer snapshots shards this way — queries read a
+// frozen clone while ingest keeps mutating the original.
+func (r *Reservoir) Clone() *Reservoir {
+	g := *r.rng
+	return &Reservoir{
+		d:        r.d,
+		capacity: r.capacity,
+		seen:     r.seen,
+		sample:   r.sample.Clone(),
+		rng:      &g,
+	}
+}
+
+// RestoreReservoir rebuilds a reservoir from checkpointed state: the
+// sample rows (adopted, not copied), the stream position seen, and a
+// fresh generator seed for the rows still to come. Algorithm R's
+// guarantee needs only the seen counter and independent future coins,
+// so a restored reservoir continues the stream with the full uniform-
+// sample property over (pre-crash rows it retained) ∪ (rows after
+// recovery).
+func RestoreReservoir(sample *dataset.Database, capacity int, seen int64, seed uint64) (*Reservoir, error) {
+	if sample == nil {
+		return nil, fmt.Errorf("%w: restore needs a sample database", core.ErrInvalidParams)
+	}
+	if capacity < 1 {
+		return nil, fmt.Errorf("%w: reservoir needs capacity ≥ 1, got %d", core.ErrInvalidParams, capacity)
+	}
+	if sample.NumRows() > capacity {
+		return nil, fmt.Errorf("%w: checkpointed sample holds %d rows, capacity is %d", core.ErrInvalidParams, sample.NumRows(), capacity)
+	}
+	if seen < int64(sample.NumRows()) {
+		return nil, fmt.Errorf("%w: seen counter %d below sample size %d", core.ErrInvalidParams, seen, sample.NumRows())
+	}
+	return &Reservoir{
+		d:        sample.NumCols(),
+		capacity: capacity,
+		seen:     seen,
+		sample:   sample,
+		rng:      rng.New(seed),
+	}, nil
+}
+
 // Database materializes the current sample as a database — the
 // streaming SUBSAMPLE sketch payload. With the arena layout this is a
 // single block copy.
@@ -210,3 +258,61 @@ func (mg *MisraGries) HeavyHitters(phi float64) []int {
 
 // SizeCounters returns the number of live counters (≤ k−1).
 func (mg *MisraGries) SizeCounters() int { return len(mg.counters) }
+
+// Clone returns an independent copy of the summary.
+func (mg *MisraGries) Clone() *MisraGries {
+	c := &MisraGries{k: mg.k, n: mg.n, counters: make(map[int]int64, len(mg.counters))}
+	for it, v := range mg.counters {
+		c.counters[it] = v
+	}
+	return c
+}
+
+// Snapshot returns the summary's state in a deterministic order
+// (ascending item), for serialization: the occurrence total and the
+// parallel item/count slices.
+func (mg *MisraGries) Snapshot() (n int64, items []int, counts []int64) {
+	items = make([]int, 0, len(mg.counters))
+	for it := range mg.counters {
+		items = append(items, it)
+	}
+	sort.Ints(items)
+	counts = make([]int64, len(items))
+	for i, it := range items {
+		counts[i] = mg.counters[it]
+	}
+	return mg.n, items, counts
+}
+
+// RestoreMisraGries rebuilds a summary from Snapshot state. The
+// invariants (k ≥ 2, at most k−1 positive counters, n covering the
+// counted occurrences) are validated so a corrupt checkpoint cannot
+// smuggle in an impossible summary.
+func RestoreMisraGries(k int, n int64, items []int, counts []int64) (*MisraGries, error) {
+	mg, err := NewMisraGries(k)
+	if err != nil {
+		return nil, err
+	}
+	if len(items) != len(counts) {
+		return nil, fmt.Errorf("%w: %d items but %d counts", core.ErrInvalidParams, len(items), len(counts))
+	}
+	if len(items) > k-1 {
+		return nil, fmt.Errorf("%w: %d counters exceed the k-1 = %d bound", core.ErrInvalidParams, len(items), k-1)
+	}
+	var total int64
+	for i, it := range items {
+		if counts[i] <= 0 {
+			return nil, fmt.Errorf("%w: non-positive counter %d for item %d", core.ErrInvalidParams, counts[i], it)
+		}
+		if _, dup := mg.counters[it]; dup {
+			return nil, fmt.Errorf("%w: duplicate counter for item %d", core.ErrInvalidParams, it)
+		}
+		mg.counters[it] = counts[i]
+		total += counts[i]
+	}
+	if n < total {
+		return nil, fmt.Errorf("%w: occurrence total %d below counter sum %d", core.ErrInvalidParams, n, total)
+	}
+	mg.n = n
+	return mg, nil
+}

@@ -49,6 +49,7 @@
 package itemsketch
 
 import (
+	"context"
 	"io"
 
 	"repro/internal/core"
@@ -179,6 +180,14 @@ func Eclat(db *Database, minSupport float64, maxK int) []MiningResult {
 // database, using an FP-tree with no candidate generation.
 func FPGrowth(db *Database, minSupport float64, maxK int) []MiningResult {
 	return mining.FPGrowth(db, minSupport, maxK)
+}
+
+// FPGrowthContext is FPGrowth with cancellation: the recursive mine
+// checks ctx at every conditional-tree branch and aborts with
+// ctx.Err(), so long mines over deep trees stop promptly when the
+// caller's deadline passes.
+func FPGrowthContext(ctx context.Context, db *Database, minSupport float64, maxK int) ([]MiningResult, error) {
+	return mining.FPGrowthContext(ctx, db, minSupport, maxK)
 }
 
 // Miner is the reusable mining engine behind Apriori, Eclat, FPGrowth

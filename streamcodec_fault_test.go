@@ -1,0 +1,181 @@
+package itemsketch_test
+
+import (
+	"bytes"
+	"errors"
+	"strings"
+	"testing"
+
+	itemsketch "repro"
+	"repro/internal/faultio"
+)
+
+// faultSketchWire builds one small sketch and returns its envelope
+// bytes — the fixture the fault-injection decode tests chew on.
+func faultSketchWire(t *testing.T, compress bool) []byte {
+	t.Helper()
+	db := itemsketch.NewDatabase(12)
+	for i := 0; i < 150; i++ {
+		db.AddRowAttrs(i%12, (i*5+2)%12)
+	}
+	p := itemsketch.Params{K: 2, Eps: 0.1, Delta: 0.1,
+		Mode: itemsketch.ForAll, Task: itemsketch.Estimator}
+	sk, err := itemsketch.Subsample{Seed: 3, SampleOverride: 120}.Sketch(db, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	opts := []itemsketch.MarshalOption{itemsketch.WithChunkBytes(64)}
+	if compress {
+		opts = append(opts, itemsketch.WithCompression())
+	}
+	var wire bytes.Buffer
+	if _, err := itemsketch.MarshalTo(&wire, sk, opts...); err != nil {
+		t.Fatal(err)
+	}
+	return wire.Bytes()
+}
+
+// TestStreamFaultShortReadsDecodeIdentically: a reader that delivers
+// arbitrarily short (but error-free) reads — the behavior io.Reader
+// permits and network sockets exhibit — must decode to the same sketch
+// as a well-behaved reader, for plain and compressed envelopes.
+func TestStreamFaultShortReadsDecodeIdentically(t *testing.T) {
+	for _, compress := range []bool{false, true} {
+		wire := faultSketchWire(t, compress)
+		want, err := itemsketch.UnmarshalFrom(bytes.NewReader(wire))
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, seed := range []uint64{1, 7, 1234} {
+			r := faultio.NewReader(bytes.NewReader(wire),
+				faultio.WithSeed(seed), faultio.WithShortOps())
+			got, err := itemsketch.UnmarshalFrom(r)
+			if err != nil {
+				t.Fatalf("compress=%v seed=%d: short-read decode failed: %v", compress, seed, err)
+			}
+			if got.SizeBits() != want.SizeBits() || got.Name() != want.Name() {
+				t.Fatalf("compress=%v seed=%d: short-read decode diverged", compress, seed)
+			}
+		}
+	}
+}
+
+// TestStreamFaultTransportErrorBareAtEveryOffset: a mid-stream I/O
+// error (disk, socket) must surface as itself from UnmarshalFrom — not
+// disguised as ErrCorruptSketch — no matter where in the envelope it
+// strikes, so retry layers can tell media failures from poison data.
+func TestStreamFaultTransportErrorBareAtEveryOffset(t *testing.T) {
+	wire := faultSketchWire(t, false)
+	for off := int64(0); off < int64(len(wire)); off++ {
+		r := faultio.NewReader(bytes.NewReader(wire), faultio.WithFailAt(off, nil))
+		_, err := itemsketch.UnmarshalFrom(r)
+		if !errors.Is(err, faultio.ErrInjected) {
+			t.Fatalf("offset %d/%d: %v, want the injected error to pass through bare", off, len(wire), err)
+		}
+		if errors.Is(err, itemsketch.ErrCorruptSketch) {
+			t.Fatalf("offset %d/%d: transport error misclassified as corruption: %v", off, len(wire), err)
+		}
+	}
+}
+
+// TestStreamFaultTruncationAtEveryOffset: a stream cleanly cut at any
+// offset (EOF, no error — a died connection or torn file) must fail
+// wrapping both ErrTruncatedStream and ErrCorruptSketch.
+func TestStreamFaultTruncationAtEveryOffset(t *testing.T) {
+	wire := faultSketchWire(t, false)
+	for off := int64(0); off < int64(len(wire)); off++ {
+		r := faultio.NewReader(bytes.NewReader(wire), faultio.WithTruncateAt(off))
+		_, err := itemsketch.UnmarshalFrom(r)
+		if err == nil {
+			t.Fatalf("offset %d/%d: truncated stream decoded", off, len(wire))
+		}
+		if !errors.Is(err, itemsketch.ErrTruncatedStream) {
+			t.Fatalf("offset %d/%d: %v does not wrap ErrTruncatedStream", off, len(wire), err)
+		}
+		if !errors.Is(err, itemsketch.ErrCorruptSketch) {
+			t.Fatalf("offset %d/%d: %v does not wrap ErrCorruptSketch", off, len(wire), err)
+		}
+	}
+}
+
+// TestStreamFaultCorruptionNamesChunk: a byte flipped in a chunk's
+// payload must fail with an error that wraps ErrCorruptSketch and
+// names the chunk, so operators can localize damage in large files.
+func TestStreamFaultCorruptionNamesChunk(t *testing.T) {
+	wire := faultSketchWire(t, false)
+	// Flip one byte inside a chunk's payload (the envelope header is 18
+	// bytes, then each 64-byte chunk rides behind a 4-byte length
+	// prefix and ahead of its CRC-32).
+	flips := []struct {
+		off  int64
+		want string
+	}{
+		{25, "chunk 0"},
+		{95, "chunk 1"}, // 64-byte chunks: second chunk's payload
+	}
+	for _, f := range flips {
+		r := faultio.NewReader(bytes.NewReader(wire), faultio.WithCorruptByte(f.off, 0x40))
+		_, err := itemsketch.UnmarshalFrom(r)
+		if !errors.Is(err, itemsketch.ErrCorruptSketch) {
+			t.Fatalf("flip at %d: %v, want ErrCorruptSketch", f.off, err)
+		}
+		if !strings.Contains(err.Error(), f.want) {
+			t.Fatalf("flip at %d: error %q does not name %s", f.off, err, f.want)
+		}
+	}
+}
+
+// TestStreamFaultInspectFromFlaky: InspectFrom reads only the fixed
+// header, so flaky short reads must not bother it, a header transport
+// error passes bare, and a header truncation classifies cleanly.
+func TestStreamFaultInspectFromFlaky(t *testing.T) {
+	wire := faultSketchWire(t, true)
+	want, err := itemsketch.InspectFrom(bytes.NewReader(wire))
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := faultio.NewReader(bytes.NewReader(wire), faultio.WithSeed(5), faultio.WithShortOps())
+	got, err := itemsketch.InspectFrom(r)
+	if err != nil {
+		t.Fatalf("short-read inspect: %v", err)
+	}
+	if got != want {
+		t.Fatalf("short-read inspect %+v, want %+v", got, want)
+	}
+	for off := int64(0); off < 18; off++ {
+		r := faultio.NewReader(bytes.NewReader(wire), faultio.WithFailAt(off, nil))
+		if _, err := itemsketch.InspectFrom(r); !errors.Is(err, faultio.ErrInjected) {
+			t.Fatalf("header fail at %d: %v, want bare injected error", off, err)
+		}
+		r = faultio.NewReader(bytes.NewReader(wire), faultio.WithTruncateAt(off))
+		if _, err := itemsketch.InspectFrom(r); !errors.Is(err, itemsketch.ErrTruncatedStream) {
+			t.Fatalf("header cut at %d: %v, want ErrTruncatedStream", off, err)
+		}
+	}
+}
+
+// TestStreamFaultFlakyTransientReaderEventuallyFails: transient errors
+// are not retried inside the codec (retry belongs to the caller), so a
+// flaky reader surfaces its first injected error bare.
+func TestStreamFaultFlakyTransientReaderEventuallyFails(t *testing.T) {
+	wire := faultSketchWire(t, false)
+	seen := false
+	for seed := uint64(0); seed < 20; seed++ {
+		r := faultio.NewReader(bytes.NewReader(wire),
+			faultio.WithSeed(seed), faultio.WithFlakyErrors(0.2, nil))
+		_, err := itemsketch.UnmarshalFrom(r)
+		if err == nil {
+			continue // this seed happened to stay clean
+		}
+		seen = true
+		if !errors.Is(err, faultio.ErrInjected) {
+			t.Fatalf("seed %d: %v, want the injected transient error bare", seed, err)
+		}
+		if errors.Is(err, itemsketch.ErrCorruptSketch) {
+			t.Fatalf("seed %d: transient error misclassified as corruption", seed)
+		}
+	}
+	if !seen {
+		t.Fatal("no seed produced a transient failure; the fixture is too small for the test to bite")
+	}
+}
