@@ -100,7 +100,7 @@ func writeError(w http.ResponseWriter, p Partial, err error) {
 		status = http.StatusGatewayTimeout
 	case errors.Is(err, context.Canceled):
 		status = 499 // client closed request
-	case errors.Is(err, ErrNoShards), errors.Is(err, ErrShardDead):
+	case errors.Is(err, ErrNoShards), errors.Is(err, ErrShardDead), errors.Is(err, ErrClosed):
 		status = http.StatusServiceUnavailable
 	case errors.Is(err, itemsketch.ErrInvalidParams), errors.Is(err, itemsketch.ErrWrongItemsetSize):
 		status = http.StatusBadRequest

@@ -90,6 +90,8 @@ var (
 	// ErrRetriesExhausted marks an operation that failed through every
 	// backoff attempt.
 	ErrRetriesExhausted = errors.New("service: retries exhausted")
+	// ErrClosed marks an operation submitted after Close began.
+	ErrClosed = errors.New("service: closed")
 )
 
 // Config parameterizes a Service. The zero value is completed by
@@ -195,10 +197,11 @@ func (cfg Config) withDefaults() Config {
 type Service struct {
 	cfg    Config
 	shards []*Shard
-	next   atomic.Uint64 // round-robin ingest cursor
-	mseed  atomic.Uint64 // merge-seed counter
-	closed atomic.Bool
-	wg     sync.WaitGroup
+	next    atomic.Uint64 // round-robin ingest cursor
+	mseed   atomic.Uint64 // merge-seed counter
+	closed  atomic.Bool
+	closeMu sync.RWMutex // write side held while Close closes worker channels
+	wg      sync.WaitGroup
 }
 
 // New builds the shard set, recovers any checkpoints found in
@@ -242,9 +245,14 @@ func (s *Service) Close() error {
 	if s.closed.Swap(true) {
 		return nil
 	}
+	// The write lock excludes every in-flight submit send, so no worker
+	// channel is closed under a pending send (submit checks closed and
+	// returns ErrClosed once we hold it).
+	s.closeMu.Lock()
 	for _, sh := range s.shards {
 		close(sh.ch)
 	}
+	s.closeMu.Unlock()
 	s.wg.Wait()
 	var first error
 	if s.cfg.CheckpointDir != "" {
@@ -341,7 +349,7 @@ func (s *Service) Ingest(ctx context.Context, rows [][]int) (int, error) {
 	// small batches still spread across shards.
 	batches := make([][][]int, len(live))
 	for _, row := range rows {
-		i := int(s.next.Add(1)-1) % len(live)
+		i := int((s.next.Add(1) - 1) % uint64(len(live)))
 		batches[i] = append(batches[i], row)
 	}
 	var (
@@ -358,9 +366,12 @@ func (s *Service) Ingest(ctx context.Context, rows [][]int) (int, error) {
 		go func(sh *Shard, batch [][]int) {
 			defer wg.Done()
 			err := sh.submit(ctx, batch)
-			if err != nil {
+			if err != nil && ctx.Err() == nil && !errors.Is(err, ErrClosed) {
 				// Graceful degradation: one re-route attempt to the next
 				// live shard (the failed one is degraded or dead by now).
+				// Never on a ctx error — the first shard may have applied
+				// the batch right as the deadline fired, and re-routing
+				// would ingest it twice.
 				if alt := s.reroute(sh); alt != nil {
 					err = alt.submit(ctx, batch)
 				}

@@ -4,6 +4,7 @@ import (
 	"context"
 	"errors"
 	"math"
+	"sync"
 	"testing"
 	"time"
 
@@ -247,6 +248,71 @@ func TestEstimateDeadlineCancelsMidBatch(t *testing.T) {
 		if st := s.Shard(i).State(); st != Healthy {
 			t.Fatalf("shard %d %v after caller-side cancel, want healthy", i, st)
 		}
+	}
+}
+
+func TestIngestCancelDoesNotKillShard(t *testing.T) {
+	const d = 4
+	cfg := testConfig(d)
+	cfg.Shards = 1
+	cfg.MaxRetries = 4
+	cfg.DeadAfter = 2 // two counted failures would kill the shard
+	cfg.IngestFault = func(int, int) error { return errors.New("slow store") }
+	var cancel context.CancelFunc
+	cfg.Sleep = func(time.Duration) { cancel() } // the caller gives up mid-backoff
+	s := mustNew(t, cfg)
+
+	// Each request dies on its own deadline, not on shard trouble: no
+	// number of them may advance the failure counter or the state
+	// machine (a timeout burst must never kill a healthy shard).
+	for i := 0; i < 10; i++ {
+		var ctx context.Context
+		ctx, cancel = context.WithCancel(context.Background())
+		_, err := s.Ingest(ctx, [][]int{{0, 1}})
+		if !errors.Is(err, context.Canceled) {
+			t.Fatalf("ingest %d: %v, want context.Canceled", i, err)
+		}
+		cancel()
+	}
+	if st := s.Shard(0).State(); st != Healthy {
+		t.Fatalf("shard state %v after cancelled ingests, want healthy", st)
+	}
+	if n := s.Shard(0).fails.Load(); n != 0 {
+		t.Fatalf("failure counter %d after cancelled ingests, want 0", n)
+	}
+	// And no cancelled batch may have been applied twice via reroute —
+	// here the fault never cleared, so nothing must have landed at all.
+	if seen := s.Shard(0).Seen(); seen != 0 {
+		t.Fatalf("shard saw %d rows from cancelled ingests, want 0", seen)
+	}
+}
+
+func TestCloseRacesIngestWithoutPanic(t *testing.T) {
+	const d = 4
+	s := mustNew(t, testConfig(d))
+	var wg sync.WaitGroup
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func(seed uint64) {
+			defer wg.Done()
+			rows := genRows(8, d, seed)
+			for {
+				if _, err := s.Ingest(context.Background(), rows); err != nil {
+					if !errors.Is(err, ErrClosed) {
+						t.Errorf("ingest racing close: %v, want ErrClosed", err)
+					}
+					return
+				}
+			}
+		}(uint64(g))
+	}
+	time.Sleep(2 * time.Millisecond) // let the ingest loops spin up
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	wg.Wait()
+	if _, err := s.Ingest(context.Background(), [][]int{{0}}); !errors.Is(err, ErrClosed) {
+		t.Fatalf("ingest after close: %v, want ErrClosed", err)
 	}
 }
 

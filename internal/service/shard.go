@@ -25,11 +25,10 @@ type Shard struct {
 	svc *Service
 	ch  chan ingestReq
 
-	mu        sync.Mutex // guards res, mg, sinceCkpt, ckptGen, jrng during ingest/checkpoint
+	mu        sync.Mutex // guards res, mg, sinceCkpt, jrng during ingest/checkpoint
 	res       *stream.Reservoir
 	mg        *stream.MisraGries
 	sinceCkpt int
-	ckptGen   uint64
 	jrng      *rng.RNG // backoff jitter + recovery seeds
 
 	snap        atomic.Pointer[snapshot]
@@ -94,16 +93,35 @@ func (sh *Shard) submit(ctx context.Context, rows [][]int) error {
 		return fmt.Errorf("%w: shard %d", ErrShardDead, sh.id)
 	}
 	req := ingestReq{ctx: ctx, rows: rows, done: make(chan error, 1)}
+	// The send runs under the service's close lock: Close takes the
+	// write side before closing the worker channels, so a submit racing
+	// shutdown gets ErrClosed instead of a send-on-closed-channel panic.
+	sh.svc.closeMu.RLock()
+	if sh.svc.closed.Load() {
+		sh.svc.closeMu.RUnlock()
+		return fmt.Errorf("%w: shard %d", ErrClosed, sh.id)
+	}
 	select {
 	case sh.ch <- req:
+		sh.svc.closeMu.RUnlock()
 	case <-ctx.Done():
+		sh.svc.closeMu.RUnlock()
 		return ctx.Err()
 	}
 	select {
 	case err := <-req.done:
 		return err
 	case <-ctx.Done():
-		return ctx.Err()
+		// The worker may have completed the application in the same
+		// instant the deadline fired; prefer the real outcome so a batch
+		// that was applied is never reported failed (and never re-routed
+		// into a duplicate application).
+		select {
+		case err := <-req.done:
+			return err
+		default:
+			return ctx.Err()
+		}
 	}
 }
 
@@ -124,7 +142,13 @@ func (sh *Shard) ingest(ctx context.Context, rows [][]int) error {
 		return nil
 	})
 	if err != nil {
-		sh.recordFailure(err)
+		// A cancelled or timed-out request is the caller's budget, not
+		// shard trouble: counting it toward DeadAfter would let a burst
+		// of client timeouts kill a healthy shard (mirrors Estimate's
+		// ctx guard).
+		if ctx.Err() == nil {
+			sh.recordFailure(err)
+		}
 		return err
 	}
 	sh.mu.Lock()
