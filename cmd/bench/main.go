@@ -5,9 +5,9 @@
 //
 // Usage:
 //
-//	go run ./cmd/bench -out BENCH_6.json                          # full run
+//	go run ./cmd/bench -out BENCH_7.json                          # full run
 //	go run ./cmd/bench -quick -out bench.json                     # CI smoke run
-//	go run ./cmd/bench -quick -out b.json -compare BENCH_5.json   # + regression gate
+//	go run ./cmd/bench -quick -out b.json -compare BENCH_6.json   # + regression gate
 //
 // With -compare, the gated benchmark families (sketch builds,
 // streaming ingest and the miners — the operations a PR must not slow
@@ -86,6 +86,8 @@ var gatedPrefixes = []string{
 	"subsample_build",
 	"median_amplifier_build",
 	"reservoir_add",
+	"countsketch_",
+	"heavyhitters_",
 	"mine_",
 }
 
@@ -124,7 +126,7 @@ func compareBaseline(baseline report, results []result, maxRegress float64) []st
 }
 
 func main() {
-	out := flag.String("out", "BENCH_6.json", "output JSON path")
+	out := flag.String("out", "BENCH_7.json", "output JSON path")
 	quick := flag.Bool("quick", false, "smaller databases for CI smoke runs")
 	compare := flag.String("compare", "", "baseline BENCH_*.json to gate benchmarks against")
 	maxRegress := flag.Float64("maxregress", 0.20, "allowed fractional ns/op regression vs -compare baseline")
@@ -320,6 +322,42 @@ func main() {
 		})
 	}
 
+	// Hierarchical count sketch: per-item update cost across all dyadic
+	// levels, the median-of-rows point estimate, and the recursive
+	// heavy-hitter descent over a Zipfian stream.
+	{
+		cs, err := itemsketch.NewCountSketch(itemsketch.CountSketchConfig{
+			Universe: 1 << 16, Rows: 5, Cols: 1024, Base: 16, Seed: 1})
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		r := rng.New(5)
+		z := rng.NewZipf(r, 1<<16, 1.2)
+		items := make([]int, 1<<14)
+		for i := range items {
+			items[i] = z.Next()
+		}
+		record("countsketch_ingest", func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				cs.Add(items[i&(1<<14-1)])
+			}
+		})
+		record("countsketch_estimate", func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				_ = cs.EstimateCount(items[i&(1<<14-1)])
+			}
+		})
+		record("heavyhitters_find", func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				_ = cs.HeavyHitters(0.01)
+			}
+		})
+	}
+
 	// Streaming ingest.
 	{
 		res, err := itemsketch.NewReservoir(64, 10000, 1)
@@ -474,7 +512,7 @@ func main() {
 		GOARCH:     runtime.GOARCH,
 		NumCPU:     runtime.NumCPU(),
 		GOMAXPROCS: runtime.GOMAXPROCS(0),
-		Notes:      "parallel/sharded variants (scan_parallel, subsample_build_parallel, median_amplifier_build) only beat their serial twins with >1 CPU; on a single-CPU runner read them as no-regression checks. mine_eclat_dense is the forced-tidset baseline on the dense database; mine_eclat_diffset is the same mine with forced diffsets. service_* rows measure the sharded sketch service (8 shards, d=64) through its Go API; service_estimate_p99 is a latency quantile (99th percentile single-query latency), not a throughput mean, and the service rows are reported, not gated.",
+		Notes:      "parallel/sharded variants (scan_parallel, subsample_build_parallel, median_amplifier_build) only beat their serial twins with >1 CPU; on a single-CPU runner read them as no-regression checks. mine_eclat_dense is the forced-tidset baseline on the dense database; mine_eclat_diffset is the same mine with forced diffsets. countsketch_ingest/estimate are per-item costs over a 2^16-universe hierarchical count sketch (5x1024, base 16); heavyhitters_find is one full recursive descent at phi=0.01 on a Zipf(1.2) stream. service_* rows measure the sharded sketch service (8 shards, d=64) through its Go API; service_estimate_p99 is a latency quantile (99th percentile single-query latency), not a throughput mean, and the service rows are reported, not gated.",
 		Results:    results,
 	}
 	data, err := json.MarshalIndent(rep, "", "  ")

@@ -3,6 +3,8 @@ package itemsketch
 import (
 	"bytes"
 	"fmt"
+
+	"repro/internal/core"
 )
 
 // Wire format: Marshal wraps the sketch's bit stream in a small
@@ -66,7 +68,11 @@ var envelopeMagic = [4]byte{'I', 'S', 'K', 'B'}
 
 // SketchKind identifies the algorithm family of a serialized sketch.
 // The values mirror the payload type tags and are stable across
-// versions.
+// versions. The set of valid kinds is the core sketch-kind registry —
+// a family registers its kind byte, name, decoder and (optional) merge
+// once, and the envelope codec, Inspect, the Querier adapter and the
+// service all dispatch through that registration; no switch statements
+// enumerate kinds anywhere.
 type SketchKind uint8
 
 // The sketch kinds of the wire format (shared by versions 1 and 2).
@@ -77,28 +83,34 @@ const (
 	KindSubsample
 	KindMedianAmplify
 	KindImportanceSample
-
-	numSketchKinds // sentinel: first invalid kind
+	KindCountSketch
 )
 
-// String returns the algorithm name of the kind.
+// String returns the registered name of the kind.
 func (k SketchKind) String() string {
-	switch k {
-	case KindReleaseDB:
-		return "release-db"
-	case KindReleaseAnswersIndicator:
-		return "release-answers-indicator"
-	case KindReleaseAnswersEstimator:
-		return "release-answers-estimator"
-	case KindSubsample:
-		return "subsample"
-	case KindMedianAmplify:
-		return "median-amplify"
-	case KindImportanceSample:
-		return "importance-sample"
-	default:
-		return fmt.Sprintf("SketchKind(%d)", uint8(k))
+	if spec, ok := core.KindSpecOf(uint8(k)); ok {
+		return spec.Name
 	}
+	return fmt.Sprintf("SketchKind(%d)", uint8(k))
+}
+
+// Registered reports whether the kind byte names a registered sketch
+// family in this build.
+func (k SketchKind) Registered() bool {
+	_, ok := core.KindSpecOf(uint8(k))
+	return ok
+}
+
+// RegisteredKinds returns every registered sketch kind in ascending
+// order — the full set Unmarshal can decode. Tests iterate it so a
+// family cannot be registered without envelope coverage.
+func RegisteredKinds() []SketchKind {
+	specs := core.Kinds()
+	kinds := make([]SketchKind, len(specs))
+	for i, spec := range specs {
+		kinds[i] = SketchKind(spec.Kind)
+	}
+	return kinds
 }
 
 // Envelope describes a serialized sketch without decoding its payload.
@@ -140,9 +152,9 @@ type Envelope struct {
 // declared bit length (header + payload + chunk frames), so the encode
 // performs a single buffer allocation.
 func Marshal(s Sketch) []byte {
-	kind := sketchKindOf(s)
-	if kind >= numSketchKinds {
-		panic(fmt.Sprintf("itemsketch: Marshal(%T): cannot marshal foreign sketch type", s))
+	kind, ok := sketchKindOf(s)
+	if !ok {
+		panic(fmt.Sprintf("itemsketch: Marshal(%T): cannot marshal unregistered sketch type", s))
 	}
 	bits := s.SizeBits()
 	payload := (bits + 7) / 8
@@ -192,26 +204,10 @@ func Inspect(data []byte) (Envelope, error) {
 	return env, nil
 }
 
-// sketchKindOf maps a decoded sketch back to its wire kind. It mirrors
-// the envelope's kind byte derivation (the payload tag), distinguishing
-// the two RELEASE-ANSWERS variants by their estimate capability.
-func sketchKindOf(s Sketch) SketchKind {
-	_, isEst := s.(EstimatorSketch)
-	switch s.Name() {
-	case "release-db":
-		return KindReleaseDB
-	case "release-answers":
-		if isEst {
-			return KindReleaseAnswersEstimator
-		}
-		return KindReleaseAnswersIndicator
-	case "subsample":
-		return KindSubsample
-	case "median-amplify":
-		return KindMedianAmplify
-	case "importance-sample":
-		return KindImportanceSample
-	default:
-		return numSketchKinds
-	}
+// sketchKindOf maps a decoded sketch back to its wire kind via the
+// registry's matchers (the envelope's kind byte equals the payload
+// tag). The second result is false for unregistered sketch types.
+func sketchKindOf(s Sketch) (SketchKind, bool) {
+	kind, ok := core.KindOf(s)
+	return SketchKind(kind), ok
 }

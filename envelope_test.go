@@ -58,6 +58,16 @@ func buildAllKinds(t testing.TB) map[itemsketch.SketchKind]itemsketch.Sketch {
 		}
 		return sk
 	}
+	cs, err := itemsketch.NewCountSketch(itemsketch.CountSketchConfig{
+		Universe: 12, Rows: 4, Cols: 32, Base: 4, Seed: 5})
+	if err != nil {
+		t.Fatalf("count-sketch: %v", err)
+	}
+	for i := 0; i < 400; i++ {
+		cs.Add(i % 12)
+		cs.Add((i + 1) % 12)
+		cs.Add((i * 7) % 12)
+	}
 	return map[itemsketch.SketchKind]itemsketch.Sketch{
 		itemsketch.KindReleaseDB:               build(itemsketch.ReleaseDB{}, est),
 		itemsketch.KindReleaseAnswersIndicator: build(itemsketch.ReleaseAnswers{}, ind),
@@ -65,7 +75,15 @@ func buildAllKinds(t testing.TB) map[itemsketch.SketchKind]itemsketch.Sketch {
 		itemsketch.KindSubsample:               build(itemsketch.Subsample{Seed: 5, SampleOverride: 200}, est),
 		itemsketch.KindMedianAmplify:           build(itemsketch.MedianAmplifier{Base: itemsketch.Subsample{Seed: 5, SampleOverride: 64}, CopiesOverride: 5}, est),
 		itemsketch.KindImportanceSample:        build(itemsketch.ImportanceSample{Seed: 5, SampleOverride: 200}, est),
+		itemsketch.KindCountSketch:             cs,
 	}
+}
+
+// queryItemsetFor returns a |T| = k itemset inside the 12-attribute
+// fixture universe, matching the sketch's own k.
+func queryItemsetFor(sk itemsketch.Sketch) itemsketch.Itemset {
+	attrs := []int{3, 7, 1, 5, 9, 2}
+	return itemsketch.MustItemset(attrs[:sk.Params().K]...)
 }
 
 // TestEnvelopeRoundTripAllKinds round-trips every sketch kind through

@@ -256,30 +256,19 @@ const (
 
 const tagBits = 4
 
-// UnmarshalSketch decodes any sketch written by a MarshalBits method in
-// this package. Decoding failures wrap ErrCorruptSketch.
+// UnmarshalSketch decodes any sketch written by a registered family's
+// MarshalBits: it consumes the leading type tag and dispatches to the
+// kind's registered decoder. Decoding failures wrap ErrCorruptSketch.
 func UnmarshalSketch(r bitvec.BitReader) (Sketch, error) {
 	tag, err := r.ReadUint(tagBits)
 	if err != nil {
 		return nil, fmt.Errorf("%w: %w", ErrCorruptSketch, err)
 	}
-	var s Sketch
-	switch tag {
-	case tagReleaseDB:
-		s, err = unmarshalReleaseDB(r)
-	case tagReleaseAnswersIndicator:
-		s, err = unmarshalReleaseAnswersIndicator(r)
-	case tagReleaseAnswersEstimator:
-		s, err = unmarshalReleaseAnswersEstimator(r)
-	case tagSubsample:
-		s, err = unmarshalSubsample(r)
-	case tagMedian:
-		s, err = unmarshalMedian(r)
-	case tagImportance:
-		s, err = unmarshalImportance(r)
-	default:
+	spec, ok := KindSpecOf(uint8(tag))
+	if !ok {
 		return nil, fmt.Errorf("%w: unknown sketch tag %d", ErrCorruptSketch, tag)
 	}
+	s, err := spec.Decode(r)
 	// Wrap with %w so stream-level causes (a chunk CRC failure, an
 	// io.ErrUnexpectedEOF truncation) stay matchable through the chain.
 	if err != nil && !errors.Is(err, ErrCorruptSketch) {

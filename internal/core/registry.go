@@ -1,0 +1,187 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/bitvec"
+)
+
+// The sketch-kind registry maps the wire kind byte (which mirrors the
+// payload's leading type tag) to everything the envelope, Querier and
+// service layers need to dispatch on a sketch family: a stable name, a
+// payload decoder, a value matcher, and an optional merge. Kinds
+// register themselves from init functions — the built-in families below
+// in this package, out-of-core families (internal/countsketch) from
+// their own package — so adding a family is a registration plus its own
+// file, never an edit to a central switch.
+//
+// Registration is init-time only: RegisterKind must not be called after
+// package initialization, which is what lets every lookup run without a
+// lock on the query hot path.
+
+// KindTagBits is the bit width of the payload's leading type tag. A
+// MarshalBits implementation writes its registered kind in this many
+// bits before its body; UnmarshalSketch consumes the tag and hands the
+// rest of the stream to the registered Decode.
+const KindTagBits = tagBits
+
+// MaxSketchKinds is the size of the kind space (the tag is KindTagBits
+// wide, so kind bytes are 0..MaxSketchKinds-1).
+const MaxSketchKinds = 1 << tagBits
+
+// KindSpec describes one registered sketch family.
+type KindSpec struct {
+	// Kind is the wire kind byte, equal to the payload type tag.
+	Kind uint8
+	// Name is the family's wire name (e.g. "subsample",
+	// "release-answers-estimator"). Unlike Sketch.Name it distinguishes
+	// indicator/estimator variants that share an algorithm name.
+	Name string
+	// Decode reads the payload body that follows the type tag (the tag
+	// itself is consumed by UnmarshalSketch). Failures are wrapped in
+	// ErrCorruptSketch by the caller.
+	Decode func(r bitvec.BitReader) (Sketch, error)
+	// Matches reports whether a sketch value belongs to this kind; it
+	// is how Marshal recovers the kind byte for an arbitrary Sketch.
+	// Registered matchers must be mutually exclusive.
+	Matches func(s Sketch) bool
+	// Merge combines two sketches of this kind into one covering both
+	// streams, without mutating either input. Nil when the family does
+	// not support merging.
+	Merge func(a, b Sketch) (Sketch, error)
+}
+
+var kindRegistry [MaxSketchKinds]*KindSpec
+
+// RegisterKind adds a sketch family to the registry. It is intended to
+// be called from init functions only and panics on an invalid or
+// duplicate registration — both are programming errors, not inputs.
+func RegisterKind(spec KindSpec) {
+	if int(spec.Kind) >= MaxSketchKinds {
+		panic(fmt.Sprintf("core: RegisterKind(%q): kind %d exceeds the %d-bit tag space", spec.Name, spec.Kind, tagBits))
+	}
+	if spec.Name == "" || spec.Decode == nil || spec.Matches == nil {
+		panic(fmt.Sprintf("core: RegisterKind(%d): Name, Decode and Matches are required", spec.Kind))
+	}
+	if prev := kindRegistry[spec.Kind]; prev != nil {
+		panic(fmt.Sprintf("core: RegisterKind(%q): kind %d already registered as %q", spec.Name, spec.Kind, prev.Name))
+	}
+	for _, other := range kindRegistry {
+		if other != nil && other.Name == spec.Name {
+			panic(fmt.Sprintf("core: RegisterKind(%q): name already registered as kind %d", spec.Name, other.Kind))
+		}
+	}
+	s := spec
+	kindRegistry[spec.Kind] = &s
+}
+
+// KindSpecOf returns the registered spec for a kind byte.
+func KindSpecOf(kind uint8) (KindSpec, bool) {
+	if int(kind) >= MaxSketchKinds || kindRegistry[kind] == nil {
+		return KindSpec{}, false
+	}
+	return *kindRegistry[kind], true
+}
+
+// KindOf maps a sketch value back to its registered kind byte, the
+// inverse of the envelope's kind dispatch. The second result is false
+// for sketch types no registered family matches.
+func KindOf(s Sketch) (uint8, bool) {
+	for _, spec := range kindRegistry {
+		if spec != nil && spec.Matches(s) {
+			return spec.Kind, true
+		}
+	}
+	return 0, false
+}
+
+// Kinds returns the registered kind specs in ascending kind order.
+func Kinds() []KindSpec {
+	out := make([]KindSpec, 0, MaxSketchKinds)
+	for _, spec := range kindRegistry {
+		if spec != nil {
+			out = append(out, *spec)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Kind < out[j].Kind })
+	return out
+}
+
+// MergeSketches combines two sketches of the same registered kind via
+// the family's Merge, without mutating either input. Sketches of
+// different (or unregistered) kinds fail with ErrInvalidParams; a kind
+// that does not support merging fails with ErrTaskMismatch.
+func MergeSketches(a, b Sketch) (Sketch, error) {
+	ka, aok := KindOf(a)
+	kb, bok := KindOf(b)
+	if !aok || !bok {
+		return nil, fmt.Errorf("%w: cannot merge unregistered sketch type %T", ErrInvalidParams, pick(!aok, a, b))
+	}
+	if ka != kb {
+		return nil, fmt.Errorf("%w: cannot merge sketch kinds %q and %q", ErrInvalidParams, kindRegistry[ka].Name, kindRegistry[kb].Name)
+	}
+	spec := kindRegistry[ka]
+	if spec.Merge == nil {
+		return nil, fmt.Errorf("%w: sketch kind %q does not support merging", ErrTaskMismatch, spec.Name)
+	}
+	return spec.Merge(a, b)
+}
+
+func pick(cond bool, a, b Sketch) Sketch {
+	if cond {
+		return a
+	}
+	return b
+}
+
+// MarshalParams writes the standard Params header every sketch payload
+// embeds after its type tag. Exported for out-of-core sketch families;
+// UnmarshalParams is its inverse.
+func MarshalParams(w bitvec.BitWriter, p Params) { marshalParams(w, p) }
+
+// UnmarshalParams reads a Params header written by MarshalParams and
+// validates it.
+func UnmarshalParams(r bitvec.BitReader) (Params, error) { return unmarshalParams(r) }
+
+// The built-in families. Tag values predate the registry and are the
+// wire format's kind bytes; they must never be renumbered.
+func init() {
+	isEstimator := func(s Sketch) bool { _, ok := s.(EstimatorSketch); return ok }
+	RegisterKind(KindSpec{
+		Kind:    tagReleaseDB,
+		Name:    "release-db",
+		Decode:  unmarshalReleaseDB,
+		Matches: func(s Sketch) bool { return s.Name() == "release-db" },
+	})
+	RegisterKind(KindSpec{
+		Kind:    tagReleaseAnswersIndicator,
+		Name:    "release-answers-indicator",
+		Decode:  unmarshalReleaseAnswersIndicator,
+		Matches: func(s Sketch) bool { return s.Name() == "release-answers" && !isEstimator(s) },
+	})
+	RegisterKind(KindSpec{
+		Kind:    tagReleaseAnswersEstimator,
+		Name:    "release-answers-estimator",
+		Decode:  unmarshalReleaseAnswersEstimator,
+		Matches: func(s Sketch) bool { return s.Name() == "release-answers" && isEstimator(s) },
+	})
+	RegisterKind(KindSpec{
+		Kind:    tagSubsample,
+		Name:    "subsample",
+		Decode:  unmarshalSubsample,
+		Matches: func(s Sketch) bool { return s.Name() == "subsample" },
+	})
+	RegisterKind(KindSpec{
+		Kind:    tagMedian,
+		Name:    "median-amplify",
+		Decode:  unmarshalMedian,
+		Matches: func(s Sketch) bool { return s.Name() == "median-amplify" },
+	})
+	RegisterKind(KindSpec{
+		Kind:    tagImportance,
+		Name:    "importance-sample",
+		Decode:  unmarshalImportance,
+		Matches: func(s Sketch) bool { return s.Name() == "importance-sample" },
+	})
+}

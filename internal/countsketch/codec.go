@@ -1,0 +1,152 @@
+package countsketch
+
+import (
+	"fmt"
+	"math/bits"
+
+	"repro/internal/bitvec"
+	"repro/internal/core"
+)
+
+// Wire payload of the count-sketch kind (tag 6), after the leading
+// KindTagBits type tag:
+//
+//	params    core.MarshalParams header
+//	universe  32 bits
+//	rows       8 bits
+//	cols      24 bits
+//	base      16 bits
+//	seed      64 bits
+//	total     64 bits (two's complement)
+//	levels ×: width 7 bits, then (width > 0) rows·cols cells,
+//	          zigzag-encoded at width bits each
+//
+// The level count is derived from (universe, base), never trusted from
+// the stream, and the hash functions are re-derived from the seed — so
+// the encoding carries exactly the mutable state and a decoded sketch
+// is bit-identical to the original, including for Merge. Per-level
+// width coding makes a lightly-filled hierarchy (most cells small, top
+// levels dense) pay only the bits its counters need; an all-zero level
+// costs 7 bits.
+
+const (
+	universeBits = 32
+	rowsBits     = 8
+	colsBits     = 24
+	baseBits     = 16
+	widthBits    = 7
+)
+
+// MarshalBits appends the self-describing encoding: the registry type
+// tag, then the payload above.
+func (s *Sketch) MarshalBits(w bitvec.BitWriter) {
+	w.WriteUint(uint64(KindTag), core.KindTagBits)
+	core.MarshalParams(w, s.params)
+	w.WriteUint(uint64(s.universe), universeBits)
+	w.WriteUint(uint64(s.rows), rowsBits)
+	w.WriteUint(uint64(s.cols), colsBits)
+	w.WriteUint(uint64(s.base), baseBits)
+	w.WriteUint(s.seed, 64)
+	w.WriteUint(uint64(s.total), 64)
+	perLevel := s.rows * s.cols
+	for h := 0; h < s.levels; h++ {
+		level := s.table[h*perLevel : (h+1)*perLevel]
+		width := 0
+		for _, c := range level {
+			if n := bits.Len64(zigzag(c)); n > width {
+				width = n
+			}
+		}
+		w.WriteUint(uint64(width), widthBits)
+		if width == 0 {
+			continue
+		}
+		for _, c := range level {
+			w.WriteUint(zigzag(c), width)
+		}
+	}
+}
+
+// unmarshalSketch is the registered decoder: it reads the payload body
+// that follows the type tag. The caller (core.UnmarshalSketch) wraps
+// failures in ErrCorruptSketch; stream truncation stays matchable
+// through the chain.
+func unmarshalSketch(r bitvec.BitReader) (core.Sketch, error) {
+	p, err := core.UnmarshalParams(r)
+	if err != nil {
+		return nil, err
+	}
+	universe, err := r.ReadUint(universeBits)
+	if err != nil {
+		return nil, err
+	}
+	rows, err := r.ReadUint(rowsBits)
+	if err != nil {
+		return nil, err
+	}
+	cols, err := r.ReadUint(colsBits)
+	if err != nil {
+		return nil, err
+	}
+	base, err := r.ReadUint(baseBits)
+	if err != nil {
+		return nil, err
+	}
+	seed, err := r.ReadUint(64)
+	if err != nil {
+		return nil, err
+	}
+	total, err := r.ReadUint(64)
+	if err != nil {
+		return nil, err
+	}
+	// newSketch re-validates the geometry (and caps the table
+	// allocation), so a hostile header fails here instead of sizing an
+	// absurd table.
+	s, err := newSketch(Config{
+		Universe: int(universe),
+		Rows:     int(rows),
+		Cols:     int(cols),
+		Base:     int(base),
+		Seed:     seed,
+		Params:   p,
+	})
+	if err != nil {
+		return nil, err
+	}
+	s.total = int64(total)
+	perLevel := s.rows * s.cols
+	for h := 0; h < s.levels; h++ {
+		width, err := r.ReadUint(widthBits)
+		if err != nil {
+			return nil, err
+		}
+		if width == 0 {
+			continue
+		}
+		if width > 64 {
+			return nil, fmt.Errorf("level %d cell width %d exceeds 64 bits", h, width)
+		}
+		// The level's cells must still be in the stream before they are
+		// read, so a header declaring more bits than the payload carries
+		// fails fast as corruption.
+		if need := perLevel * int(width); r.Remaining() < need {
+			return nil, fmt.Errorf("level %d declares %d cell bits, %d remain", h, need, r.Remaining())
+		}
+		level := s.table[h*perLevel : (h+1)*perLevel]
+		for i := range level {
+			u, err := r.ReadUint(int(width))
+			if err != nil {
+				return nil, err
+			}
+			level[i] = unzigzag(u)
+		}
+	}
+	return s, nil
+}
+
+// zigzag maps signed counters to unsigned so small magnitudes of either
+// sign encode in few bits.
+func zigzag(v int64) uint64 { return uint64(v<<1) ^ uint64(v>>63) }
+
+func unzigzag(u uint64) int64 { return int64(u>>1) ^ -int64(u&1) }

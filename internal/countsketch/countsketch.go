@@ -1,0 +1,453 @@
+// Package countsketch implements a hierarchical signed count sketch —
+// the classic Charikar–Chen–Farach-Colton estimator stacked over dyadic
+// levels of the attribute universe so heavy hitters can be found by
+// recursive descent instead of enumeration.
+//
+// The sketch keeps d dyadic levels; level h summarizes the stream of
+// prefixes item >> (h·log₂B) for a power-of-two branching factor B.
+// Each level is an r×c table of signed counters: a 2-universal bucket
+// hash spreads a prefix over c columns per row, a 4-universal sign hash
+// flips the contribution, and the median of the r per-row estimates
+// cancels the noise of colliding items. All hash coefficients are drawn
+// from internal/rng, so a seed fully determines the sketch and two
+// sketches with equal geometry and seed merge cell-wise into the sketch
+// of the concatenated streams — bit-identically.
+//
+// The (ε, δ) contract is the count-sketch guarantee: a point estimate
+// errs by more than ε·‖f‖₂ with probability at most δ, with ε = √(3/c)
+// and δ = 2⁻ʳ (each row errs by more than √(3/c)·‖f‖₂ with probability
+// < 1/3 by Chebyshev; the median fails only if half the rows do).
+// HeavyHitters walks the level hierarchy top-down (findHH), expanding a
+// prefix only when its estimated mass clears the threshold, so finding
+// the heavy items costs O(B·hh·log_B(u)) estimates instead of O(u).
+//
+// References: Charikar, Chen, Farach-Colton, "Finding frequent items in
+// data streams" (ICALP 2002); "A new Frequency Estimation Sketch for
+// Data Streams" (arXiv:1912.07600); "Recursive Sketching for Frequency
+// Moments" (arXiv:1011.2571); Cormode–Hadjieleftheriou, "Finding
+// frequent items in data streams" (VLDB 2008) for the dyadic descent.
+package countsketch
+
+import (
+	"fmt"
+	"math"
+	"math/bits"
+	"sort"
+
+	"repro/internal/core"
+	"repro/internal/rng"
+)
+
+// KindTag is the sketch family's wire kind byte / payload type tag,
+// registered with the core sketch-kind registry at package init.
+const KindTag uint8 = 6
+
+// KindName is the family's registered wire name.
+const KindName = "count-sketch"
+
+func init() {
+	core.RegisterKind(core.KindSpec{
+		Kind:    KindTag,
+		Name:    KindName,
+		Decode:  unmarshalSketch,
+		Matches: func(s core.Sketch) bool { return s.Name() == KindName },
+		Merge:   mergeKind,
+	})
+}
+
+// Geometry bounds. Rows are capped so median scratch lives on the
+// stack; the cell cap bounds what a decoded (possibly hostile) header
+// can make us allocate to 32 MiB of counters.
+const (
+	maxRows     = 32
+	maxCols     = 1 << 20
+	maxBase     = 256
+	maxUniverse = 1<<31 - 1
+	maxCells    = 1 << 22
+)
+
+// prime61 is the Mersenne prime 2⁶¹−1 the hash arithmetic works modulo.
+const prime61 = 1<<61 - 1
+
+// Config parameterizes a hierarchical count sketch.
+type Config struct {
+	// Universe is the attribute universe size: items are 0..Universe-1.
+	Universe int
+	// Rows is the number of independent counter rows per level
+	// (default 5). The failure probability is δ = 2^-Rows.
+	Rows int
+	// Cols is the number of counter columns per row (default 256). The
+	// additive error is ε·‖f‖₂ with ε = √(3/Cols).
+	Cols int
+	// Base is the power-of-two branching factor of the dyadic hierarchy
+	// (default 8). Larger bases mean fewer levels (less update work)
+	// but more candidate expansions per findHH step.
+	Base int
+	// Seed determines every hash function. Sketches must share a seed
+	// (and geometry) to be mergeable.
+	Seed uint64
+	// Params optionally overrides the derived (ε, δ) contract recorded
+	// on the sketch. When zero, Params is derived from the geometry;
+	// when set, K must be 1 (the sketch answers singleton itemsets).
+	Params core.Params
+}
+
+// hashFns holds one row's hash coefficients: (a, b) for the 2-universal
+// bucket hash and (c0..c3) for the 4-universal sign polynomial, all in
+// [0, 2⁶¹−1).
+type hashFns struct {
+	a, b           uint64
+	c0, c1, c2, c3 uint64
+}
+
+// bucketSign evaluates both hashes at x < 2⁶¹−1: the column index in
+// [0, cols) and the ±1 sign.
+func (h *hashFns) bucketSign(x, cols uint64) (uint64, int64) {
+	bkt := addmod61(mulmod61(h.a, x), h.b) % cols
+	g := addmod61(mulmod61(addmod61(mulmod61(addmod61(mulmod61(h.c3, x), h.c2), x), h.c1), x), h.c0)
+	return bkt, int64(g&1)<<1 - 1
+}
+
+// mulmod61 multiplies modulo 2⁶¹−1 using the Mersenne fold: the 128-bit
+// product hi·2⁶⁴+lo reduces to hi·8+lo since 2⁶⁴ ≡ 2³, and hi < 2⁵⁸
+// keeps hi<<3 from overflowing.
+func mulmod61(a, b uint64) uint64 {
+	hi, lo := bits.Mul64(a, b)
+	s := (lo & prime61) + (lo >> 61) + hi<<3
+	s = (s & prime61) + (s >> 61)
+	if s >= prime61 {
+		s -= prime61
+	}
+	return s
+}
+
+func addmod61(a, b uint64) uint64 {
+	s := a + b
+	s = (s & prime61) + (s >> 61)
+	if s >= prime61 {
+		s -= prime61
+	}
+	return s
+}
+
+// Sketch is a hierarchical count sketch. The zero value is unusable;
+// construct with New. Concurrent readers are safe; updates require
+// external synchronization (clone-and-publish, as the service does).
+type Sketch struct {
+	universe int
+	rows     int
+	cols     int
+	base     int
+	shift    uint // log₂(base)
+	levels   int
+	seed     uint64
+	params   core.Params
+	total    int64
+	// table holds all counters, level-major then row-major:
+	// cell(h, i, b) = table[(h*rows+i)*cols + b].
+	table []int64
+	// hash holds levels×rows hash rows, immutable after construction
+	// and shared by clones.
+	hash []hashFns
+}
+
+// New builds an empty hierarchical count sketch. Geometry defaults:
+// Rows 5, Cols 256, Base 8. Invalid configurations fail with
+// ErrInvalidParams.
+func New(cfg Config) (*Sketch, error) {
+	if cfg.Rows == 0 {
+		cfg.Rows = 5
+	}
+	if cfg.Cols == 0 {
+		cfg.Cols = 256
+	}
+	if cfg.Base == 0 {
+		cfg.Base = 8
+	}
+	s, err := newSketch(cfg)
+	if err != nil {
+		return nil, fmt.Errorf("%w: %w", core.ErrInvalidParams, err)
+	}
+	return s, nil
+}
+
+// newSketch validates geometry and derives the level hierarchy and hash
+// functions. It applies no defaults — the decode path reuses it, and a
+// serialized zero field is corruption, not a request for a default.
+// Errors are returned bare so that path can wrap them as corruption
+// instead of invalid construction input.
+func newSketch(cfg Config) (*Sketch, error) {
+	if cfg.Universe < 1 || cfg.Universe > maxUniverse {
+		return nil, fmt.Errorf("universe %d, need 1..%d", cfg.Universe, maxUniverse)
+	}
+	if cfg.Rows < 1 || cfg.Rows > maxRows {
+		return nil, fmt.Errorf("rows %d, need 1..%d", cfg.Rows, maxRows)
+	}
+	if cfg.Cols < 4 || cfg.Cols > maxCols {
+		return nil, fmt.Errorf("cols %d, need 4..%d", cfg.Cols, maxCols)
+	}
+	if cfg.Base < 2 || cfg.Base > maxBase || cfg.Base&(cfg.Base-1) != 0 {
+		return nil, fmt.Errorf("base %d, need a power of two in 2..%d", cfg.Base, maxBase)
+	}
+	shift := uint(bits.TrailingZeros(uint(cfg.Base)))
+	levels := 1
+	for v := uint64(cfg.Universe - 1); v >= uint64(cfg.Base); v >>= shift {
+		levels++
+	}
+	cells := levels * cfg.Rows * cfg.Cols
+	if cells > maxCells {
+		return nil, fmt.Errorf("%d levels × %d rows × %d cols = %d cells exceeds the %d-cell cap", levels, cfg.Rows, cfg.Cols, cells, maxCells)
+	}
+	p := cfg.Params
+	if p == (core.Params{}) {
+		p = core.Params{
+			K:     1,
+			Eps:   math.Sqrt(3 / float64(cfg.Cols)),
+			Delta: math.Pow(2, -float64(cfg.Rows)),
+			Mode:  core.ForEach,
+			Task:  core.Estimator,
+		}
+	} else {
+		if err := p.Validate(); err != nil {
+			return nil, err
+		}
+		if p.K != 1 {
+			return nil, fmt.Errorf("k = %d, the count sketch answers singleton itemsets only", p.K)
+		}
+	}
+	s := &Sketch{
+		universe: cfg.Universe,
+		rows:     cfg.Rows,
+		cols:     cfg.Cols,
+		base:     cfg.Base,
+		shift:    shift,
+		levels:   levels,
+		seed:     cfg.Seed,
+		params:   p,
+		table:    make([]int64, cells),
+		hash:     make([]hashFns, levels*cfg.Rows),
+	}
+	r := rng.New(cfg.Seed)
+	for i := range s.hash {
+		s.hash[i] = hashFns{
+			a: draw61(r), b: draw61(r),
+			c0: draw61(r), c1: draw61(r), c2: draw61(r), c3: draw61(r),
+		}
+	}
+	return s, nil
+}
+
+// draw61 draws a uniform coefficient in [0, 2⁶¹−1) by rejection (only
+// the single value 2⁶¹−1 is rejected, so the loop all but never spins).
+func draw61(r *rng.RNG) uint64 {
+	for {
+		if v := r.Uint64() >> 3; v < prime61 {
+			return v
+		}
+	}
+}
+
+// Config returns the construction-equivalent configuration, with the
+// resolved defaults filled in.
+func (s *Sketch) Config() Config {
+	return Config{
+		Universe: s.universe, Rows: s.rows, Cols: s.cols,
+		Base: s.base, Seed: s.seed, Params: s.params,
+	}
+}
+
+// Levels returns the number of dyadic levels in the hierarchy.
+func (s *Sketch) Levels() int { return s.levels }
+
+// Total returns the summed weight of all updates (the stream length for
+// unit increments).
+func (s *Sketch) Total() int64 { return s.total }
+
+// Add records one occurrence of item.
+func (s *Sketch) Add(item int) { s.Update(item, 1) }
+
+// Update adds a signed weight to item across every level of the
+// hierarchy. It panics if item is outside [0, Universe), mirroring the
+// stream summaries.
+func (s *Sketch) Update(item int, delta int64) {
+	if item < 0 || item >= s.universe {
+		panic(fmt.Sprintf("countsketch: item %d out of range [0, %d)", item, s.universe))
+	}
+	s.total += delta
+	cols := uint64(s.cols)
+	for h := 0; h < s.levels; h++ {
+		x := uint64(item) >> (uint(h) * s.shift)
+		base := h * s.rows * s.cols
+		for i := 0; i < s.rows; i++ {
+			bkt, sg := s.hash[h*s.rows+i].bucketSign(x, cols)
+			s.table[base+i*s.cols+int(bkt)] += sg * delta
+		}
+	}
+}
+
+// estimateAt returns the median-of-rows estimate for prefix x at a
+// level. The scratch lives on the stack (rows ≤ maxRows), so concurrent
+// estimates never share state.
+func (s *Sketch) estimateAt(x uint64, level int) int64 {
+	var buf [maxRows]int64
+	cols := uint64(s.cols)
+	base := level * s.rows * s.cols
+	for i := 0; i < s.rows; i++ {
+		bkt, sg := s.hash[level*s.rows+i].bucketSign(x, cols)
+		buf[i] = sg * s.table[base+i*s.cols+int(bkt)]
+	}
+	return medianInt64(buf[:s.rows])
+}
+
+// medianInt64 sorts in place (insertion sort: the slice is at most
+// maxRows long and on the caller's stack) and returns the median,
+// midpointing the two central values for even lengths.
+func medianInt64(v []int64) int64 {
+	for i := 1; i < len(v); i++ {
+		for j := i; j > 0 && v[j] < v[j-1]; j-- {
+			v[j], v[j-1] = v[j-1], v[j]
+		}
+	}
+	mid := len(v) / 2
+	if len(v)%2 == 1 {
+		return v[mid]
+	}
+	a, b := v[mid-1], v[mid]
+	return a + (b-a)/2
+}
+
+// EstimateCount returns the estimated occurrence count of item. It
+// panics if item is outside [0, Universe).
+func (s *Sketch) EstimateCount(item int) int64 {
+	if item < 0 || item >= s.universe {
+		panic(fmt.Sprintf("countsketch: item %d out of range [0, %d)", item, s.universe))
+	}
+	return s.estimateAt(uint64(item), 0)
+}
+
+// EstimateFreq returns the estimated relative frequency of item
+// (EstimateCount / Total), or 0 for an empty sketch.
+func (s *Sketch) EstimateFreq(item int) float64 {
+	if s.total <= 0 {
+		return 0
+	}
+	return float64(s.EstimateCount(item)) / float64(s.total)
+}
+
+// L2Estimate estimates ‖f‖₂ of the item frequency-count vector: the
+// median over level-0 rows of the row ℓ₂ norms (each row's Σ cell² is
+// an unbiased estimate of Σ f_i² because cross terms carry independent
+// random signs — the AMS / recursive-sketching estimator).
+func (s *Sketch) L2Estimate() float64 {
+	var buf [maxRows]float64
+	for i := 0; i < s.rows; i++ {
+		var sum float64
+		for _, c := range s.table[i*s.cols : (i+1)*s.cols] {
+			f := float64(c)
+			sum += f * f
+		}
+		buf[i] = math.Sqrt(sum)
+	}
+	v := buf[:s.rows]
+	sort.Float64s(v)
+	mid := s.rows / 2
+	if s.rows%2 == 1 {
+		return v[mid]
+	}
+	return (v[mid-1] + v[mid]) / 2
+}
+
+// Hit is one heavy hitter: an item and its estimated occurrence count.
+type Hit struct {
+	Item  int
+	Count int64
+}
+
+// HeavyHitters returns the items whose estimated frequency reaches
+// phi ∈ (0, 1], ordered by descending estimated count (ties by item).
+// Recall is the hierarchy's guarantee: a prefix containing an item of
+// true frequency ≥ phi has at least that mass at every level, so the
+// descent only misses it if an estimate errs below threshold (the per
+// -level (ε, δ) event). False positives are items whose estimate —
+// true frequency plus noise — clears the bar.
+func (s *Sketch) HeavyHitters(phi float64) []Hit {
+	if !(phi > 0 && phi <= 1) {
+		panic(fmt.Sprintf("countsketch: phi = %g out of range (0, 1]", phi))
+	}
+	if s.total <= 0 {
+		return nil
+	}
+	thr := phi * float64(s.total)
+	var out []Hit
+	s.findHH(thr, 0, s.levels-1, &out)
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Count != out[j].Count {
+			return out[i].Count > out[j].Count
+		}
+		return out[i].Item < out[j].Item
+	})
+	return out
+}
+
+// findHH expands the children of a level-(level+1) prefix: each child
+// whose estimated mass clears the threshold is either reported (level
+// 0) or descended into. The construction guarantees the root fan-out
+// (level levels-1) is at most base prefixes.
+func (s *Sketch) findHH(thr float64, prefix uint64, level int, out *[]Hit) {
+	live := (uint64(s.universe-1) >> (uint(level) * s.shift)) + 1
+	for c := uint64(0); c < uint64(s.base); c++ {
+		x := prefix<<s.shift | c
+		if x >= live {
+			break
+		}
+		est := s.estimateAt(x, level)
+		if float64(est) < thr {
+			continue
+		}
+		if level == 0 {
+			*out = append(*out, Hit{Item: int(x), Count: est})
+		} else {
+			s.findHH(thr, x, level-1, out)
+		}
+	}
+}
+
+// Clone returns an independent copy sharing only the immutable hash
+// functions — the freeze half of the service's clone-and-publish
+// snapshot discipline.
+func (s *Sketch) Clone() *Sketch {
+	c := *s
+	c.table = append([]int64(nil), s.table...)
+	return &c
+}
+
+// Merge folds other into s cell-wise, so s summarizes the concatenation
+// of both streams — bit-identically to having ingested it as one
+// stream. The sketches must have identical geometry and seed; anything
+// else fails with ErrInvalidParams and leaves s unchanged.
+func (s *Sketch) Merge(other *Sketch) error {
+	if other == nil || s.universe != other.universe || s.rows != other.rows ||
+		s.cols != other.cols || s.base != other.base || s.seed != other.seed {
+		return fmt.Errorf("%w: count sketches differ in geometry or seed", core.ErrInvalidParams)
+	}
+	for i, v := range other.table {
+		s.table[i] += v
+	}
+	s.total += other.total
+	return nil
+}
+
+// mergeKind is the registry merge hook: a non-mutating merge of two
+// count sketches.
+func mergeKind(a, b core.Sketch) (core.Sketch, error) {
+	ca, aok := a.(*Sketch)
+	cb, bok := b.(*Sketch)
+	if !aok || !bok {
+		return nil, fmt.Errorf("%w: count-sketch merge of %T and %T", core.ErrInvalidParams, a, b)
+	}
+	m := ca.Clone()
+	if err := m.Merge(cb); err != nil {
+		return nil, err
+	}
+	return m, nil
+}

@@ -1,0 +1,360 @@
+package countsketch
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+
+	"repro/internal/bitvec"
+	"repro/internal/core"
+	"repro/internal/dataset"
+	"repro/internal/rng"
+)
+
+func mustNew(t *testing.T, cfg Config) *Sketch {
+	t.Helper()
+	s, err := New(cfg)
+	if err != nil {
+		t.Fatalf("New(%+v): %v", cfg, err)
+	}
+	return s
+}
+
+func marshalBits(t *testing.T, s core.Sketch) []byte {
+	t.Helper()
+	var w bitvec.Writer
+	s.MarshalBits(&w)
+	if got := s.SizeBits(); int64(w.BitLen()) != got {
+		t.Fatalf("SizeBits %d disagrees with MarshalBits length %d", got, w.BitLen())
+	}
+	return append([]byte(nil), w.Bytes()...)
+}
+
+func roundTrip(t *testing.T, s *Sketch) *Sketch {
+	t.Helper()
+	var w bitvec.Writer
+	s.MarshalBits(&w)
+	back, err := core.UnmarshalSketch(bitvec.NewReader(w.Bytes(), w.BitLen()))
+	if err != nil {
+		t.Fatalf("UnmarshalSketch: %v", err)
+	}
+	cs, ok := back.(*Sketch)
+	if !ok {
+		t.Fatalf("decoded %T, want *Sketch", back)
+	}
+	return cs
+}
+
+func TestNewValidation(t *testing.T) {
+	base := Config{Universe: 1000, Rows: 5, Cols: 64, Base: 8, Seed: 1}
+	cases := []struct {
+		name   string
+		mutate func(*Config)
+	}{
+		{"zero universe", func(c *Config) { c.Universe = 0 }},
+		{"negative universe", func(c *Config) { c.Universe = -4 }},
+		{"universe too large", func(c *Config) { c.Universe = maxUniverse + 1 }},
+		{"too many rows", func(c *Config) { c.Rows = maxRows + 1 }},
+		{"cols too small", func(c *Config) { c.Cols = 3 }},
+		{"cols too large", func(c *Config) { c.Cols = maxCols + 1 }},
+		{"base not a power of two", func(c *Config) { c.Base = 6 }},
+		{"base too large", func(c *Config) { c.Base = 512 }},
+		{"cell cap", func(c *Config) { c.Universe = maxUniverse; c.Base = 2; c.Rows = maxRows; c.Cols = maxCols }},
+		{"params k != 1", func(c *Config) {
+			c.Params = core.Params{K: 2, Eps: 0.1, Delta: 0.1, Mode: core.ForEach, Task: core.Estimator}
+		}},
+		{"invalid params", func(c *Config) {
+			c.Params = core.Params{K: 1, Eps: 2, Delta: 0.1, Mode: core.ForEach, Task: core.Estimator}
+		}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			cfg := base
+			tc.mutate(&cfg)
+			if _, err := New(cfg); !errors.Is(err, core.ErrInvalidParams) {
+				t.Fatalf("New(%+v) error = %v, want ErrInvalidParams", cfg, err)
+			}
+		})
+	}
+}
+
+func TestDefaultsAndLevels(t *testing.T) {
+	s := mustNew(t, Config{Universe: 4096, Seed: 1})
+	if s.rows != 5 || s.cols != 256 || s.base != 8 {
+		t.Fatalf("defaults = %d rows × %d cols, base %d; want 5×256 base 8", s.rows, s.cols, s.base)
+	}
+	p := s.Params()
+	if p.K != 1 || p.Task != core.Estimator || p.Mode != core.ForEach {
+		t.Fatalf("derived params = %v", p)
+	}
+	// The hierarchy must stop as soon as the top level fits in one
+	// root expansion (≤ base prefixes).
+	for _, tc := range []struct {
+		universe, base, levels int
+	}{
+		{1, 8, 1}, {8, 8, 1}, {9, 8, 2}, {64, 8, 2}, {65, 8, 3},
+		{4096, 8, 4}, {4096, 2, 12}, {4096, 256, 2}, {3, 2, 2},
+	} {
+		s := mustNew(t, Config{Universe: tc.universe, Base: tc.base, Rows: 2, Cols: 16, Seed: 1})
+		if s.Levels() != tc.levels {
+			t.Errorf("universe %d base %d: levels = %d, want %d", tc.universe, tc.base, s.Levels(), tc.levels)
+		}
+		top := (uint64(tc.universe-1) >> (uint(s.Levels()-1) * s.shift)) + 1
+		if top > uint64(tc.base) {
+			t.Errorf("universe %d base %d: top level has %d prefixes > base", tc.universe, tc.base, top)
+		}
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	cfg := Config{Universe: 512, Rows: 4, Cols: 128, Base: 4, Seed: 42}
+	a, b := mustNew(t, cfg), mustNew(t, cfg)
+	r := rng.New(7)
+	for i := 0; i < 5000; i++ {
+		it := r.Intn(512)
+		a.Add(it)
+		b.Add(it)
+	}
+	if !bytes.Equal(marshalBits(t, a), marshalBits(t, b)) {
+		t.Fatal("same seed and stream, different encodings")
+	}
+	cfg.Seed = 43
+	c := mustNew(t, cfg)
+	r = rng.New(7)
+	for i := 0; i < 5000; i++ {
+		c.Add(r.Intn(512))
+	}
+	if bytes.Equal(marshalBits(t, a), marshalBits(t, c)) {
+		t.Fatal("different seeds produced identical tables")
+	}
+}
+
+func TestUpdateAndQueryPanics(t *testing.T) {
+	s := mustNew(t, Config{Universe: 100, Seed: 1})
+	for name, f := range map[string]func(){
+		"Add out of range":      func() { s.Add(100) },
+		"Update negative item":  func() { s.Update(-1, 1) },
+		"EstimateCount range":   func() { s.EstimateCount(-1) },
+		"HeavyHitters phi zero": func() { s.HeavyHitters(0) },
+		"HeavyHitters phi > 1":  func() { s.HeavyHitters(1.5) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s: no panic", name)
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+func TestCloneIndependence(t *testing.T) {
+	s := mustNew(t, Config{Universe: 64, Rows: 3, Cols: 32, Base: 4, Seed: 9})
+	for i := 0; i < 100; i++ {
+		s.Add(i % 64)
+	}
+	c := s.Clone()
+	before := marshalBits(t, c)
+	for i := 0; i < 100; i++ {
+		s.Add(5)
+	}
+	if !bytes.Equal(before, marshalBits(t, c)) {
+		t.Fatal("mutating the original changed the clone")
+	}
+	if s.Total() == c.Total() {
+		t.Fatal("original did not advance independently")
+	}
+}
+
+func TestMergeMismatch(t *testing.T) {
+	cfg := Config{Universe: 128, Rows: 3, Cols: 32, Base: 4, Seed: 5}
+	a := mustNew(t, cfg)
+	for _, mutate := range []func(*Config){
+		func(c *Config) { c.Seed = 6 },
+		func(c *Config) { c.Cols = 64 },
+		func(c *Config) { c.Rows = 4 },
+		func(c *Config) { c.Base = 8 },
+		func(c *Config) { c.Universe = 256 },
+	} {
+		other := cfg
+		mutate(&other)
+		b := mustNew(t, other)
+		if err := a.Clone().Merge(b); !errors.Is(err, core.ErrInvalidParams) {
+			t.Errorf("Merge(%+v) error = %v, want ErrInvalidParams", other, err)
+		}
+	}
+	if err := a.Clone().Merge(nil); !errors.Is(err, core.ErrInvalidParams) {
+		t.Error("Merge(nil) did not fail with ErrInvalidParams")
+	}
+}
+
+func TestRoundTrip(t *testing.T) {
+	s := mustNew(t, Config{Universe: 300, Rows: 4, Cols: 64, Base: 4, Seed: 77})
+	z := rng.NewZipf(rng.New(3), 300, 1.2)
+	for i := 0; i < 20000; i++ {
+		s.Add(z.Next())
+	}
+	s.Update(7, -25)
+	back := roundTrip(t, s)
+	if !bytes.Equal(marshalBits(t, s), marshalBits(t, back)) {
+		t.Fatal("re-marshal is not byte-identical")
+	}
+	if back.Total() != s.Total() {
+		t.Fatalf("total %d, want %d", back.Total(), s.Total())
+	}
+	for i := 0; i < 300; i++ {
+		if s.EstimateCount(i) != back.EstimateCount(i) {
+			t.Fatalf("estimate for %d drifted through the codec", i)
+		}
+	}
+	// A decoded sketch is a full merge citizen of the original family.
+	m := s.Clone()
+	if err := m.Merge(back); err != nil {
+		t.Fatalf("merge with decoded copy: %v", err)
+	}
+	if m.Total() != 2*s.Total() {
+		t.Fatalf("merged total %d, want %d", m.Total(), 2*s.Total())
+	}
+	// An empty sketch round-trips too (every level at width 0).
+	empty := mustNew(t, Config{Universe: 300, Rows: 4, Cols: 64, Base: 4, Seed: 77})
+	if got := roundTrip(t, empty); got.Total() != 0 {
+		t.Fatalf("empty sketch decoded with total %d", got.Total())
+	}
+}
+
+func TestDecodeRejectsBadGeometry(t *testing.T) {
+	// Hand-encode a payload whose geometry fields are hostile: the
+	// decoder must fail with ErrCorruptSketch before allocating a table.
+	encode := func(universe, rows, cols, base uint64) []byte {
+		var w bitvec.Writer
+		w.WriteUint(uint64(KindTag), core.KindTagBits)
+		core.MarshalParams(&w, core.Params{K: 1, Eps: 0.1, Delta: 0.1, Mode: core.ForEach, Task: core.Estimator})
+		w.WriteUint(universe, universeBits)
+		w.WriteUint(rows, rowsBits)
+		w.WriteUint(cols, colsBits)
+		w.WriteUint(base, baseBits)
+		w.WriteUint(1, 64) // seed
+		w.WriteUint(0, 64) // total
+		w.WriteUint(0, widthBits)
+		return w.Bytes()
+	}
+	cases := map[string][4]uint64{
+		"zero rows":      {100, 0, 64, 8},
+		"zero cols":      {100, 4, 0, 8},
+		"zero base":      {100, 4, 64, 0},
+		"non-pow2 base":  {100, 4, 64, 3},
+		"huge cols":      {100, 4, 1 << 21, 8},
+		"cell-cap blowup": {maxUniverse, maxRows, maxCols, 2},
+	}
+	for name, g := range cases {
+		t.Run(name, func(t *testing.T) {
+			data := encode(g[0], g[1], g[2], g[3])
+			_, err := core.UnmarshalSketch(bitvec.NewReader(data, len(data)*8))
+			if !errors.Is(err, core.ErrCorruptSketch) {
+				t.Fatalf("error = %v, want ErrCorruptSketch", err)
+			}
+		})
+	}
+}
+
+func TestDecodeRejectsOverdeclaredCells(t *testing.T) {
+	// A width that declares more cell bits than the stream carries must
+	// fail fast (before reading cells), not allocate-and-truncate.
+	var w bitvec.Writer
+	w.WriteUint(uint64(KindTag), core.KindTagBits)
+	core.MarshalParams(&w, core.Params{K: 1, Eps: 0.1, Delta: 0.1, Mode: core.ForEach, Task: core.Estimator})
+	w.WriteUint(64, universeBits)
+	w.WriteUint(4, rowsBits)
+	w.WriteUint(16, colsBits)
+	w.WriteUint(8, baseBits)
+	w.WriteUint(1, 64)
+	w.WriteUint(0, 64)
+	w.WriteUint(33, widthBits) // 4×16×33 bits nowhere to be found
+	_, err := core.UnmarshalSketch(bitvec.NewReader(w.Bytes(), w.BitLen()))
+	if !errors.Is(err, core.ErrCorruptSketch) {
+		t.Fatalf("error = %v, want ErrCorruptSketch", err)
+	}
+}
+
+func TestSketchInterfaceFace(t *testing.T) {
+	s := mustNew(t, Config{Universe: 200, Rows: 5, Cols: 512, Base: 8, Seed: 11})
+	for i := 0; i < 5000; i++ {
+		s.Add(i % 10) // ten items at frequency 0.1 each
+	}
+	if s.Name() != KindName || s.NumAttrs() != 200 {
+		t.Fatalf("Name/NumAttrs = %q/%d", s.Name(), s.NumAttrs())
+	}
+	one := dataset.MustItemset(3)
+	f, err := s.EstimateErr(one)
+	if err != nil || f < 0.05 || f > 0.15 {
+		t.Fatalf("EstimateErr(3) = %g, %v; want ≈0.1", f, err)
+	}
+	if got := s.Estimate(one); got != f {
+		t.Fatalf("Estimate = %g, EstimateErr = %g", got, f)
+	}
+	freq, err := s.FrequentErr(one)
+	if err != nil || !freq {
+		t.Fatalf("FrequentErr(3) = %v, %v; item at 0.1 with eps=%g should be frequent", freq, err, s.Params().Eps)
+	}
+	if ok, err := s.FrequentErr(dataset.MustItemset(150)); err != nil || ok {
+		t.Fatalf("FrequentErr(absent) = %v, %v", ok, err)
+	}
+	if _, err := s.EstimateErr(dataset.MustItemset(1, 2)); !errors.Is(err, core.ErrWrongItemsetSize) {
+		t.Fatalf("|T|=2 error = %v, want ErrWrongItemsetSize", err)
+	}
+	if _, err := s.FrequentErr(dataset.MustItemset(1, 2)); !errors.Is(err, core.ErrWrongItemsetSize) {
+		t.Fatalf("Frequent |T|=2 error = %v, want ErrWrongItemsetSize", err)
+	}
+	if _, err := s.EstimateErr(dataset.MustItemset(200)); !errors.Is(err, core.ErrInvalidParams) {
+		t.Fatalf("out-of-universe error = %v, want ErrInvalidParams", err)
+	}
+	out := make([]float64, 2)
+	if err := s.EstimateBatch([]dataset.Itemset{one, dataset.MustItemset(150)}, out); err != nil {
+		t.Fatalf("EstimateBatch: %v", err)
+	}
+	if out[0] != f {
+		t.Fatalf("EstimateBatch[0] = %g, want %g", out[0], f)
+	}
+	if got := s.Frequent(one); !got {
+		t.Fatal("Frequent(3) = false for an item at frequency 0.1")
+	}
+
+	// Config round-trips through New to an identically-hashed sketch.
+	cfg := s.Config()
+	if cfg.Universe != 200 || cfg.Rows != 5 || cfg.Cols != 512 || cfg.Base != 8 || cfg.Seed != 11 {
+		t.Fatalf("Config() = %+v", cfg)
+	}
+	twin := mustNew(t, cfg)
+	if err := twin.Merge(s); err != nil {
+		t.Fatalf("a Config()-rebuilt sketch must be mergeable: %v", err)
+	}
+}
+
+func TestRegistryMergeHook(t *testing.T) {
+	cfg := Config{Universe: 64, Rows: 3, Cols: 32, Base: 4, Seed: 21}
+	a, b := mustNew(t, cfg), mustNew(t, cfg)
+	for i := 0; i < 500; i++ {
+		a.Add(i % 64)
+		b.Add((i * 7) % 64)
+	}
+	merged, err := core.MergeSketches(a, b)
+	if err != nil {
+		t.Fatalf("MergeSketches: %v", err)
+	}
+	mc := merged.(*Sketch)
+	if mc.Total() != a.Total()+b.Total() {
+		t.Fatalf("merged total %d", mc.Total())
+	}
+	// The registry merge must not mutate its inputs.
+	if a.Total() != 500 || b.Total() != 500 {
+		t.Fatal("MergeSketches mutated an input")
+	}
+	want := a.Clone()
+	if err := want.Merge(b); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(marshalBits(t, mc), marshalBits(t, want)) {
+		t.Fatal("registry merge differs from direct merge")
+	}
+}

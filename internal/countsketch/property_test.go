@@ -1,0 +1,349 @@
+package countsketch
+
+import (
+	"bytes"
+	"math"
+	"testing"
+
+	"repro/internal/rng"
+	"repro/internal/stream"
+)
+
+// This file is the statistical contract of the family, seeded so every
+// run sees the same streams. Tolerances are generous against the
+// theoretical (ε, δ) bounds — they fail when an implementation is
+// broken (a biased hash, a wrong median, a mis-indexed level), not when
+// a run is merely unlucky, because there is no luck: the seeds are
+// fixed.
+
+// exactStream materializes a stream and its exact per-item counts.
+type exactStream struct {
+	items  []int
+	counts []int64
+}
+
+func uniformStream(seed uint64, universe, n int) exactStream {
+	r := rng.New(seed)
+	s := exactStream{items: make([]int, n), counts: make([]int64, universe)}
+	for i := range s.items {
+		it := r.Intn(universe)
+		s.items[i] = it
+		s.counts[it]++
+	}
+	return s
+}
+
+func zipfStream(seed uint64, universe, n int, skew float64) exactStream {
+	z := rng.NewZipf(rng.New(seed), universe, skew)
+	s := exactStream{items: make([]int, n), counts: make([]int64, universe)}
+	for i := range s.items {
+		it := z.Next()
+		s.items[i] = it
+		s.counts[it]++
+	}
+	return s
+}
+
+func (s exactStream) l2() float64 {
+	var sum float64
+	for _, c := range s.counts {
+		sum += float64(c) * float64(c)
+	}
+	return math.Sqrt(sum)
+}
+
+// TestEstimateErrorContract checks the count-sketch guarantee — a
+// point estimate errs by more than ε·‖f‖₂ with probability ≤ δ — on
+// uniform and Zipf streams across three table geometries, counting
+// violating items against a doubled-δ allowance.
+func TestEstimateErrorContract(t *testing.T) {
+	const universe, n = 4096, 120000
+	geometries := []Config{
+		{Rows: 3, Cols: 256},
+		{Rows: 5, Cols: 512},
+		{Rows: 7, Cols: 1024},
+	}
+	streams := map[string]exactStream{
+		"uniform": uniformStream(101, universe, n),
+		"zipf1.2": zipfStream(202, universe, n, 1.2),
+	}
+	for _, geo := range geometries {
+		for name, st := range streams {
+			geo := geo
+			t.Run(func() string {
+				return name + "/" + itoa(geo.Rows) + "x" + itoa(geo.Cols)
+			}(), func(t *testing.T) {
+				cfg := geo
+				cfg.Universe = universe
+				cfg.Seed = 0xC0FFEE ^ uint64(geo.Rows*1000+geo.Cols)
+				s := mustNew(t, cfg)
+				for _, it := range st.items {
+					s.Add(it)
+				}
+				if s.Total() != int64(n) {
+					t.Fatalf("total = %d, want %d", s.Total(), n)
+				}
+				eps, delta := s.Params().Eps, s.Params().Delta
+				bound := eps * st.l2()
+				violations := 0
+				var worst float64
+				for i := 0; i < universe; i++ {
+					err := math.Abs(float64(s.EstimateCount(i) - st.counts[i]))
+					if err > bound {
+						violations++
+					}
+					if err > worst {
+						worst = err
+					}
+				}
+				// Per-item failure probability is ≤ δ over the hash draw;
+				// with a fixed seed the violating-item count concentrates
+				// hard around δ·universe, so 2δ·universe + 10 only trips on
+				// a real contract break.
+				allowed := int(2*delta*float64(universe)) + 10
+				t.Logf("rows=%d cols=%d: eps=%.4f bound=%.0f worst=%.0f violations=%d/%d (allowed %d)",
+					cfg.Rows, cfg.Cols, eps, bound, worst, violations, universe, allowed)
+				if violations > allowed {
+					t.Fatalf("%d items exceed ε‖f‖₂=%.0f, allowance %d", violations, bound, allowed)
+				}
+			})
+		}
+	}
+}
+
+func itoa(v int) string {
+	if v == 0 {
+		return "0"
+	}
+	var b [8]byte
+	i := len(b)
+	for v > 0 {
+		i--
+		b[i] = byte('0' + v%10)
+		v /= 10
+	}
+	return string(b[i:])
+}
+
+// TestL2EstimateContract pins the AMS-style ℓ₂ estimator within a
+// generous relative band on both stream shapes.
+func TestL2EstimateContract(t *testing.T) {
+	const universe, n = 2048, 80000
+	for name, st := range map[string]exactStream{
+		"uniform": uniformStream(303, universe, n),
+		"zipf1.4": zipfStream(404, universe, n, 1.4),
+	} {
+		s := mustNew(t, Config{Universe: universe, Rows: 5, Cols: 512, Base: 8, Seed: 31337})
+		for _, it := range st.items {
+			s.Add(it)
+		}
+		got, want := s.L2Estimate(), st.l2()
+		if rel := math.Abs(got-want) / want; rel > 0.25 {
+			t.Errorf("%s: L2Estimate = %.0f, exact %.0f (rel err %.2f > 0.25)", name, got, want, rel)
+		} else {
+			t.Logf("%s: L2Estimate = %.0f, exact %.0f (rel err %.3f)", name, got, want, rel)
+		}
+	}
+}
+
+// TestMergeLaws proves Merge is commutative, associative and
+// bit-identical to single-stream ingest: sharding a stream across
+// sketches and merging is indistinguishable — at the encoding level —
+// from having ingested it whole.
+func TestMergeLaws(t *testing.T) {
+	cfg := Config{Universe: 2048, Rows: 5, Cols: 256, Base: 8, Seed: 99}
+	st := zipfStream(505, 2048, 60000, 1.1)
+	single := mustNew(t, cfg)
+	parts := []*Sketch{mustNew(t, cfg), mustNew(t, cfg), mustNew(t, cfg)}
+	for i, it := range st.items {
+		single.Add(it)
+		parts[i%3].Add(it)
+	}
+	wantBytes := marshalBits(t, single)
+
+	merge := func(xs ...*Sketch) *Sketch {
+		m := xs[0].Clone()
+		for _, x := range xs[1:] {
+			if err := m.Merge(x); err != nil {
+				t.Fatalf("merge: %v", err)
+			}
+		}
+		return m
+	}
+	a, b, c := parts[0], parts[1], parts[2]
+	if !bytes.Equal(marshalBits(t, merge(a, b, c)), wantBytes) {
+		t.Fatal("sharded ingest + merge is not bit-identical to single-stream ingest")
+	}
+	if !bytes.Equal(marshalBits(t, merge(a, b)), marshalBits(t, merge(b, a))) {
+		t.Fatal("merge is not commutative")
+	}
+	left := merge(merge(a, b), c)
+	right := merge(a, merge(b, c))
+	if !bytes.Equal(marshalBits(t, left), marshalBits(t, right)) {
+		t.Fatal("merge is not associative")
+	}
+}
+
+// plantedStream builds a stream with known heavy hitters: `heavy`
+// planted items at identical high counts over a light uniform
+// background, so the heavy/light margin is many noise standard
+// deviations wide and recall/precision assertions are exact.
+func plantedStream(seed uint64, universe, heavy int, heavyCount, background int) exactStream {
+	r := rng.New(seed)
+	var s exactStream
+	s.counts = make([]int64, universe)
+	for h := 0; h < heavy; h++ {
+		for i := 0; i < heavyCount; i++ {
+			s.items = append(s.items, h)
+		}
+		s.counts[h] += int64(heavyCount)
+	}
+	for i := 0; i < background; i++ {
+		it := heavy + r.Intn(universe-heavy)
+		s.items = append(s.items, it)
+		s.counts[it]++
+	}
+	// Deterministic shuffle so heavy occurrences interleave with the
+	// background like a real stream.
+	for i := len(s.items) - 1; i > 0; i-- {
+		j := r.Intn(i + 1)
+		s.items[i], s.items[j] = s.items[j], s.items[i]
+	}
+	return s
+}
+
+// TestHeavyHittersRecallAndPrecision: on a planted stream the recursive
+// descent must find every true heavy hitter (100% recall) with zero
+// false positives, and the reported counts must be near-exact.
+func TestHeavyHittersRecallAndPrecision(t *testing.T) {
+	const (
+		universe   = 8192
+		heavy      = 10
+		heavyCount = 5000
+		background = 100000
+		phi        = 0.02
+	)
+	st := plantedStream(606, universe, heavy, heavyCount, background)
+	s := mustNew(t, Config{Universe: universe, Rows: 7, Cols: 1024, Base: 8, Seed: 7})
+	for _, it := range st.items {
+		s.Add(it)
+	}
+	thr := phi * float64(s.Total())
+	if float64(heavyCount) < 1.5*thr {
+		t.Fatalf("bad test construction: planted count %d too close to threshold %.0f", heavyCount, thr)
+	}
+	hits := s.HeavyHitters(phi)
+	found := map[int]int64{}
+	for _, h := range hits {
+		found[h.Item] = h.Count
+	}
+	for item := 0; item < heavy; item++ {
+		got, ok := found[item]
+		if !ok {
+			t.Fatalf("recall failure: planted item %d (count %d ≥ thr %.0f) not reported", item, st.counts[item], thr)
+		}
+		if relErr := math.Abs(float64(got-st.counts[item])) / float64(st.counts[item]); relErr > 0.1 {
+			t.Errorf("item %d: reported count %d, true %d", item, got, st.counts[item])
+		}
+	}
+	for item := range found {
+		if st.counts[item] < int64(thr/2) {
+			t.Errorf("false positive %d: true count %d far below thr %.0f", item, st.counts[item], thr)
+		}
+	}
+	if len(hits) != heavy {
+		t.Errorf("reported %d hits, want exactly the %d planted (got %v)", len(hits), heavy, hits)
+	}
+	// Descending order by estimated count.
+	for i := 1; i < len(hits); i++ {
+		if hits[i].Count > hits[i-1].Count {
+			t.Fatal("hits not sorted by descending count")
+		}
+	}
+}
+
+// TestHeavyHittersHeadToHead runs the count sketch against SpaceSaving
+// and Misra–Gries on the same skewed Zipf stream: its recall must be
+// 100% and at least match both competitors, with sane precision.
+func TestHeavyHittersHeadToHead(t *testing.T) {
+	const (
+		universe = 8192
+		n        = 150000
+		phi      = 0.02
+	)
+	st := zipfStream(707, universe, n, 1.25)
+	cs := mustNew(t, Config{Universe: universe, Rows: 7, Cols: 2048, Base: 8, Seed: 13})
+	ss, err := stream.NewSpaceSaving(int(4 / phi))
+	if err != nil {
+		t.Fatal(err)
+	}
+	mg, err := stream.NewMisraGries(int(4 / phi))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, it := range st.items {
+		cs.Add(it)
+		ss.Add(it)
+		mg.Add(it)
+	}
+	thr := int64(math.Ceil(phi * float64(n)))
+	truth := map[int]bool{}
+	for item, c := range st.counts {
+		if c >= thr {
+			truth[item] = true
+		}
+	}
+	if len(truth) < 3 {
+		t.Fatalf("bad test construction: only %d true heavy hitters", len(truth))
+	}
+	// Keep the margin honest: Zipf counts thin out gradually, so drop
+	// would-be-flaky borderline items from the recall set — an item
+	// within the sketch's noise band of the threshold can land on
+	// either side without the sketch being wrong. The planted-stream
+	// test covers exact recall; this one compares summaries.
+	margin := int64(float64(thr) / 4)
+	mustFind := map[int]bool{}
+	for item, c := range st.counts {
+		if c >= thr+margin {
+			mustFind[item] = true
+		}
+	}
+
+	recall := func(items []int) (hit, total int) {
+		got := map[int]bool{}
+		for _, it := range items {
+			got[it] = true
+		}
+		for it := range mustFind {
+			total++
+			if got[it] {
+				hit++
+			}
+		}
+		return hit, total
+	}
+	csItems := make([]int, 0, 64)
+	for _, h := range cs.HeavyHitters(phi) {
+		csItems = append(csItems, h.Item)
+	}
+	ssItems := ss.HeavyHitters(phi)
+	mgItems := mg.HeavyHitters(phi)
+
+	csHit, want := recall(csItems)
+	ssHit, _ := recall(ssItems)
+	mgHit, _ := recall(mgItems)
+	t.Logf("true heavies ≥ thr: %d (clear of margin: %d); cs=%d/%d ss=%d/%d mg=%d/%d; set sizes cs=%d ss=%d mg=%d",
+		len(truth), want, csHit, want, ssHit, want, mgHit, want, len(csItems), len(ssItems), len(mgItems))
+	if csHit != want {
+		t.Fatalf("count-sketch recall %d/%d, want 100%%", csHit, want)
+	}
+	if csHit < ssHit || csHit < mgHit {
+		t.Fatalf("count-sketch recall %d below SpaceSaving %d or Misra-Gries %d", csHit, ssHit, mgHit)
+	}
+	// Bounded false positives: nothing reported far below threshold.
+	for _, it := range csItems {
+		if st.counts[it] < thr-4*margin {
+			t.Errorf("false positive %d: true count %d vs thr %d", it, st.counts[it], thr)
+		}
+	}
+}

@@ -1,0 +1,102 @@
+package countsketch
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/dataset"
+)
+
+// This file is the core.Sketch face of the count sketch: the family
+// answers singleton itemsets (k = 1), so it plugs into the envelope
+// codec, the Querier adapter and the service exactly like the paper's
+// sketches — via the kind registry, with typed errors for |T| ≠ 1.
+
+// Name identifies the producing algorithm.
+func (s *Sketch) Name() string { return KindName }
+
+// Params returns the (ε, δ) contract: a point estimate errs by more
+// than ε·‖f‖₂ with probability at most δ.
+func (s *Sketch) Params() core.Params { return s.params }
+
+// NumAttrs returns the attribute universe size the sketch covers.
+func (s *Sketch) NumAttrs() int { return s.universe }
+
+// SizeBits returns the exact serialized size in bits — the paper's |S|.
+func (s *Sketch) SizeBits() int64 { return core.MarshaledSizeBits(s) }
+
+// Estimate returns the estimated relative frequency of the singleton
+// itemset t. It panics if |T| ≠ 1; use EstimateErr for a non-panicking
+// variant.
+func (s *Sketch) Estimate(t dataset.Itemset) float64 {
+	f, err := s.EstimateErr(t)
+	if err != nil {
+		panic(err)
+	}
+	return f
+}
+
+// EstimateErr is Estimate with an error return for |T| ≠ 1 or an
+// attribute outside the universe.
+func (s *Sketch) EstimateErr(t dataset.Itemset) (float64, error) {
+	a, err := s.singleton(t)
+	if err != nil {
+		return 0, err
+	}
+	return s.EstimateFreq(a), nil
+}
+
+// Frequent returns the indicator bit for t. It panics if |T| ≠ 1; use
+// FrequentErr for a non-panicking variant.
+func (s *Sketch) Frequent(t dataset.Itemset) bool {
+	b, err := s.FrequentErr(t)
+	if err != nil {
+		panic(err)
+	}
+	return b
+}
+
+// FrequentErr is Frequent with an error return for |T| ≠ 1. The
+// decision threshold 3ε/4 mirrors the estimate-backed indicators of
+// the core package (any threshold in [ε/2+ε′, ε−ε′] validates
+// Definitions 1/3 when estimates have error ε′ ≤ ε/4).
+func (s *Sketch) FrequentErr(t dataset.Itemset) (bool, error) {
+	f, err := s.EstimateErr(t)
+	if err != nil {
+		return false, err
+	}
+	return f >= 0.75*s.params.Eps, nil
+}
+
+// EstimateBatch fills out[i] with the frequency estimate for ts[i] —
+// the batched fast path the Querier adapter dispatches to, skipping
+// one interface indirection and the per-call k check amortizes.
+func (s *Sketch) EstimateBatch(ts []dataset.Itemset, out []float64) error {
+	for i, t := range ts {
+		a, err := s.singleton(t)
+		if err != nil {
+			return err
+		}
+		out[i] = s.EstimateFreq(a)
+	}
+	return nil
+}
+
+// singleton extracts the one attribute of t, with the typed errors the
+// query layer matches on.
+func (s *Sketch) singleton(t dataset.Itemset) (int, error) {
+	if t.Len() != 1 {
+		return 0, fmt.Errorf("%w: |T| = %d, sketch k = 1", core.ErrWrongItemsetSize, t.Len())
+	}
+	a := t.Attrs()[0]
+	if a < 0 || a >= s.universe {
+		return 0, fmt.Errorf("%w: attribute %d outside universe [0, %d)", core.ErrInvalidParams, a, s.universe)
+	}
+	return a, nil
+}
+
+// Compile-time interface checks.
+var (
+	_ core.Sketch          = (*Sketch)(nil)
+	_ core.EstimatorSketch = (*Sketch)(nil)
+)

@@ -214,6 +214,15 @@ type frequentErrer interface {
 	FrequentErr(t dataset.Itemset) (bool, error)
 }
 
+// batchEstimator is the optional native-batch face of a sketch: a
+// family that can answer a whole slice of estimates in one call (the
+// count sketch) gets dispatched per chunk without the per-query
+// interface hop. Implementations must be safe for concurrent calls and
+// use the same typed errors as estimateErrer.
+type batchEstimator interface {
+	EstimateBatch(ts []dataset.Itemset, out []float64) error
+}
+
 // FromSketch wraps any core sketch as a Querier. Contains is the
 // sketch's Definition 1/3 indicator; Estimate requires an estimator
 // sketch and fails with core.ErrTaskMismatch on indicator-only
@@ -223,12 +232,14 @@ type frequentErrer interface {
 // its batch across CPUs.
 func FromSketch(s core.Sketch) Querier {
 	es, _ := s.(core.EstimatorSketch)
-	return sketchQuerier{s: s, es: es}
+	be, _ := s.(batchEstimator)
+	return sketchQuerier{s: s, es: es, be: be}
 }
 
 type sketchQuerier struct {
 	s  core.Sketch
 	es core.EstimatorSketch
+	be batchEstimator
 }
 
 func (q sketchQuerier) NumAttrs() int { return q.s.NumAttrs() }
@@ -265,6 +276,9 @@ func (q sketchQuerier) EstimateMany(ctx context.Context, ts []dataset.Itemset, o
 		return err
 	}
 	return forEachChunk(ctx, len(ts), true, func(lo, hi int) error {
+		if q.be != nil && q.es != nil {
+			return q.be.EstimateBatch(ts[lo:hi], out[lo:hi])
+		}
 		for i := lo; i < hi; i++ {
 			f, err := q.estimate(ts[i])
 			if err != nil {

@@ -14,6 +14,7 @@ import (
 	"testing"
 	"time"
 
+	"repro/internal/countsketch"
 	"repro/internal/faultio"
 )
 
@@ -79,6 +80,7 @@ func TestChaosMixedLoadWithFaultsAndKills(t *testing.T) {
 		Shards:          8,
 		NumAttrs:        10,
 		SampleCapacity:  256,
+		CountSketch:     &countsketch.Config{Rows: 3, Cols: 64, Base: 4},
 		Seed:            seed,
 		CheckpointDir:   t.TempDir(),
 		CheckpointEvery: 150,

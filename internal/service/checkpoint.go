@@ -14,6 +14,7 @@ import (
 	itemsketch "repro"
 	"repro/internal/atomicfile"
 	"repro/internal/core"
+	"repro/internal/countsketch"
 	"repro/internal/stream"
 )
 
@@ -33,18 +34,27 @@ import (
 //	...     ...   Misra–Gries section when k > 0:
 //	              n u64, counter count u32, (item u32, count u64)...,
 //	              CRC-32 of the section bytes
+//	...     1     count-sketch presence flag (version ≥ 2)
+//	...     ...   count-sketch envelope (itemsketch.MarshalTo) when the
+//	              flag is 1
 //
-// The envelope reuses the public streaming codec, so a checkpoint's
-// sketch portion is inspectable and recoverable by the same tooling as
-// any other sketch file, and inherits its chunked-CRC torn-stream
+// The envelopes reuse the public streaming codec, so a checkpoint's
+// sketch portions are inspectable and recoverable by the same tooling
+// as any other sketch file, and inherit its chunked-CRC torn-stream
 // detection. The header carries exactly the state the envelope cannot:
 // Algorithm R's stream position, the capacity (the sample may be
 // smaller near the start of a stream), and a fresh seed — which is all
 // a reservoir needs to continue the stream with its uniformity
-// guarantee intact (see stream.RestoreReservoir).
+// guarantee intact (see stream.RestoreReservoir). The count sketch
+// needs no header help: its envelope carries geometry, hash seed and
+// counters, everything its exact state is.
+//
+// Version 2 (this build) appends the count-sketch flag and envelope;
+// version-1 files (no count-sketch section) still read, starting any
+// configured count sketch empty.
 const (
 	ckptMagic      = "ISKP"
-	ckptVersion    = 1
+	ckptVersion    = 2
 	ckptHeaderSize = 35
 )
 
@@ -76,6 +86,7 @@ type ckptState struct {
 	mgN      int64
 	mgItems  []int
 	mgCounts []int64
+	cs       *countsketch.Sketch // frozen clone; nil when disabled
 }
 
 // Checkpoint persists the shard's current state crash-safely: the
@@ -131,6 +142,9 @@ func (sh *Shard) freezeForCheckpoint() (ckptState, error) {
 		st.mgK = sh.svc.cfg.HeavyK
 		st.mgN, st.mgItems, st.mgCounts = sh.mg.Snapshot()
 	}
+	if sh.cs != nil {
+		st.cs = sh.cs.Clone()
+	}
 	sh.sinceCkpt = 0
 	return st, nil
 }
@@ -152,25 +166,38 @@ func writeCheckpoint(w io.Writer, id int, st ckptState) error {
 	if _, err := itemsketch.MarshalTo(w, st.sketch); err != nil {
 		return err
 	}
-	if st.mgK == 0 {
-		return nil
-	}
-	var sec bytes.Buffer
-	var b8 [8]byte
-	binary.LittleEndian.PutUint64(b8[:], uint64(st.mgN))
-	sec.Write(b8[:])
-	binary.LittleEndian.PutUint32(b8[:4], uint32(len(st.mgItems)))
-	sec.Write(b8[:4])
-	for i, it := range st.mgItems {
-		binary.LittleEndian.PutUint32(b8[:4], uint32(it))
-		sec.Write(b8[:4])
-		binary.LittleEndian.PutUint64(b8[:], uint64(st.mgCounts[i]))
+	if st.mgK > 0 {
+		var sec bytes.Buffer
+		var b8 [8]byte
+		binary.LittleEndian.PutUint64(b8[:], uint64(st.mgN))
 		sec.Write(b8[:])
+		binary.LittleEndian.PutUint32(b8[:4], uint32(len(st.mgItems)))
+		sec.Write(b8[:4])
+		for i, it := range st.mgItems {
+			binary.LittleEndian.PutUint32(b8[:4], uint32(it))
+			sec.Write(b8[:4])
+			binary.LittleEndian.PutUint64(b8[:], uint64(st.mgCounts[i]))
+			sec.Write(b8[:])
+		}
+		binary.LittleEndian.PutUint32(b8[:4], crc32.ChecksumIEEE(sec.Bytes()))
+		sec.Write(b8[:4])
+		if _, err := w.Write(sec.Bytes()); err != nil {
+			return err
+		}
 	}
-	binary.LittleEndian.PutUint32(b8[:4], crc32.ChecksumIEEE(sec.Bytes()))
-	sec.Write(b8[:4])
-	_, err := w.Write(sec.Bytes())
-	return err
+	flag := []byte{0}
+	if st.cs != nil {
+		flag[0] = 1
+	}
+	if _, err := w.Write(flag); err != nil {
+		return err
+	}
+	if st.cs != nil {
+		if _, err := itemsketch.MarshalTo(w, st.cs); err != nil {
+			return err
+		}
+	}
+	return nil
 }
 
 // readSection fills buf from r, classifying an early end of stream as
@@ -190,13 +217,18 @@ func readSection(r io.Reader, buf []byte, truncMsg string) error {
 type recovered struct {
 	res *stream.Reservoir
 	mg  *stream.MisraGries
+	cs  *countsketch.Sketch
 }
 
 // readCheckpoint decodes and validates one checkpoint image from r.
 // Truncation wraps ErrTruncatedStream, corruption wraps
 // ErrCorruptSketch (the sketch envelope's own classification passes
-// through), and transport errors from r surface bare.
-func readCheckpoint(r io.Reader, wantID, wantAttrs, wantK int) (recovered, error) {
+// through), and transport errors from r surface bare. wantCS, when
+// non-nil, is the resolved count-sketch configuration the recovered
+// sketch must match exactly — geometry, hash seed and params — because
+// a shard restarted onto different hashes could never merge with its
+// peers again.
+func readCheckpoint(r io.Reader, wantID, wantAttrs, wantK int, wantCS *countsketch.Config) (recovered, error) {
 	var hdr [ckptHeaderSize]byte
 	if err := readSection(r, hdr[:], "header cut short"); err != nil {
 		return recovered{}, err
@@ -207,9 +239,10 @@ func readCheckpoint(r io.Reader, wantID, wantAttrs, wantK int) (recovered, error
 	if got, want := binary.LittleEndian.Uint32(hdr[31:35]), crc32.ChecksumIEEE(hdr[:31]); got != want {
 		return recovered{}, ckptCorruptf("header checksum 0x%08x, want 0x%08x", got, want)
 	}
-	if hdr[4] != ckptVersion {
-		return recovered{}, fmt.Errorf("%w: checkpoint version %d, this build reads %d",
-			itemsketch.ErrUnsupportedVersion, hdr[4], ckptVersion)
+	version := int(hdr[4])
+	if version < 1 || version > ckptVersion {
+		return recovered{}, fmt.Errorf("%w: checkpoint version %d, this build reads 1..%d",
+			itemsketch.ErrUnsupportedVersion, version, ckptVersion)
 	}
 	if id := int(binary.LittleEndian.Uint16(hdr[5:7])); id != wantID {
 		return recovered{}, ckptCorruptf("belongs to shard %d, not %d", id, wantID)
@@ -275,6 +308,37 @@ func readCheckpoint(r io.Reader, wantID, wantAttrs, wantK int) (recovered, error
 		}
 		out.mg = mg
 	}
+
+	if version >= 2 {
+		var flag [1]byte
+		if err := readSection(r, flag[:], "count-sketch flag missing"); err != nil {
+			return recovered{}, err
+		}
+		switch flag[0] {
+		case 0:
+			// Checkpoint taken with the count sketch disabled. A config
+			// that enables it now starts the sketch empty (same contract
+			// as a version-1 file).
+		case 1:
+			sk, err := itemsketch.UnmarshalFrom(r)
+			if err != nil {
+				return recovered{}, err
+			}
+			cs, ok := sk.(*countsketch.Sketch)
+			if !ok {
+				return recovered{}, ckptCorruptf("count-sketch section holds a %s sketch", sk.Name())
+			}
+			if wantCS == nil {
+				return recovered{}, ckptCorruptf("carries a count sketch but the config has none")
+			}
+			if got := cs.Config(); got != *wantCS {
+				return recovered{}, ckptCorruptf("count sketch was built with a different geometry or seed")
+			}
+			out.cs = cs
+		default:
+			return recovered{}, ckptCorruptf("count-sketch flag = %d", flag[0])
+		}
+	}
 	return out, nil
 }
 
@@ -313,7 +377,15 @@ func (sh *Shard) recover() error {
 	if wrap := sh.svc.cfg.CheckpointReadWrap; wrap != nil {
 		r = wrap(r)
 	}
-	rec, err := readCheckpoint(r, sh.id, sh.svc.cfg.NumAttrs, sh.svc.cfg.HeavyK)
+	// The expected count-sketch config comes from the freshly built
+	// sketch, not s.csCfg: the sketch's Config() carries the resolved
+	// geometry defaults and derived params a raw config may leave zero.
+	var wantCS *countsketch.Config
+	if sh.cs != nil {
+		c := sh.cs.Config()
+		wantCS = &c
+	}
+	rec, err := readCheckpoint(r, sh.id, sh.svc.cfg.NumAttrs, sh.svc.cfg.HeavyK, wantCS)
 	if err != nil {
 		return err
 	}
@@ -321,6 +393,9 @@ func (sh *Shard) recover() error {
 	sh.res = rec.res
 	if sh.mg != nil && rec.mg != nil {
 		sh.mg = rec.mg
+	}
+	if sh.cs != nil && rec.cs != nil {
+		sh.cs = rec.cs
 	}
 	sh.publishSnapshotLocked()
 	sh.mu.Unlock()

@@ -18,7 +18,7 @@ import (
 //	POST /v1/ingest        {"rows":[[0,2],[1]]}            → {"accepted":n,"shards":{...}}
 //	POST /v1/estimate      {"itemsets":[[0,1],[2]]}        → {"estimates":[...],"shards":{...}}
 //	POST /v1/mine          {"min_support":0.1,"max_k":3}   → {"results":[...],"shards":{...}}
-//	POST /v1/heavyhitters  {"phi":0.2}                     → {"items":[...],"n":N,"shards":{...}}
+//	POST /v1/heavyhitters  {"phi":0.2}                     → {"items":[...],"n":N,"source":"...","shards":{...}}
 //	POST /v1/checkpoint                                    → {"shards":{...}}
 //	POST /v1/kill?shard=N                                  → {"shards":{...}}  (chaos lever)
 //	GET  /v1/shards/{id}/sketch                            → sketch envelope bytes
@@ -245,7 +245,8 @@ func (s *Service) handleHeavyHitters(w http.ResponseWriter, r *http.Request) {
 	if items == nil {
 		items = []HeavyHitter{}
 	}
-	writeJSON(w, http.StatusOK, p, map[string]any{"items": items, "n": n})
+	writeJSON(w, http.StatusOK, p, map[string]any{
+		"items": items, "n": n, "source": s.HeavyHitterSource()})
 }
 
 func (s *Service) handleCheckpoint(w http.ResponseWriter, r *http.Request) {

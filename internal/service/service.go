@@ -50,6 +50,7 @@ import (
 	"time"
 
 	itemsketch "repro"
+	"repro/internal/countsketch"
 	"repro/internal/rng"
 	"repro/internal/stream"
 )
@@ -107,6 +108,16 @@ type Config struct {
 	// HeavyK is the Misra–Gries counter parameter for the heavy-hitter
 	// path; 0 keeps the default 64, negative disables the summary.
 	HeavyK int
+	// CountSketch, when non-nil, gives every shard a hierarchical count
+	// sketch (internal/countsketch) beside its Misra–Gries summary, and
+	// switches the heavy-hitter read path to merging those sketches —
+	// the O(1) cell-wise merge, rather than MG's counter merge. The
+	// service overrides Universe (to NumAttrs) and Seed (every shard
+	// must share one hash seed to be mergeable; it is derived from
+	// Config.Seed after the per-shard seeds, so enabling the sketch
+	// never perturbs existing shard sampling). Geometry fields keep
+	// their countsketch defaults when zero.
+	CountSketch *countsketch.Config
 	// Params are the sketch parameters recorded into checkpoints and
 	// replication envelopes (default k=2, ε=δ=0.05, ForAll Estimator).
 	Params itemsketch.Params
@@ -196,6 +207,7 @@ func (cfg Config) withDefaults() Config {
 // serve with Handler, stop with Close.
 type Service struct {
 	cfg    Config
+	csCfg  *countsketch.Config // resolved count-sketch config (nil = disabled)
 	shards []*Shard
 	next    atomic.Uint64 // round-robin ingest cursor
 	mseed   atomic.Uint64 // merge-seed counter
@@ -219,8 +231,20 @@ func New(cfg Config) (*Service, error) {
 	}
 	s := &Service{cfg: cfg}
 	root := rng.New(cfg.Seed)
+	// Shard seeds are drawn before the count-sketch seed so that
+	// enabling the count sketch never changes what any shard samples.
+	seeds := make([][2]uint64, cfg.Shards)
+	for i := range seeds {
+		seeds[i] = [2]uint64{root.Uint64(), root.Uint64()}
+	}
+	if cfg.CountSketch != nil {
+		csCfg := *cfg.CountSketch
+		csCfg.Universe = cfg.NumAttrs
+		csCfg.Seed = root.Uint64()
+		s.csCfg = &csCfg
+	}
 	for i := 0; i < cfg.Shards; i++ {
-		sh, err := newShard(s, i, root.Uint64(), root.Uint64())
+		sh, err := newShard(s, i, seeds[i][0], seeds[i][1])
 		if err != nil {
 			return nil, err
 		}
@@ -522,11 +546,28 @@ type HeavyHitter struct {
 	Count int64 `json:"count"`
 }
 
-// HeavyHitters merges the live shards' Misra–Gries summaries on read
-// with stream.MergeMG and returns the items whose frequency may reach
-// phi, with the merged occurrence total. Fails with ErrNoShards when
-// the heavy-hitter path is disabled or fully degraded.
+// HeavyHitterSource names the summary backing HeavyHitters:
+// "count-sketch" when Config.CountSketch is set, "misra-gries"
+// otherwise.
+func (s *Service) HeavyHitterSource() string {
+	if s.csCfg != nil {
+		return "count-sketch"
+	}
+	return "misra-gries"
+}
+
+// HeavyHitters returns the items whose occurrence frequency may reach
+// phi across the union of the live shards' streams, with the merged
+// occurrence total. When Config.CountSketch is set the shards' count
+// sketches are merged on read (the O(1) cell-wise merge — bit-identical
+// to having sketched the union as one stream) and queried by recursive
+// dyadic descent; otherwise the Misra–Gries summaries merge through
+// stream.MergeMG. Fails with ErrNoShards when the heavy-hitter path is
+// disabled or fully degraded.
 func (s *Service) HeavyHitters(ctx context.Context, phi float64) ([]HeavyHitter, int64, Partial, error) {
+	if s.csCfg != nil {
+		return s.heavyHittersCS(ctx, phi)
+	}
 	live := s.live()
 	answered := make(map[int]bool, len(live))
 	var merged *stream.MisraGries
@@ -563,6 +604,51 @@ func (s *Service) HeavyHitters(ctx context.Context, phi float64) ([]HeavyHitter,
 		out = append(out, HeavyHitter{Item: it, Count: merged.Count(it)})
 	}
 	return out, merged.N(), p, nil
+}
+
+// heavyHittersCS is the count-sketch read path: clone the first live
+// snapshot's sketch, fold the rest in cell-wise, and run the recursive
+// heavy-hitter descent over the merged hierarchy. The per-query phi
+// validation lives here (rather than a panic) because phi arrives from
+// the network surface.
+func (s *Service) heavyHittersCS(ctx context.Context, phi float64) ([]HeavyHitter, int64, Partial, error) {
+	if !(phi > 0 && phi <= 1) {
+		return nil, 0, s.partialFor(nil), fmt.Errorf("%w: phi = %g out of range (0, 1]", itemsketch.ErrInvalidParams, phi)
+	}
+	live := s.live()
+	answered := make(map[int]bool, len(live))
+	var merged *countsketch.Sketch
+	for _, sh := range live {
+		if err := ctx.Err(); err != nil {
+			return nil, 0, s.partialFor(answered), err
+		}
+		snap := sh.snapshot()
+		if snap.cs == nil {
+			continue
+		}
+		if merged == nil {
+			merged = snap.cs.Clone()
+			answered[sh.id] = true
+			continue
+		}
+		if err := merged.Merge(snap.cs); err != nil {
+			sh.recordFailure(err)
+			continue
+		}
+		answered[sh.id] = true
+	}
+	p := s.partialFor(answered)
+	if merged == nil {
+		if err := ctx.Err(); err != nil {
+			return nil, 0, p, err
+		}
+		return nil, 0, p, ErrNoShards
+	}
+	var out []HeavyHitter
+	for _, hit := range merged.HeavyHitters(phi) {
+		out = append(out, HeavyHitter{Item: hit.Item, Count: hit.Count})
+	}
+	return out, merged.Total(), p, nil
 }
 
 // nextMergeSeed derives a fresh deterministic seed for a read-side

@@ -7,6 +7,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"repro/internal/countsketch"
 	"repro/internal/dataset"
 	"repro/internal/query"
 	"repro/internal/rng"
@@ -25,9 +26,10 @@ type Shard struct {
 	svc *Service
 	ch  chan ingestReq
 
-	mu        sync.Mutex // guards res, mg, sinceCkpt, jrng during ingest/checkpoint
+	mu        sync.Mutex // guards res, mg, cs, sinceCkpt, jrng during ingest/checkpoint
 	res       *stream.Reservoir
 	mg        *stream.MisraGries
+	cs        *countsketch.Sketch // nil unless Config.CountSketch is set
 	sinceCkpt int
 	jrng      *rng.RNG // backoff jitter + recovery seeds
 
@@ -55,6 +57,7 @@ type snapshot struct {
 	q    query.Querier
 	seen int64
 	mg   *stream.MisraGries
+	cs   *countsketch.Sketch
 }
 
 func newShard(svc *Service, id int, reservoirSeed, jitterSeed uint64) (*Shard, error) {
@@ -71,6 +74,11 @@ func newShard(svc *Service, id int, reservoirSeed, jitterSeed uint64) (*Shard, e
 	}
 	if svc.cfg.HeavyK > 0 {
 		if sh.mg, err = stream.NewMisraGries(svc.cfg.HeavyK); err != nil {
+			return nil, err
+		}
+	}
+	if svc.csCfg != nil {
+		if sh.cs, err = countsketch.New(*svc.csCfg); err != nil {
 			return nil, err
 		}
 	}
@@ -159,6 +167,11 @@ func (sh *Shard) ingest(ctx context.Context, rows [][]int) error {
 				sh.mg.Add(a)
 			}
 		}
+		if sh.cs != nil {
+			for _, a := range row {
+				sh.cs.Add(a)
+			}
+		}
 	}
 	sh.sinceCkpt += len(rows)
 	due := sh.svc.cfg.CheckpointEvery > 0 && sh.sinceCkpt >= sh.svc.cfg.CheckpointEvery &&
@@ -192,12 +205,17 @@ func (sh *Shard) publishSnapshotLocked() {
 	if sh.mg != nil {
 		mg = sh.mg.Clone()
 	}
+	var cs *countsketch.Sketch
+	if sh.cs != nil {
+		cs = sh.cs.Clone()
+	}
 	sh.snap.Store(&snapshot{
 		res:  frozen,
 		db:   db,
 		q:    query.FromDatabase(db),
 		seen: frozen.Seen(),
 		mg:   mg,
+		cs:   cs,
 	})
 }
 

@@ -53,6 +53,7 @@ import (
 	"io"
 
 	"repro/internal/core"
+	"repro/internal/countsketch"
 	"repro/internal/dataset"
 	"repro/internal/mining"
 	"repro/internal/stream"
@@ -113,6 +114,16 @@ type (
 	MisraGries = stream.MisraGries
 	// SpaceSaving is the counter-eviction heavy hitters summary.
 	SpaceSaving = stream.SpaceSaving
+
+	// CountSketch is the hierarchical signed count sketch: mergeable
+	// (ε, δ) point estimates over single attributes plus recursive
+	// heavy-hitter descent. It is a full envelope citizen (kind
+	// "count-sketch") via the sketch-kind registry.
+	CountSketch = countsketch.Sketch
+	// CountSketchConfig parameterizes a CountSketch (geometry + seed).
+	CountSketchConfig = countsketch.Config
+	// CountSketchHit is one heavy hitter reported by a CountSketch.
+	CountSketchHit = countsketch.Hit
 )
 
 // Guarantee modes and tasks (Definitions 1–4).
@@ -252,6 +263,13 @@ func NewMisraGries(k int) (*MisraGries, error) { return stream.NewMisraGries(k) 
 
 // NewSpaceSaving creates a counter-eviction heavy-hitters summary.
 func NewSpaceSaving(k int) (*SpaceSaving, error) { return stream.NewSpaceSaving(k) }
+
+// NewCountSketch creates an empty hierarchical count sketch. Two
+// sketches built with the same configuration merge cell-wise into the
+// sketch of the concatenated streams.
+func NewCountSketch(cfg CountSketchConfig) (*CountSketch, error) {
+	return countsketch.New(cfg)
+}
 
 // MergeReservoirs combines reservoirs over disjoint stream shards into
 // a uniform sample of the union — distributed SUBSAMPLE construction.

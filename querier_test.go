@@ -106,7 +106,7 @@ func TestQuerySketchMatchesEstimate(t *testing.T) {
 		if !ok {
 			continue
 		}
-		T := itemsketch.MustItemset(3, 7)
+		T := queryItemsetFor(sk)
 		got, err := q.Estimate(ctx, T)
 		if err != nil {
 			t.Fatalf("%v: %v", kind, err)

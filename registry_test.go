@@ -1,0 +1,141 @@
+package itemsketch_test
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"testing"
+
+	itemsketch "repro"
+)
+
+// TestRegistryCompleteness is the table that makes adding a sketch kind
+// without tests fail loudly: it iterates the registry — not a
+// hand-maintained list — and proves, for every registered kind, the
+// full envelope citizenship contract. A kind registered without a
+// fixture in buildAllKinds fails here by name.
+func TestRegistryCompleteness(t *testing.T) {
+	kinds := itemsketch.RegisteredKinds()
+	if len(kinds) < 7 {
+		t.Fatalf("registry lists %d kinds, expected at least the 6 core families + count-sketch", len(kinds))
+	}
+	fixtures := buildAllKinds(t)
+	for kind := range fixtures {
+		if !kind.Registered() {
+			t.Fatalf("fixture kind %d is not registered", uint8(kind))
+		}
+	}
+	ctx := context.Background()
+	for _, kind := range kinds {
+		kind := kind
+		t.Run(kind.String(), func(t *testing.T) {
+			sk, ok := fixtures[kind]
+			if !ok {
+				t.Fatalf("registered kind %d (%v) has no test fixture — add one to buildAllKinds", uint8(kind), kind)
+			}
+
+			// Marshal → Unmarshal → re-Marshal is byte-identical.
+			wire := itemsketch.Marshal(sk)
+			back, err := itemsketch.Unmarshal(wire)
+			if err != nil {
+				t.Fatalf("Unmarshal: %v", err)
+			}
+			if !bytes.Equal(wire, itemsketch.Marshal(back)) {
+				t.Fatal("re-marshal is not byte-identical")
+			}
+
+			// Inspect names the kind without decoding it.
+			env, err := itemsketch.Inspect(wire)
+			if err != nil {
+				t.Fatalf("Inspect: %v", err)
+			}
+			if env.Kind != kind {
+				t.Fatalf("Inspect kind = %v, want %v", env.Kind, kind)
+			}
+			if name := kind.String(); name == "" || len(name) >= 11 && name[:11] == "SketchKind(" {
+				t.Fatalf("kind %d has no registered name (String() = %q)", uint8(kind), name)
+			}
+
+			// The Querier adapter answers for the decoded sketch.
+			q := itemsketch.QuerySketch(back)
+			if q.NumAttrs() != sk.NumAttrs() {
+				t.Fatalf("querier NumAttrs = %d, sketch %d", q.NumAttrs(), sk.NumAttrs())
+			}
+			T := queryItemsetFor(back)
+			if _, err := q.Contains(ctx, T); err != nil {
+				t.Fatalf("querier Contains: %v", err)
+			}
+			est, isEst := back.(itemsketch.EstimatorSketch)
+			if isEst {
+				got, err := q.Estimate(ctx, T)
+				if err != nil {
+					t.Fatalf("querier Estimate: %v", err)
+				}
+				if want := est.Estimate(T); got != want {
+					t.Fatalf("querier Estimate = %g, sketch = %g", got, want)
+				}
+				many := make([]float64, 3)
+				ts := []itemsketch.Itemset{T, T, T}
+				if err := q.EstimateMany(ctx, ts, many); err != nil {
+					t.Fatalf("querier EstimateMany: %v", err)
+				}
+				if many[0] != got || many[2] != got {
+					t.Fatalf("EstimateMany = %v, single = %g", many, got)
+				}
+			} else if _, err := q.Estimate(ctx, T); !errors.Is(err, itemsketch.ErrTaskMismatch) {
+				t.Fatalf("indicator-only kind: Estimate err = %v, want ErrTaskMismatch", err)
+			}
+
+			// Corruption and truncation surface as typed errors: flip a
+			// byte at a stride across the envelope, truncate at a stride.
+			for off := 0; off < len(wire); off += 11 {
+				bad := append([]byte(nil), wire...)
+				bad[off] ^= 0x40
+				if _, err := itemsketch.Unmarshal(bad); err == nil {
+					t.Fatalf("flipped byte %d decoded cleanly", off)
+				} else if !errors.Is(err, itemsketch.ErrCorruptSketch) && !errors.Is(err, itemsketch.ErrUnsupportedVersion) {
+					t.Fatalf("flipped byte %d: untyped error %v", off, err)
+				}
+			}
+			for n := 0; n < len(wire); n += 13 {
+				if _, err := itemsketch.Unmarshal(wire[:n]); !errors.Is(err, itemsketch.ErrCorruptSketch) {
+					t.Fatalf("truncation to %d: err = %v, want ErrCorruptSketch", n, err)
+				}
+			}
+		})
+	}
+}
+
+// TestUnregisteredKindRejected pins the registry miss path: a kind byte
+// outside the registered set fails header validation as corruption (the
+// v1 header has no checksum, so the kind byte check itself must catch
+// it).
+func TestUnregisteredKindRejected(t *testing.T) {
+	sk := buildAllKinds(t)[itemsketch.KindSubsample]
+	v1 := marshalV1(sk)
+	v1[5] = 15 // inside the 4-bit tag space, not registered
+	if _, err := itemsketch.Unmarshal(v1); !errors.Is(err, itemsketch.ErrCorruptSketch) {
+		t.Fatalf("unregistered kind 15: err = %v, want ErrCorruptSketch", err)
+	}
+	v1[5] = 200 // outside the tag space entirely
+	if _, err := itemsketch.Unmarshal(v1); !errors.Is(err, itemsketch.ErrCorruptSketch) {
+		t.Fatalf("unregistered kind 200: err = %v, want ErrCorruptSketch", err)
+	}
+}
+
+// TestRegisteredKindsAscending pins the registry enumeration order the
+// docs promise.
+func TestRegisteredKindsAscending(t *testing.T) {
+	kinds := itemsketch.RegisteredKinds()
+	for i := 1; i < len(kinds); i++ {
+		if kinds[i] <= kinds[i-1] {
+			t.Fatalf("RegisteredKinds not ascending: %v", kinds)
+		}
+	}
+	if !itemsketch.KindCountSketch.Registered() {
+		t.Fatal("count-sketch kind is not registered")
+	}
+	if got := itemsketch.KindCountSketch.String(); got != "count-sketch" {
+		t.Fatalf("KindCountSketch.String() = %q", got)
+	}
+}

@@ -219,9 +219,9 @@ func MarshalTo(w io.Writer, s Sketch, opts ...MarshalOption) (int64, error) {
 			return 0, err
 		}
 	}
-	kind := sketchKindOf(s)
-	if kind >= numSketchKinds {
-		return 0, fmt.Errorf("%w: cannot marshal foreign sketch type %T", ErrInvalidParams, s)
+	kind, ok := sketchKindOf(s)
+	if !ok {
+		return 0, fmt.Errorf("%w: cannot marshal unregistered sketch type %T", ErrInvalidParams, s)
 	}
 	return marshalToSized(w, s, kind, s.SizeBits(), o)
 }
@@ -480,7 +480,7 @@ func readStreamHeader(r io.Reader) (Envelope, error) {
 		return env, corruptf("envelope version 0")
 	}
 	env.Kind = SketchKind(hdr[5])
-	if env.Kind >= numSketchKinds {
+	if !env.Kind.Registered() {
 		return env, corruptf("unknown sketch kind %d", hdr[5])
 	}
 	bits := binary.LittleEndian.Uint64(hdr[6:14])
@@ -569,7 +569,7 @@ func UnmarshalFrom(r io.Reader) (Sketch, error) {
 		}
 		return nil, corruptf("%d unconsumed payload bits after decoding", br.Remaining())
 	}
-	if got := sketchKindOf(sk); got != env.Kind {
+	if got, _ := sketchKindOf(sk); got != env.Kind {
 		return nil, corruptf("envelope kind %v but payload decodes as %v", env.Kind, got)
 	}
 	// The payload stream must end exactly at the declared length...
@@ -638,7 +638,7 @@ func unmarshalV1Body(r io.Reader, env Envelope) (Sketch, error) {
 	if br.Remaining() != 0 {
 		return nil, corruptf("%d unconsumed payload bits after decoding", br.Remaining())
 	}
-	if got := sketchKindOf(sk); got != env.Kind {
+	if got, _ := sketchKindOf(sk); got != env.Kind {
 		return nil, corruptf("envelope kind %v but payload decodes as %v", env.Kind, got)
 	}
 	return sk, nil

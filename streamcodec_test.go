@@ -455,6 +455,33 @@ func FuzzUnmarshalFromEnvelope(f *testing.F) {
 		}
 		f.Add(comp.Bytes())
 	}
+	// The count-sketch kind, in every framing the other families get,
+	// plus pre-corrupted and pre-truncated variants so the typed-error
+	// paths (ErrCorruptSketch / ErrTruncatedStream) start seeded.
+	cs, err := itemsketch.NewCountSketch(itemsketch.CountSketchConfig{
+		Universe: 40, Rows: 3, Cols: 16, Base: 4, Seed: 1})
+	if err != nil {
+		f.Fatal(err)
+	}
+	for i := 0; i < 300; i++ {
+		cs.Add((i * i) % 40)
+	}
+	csWire := itemsketch.Marshal(cs)
+	f.Add(csWire)
+	f.Add(marshalV1(cs))
+	var csTiny, csComp bytes.Buffer
+	if _, err := itemsketch.MarshalTo(&csTiny, cs, itemsketch.WithChunkBytes(16)); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(csTiny.Bytes())
+	if _, err := itemsketch.MarshalTo(&csComp, cs, itemsketch.WithCompression()); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(csComp.Bytes())
+	corrupted := append([]byte(nil), csWire...)
+	corrupted[len(corrupted)/2] ^= 0xff
+	f.Add(corrupted)
+	f.Add(csWire[:len(csWire)-3])
 	f.Add([]byte("ISKB"))
 	f.Add([]byte{})
 	f.Fuzz(func(t *testing.T, data []byte) {
