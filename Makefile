@@ -2,8 +2,8 @@ GO ?= go
 
 # Minimum total test coverage (go tool cover -func, statements). CI
 # fails below this; re-baseline deliberately when adding code, never to
-# paper over deleted tests. Raised to 76.8 at PR 7 (77.3% measured).
-COVER_FLOOR ?= 76.8
+# paper over deleted tests. Raised to 77.0 at PR 8 (77.3% measured).
+COVER_FLOOR ?= 77.0
 
 .PHONY: all build test race cover vet doclint bench chaos fuzz
 
@@ -37,16 +37,16 @@ doclint:
 	$(GO) run ./cmd/doclint
 
 # bench runs the operational benchmark suite, records the results, and
-# gates the construction + mining + count-sketch benchmarks against the
-# previous PR's numbers; bump the output/baseline names in later PRs to
-# keep the perf trajectory. The PR 7 baseline is
-# BENCH_6_remeasured.json — a same-day re-run of the PR 6 tree —
-# because the shared reference container's clock drifted again (20-56%
-# on untouched families) since BENCH_6.json was recorded; when that
+# gates the construction + mining + count-sketch + ingest benchmarks
+# against the previous PR's numbers; bump the output/baseline names in
+# later PRs to keep the perf trajectory. The PR 8 baseline is
+# BENCH_7_remeasured.json — a same-day re-run of the PR 7 tree —
+# because the shared reference container's clock drifted again (16-26%
+# on untouched families) since BENCH_7.json was recorded; when that
 # happens, re-measure the previous PR's tree (git worktree add) on the
 # same day rather than comparing wall-clock numbers across weeks.
 bench:
-	$(GO) run ./cmd/bench -out BENCH_7.json -compare BENCH_6_remeasured.json
+	$(GO) run ./cmd/bench -out BENCH_8.json -compare BENCH_7_remeasured.json
 
 # chaos runs the fault-injection suites — checkpoint recovery sweeps,
 # codec fault classification, and the mixed-load kill-shards service

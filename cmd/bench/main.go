@@ -13,7 +13,9 @@
 // streaming ingest and the miners — the operations a PR must not slow
 // down) that appear in both runs are checked against the baseline
 // ns/op; any regression beyond -maxregress (default 20%) fails the run
-// with exit status 1. Query benchmarks are reported but not gated,
+// with exit status 1. Gated rows are measured best-of-3 (minimum
+// ns/op over repetitions) so contention jitter on a shared runner
+// cannot flap the gate. Query benchmarks are reported but not gated,
 // since their thresholds live with the fuzz/property tests instead.
 package main
 
@@ -30,6 +32,7 @@ import (
 	"time"
 
 	itemsketch "repro"
+	"repro/internal/ingest"
 	"repro/internal/rng"
 	"repro/internal/service"
 )
@@ -89,6 +92,9 @@ var gatedPrefixes = []string{
 	"countsketch_",
 	"heavyhitters_",
 	"mine_",
+	"wal_",
+	"ingest_concurrent_",
+	"windowed_",
 }
 
 func isGated(name string) bool {
@@ -141,22 +147,41 @@ func main() {
 
 	var results []result
 	record := func(name string, f func(b *testing.B)) {
-		// Settle the heap between benchmarks: GC pacing inherited from
-		// a previous benchmark's garbage otherwise bleeds into
-		// allocation-heavy measurements (importance_ingest grows a
-		// multi-megabyte arena inside its timed pass and is ~40%
-		// noisier without this).
-		runtime.GC()
-		r := testing.Benchmark(f)
+		// Gated rows are measured best-of-3: the shared reference
+		// container shows >20% run-to-run jitter from CPU contention
+		// on byte-identical code, so a single draw flaps the -compare
+		// gate on a random row each run. The minimum over repetitions
+		// is the standard contention-robust estimator — noise only
+		// ever adds time — and keeps the 20% gate meaningful. Ungated
+		// rows stay single-shot.
+		reps := 1
+		if isGated(name) {
+			reps = 3
+		}
+		var best testing.BenchmarkResult
+		var bestNs float64
+		for rep := 0; rep < reps; rep++ {
+			// Settle the heap between benchmarks: GC pacing inherited
+			// from a previous benchmark's garbage otherwise bleeds into
+			// allocation-heavy measurements (importance_ingest grows a
+			// multi-megabyte arena inside its timed pass and is ~40%
+			// noisier without this).
+			runtime.GC()
+			r := testing.Benchmark(f)
+			ns := float64(r.T.Nanoseconds()) / float64(r.N)
+			if rep == 0 || ns < bestNs {
+				best, bestNs = r, ns
+			}
+		}
 		results = append(results, result{
 			Name:        name,
-			NsPerOp:     float64(r.T.Nanoseconds()) / float64(r.N),
-			AllocsPerOp: r.AllocsPerOp(),
-			BytesPerOp:  r.AllocedBytesPerOp(),
-			Iterations:  r.N,
+			NsPerOp:     bestNs,
+			AllocsPerOp: best.AllocsPerOp(),
+			BytesPerOp:  best.AllocedBytesPerOp(),
+			Iterations:  best.N,
 		})
 		fmt.Printf("%-32s %12.1f ns/op %8d allocs/op %10d B/op\n",
-			name, float64(r.T.Nanoseconds())/float64(r.N), r.AllocsPerOp(), r.AllocedBytesPerOp())
+			name, bestNs, best.AllocsPerOp(), best.AllocedBytesPerOp())
 	}
 
 	ctx := context.Background()
@@ -373,6 +398,141 @@ func main() {
 		})
 	}
 
+	// Streaming ingest subsystem: WAL append/replay, the concurrent
+	// pool at 1 and 4 writers, and the sliding-window sampler. All
+	// rows are fixed-size workloads (independent of -quick) so the
+	// names gate across run modes. The 4w/1w rows-per-second ratio is
+	// recorded ungated (pool_speedup_4w): on the single-CPU reference
+	// container the workers serialize and the ratio hovers near 1; it
+	// becomes meaningful (target ≥ 2x) only at GOMAXPROCS ≥ 4.
+	{
+		mkRows := func(n int) [][]int {
+			r := rng.New(21)
+			rows := make([][]int, n)
+			for i := range rows {
+				var attrs []int
+				for a := 0; a < 64; a++ {
+					if r.Bernoulli(0.1) {
+						attrs = append(attrs, a)
+					}
+				}
+				rows[i] = attrs
+			}
+			return rows
+		}
+		rows := mkRows(8192)
+		walBench, err := os.MkdirTemp("", "bench-wal-*")
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		defer os.RemoveAll(walBench)
+		w, err := ingest.OpenWAL(ingest.WALConfig{Dir: walBench, NumAttrs: 64})
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		record("wal_append", func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if err := w.Append(rows[i&8191]...); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+		if err := w.Close(); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		// Replay a fixed 8192-row log per op (segments already on disk
+		// from a dedicated directory, so wal_append's b.N-dependent log
+		// size never leaks into this row).
+		replayDir, err := os.MkdirTemp("", "bench-walreplay-*")
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		defer os.RemoveAll(replayDir)
+		rw, err := ingest.OpenWAL(ingest.WALConfig{Dir: replayDir, NumAttrs: 64})
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		for _, row := range rows {
+			if err := rw.Append(row...); err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(1)
+			}
+		}
+		if err := rw.Close(); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		record("wal_replay", func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				n, err := ingest.ReplayDir(replayDir, 64, nil, func([]int) error { return nil })
+				if err != nil {
+					b.Fatal(err)
+				}
+				if n != 8192 {
+					b.Fatalf("replayed %d rows, want 8192", n)
+				}
+			}
+		})
+
+		poolNs := make(map[int]float64, 2)
+		for _, workers := range []int{1, 4} {
+			pl, err := ingest.NewPool(ingest.PoolConfig{
+				NumAttrs: 64, Workers: workers, SampleCapacity: 4096,
+				HeavyK: 64, Seed: 1,
+			})
+			if err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(1)
+			}
+			name := fmt.Sprintf("ingest_concurrent_%dw", workers)
+			record(name, func(b *testing.B) {
+				b.ReportAllocs()
+				for i := 0; i < b.N; i++ {
+					if err := pl.Add(rows[i&8191]...); err != nil {
+						b.Fatal(err)
+					}
+				}
+				if err := pl.Flush(); err != nil {
+					b.Fatal(err)
+				}
+			})
+			poolNs[workers] = results[len(results)-1].NsPerOp
+			if err := pl.Close(); err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(1)
+			}
+		}
+		if poolNs[4] > 0 {
+			speedup := poolNs[1] / poolNs[4]
+			results = append(results, result{
+				Name:       "pool_speedup_4w",
+				NsPerOp:    speedup,
+				Iterations: 1,
+			})
+			fmt.Printf("%-32s %12.2fx rows/s vs 1 writer (GOMAXPROCS=%d; target ≥ 2x needs ≥ 4 CPUs)\n",
+				"pool_speedup_4w", speedup, runtime.GOMAXPROCS(0))
+		}
+
+		win, err := itemsketch.NewWindowedReservoir(64, 65536, 8, 4096, 1, p)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		record("windowed_ingest", func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				win.AddAttrs(rows[i&8191]...)
+			}
+		})
+	}
+
 	// Miners. The sparse market-basket workload runs on a warm reusable
 	// Miner (steady-state allocation-free Eclat, trie Apriori with one
 	// batched query per level); the dense uniform workload pits the
@@ -512,7 +672,7 @@ func main() {
 		GOARCH:     runtime.GOARCH,
 		NumCPU:     runtime.NumCPU(),
 		GOMAXPROCS: runtime.GOMAXPROCS(0),
-		Notes:      "parallel/sharded variants (scan_parallel, subsample_build_parallel, median_amplifier_build) only beat their serial twins with >1 CPU; on a single-CPU runner read them as no-regression checks. mine_eclat_dense is the forced-tidset baseline on the dense database; mine_eclat_diffset is the same mine with forced diffsets. countsketch_ingest/estimate are per-item costs over a 2^16-universe hierarchical count sketch (5x1024, base 16); heavyhitters_find is one full recursive descent at phi=0.01 on a Zipf(1.2) stream. service_* rows measure the sharded sketch service (8 shards, d=64) through its Go API; service_estimate_p99 is a latency quantile (99th percentile single-query latency), not a throughput mean, and the service rows are reported, not gated.",
+		Notes:      "parallel/sharded variants (scan_parallel, subsample_build_parallel, median_amplifier_build) only beat their serial twins with >1 CPU; on a single-CPU runner read them as no-regression checks. mine_eclat_dense is the forced-tidset baseline on the dense database; mine_eclat_diffset is the same mine with forced diffsets. countsketch_ingest/estimate are per-item costs over a 2^16-universe hierarchical count sketch (5x1024, base 16); heavyhitters_find is one full recursive descent at phi=0.01 on a Zipf(1.2) stream. service_* rows measure the sharded sketch service (8 shards, d=64) through its Go API; service_estimate_p99 is a latency quantile (99th percentile single-query latency), not a throughput mean, and the service rows are reported, not gated. wal_append/wal_replay are the write-ahead row log (default 256-row records; replay covers a fixed 8192-row log per op); ingest_concurrent_1w/4w are per-row costs through the concurrent pool; pool_speedup_4w is their rows/s ratio, recorded ungated because it only becomes meaningful (target >= 2x) at GOMAXPROCS >= 4 — on the 1-CPU reference container the writers serialize; windowed_ingest is the sliding-window sampler (65536-row window, 8 buckets).",
 		Results:    results,
 	}
 	data, err := json.MarshalIndent(rep, "", "  ")

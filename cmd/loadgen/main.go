@@ -14,6 +14,7 @@
 //	go run ./cmd/loadgen                                   # defaults
 //	go run ./cmd/loadgen -shards 8 -kill 2 -fault 0.05     # chaos-ish
 //	go run ./cmd/loadgen -rows 200000 -workers 8 -ckpt dir # with persistence
+//	go run ./cmd/loadgen -window 32768                     # + sliding-window queries
 package main
 
 import (
@@ -45,15 +46,16 @@ func main() {
 	fault := flag.Float64("fault", 0, "ingest fault probability per attempt")
 	seed := flag.Uint64("seed", faultio.EnvSeed(1), "workload seed (FAULT_SEED overrides the default)")
 	ckpt := flag.String("ckpt", "", "checkpoint directory (empty = no persistence)")
+	window := flag.Int("window", 0, "sliding-window rows (0 = no window; >0 also routes every 4th query through EstimateWindow)")
 	flag.Parse()
 
-	if err := run(*shards, *d, *capacity, *rows, *batch, *workers, *queries, *kill, *fault, *seed, *ckpt); err != nil {
+	if err := run(*shards, *d, *capacity, *rows, *batch, *workers, *queries, *kill, *fault, *seed, *ckpt, *window); err != nil {
 		fmt.Fprintln(os.Stderr, "loadgen:", err)
 		os.Exit(1)
 	}
 }
 
-func run(shards, d, capacity, rows, batch, workers, queries, kill int, fault float64, seed uint64, ckpt string) error {
+func run(shards, d, capacity, rows, batch, workers, queries, kill int, fault float64, seed uint64, ckpt string, window int) error {
 	if ckpt != "" {
 		if err := os.MkdirAll(ckpt, 0o755); err != nil {
 			return err
@@ -65,6 +67,9 @@ func run(shards, d, capacity, rows, batch, workers, queries, kill int, fault flo
 		SampleCapacity: capacity,
 		Seed:           seed,
 		CheckpointDir:  ckpt,
+	}
+	if window > 0 {
+		cfg.Window = &service.WindowConfig{Rows: window}
 	}
 	if fault > 0 {
 		fr := rng.New(seed ^ 0x10adbeef)
@@ -124,6 +129,7 @@ func run(shards, d, capacity, rows, batch, workers, queries, kill int, fault flo
 		wg       sync.WaitGroup
 		partials atomic.Int64
 		hardErrs atomic.Int64
+		windowQs atomic.Int64
 		latMu    sync.Mutex
 		lats     []time.Duration
 	)
@@ -149,7 +155,14 @@ func run(shards, d, capacity, rows, batch, workers, queries, kill int, fault flo
 				b := (a + 1 + qr.Intn(d-1)) % d
 				ts := []itemsketch.Itemset{itemsketch.MustItemset(a, b)}
 				t0 := time.Now()
-				_, p, err := svc.Estimate(ctx, ts)
+				var p service.Partial
+				var err error
+				if window > 0 && q%4 == 3 {
+					_, p, err = svc.EstimateWindow(ctx, ts)
+					windowQs.Add(1)
+				} else {
+					_, p, err = svc.Estimate(ctx, ts)
+				}
 				local = append(local, time.Since(t0))
 				switch {
 				case err != nil && !errors.Is(err, service.ErrNoShards):
@@ -172,6 +185,9 @@ func run(shards, d, capacity, rows, batch, workers, queries, kill int, fault flo
 	fmt.Printf("queries:  %d in %v (%.0f q/s)\n", total, qDur.Round(time.Millisecond), float64(total)/qDur.Seconds())
 	fmt.Printf("latency:  p50=%v p90=%v p99=%v\n", pct(50), pct(90), pct(99))
 	fmt.Printf("partial:  %d/%d answered degraded, %d hard errors\n", partials.Load(), total, hardErrs.Load())
+	if window > 0 {
+		fmt.Printf("window:   %d queries answered over the trailing %d rows\n", windowQs.Load(), window)
+	}
 	for _, h := range svc.HealthReport() {
 		fmt.Printf("shard %2d: %s seen=%d checkpoints=%d\n", h.ID, h.State, h.Seen, h.Checkpoints)
 	}

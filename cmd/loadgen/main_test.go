@@ -9,7 +9,16 @@ import (
 // TestRunCleanWorkload: the default-shaped workload (no kills, no
 // faults) must complete with no partials and exit clean.
 func TestRunCleanWorkload(t *testing.T) {
-	if err := run(4, 16, 256, 3000, 128, 2, 50, 0, 0, 7, ""); err != nil {
+	if err := run(4, 16, 256, 3000, 128, 2, 50, 0, 0, 7, "", 0); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestRunWindowedWorkload: with -window set, the mixed workload routes
+// a quarter of the queries through EstimateWindow and still exits
+// clean.
+func TestRunWindowedWorkload(t *testing.T) {
+	if err := run(4, 16, 256, 3000, 128, 2, 50, 0, 0, 7, "", 1024); err != nil {
 		t.Fatal(err)
 	}
 }
@@ -18,7 +27,7 @@ func TestRunCleanWorkload(t *testing.T) {
 // degraded queries, not hard errors, and the run still exits clean.
 func TestRunKillsProducePartials(t *testing.T) {
 	dir := t.TempDir()
-	if err := run(4, 16, 256, 3000, 128, 2, 60, 2, 0.05, 42, dir); err != nil {
+	if err := run(4, 16, 256, 3000, 128, 2, 60, 2, 0.05, 42, dir, 0); err != nil {
 		t.Fatal(err)
 	}
 	// The final checkpoint must cover the surviving shards.
@@ -35,7 +44,7 @@ func TestRunKillsProducePartials(t *testing.T) {
 // ErrNoShards — the expected degradation signal, not a hard error — so
 // the run still exits clean. Operators read the partial/health report.
 func TestRunKillAllShards(t *testing.T) {
-	if err := run(2, 16, 256, 1000, 128, 1, 40, 2, 0, 3, ""); err != nil {
+	if err := run(2, 16, 256, 1000, 128, 1, 40, 2, 0, 3, "", 0); err != nil {
 		t.Fatal(err)
 	}
 }
@@ -43,7 +52,7 @@ func TestRunKillAllShards(t *testing.T) {
 // TestRunRejectsBadConfig: an invalid universe size must surface the
 // service constructor's validation error.
 func TestRunRejectsBadConfig(t *testing.T) {
-	err := run(2, 0, 256, 100, 64, 1, 10, 0, 0, 1, "")
+	err := run(2, 0, 256, 100, 64, 1, 10, 0, 0, 1, "", 0)
 	if err == nil {
 		t.Fatal("d=0 should fail service construction")
 	}

@@ -84,6 +84,8 @@ const (
 	KindMedianAmplify
 	KindImportanceSample
 	KindCountSketch
+	KindWindowedReservoir
+	KindDecayedMisraGries
 )
 
 // String returns the registered name of the kind.

@@ -68,6 +68,23 @@ func buildAllKinds(t testing.TB) map[itemsketch.SketchKind]itemsketch.Sketch {
 		cs.Add((i + 1) % 12)
 		cs.Add((i * 7) % 12)
 	}
+	// 400 rows through a 120-row window in 4 sub-windows: the chain
+	// rotates 13 times and evicts, so the fixture covers a mid-stream
+	// window, not just the fill phase.
+	win, err := itemsketch.NewWindowedReservoir(12, 120, 4, 16, 5, est)
+	if err != nil {
+		t.Fatalf("windowed-reservoir: %v", err)
+	}
+	dmg, err := itemsketch.NewDecayedMisraGries(12, 8, 0.9, itemsketch.Params{})
+	if err != nil {
+		t.Fatalf("decayed-misra-gries: %v", err)
+	}
+	for i := 0; i < 400; i++ {
+		if rotated := win.AddAttrs(i%12, (i+1)%12, (i*7)%12); rotated {
+			dmg.Tick()
+		}
+		dmg.AddAttrs(i%12, (i+1)%12, (i*7)%12)
+	}
 	return map[itemsketch.SketchKind]itemsketch.Sketch{
 		itemsketch.KindReleaseDB:               build(itemsketch.ReleaseDB{}, est),
 		itemsketch.KindReleaseAnswersIndicator: build(itemsketch.ReleaseAnswers{}, ind),
@@ -76,6 +93,8 @@ func buildAllKinds(t testing.TB) map[itemsketch.SketchKind]itemsketch.Sketch {
 		itemsketch.KindMedianAmplify:           build(itemsketch.MedianAmplifier{Base: itemsketch.Subsample{Seed: 5, SampleOverride: 64}, CopiesOverride: 5}, est),
 		itemsketch.KindImportanceSample:        build(itemsketch.ImportanceSample{Seed: 5, SampleOverride: 200}, est),
 		itemsketch.KindCountSketch:             cs,
+		itemsketch.KindWindowedReservoir:       win,
+		itemsketch.KindDecayedMisraGries:       dmg,
 	}
 }
 

@@ -204,6 +204,11 @@ func checkDims(db *dataset.Database, p Params) error {
 // paramsBits is the serialized size of a Params header.
 const paramsBits = 16 + 64 + 64 + 1 + 1
 
+// ParamsBits is the exact serialized size of a MarshalParams header in
+// bits, exported so out-of-core sketch families can compute analytic
+// SizeBits formulas without a counting pass.
+const ParamsBits = paramsBits
+
 func marshalParams(w bitvec.BitWriter, p Params) {
 	w.WriteUint(uint64(p.K), 16)
 	w.WriteUint(math.Float64bits(p.Eps), 64)

@@ -1,0 +1,71 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/bitvec"
+	"repro/internal/dataset"
+	"repro/internal/rng"
+)
+
+// TestSubsampleSizeBitsAnalytic pins the analytic SizeBits formula
+// against the real encoder, byte for byte, across sample shapes — the
+// empty sample, a single row, dense and sparse fills, and the
+// full-database sketch path.
+func TestSubsampleSizeBitsAnalytic(t *testing.T) {
+	p := Params{K: 2, Eps: 0.1, Delta: 0.1, Mode: ForEach, Task: Estimator}
+	r := rng.New(3)
+	shapes := []struct {
+		name string
+		d, n int
+		fill float64
+	}{
+		{"empty", 5, 0, 0},
+		{"one-row", 5, 1, 0.5},
+		{"sparse", 40, 32, 0.05},
+		{"dense", 12, 100, 0.9},
+		{"wide", 200, 16, 0.3},
+	}
+	for _, sh := range shapes {
+		sample := dataset.NewDatabase(sh.d)
+		for i := 0; i < sh.n; i++ {
+			var attrs []int
+			for a := 0; a < sh.d; a++ {
+				if r.Float64() < sh.fill {
+					attrs = append(attrs, a)
+				}
+			}
+			sample.AddRowAttrs(attrs...)
+		}
+		sk, err := SubsampleFromSample(sample, p)
+		if err != nil {
+			t.Fatalf("%s: %v", sh.name, err)
+		}
+		var w bitvec.Writer
+		sk.MarshalBits(&w)
+		if got, want := sk.SizeBits(), int64(w.BitLen()); got != want {
+			t.Errorf("%s: analytic SizeBits = %d, encoder wrote %d bits", sh.name, got, want)
+		}
+		// The analytic path must agree with the counting-writer path it
+		// replaced, not just with one encode.
+		if got, want := sk.SizeBits(), MarshaledSizeBits(sk); got != want {
+			t.Errorf("%s: analytic SizeBits = %d, counting writer says %d", sh.name, got, want)
+		}
+	}
+
+	// The sketcher entry point (sampled-down database) goes through the
+	// same formula.
+	db := dataset.NewDatabase(10)
+	for i := 0; i < 500; i++ {
+		db.AddRowAttrs(i%10, (i*3)%10)
+	}
+	sk, err := Subsample{}.Sketch(db, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var w bitvec.Writer
+	sk.MarshalBits(&w)
+	if got, want := sk.SizeBits(), int64(w.BitLen()); got != want {
+		t.Errorf("sketched: analytic SizeBits = %d, encoder wrote %d bits", got, want)
+	}
+}

@@ -173,7 +173,13 @@ func (s *subsampleSketch) SampleRows() int { return s.sample.NumRows() }
 // query it afterwards. SampleHolder is the interface to assert for.
 func (s *subsampleSketch) Sample() *dataset.Database { return s.sample }
 
-func (s *subsampleSketch) SizeBits() int64 { return MarshaledSizeBits(s) }
+// SizeBits is analytic — tag + params + the sample's d/n header and
+// row bits — so MarshalTo sizes the stream in O(1) instead of running
+// the encoder against a counting writer. TestSubsampleSizeBitsAnalytic
+// pins byte-identity with the counting path.
+func (s *subsampleSketch) SizeBits() int64 {
+	return int64(tagBits+paramsBits) + 64 + s.sample.SizeBits()
+}
 
 func (s *subsampleSketch) MarshalBits(w bitvec.BitWriter) {
 	w.WriteUint(tagSubsample, tagBits)

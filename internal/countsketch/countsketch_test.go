@@ -240,11 +240,11 @@ func TestDecodeRejectsBadGeometry(t *testing.T) {
 		return w.Bytes()
 	}
 	cases := map[string][4]uint64{
-		"zero rows":      {100, 0, 64, 8},
-		"zero cols":      {100, 4, 0, 8},
-		"zero base":      {100, 4, 64, 0},
-		"non-pow2 base":  {100, 4, 64, 3},
-		"huge cols":      {100, 4, 1 << 21, 8},
+		"zero rows":       {100, 0, 64, 8},
+		"zero cols":       {100, 4, 0, 8},
+		"zero base":       {100, 4, 64, 0},
+		"non-pow2 base":   {100, 4, 64, 3},
+		"huge cols":       {100, 4, 1 << 21, 8},
 		"cell-cap blowup": {maxUniverse, maxRows, maxCols, 2},
 	}
 	for name, g := range cases {

@@ -1,0 +1,47 @@
+package countsketch
+
+import (
+	"testing"
+
+	"repro/internal/bitvec"
+	"repro/internal/core"
+	"repro/internal/rng"
+)
+
+// TestCountSketchSizeBitsAnalytic pins the analytic SizeBits against
+// the real encoder byte for byte: empty tables (all-zero levels cost
+// exactly their width fields), lightly and heavily loaded tables, and
+// negative cells (zigzag widths), across geometries.
+func TestCountSketchSizeBitsAnalytic(t *testing.T) {
+	cases := []struct {
+		name string
+		cfg  Config
+		adds int
+	}{
+		{"empty", Config{Universe: 64, Rows: 3, Cols: 32}, 0},
+		{"light", Config{Universe: 64, Rows: 3, Cols: 32}, 50},
+		{"heavy", Config{Universe: 256, Rows: 5, Cols: 64, Base: 4}, 20000},
+		{"tiny", Config{Universe: 2, Rows: 1, Cols: 4}, 7},
+	}
+	for _, c := range cases {
+		c.cfg.Seed = 42
+		s, err := New(c.cfg)
+		if err != nil {
+			t.Fatalf("%s: %v", c.name, err)
+		}
+		r := rng.New(9)
+		for i := 0; i < c.adds; i++ {
+			// Skewed adds load some counters far more than others, so the
+			// per-level widths differ.
+			s.Add(int(r.Uint64() % uint64((i%c.cfg.Universe)+1)))
+		}
+		var w bitvec.Writer
+		s.MarshalBits(&w)
+		if got, want := s.SizeBits(), int64(w.BitLen()); got != want {
+			t.Errorf("%s: analytic SizeBits = %d, encoder wrote %d bits", c.name, got, want)
+		}
+		if got, want := s.SizeBits(), core.MarshaledSizeBits(s); got != want {
+			t.Errorf("%s: analytic SizeBits = %d, counting writer says %d", c.name, got, want)
+		}
+	}
+}

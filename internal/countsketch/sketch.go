@@ -2,6 +2,7 @@ package countsketch
 
 import (
 	"fmt"
+	"math/bits"
 
 	"repro/internal/core"
 	"repro/internal/dataset"
@@ -22,8 +23,25 @@ func (s *Sketch) Params() core.Params { return s.params }
 // NumAttrs returns the attribute universe size the sketch covers.
 func (s *Sketch) NumAttrs() int { return s.universe }
 
-// SizeBits returns the exact serialized size in bits — the paper's |S|.
-func (s *Sketch) SizeBits() int64 { return core.MarshaledSizeBits(s) }
+// SizeBits returns the exact serialized size in bits — the paper's
+// |S| — analytically: the fixed header fields plus, per level, the
+// width field and rows·cols cells at that level's maximum zigzag
+// width. One pass over the table, no counting encode.
+// TestCountSketchSizeBitsAnalytic pins byte-identity with the encoder.
+func (s *Sketch) SizeBits() int64 {
+	n := int64(core.KindTagBits+core.ParamsBits+universeBits+rowsBits+colsBits+baseBits) + 64 + 64
+	perLevel := s.rows * s.cols
+	for h := 0; h < s.levels; h++ {
+		width := 0
+		for _, c := range s.table[h*perLevel : (h+1)*perLevel] {
+			if l := bits.Len64(zigzag(c)); l > width {
+				width = l
+			}
+		}
+		n += widthBits + int64(perLevel)*int64(width)
+	}
+	return n
+}
 
 // Estimate returns the estimated relative frequency of the singleton
 // itemset t. It panics if |T| ≠ 1; use EstimateErr for a non-panicking

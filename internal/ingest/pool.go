@@ -1,0 +1,385 @@
+package ingest
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/core"
+	"repro/internal/countsketch"
+	"repro/internal/dataset"
+	"repro/internal/stream"
+)
+
+// The concurrent sharded ingest path: N writer workers each own
+// private sub-sketches (Reservoir, Misra–Gries, CountSketch) fed over
+// per-worker channels, and publish immutable snapshots on epoch
+// boundaries. Readers merge the published snapshots on demand — the
+// same merge-on-read discipline internal/service applies across
+// shards, here applied across writers inside one process.
+//
+// Determinism: rows are partitioned round-robin by a cursor, worker
+// sub-streams preserve arrival order, every seed is derived from
+// (Seed, worker index), and merge-on-read folds workers in index
+// order with derived merge seeds — so for a fixed worker count the
+// merged sketches are a pure function of (config, row sequence), bit
+// identical across runs and machines. Changing the worker count
+// repartitions the stream, which legitimately changes sampling coins
+// (the statistical guarantees are unaffected).
+
+// DefaultEpochRows is the per-worker snapshot publication interval
+// when PoolConfig.EpochRows is zero.
+const DefaultEpochRows = 4096
+
+// defaultDispatchRows is the per-worker batch size of the dispatch
+// path: rows are handed to workers in arena batches, not one channel
+// send per row.
+const defaultDispatchRows = 64
+
+// PoolConfig parameterizes a concurrent ingest pool.
+type PoolConfig struct {
+	// NumAttrs is the attribute universe size d.
+	NumAttrs int
+	// Workers is the writer count N ≥ 1.
+	Workers int
+	// SampleCapacity is each worker's reservoir capacity.
+	SampleCapacity int
+	// HeavyK enables a per-worker Misra–Gries summary with parameter k
+	// when ≥ 2.
+	HeavyK int
+	// CountSketch enables a per-worker count sketch. The seed is
+	// derived from Seed (all workers share it — mergeability requires
+	// identical hash functions); the config's own Seed must be zero.
+	CountSketch *countsketch.Config
+	// EpochRows is the per-worker epoch length: after this many rows a
+	// worker publishes a fresh snapshot (DefaultEpochRows when zero).
+	EpochRows int64
+	// Seed determines every worker seed and merge seed.
+	Seed uint64
+	// WAL, when set, logs every row before it is dispatched — the
+	// write-ahead contract: a row is in the log before any sketch sees
+	// it, so replay after a crash covers everything queries saw.
+	WAL *WAL
+}
+
+// Pool is a concurrent sharded ingest front-end. Add is single-
+// producer (callers serialize; the WAL and the round-robin cursor are
+// not concurrent-safe by design — determinism requires one append
+// order to exist). Reads (Merged*) are safe from any goroutine.
+type Pool struct {
+	cfg     PoolConfig
+	epoch   int64
+	workers []*poolWorker
+	next    uint64 // round-robin dispatch cursor
+	rows    int64
+	closed  bool
+	wg      sync.WaitGroup
+}
+
+type poolMsg struct {
+	batch *dataset.Database
+	flush chan struct{} // non-nil: publish a snapshot and ack
+}
+
+type poolWorker struct {
+	id      int
+	ch      chan poolMsg
+	pending *dataset.Database // producer-side batch under construction
+
+	// Worker-goroutine private state.
+	res     *stream.Reservoir
+	mg      *stream.MisraGries
+	cs      *countsketch.Sketch
+	inEpoch int64
+
+	snap atomic.Pointer[poolSnapshot]
+}
+
+// poolSnapshot is an immutable view of one worker's sub-sketches.
+type poolSnapshot struct {
+	res  *stream.Reservoir
+	mg   *stream.MisraGries
+	cs   *countsketch.Sketch
+	rows int64
+}
+
+// mix64 hashes its words into one seed (splitmix64-style
+// finalization), the deterministic seed derivation for worker and
+// merge seeds.
+func mix64(vs ...uint64) uint64 {
+	h := uint64(0x9e3779b97f4a7c15)
+	for _, v := range vs {
+		h ^= v + 0x9e3779b97f4a7c15 + h<<6 + h>>2
+		h ^= h >> 30
+		h *= 0xbf58476d1ce4e5b9
+		h ^= h >> 27
+		h *= 0x94d049bb133111eb
+		h ^= h >> 31
+	}
+	return h
+}
+
+// The salts separate the seed-derivation domains.
+const (
+	poolSaltReservoir = 0x72657376 // "resv"
+	poolSaltSketch    = 0x736b6368 // "skch"
+	poolSaltMerge     = 0x6d657267 // "merg"
+)
+
+// NewPool starts a pool with cfg.Workers writer goroutines.
+func NewPool(cfg PoolConfig) (*Pool, error) {
+	if cfg.NumAttrs < 1 {
+		return nil, fmt.Errorf("%w: pool needs d ≥ 1 attributes, got %d", core.ErrInvalidParams, cfg.NumAttrs)
+	}
+	if cfg.Workers < 1 {
+		return nil, fmt.Errorf("%w: pool needs ≥ 1 workers, got %d", core.ErrInvalidParams, cfg.Workers)
+	}
+	if cfg.SampleCapacity < 1 {
+		return nil, fmt.Errorf("%w: pool needs sample capacity ≥ 1, got %d", core.ErrInvalidParams, cfg.SampleCapacity)
+	}
+	if cfg.HeavyK == 1 {
+		// 0 disables the summary; a k of exactly 1 is never meaningful.
+		return nil, fmt.Errorf("%w: Misra–Gries needs k ≥ 2 (0 disables)", core.ErrInvalidParams)
+	}
+	if cfg.WAL != nil && cfg.WAL.NumAttrs() != cfg.NumAttrs {
+		return nil, fmt.Errorf("%w: WAL logs %d attributes, pool ingests %d", core.ErrInvalidParams, cfg.WAL.NumAttrs(), cfg.NumAttrs)
+	}
+	epoch := cfg.EpochRows
+	if epoch <= 0 {
+		epoch = DefaultEpochRows
+	}
+	p := &Pool{cfg: cfg, epoch: epoch, workers: make([]*poolWorker, cfg.Workers)}
+	csSeed := mix64(cfg.Seed, poolSaltSketch)
+	for i := range p.workers {
+		res, err := stream.NewReservoir(cfg.NumAttrs, cfg.SampleCapacity, mix64(cfg.Seed, poolSaltReservoir, uint64(i)))
+		if err != nil {
+			return nil, err
+		}
+		w := &poolWorker{
+			id:      i,
+			ch:      make(chan poolMsg, 4),
+			pending: dataset.NewDatabase(cfg.NumAttrs),
+			res:     res,
+		}
+		if cfg.HeavyK >= 2 {
+			if w.mg, err = stream.NewMisraGries(cfg.HeavyK); err != nil {
+				return nil, err
+			}
+		}
+		if cfg.CountSketch != nil {
+			csCfg := *cfg.CountSketch
+			if csCfg.Seed != 0 {
+				return nil, fmt.Errorf("%w: pool derives the count-sketch seed; config seed must be zero", core.ErrInvalidParams)
+			}
+			csCfg.Seed = csSeed
+			if csCfg.Universe == 0 {
+				csCfg.Universe = cfg.NumAttrs
+			}
+			if csCfg.Universe != cfg.NumAttrs {
+				return nil, fmt.Errorf("%w: count-sketch universe %d, pool ingests %d attributes", core.ErrInvalidParams, csCfg.Universe, cfg.NumAttrs)
+			}
+			if w.cs, err = countsketch.New(csCfg); err != nil {
+				return nil, err
+			}
+		}
+		w.publish()
+		p.workers[i] = w
+		p.wg.Add(1)
+		go p.run(w)
+	}
+	return p, nil
+}
+
+// run is the worker goroutine: apply batches in arrival order, publish
+// on epoch boundaries and on flush barriers.
+func (p *Pool) run(w *poolWorker) {
+	defer p.wg.Done()
+	var attrs []int
+	for msg := range w.ch {
+		if msg.batch != nil {
+			n := msg.batch.NumRows()
+			for r := 0; r < n; r++ {
+				attrs = msg.batch.AppendRowOnes(attrs[:0], r)
+				w.res.AddAttrs(attrs...)
+				if w.mg != nil {
+					for _, a := range attrs {
+						w.mg.Add(a)
+					}
+				}
+				if w.cs != nil {
+					for _, a := range attrs {
+						w.cs.Add(a)
+					}
+				}
+			}
+			w.inEpoch += int64(n)
+			if w.inEpoch >= p.epoch {
+				w.publish()
+				w.inEpoch = 0
+			}
+		}
+		if msg.flush != nil {
+			w.publish()
+			w.inEpoch = 0
+			close(msg.flush)
+		}
+	}
+}
+
+// publish freezes the worker's sub-sketches into a fresh snapshot.
+func (w *poolWorker) publish() {
+	s := &poolSnapshot{res: w.res.Clone(), rows: w.res.Seen()}
+	if w.mg != nil {
+		s.mg = w.mg.Clone()
+	}
+	if w.cs != nil {
+		s.cs = w.cs.Clone()
+	}
+	w.snap.Store(s)
+}
+
+// Add ingests one row given as attribute indices: write-ahead to the
+// WAL (when configured), then round-robin dispatch to the owning
+// worker. Single producer only.
+func (p *Pool) Add(attrs ...int) error {
+	if p.closed {
+		return fmt.Errorf("%w: pool is closed", core.ErrInvalidParams)
+	}
+	if p.cfg.WAL != nil {
+		if err := p.cfg.WAL.Append(attrs...); err != nil {
+			return err
+		}
+	}
+	w := p.workers[p.next%uint64(len(p.workers))]
+	p.next++
+	p.rows++
+	w.pending.AddRowAttrs(attrs...)
+	if w.pending.NumRows() >= defaultDispatchRows {
+		w.ch <- poolMsg{batch: w.pending}
+		w.pending = dataset.NewDatabase(p.cfg.NumAttrs)
+	}
+	return nil
+}
+
+// Flush is the read barrier: every row accepted so far is applied and
+// every worker publishes a fresh snapshot before Flush returns. The
+// WAL (when configured) is synced first, preserving write-ahead order
+// even at the barrier.
+func (p *Pool) Flush() error {
+	if p.closed {
+		return fmt.Errorf("%w: pool is closed", core.ErrInvalidParams)
+	}
+	if p.cfg.WAL != nil {
+		if err := p.cfg.WAL.Sync(); err != nil {
+			return err
+		}
+	}
+	acks := make([]chan struct{}, len(p.workers))
+	for i, w := range p.workers {
+		if w.pending.NumRows() > 0 {
+			w.ch <- poolMsg{batch: w.pending}
+			w.pending = dataset.NewDatabase(p.cfg.NumAttrs)
+		}
+		acks[i] = make(chan struct{})
+		w.ch <- poolMsg{flush: acks[i]}
+	}
+	for _, ack := range acks {
+		<-ack
+	}
+	return nil
+}
+
+// Close flushes and stops the workers. The pool's snapshots stay
+// readable; Add and Flush fail afterwards.
+func (p *Pool) Close() error {
+	if p.closed {
+		return nil
+	}
+	err := p.Flush()
+	p.closed = true
+	for _, w := range p.workers {
+		close(w.ch)
+	}
+	p.wg.Wait()
+	return err
+}
+
+// Rows returns the number of rows accepted by Add.
+func (p *Pool) Rows() int64 { return p.rows }
+
+// Workers returns the writer count N.
+func (p *Pool) Workers() int { return p.cfg.Workers }
+
+// MergedReservoir folds the workers' published reservoir snapshots
+// into a uniform sample of the union stream, in worker order with
+// derived merge seeds — deterministic for a fixed worker count.
+func (p *Pool) MergedReservoir() (*stream.Reservoir, error) {
+	var acc *stream.Reservoir
+	for i, w := range p.workers {
+		s := w.snap.Load()
+		if acc == nil {
+			acc = s.res.Clone()
+			continue
+		}
+		m, err := stream.Merge(acc, s.res, mix64(p.cfg.Seed, poolSaltMerge, uint64(i)))
+		if err != nil {
+			return nil, err
+		}
+		acc = m
+	}
+	return acc, nil
+}
+
+// MergedMisraGries folds the workers' published Misra–Gries snapshots,
+// preserving the N/k guarantee over the union stream. Nil when HeavyK
+// is disabled.
+func (p *Pool) MergedMisraGries() (*stream.MisraGries, error) {
+	var acc *stream.MisraGries
+	for _, w := range p.workers {
+		s := w.snap.Load()
+		if s.mg == nil {
+			return nil, nil
+		}
+		if acc == nil {
+			acc = s.mg.Clone()
+			continue
+		}
+		m, err := stream.MergeMG(acc, s.mg)
+		if err != nil {
+			return nil, err
+		}
+		acc = m
+	}
+	return acc, nil
+}
+
+// MergedCountSketch folds the workers' published count-sketch
+// snapshots cell-wise (all workers share hash seeds, so the merge is
+// exact). Nil when the count sketch is disabled.
+func (p *Pool) MergedCountSketch() (*countsketch.Sketch, error) {
+	var acc *countsketch.Sketch
+	for _, w := range p.workers {
+		s := w.snap.Load()
+		if s.cs == nil {
+			return nil, nil
+		}
+		if acc == nil {
+			acc = s.cs.Clone()
+			continue
+		}
+		if err := acc.Merge(s.cs); err != nil {
+			return nil, err
+		}
+	}
+	return acc, nil
+}
+
+// SnapshotRows returns the per-worker row counts of the published
+// snapshots — how much of the stream the next Merged* call will cover.
+func (p *Pool) SnapshotRows() []int64 {
+	out := make([]int64, len(p.workers))
+	for i, w := range p.workers {
+		out[i] = w.snap.Load().rows
+	}
+	return out
+}

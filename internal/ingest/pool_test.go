@@ -1,0 +1,351 @@
+package ingest
+
+import (
+	"bytes"
+	"errors"
+	"math"
+	"testing"
+
+	"repro/internal/bitvec"
+	"repro/internal/core"
+	"repro/internal/countsketch"
+	"repro/internal/dataset"
+)
+
+func poolFixtureConfig(workers int) PoolConfig {
+	return PoolConfig{
+		NumAttrs:       16,
+		Workers:        workers,
+		SampleCapacity: 64,
+		HeavyK:         8,
+		CountSketch:    &countsketch.Config{Rows: 3, Cols: 64},
+		EpochRows:      100,
+		Seed:           99,
+	}
+}
+
+// runPool feeds n fixture rows through a fresh pool and flushes.
+func runPool(t *testing.T, cfg PoolConfig, n int) *Pool {
+	t.Helper()
+	p, err := NewPool(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < n; i++ {
+		if err := p.Add(testRow(i)...); err != nil {
+			t.Fatalf("add row %d: %v", i, err)
+		}
+	}
+	if err := p.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+// mergedBits serializes the pool's merged views into comparable byte
+// strings: the reservoir's sample arena, the Misra–Gries snapshot, and
+// the count sketch's envelope bytes.
+func mergedBits(t *testing.T, p *Pool) (res, mg, cs []byte) {
+	t.Helper()
+	r, err := p.MergedReservoir()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var rw bitvec.Writer
+	r.Database().MarshalBits(&rw)
+	rw.WriteUint(uint64(r.Seen()), 64)
+	res = rw.Bytes()
+
+	m, err := p.MergedMisraGries()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var mw bitvec.Writer
+	n, items, counts := m.Snapshot()
+	mw.WriteUint(uint64(n), 64)
+	for i := range items {
+		mw.WriteUint(uint64(items[i]), 32)
+		mw.WriteUint(uint64(counts[i]), 64)
+	}
+	mg = mw.Bytes()
+
+	c, err := p.MergedCountSketch()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var cw bitvec.Writer
+	c.MarshalBits(&cw)
+	cs = cw.Bytes()
+	return res, mg, cs
+}
+
+func TestPoolValidation(t *testing.T) {
+	cases := []PoolConfig{
+		{Workers: 1, SampleCapacity: 4},                         // no attrs
+		{NumAttrs: 8, SampleCapacity: 4},                        // no workers
+		{NumAttrs: 8, Workers: 2},                               // no capacity
+		{NumAttrs: 8, Workers: 2, SampleCapacity: 4, HeavyK: 1}, // bad k
+		{NumAttrs: 8, Workers: 2, SampleCapacity: 4, CountSketch: &countsketch.Config{Rows: 3, Cols: 16, Seed: 7}},     // explicit seed
+		{NumAttrs: 8, Workers: 2, SampleCapacity: 4, CountSketch: &countsketch.Config{Rows: 3, Cols: 16, Universe: 9}}, // universe clash
+	}
+	for i, cfg := range cases {
+		if _, err := NewPool(cfg); !errors.Is(err, core.ErrInvalidParams) {
+			t.Errorf("case %d: err = %v, want ErrInvalidParams", i, err)
+		}
+	}
+	w, err := OpenWAL(WALConfig{Dir: t.TempDir(), NumAttrs: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer w.Close()
+	cfg := poolFixtureConfig(2)
+	cfg.WAL = w // 4-attribute log under a 16-attribute pool
+	if _, err := NewPool(cfg); !errors.Is(err, core.ErrInvalidParams) {
+		t.Errorf("WAL universe clash: err = %v, want ErrInvalidParams", err)
+	}
+}
+
+// TestPoolBitDeterminism is the tentpole determinism pin: two pools
+// with the same config and the same row sequence, each with 4 workers,
+// must merge to bit-identical sketches — reservoir arena bytes,
+// Misra–Gries snapshot, count-sketch envelope. Goroutine scheduling
+// must not leak into the merged bits.
+func TestPoolBitDeterminism(t *testing.T) {
+	const rows = 1500
+	a := runPool(t, poolFixtureConfig(4), rows)
+	defer a.Close()
+	b := runPool(t, poolFixtureConfig(4), rows)
+	defer b.Close()
+	aRes, aMG, aCS := mergedBits(t, a)
+	bRes, bMG, bCS := mergedBits(t, b)
+	if !bytes.Equal(aRes, bRes) {
+		t.Error("merged reservoirs differ between identical runs")
+	}
+	if !bytes.Equal(aMG, bMG) {
+		t.Error("merged Misra-Gries summaries differ between identical runs")
+	}
+	if !bytes.Equal(aCS, bCS) {
+		t.Error("merged count sketches differ between identical runs")
+	}
+	// Repeated merges of the same pool are stable too (merge-on-read
+	// must not mutate the snapshots).
+	aRes2, aMG2, aCS2 := mergedBits(t, a)
+	if !bytes.Equal(aRes, aRes2) || !bytes.Equal(aMG, aMG2) || !bytes.Equal(aCS, aCS2) {
+		t.Error("re-merging the same pool changed the merged bits")
+	}
+}
+
+// TestPoolMergedCoversStream checks the merged views cover the whole
+// stream after a flush barrier: reservoir Seen equals the row count,
+// Misra–Gries mass equals the attribute count, count-sketch estimates
+// match exact counts within the (tiny-universe) error bound.
+func TestPoolMergedCoversStream(t *testing.T) {
+	const rows = 2000
+	p := runPool(t, poolFixtureConfig(4), rows)
+	defer p.Close()
+
+	if p.Rows() != rows {
+		t.Fatalf("Rows() = %d", p.Rows())
+	}
+	var snapSum int64
+	for _, n := range p.SnapshotRows() {
+		snapSum += n
+	}
+	if snapSum != rows {
+		t.Fatalf("snapshots cover %d rows, want %d", snapSum, rows)
+	}
+
+	// Exact truth per attribute (dedup per row, as sketches see it).
+	truth := map[int]int64{}
+	var mass int64
+	for i := 0; i < rows; i++ {
+		seen := map[int]bool{}
+		for _, a := range testRow(i) {
+			if !seen[a] {
+				seen[a] = true
+				truth[a]++
+				mass++
+			}
+		}
+	}
+
+	res, err := p.MergedReservoir()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Seen() != rows {
+		t.Fatalf("merged reservoir saw %d rows, want %d", res.Seen(), rows)
+	}
+	if res.Len() != poolFixtureConfig(4).SampleCapacity {
+		t.Fatalf("merged sample holds %d rows, want full capacity", res.Len())
+	}
+
+	mg, err := p.MergedMisraGries()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mg.N() != mass {
+		t.Fatalf("merged MG mass %d, want %d", mg.N(), mass)
+	}
+	// MG undercount is bounded by mass/k.
+	for a, exact := range truth {
+		got := mg.Count(a)
+		if got > exact || got < exact-mass/8 {
+			t.Fatalf("MG count(%d) = %d, exact %d, floor %d", a, got, exact, exact-mass/8)
+		}
+	}
+
+	cs, err := p.MergedCountSketch()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for a, exact := range truth {
+		got := float64(cs.EstimateCount(a))
+		if math.Abs(got-float64(exact)) > 0.2*float64(exact) {
+			t.Fatalf("count-sketch estimate(%d) = %.1f, exact %d", a, got, exact)
+		}
+	}
+}
+
+// TestPoolWorkerCountChangesPartition documents that the worker count
+// is part of the deterministic contract: different N gives a different
+// (equally valid) sample, and the merged mass is unchanged.
+func TestPoolWorkerCountChangesPartition(t *testing.T) {
+	const rows = 1000
+	p1 := runPool(t, poolFixtureConfig(1), rows)
+	defer p1.Close()
+	p4 := runPool(t, poolFixtureConfig(4), rows)
+	defer p4.Close()
+	r1, _ := p1.MergedReservoir()
+	r4, _ := p4.MergedReservoir()
+	if r1.Seen() != r4.Seen() {
+		t.Fatalf("seen diverged: %d vs %d", r1.Seen(), r4.Seen())
+	}
+	m1, _ := p1.MergedMisraGries()
+	m4, _ := p4.MergedMisraGries()
+	if m1.N() != m4.N() {
+		t.Fatalf("MG mass diverged: %d vs %d", m1.N(), m4.N())
+	}
+	c1, _ := p1.MergedCountSketch()
+	c4, _ := p4.MergedCountSketch()
+	// The count sketch is partition-independent: same shared hashes,
+	// addition commutes. The two merges must agree exactly.
+	var b1, b4 bitvec.Writer
+	c1.MarshalBits(&b1)
+	c4.MarshalBits(&b4)
+	if !bytes.Equal(b1.Bytes(), b4.Bytes()) {
+		t.Error("count sketch bits depend on the partition; they must not")
+	}
+}
+
+// TestPoolWALReplayReproducesBits is the crash-recovery acceptance
+// pin at the pool level: rows ingested through a WAL-backed pool, then
+// replayed from the log into a fresh same-config pool, produce
+// bit-identical merged sketches — the replayer feeds Add in the
+// original append order, and everything downstream is deterministic.
+func TestPoolWALReplayReproducesBits(t *testing.T) {
+	dir := t.TempDir()
+	wal, err := OpenWAL(WALConfig{Dir: dir, NumAttrs: 16, BatchRows: 32})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := poolFixtureConfig(4)
+	cfg.WAL = wal
+	live, err := NewPool(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const rows = 1200
+	for i := 0; i < rows; i++ {
+		if err := live.Add(testRow(i)...); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := live.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	liveRes, liveMG, liveCS := mergedBits(t, live)
+	if err := live.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := wal.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// "Crash" and recover: replay the log into a fresh pool. The rows
+	// come back as ascending attribute sets, which is how the workers
+	// saw them too (AppendRowOnes on both paths), so the bits agree.
+	recovered, err := NewPool(poolFixtureConfig(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer recovered.Close()
+	n, err := ReplayDir(dir, 16, nil, func(attrs []int) error {
+		return recovered.Add(attrs...)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != rows {
+		t.Fatalf("replayed %d rows, want %d", n, rows)
+	}
+	if err := recovered.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	recRes, recMG, recCS := mergedBits(t, recovered)
+	if !bytes.Equal(liveRes, recRes) {
+		t.Error("recovered reservoir bits differ from the uncrashed run")
+	}
+	if !bytes.Equal(liveMG, recMG) {
+		t.Error("recovered Misra-Gries bits differ from the uncrashed run")
+	}
+	if !bytes.Equal(liveCS, recCS) {
+		t.Error("recovered count-sketch bits differ from the uncrashed run")
+	}
+}
+
+// TestPoolMergedAsSketch routes the merged sample through
+// SubsampleFromSample — the path the service uses to answer queries —
+// and sanity-checks an estimate against the stream frequency.
+func TestPoolMergedAsSketch(t *testing.T) {
+	cfg := poolFixtureConfig(4)
+	cfg.SampleCapacity = 400
+	const rows = 4000
+	p, err := NewPool(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p.Close()
+	// Attribute 0 appears in every third row.
+	for i := 0; i < rows; i++ {
+		attrs := []int{1 + i%7, 8 + i%5}
+		if i%3 == 0 {
+			attrs = append(attrs, 0)
+		}
+		if err := p.Add(attrs...); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := p.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	res, err := p.MergedReservoir()
+	if err != nil {
+		t.Fatal(err)
+	}
+	sk, err := core.SubsampleFromSample(res.Database(), core.Params{
+		K: 1, Eps: 0.1, Delta: 0.1, Mode: core.ForEach, Task: core.Estimator,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := sk.Estimate(dataset.MustItemset(0)); math.Abs(got-1.0/3) > 0.08 {
+		t.Fatalf("estimate(0) = %.3f, want ≈ 1/3", got)
+	}
+	if err := p.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Add(1); !errors.Is(err, core.ErrInvalidParams) {
+		t.Fatalf("Add after Close: %v", err)
+	}
+}

@@ -1,0 +1,384 @@
+package ingest
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	itemsketch "repro"
+	"repro/internal/faultio"
+)
+
+// The WAL fault taxonomy, mirroring streamcodec_fault_test.go: every
+// way a log can be damaged maps to exactly one contract —
+//
+//	torn active tail      → recovered silently (truncate to the last
+//	                        valid record; the crash contract)
+//	corrupt sealed record → ErrWALCorrupt naming segment + record
+//	corrupt active bytes  → ErrWALCorrupt (only truncation is a crash)
+//	transport error       → the bare underlying error, no rewrap
+//
+// The sweeps run under the chaos CI job (`make chaos`), which matches
+// tests named Fault|Chaos|Recovery across FAULT_SEED values.
+
+// buildTornWAL writes a small log and returns its directory, the
+// active segment's path, and the appended row count.
+func buildTornWAL(t *testing.T, rows int) (dir, active string, n int) {
+	t.Helper()
+	dir = t.TempDir()
+	w, err := OpenWAL(WALConfig{Dir: dir, NumAttrs: 16, BatchRows: 16})
+	if err != nil {
+		t.Fatal(err)
+	}
+	fillWAL(t, w, rows)
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	segs, err := listSegments(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	last := segs[len(segs)-1]
+	if !last.open {
+		t.Fatal("fixture should end with an active segment")
+	}
+	return dir, last.path, rows
+}
+
+// TestWALKillAtEveryOffsetRecovery is the kill sweep: the active
+// segment is cut at every byte length, and every prefix must recover —
+// OpenWAL truncates to a record boundary, replay yields an exact
+// prefix of the appended rows, and appending afterwards works. This is
+// the file-level image of a crash mid-append: appends only ever extend
+// the file, so a kill leaves a prefix.
+func TestWALKillAtEveryOffsetRecovery(t *testing.T) {
+	dir, active, rows := buildTornWAL(t, 96) // 6 records of 16 rows
+	whole, err := os.ReadFile(active)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fullRows := replayCount(t, dir)
+	if fullRows != int64(rows) {
+		t.Fatalf("uncut log replays %d rows, want %d", fullRows, rows)
+	}
+	lastPrefix := int64(-1)
+	for cut := 0; cut <= len(whole); cut++ {
+		if err := os.WriteFile(active, whole[:cut], 0o644); err != nil {
+			t.Fatal(err)
+		}
+		w, err := OpenWAL(WALConfig{Dir: dir, NumAttrs: 16, BatchRows: 16})
+		if err != nil {
+			t.Fatalf("cut %d: OpenWAL: %v", cut, err)
+		}
+		got := replayCount(t, dir)
+		if got%16 != 0 || got > int64(rows) {
+			t.Fatalf("cut %d: replayed %d rows, want a multiple of the 16-row batch ≤ %d", cut, got, rows)
+		}
+		// Recovery is monotone in the prefix length.
+		if got < lastPrefix {
+			t.Fatalf("cut %d: replayed %d rows, shorter cut recovered %d", cut, got, lastPrefix)
+		}
+		lastPrefix = got
+		// The reopened log must accept appends on the truncated tail.
+		if err := w.Append(testRow(0)...); err != nil {
+			t.Fatalf("cut %d: append after recovery: %v", cut, err)
+		}
+		if err := w.Close(); err != nil {
+			t.Fatalf("cut %d: close: %v", cut, err)
+		}
+		// Restore the fixture for the next cut.
+		if err := os.WriteFile(active, whole, 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if lastPrefix != int64(rows) {
+		t.Fatalf("full-length cut recovered %d rows, want %d", lastPrefix, rows)
+	}
+}
+
+// TestWALTornTailRecoveryKeepsPrefix pins the prefix property of one
+// specific torn tail: cutting mid-final-record loses exactly that
+// record, nothing before it.
+func TestWALTornTailRecoveryKeepsPrefix(t *testing.T) {
+	dir, active, rows := buildTornWAL(t, 96)
+	whole, err := os.ReadFile(active)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Cut 3 bytes into the last record: find its boundary by scanning.
+	valid, _, err := scanSegmentWith(active, 16, nil, true, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if valid != int64(len(whole)) {
+		t.Fatalf("clean segment scans to %d of %d bytes", valid, len(whole))
+	}
+	if err := os.WriteFile(active, whole[:len(whole)-3], 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := OpenWAL(WALConfig{Dir: dir, NumAttrs: 16, BatchRows: 16}); err != nil {
+		t.Fatalf("OpenWAL on torn tail: %v", err)
+	}
+	got := replayCount(t, dir)
+	if got != int64(rows-16) {
+		t.Fatalf("torn final record: replayed %d rows, want %d", got, rows-16)
+	}
+}
+
+// TestWALCorruptSealedRecordFault flips a payload byte in a sealed
+// segment: replay must fail with ErrWALCorrupt (wrapping the codec's
+// ErrCorruptSketch) and the message must name the segment file and
+// record index — sealed corruption is data loss, never skipped.
+func TestWALCorruptSealedRecordFault(t *testing.T) {
+	dir := t.TempDir()
+	w, err := OpenWAL(WALConfig{Dir: dir, NumAttrs: 16, BatchRows: 16, SegmentBytes: 512})
+	if err != nil {
+		t.Fatal(err)
+	}
+	fillWAL(t, w, 200)
+	w.Close()
+	segs, err := listSegments(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if segs[0].open {
+		t.Fatal("fixture needs a sealed segment")
+	}
+	data, err := os.ReadFile(segs[0].path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Flip a byte well inside the first record's chunk data (past the
+	// segment header and the envelope + chunk-frame headers).
+	off := walHeaderLen + 40
+	data[off] ^= 0x40
+	if err := os.WriteFile(segs[0].path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	_, err = ReplayDir(dir, 16, nil, func([]int) error { return nil })
+	if !errors.Is(err, ErrWALCorrupt) {
+		t.Fatalf("err = %v, want ErrWALCorrupt", err)
+	}
+	if !errors.Is(err, itemsketch.ErrCorruptSketch) {
+		t.Fatalf("err = %v, want the codec cause preserved", err)
+	}
+	msg := err.Error()
+	if !strings.Contains(msg, filepath.Base(segs[0].path)) || !strings.Contains(msg, "record 0") {
+		t.Fatalf("error %q does not name the segment and record", msg)
+	}
+}
+
+// TestWALCorruptActiveNonTailFault corrupts a byte in the middle of
+// the active segment (not a pure truncation): OpenWAL must refuse
+// rather than silently truncate valid later records away... unless the
+// corruption reads as a torn tail, which for a mid-file flip it does
+// not (the chunk CRC fails with data still following).
+func TestWALCorruptActiveNonTailFault(t *testing.T) {
+	dir, active, _ := buildTornWAL(t, 96)
+	data, err := os.ReadFile(active)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A byte inside the FIRST record's chunk data; several records
+	// follow, so this cannot be a crash artifact.
+	data[walHeaderLen+40] ^= 0x40
+	if err := os.WriteFile(active, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := OpenWAL(WALConfig{Dir: dir, NumAttrs: 16, BatchRows: 16}); !errors.Is(err, ErrWALCorrupt) {
+		t.Fatalf("OpenWAL on mid-file corruption: %v, want ErrWALCorrupt", err)
+	}
+}
+
+// TestWALCorruptHeaderFault damages the segment header's checksum in a
+// sealed segment: replay refuses the whole segment.
+func TestWALCorruptHeaderFault(t *testing.T) {
+	dir := t.TempDir()
+	w, err := OpenWAL(WALConfig{Dir: dir, NumAttrs: 16, BatchRows: 16, SegmentBytes: 512})
+	if err != nil {
+		t.Fatal(err)
+	}
+	fillWAL(t, w, 200)
+	w.Close()
+	segs, _ := listSegments(dir)
+	data, err := os.ReadFile(segs[0].path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data[9] ^= 0xFF // sequence field → header CRC mismatch
+	if err := os.WriteFile(segs[0].path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ReplayDir(dir, 16, nil, func([]int) error { return nil }); !errors.Is(err, ErrWALCorrupt) {
+		t.Fatalf("err = %v, want ErrWALCorrupt", err)
+	}
+}
+
+// TestWALTransportErrorFaultPassthrough injects an I/O failure through
+// the ReadWrap seam at a mid-stream offset: the injected error must
+// surface bare — not rebranded as corruption — so operators can tell
+// a failing disk from a damaged log.
+func TestWALTransportErrorFaultPassthrough(t *testing.T) {
+	dir, _, _ := buildTornWAL(t, 96)
+	seed := faultio.EnvSeed(1)
+	wrap := func(r io.Reader) io.Reader {
+		return faultio.NewReader(r, faultio.WithSeed(seed), faultio.WithFailAt(200, faultio.ErrInjected))
+	}
+	_, err := ReplayDir(dir, 16, wrap, func([]int) error { return nil })
+	if !errors.Is(err, faultio.ErrInjected) {
+		t.Fatalf("err = %v, want ErrInjected to pass through", err)
+	}
+	if errors.Is(err, ErrWALCorrupt) || errors.Is(err, itemsketch.ErrCorruptSketch) {
+		t.Fatalf("transport error %v was misclassified as corruption", err)
+	}
+}
+
+// TestWALShortReadsRecovery drives the replay through a reader that
+// returns one byte at a time: framing must be byte-position exact, so
+// short reads change nothing.
+func TestWALShortReadsRecovery(t *testing.T) {
+	dir, _, rows := buildTornWAL(t, 96)
+	seed := faultio.EnvSeed(42)
+	wrap := func(r io.Reader) io.Reader {
+		return faultio.NewReader(r, faultio.WithSeed(seed), faultio.WithShortOps())
+	}
+	var got int64
+	n, err := ReplayDir(dir, 16, wrap, func([]int) error { got++; return nil })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != int64(rows) || got != int64(rows) {
+		t.Fatalf("short reads: replayed %d/%d rows, want %d", n, got, rows)
+	}
+}
+
+// TestWALWriteFaultSurfaces injects a write failure through WriteWrap:
+// the append path reports it instead of acknowledging a row the disk
+// never saw.
+func TestWALWriteFaultSurfaces(t *testing.T) {
+	dir := t.TempDir()
+	fails := func(w io.Writer) io.Writer {
+		return faultio.NewWriter(w, faultio.WithFailAt(64, faultio.ErrInjected))
+	}
+	w, err := OpenWAL(WALConfig{Dir: dir, NumAttrs: 16, BatchRows: 8, WriteWrap: fails})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer w.Close()
+	var sawErr error
+	for i := 0; i < 64 && sawErr == nil; i++ {
+		sawErr = w.Append(testRow(i)...)
+	}
+	if !errors.Is(sawErr, faultio.ErrInjected) {
+		t.Fatalf("append error = %v, want ErrInjected", sawErr)
+	}
+}
+
+// TestWALChaosMixedSegments runs the whole taxonomy at once over a
+// multi-segment log: seal several segments, tear the active tail,
+// verify the sealed prefix replays and the torn tail truncates — then
+// corrupt one sealed segment and verify replay now refuses.
+func TestWALChaosMixedSegments(t *testing.T) {
+	dir := t.TempDir()
+	w, err := OpenWAL(WALConfig{Dir: dir, NumAttrs: 16, BatchRows: 16, SegmentBytes: 512})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows := 320
+	fillWAL(t, w, rows)
+	// A rotation may have left the active tail empty; keep appending
+	// 16-row batches until it holds at least one record to tear.
+	for {
+		st, err := os.Stat(segName(dir, w.ActiveSegment(), true))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if st.Size() > walHeaderLen {
+			break
+		}
+		fillWAL(t, w, 16)
+		rows += 16
+	}
+	w.Close()
+	segs, _ := listSegments(dir)
+	last := segs[len(segs)-1]
+	if !last.open || len(segs) < 3 {
+		t.Fatalf("fixture: %d segments, open tail %v", len(segs), last.open)
+	}
+	// Tear the tail: 5 bytes off the end cuts into the final record.
+	data, err := os.ReadFile(last.path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(last.path, data[:len(data)-5], 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := OpenWAL(WALConfig{Dir: dir, NumAttrs: 16, BatchRows: 16}); err != nil {
+		t.Fatalf("recovery over torn tail: %v", err)
+	}
+	got := replayCount(t, dir)
+	if got != int64(rows-16) {
+		t.Fatalf("after torn tail: replayed %d rows, want %d (exactly the final record lost)", got, rows-16)
+	}
+	// Now corrupt a sealed segment: the same replay must refuse.
+	sealed, err := os.ReadFile(segs[0].path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sealed[walHeaderLen+30] ^= 0x08
+	if err := os.WriteFile(segs[0].path, sealed, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ReplayDir(dir, 16, nil, func([]int) error { return nil }); !errors.Is(err, ErrWALCorrupt) {
+		t.Fatalf("corrupt sealed segment: err = %v, want ErrWALCorrupt", err)
+	}
+}
+
+// replayCount replays a directory and returns the row count.
+func replayCount(t *testing.T, dir string) int64 {
+	t.Helper()
+	n, err := ReplayDir(dir, 16, nil, func([]int) error { return nil })
+	if err != nil {
+		t.Fatalf("replay: %v", err)
+	}
+	return n
+}
+
+// TestWALRecoveryIdempotent reopens a recovered log twice: recovery
+// must be idempotent (the second open sees a clean boundary and
+// changes nothing).
+func TestWALRecoveryIdempotent(t *testing.T) {
+	dir, active, _ := buildTornWAL(t, 96)
+	data, err := os.ReadFile(active)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(active, data[:len(data)-7], 0o644); err != nil {
+		t.Fatal(err)
+	}
+	w1, err := OpenWAL(WALConfig{Dir: dir, NumAttrs: 16})
+	if err != nil {
+		t.Fatal(err)
+	}
+	w1.Close()
+	afterFirst, err := os.ReadFile(active)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w2, err := OpenWAL(WALConfig{Dir: dir, NumAttrs: 16})
+	if err != nil {
+		t.Fatal(err)
+	}
+	w2.Close()
+	afterSecond, err := os.ReadFile(active)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(afterFirst, afterSecond) {
+		t.Fatal("second recovery changed the segment")
+	}
+}

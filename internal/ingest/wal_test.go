@@ -1,0 +1,301 @@
+package ingest
+
+import (
+	"errors"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/stream"
+)
+
+// testRow returns the deterministic attribute list of stream row i in
+// the test fixtures.
+func testRow(i int) []int {
+	return []int{i % 16, (i + 3) % 16, (i * 7) % 16}
+}
+
+// fillWAL appends n fixture rows and syncs.
+func fillWAL(t *testing.T, w *WAL, n int) {
+	t.Helper()
+	for i := 0; i < n; i++ {
+		if err := w.Append(testRow(i)...); err != nil {
+			t.Fatalf("append row %d: %v", i, err)
+		}
+	}
+	if err := w.Sync(); err != nil {
+		t.Fatalf("sync: %v", err)
+	}
+}
+
+// collectRows replays the log into a row list (copying the reused
+// attrs slice).
+func collectRows(t *testing.T, w *WAL) [][]int {
+	t.Helper()
+	var rows [][]int
+	n, err := w.Replay(func(attrs []int) error {
+		rows = append(rows, append([]int(nil), attrs...))
+		return nil
+	})
+	if err != nil {
+		t.Fatalf("replay: %v", err)
+	}
+	if int(n) != len(rows) {
+		t.Fatalf("replay reported %d rows, emitted %d", n, len(rows))
+	}
+	return rows
+}
+
+func TestWALValidation(t *testing.T) {
+	if _, err := OpenWAL(WALConfig{NumAttrs: 4}); !errors.Is(err, core.ErrInvalidParams) {
+		t.Errorf("missing dir: %v", err)
+	}
+	if _, err := OpenWAL(WALConfig{Dir: t.TempDir()}); !errors.Is(err, core.ErrInvalidParams) {
+		t.Errorf("missing attrs: %v", err)
+	}
+}
+
+// TestWALRoundTrip appends rows across several segments (plain and
+// compressed) and checks replay returns exactly the appended rows in
+// order. Note AppendRowOnes emits the set attributes ascending, so the
+// comparison goes through a set representation.
+func TestWALRoundTrip(t *testing.T) {
+	for _, compress := range []bool{false, true} {
+		name := "plain"
+		if compress {
+			name = "compressed"
+		}
+		t.Run(name, func(t *testing.T) {
+			w, err := OpenWAL(WALConfig{
+				Dir: t.TempDir(), NumAttrs: 16, BatchRows: 32,
+				SegmentBytes: 1024, Compress: compress,
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			const n = 500
+			fillWAL(t, w, n)
+			if w.Rows() != n {
+				t.Fatalf("Rows() = %d", w.Rows())
+			}
+			if w.ActiveSegment() == 0 {
+				t.Fatal("500 rows with 2KiB segments never rotated")
+			}
+			rows := collectRows(t, w)
+			if len(rows) != n {
+				t.Fatalf("replayed %d rows, want %d", len(rows), n)
+			}
+			for i, got := range rows {
+				want := map[int]bool{}
+				for _, a := range testRow(i) {
+					want[a] = true
+				}
+				if len(got) != len(want) {
+					t.Fatalf("row %d: %v, want set %v", i, got, want)
+				}
+				for _, a := range got {
+					if !want[a] {
+						t.Fatalf("row %d: %v, want set %v", i, got, want)
+					}
+				}
+			}
+			if err := w.Close(); err != nil {
+				t.Fatal(err)
+			}
+		})
+	}
+}
+
+// TestWALReopenContinues closes a log mid-stream and reopens it: the
+// active segment is re-adopted and appends continue where they left
+// off, with replay seeing both generations.
+func TestWALReopenContinues(t *testing.T) {
+	dir := t.TempDir()
+	w, err := OpenWAL(WALConfig{Dir: dir, NumAttrs: 16, BatchRows: 16})
+	if err != nil {
+		t.Fatal(err)
+	}
+	fillWAL(t, w, 100)
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	w2, err := OpenWAL(WALConfig{Dir: dir, NumAttrs: 16, BatchRows: 16})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer w2.Close()
+	for i := 100; i < 150; i++ {
+		if err := w2.Append(testRow(i)...); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := w2.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	rows := collectRows(t, w2)
+	if len(rows) != 150 {
+		t.Fatalf("replayed %d rows after reopen, want 150", len(rows))
+	}
+}
+
+// TestWALRejectsUniverseMismatch reopens a log under a different
+// attribute universe; the segment header must refuse it.
+func TestWALRejectsUniverseMismatch(t *testing.T) {
+	dir := t.TempDir()
+	w, err := OpenWAL(WALConfig{Dir: dir, NumAttrs: 16})
+	if err != nil {
+		t.Fatal(err)
+	}
+	fillWAL(t, w, 10)
+	w.Close()
+	if _, err := OpenWAL(WALConfig{Dir: dir, NumAttrs: 8}); !errors.Is(err, ErrWALCorrupt) {
+		t.Fatalf("universe mismatch: err = %v, want ErrWALCorrupt", err)
+	}
+}
+
+// TestWALSegmentLifecycle checks rotation seals segments: sealed files
+// carry .seg, exactly one .open remains, and sequence numbers are
+// contiguous.
+func TestWALSegmentLifecycle(t *testing.T) {
+	dir := t.TempDir()
+	w, err := OpenWAL(WALConfig{Dir: dir, NumAttrs: 16, BatchRows: 16, SegmentBytes: 1024})
+	if err != nil {
+		t.Fatal(err)
+	}
+	fillWAL(t, w, 400)
+	w.Close()
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sealed, open int
+	for _, e := range ents {
+		switch {
+		case strings.HasSuffix(e.Name(), ".seg"):
+			sealed++
+		case strings.HasSuffix(e.Name(), ".open"):
+			open++
+		default:
+			t.Errorf("unexpected file %s", e.Name())
+		}
+	}
+	if sealed == 0 || open != 1 {
+		t.Fatalf("segments: %d sealed, %d open; want ≥1 sealed and exactly 1 open", sealed, open)
+	}
+	segs, err := listSegments(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, s := range segs {
+		if s.seq != uint64(i) {
+			t.Fatalf("segment %d has sequence %d", i, s.seq)
+		}
+	}
+}
+
+// TestWALReplayFeedsSketches replays a log into a reservoir and a
+// Misra–Gries summary — the "any sketch" half of the replayer
+// contract — and checks against feeding them directly.
+func TestWALReplayFeedsSketches(t *testing.T) {
+	dir := t.TempDir()
+	w, err := OpenWAL(WALConfig{Dir: dir, NumAttrs: 16, BatchRows: 64})
+	if err != nil {
+		t.Fatal(err)
+	}
+	fillWAL(t, w, 300)
+	w.Close()
+
+	resDirect, _ := stream.NewReservoir(16, 50, 77)
+	mgDirect, _ := stream.NewMisraGries(8)
+	for i := 0; i < 300; i++ {
+		attrs := testRow(i)
+		// Deduplicate and sort ascending — the exact emission order of
+		// the replayer (a row bitmap walks its set bits in order).
+		seen := map[int]bool{}
+		var uniq []int
+		for _, a := range attrs {
+			if !seen[a] {
+				seen[a] = true
+				uniq = append(uniq, a)
+			}
+		}
+		sort.Ints(uniq)
+		resDirect.AddAttrs(uniq...)
+		for _, a := range uniq {
+			mgDirect.Add(a)
+		}
+	}
+
+	resReplay, _ := stream.NewReservoir(16, 50, 77)
+	mgReplay, _ := stream.NewMisraGries(8)
+	n, err := ReplayDir(dir, 16, nil, func(attrs []int) error {
+		resReplay.AddAttrs(attrs...)
+		for _, a := range attrs {
+			mgReplay.Add(a)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 300 {
+		t.Fatalf("replayed %d rows", n)
+	}
+	// Same rows, same order, same seeds → identical reservoirs.
+	if resReplay.Seen() != resDirect.Seen() || resReplay.Len() != resDirect.Len() {
+		t.Fatalf("replayed reservoir diverged: seen %d/%d len %d/%d",
+			resReplay.Seen(), resDirect.Seen(), resReplay.Len(), resDirect.Len())
+	}
+	nD, itD, cD := mgDirect.Snapshot()
+	nR, itR, cR := mgReplay.Snapshot()
+	if nD != nR || len(itD) != len(itR) {
+		t.Fatalf("replayed MG diverged: n %d/%d counters %d/%d", nR, nD, len(itR), len(itD))
+	}
+	for i := range itD {
+		if itD[i] != itR[i] || cD[i] != cR[i] {
+			t.Fatalf("MG counter %d diverged", i)
+		}
+	}
+}
+
+// TestWALReplayCallbackError checks a callback failure aborts the
+// replay and surfaces the error unchanged.
+func TestWALReplayCallbackError(t *testing.T) {
+	dir := t.TempDir()
+	w, err := OpenWAL(WALConfig{Dir: dir, NumAttrs: 16, BatchRows: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	fillWAL(t, w, 50)
+	w.Close()
+	boom := errors.New("boom")
+	count := 0
+	_, err = ReplayDir(dir, 16, nil, func([]int) error {
+		count++
+		if count == 10 {
+			return boom
+		}
+		return nil
+	})
+	if !errors.Is(err, boom) {
+		t.Fatalf("err = %v, want boom", err)
+	}
+	if count != 10 {
+		t.Fatalf("callback ran %d times after failing at 10", count)
+	}
+}
+
+// TestWALEmptyDirReplay replays a fresh log: zero rows, no error.
+func TestWALEmptyDirReplay(t *testing.T) {
+	w, err := OpenWAL(WALConfig{Dir: filepath.Join(t.TempDir(), "wal"), NumAttrs: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer w.Close()
+	if rows := collectRows(t, w); len(rows) != 0 {
+		t.Fatalf("fresh log replayed %d rows", len(rows))
+	}
+}

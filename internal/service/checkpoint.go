@@ -37,6 +37,10 @@ import (
 //	...     1     count-sketch presence flag (version ≥ 2)
 //	...     ...   count-sketch envelope (itemsketch.MarshalTo) when the
 //	              flag is 1
+//	...     1     windowed-reservoir presence flag (version ≥ 3)
+//	...     ...   windowed-reservoir envelope when the flag is 1
+//	...     1     decayed-misra-gries presence flag (version ≥ 3)
+//	...     ...   decayed-misra-gries envelope when the flag is 1
 //
 // The envelopes reuse the public streaming codec, so a checkpoint's
 // sketch portions are inspectable and recoverable by the same tooling
@@ -45,16 +49,17 @@ import (
 // Algorithm R's stream position, the capacity (the sample may be
 // smaller near the start of a stream), and a fresh seed — which is all
 // a reservoir needs to continue the stream with its uniformity
-// guarantee intact (see stream.RestoreReservoir). The count sketch
-// needs no header help: its envelope carries geometry, hash seed and
-// counters, everything its exact state is.
+// guarantee intact (see stream.RestoreReservoir). The count sketch and
+// the window sketches need no header help: their envelopes carry
+// geometry, seeds and counters, everything their exact state is.
 //
-// Version 2 (this build) appends the count-sketch flag and envelope;
-// version-1 files (no count-sketch section) still read, starting any
-// configured count sketch empty.
+// Version 3 (this build) appends the two sliding-window sections;
+// version-2 files (count sketch, no window) and version-1 files (no
+// count-sketch section either) still read, starting any configured
+// window sketches empty.
 const (
 	ckptMagic      = "ISKP"
-	ckptVersion    = 2
+	ckptVersion    = 3
 	ckptHeaderSize = 35
 )
 
@@ -86,7 +91,9 @@ type ckptState struct {
 	mgN      int64
 	mgItems  []int
 	mgCounts []int64
-	cs       *countsketch.Sketch // frozen clone; nil when disabled
+	cs       *countsketch.Sketch       // frozen clone; nil when disabled
+	win      *stream.WindowedReservoir // frozen clone; nil when disabled
+	dmg      *stream.DecayedMisraGries // frozen clone; nil when disabled
 }
 
 // Checkpoint persists the shard's current state crash-safely: the
@@ -145,6 +152,12 @@ func (sh *Shard) freezeForCheckpoint() (ckptState, error) {
 	if sh.cs != nil {
 		st.cs = sh.cs.Clone()
 	}
+	if sh.win != nil {
+		st.win = sh.win.Clone()
+	}
+	if sh.dmg != nil {
+		st.dmg = sh.dmg.Clone()
+	}
 	sh.sinceCkpt = 0
 	return st, nil
 }
@@ -185,19 +198,34 @@ func writeCheckpoint(w io.Writer, id int, st ckptState) error {
 			return err
 		}
 	}
-	flag := []byte{0}
-	if st.cs != nil {
-		flag[0] = 1
-	}
-	if _, err := w.Write(flag); err != nil {
-		return err
-	}
-	if st.cs != nil {
-		if _, err := itemsketch.MarshalTo(w, st.cs); err != nil {
+	for _, sec := range []itemsketch.Sketch{sketchOrNil(st.cs), sketchOrNil(st.win), sketchOrNil(st.dmg)} {
+		flag := []byte{0}
+		if sec != nil {
+			flag[0] = 1
+		}
+		if _, err := w.Write(flag); err != nil {
 			return err
+		}
+		if sec != nil {
+			if _, err := itemsketch.MarshalTo(w, sec); err != nil {
+				return err
+			}
 		}
 	}
 	return nil
+}
+
+// sketchOrNil lifts a typed nil sketch pointer into an untyped nil
+// interface, so the flag-section loop's nil test works.
+func sketchOrNil[T interface {
+	itemsketch.Sketch
+	comparable
+}](s T) itemsketch.Sketch {
+	var zero T
+	if s == zero {
+		return nil
+	}
+	return s
 }
 
 // readSection fills buf from r, classifying an early end of stream as
@@ -218,6 +246,8 @@ type recovered struct {
 	res *stream.Reservoir
 	mg  *stream.MisraGries
 	cs  *countsketch.Sketch
+	win *stream.WindowedReservoir
+	dmg *stream.DecayedMisraGries
 }
 
 // readCheckpoint decodes and validates one checkpoint image from r.
@@ -227,8 +257,12 @@ type recovered struct {
 // non-nil, is the resolved count-sketch configuration the recovered
 // sketch must match exactly — geometry, hash seed and params — because
 // a shard restarted onto different hashes could never merge with its
-// peers again.
-func readCheckpoint(r io.Reader, wantID, wantAttrs, wantK int, wantCS *countsketch.Config) (recovered, error) {
+// peers again. wantWin and wantDmg are the shard's freshly built window
+// sketches (nil when the window is disabled); a recovered window
+// section must match their geometry, seed and params for the same
+// reason.
+func readCheckpoint(r io.Reader, wantID, wantAttrs, wantK int, wantCS *countsketch.Config,
+	wantWin *stream.WindowedReservoir, wantDmg *stream.DecayedMisraGries) (recovered, error) {
 	var hdr [ckptHeaderSize]byte
 	if err := readSection(r, hdr[:], "header cut short"); err != nil {
 		return recovered{}, err
@@ -339,6 +373,63 @@ func readCheckpoint(r io.Reader, wantID, wantAttrs, wantK int, wantCS *countsket
 			return recovered{}, ckptCorruptf("count-sketch flag = %d", flag[0])
 		}
 	}
+
+	if version >= 3 {
+		var flag [1]byte
+		if err := readSection(r, flag[:], "window flag missing"); err != nil {
+			return recovered{}, err
+		}
+		switch flag[0] {
+		case 0:
+			// Taken with the window disabled; a config enabling it now
+			// starts the window empty.
+		case 1:
+			sk, err := itemsketch.UnmarshalFrom(r)
+			if err != nil {
+				return recovered{}, err
+			}
+			win, ok := sk.(*stream.WindowedReservoir)
+			if !ok {
+				return recovered{}, ckptCorruptf("window section holds a %s sketch", sk.Name())
+			}
+			if wantWin == nil {
+				return recovered{}, ckptCorruptf("carries a window sketch but the config has none")
+			}
+			if win.NumAttrs() != wantWin.NumAttrs() || win.WindowRows() != wantWin.WindowRows() ||
+				win.Buckets() != wantWin.Buckets() || win.Capacity() != wantWin.Capacity() ||
+				win.Seed() != wantWin.Seed() || win.Params() != wantWin.Params() {
+				return recovered{}, ckptCorruptf("window sketch was built with a different geometry or seed")
+			}
+			out.win = win
+		default:
+			return recovered{}, ckptCorruptf("window flag = %d", flag[0])
+		}
+		if err := readSection(r, flag[:], "decayed-summary flag missing"); err != nil {
+			return recovered{}, err
+		}
+		switch flag[0] {
+		case 0:
+		case 1:
+			sk, err := itemsketch.UnmarshalFrom(r)
+			if err != nil {
+				return recovered{}, err
+			}
+			dmg, ok := sk.(*stream.DecayedMisraGries)
+			if !ok {
+				return recovered{}, ckptCorruptf("decayed-summary section holds a %s sketch", sk.Name())
+			}
+			if wantDmg == nil {
+				return recovered{}, ckptCorruptf("carries a decayed summary but the config has none")
+			}
+			if dmg.NumAttrs() != wantDmg.NumAttrs() || dmg.K() != wantDmg.K() ||
+				dmg.Lambda() != wantDmg.Lambda() || dmg.Params() != wantDmg.Params() {
+				return recovered{}, ckptCorruptf("decayed summary was built with different parameters")
+			}
+			out.dmg = dmg
+		default:
+			return recovered{}, ckptCorruptf("decayed-summary flag = %d", flag[0])
+		}
+	}
 	return out, nil
 }
 
@@ -385,7 +476,7 @@ func (sh *Shard) recover() error {
 		c := sh.cs.Config()
 		wantCS = &c
 	}
-	rec, err := readCheckpoint(r, sh.id, sh.svc.cfg.NumAttrs, sh.svc.cfg.HeavyK, wantCS)
+	rec, err := readCheckpoint(r, sh.id, sh.svc.cfg.NumAttrs, sh.svc.cfg.HeavyK, wantCS, sh.win, sh.dmg)
 	if err != nil {
 		return err
 	}
@@ -396,6 +487,12 @@ func (sh *Shard) recover() error {
 	}
 	if sh.cs != nil && rec.cs != nil {
 		sh.cs = rec.cs
+	}
+	if sh.win != nil && rec.win != nil {
+		sh.win = rec.win
+	}
+	if sh.dmg != nil && rec.dmg != nil {
+		sh.dmg = rec.dmg
 	}
 	sh.publishSnapshotLocked()
 	sh.mu.Unlock()

@@ -204,7 +204,7 @@ func csCheckpointImage(t *testing.T, dir string) ([]byte, countsketch.Config) {
 func TestCountSketchCheckpointTruncationAndMismatch(t *testing.T) {
 	raw, want := csCheckpointImage(t, t.TempDir())
 	for off := 0; off < len(raw); off++ {
-		_, err := readCheckpoint(bytes.NewReader(raw[:off]), 0, 6, 64, &want)
+		_, err := readCheckpoint(bytes.NewReader(raw[:off]), 0, 6, 64, &want, nil, nil)
 		if err == nil {
 			t.Fatalf("offset %d/%d: truncated v2 checkpoint decoded without error", off, len(raw))
 		}
@@ -212,12 +212,12 @@ func TestCountSketchCheckpointTruncationAndMismatch(t *testing.T) {
 			t.Fatalf("offset %d/%d: %v does not wrap ErrTruncatedStream", off, len(raw), err)
 		}
 	}
-	if _, err := readCheckpoint(bytes.NewReader(raw), 0, 6, 64, &want); err != nil {
+	if _, err := readCheckpoint(bytes.NewReader(raw), 0, 6, 64, &want, nil, nil); err != nil {
 		t.Fatalf("full v2 image failed to recover: %v", err)
 	}
 
 	// Same bytes, config without a count sketch: corrupt, not silent.
-	if _, err := readCheckpoint(bytes.NewReader(raw), 0, 6, 64, nil); !errors.Is(err, itemsketch.ErrCorruptSketch) {
+	if _, err := readCheckpoint(bytes.NewReader(raw), 0, 6, 64, nil, nil, nil); !errors.Is(err, itemsketch.ErrCorruptSketch) {
 		t.Fatalf("sketch-bearing image with sketch-less config: %v, want ErrCorruptSketch", err)
 	}
 	// Same bytes, different expected geometry or seed: corrupt.
@@ -227,7 +227,7 @@ func TestCountSketchCheckpointTruncationAndMismatch(t *testing.T) {
 	} {
 		other := want
 		mutate(&other)
-		if _, err := readCheckpoint(bytes.NewReader(raw), 0, 6, 64, &other); !errors.Is(err, itemsketch.ErrCorruptSketch) {
+		if _, err := readCheckpoint(bytes.NewReader(raw), 0, 6, 64, &other, nil, nil); !errors.Is(err, itemsketch.ErrCorruptSketch) {
 			t.Fatalf("mismatched config %+v: %v, want ErrCorruptSketch", other, err)
 		}
 	}
@@ -235,7 +235,7 @@ func TestCountSketchCheckpointTruncationAndMismatch(t *testing.T) {
 	// A version-1 image (no count-sketch section) still reads under a
 	// count-sketch config, starting the sketch empty.
 	v1, _ := checkpointImage(t, t.TempDir())
-	rec, err := readCheckpoint(bytes.NewReader(v1), 0, 6, 64, &want)
+	rec, err := readCheckpoint(bytes.NewReader(v1), 0, 6, 64, &want, nil, nil)
 	if err != nil {
 		t.Fatalf("v2 reader rejected its own sketch-less image: %v", err)
 	}
@@ -347,4 +347,122 @@ func TestCountSketchVsMisraGriesSources(t *testing.T) {
 	if _, err := json.Marshal(csHits); err != nil {
 		t.Fatal(err)
 	}
+}
+
+// TestCountSketchMergeCache pins the read-side memoization: repeated
+// heavy-hitter queries against an unchanged service reuse one merged
+// sketch (and agree exactly), any ingest invalidates the generation,
+// and killing a shard changes the key rather than serving stale shards.
+func TestCountSketchMergeCache(t *testing.T) {
+	const d = 10
+	ctx := context.Background()
+	s := mustNew(t, csTestConfig(d))
+	if _, err := s.Ingest(ctx, skewedRows(2000, d, 5)); err != nil {
+		t.Fatal(err)
+	}
+
+	first, n1, _, err := s.HeavyHitters(ctx, 0.2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	base := s.csMerges.Load()
+	if base == 0 {
+		t.Fatal("first query did not build a merge")
+	}
+	for i := 0; i < 10; i++ {
+		again, n2, p, err := s.HeavyHitters(ctx, 0.2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if p.Degraded() {
+			t.Fatalf("cached query reported partial %v", p)
+		}
+		if n2 != n1 || len(again) != len(first) {
+			t.Fatalf("cached answer (%v, %d) != first (%v, %d)", again, n2, first, n1)
+		}
+		for j := range first {
+			if again[j] != first[j] {
+				t.Fatalf("cached hitter %d: %+v != %+v", j, again[j], first[j])
+			}
+		}
+	}
+	if got := s.csMerges.Load(); got != base {
+		t.Fatalf("10 repeat queries rebuilt the merge %d times", got-base)
+	}
+
+	// Ingest republishes snapshots: the next query must re-merge.
+	if _, err := s.Ingest(ctx, skewedRows(100, d, 6)); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, _, err := s.HeavyHitters(ctx, 0.2); err != nil {
+		t.Fatal(err)
+	}
+	if got := s.csMerges.Load(); got != base+1 {
+		t.Fatalf("post-ingest query built %d merges, want exactly 1 more", got-base)
+	}
+
+	// A dead shard shrinks the candidate set: re-merge, and the cached
+	// generation must answer 3/4 afterwards, not resurrect the corpse.
+	s.KillShard(2)
+	after := s.csMerges.Load()
+	for i := 0; i < 3; i++ {
+		_, _, p, err := s.HeavyHitters(ctx, 0.2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if p.Answered != 3 || len(p.Missing) != 1 || p.Missing[0] != 2 {
+			t.Fatalf("post-kill partial %v, want 3/4 missing shard 2", p)
+		}
+	}
+	if got := s.csMerges.Load(); got != after+1 {
+		t.Fatalf("post-kill queries built %d merges, want exactly 1", got-after)
+	}
+}
+
+// BenchmarkHeavyHittersHot measures the steady-state heavy-hitter
+// query against an unchanged service — the S1 target: the per-query
+// cost is the dyadic descent only, the cross-shard merge is memoized
+// away. Run with -benchtime against BenchmarkHeavyHittersCold to see
+// the re-merge cost that used to sit on this path.
+func BenchmarkHeavyHittersHot(b *testing.B) {
+	s := benchCSService(b)
+	ctx := context.Background()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, _, err := s.HeavyHitters(ctx, 0.2); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+	if merges := s.csMerges.Load(); merges > 1 {
+		b.Fatalf("hot path re-merged %d times for %d queries", merges, b.N)
+	}
+}
+
+// BenchmarkHeavyHittersCold forces a merge rebuild per query by
+// clearing the cached generation — the pre-memoization behavior.
+func BenchmarkHeavyHittersCold(b *testing.B) {
+	s := benchCSService(b)
+	ctx := context.Background()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.csCache.Store(nil)
+		if _, _, _, err := s.HeavyHitters(ctx, 0.2); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func benchCSService(b *testing.B) *Service {
+	const d = 12
+	cfg := csTestConfig(d)
+	s, err := New(cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Cleanup(func() { s.Close() })
+	if _, err := s.Ingest(context.Background(), skewedRows(5000, d, 7)); err != nil {
+		b.Fatal(err)
+	}
+	return s
 }

@@ -32,6 +32,11 @@ import (
 // total failure from a transient one. Config.RequestTimeout threads a
 // deadline into the request context, which EstimateMany observes
 // mid-batch.
+//
+// When Config.Window is set, /v1/estimate and /v1/heavyhitters accept
+// "window":true to answer over the trailing window (EstimateWindow /
+// HeavyHittersWindow) instead of the whole stream; without a window
+// the flag is a 409 (ErrNoWindow).
 func (s *Service) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/v1/ingest", s.handleIngest)
@@ -102,6 +107,8 @@ func writeError(w http.ResponseWriter, p Partial, err error) {
 		status = 499 // client closed request
 	case errors.Is(err, ErrNoShards), errors.Is(err, ErrShardDead), errors.Is(err, ErrClosed):
 		status = http.StatusServiceUnavailable
+	case errors.Is(err, ErrNoWindow):
+		status = http.StatusConflict
 	case errors.Is(err, itemsketch.ErrInvalidParams), errors.Is(err, itemsketch.ErrWrongItemsetSize):
 		status = http.StatusBadRequest
 	case errors.Is(err, ErrRetriesExhausted):
@@ -159,6 +166,9 @@ func (s *Service) handleEstimate(w http.ResponseWriter, r *http.Request) {
 	}
 	var req struct {
 		Itemsets [][]int `json:"itemsets"`
+		// Window answers over the trailing window (Config.Window) instead
+		// of the whole stream.
+		Window bool `json:"window"`
 	}
 	if !s.decodeBody(w, r, &req) {
 		return
@@ -181,12 +191,16 @@ func (s *Service) handleEstimate(w http.ResponseWriter, r *http.Request) {
 	}
 	ctx, cancel := s.requestContext(r)
 	defer cancel()
-	ests, p, err := s.Estimate(ctx, ts)
+	estimate := s.Estimate
+	if req.Window {
+		estimate = s.EstimateWindow
+	}
+	ests, p, err := estimate(ctx, ts)
 	if err != nil {
 		writeError(w, p, err)
 		return
 	}
-	writeJSON(w, http.StatusOK, p, map[string]any{"estimates": ests})
+	writeJSON(w, http.StatusOK, p, map[string]any{"estimates": ests, "window": req.Window})
 }
 
 // minedItemset is the JSON shape of one mining result.
@@ -226,6 +240,9 @@ func (s *Service) handleHeavyHitters(w http.ResponseWriter, r *http.Request) {
 	}
 	var req struct {
 		Phi float64 `json:"phi"`
+		// Window thresholds the decayed recent stream (Config.Window)
+		// instead of the whole-stream summary.
+		Window bool `json:"window"`
 	}
 	if !s.decodeBody(w, r, &req) {
 		return
@@ -237,7 +254,13 @@ func (s *Service) handleHeavyHitters(w http.ResponseWriter, r *http.Request) {
 	}
 	ctx, cancel := s.requestContext(r)
 	defer cancel()
-	items, n, p, err := s.HeavyHitters(ctx, req.Phi)
+	heavy := s.HeavyHitters
+	source := s.HeavyHitterSource()
+	if req.Window {
+		heavy = s.HeavyHittersWindow
+		source = "decayed-misra-gries"
+	}
+	items, n, p, err := heavy(ctx, req.Phi)
 	if err != nil {
 		writeError(w, p, err)
 		return
@@ -246,7 +269,7 @@ func (s *Service) handleHeavyHitters(w http.ResponseWriter, r *http.Request) {
 		items = []HeavyHitter{}
 	}
 	writeJSON(w, http.StatusOK, p, map[string]any{
-		"items": items, "n": n, "source": s.HeavyHitterSource()})
+		"items": items, "n": n, "source": source})
 }
 
 func (s *Service) handleCheckpoint(w http.ResponseWriter, r *http.Request) {

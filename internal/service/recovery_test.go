@@ -97,7 +97,7 @@ func TestRecoveryRoundTrip(t *testing.T) {
 func TestRecoveryKillAtEveryByteOffset(t *testing.T) {
 	raw, seen := checkpointImage(t, t.TempDir())
 	for off := 0; off <= len(raw); off++ {
-		rec, err := readCheckpoint(bytes.NewReader(raw[:off]), 0, 6, 64, nil)
+		rec, err := readCheckpoint(bytes.NewReader(raw[:off]), 0, 6, 64, nil, nil, nil)
 		if off == len(raw) {
 			if err != nil {
 				t.Fatalf("full image failed to recover: %v", err)
@@ -130,7 +130,7 @@ func TestRecoveryFaultCorruptEveryByte(t *testing.T) {
 	raw, _ := checkpointImage(t, t.TempDir())
 	for off := 0; off < len(raw); off++ {
 		r := faultio.NewReader(bytes.NewReader(raw), faultio.WithCorruptByte(int64(off), 0xA5))
-		_, err := readCheckpoint(r, 0, 6, 64, nil)
+		_, err := readCheckpoint(r, 0, 6, 64, nil, nil, nil)
 		if err == nil {
 			t.Fatalf("flip at %d/%d: corrupt checkpoint recovered silently", off, len(raw))
 		}
@@ -147,7 +147,7 @@ func TestRecoveryFaultTransportErrorsPassBare(t *testing.T) {
 	raw, _ := checkpointImage(t, t.TempDir())
 	for _, off := range []int64{0, 10, ckptHeaderSize, int64(len(raw) / 2), int64(len(raw) - 1)} {
 		r := faultio.NewReader(bytes.NewReader(raw), faultio.WithFailAt(off, nil))
-		_, err := readCheckpoint(r, 0, 6, 64, nil)
+		_, err := readCheckpoint(r, 0, 6, 64, nil, nil, nil)
 		if !errors.Is(err, faultio.ErrInjected) {
 			t.Fatalf("fail at %d: %v, want the injected transport error", off, err)
 		}
@@ -258,7 +258,7 @@ func TestRecoveryRejectsForeignShardFile(t *testing.T) {
 	if err := os.WriteFile(filepath.Join(dir, "shard-1.ckpt"), raw, 0o644); err != nil {
 		t.Fatal(err)
 	}
-	_, err := readCheckpoint(bytes.NewReader(raw), 1, 6, 64, nil)
+	_, err := readCheckpoint(bytes.NewReader(raw), 1, 6, 64, nil, nil, nil)
 	if !errors.Is(err, itemsketch.ErrCorruptSketch) {
 		t.Fatalf("cross-shard checkpoint: %v, want ErrCorruptSketch", err)
 	}

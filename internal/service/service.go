@@ -44,6 +44,7 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"math"
 	"sort"
 	"sync"
 	"sync/atomic"
@@ -93,6 +94,9 @@ var (
 	ErrRetriesExhausted = errors.New("service: retries exhausted")
 	// ErrClosed marks an operation submitted after Close began.
 	ErrClosed = errors.New("service: closed")
+	// ErrNoWindow marks a window query against a service whose Config
+	// has no Window (or, for heavy hitters, a disabled DecayK).
+	ErrNoWindow = errors.New("service: sliding window is not configured")
 )
 
 // Config parameterizes a Service. The zero value is completed by
@@ -118,6 +122,14 @@ type Config struct {
 	// never perturbs existing shard sampling). Geometry fields keep
 	// their countsketch defaults when zero.
 	CountSketch *countsketch.Config
+	// Window, when non-nil, gives every shard a sliding-window view of
+	// its stream beside the whole-stream sketches: a WindowedReservoir
+	// answering /v1/estimate over the trailing Window.Rows rows, and
+	// (unless disabled) a DecayedMisraGries answering /v1/heavyhitters
+	// with exponential decay per bucket rotation. Window seeds are drawn
+	// after the count-sketch seed, so enabling the window never perturbs
+	// what existing shards sample.
+	Window *WindowConfig
 	// Params are the sketch parameters recorded into checkpoints and
 	// replication envelopes (default k=2, ε=δ=0.05, ForAll Estimator).
 	Params itemsketch.Params
@@ -167,6 +179,25 @@ type Config struct {
 	StrictRecovery bool
 }
 
+// WindowConfig parameterizes the per-shard sliding-window sketches.
+type WindowConfig struct {
+	// Rows is the trailing window length in rows per shard (required;
+	// rounded up to a multiple of Buckets).
+	Rows int
+	// Buckets subdivides the window into rotation epochs (default 8).
+	// More buckets track the window edge more precisely at
+	// proportionally more space.
+	Buckets int
+	// SampleCapacity is the per-bucket reservoir capacity (default 256).
+	SampleCapacity int
+	// DecayK is the decayed Misra–Gries counter budget for the windowed
+	// heavy-hitter path; 0 keeps the default 64, negative disables it.
+	DecayK int
+	// DecayLambda scales the decayed counters at every bucket rotation
+	// (default 0.8). Must be in (0, 1].
+	DecayLambda float64
+}
+
 // withDefaults returns cfg with zero fields filled in.
 func (cfg Config) withDefaults() Config {
 	if cfg.Shards <= 0 {
@@ -200,20 +231,69 @@ func (cfg Config) withDefaults() Config {
 	if cfg.MinReady <= 0 {
 		cfg.MinReady = 1
 	}
+	if cfg.Window != nil {
+		w := *cfg.Window // never mutate the caller's struct
+		if w.Buckets <= 0 {
+			w.Buckets = 8
+		}
+		if w.SampleCapacity <= 0 {
+			w.SampleCapacity = 256
+		}
+		if w.DecayK == 0 {
+			w.DecayK = 64
+		}
+		if w.DecayLambda == 0 {
+			w.DecayLambda = 0.8
+		}
+		if rem := w.Rows % w.Buckets; w.Rows > 0 && rem != 0 {
+			w.Rows += w.Buckets - rem
+		}
+		cfg.Window = &w
+	}
 	return cfg
 }
 
 // Service is a fault-tolerant sharded sketch service. Create with New,
 // serve with Handler, stop with Close.
 type Service struct {
-	cfg    Config
-	csCfg  *countsketch.Config // resolved count-sketch config (nil = disabled)
-	shards []*Shard
+	cfg     Config
+	csCfg   *countsketch.Config // resolved count-sketch config (nil = disabled)
+	shards  []*Shard
 	next    atomic.Uint64 // round-robin ingest cursor
 	mseed   atomic.Uint64 // merge-seed counter
 	closed  atomic.Bool
 	closeMu sync.RWMutex // write side held while Close closes worker channels
 	wg      sync.WaitGroup
+
+	csCache  atomic.Pointer[csMergeGen] // memoized read-side count-sketch merge
+	csMerges atomic.Int64               // cache misses: actual cell-wise merge builds
+}
+
+// csMergeGen is one memoized generation of the read-side count-sketch
+// merge. It stays valid exactly as long as every answering shard still
+// publishes the snapshot it was built from — any ingest, kill or
+// recovery swaps a snapshot pointer and misses the cache. The merged
+// sketch is immutable once stored: queries only read it, so one
+// generation can serve concurrent heavy-hitter calls.
+type csMergeGen struct {
+	snaps    []*snapshot // key: the candidate snapshots, in shard order
+	ids      []int       // shard ids of the candidates
+	answered []int       // shards whose sketch actually merged
+	merged   *countsketch.Sketch
+}
+
+// matches reports whether the generation was built from exactly these
+// candidate snapshots.
+func (g *csMergeGen) matches(ids []int, snaps []*snapshot) bool {
+	if len(g.snaps) != len(snaps) {
+		return false
+	}
+	for i := range snaps {
+		if g.ids[i] != ids[i] || g.snaps[i] != snaps[i] {
+			return false
+		}
+	}
+	return true
 }
 
 // New builds the shard set, recovers any checkpoints found in
@@ -229,6 +309,9 @@ func New(cfg Config) (*Service, error) {
 	if cfg.Params.K > cfg.NumAttrs {
 		return nil, fmt.Errorf("%w: params k = %d exceeds NumAttrs = %d", itemsketch.ErrInvalidParams, cfg.Params.K, cfg.NumAttrs)
 	}
+	if cfg.Window != nil && cfg.Window.Rows < 1 {
+		return nil, fmt.Errorf("%w: window needs Rows ≥ 1, got %d", itemsketch.ErrInvalidParams, cfg.Window.Rows)
+	}
 	s := &Service{cfg: cfg}
 	root := rng.New(cfg.Seed)
 	// Shard seeds are drawn before the count-sketch seed so that
@@ -243,8 +326,17 @@ func New(cfg Config) (*Service, error) {
 		csCfg.Seed = root.Uint64()
 		s.csCfg = &csCfg
 	}
+	// Window seeds are drawn after the count-sketch seed: enabling the
+	// window must not perturb any earlier bit stream (same discipline as
+	// the count sketch relative to the shard seeds).
+	winSeeds := make([]uint64, cfg.Shards)
+	if cfg.Window != nil {
+		for i := range winSeeds {
+			winSeeds[i] = root.Uint64()
+		}
+	}
 	for i := 0; i < cfg.Shards; i++ {
-		sh, err := newShard(s, i, seeds[i][0], seeds[i][1])
+		sh, err := newShard(s, i, seeds[i][0], seeds[i][1], winSeeds[i])
 		if err != nil {
 			return nil, err
 		}
@@ -346,6 +438,15 @@ func (s *Service) partialFor(answered map[int]bool) Partial {
 	}
 	sort.Ints(p.Missing)
 	return p
+}
+
+// partialForIDs is partialFor over an answered id slice.
+func (s *Service) partialForIDs(ids []int) Partial {
+	answered := make(map[int]bool, len(ids))
+	for _, id := range ids {
+		answered[id] = true
+	}
+	return s.partialFor(answered)
 }
 
 // Ingest validates and routes rows (attribute-index lists) across the
@@ -608,36 +709,54 @@ func (s *Service) HeavyHitters(ctx context.Context, phi float64) ([]HeavyHitter,
 
 // heavyHittersCS is the count-sketch read path: clone the first live
 // snapshot's sketch, fold the rest in cell-wise, and run the recursive
-// heavy-hitter descent over the merged hierarchy. The per-query phi
-// validation lives here (rather than a panic) because phi arrives from
-// the network surface.
+// heavy-hitter descent over the merged hierarchy. The fold is memoized
+// per snapshot generation — repeated queries against an unchanged
+// service reuse the previous merge instead of re-folding every shard.
+// The per-query phi validation lives here (rather than a panic)
+// because phi arrives from the network surface.
 func (s *Service) heavyHittersCS(ctx context.Context, phi float64) ([]HeavyHitter, int64, Partial, error) {
 	if !(phi > 0 && phi <= 1) {
 		return nil, 0, s.partialFor(nil), fmt.Errorf("%w: phi = %g out of range (0, 1]", itemsketch.ErrInvalidParams, phi)
 	}
 	live := s.live()
-	answered := make(map[int]bool, len(live))
-	var merged *countsketch.Sketch
+	cands := make([]*snapshot, 0, len(live))
+	ids := make([]int, 0, len(live))
+	shs := make([]*Shard, 0, len(live))
 	for _, sh := range live {
-		if err := ctx.Err(); err != nil {
-			return nil, 0, s.partialFor(answered), err
-		}
 		snap := sh.snapshot()
 		if snap.cs == nil {
 			continue
 		}
-		if merged == nil {
-			merged = snap.cs.Clone()
-			answered[sh.id] = true
-			continue
-		}
-		if err := merged.Merge(snap.cs); err != nil {
-			sh.recordFailure(err)
-			continue
-		}
-		answered[sh.id] = true
+		cands = append(cands, snap)
+		ids = append(ids, sh.id)
+		shs = append(shs, sh)
 	}
-	p := s.partialFor(answered)
+	var (
+		merged     *countsketch.Sketch
+		answeredID []int
+	)
+	if g := s.csCache.Load(); g != nil && g.matches(ids, cands) {
+		merged, answeredID = g.merged, g.answered
+	} else if len(cands) > 0 {
+		s.csMerges.Add(1)
+		for i, snap := range cands {
+			if err := ctx.Err(); err != nil {
+				return nil, 0, s.partialForIDs(answeredID), err
+			}
+			if merged == nil {
+				merged = snap.cs.Clone()
+				answeredID = append(answeredID, ids[i])
+				continue
+			}
+			if err := merged.Merge(snap.cs); err != nil {
+				shs[i].recordFailure(err)
+				continue
+			}
+			answeredID = append(answeredID, ids[i])
+		}
+		s.csCache.Store(&csMergeGen{snaps: cands, ids: ids, answered: answeredID, merged: merged})
+	}
+	p := s.partialForIDs(answeredID)
 	if merged == nil {
 		if err := ctx.Err(); err != nil {
 			return nil, 0, p, err
@@ -649,6 +768,107 @@ func (s *Service) heavyHittersCS(ctx context.Context, phi float64) ([]HeavyHitte
 		out = append(out, HeavyHitter{Item: hit.Item, Count: hit.Count})
 	}
 	return out, merged.Total(), p, nil
+}
+
+// WindowEnabled reports whether the sliding-window query surface is
+// configured.
+func (s *Service) WindowEnabled() bool { return s.cfg.Window != nil }
+
+// EstimateWindow answers itemset frequency queries over the trailing
+// window only: each live shard's windowed reservoir estimates over its
+// own last Window.Rows rows, and the per-shard estimates combine
+// weighted by rows currently inside each shard's window — the
+// expectation of querying the union of the shard windows. The partial
+// semantics match Estimate.
+func (s *Service) EstimateWindow(ctx context.Context, ts []itemsketch.Itemset) ([]float64, Partial, error) {
+	if s.cfg.Window == nil {
+		return nil, s.partialFor(nil), ErrNoWindow
+	}
+	live := s.live()
+	answered := make(map[int]bool, len(live))
+	ests := make([]float64, len(ts))
+	var weight float64
+	for _, sh := range live {
+		if err := ctx.Err(); err != nil {
+			return nil, s.partialFor(answered), err
+		}
+		snap := sh.snapshot()
+		if snap.win == nil {
+			continue
+		}
+		answered[sh.id] = true
+		w := float64(snap.win.WindowSeen())
+		if w == 0 {
+			continue // answers, with nothing in its window yet
+		}
+		weight += w
+		for j, t := range ts {
+			ests[j] += w * snap.win.Estimate(t)
+		}
+	}
+	p := s.partialFor(answered)
+	if p.Answered == 0 {
+		if err := ctx.Err(); err != nil {
+			return nil, p, err
+		}
+		return nil, p, ErrNoShards
+	}
+	if weight > 0 {
+		for j := range ests {
+			ests[j] /= weight
+		}
+	}
+	return ests, p, nil
+}
+
+// HeavyHittersWindow returns the items heavy within the decayed recent
+// stream: the shards' decayed Misra–Gries summaries merge on read
+// (MergeDecayed aligns epochs by ticking the younger side forward), and
+// the merged summary is thresholded at phi. Counts are decayed
+// occurrence mass, rounded; n is the merged decayed total.
+func (s *Service) HeavyHittersWindow(ctx context.Context, phi float64) ([]HeavyHitter, int64, Partial, error) {
+	if s.cfg.Window == nil || s.cfg.Window.DecayK < 2 {
+		return nil, 0, s.partialFor(nil), ErrNoWindow
+	}
+	if !(phi > 0 && phi <= 1) {
+		return nil, 0, s.partialFor(nil), fmt.Errorf("%w: phi = %g out of range (0, 1]", itemsketch.ErrInvalidParams, phi)
+	}
+	live := s.live()
+	answered := make(map[int]bool, len(live))
+	var merged *stream.DecayedMisraGries
+	for _, sh := range live {
+		if err := ctx.Err(); err != nil {
+			return nil, 0, s.partialFor(answered), err
+		}
+		snap := sh.snapshot()
+		if snap.dmg == nil {
+			continue
+		}
+		if merged == nil {
+			merged = snap.dmg
+			answered[sh.id] = true
+			continue
+		}
+		m, err := stream.MergeDecayed(merged, snap.dmg)
+		if err != nil {
+			sh.recordFailure(err)
+			continue
+		}
+		merged = m
+		answered[sh.id] = true
+	}
+	p := s.partialFor(answered)
+	if merged == nil {
+		if err := ctx.Err(); err != nil {
+			return nil, 0, p, err
+		}
+		return nil, 0, p, ErrNoShards
+	}
+	var out []HeavyHitter
+	for _, it := range merged.HeavyHitters(phi) {
+		out = append(out, HeavyHitter{Item: it, Count: int64(math.Round(merged.Count(it)))})
+	}
+	return out, int64(math.Round(merged.N())), p, nil
 }
 
 // nextMergeSeed derives a fresh deterministic seed for a read-side

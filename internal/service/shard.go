@@ -7,6 +7,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	itemsketch "repro"
 	"repro/internal/countsketch"
 	"repro/internal/dataset"
 	"repro/internal/query"
@@ -26,10 +27,12 @@ type Shard struct {
 	svc *Service
 	ch  chan ingestReq
 
-	mu        sync.Mutex // guards res, mg, cs, sinceCkpt, jrng during ingest/checkpoint
+	mu        sync.Mutex // guards res, mg, cs, win, dmg, sinceCkpt, jrng during ingest/checkpoint
 	res       *stream.Reservoir
 	mg        *stream.MisraGries
-	cs        *countsketch.Sketch // nil unless Config.CountSketch is set
+	cs        *countsketch.Sketch       // nil unless Config.CountSketch is set
+	win       *stream.WindowedReservoir // nil unless Config.Window is set
+	dmg       *stream.DecayedMisraGries // nil unless Config.Window enables DecayK
 	sinceCkpt int
 	jrng      *rng.RNG // backoff jitter + recovery seeds
 
@@ -58,9 +61,11 @@ type snapshot struct {
 	seen int64
 	mg   *stream.MisraGries
 	cs   *countsketch.Sketch
+	win  *stream.WindowedReservoir
+	dmg  *stream.DecayedMisraGries
 }
 
-func newShard(svc *Service, id int, reservoirSeed, jitterSeed uint64) (*Shard, error) {
+func newShard(svc *Service, id int, reservoirSeed, jitterSeed, windowSeed uint64) (*Shard, error) {
 	res, err := stream.NewReservoir(svc.cfg.NumAttrs, svc.cfg.SampleCapacity, reservoirSeed)
 	if err != nil {
 		return nil, err
@@ -80,6 +85,19 @@ func newShard(svc *Service, id int, reservoirSeed, jitterSeed uint64) (*Shard, e
 	if svc.csCfg != nil {
 		if sh.cs, err = countsketch.New(*svc.csCfg); err != nil {
 			return nil, err
+		}
+	}
+	if wc := svc.cfg.Window; wc != nil {
+		sh.win, err = stream.NewWindowedReservoir(svc.cfg.NumAttrs, wc.Rows, wc.Buckets,
+			wc.SampleCapacity, windowSeed, svc.cfg.Params)
+		if err != nil {
+			return nil, err
+		}
+		if wc.DecayK >= 2 {
+			sh.dmg, err = stream.NewDecayedMisraGries(svc.cfg.NumAttrs, wc.DecayK, wc.DecayLambda, itemsketch.Params{})
+			if err != nil {
+				return nil, err
+			}
 		}
 	}
 	sh.publishSnapshot()
@@ -172,6 +190,19 @@ func (sh *Shard) ingest(ctx context.Context, rows [][]int) error {
 				sh.cs.Add(a)
 			}
 		}
+		if sh.win != nil {
+			// A rotation means the window advanced one bucket: the decayed
+			// summary ticks on the same boundary, then sees the row that
+			// opened the new epoch.
+			if rotated := sh.win.AddAttrs(row...); rotated && sh.dmg != nil {
+				sh.dmg.Tick()
+			}
+			if sh.dmg != nil {
+				for _, a := range row {
+					sh.dmg.Add(a)
+				}
+			}
+		}
 	}
 	sh.sinceCkpt += len(rows)
 	due := sh.svc.cfg.CheckpointEvery > 0 && sh.sinceCkpt >= sh.svc.cfg.CheckpointEvery &&
@@ -209,6 +240,14 @@ func (sh *Shard) publishSnapshotLocked() {
 	if sh.cs != nil {
 		cs = sh.cs.Clone()
 	}
+	var win *stream.WindowedReservoir
+	if sh.win != nil {
+		win = sh.win.Clone()
+	}
+	var dmg *stream.DecayedMisraGries
+	if sh.dmg != nil {
+		dmg = sh.dmg.Clone()
+	}
 	sh.snap.Store(&snapshot{
 		res:  frozen,
 		db:   db,
@@ -216,6 +255,8 @@ func (sh *Shard) publishSnapshotLocked() {
 		seen: frozen.Seen(),
 		mg:   mg,
 		cs:   cs,
+		win:  win,
+		dmg:  dmg,
 	})
 }
 

@@ -1,0 +1,94 @@
+package service
+
+import (
+	"context"
+	"testing"
+
+	itemsketch "repro"
+	"repro/internal/ingest"
+)
+
+// TestWALReplayReproducesServiceEstimates is the PR's acceptance pin:
+// rows logged to a write-ahead log and replayed into a fresh,
+// identically-configured service reproduce the uncrashed run's
+// estimates bit for bit — whole-stream and windowed, heavy hitters
+// included. This holds because (1) the WAL replays rows in append
+// order with canonical ascending attribute sets, (2) Ingest routes
+// rows round-robin from a deterministic cursor, and (3) every sketch
+// in the pipeline draws its coins from Config.Seed alone.
+func TestWALReplayReproducesServiceEstimates(t *testing.T) {
+	const d = 8
+	ctx := context.Background()
+	cfg := windowConfig(d)
+	ts := []itemsketch.Itemset{
+		itemsketch.MustItemset(0), itemsketch.MustItemset(d - 1),
+		itemsketch.MustItemset(0, d-1),
+	}
+	// genRows emits ascending duplicate-free attribute lists — the
+	// canonical form WAL replay hands back, so the two runs see
+	// byte-identical rows.
+	rows := genRows(3000, d, 23)
+
+	// Uncrashed run: every row goes to the service and the WAL.
+	wdir := t.TempDir()
+	w, err := ingest.OpenWAL(ingest.WALConfig{Dir: wdir, NumAttrs: d})
+	if err != nil {
+		t.Fatal(err)
+	}
+	live := mustNew(t, cfg)
+	for _, row := range rows {
+		if _, err := live.Ingest(ctx, [][]int{row}); err != nil {
+			t.Fatal(err)
+		}
+		if err := w.Append(row...); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	wantWhole := estimateBits(t, live.Estimate, ts)
+	wantWin := estimateBits(t, live.EstimateWindow, ts)
+	wantHeavy, wantN, _, err := live.HeavyHitters(ctx, 0.1)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Crash-recovery run: a fresh service fed solely from the log.
+	fresh := mustNew(t, cfg)
+	replayed, err := ingest.ReplayDir(wdir, d, nil, func(attrs []int) error {
+		// ReplayDir reuses its row buffer; Ingest is handed a copy.
+		row := append([]int(nil), attrs...)
+		_, ierr := fresh.Ingest(ctx, [][]int{row})
+		return ierr
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if replayed != int64(len(rows)) {
+		t.Fatalf("replayed %d rows, logged %d", replayed, len(rows))
+	}
+
+	gotWhole := estimateBits(t, fresh.Estimate, ts)
+	gotWin := estimateBits(t, fresh.EstimateWindow, ts)
+	for i := range ts {
+		if gotWhole[i] != wantWhole[i] {
+			t.Errorf("estimate %d: replayed %x != live %x", i, gotWhole[i], wantWhole[i])
+		}
+		if gotWin[i] != wantWin[i] {
+			t.Errorf("window estimate %d: replayed %x != live %x", i, gotWin[i], wantWin[i])
+		}
+	}
+	gotHeavy, gotN, _, err := fresh.HeavyHitters(ctx, 0.1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gotN != wantN || len(gotHeavy) != len(wantHeavy) {
+		t.Fatalf("heavy hitters (%v, %d) != (%v, %d) after replay", gotHeavy, gotN, wantHeavy, wantN)
+	}
+	for i := range wantHeavy {
+		if gotHeavy[i] != wantHeavy[i] {
+			t.Errorf("heavy hitter %d: replayed %+v != live %+v", i, gotHeavy[i], wantHeavy[i])
+		}
+	}
+}

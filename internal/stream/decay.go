@@ -1,0 +1,530 @@
+package stream
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"repro/internal/bitvec"
+	"repro/internal/core"
+	"repro/internal/dataset"
+)
+
+// DecayedKindTag is the decayed-misra-gries wire kind byte / payload
+// type tag, registered with the core sketch-kind registry at init.
+const DecayedKindTag uint8 = 8
+
+// DecayedKindName is the decayed-misra-gries registered wire name.
+const DecayedKindName = "decayed-misra-gries"
+
+func init() {
+	core.RegisterKind(core.KindSpec{
+		Kind:    DecayedKindTag,
+		Name:    DecayedKindName,
+		Decode:  unmarshalDecayed,
+		Matches: func(s core.Sketch) bool { return s.Name() == DecayedKindName },
+		Merge:   mergeDecayedKind,
+	})
+}
+
+// decayFloor is the deletion threshold for decayed counters: a counter
+// that exponential decay has pushed below this is indistinguishable
+// from absent and is dropped, which bounds the summary's lifetime
+// memory at k−1 counters with no tombstone growth.
+const decayFloor = 1e-12
+
+// DecayedMisraGries is the time-decayed variant of the Misra–Gries
+// heavy-hitters summary: counters are float64 weights, and every epoch
+// tick multiplies all counters and the occurrence total by a decay
+// factor λ ∈ (0, 1]. The summary therefore tracks heavy hitters of the
+// exponentially-weighted recent stream — the counter view of the "last
+// N events" window the WindowedReservoir samples, with ticks driven by
+// the same sub-window rotations.
+//
+// The Misra–Gries guarantee survives decay: at every moment each
+// item's decayed weight is underestimated by at most N/k, where N is
+// the decayed occurrence total — decay scales both sides of the
+// invariant equally.
+//
+// As a core.Sketch the summary answers singleton itemsets (k = 1),
+// exactly like the count-sketch family: Estimate/Frequent panic on
+// |T| ≠ 1, with EstimateErr/FrequentErr as the non-panicking variants.
+type DecayedMisraGries struct {
+	params   core.Params
+	d        int // attribute universe size
+	k        int // counter bound: at most k−1 live counters
+	lambda   float64
+	epoch    int64
+	n        float64 // decayed occurrence total
+	counters map[int]float64
+}
+
+// NewDecayedMisraGries creates a decayed summary over the attribute
+// universe [0, d) with parameter k ≥ 2 (at most k−1 counters; additive
+// error N/k of the decayed total) and per-tick decay factor
+// lambda ∈ (0, 1] (1 = no decay, i.e. plain weighted Misra–Gries). A
+// zero-valued p derives the default contract {k: 1, ε: 1/k, δ: 1/2,
+// ForEach, Estimator}; ε = 1/k is the summary's deterministic additive
+// error, and δ is vacuous (recorded because the wire header requires
+// δ ∈ (0, 1), but the guarantee holds with certainty).
+func NewDecayedMisraGries(d, k int, lambda float64, p core.Params) (*DecayedMisraGries, error) {
+	if d < 1 {
+		return nil, fmt.Errorf("%w: decayed misra-gries needs d ≥ 1, got %d", core.ErrInvalidParams, d)
+	}
+	if k < 2 {
+		return nil, fmt.Errorf("%w: decayed misra-gries needs k ≥ 2, got %d", core.ErrInvalidParams, k)
+	}
+	if !(lambda > 0 && lambda <= 1) {
+		return nil, fmt.Errorf("%w: decay factor %g outside (0, 1]", core.ErrInvalidParams, lambda)
+	}
+	if p == (core.Params{}) {
+		p = core.Params{K: 1, Eps: 1 / float64(k), Delta: 0.5, Mode: core.ForEach, Task: core.Estimator}
+	}
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	if p.K != 1 {
+		return nil, fmt.Errorf("%w: decayed misra-gries answers singletons only, params k = %d", core.ErrInvalidParams, p.K)
+	}
+	return &DecayedMisraGries{
+		params:   p,
+		d:        d,
+		k:        k,
+		lambda:   lambda,
+		counters: make(map[int]float64),
+	}, nil
+}
+
+// Add processes one occurrence of item (weight 1).
+func (dm *DecayedMisraGries) Add(item int) { dm.AddWeighted(item, 1) }
+
+// AddWeighted processes an occurrence of item with positive weight w —
+// the weighted Misra–Gries update (Berinde et al. style): an absent
+// item entering a full summary pays min(w, min-counter) as a global
+// decrement before claiming the freed slot with its remainder.
+func (dm *DecayedMisraGries) AddWeighted(item int, w float64) {
+	if item < 0 || item >= dm.d {
+		panic(fmt.Sprintf("stream: item %d outside universe [0,%d)", item, dm.d))
+	}
+	if !(w > 0) || math.IsInf(w, 0) {
+		panic(fmt.Sprintf("stream: decayed misra-gries weight %g must be positive and finite", w))
+	}
+	dm.n += w
+	if _, ok := dm.counters[item]; ok {
+		dm.counters[item] += w
+		return
+	}
+	if len(dm.counters) < dm.k-1 {
+		dm.counters[item] = w
+		return
+	}
+	min := math.Inf(1)
+	for _, c := range dm.counters {
+		if c < min {
+			min = c
+		}
+	}
+	dec := w
+	if min < dec {
+		dec = min
+	}
+	for it := range dm.counters {
+		dm.counters[it] -= dec
+		if dm.counters[it] <= decayFloor {
+			delete(dm.counters, it)
+		}
+	}
+	if w > dec && len(dm.counters) < dm.k-1 {
+		dm.counters[item] = w - dec
+	}
+}
+
+// AddAttrs processes every attribute of a row as one item occurrence.
+func (dm *DecayedMisraGries) AddAttrs(attrs ...int) {
+	for _, a := range attrs {
+		dm.Add(a)
+	}
+}
+
+// Tick applies one epoch of exponential decay: every counter and the
+// occurrence total are scaled by λ, and counters that decayed below
+// resolution are dropped.
+func (dm *DecayedMisraGries) Tick() {
+	dm.epoch++
+	if dm.lambda == 1 {
+		return
+	}
+	dm.n *= dm.lambda
+	for it := range dm.counters {
+		dm.counters[it] *= dm.lambda
+		if dm.counters[it] <= decayFloor {
+			delete(dm.counters, it)
+		}
+	}
+	if dm.n <= decayFloor {
+		dm.n = 0
+	}
+}
+
+// TickN applies n epochs of decay.
+func (dm *DecayedMisraGries) TickN(n int64) {
+	for i := int64(0); i < n; i++ {
+		dm.Tick()
+	}
+}
+
+// K returns the counter-bound parameter k.
+func (dm *DecayedMisraGries) K() int { return dm.k }
+
+// Lambda returns the per-tick decay factor.
+func (dm *DecayedMisraGries) Lambda() float64 { return dm.lambda }
+
+// Epoch returns the number of decay ticks applied so far.
+func (dm *DecayedMisraGries) Epoch() int64 { return dm.epoch }
+
+// N returns the decayed occurrence total.
+func (dm *DecayedMisraGries) N() float64 { return dm.n }
+
+// Count returns the (under)estimate of item's decayed weight; the
+// truth lies in [Count, Count + N/k].
+func (dm *DecayedMisraGries) Count(item int) float64 { return dm.counters[item] }
+
+// SizeCounters returns the number of live counters (≤ k−1).
+func (dm *DecayedMisraGries) SizeCounters() int { return len(dm.counters) }
+
+// HeavyHitters returns all items whose true decayed relative frequency
+// might be at least phi, in decreasing count order (ties by ascending
+// item). No false negatives; false positives are limited to items
+// above phi − 1/k.
+func (dm *DecayedMisraGries) HeavyHitters(phi float64) []int {
+	thresh := phi*dm.n - dm.n/float64(dm.k)
+	var out []int
+	for it, c := range dm.counters {
+		if c >= thresh {
+			out = append(out, it)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		ci, cj := dm.counters[out[i]], dm.counters[out[j]]
+		if ci != cj {
+			return ci > cj
+		}
+		return out[i] < out[j]
+	})
+	return out
+}
+
+// Clone returns an independent copy of the summary.
+func (dm *DecayedMisraGries) Clone() *DecayedMisraGries {
+	c := *dm
+	c.counters = make(map[int]float64, len(dm.counters))
+	for it, v := range dm.counters {
+		c.counters[it] = v
+	}
+	return &c
+}
+
+// Snapshot returns the summary state in deterministic (ascending item)
+// order: the decayed total and the parallel item/weight slices.
+func (dm *DecayedMisraGries) Snapshot() (n float64, items []int, weights []float64) {
+	items = make([]int, 0, len(dm.counters))
+	for it := range dm.counters {
+		items = append(items, it)
+	}
+	sort.Ints(items)
+	weights = make([]float64, len(items))
+	for i, it := range items {
+		weights[i] = dm.counters[it]
+	}
+	return dm.n, items, weights
+}
+
+// Name identifies the summary with its registered wire name.
+func (dm *DecayedMisraGries) Name() string { return DecayedKindName }
+
+// Params returns the recorded (k, ε, δ) contract.
+func (dm *DecayedMisraGries) Params() core.Params { return dm.params }
+
+// NumAttrs returns the attribute universe size d.
+func (dm *DecayedMisraGries) NumAttrs() int { return dm.d }
+
+// Estimate returns the estimated decayed relative frequency of the
+// singleton itemset t. It panics if |T| ≠ 1; use EstimateErr for a
+// non-panicking variant.
+func (dm *DecayedMisraGries) Estimate(t dataset.Itemset) float64 {
+	f, err := dm.EstimateErr(t)
+	if err != nil {
+		panic(err)
+	}
+	return f
+}
+
+// EstimateErr is Estimate with an error return for |T| ≠ 1 or an
+// attribute outside the universe.
+func (dm *DecayedMisraGries) EstimateErr(t dataset.Itemset) (float64, error) {
+	a, err := dm.singleton(t)
+	if err != nil {
+		return 0, err
+	}
+	if dm.n == 0 {
+		return 0, nil
+	}
+	return dm.counters[a] / dm.n, nil
+}
+
+// Frequent returns the indicator bit for t. It panics if |T| ≠ 1; use
+// FrequentErr for a non-panicking variant.
+func (dm *DecayedMisraGries) Frequent(t dataset.Itemset) bool {
+	b, err := dm.FrequentErr(t)
+	if err != nil {
+		panic(err)
+	}
+	return b
+}
+
+// FrequentErr is Frequent with an error return for |T| ≠ 1. The 3ε/4
+// threshold mirrors the estimate-backed indicators of the core package.
+func (dm *DecayedMisraGries) FrequentErr(t dataset.Itemset) (bool, error) {
+	f, err := dm.EstimateErr(t)
+	if err != nil {
+		return false, err
+	}
+	return f >= 0.75*dm.params.Eps, nil
+}
+
+// EstimateBatch fills out[i] with the decayed frequency estimate for
+// ts[i] — the batched fast path the Querier adapter dispatches to.
+func (dm *DecayedMisraGries) EstimateBatch(ts []dataset.Itemset, out []float64) error {
+	for i, t := range ts {
+		a, err := dm.singleton(t)
+		if err != nil {
+			return err
+		}
+		if dm.n == 0 {
+			out[i] = 0
+		} else {
+			out[i] = dm.counters[a] / dm.n
+		}
+	}
+	return nil
+}
+
+// singleton extracts the one attribute of t, with the typed errors the
+// query layer matches on.
+func (dm *DecayedMisraGries) singleton(t dataset.Itemset) (int, error) {
+	if t.Len() != 1 {
+		return 0, fmt.Errorf("%w: |T| = %d, sketch k = 1", core.ErrWrongItemsetSize, t.Len())
+	}
+	a := t.Attrs()[0]
+	if a < 0 || a >= dm.d {
+		return 0, fmt.Errorf("%w: attribute %d outside universe [0, %d)", core.ErrInvalidParams, a, dm.d)
+	}
+	return a, nil
+}
+
+// Wire payload of the decayed-misra-gries kind (tag 8), after the
+// leading KindTagBits type tag:
+//
+//	params   core.MarshalParams header
+//	d        32 bits
+//	k        32 bits
+//	lambda   64 bits (IEEE-754)
+//	epoch    64 bits
+//	n        64 bits (IEEE-754 decayed total)
+//	count    32 bits (live counters)
+//	count ×: item 32 bits, weight 64 bits (IEEE-754)
+//
+// Counters are written in ascending item order, so decode → re-encode
+// is byte-identical.
+const (
+	decayedFieldBits = 32
+	decayedFixedBits = decayedFieldBits + // d
+		decayedFieldBits + // k
+		64 + 64 + 64 + // lambda, epoch, n
+		decayedFieldBits // count
+	decayedCounterBits = decayedFieldBits + 64
+)
+
+// SizeBits returns the exact serialized size in bits, by the analytic
+// formula (every field is fixed-width).
+func (dm *DecayedMisraGries) SizeBits() int64 {
+	return int64(core.KindTagBits) + int64(core.ParamsBits) + decayedFixedBits +
+		int64(len(dm.counters))*decayedCounterBits
+}
+
+// MarshalBits appends the self-describing encoding: the registry type
+// tag, then the payload documented above.
+func (dm *DecayedMisraGries) MarshalBits(w bitvec.BitWriter) {
+	w.WriteUint(uint64(DecayedKindTag), core.KindTagBits)
+	core.MarshalParams(w, dm.params)
+	w.WriteUint(uint64(dm.d), decayedFieldBits)
+	w.WriteUint(uint64(dm.k), decayedFieldBits)
+	w.WriteUint(math.Float64bits(dm.lambda), 64)
+	w.WriteUint(uint64(dm.epoch), 64)
+	w.WriteUint(math.Float64bits(dm.n), 64)
+	_, items, weights := dm.Snapshot()
+	w.WriteUint(uint64(len(items)), decayedFieldBits)
+	for i, it := range items {
+		w.WriteUint(uint64(it), decayedFieldBits)
+		w.WriteUint(math.Float64bits(weights[i]), 64)
+	}
+}
+
+// unmarshalDecayed is the registered decoder: it reads the payload
+// body after the type tag and re-validates every invariant (counter
+// bound, ascending items in-universe, positive finite weights, total
+// covering the counter mass) so a corrupt stream cannot smuggle in an
+// impossible summary.
+func unmarshalDecayed(r bitvec.BitReader) (core.Sketch, error) {
+	p, err := core.UnmarshalParams(r)
+	if err != nil {
+		return nil, err
+	}
+	d, err := r.ReadUint(decayedFieldBits)
+	if err != nil {
+		return nil, err
+	}
+	k, err := r.ReadUint(decayedFieldBits)
+	if err != nil {
+		return nil, err
+	}
+	lb, err := r.ReadUint(64)
+	if err != nil {
+		return nil, err
+	}
+	epoch, err := r.ReadUint(64)
+	if err != nil {
+		return nil, err
+	}
+	nb, err := r.ReadUint(64)
+	if err != nil {
+		return nil, err
+	}
+	count, err := r.ReadUint(decayedFieldBits)
+	if err != nil {
+		return nil, err
+	}
+	lambda := math.Float64frombits(lb)
+	n := math.Float64frombits(nb)
+	if d < 1 || k < 2 {
+		return nil, fmt.Errorf("decayed misra-gries geometry d=%d k=%d out of range", d, k)
+	}
+	if !(lambda > 0 && lambda <= 1) {
+		return nil, fmt.Errorf("decayed misra-gries decay factor %g outside (0, 1]", lambda)
+	}
+	if epoch > 1<<62 {
+		return nil, fmt.Errorf("decayed misra-gries epoch %d is implausible", epoch)
+	}
+	if !(n >= 0) || math.IsInf(n, 0) {
+		return nil, fmt.Errorf("decayed misra-gries total %g is not a finite non-negative value", n)
+	}
+	if count > k-1 {
+		return nil, fmt.Errorf("decayed misra-gries holds %d counters, bound is k-1 = %d", count, k-1)
+	}
+	if p.K != 1 {
+		return nil, fmt.Errorf("decayed misra-gries answers singletons only, params k = %d", p.K)
+	}
+	dm := &DecayedMisraGries{
+		params:   p,
+		d:        int(d),
+		k:        int(k),
+		lambda:   lambda,
+		epoch:    int64(epoch),
+		n:        n,
+		counters: make(map[int]float64, count),
+	}
+	var sum float64
+	prev := -1
+	for i := uint64(0); i < count; i++ {
+		item, err := r.ReadUint(decayedFieldBits)
+		if err != nil {
+			return nil, err
+		}
+		wb, err := r.ReadUint(64)
+		if err != nil {
+			return nil, err
+		}
+		w := math.Float64frombits(wb)
+		if int64(item) >= int64(d) {
+			return nil, fmt.Errorf("decayed misra-gries counter item %d outside universe [0, %d)", item, d)
+		}
+		if int(item) <= prev {
+			return nil, fmt.Errorf("decayed misra-gries counters out of order at item %d", item)
+		}
+		if !(w > 0) || math.IsInf(w, 0) {
+			return nil, fmt.Errorf("decayed misra-gries counter for item %d has non-positive weight %g", item, w)
+		}
+		prev = int(item)
+		dm.counters[int(item)] = w
+		sum += w
+	}
+	// Decay scales counters and the total by the same λ per tick, so the
+	// counter mass never exceeds the total; allow a relative float slack.
+	if sum > n*(1+1e-9)+1e-9 {
+		return nil, fmt.Errorf("decayed misra-gries counter mass %g exceeds total %g", sum, n)
+	}
+	return dm, nil
+}
+
+// MergeDecayed combines two decayed summaries over disjoint streams
+// that tick on the same epoch schedule. Epochs are aligned first (the
+// summary with fewer ticks is decayed forward on a clone — its rows
+// are older relative to the other's clock), then counters are summed
+// and the combined set is reduced back to k−1 entries by subtracting
+// the k-th largest weight from all (the Misra–Gries merge law; the
+// additive error stays ≤ N/k of the combined decayed total). Both
+// inputs must share d, k, λ and params; neither is modified.
+func MergeDecayed(a, b *DecayedMisraGries) (*DecayedMisraGries, error) {
+	if a.d != b.d || a.k != b.k || a.lambda != b.lambda {
+		return nil, fmt.Errorf("%w: decayed merge mismatch (d=%d,k=%d,λ=%g) vs (d=%d,k=%d,λ=%g)",
+			core.ErrInvalidParams, a.d, a.k, a.lambda, b.d, b.k, b.lambda)
+	}
+	if a.params != b.params {
+		return nil, fmt.Errorf("%w: decayed merge params mismatch", core.ErrInvalidParams)
+	}
+	if a.epoch < b.epoch {
+		a, b = b, a
+	}
+	if b.epoch < a.epoch {
+		b = b.Clone()
+		b.TickN(a.epoch - b.epoch)
+	}
+	out := a.Clone()
+	out.n += b.n
+	for it, w := range b.counters {
+		out.counters[it] += w
+	}
+	if len(out.counters) > out.k-1 {
+		// Subtract the k-th largest weight from every counter; at most
+		// k−1 survive.
+		ws := make([]float64, 0, len(out.counters))
+		for _, w := range out.counters {
+			ws = append(ws, w)
+		}
+		sort.Sort(sort.Reverse(sort.Float64Slice(ws)))
+		pivot := ws[out.k-1]
+		for it := range out.counters {
+			out.counters[it] -= pivot
+			if out.counters[it] <= decayFloor {
+				delete(out.counters, it)
+			}
+		}
+	}
+	return out, nil
+}
+
+// mergeDecayedKind is the registry merge hook.
+func mergeDecayedKind(a, b core.Sketch) (core.Sketch, error) {
+	da, aok := a.(*DecayedMisraGries)
+	db, bok := b.(*DecayedMisraGries)
+	if !aok || !bok {
+		return nil, fmt.Errorf("%w: decayed merge of %T and %T", core.ErrInvalidParams, a, b)
+	}
+	return MergeDecayed(da, db)
+}
+
+// Compile-time interface checks.
+var (
+	_ core.Sketch          = (*DecayedMisraGries)(nil)
+	_ core.EstimatorSketch = (*DecayedMisraGries)(nil)
+)

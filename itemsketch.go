@@ -114,6 +114,14 @@ type (
 	MisraGries = stream.MisraGries
 	// SpaceSaving is the counter-eviction heavy hitters summary.
 	SpaceSaving = stream.SpaceSaving
+	// WindowedReservoir samples the trailing window of a stream with
+	// chained per-sub-window reservoirs. It is a full envelope citizen
+	// (kind "windowed-reservoir") via the sketch-kind registry.
+	WindowedReservoir = stream.WindowedReservoir
+	// DecayedMisraGries is the exponentially time-decayed heavy-hitters
+	// summary: counters and the occurrence total shrink by a factor λ on
+	// every epoch tick. Kind "decayed-misra-gries" in the registry.
+	DecayedMisraGries = stream.DecayedMisraGries
 
 	// CountSketch is the hierarchical signed count sketch: mergeable
 	// (ε, δ) point estimates over single attributes plus recursive
@@ -281,4 +289,33 @@ func MergeReservoirs(a, b *Reservoir, seed uint64) (*Reservoir, error) {
 // shards, preserving the N/k error guarantee.
 func MergeMisraGries(a, b *MisraGries) (*MisraGries, error) {
 	return stream.MergeMG(a, b)
+}
+
+// NewWindowedReservoir creates a sliding-window sampler over
+// d-attribute rows: a trailing window of windowRows rows split into
+// buckets equal sub-windows, each holding a reservoir of up to
+// capacity rows. p records the (k, ε, δ) contract on the sketch.
+func NewWindowedReservoir(d, windowRows, buckets, capacity int, seed uint64, p Params) (*WindowedReservoir, error) {
+	return stream.NewWindowedReservoir(d, windowRows, buckets, capacity, seed, p)
+}
+
+// NewDecayedMisraGries creates an exponentially-decayed heavy-hitters
+// summary over the attribute universe [0, d): at most k−1 counters,
+// scaled by lambda ∈ (0, 1] on every Tick. A zero-valued p derives the
+// summary's default contract.
+func NewDecayedMisraGries(d, k int, lambda float64, p Params) (*DecayedMisraGries, error) {
+	return stream.NewDecayedMisraGries(d, k, lambda, p)
+}
+
+// MergeWindowedReservoirs combines two windowed reservoirs over
+// disjoint shards of the same stream whose windows rotate in lockstep,
+// aligning buckets by epoch index.
+func MergeWindowedReservoirs(a, b *WindowedReservoir, seed uint64) (*WindowedReservoir, error) {
+	return stream.MergeWindowed(a, b, seed)
+}
+
+// MergeDecayedMisraGries combines two decayed summaries that tick on
+// the same epoch schedule, aligning epochs before merging counters.
+func MergeDecayedMisraGries(a, b *DecayedMisraGries) (*DecayedMisraGries, error) {
+	return stream.MergeDecayed(a, b)
 }

@@ -482,6 +482,42 @@ func FuzzUnmarshalFromEnvelope(f *testing.F) {
 	corrupted[len(corrupted)/2] ^= 0xff
 	f.Add(corrupted)
 	f.Add(csWire[:len(csWire)-3])
+	// The sliding-window kinds, in the same four framings, plus a
+	// corrupted and a truncated windowed envelope.
+	win, err := itemsketch.NewWindowedReservoir(8, 32, 4, 8, 5, p)
+	if err != nil {
+		f.Fatal(err)
+	}
+	dmg, err := itemsketch.NewDecayedMisraGries(8, 6, 0.75, itemsketch.Params{})
+	if err != nil {
+		f.Fatal(err)
+	}
+	for i := 0; i < 100; i++ {
+		win.AddAttrs(i%8, (i+5)%8)
+		dmg.Add(i % 8)
+		if i%16 == 0 {
+			dmg.Tick()
+		}
+	}
+	for _, sk := range []itemsketch.Sketch{win, dmg} {
+		wire := itemsketch.Marshal(sk)
+		f.Add(wire)
+		f.Add(marshalV1(sk))
+		var tiny, comp bytes.Buffer
+		if _, err := itemsketch.MarshalTo(&tiny, sk, itemsketch.WithChunkBytes(16)); err != nil {
+			f.Fatal(err)
+		}
+		f.Add(tiny.Bytes())
+		if _, err := itemsketch.MarshalTo(&comp, sk, itemsketch.WithCompression()); err != nil {
+			f.Fatal(err)
+		}
+		f.Add(comp.Bytes())
+	}
+	winWire := itemsketch.Marshal(win)
+	winCorrupt := append([]byte(nil), winWire...)
+	winCorrupt[len(winCorrupt)/2] ^= 0x10
+	f.Add(winCorrupt)
+	f.Add(winWire[:len(winWire)-5])
 	f.Add([]byte("ISKB"))
 	f.Add([]byte{})
 	f.Fuzz(func(t *testing.T, data []byte) {
