@@ -2,7 +2,10 @@ GO ?= go
 
 # Minimum total test coverage (go tool cover -func, statements). CI
 # fails below this; re-baseline deliberately when adding code, never to
-# paper over deleted tests. Raised to 77.0 at PR 8 (77.3% measured).
+# paper over deleted tests. Raised to 77.0 at PR 8 (77.3% measured);
+# held at 77.0 at PR 9 (77.1% measured — the loadgen/bench harness
+# additions outgrew their tests slightly; a 0.1-margin raise would
+# only flap CI).
 COVER_FLOOR ?= 77.0
 
 .PHONY: all build test race cover vet doclint bench chaos fuzz
@@ -37,16 +40,18 @@ doclint:
 	$(GO) run ./cmd/doclint
 
 # bench runs the operational benchmark suite, records the results, and
-# gates the construction + mining + count-sketch + ingest benchmarks
+# gates the construction + mining + count-sketch + ingest benchmarks —
+# plus, from PR 9, the memoized service read paths
+# (service_hh_mg_hot, service_mine_hot, service_estimate_coalesced) —
 # against the previous PR's numbers; bump the output/baseline names in
-# later PRs to keep the perf trajectory. The PR 8 baseline is
-# BENCH_7_remeasured.json — a same-day re-run of the PR 7 tree —
-# because the shared reference container's clock drifted again (16-26%
-# on untouched families) since BENCH_7.json was recorded; when that
-# happens, re-measure the previous PR's tree (git worktree add) on the
-# same day rather than comparing wall-clock numbers across weeks.
+# later PRs to keep the perf trajectory. If the shared reference
+# container's clock has drifted since the baseline was recorded
+# (untouched families moving >20%), re-measure the previous PR's tree
+# (git worktree add) on the same day rather than comparing wall-clock
+# numbers across weeks — BENCH_7_remeasured.json and
+# BENCH_8_remeasured.json are both such same-day re-baselines.
 bench:
-	$(GO) run ./cmd/bench -out BENCH_8.json -compare BENCH_7_remeasured.json
+	$(GO) run ./cmd/bench -out BENCH_9.json -compare BENCH_8_remeasured.json
 
 # chaos runs the fault-injection suites — checkpoint recovery sweeps,
 # codec fault classification, and the mixed-load kill-shards service

@@ -28,6 +28,7 @@ import (
 	"runtime"
 	"sort"
 	"strings"
+	"sync"
 	"testing"
 	"time"
 
@@ -95,6 +96,12 @@ var gatedPrefixes = []string{
 	"wal_",
 	"ingest_concurrent_",
 	"windowed_",
+	// The memoized service read paths: repeated hot queries must stay
+	// cache-hits (one cross-shard merge per snapshot generation), so a
+	// regression here means the merge caches stopped absorbing repeats.
+	"service_estimate_coalesced",
+	"service_mine_hot",
+	"service_hh_mg_hot",
 }
 
 func isGated(name string) bool {
@@ -662,6 +669,95 @@ func main() {
 		})
 		fmt.Printf("%-32s %12.1f ns/op (p99 latency, %d samples)\n",
 			"service_estimate_p99", float64(p99.Nanoseconds()), nLat)
+
+		// Hot memoized read paths: with ingest quiesced, repeated heavy
+		// hitter and mining queries must ride the merged-snapshot caches
+		// (one cross-shard merge per snapshot generation, then pure
+		// cache hits). One warming call pays the merge outside the timed
+		// region. The MG heavy-hitter row is nearly free once cached —
+		// it reports the memoized answer; the mine row still runs the
+		// Apriori pass per request over the cached union sample.
+		if _, _, _, err := svc.HeavyHitters(ctx, 0.2); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		if _, _, err := svc.Mine(ctx, 0.3, 2); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		record("service_hh_mg_hot", func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, _, _, err := svc.HeavyHitters(ctx, 0.2); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+		record("service_mine_hot", func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, _, err := svc.Mine(ctx, 0.3, 2); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+		svc.Close()
+	}
+
+	// Coalesced query tier: 8 concurrent single-itemset estimates per
+	// op through a coalesce-enabled service — the collector batches
+	// them into (ideally) one fan-out, so ns/op is the cost of
+	// answering 8 concurrent requests, goroutine handoff included.
+	{
+		svc, err := service.New(service.Config{
+			Shards: 8, NumAttrs: 64, SampleCapacity: 4096, Seed: 1,
+			Coalesce: &service.CoalesceConfig{Linger: 100 * time.Microsecond, MaxBatch: 8},
+		})
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		r := rng.New(13)
+		rows := make([][]int, 4096)
+		for i := range rows {
+			var attrs []int
+			for a := 0; a < 64; a++ {
+				if r.Bernoulli(0.1) {
+					attrs = append(attrs, a)
+				}
+			}
+			rows[i] = attrs
+		}
+		if _, err := svc.Ingest(ctx, rows); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		qs := make([][]itemsketch.Itemset, 8)
+		for i := range qs {
+			a := r.Intn(64)
+			c := (a + 1 + r.Intn(63)) % 64
+			qs[i] = []itemsketch.Itemset{itemsketch.MustItemset(a, c)}
+		}
+		record("service_estimate_coalesced", func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				var wg sync.WaitGroup
+				errs := make([]error, len(qs))
+				for j := range qs {
+					wg.Add(1)
+					go func(j int) {
+						defer wg.Done()
+						_, _, errs[j] = svc.Estimate(ctx, qs[j])
+					}(j)
+				}
+				wg.Wait()
+				for _, err := range errs {
+					if err != nil {
+						b.Fatal(err)
+					}
+				}
+			}
+		})
 		svc.Close()
 	}
 
@@ -672,7 +768,7 @@ func main() {
 		GOARCH:     runtime.GOARCH,
 		NumCPU:     runtime.NumCPU(),
 		GOMAXPROCS: runtime.GOMAXPROCS(0),
-		Notes:      "parallel/sharded variants (scan_parallel, subsample_build_parallel, median_amplifier_build) only beat their serial twins with >1 CPU; on a single-CPU runner read them as no-regression checks. mine_eclat_dense is the forced-tidset baseline on the dense database; mine_eclat_diffset is the same mine with forced diffsets. countsketch_ingest/estimate are per-item costs over a 2^16-universe hierarchical count sketch (5x1024, base 16); heavyhitters_find is one full recursive descent at phi=0.01 on a Zipf(1.2) stream. service_* rows measure the sharded sketch service (8 shards, d=64) through its Go API; service_estimate_p99 is a latency quantile (99th percentile single-query latency), not a throughput mean, and the service rows are reported, not gated. wal_append/wal_replay are the write-ahead row log (default 256-row records; replay covers a fixed 8192-row log per op); ingest_concurrent_1w/4w are per-row costs through the concurrent pool; pool_speedup_4w is their rows/s ratio, recorded ungated because it only becomes meaningful (target >= 2x) at GOMAXPROCS >= 4 — on the 1-CPU reference container the writers serialize; windowed_ingest is the sliding-window sampler (65536-row window, 8 buckets).",
+		Notes:      "parallel/sharded variants (scan_parallel, subsample_build_parallel, median_amplifier_build) only beat their serial twins with >1 CPU; on a single-CPU runner read them as no-regression checks. mine_eclat_dense is the forced-tidset baseline on the dense database; mine_eclat_diffset is the same mine with forced diffsets. countsketch_ingest/estimate are per-item costs over a 2^16-universe hierarchical count sketch (5x1024, base 16); heavyhitters_find is one full recursive descent at phi=0.01 on a Zipf(1.2) stream. service_* rows measure the sharded sketch service (8 shards, d=64) through its Go API; service_estimate_p99 is a latency quantile (99th percentile single-query latency), not a throughput mean; the ingest/estimate/p99 service rows are reported, not gated. service_hh_mg_hot and service_mine_hot are the memoized read paths with ingest quiesced (cache-hit cost after one warming merge; mine still runs its Apriori pass per request over the cached union sample) and ARE gated; service_estimate_coalesced is the cost of 8 concurrent single-itemset estimates batched by the request coalescer (100us linger, max batch 8), also gated. wal_append/wal_replay are the write-ahead row log (default 256-row records; replay covers a fixed 8192-row log per op); ingest_concurrent_1w/4w are per-row costs through the concurrent pool; pool_speedup_4w is their rows/s ratio, recorded ungated because it only becomes meaningful (target >= 2x) at GOMAXPROCS >= 4 — on the 1-CPU reference container the writers serialize; windowed_ingest is the sliding-window sampler (65536-row window, 8 buckets).",
 		Results:    results,
 	}
 	data, err := json.MarshalIndent(rep, "", "  ")

@@ -9,12 +9,19 @@
 // how many queries came back partial, and exits non-zero if any query
 // failed outright without the expected degradation signal.
 //
+// After the query phase it hammers the hot read paths (heavy hitters
+// and mining) with ingest quiesced and asserts the merged-snapshot
+// caches absorb every repeat — zero per-request cross-shard merges —
+// exiting non-zero if any repeated query rebuilt a merge.
+//
 // Usage:
 //
 //	go run ./cmd/loadgen                                   # defaults
 //	go run ./cmd/loadgen -shards 8 -kill 2 -fault 0.05     # chaos-ish
 //	go run ./cmd/loadgen -rows 200000 -workers 8 -ckpt dir # with persistence
 //	go run ./cmd/loadgen -window 32768                     # + sliding-window queries
+//	go run ./cmd/loadgen -concurrency 16 -linger 200us     # coalesced query tier
+//	go run ./cmd/loadgen -kill 2 -rehome                   # kill, then re-home from peers
 package main
 
 import (
@@ -34,49 +41,85 @@ import (
 	"repro/internal/service"
 )
 
+// runOpts is the full workload shape, one field per flag.
+type runOpts struct {
+	Shards   int
+	D        int
+	Capacity int
+	Rows     int
+	Batch    int
+	Workers  int
+	Queries  int
+	Kill     int
+	Fault    float64
+	Seed     uint64
+	Ckpt     string
+	Window   int
+
+	// Concurrency > 0 enables the request coalescer and runs that many
+	// query workers through it (overriding Workers for the query
+	// phase); Linger and MaxBatch tune the collector.
+	Concurrency int
+	Linger      time.Duration
+	MaxBatch    int
+
+	// Rehome re-homes every killed shard from a live peer after the
+	// query phase and requires the service to answer full fan-outs
+	// again — the degraded-then-recovered drill.
+	Rehome bool
+}
+
 func main() {
-	shards := flag.Int("shards", 8, "number of service shards")
-	d := flag.Int("d", 64, "attribute universe size")
-	capacity := flag.Int("cap", 4096, "per-shard reservoir capacity")
-	rows := flag.Int("rows", 100000, "total rows to ingest")
-	batch := flag.Int("batch", 256, "rows per ingest call")
-	workers := flag.Int("workers", 4, "concurrent query workers")
-	queries := flag.Int("queries", 2000, "estimate queries per worker")
-	kill := flag.Int("kill", 0, "shards to kill mid-run")
-	fault := flag.Float64("fault", 0, "ingest fault probability per attempt")
-	seed := flag.Uint64("seed", faultio.EnvSeed(1), "workload seed (FAULT_SEED overrides the default)")
-	ckpt := flag.String("ckpt", "", "checkpoint directory (empty = no persistence)")
-	window := flag.Int("window", 0, "sliding-window rows (0 = no window; >0 also routes every 4th query through EstimateWindow)")
+	var o runOpts
+	flag.IntVar(&o.Shards, "shards", 8, "number of service shards")
+	flag.IntVar(&o.D, "d", 64, "attribute universe size")
+	flag.IntVar(&o.Capacity, "cap", 4096, "per-shard reservoir capacity")
+	flag.IntVar(&o.Rows, "rows", 100000, "total rows to ingest")
+	flag.IntVar(&o.Batch, "batch", 256, "rows per ingest call")
+	flag.IntVar(&o.Workers, "workers", 4, "concurrent query workers")
+	flag.IntVar(&o.Queries, "queries", 2000, "estimate queries per worker")
+	flag.IntVar(&o.Kill, "kill", 0, "shards to kill mid-run")
+	flag.Float64Var(&o.Fault, "fault", 0, "ingest fault probability per attempt")
+	flag.Uint64Var(&o.Seed, "seed", faultio.EnvSeed(1), "workload seed (FAULT_SEED overrides the default)")
+	flag.StringVar(&o.Ckpt, "ckpt", "", "checkpoint directory (empty = no persistence)")
+	flag.IntVar(&o.Window, "window", 0, "sliding-window rows (0 = no window; >0 also routes every 4th query through EstimateWindow)")
+	flag.IntVar(&o.Concurrency, "concurrency", 0, "coalesced query workers (0 = coalescing off, use -workers)")
+	flag.DurationVar(&o.Linger, "linger", 200*time.Microsecond, "coalescer linger window (with -concurrency)")
+	flag.IntVar(&o.MaxBatch, "maxbatch", 32, "coalescer max requests per batch (with -concurrency)")
+	flag.BoolVar(&o.Rehome, "rehome", false, "re-home killed shards from live peers after the query phase")
 	flag.Parse()
 
-	if err := run(*shards, *d, *capacity, *rows, *batch, *workers, *queries, *kill, *fault, *seed, *ckpt, *window); err != nil {
+	if err := run(o); err != nil {
 		fmt.Fprintln(os.Stderr, "loadgen:", err)
 		os.Exit(1)
 	}
 }
 
-func run(shards, d, capacity, rows, batch, workers, queries, kill int, fault float64, seed uint64, ckpt string, window int) error {
-	if ckpt != "" {
-		if err := os.MkdirAll(ckpt, 0o755); err != nil {
+func run(o runOpts) error {
+	if o.Ckpt != "" {
+		if err := os.MkdirAll(o.Ckpt, 0o755); err != nil {
 			return err
 		}
 	}
 	cfg := service.Config{
-		Shards:         shards,
-		NumAttrs:       d,
-		SampleCapacity: capacity,
-		Seed:           seed,
-		CheckpointDir:  ckpt,
+		Shards:         o.Shards,
+		NumAttrs:       o.D,
+		SampleCapacity: o.Capacity,
+		Seed:           o.Seed,
+		CheckpointDir:  o.Ckpt,
 	}
-	if window > 0 {
-		cfg.Window = &service.WindowConfig{Rows: window}
+	if o.Window > 0 {
+		cfg.Window = &service.WindowConfig{Rows: o.Window}
 	}
-	if fault > 0 {
-		fr := rng.New(seed ^ 0x10adbeef)
+	if o.Concurrency > 0 {
+		cfg.Coalesce = &service.CoalesceConfig{Linger: o.Linger, MaxBatch: o.MaxBatch}
+	}
+	if o.Fault > 0 {
+		fr := rng.New(o.Seed ^ 0x10adbeef)
 		var mu sync.Mutex
 		cfg.IngestFault = func(shard, attempt int) error {
 			mu.Lock()
-			hit := fr.Float64() < fault
+			hit := fr.Float64() < o.Fault
 			mu.Unlock()
 			if hit {
 				return fmt.Errorf("%w: loadgen ingest fault on shard %d attempt %d", faultio.ErrInjected, shard, attempt)
@@ -91,17 +134,21 @@ func run(shards, d, capacity, rows, batch, workers, queries, kill int, fault flo
 	defer svc.Close()
 	ctx := context.Background()
 
+	qWorkers := o.Workers
+	if o.Concurrency > 0 {
+		qWorkers = o.Concurrency
+	}
 	fmt.Printf("loadgen: %d shards, d=%d, cap=%d, %d rows in batches of %d, %d×%d queries, kill=%d, fault=%.3f, seed=%d\n",
-		shards, d, capacity, rows, batch, workers, queries, kill, fault, seed)
+		o.Shards, o.D, o.Capacity, o.Rows, o.Batch, qWorkers, o.Queries, o.Kill, o.Fault, o.Seed)
 
 	// Ingest phase: sequential batches, measuring sustained row rate.
-	r := rng.New(seed)
+	r := rng.New(o.Seed)
 	mk := func() [][]int {
-		rs := make([][]int, batch)
+		rs := make([][]int, o.Batch)
 		for i := range rs {
 			var attrs []int
-			for a := 0; a < d; a++ {
-				if r.Float64() < float64(a+1)/float64(d+1)/4 {
+			for a := 0; a < o.D; a++ {
+				if r.Float64() < float64(a+1)/float64(o.D+1)/4 {
 					attrs = append(attrs, a)
 				}
 			}
@@ -111,7 +158,7 @@ func run(shards, d, capacity, rows, batch, workers, queries, kill int, fault flo
 	}
 	start := time.Now()
 	ingested := 0
-	for ingested < rows {
+	for ingested < o.Rows {
 		n, err := svc.Ingest(ctx, mk())
 		if err != nil {
 			return fmt.Errorf("ingest after %d rows: %w", ingested, err)
@@ -133,31 +180,31 @@ func run(shards, d, capacity, rows, batch, workers, queries, kill int, fault flo
 		latMu    sync.Mutex
 		lats     []time.Duration
 	)
-	killAt := queries / 2
+	killAt := o.Queries / 2
 	var killOnce sync.Once
 	qStart := time.Now()
-	for w := 0; w < workers; w++ {
+	for w := 0; w < qWorkers; w++ {
 		wg.Add(1)
 		go func(w int) {
 			defer wg.Done()
-			qr := rng.New(seed + uint64(w)*7919)
-			local := make([]time.Duration, 0, queries)
-			for q := 0; q < queries; q++ {
-				if w == 0 && q == killAt && kill > 0 {
+			qr := rng.New(o.Seed + uint64(w)*7919)
+			local := make([]time.Duration, 0, o.Queries)
+			for q := 0; q < o.Queries; q++ {
+				if w == 0 && q == killAt && o.Kill > 0 {
 					killOnce.Do(func() {
-						for i := 0; i < kill && i < shards; i++ {
+						for i := 0; i < o.Kill && i < o.Shards; i++ {
 							svc.KillShard(i)
 						}
-						fmt.Printf("killed:   shards 0..%d at query %d\n", kill-1, q)
+						fmt.Printf("killed:   shards 0..%d at query %d\n", o.Kill-1, q)
 					})
 				}
-				a := qr.Intn(d)
-				b := (a + 1 + qr.Intn(d-1)) % d
+				a := qr.Intn(o.D)
+				b := (a + 1 + qr.Intn(o.D-1)) % o.D
 				ts := []itemsketch.Itemset{itemsketch.MustItemset(a, b)}
 				t0 := time.Now()
 				var p service.Partial
 				var err error
-				if window > 0 && q%4 == 3 {
+				if o.Window > 0 && q%4 == 3 {
 					_, p, err = svc.EstimateWindow(ctx, ts)
 					windowQs.Add(1)
 				} else {
@@ -185,23 +232,169 @@ func run(shards, d, capacity, rows, batch, workers, queries, kill int, fault flo
 	fmt.Printf("queries:  %d in %v (%.0f q/s)\n", total, qDur.Round(time.Millisecond), float64(total)/qDur.Seconds())
 	fmt.Printf("latency:  p50=%v p90=%v p99=%v\n", pct(50), pct(90), pct(99))
 	fmt.Printf("partial:  %d/%d answered degraded, %d hard errors\n", partials.Load(), total, hardErrs.Load())
-	if window > 0 {
-		fmt.Printf("window:   %d queries answered over the trailing %d rows\n", windowQs.Load(), window)
+	if o.Window > 0 {
+		fmt.Printf("window:   %d queries answered over the trailing %d rows\n", windowQs.Load(), o.Window)
 	}
+	if o.Concurrency > 0 {
+		cs := svc.CoalesceStats()
+		fmt.Printf("coalesce: %d requests in %d flushes, %d rode a shared batch\n",
+			cs.Requests, cs.Flushes, cs.Coalesced)
+	}
+
+	if o.Rehome && o.Kill > 0 && o.Kill < o.Shards {
+		if err := rehomeDead(svc); err != nil {
+			return err
+		}
+	}
+
+	if err := hotPathPhase(ctx, svc, qWorkers); err != nil {
+		return err
+	}
+
 	for _, h := range svc.HealthReport() {
-		fmt.Printf("shard %2d: %s seen=%d checkpoints=%d\n", h.ID, h.State, h.Seen, h.Checkpoints)
+		fmt.Printf("shard %2d: %s seen=%d checkpoints=%d routed_to=%d\n", h.ID, h.State, h.Seen, h.Checkpoints, h.RoutedTo)
 	}
-	if ckpt != "" {
+	if o.Ckpt != "" {
 		if err := svc.Checkpoint(); err != nil {
 			return fmt.Errorf("final checkpoint: %w", err)
 		}
-		fmt.Printf("ckpt:     final checkpoint written to %s\n", ckpt)
+		fmt.Printf("ckpt:     final checkpoint written to %s\n", o.Ckpt)
 	}
 	if hardErrs.Load() > 0 {
 		return fmt.Errorf("%d queries failed without a degradation signal", hardErrs.Load())
 	}
-	if kill > 0 && partials.Load() == 0 && kill < shards {
-		return fmt.Errorf("killed %d shards but no query reported a partial result", kill)
+	if o.Kill > 0 && partials.Load() == 0 && o.Kill < o.Shards {
+		return fmt.Errorf("killed %d shards but no query reported a partial result", o.Kill)
+	}
+	return nil
+}
+
+// rehomeDead bootstraps every dead shard from the first live peer and
+// requires the next estimate to answer a full fan-out again.
+func rehomeDead(svc *service.Service) error {
+	peer := -1
+	for i := 0; i < svc.NumShards(); i++ {
+		if svc.Shard(i).State() != service.Dead {
+			peer = i
+			break
+		}
+	}
+	if peer < 0 {
+		return fmt.Errorf("rehome: no live peer left")
+	}
+	for i := 0; i < svc.NumShards(); i++ {
+		if svc.Shard(i).State() != service.Dead {
+			continue
+		}
+		if err := svc.RehomeFromPeer(i, peer); err != nil {
+			return fmt.Errorf("rehome shard %d from %d: %w", i, peer, err)
+		}
+		fmt.Printf("rehomed:  shard %d bootstrapped from peer %d\n", i, peer)
+	}
+	_, p, err := svc.Estimate(context.Background(), []itemsketch.Itemset{itemsketch.MustItemset(0)})
+	if err != nil {
+		return fmt.Errorf("post-rehome estimate: %w", err)
+	}
+	if p.Degraded() {
+		return fmt.Errorf("post-rehome estimate still partial: %d/%d missing %v", p.Answered, p.Total, p.Missing)
+	}
+	return nil
+}
+
+// hotPathRepeats is how many times each hot read path is re-queried
+// per worker while asserting the merge caches absorb every repeat.
+const hotPathRepeats = 8
+
+// hotPathPhase hammers the heavy-hitter, mining and (if enabled)
+// windowed read paths with ingest quiesced and asserts the
+// merged-snapshot caches do all the work: after one warming round,
+// repeated queries must perform zero cross-shard merges.
+func hotPathPhase(ctx context.Context, svc *service.Service, workers int) error {
+	if workers < 1 {
+		workers = 1
+	}
+	kinds := []struct {
+		name string
+		call func() error
+	}{
+		{"heavyhitters", func() error {
+			_, _, _, err := svc.HeavyHitters(ctx, 0.2)
+			return err
+		}},
+		{"mine", func() error {
+			_, _, err := svc.Mine(ctx, 0.3, 2)
+			return err
+		}},
+	}
+	if svc.WindowEnabled() {
+		kinds = append(kinds, struct {
+			name string
+			call func() error
+		}{"window_hh", func() error {
+			_, _, _, err := svc.HeavyHittersWindow(ctx, 0.2)
+			return err
+		}})
+	}
+	hot := func(err error) error {
+		// All-dead rings degrade to ErrNoShards; that is the signal, not
+		// a cache failure.
+		if err != nil && !errors.Is(err, service.ErrNoShards) {
+			return err
+		}
+		return nil
+	}
+	// Warming round: the first query after the last ingest legitimately
+	// merges once per kind.
+	for _, k := range kinds {
+		if err := hot(k.call()); err != nil {
+			return fmt.Errorf("hot-path warmup %s: %w", k.name, err)
+		}
+	}
+	before := svc.MergeBuilds()
+	var (
+		wg       sync.WaitGroup
+		errMu    sync.Mutex
+		firstErr error
+	)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < hotPathRepeats; i++ {
+				for _, k := range kinds {
+					if err := hot(k.call()); err != nil {
+						errMu.Lock()
+						if firstErr == nil {
+							firstErr = fmt.Errorf("hot-path %s: %w", k.name, err)
+						}
+						errMu.Unlock()
+						return
+					}
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	if firstErr != nil {
+		return firstErr
+	}
+	after := svc.MergeBuilds()
+	repeats := workers * hotPathRepeats
+	fmt.Printf("hotpath:  %d repeated queries per kind, merge builds Δ cs=%d mg=%d win=%d mine=%d\n",
+		repeats,
+		after.CountSketch-before.CountSketch, after.MisraGries-before.MisraGries,
+		after.Decayed-before.Decayed, after.Mine-before.Mine)
+	if d := after.CountSketch - before.CountSketch; d != 0 {
+		return fmt.Errorf("hot path rebuilt the count-sketch merge %d times with ingest quiesced", d)
+	}
+	if d := after.MisraGries - before.MisraGries; d != 0 {
+		return fmt.Errorf("hot path rebuilt the Misra–Gries merge %d times with ingest quiesced", d)
+	}
+	if d := after.Decayed - before.Decayed; d != 0 {
+		return fmt.Errorf("hot path rebuilt the windowed merge %d times with ingest quiesced", d)
+	}
+	if d := after.Mine - before.Mine; d != 0 {
+		return fmt.Errorf("hot path rebuilt the mining union %d times with ingest quiesced", d)
 	}
 	return nil
 }

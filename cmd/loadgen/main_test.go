@@ -4,21 +4,35 @@ import (
 	"path/filepath"
 	"strings"
 	"testing"
+	"time"
 )
 
+// baseOpts is the small, fast workload shape the tests start from.
+func baseOpts() runOpts {
+	return runOpts{
+		Shards: 4, D: 16, Capacity: 256,
+		Rows: 3000, Batch: 128,
+		Workers: 2, Queries: 50,
+		Seed: 7,
+	}
+}
+
 // TestRunCleanWorkload: the default-shaped workload (no kills, no
-// faults) must complete with no partials and exit clean.
+// faults) must complete with no partials, pass the hot-path
+// merge-cache assertion, and exit clean.
 func TestRunCleanWorkload(t *testing.T) {
-	if err := run(4, 16, 256, 3000, 128, 2, 50, 0, 0, 7, "", 0); err != nil {
+	if err := run(baseOpts()); err != nil {
 		t.Fatal(err)
 	}
 }
 
 // TestRunWindowedWorkload: with -window set, the mixed workload routes
-// a quarter of the queries through EstimateWindow and still exits
-// clean.
+// a quarter of the queries through EstimateWindow, the hot-path phase
+// also covers the windowed heavy hitters, and the run exits clean.
 func TestRunWindowedWorkload(t *testing.T) {
-	if err := run(4, 16, 256, 3000, 128, 2, 50, 0, 0, 7, "", 1024); err != nil {
+	o := baseOpts()
+	o.Window = 1024
+	if err := run(o); err != nil {
 		t.Fatal(err)
 	}
 }
@@ -27,7 +41,13 @@ func TestRunWindowedWorkload(t *testing.T) {
 // degraded queries, not hard errors, and the run still exits clean.
 func TestRunKillsProducePartials(t *testing.T) {
 	dir := t.TempDir()
-	if err := run(4, 16, 256, 3000, 128, 2, 60, 2, 0.05, 42, dir, 0); err != nil {
+	o := baseOpts()
+	o.Queries = 60
+	o.Kill = 2
+	o.Fault = 0.05
+	o.Seed = 42
+	o.Ckpt = dir
+	if err := run(o); err != nil {
 		t.Fatal(err)
 	}
 	// The final checkpoint must cover the surviving shards.
@@ -44,7 +64,42 @@ func TestRunKillsProducePartials(t *testing.T) {
 // ErrNoShards — the expected degradation signal, not a hard error — so
 // the run still exits clean. Operators read the partial/health report.
 func TestRunKillAllShards(t *testing.T) {
-	if err := run(2, 16, 256, 1000, 128, 1, 40, 2, 0, 3, "", 0); err != nil {
+	o := baseOpts()
+	o.Shards = 2
+	o.Rows = 1000
+	o.Workers = 1
+	o.Queries = 40
+	o.Kill = 2
+	o.Seed = 3
+	if err := run(o); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestRunCoalescedWorkload: -concurrency routes the query phase through
+// the request coalescer; the run must exit clean, including the
+// hot-path merge-cache assertion under the coalesced tier.
+func TestRunCoalescedWorkload(t *testing.T) {
+	o := baseOpts()
+	o.Concurrency = 8
+	o.Queries = 40
+	o.Linger = 200 * time.Microsecond
+	o.MaxBatch = 16
+	if err := run(o); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestRunRehomeRecoversKilledShards: with -rehome the killed shards are
+// bootstrapped from a live peer after the query phase and run requires
+// the service to answer full fan-outs again.
+func TestRunRehomeRecoversKilledShards(t *testing.T) {
+	o := baseOpts()
+	o.Queries = 60
+	o.Kill = 2
+	o.Seed = 11
+	o.Rehome = true
+	if err := run(o); err != nil {
 		t.Fatal(err)
 	}
 }
@@ -52,7 +107,11 @@ func TestRunKillAllShards(t *testing.T) {
 // TestRunRejectsBadConfig: an invalid universe size must surface the
 // service constructor's validation error.
 func TestRunRejectsBadConfig(t *testing.T) {
-	err := run(2, 0, 256, 100, 64, 1, 10, 0, 0, 1, "", 0)
+	o := baseOpts()
+	o.D = 0
+	o.Rows = 100
+	o.Queries = 10
+	err := run(o)
 	if err == nil {
 		t.Fatal("d=0 should fail service construction")
 	}

@@ -246,3 +246,46 @@ func TestFromSourceSerialFallback(t *testing.T) {
 		}
 	}
 }
+
+// TestEstimateManyConcatenationInvariant pins the batching identity
+// the service tier's request coalescer depends on: estimating a
+// concatenation of several batches in one EstimateMany call yields
+// bit-identical answers, in order, to estimating each batch on its
+// own. Each itemset's estimate must depend only on that itemset and
+// the underlying data — never on its companions in the batch.
+func TestEstimateManyConcatenationInvariant(t *testing.T) {
+	db := testDB(t, 56, 3000)
+	p := core.Params{K: 2, Eps: 0.1, Delta: 0.1, Mode: core.ForEach, Task: core.Estimator}
+	sk, err := core.Subsample{Seed: 9, SampleOverride: 600}.Sketch(db, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	queriers := map[string]Querier{
+		"database": FromDatabase(db),
+		"sketch":   FromSketch(sk),
+		"source":   FromSource(dbSource{db}),
+	}
+	all := allPairs(56)
+	// Uneven splits, including a singleton and an empty batch, so the
+	// concatenation crosses chunk boundaries at odd offsets.
+	splits := []int{0, 1, 7, 300, 301, len(all)}
+	ctx := context.Background()
+	for name, q := range queriers {
+		whole := make([]float64, len(all))
+		if err := q.EstimateMany(ctx, all, whole); err != nil {
+			t.Fatalf("%s: concatenated batch: %v", name, err)
+		}
+		for i := 0; i+1 < len(splits); i++ {
+			lo, hi := splits[i], splits[i+1]
+			part := make([]float64, hi-lo)
+			if err := q.EstimateMany(ctx, all[lo:hi], part); err != nil {
+				t.Fatalf("%s: sub-batch [%d:%d]: %v", name, lo, hi, err)
+			}
+			for j, v := range part {
+				if v != whole[lo+j] {
+					t.Fatalf("%s: query %d: sub-batch %g != concatenated %g", name, lo+j, v, whole[lo+j])
+				}
+			}
+		}
+	}
+}

@@ -5,6 +5,7 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
+	"math"
 	"net/http"
 	"net/http/httptest"
 	"strconv"
@@ -207,6 +208,69 @@ func TestChaosMixedLoadWithFaultsAndKills(t *testing.T) {
 	}
 	if got := resp.Header.Get("X-Shards-Missing"); got != "2,5" {
 		t.Fatalf("post-chaos X-Shards-Missing %q, want 2,5", got)
+	}
+
+	// Re-home the two dead shards — one through the raw envelope
+	// replication pair (GET a live peer's sketch, PUT it into the dead
+	// shard), one through the one-shot admin lever — and the service
+	// must return to a full 8/8 fan-out: degraded then recovered, not
+	// partial forever.
+	resp, err = http.Get(srv.URL + "/v1/shards/0/sketch")
+	if err != nil {
+		t.Fatal(err)
+	}
+	envelope, rerr := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if rerr != nil || resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET peer envelope: %d, %v", resp.StatusCode, rerr)
+	}
+	req, err := http.NewRequest(http.MethodPut, srv.URL+"/v1/shards/2/sketch", bytes.NewReader(envelope))
+	if err != nil {
+		t.Fatal(err)
+	}
+	req.Header.Set("X-Shard-Seen", resp.Header.Get("X-Shard-Seen"))
+	resp, err = http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	putBody, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("PUT bootstrap of shard 2: %d: %s", resp.StatusCode, putBody)
+	}
+	resp, body, err = post("/v1/rehome?shard=5&from=1", map[string]any{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkResponse(t, "rehome", resp, body)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("rehome of shard 5: %d: %s", resp.StatusCode, body)
+	}
+
+	resp, body, err = post("/v1/estimate", map[string]any{"itemsets": [][]int{{9}}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkResponse(t, "post-rehome estimate", resp, body)
+	if got := resp.Header.Get("X-Shards-Answered"); got != "8/8" {
+		t.Fatalf("post-rehome X-Shards-Answered %q, want 8/8", got)
+	}
+	var est struct {
+		Estimates []float64 `json:"estimates"`
+	}
+	if err := json.Unmarshal(body, &est); err != nil || len(est.Estimates) != 1 {
+		t.Fatalf("post-rehome estimate body %s: %v", body, err)
+	}
+	// Attribute 9 fires w.p. 10/11 in genRows; the re-homed replicas
+	// are identically-distributed stand-ins, so the recovered service
+	// must stay inside the estimators' tolerance of that target.
+	if target := 10.0 / 11.0; math.Abs(est.Estimates[0]-target) > 0.1 {
+		t.Fatalf("post-rehome estimate %v, want within 0.1 of %v", est.Estimates[0], target)
+	}
+	for i := 0; i < s.NumShards(); i++ {
+		if st := s.Shard(i).State(); st == Dead {
+			t.Errorf("shard %d still dead after re-homing", i)
+		}
 	}
 
 	// The flaky checkpoint streams never tore a file: whatever is on

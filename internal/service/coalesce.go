@@ -1,0 +1,227 @@
+package service
+
+import (
+	"context"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	itemsketch "repro"
+)
+
+// CoalesceConfig parameterizes the estimate request coalescer
+// (Config.Coalesce). Concurrent Estimate calls landing inside one
+// linger window are batched into a single cross-shard fan-out: the
+// batch concatenates every caller's itemsets, runs one
+// query.EstimateMany per shard snapshot, and slices the answers back
+// per caller. Zero fields take the defaults noted per knob.
+type CoalesceConfig struct {
+	// Linger is how long the first request of a batch holds the batch
+	// open for companions before it flushes (default 200µs). It bounds
+	// the latency the coalescer may add to a lone request; widening it
+	// widens the batching window.
+	Linger time.Duration
+	// MaxBatch flushes the open batch as soon as it holds this many
+	// requests (default 32), bounding batch size under heavy load
+	// independent of the linger clock.
+	MaxBatch int
+	// MaxItemsets flushes when the combined itemset count across the
+	// batch reaches this bound (default 4096), so a few giant requests
+	// cannot grow one fan-out without limit.
+	MaxItemsets int
+}
+
+// withDefaults returns cfg with zero fields filled in.
+func (cfg CoalesceConfig) withDefaults() CoalesceConfig {
+	if cfg.Linger <= 0 {
+		cfg.Linger = 200 * time.Microsecond
+	}
+	if cfg.MaxBatch <= 0 {
+		cfg.MaxBatch = 32
+	}
+	if cfg.MaxItemsets <= 0 {
+		cfg.MaxItemsets = 4096
+	}
+	return cfg
+}
+
+// coalescer batches concurrent Estimate calls into one cross-shard
+// fan-out per linger window — the singleflight-style collector behind
+// Config.Coalesce.
+//
+// Correctness rests on two properties. First, estimateDirect's
+// per-itemset answers are independent: EstimateMany computes each
+// itemset's count on its own and the seen-weighted combine divides per
+// itemset, so concatenating requests and slicing the answers back is
+// bit-identical to serial single-request calls. Second, every request
+// in a batch reads the same snapshot generation, because the single
+// fan-out loads each shard's snapshot exactly once.
+type coalescer struct {
+	svc *Service
+	cfg CoalesceConfig
+
+	mu  sync.Mutex
+	cur *estBatch // open batch accepting arrivals, nil between batches
+
+	requests  atomic.Int64 // calls that entered the coalescer
+	flushes   atomic.Int64 // cross-shard fan-outs that served them
+	coalesced atomic.Int64 // calls that shared a fan-out with a companion
+}
+
+// estBatch collects entries between flushes. done closes only after
+// every entry's result fields are final — waiters read them strictly
+// after the close, which is the happens-before edge that keeps entry
+// fields race-free without per-entry locks.
+type estBatch struct {
+	entries []*estEntry
+	sets    int // combined itemset count across entries
+	done    chan struct{}
+	timer   *time.Timer
+	flushed bool
+}
+
+// estEntry is one caller's slot in a batch. ests/p/err are written by
+// the flusher before done closes; a caller whose own ctx fires first
+// never reads them (it returns ctx.Err()), which is how one cancelled
+// request leaves a batch without poisoning its companions.
+type estEntry struct {
+	ctx  context.Context
+	ts   []itemsketch.Itemset
+	ests []float64
+	p    Partial
+	err  error
+}
+
+func newCoalescer(svc *Service, cfg CoalesceConfig) *coalescer {
+	return &coalescer{svc: svc, cfg: cfg.withDefaults()}
+}
+
+// estimate enqueues one call into the open batch (starting one, and
+// its linger timer, if none is open) and waits for the flush — or for
+// its own ctx, whichever fires first.
+func (c *coalescer) estimate(ctx context.Context, ts []itemsketch.Itemset) ([]float64, Partial, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, c.svc.partialFor(nil), err
+	}
+	c.requests.Add(1)
+	e := &estEntry{ctx: ctx, ts: ts}
+	c.mu.Lock()
+	b := c.cur
+	if b == nil {
+		b = &estBatch{done: make(chan struct{})}
+		c.cur = b
+		b.timer = time.AfterFunc(c.cfg.Linger, func() { c.flush(b) })
+	}
+	b.entries = append(b.entries, e)
+	b.sets += len(ts)
+	full := len(b.entries) >= c.cfg.MaxBatch || b.sets >= c.cfg.MaxItemsets
+	c.mu.Unlock()
+	if full {
+		c.flush(b)
+	}
+	select {
+	case <-b.done:
+		return e.ests, e.p, e.err
+	case <-ctx.Done():
+		return nil, c.svc.partialFor(nil), ctx.Err()
+	}
+}
+
+// flush runs one batch: it detaches the batch so new arrivals open a
+// fresh one, drops entries whose ctx already fired (they return their
+// own ctx.Err()), concatenates the rest into one estimateDirect call
+// under a context bounded by the latest member deadline, and slices
+// the combined answers back per entry. Idempotent — the linger timer
+// and a batch-full arrival may both call it.
+func (c *coalescer) flush(b *estBatch) {
+	c.mu.Lock()
+	if b.flushed {
+		c.mu.Unlock()
+		return
+	}
+	b.flushed = true
+	if c.cur == b {
+		c.cur = nil
+	}
+	entries := b.entries
+	c.mu.Unlock()
+	b.timer.Stop()
+	defer close(b.done)
+
+	active := make([]*estEntry, 0, len(entries))
+	nsets := 0
+	for _, e := range entries {
+		if err := e.ctx.Err(); err != nil {
+			e.err = err
+			continue
+		}
+		active = append(active, e)
+		nsets += len(e.ts)
+	}
+	if len(active) == 0 {
+		return
+	}
+	c.flushes.Add(1)
+	if len(active) > 1 {
+		c.coalesced.Add(int64(len(active)))
+	}
+	combined := make([]itemsketch.Itemset, 0, nsets)
+	for _, e := range active {
+		combined = append(combined, e.ts...)
+	}
+	fctx, cancel := batchContext(active)
+	defer cancel()
+	ests, p, err := c.svc.estimateDirect(fctx, combined)
+	off := 0
+	for _, e := range active {
+		n := len(e.ts)
+		e.p = p
+		if err != nil {
+			e.err = err
+		} else {
+			e.ests = ests[off : off+n : off+n]
+		}
+		off += n
+	}
+}
+
+// batchContext bounds the shared fan-out by the latest member
+// deadline; one member without a deadline leaves the fan-out
+// unbounded, exactly as its own serial call would have been. Members
+// with earlier deadlines are released by their own ctx select — the
+// fan-out is never cut short on their behalf.
+func batchContext(entries []*estEntry) (context.Context, context.CancelFunc) {
+	var latest time.Time
+	for _, e := range entries {
+		d, ok := e.ctx.Deadline()
+		if !ok {
+			return context.WithCancel(context.Background())
+		}
+		if d.After(latest) {
+			latest = d
+		}
+	}
+	return context.WithDeadline(context.Background(), latest)
+}
+
+// CoalesceStats is a snapshot of the coalescer counters: how many
+// Estimate calls entered, how many cross-shard fan-outs served them,
+// and how many calls shared a fan-out with at least one companion.
+type CoalesceStats struct {
+	Requests  int64 `json:"requests"`
+	Flushes   int64 `json:"flushes"`
+	Coalesced int64 `json:"coalesced"`
+}
+
+// CoalesceStats reports the coalescer counters (all zero when
+// Config.Coalesce is nil).
+func (s *Service) CoalesceStats() CoalesceStats {
+	if s.coal == nil {
+		return CoalesceStats{}
+	}
+	return CoalesceStats{
+		Requests:  s.coal.requests.Load(),
+		Flushes:   s.coal.flushes.Load(),
+		Coalesced: s.coal.coalesced.Load(),
+	}
+}

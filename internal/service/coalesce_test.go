@@ -1,0 +1,341 @@
+package service
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	itemsketch "repro"
+	"repro/internal/rng"
+)
+
+// coalesceConfig returns testConfig(d) with the coalescer enabled.
+func coalesceConfig(d int, cc CoalesceConfig) Config {
+	cfg := testConfig(d)
+	cfg.Coalesce = &cc
+	return cfg
+}
+
+// mixedQueries builds deterministic query batches of mixed itemset
+// sizes (1, 2 and 3 attributes) over universe d.
+func mixedQueries(n, d int, seed uint64) [][]itemsketch.Itemset {
+	r := rng.New(seed)
+	out := make([][]itemsketch.Itemset, n)
+	for i := range out {
+		var ts []itemsketch.Itemset
+		for j := 0; j <= i%3; j++ {
+			switch r.Intn(3) {
+			case 0:
+				ts = append(ts, itemsketch.MustItemset(r.Intn(d)))
+			case 1:
+				a := r.Intn(d)
+				ts = append(ts, itemsketch.MustItemset(a, (a+1+r.Intn(d-1))%d))
+			default:
+				a := r.Intn(d)
+				ts = append(ts, itemsketch.MustItemset(a, (a+1)%d, (a+2)%d))
+			}
+		}
+		out[i] = ts
+	}
+	return out
+}
+
+// TestCoalescedEstimatesBitIdenticalToSerial is the concurrency
+// equivalence suite: N goroutines push mixed-size query batches
+// through the coalescer (wide linger so batches really form) and every
+// answer must be bit-identical to the serial single-request fan-out
+// over the same snapshots. Run under -race this also proves the
+// collector's happens-before discipline.
+func TestCoalescedEstimatesBitIdenticalToSerial(t *testing.T) {
+	const d, workers, perWorker = 12, 8, 24
+	s := mustNew(t, coalesceConfig(d, CoalesceConfig{Linger: 20 * time.Millisecond, MaxBatch: 64}))
+	ctx := context.Background()
+	if _, err := s.Ingest(ctx, genRows(4000, d, 3)); err != nil {
+		t.Fatal(err)
+	}
+
+	queries := mixedQueries(workers*perWorker, d, 11)
+	// Serial reference: one uncoalesced fan-out per request. The
+	// snapshots cannot change between this and the concurrent pass —
+	// there is no ingest — so answers must match exactly.
+	want := make([][]float64, len(queries))
+	for i, ts := range queries {
+		ests, p, err := s.estimateDirect(ctx, ts)
+		if err != nil || p.Degraded() {
+			t.Fatalf("serial reference %d: (%v, %v)", i, p, err)
+		}
+		want[i] = ests
+	}
+
+	var (
+		wg    sync.WaitGroup
+		start = make(chan struct{})
+		got   = make([][]float64, len(queries))
+		errs  = make([]error, len(queries))
+	)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			<-start
+			for q := 0; q < perWorker; q++ {
+				i := w*perWorker + q
+				ests, p, err := s.Estimate(ctx, queries[i])
+				if err == nil && p.Degraded() {
+					err = fmt.Errorf("query %d degraded: %v", i, p)
+				}
+				got[i], errs[i] = ests, err
+			}
+		}(w)
+	}
+	close(start)
+	wg.Wait()
+
+	for i := range queries {
+		if errs[i] != nil {
+			t.Fatal(errs[i])
+		}
+		if len(got[i]) != len(want[i]) {
+			t.Fatalf("query %d: %d answers, want %d", i, len(got[i]), len(want[i]))
+		}
+		for j := range want[i] {
+			if got[i][j] != want[i][j] {
+				t.Errorf("query %d itemset %d: coalesced %v != serial %v", i, j, got[i][j], want[i][j])
+			}
+		}
+	}
+	st := s.CoalesceStats()
+	if st.Requests != workers*perWorker {
+		t.Fatalf("coalescer saw %d requests, want %d", st.Requests, workers*perWorker)
+	}
+	if st.Flushes >= st.Requests {
+		t.Errorf("no coalescing happened: %d flushes for %d requests", st.Flushes, st.Requests)
+	}
+	if st.Coalesced == 0 {
+		t.Errorf("no request shared a batch despite %dms linger and %d workers", 20, workers)
+	}
+}
+
+// TestCoalesceCancelledRequestLeavesBatchClean pins the deadline
+// safety contract: a request cancelled while parked in an open batch
+// returns its own ctx.Err(), and its co-batched companions still get
+// correct, complete answers.
+func TestCoalesceCancelledRequestLeavesBatchClean(t *testing.T) {
+	const d = 8
+	// Linger effectively infinite: only a full batch flushes, so the
+	// test controls exactly when the flush happens.
+	s := mustNew(t, coalesceConfig(d, CoalesceConfig{Linger: time.Hour, MaxBatch: 2}))
+	ctx := context.Background()
+	if _, err := s.Ingest(ctx, genRows(2000, d, 5)); err != nil {
+		t.Fatal(err)
+	}
+	tsA := []itemsketch.Itemset{itemsketch.MustItemset(0)}
+	tsB := []itemsketch.Itemset{itemsketch.MustItemset(d - 1)}
+	want, _, err := s.estimateDirect(ctx, tsB)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	cctx, cancel := context.WithCancel(ctx)
+	aDone := make(chan error, 1)
+	go func() {
+		_, _, err := s.Estimate(cctx, tsA)
+		aDone <- err
+	}()
+	// Wait until A is parked in the open batch, then cancel it.
+	waitFor(t, func() bool {
+		s.coal.mu.Lock()
+		defer s.coal.mu.Unlock()
+		return s.coal.cur != nil && len(s.coal.cur.entries) == 1
+	})
+	cancel()
+	if err := <-aDone; err != context.Canceled {
+		t.Fatalf("cancelled request returned %v, want context.Canceled", err)
+	}
+
+	// B fills the batch (MaxBatch=2) and flushes it; A's dead entry
+	// must be skipped, not answered and not poisoning B.
+	got, p, err := s.Estimate(ctx, tsB)
+	if err != nil || p.Degraded() {
+		t.Fatalf("companion request: (%v, %v)", p, err)
+	}
+	if got[0] != want[0] {
+		t.Errorf("companion answer %v != serial %v after co-batched cancellation", got[0], want[0])
+	}
+}
+
+// waitFor polls cond until it holds or the test deadline budget burns.
+func waitFor(t *testing.T, cond func() bool) {
+	t.Helper()
+	for i := 0; i < 2000; i++ {
+		if cond() {
+			return
+		}
+		time.Sleep(time.Millisecond)
+	}
+	t.Fatal("condition never held")
+}
+
+// TestCoalesceMaxBatchOne pins the lower boundary: MaxBatch=1 degrades
+// to one fan-out per request — every answer still correct, flushes ==
+// requests, nothing coalesced.
+func TestCoalesceMaxBatchOne(t *testing.T) {
+	const d = 8
+	s := mustNew(t, coalesceConfig(d, CoalesceConfig{Linger: time.Hour, MaxBatch: 1}))
+	ctx := context.Background()
+	if _, err := s.Ingest(ctx, genRows(1500, d, 9)); err != nil {
+		t.Fatal(err)
+	}
+	ts := []itemsketch.Itemset{itemsketch.MustItemset(1), itemsketch.MustItemset(2, 3)}
+	want, _, err := s.estimateDirect(ctx, ts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 5; i++ {
+		got, p, err := s.Estimate(ctx, ts)
+		if err != nil || p.Degraded() {
+			t.Fatalf("request %d: (%v, %v)", i, p, err)
+		}
+		if got[0] != want[0] || got[1] != want[1] {
+			t.Errorf("request %d: %v != serial %v", i, got, want)
+		}
+	}
+	st := s.CoalesceStats()
+	if st.Requests != 5 || st.Flushes != 5 || st.Coalesced != 0 {
+		t.Errorf("stats = %+v, want 5 requests, 5 flushes, 0 coalesced", st)
+	}
+}
+
+// TestCoalesceLingerFlushesLoneRequest pins the linger boundary: a
+// lone request under an unfilled batch must still be answered once the
+// linger window closes, without waiting for companions.
+func TestCoalesceLingerFlushesLoneRequest(t *testing.T) {
+	const d = 8
+	s := mustNew(t, coalesceConfig(d, CoalesceConfig{Linger: 2 * time.Millisecond, MaxBatch: 64}))
+	ctx := context.Background()
+	if _, err := s.Ingest(ctx, genRows(1500, d, 13)); err != nil {
+		t.Fatal(err)
+	}
+	ts := []itemsketch.Itemset{itemsketch.MustItemset(0, 1)}
+	want, _, err := s.estimateDirect(ctx, ts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, p, err := s.Estimate(ctx, ts)
+	if err != nil || p.Degraded() {
+		t.Fatalf("lone request: (%v, %v)", p, err)
+	}
+	if got[0] != want[0] {
+		t.Errorf("lone request answer %v != serial %v", got[0], want[0])
+	}
+	if st := s.CoalesceStats(); st.Flushes != 1 {
+		t.Errorf("flushes = %d, want 1 (linger timer)", st.Flushes)
+	}
+}
+
+// TestCoalesceMaxItemsetsFlushes pins the itemset-budget boundary: a
+// request pushing the combined itemset count to MaxItemsets flushes
+// immediately instead of lingering.
+func TestCoalesceMaxItemsetsFlushes(t *testing.T) {
+	const d = 8
+	s := mustNew(t, coalesceConfig(d, CoalesceConfig{Linger: time.Hour, MaxBatch: 64, MaxItemsets: 3}))
+	ctx := context.Background()
+	if _, err := s.Ingest(ctx, genRows(1500, d, 17)); err != nil {
+		t.Fatal(err)
+	}
+	ts := []itemsketch.Itemset{
+		itemsketch.MustItemset(0), itemsketch.MustItemset(1), itemsketch.MustItemset(2),
+	}
+	want, _, err := s.estimateDirect(ctx, ts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Three itemsets ≥ MaxItemsets: must flush without companions and
+	// without the hour-long linger.
+	got, p, err := s.Estimate(ctx, ts)
+	if err != nil || p.Degraded() {
+		t.Fatalf("itemset-budget flush: (%v, %v)", p, err)
+	}
+	for j := range want {
+		if got[j] != want[j] {
+			t.Errorf("itemset %d: %v != serial %v", j, got[j], want[j])
+		}
+	}
+}
+
+// TestCoalescePreCancelledRequestNeverEnqueues: a ctx already done on
+// entry is rejected before touching a batch.
+func TestCoalescePreCancelledRequestNeverEnqueues(t *testing.T) {
+	const d = 8
+	s := mustNew(t, coalesceConfig(d, CoalesceConfig{Linger: time.Hour, MaxBatch: 8}))
+	cctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	_, _, err := s.Estimate(cctx, []itemsketch.Itemset{itemsketch.MustItemset(0)})
+	if err != context.Canceled {
+		t.Fatalf("got %v, want context.Canceled", err)
+	}
+	if st := s.CoalesceStats(); st.Requests != 0 {
+		t.Errorf("pre-cancelled request entered the coalescer: %+v", st)
+	}
+}
+
+// TestCoalesceConfigDefaults pins the knob defaults: zero or negative
+// fields take 200µs / 32 / 4096, explicit values pass through.
+func TestCoalesceConfigDefaults(t *testing.T) {
+	got := CoalesceConfig{}.withDefaults()
+	want := CoalesceConfig{Linger: 200 * time.Microsecond, MaxBatch: 32, MaxItemsets: 4096}
+	if got != want {
+		t.Fatalf("zero config defaults = %+v, want %+v", got, want)
+	}
+	got = CoalesceConfig{Linger: -1, MaxBatch: -2, MaxItemsets: -3}.withDefaults()
+	if got != want {
+		t.Fatalf("negative config defaults = %+v, want %+v", got, want)
+	}
+	explicit := CoalesceConfig{Linger: time.Millisecond, MaxBatch: 7, MaxItemsets: 9}
+	if got := explicit.withDefaults(); got != explicit {
+		t.Fatalf("explicit config rewritten: %+v", got)
+	}
+}
+
+// TestCoalesceStatsWithoutCoalescer: a service built without
+// Config.Coalesce answers directly and reports all-zero stats.
+func TestCoalesceStatsWithoutCoalescer(t *testing.T) {
+	s := mustNew(t, testConfig(4))
+	ctx := context.Background()
+	if _, err := s.Ingest(ctx, genRows(500, 4, 3)); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := s.Estimate(ctx, []itemsketch.Itemset{itemsketch.MustItemset(0)}); err != nil {
+		t.Fatal(err)
+	}
+	if st := s.CoalesceStats(); st != (CoalesceStats{}) {
+		t.Fatalf("uncoalesced service reported stats %+v", st)
+	}
+}
+
+// TestBatchContextDeadlines pins the shared fan-out bound: all members
+// bounded → the batch carries the latest member deadline; any member
+// unbounded → the batch is unbounded too.
+func TestBatchContextDeadlines(t *testing.T) {
+	near, cancelNear := context.WithDeadline(context.Background(), time.Now().Add(time.Minute))
+	defer cancelNear()
+	far, cancelFar := context.WithDeadline(context.Background(), time.Now().Add(time.Hour))
+	defer cancelFar()
+
+	fctx, cancel := batchContext([]*estEntry{{ctx: near}, {ctx: far}})
+	d, ok := fctx.Deadline()
+	cancel()
+	farD, _ := far.Deadline()
+	if !ok || !d.Equal(farD) {
+		t.Fatalf("batch deadline = (%v, %v), want the latest member deadline %v", d, ok, farD)
+	}
+
+	fctx, cancel = batchContext([]*estEntry{{ctx: near}, {ctx: context.Background()}})
+	_, ok = fctx.Deadline()
+	cancel()
+	if ok {
+		t.Fatal("one unbounded member must leave the batch unbounded")
+	}
+}

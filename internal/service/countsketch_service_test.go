@@ -365,7 +365,7 @@ func TestCountSketchMergeCache(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	base := s.csMerges.Load()
+	base := s.csMerge.builds.Load()
 	if base == 0 {
 		t.Fatal("first query did not build a merge")
 	}
@@ -386,7 +386,7 @@ func TestCountSketchMergeCache(t *testing.T) {
 			}
 		}
 	}
-	if got := s.csMerges.Load(); got != base {
+	if got := s.csMerge.builds.Load(); got != base {
 		t.Fatalf("10 repeat queries rebuilt the merge %d times", got-base)
 	}
 
@@ -397,14 +397,14 @@ func TestCountSketchMergeCache(t *testing.T) {
 	if _, _, _, err := s.HeavyHitters(ctx, 0.2); err != nil {
 		t.Fatal(err)
 	}
-	if got := s.csMerges.Load(); got != base+1 {
+	if got := s.csMerge.builds.Load(); got != base+1 {
 		t.Fatalf("post-ingest query built %d merges, want exactly 1 more", got-base)
 	}
 
 	// A dead shard shrinks the candidate set: re-merge, and the cached
 	// generation must answer 3/4 afterwards, not resurrect the corpse.
 	s.KillShard(2)
-	after := s.csMerges.Load()
+	after := s.csMerge.builds.Load()
 	for i := 0; i < 3; i++ {
 		_, _, p, err := s.HeavyHitters(ctx, 0.2)
 		if err != nil {
@@ -414,7 +414,7 @@ func TestCountSketchMergeCache(t *testing.T) {
 			t.Fatalf("post-kill partial %v, want 3/4 missing shard 2", p)
 		}
 	}
-	if got := s.csMerges.Load(); got != after+1 {
+	if got := s.csMerge.builds.Load(); got != after+1 {
 		t.Fatalf("post-kill queries built %d merges, want exactly 1", got-after)
 	}
 }
@@ -434,7 +434,7 @@ func BenchmarkHeavyHittersHot(b *testing.B) {
 		}
 	}
 	b.StopTimer()
-	if merges := s.csMerges.Load(); merges > 1 {
+	if merges := s.csMerge.builds.Load(); merges > 1 {
 		b.Fatalf("hot path re-merged %d times for %d queries", merges, b.N)
 	}
 }
@@ -446,7 +446,7 @@ func BenchmarkHeavyHittersCold(b *testing.B) {
 	ctx := context.Background()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		s.csCache.Store(nil)
+		s.csMerge.gen.Store(nil)
 		if _, _, _, err := s.HeavyHitters(ctx, 0.2); err != nil {
 			b.Fatal(err)
 		}

@@ -21,9 +21,18 @@ import (
 //	POST /v1/heavyhitters  {"phi":0.2}                     → {"items":[...],"n":N,"source":"...","shards":{...}}
 //	POST /v1/checkpoint                                    → {"shards":{...}}
 //	POST /v1/kill?shard=N                                  → {"shards":{...}}  (chaos lever)
+//	POST /v1/rehome?shard=N&from=M                         → {"rehomed":N,"from":M}
 //	GET  /v1/shards/{id}/sketch                            → sketch envelope bytes
+//	PUT  /v1/shards/{id}/sketch                            → bootstrap a dead shard from envelope bytes
 //	GET  /healthz                                          → per-shard health report
 //	GET  /readyz                                           → 200 iff the live quorum is met
+//
+// GET and PUT on /v1/shards/{id}/sketch are the two halves of the
+// replication path: GET streams a live shard's sample as a sketch
+// envelope (with its stream length in X-Shard-Seen), and PUT feeds the
+// same bytes (and optional X-Shard-Seen request header) to
+// BootstrapShard, reviving a dead shard. POST /v1/rehome does both
+// sides in-process for single-node operation.
 //
 // Every response carries the degradation headers (X-Shards-Answered,
 // and X-Shards-Missing when any shard is missing) and every JSON body
@@ -45,6 +54,7 @@ func (s *Service) Handler() http.Handler {
 	mux.HandleFunc("/v1/heavyhitters", s.handleHeavyHitters)
 	mux.HandleFunc("/v1/checkpoint", s.handleCheckpoint)
 	mux.HandleFunc("/v1/kill", s.handleKill)
+	mux.HandleFunc("/v1/rehome", s.handleRehome)
 	mux.HandleFunc("/v1/shards/", s.handleShardSketch)
 	mux.HandleFunc("/healthz", s.handleHealthz)
 	mux.HandleFunc("/readyz", s.handleReadyz)
@@ -302,17 +312,39 @@ func (s *Service) handleKill(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, s.currentPartial(), map[string]any{"killed": id})
 }
 
-// handleShardSketch streams one shard's current sample as a standard
-// sketch envelope — the replication/backfill read path. The snapshot's
-// reservoir is cloned first so the envelope encoder never touches a
-// database other queries are reading.
-func (s *Service) handleShardSketch(w http.ResponseWriter, r *http.Request) {
-	if r.Method != http.MethodGet {
-		w.Header().Set("Allow", http.MethodGet)
-		writeJSON(w, http.StatusMethodNotAllowed, s.currentPartial(),
-			map[string]any{"error": "use GET"})
+// handleRehome bootstraps dead shard ?shard= from live peer ?from= in
+// process — the single-node form of the GET→PUT replication pair.
+func (s *Service) handleRehome(w http.ResponseWriter, r *http.Request) {
+	if !s.requirePost(w, r) {
 		return
 	}
+	id, err := strconv.Atoi(r.URL.Query().Get("shard"))
+	if err != nil || id < 0 || id >= len(s.shards) {
+		writeJSON(w, http.StatusBadRequest, s.currentPartial(),
+			map[string]any{"error": "rehome needs ?shard=<0.." + strconv.Itoa(len(s.shards)-1) + ">"})
+		return
+	}
+	from, err := strconv.Atoi(r.URL.Query().Get("from"))
+	if err != nil {
+		writeJSON(w, http.StatusBadRequest, s.currentPartial(),
+			map[string]any{"error": "rehome needs ?from=<live peer shard>"})
+		return
+	}
+	if err := s.RehomeFromPeer(id, from); err != nil {
+		writeError(w, s.currentPartial(), err)
+		return
+	}
+	writeJSON(w, http.StatusOK, s.currentPartial(), map[string]any{"rehomed": id, "from": from})
+}
+
+// handleShardSketch is the shard replication endpoint. GET streams one
+// shard's current sample as a standard sketch envelope — the
+// replication/backfill read path; the snapshot's reservoir is cloned
+// first so the envelope encoder never touches a database other queries
+// are reading. PUT accepts the same envelope bytes and bootstraps a
+// dead shard from them (BootstrapShard), honoring an X-Shard-Seen
+// request header as the restored stream-length counter.
+func (s *Service) handleShardSketch(w http.ResponseWriter, r *http.Request) {
 	rest, ok := strings.CutPrefix(r.URL.Path, "/v1/shards/")
 	if !ok {
 		http.NotFound(w, r)
@@ -329,23 +361,46 @@ func (s *Service) handleShardSketch(w http.ResponseWriter, r *http.Request) {
 			map[string]any{"error": "no such shard"})
 		return
 	}
-	sh := s.shards[id]
-	if sh.State() == Dead {
-		writeError(w, s.currentPartial(), fmt.Errorf("%w: shard %d", ErrShardDead, id))
-		return
-	}
-	snap := sh.snapshot()
-	sk, err := core.SubsampleFromSample(snap.res.Database(), s.cfg.Params)
-	if err != nil {
-		writeError(w, s.currentPartial(), err)
-		return
-	}
-	setShardHeaders(w, s.currentPartial())
-	w.Header().Set("Content-Type", "application/octet-stream")
-	w.Header().Set("X-Shard-Seen", strconv.FormatInt(snap.seen, 10))
-	if _, err := itemsketch.MarshalTo(w, sk); err != nil {
-		// Headers are gone; all we can do is log through the shard.
-		sh.recordFailure(err)
+	switch r.Method {
+	case http.MethodGet:
+		sh := s.shards[id]
+		if sh.State() == Dead {
+			writeError(w, s.currentPartial(), fmt.Errorf("%w: shard %d", ErrShardDead, id))
+			return
+		}
+		snap := sh.snapshot()
+		sk, err := core.SubsampleFromSample(snap.res.Database(), s.cfg.Params)
+		if err != nil {
+			writeError(w, s.currentPartial(), err)
+			return
+		}
+		setShardHeaders(w, s.currentPartial())
+		w.Header().Set("Content-Type", "application/octet-stream")
+		w.Header().Set("X-Shard-Seen", strconv.FormatInt(snap.seen, 10))
+		if _, err := itemsketch.MarshalTo(w, sk); err != nil {
+			// Headers are gone; all we can do is log through the shard.
+			sh.recordFailure(err)
+		}
+	case http.MethodPut:
+		var seen int64
+		if h := r.Header.Get("X-Shard-Seen"); h != "" {
+			v, err := strconv.ParseInt(h, 10, 64)
+			if err != nil || v < 0 {
+				writeJSON(w, http.StatusBadRequest, s.currentPartial(),
+					map[string]any{"error": "bad X-Shard-Seen header: " + h})
+				return
+			}
+			seen = v
+		}
+		if err := s.BootstrapShard(id, r.Body, seen); err != nil {
+			writeError(w, s.currentPartial(), err)
+			return
+		}
+		writeJSON(w, http.StatusOK, s.currentPartial(), map[string]any{"bootstrapped": id})
+	default:
+		w.Header().Set("Allow", "GET, PUT")
+		writeJSON(w, http.StatusMethodNotAllowed, s.currentPartial(),
+			map[string]any{"error": "use GET or PUT"})
 	}
 }
 

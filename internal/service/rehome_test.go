@@ -1,0 +1,428 @@
+package service
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"io"
+	"math"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+
+	itemsketch "repro"
+	"repro/internal/core"
+)
+
+// TestRoutingRedistributesDeadShardSlots pins the slot table: a live
+// shard owns its home slot; killing a shard re-homes its slot to a
+// live shard deterministically; reviving it hands the slot back.
+func TestRoutingRedistributesDeadShardSlots(t *testing.T) {
+	const d = 8
+	ctx := context.Background()
+	s := mustNew(t, testConfig(d))
+	if _, err := s.Ingest(ctx, genRows(800, d, 3)); err != nil {
+		t.Fatal(err)
+	}
+	for i, owner := range s.Routing() {
+		if owner != i {
+			t.Fatalf("healthy routing[%d] = %d, want itself", i, owner)
+		}
+	}
+
+	s.KillShard(2)
+	routing := s.Routing()
+	if routing[2] == 2 || routing[2] < 0 {
+		t.Fatalf("dead shard 2 still owns its slot: routing = %v", routing)
+	}
+	if s.shards[routing[2]].State() == Dead {
+		t.Fatalf("slot 2 re-homed to dead shard %d", routing[2])
+	}
+	// The re-homed ring keeps accepting the full row stream.
+	before := totalSeen(s)
+	if n, err := s.Ingest(ctx, genRows(400, d, 4)); err != nil || n != 400 {
+		t.Fatalf("ingest into re-homed ring = (%d, %v), want (400, nil)", n, err)
+	}
+	if got := totalSeen(s); got != before+400 {
+		t.Fatalf("re-homed ring absorbed %d rows, want 400", got-before)
+	}
+
+	if err := s.RehomeFromPeer(2, 0); err != nil {
+		t.Fatal(err)
+	}
+	if st := s.shards[2].State(); st != Healthy {
+		t.Fatalf("bootstrapped shard state %v, want healthy", st)
+	}
+	for i, owner := range s.Routing() {
+		if owner != i {
+			t.Fatalf("post-bootstrap routing[%d] = %d, want itself", i, owner)
+		}
+	}
+	// A full fan-out again: no shard missing from queries.
+	_, p, err := s.Estimate(ctx, []itemsketch.Itemset{itemsketch.MustItemset(0)})
+	if err != nil || p.Degraded() {
+		t.Fatalf("post-bootstrap estimate: (%v, %v)", p, err)
+	}
+}
+
+// totalSeen sums the rows observed across all shards.
+func totalSeen(s *Service) int64 {
+	var n int64
+	for _, sh := range s.shards {
+		n += sh.Seen()
+	}
+	return n
+}
+
+// TestAllShardsDeadRoutingIsEmpty: with every shard dead the slot
+// table holds -1 and ingest reports ErrNoShards.
+func TestAllShardsDeadRoutingIsEmpty(t *testing.T) {
+	const d = 8
+	s := mustNew(t, testConfig(d))
+	for i := 0; i < s.NumShards(); i++ {
+		s.KillShard(i)
+	}
+	for i, owner := range s.Routing() {
+		if owner != -1 {
+			t.Fatalf("all-dead routing[%d] = %d, want -1", i, owner)
+		}
+	}
+	if _, err := s.Ingest(context.Background(), [][]int{{0}}); err != ErrNoShards {
+		t.Fatalf("all-dead ingest error %v, want ErrNoShards", err)
+	}
+}
+
+// TestBootstrapRejectsLiveShard: only a dead shard may be bootstrapped
+// — reviving a serving shard would silently replace its data.
+func TestBootstrapRejectsLiveShard(t *testing.T) {
+	const d = 8
+	s := mustNew(t, testConfig(d))
+	if _, err := s.Ingest(context.Background(), genRows(500, d, 3)); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.RehomeFromPeer(1, 0); err == nil {
+		t.Fatal("bootstrapping a live shard succeeded")
+	}
+	if err := s.RehomeFromPeer(1, 1); err == nil {
+		t.Fatal("bootstrapping a shard from itself succeeded")
+	}
+	s.KillShard(1)
+	s.KillShard(2)
+	if err := s.RehomeFromPeer(1, 2); err == nil {
+		t.Fatal("bootstrapping from a dead peer succeeded")
+	}
+}
+
+// TestReplicaBootstrapBitIdentical drives the full HTTP replication
+// pair and pins the byte-level contract: GET a source shard's
+// envelope, PUT it into a dead shard, and the revived shard's own
+// envelope must be bit-identical to the source's — the replica holds
+// exactly the peer's sample.
+func TestReplicaBootstrapBitIdentical(t *testing.T) {
+	const d = 8
+	ctx := context.Background()
+	s := mustNew(t, testConfig(d))
+	srv := httptest.NewServer(s.Handler())
+	defer srv.Close()
+	if _, err := s.Ingest(ctx, genRows(2000, d, 7)); err != nil {
+		t.Fatal(err)
+	}
+
+	resp, err := http.Get(srv.URL + "/v1/shards/0/sketch")
+	if err != nil {
+		t.Fatal(err)
+	}
+	source, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil || resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET source sketch: %d, %v", resp.StatusCode, err)
+	}
+	seen := resp.Header.Get("X-Shard-Seen")
+	if seen == "" {
+		t.Fatal("GET did not report X-Shard-Seen")
+	}
+
+	s.KillShard(3)
+	req, err := http.NewRequest(http.MethodPut, srv.URL+"/v1/shards/3/sketch", bytes.NewReader(source))
+	if err != nil {
+		t.Fatal(err)
+	}
+	req.Header.Set("X-Shard-Seen", seen)
+	resp, err = http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("PUT bootstrap: %d", resp.StatusCode)
+	}
+
+	resp, err = http.Get(srv.URL + "/v1/shards/3/sketch")
+	if err != nil {
+		t.Fatal(err)
+	}
+	replica, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil || resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET replica sketch: %d, %v", resp.StatusCode, err)
+	}
+	if !bytes.Equal(source, replica) {
+		t.Fatalf("replica envelope differs from source: %d vs %d bytes", len(replica), len(source))
+	}
+	if got := resp.Header.Get("X-Shard-Seen"); got != seen {
+		t.Fatalf("replica X-Shard-Seen %q, want %q", got, seen)
+	}
+
+	// The revived shard keeps serving: a PUT with garbage must fail
+	// cleanly on a live shard (only dead shards bootstrap).
+	req, _ = http.NewRequest(http.MethodPut, srv.URL+"/v1/shards/3/sketch", bytes.NewReader(source))
+	resp, err = http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("PUT onto live shard: %d, want 400", resp.StatusCode)
+	}
+}
+
+// TestRehomeEndpoint drives POST /v1/rehome: kill, re-home from a
+// peer, and the health report shows the slot returning home.
+func TestRehomeEndpoint(t *testing.T) {
+	const d = 8
+	ctx := context.Background()
+	s := mustNew(t, testConfig(d))
+	srv := httptest.NewServer(s.Handler())
+	defer srv.Close()
+	if _, err := s.Ingest(ctx, genRows(1000, d, 9)); err != nil {
+		t.Fatal(err)
+	}
+
+	resp, _ := postJSON(t, srv.URL, "/v1/kill?shard=1", `{}`)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("kill: %d", resp.StatusCode)
+	}
+	if got := s.Routing()[1]; got == 1 {
+		t.Fatal("killed shard still owns its slot")
+	}
+
+	resp, body := postJSON(t, srv.URL, "/v1/rehome?shard=1&from=2", `{}`)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("rehome: %d %v", resp.StatusCode, body)
+	}
+	if body["rehomed"].(float64) != 1 || body["from"].(float64) != 2 {
+		t.Fatalf("rehome body %v", body)
+	}
+	if got := resp.Header.Get("X-Shards-Answered"); got != "4/4" {
+		t.Fatalf("post-rehome X-Shards-Answered %q, want 4/4", got)
+	}
+	for _, h := range s.HealthReport() {
+		if h.RoutedTo != h.ID {
+			t.Fatalf("post-rehome health row %+v, want slot back home", h)
+		}
+	}
+
+	// Bad requests: unknown peer, missing params.
+	resp, _ = postJSON(t, srv.URL, "/v1/rehome?shard=1&from=99", `{}`)
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("rehome from unknown peer: %d, want 400", resp.StatusCode)
+	}
+	resp, _ = postJSON(t, srv.URL, "/v1/rehome?shard=99&from=0", `{}`)
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("rehome of unknown shard: %d, want 400", resp.StatusCode)
+	}
+}
+
+// TestRehomedReplicaAnswersWithinBounds: after a kill and a peer
+// bootstrap, estimates stay within the estimators' (ε,δ) tolerance of
+// a never-killed reference service over the same row stream — the
+// statistical contract of re-homing (the replica is an
+// identically-distributed stand-in, not the dead shard's exact rows).
+func TestRehomedReplicaAnswersWithinBounds(t *testing.T) {
+	const d = 8
+	ctx := context.Background()
+	ref := mustNew(t, testConfig(d))
+	victim := mustNew(t, testConfig(d))
+
+	half1, half2 := genRows(3000, d, 21), genRows(3000, d, 22)
+	for _, svc := range []*Service{ref, victim} {
+		if _, err := svc.Ingest(ctx, half1); err != nil {
+			t.Fatal(err)
+		}
+	}
+	victim.KillShard(2)
+	if err := victim.RehomeFromPeer(2, 0); err != nil {
+		t.Fatal(err)
+	}
+	for _, svc := range []*Service{ref, victim} {
+		if _, err := svc.Ingest(ctx, half2); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	ts := make([]itemsketch.Itemset, d)
+	for a := 0; a < d; a++ {
+		ts[a] = itemsketch.MustItemset(a)
+	}
+	want, _, err := ref.Estimate(ctx, ts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, p, err := victim.Estimate(ctx, ts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Degraded() {
+		t.Fatalf("re-homed service still partial: %v", p)
+	}
+	for a := 0; a < d; a++ {
+		// Column a fires w.p. (a+1)/(d+1); both services must agree with
+		// that target — and each other — within the ε=0.05 regime the
+		// default params promise (loosened for the two sampling layers).
+		target := float64(a+1) / float64(d+1)
+		if math.Abs(got[a]-target) > 0.08 {
+			t.Errorf("attr %d: re-homed estimate %v vs target %v", a, got[a], target)
+		}
+		if math.Abs(got[a]-want[a]) > 0.08 {
+			t.Errorf("attr %d: re-homed estimate %v vs reference %v", a, got[a], want[a])
+		}
+	}
+}
+
+// TestBootstrapRejectsBadEnvelopes pins BootstrapShard's validation:
+// garbage bytes, a wrong-universe sample, a sketch kind that carries
+// no sample, an out-of-range id, and a closed service all fail
+// cleanly, leaving the dead shard dead.
+func TestBootstrapRejectsBadEnvelopes(t *testing.T) {
+	const d = 8
+	ctx := context.Background()
+	s := mustNew(t, testConfig(d))
+	if _, err := s.Ingest(ctx, genRows(500, d, 3)); err != nil {
+		t.Fatal(err)
+	}
+	s.KillShard(1)
+
+	if err := s.BootstrapShard(1, bytes.NewReader([]byte("not an envelope")), 10); err == nil {
+		t.Fatal("garbage envelope bootstrapped a shard")
+	}
+	if err := s.BootstrapShard(99, bytes.NewReader(nil), 0); !errors.Is(err, itemsketch.ErrInvalidParams) {
+		t.Fatalf("out-of-range id: %v, want ErrInvalidParams", err)
+	}
+
+	// A valid envelope over the wrong attribute universe must be
+	// rejected as corrupt, not merged.
+	other := mustNew(t, testConfig(d+1))
+	if _, err := other.Ingest(ctx, genRows(500, d+1, 4)); err != nil {
+		t.Fatal(err)
+	}
+	var wrong bytes.Buffer
+	snap := other.shards[0].snapshot()
+	sk, err := core.SubsampleFromSample(snap.res.Database(), other.cfg.Params)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := itemsketch.MarshalTo(&wrong, sk); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.BootstrapShard(1, &wrong, snap.seen); !errors.Is(err, itemsketch.ErrCorruptSketch) {
+		t.Fatalf("wrong-universe envelope: %v, want ErrCorruptSketch", err)
+	}
+
+	// An envelope of a kind that carries no row sample cannot revive a
+	// shard.
+	cs, err := itemsketch.NewCountSketch(itemsketch.CountSketchConfig{
+		Universe: d, Rows: 2, Cols: 16, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.BootstrapShard(1, bytes.NewReader(itemsketch.Marshal(cs)), 10); err == nil {
+		t.Fatal("sample-less sketch kind bootstrapped a shard")
+	}
+
+	if st := s.shards[1].State(); st != Dead {
+		t.Fatalf("shard 1 state %v after failed bootstraps, want dead", st)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.BootstrapShard(1, bytes.NewReader(nil), 0); !errors.Is(err, ErrClosed) {
+		t.Fatalf("closed service: %v, want ErrClosed", err)
+	}
+}
+
+// TestBootstrapFloorsSeenToSampleRows: a seen counter smaller than the
+// sample it accompanies is floored to the sample size, keeping the
+// seen-weighted merge sane.
+func TestBootstrapFloorsSeenToSampleRows(t *testing.T) {
+	const d = 8
+	ctx := context.Background()
+	s := mustNew(t, testConfig(d))
+	if _, err := s.Ingest(ctx, genRows(500, d, 3)); err != nil {
+		t.Fatal(err)
+	}
+	snap := s.shards[0].snapshot()
+	sk, err := core.SubsampleFromSample(snap.res.Database(), s.cfg.Params)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if _, err := itemsketch.MarshalTo(&buf, sk); err != nil {
+		t.Fatal(err)
+	}
+	s.KillShard(3)
+	if err := s.BootstrapShard(3, &buf, 0); err != nil {
+		t.Fatal(err)
+	}
+	rows := int64(snap.res.Database().NumRows())
+	if got := s.shards[3].Seen(); got != rows {
+		t.Fatalf("seen = %d after zero-seen bootstrap, want floored to %d sample rows", got, rows)
+	}
+}
+
+// TestConcurrentBootstrapOnlyOneWins races two peer bootstraps of the
+// same dead shard: exactly one revives it, the loser reports the shard
+// no longer dead, and the winner's sample serves queries — the
+// under-lock recheck in revive, pinned under -race.
+func TestConcurrentBootstrapOnlyOneWins(t *testing.T) {
+	const d = 8
+	ctx := context.Background()
+	s := mustNew(t, testConfig(d))
+	if _, err := s.Ingest(ctx, genRows(1000, d, 5)); err != nil {
+		t.Fatal(err)
+	}
+	s.KillShard(2)
+	errs := make(chan error, 2)
+	for _, peer := range []int{0, 1} {
+		go func(peer int) { errs <- s.RehomeFromPeer(2, peer) }(peer)
+	}
+	var failed int
+	for i := 0; i < 2; i++ {
+		if err := <-errs; err != nil {
+			failed++
+			if !errors.Is(err, itemsketch.ErrInvalidParams) {
+				t.Fatalf("losing bootstrap error %v, want ErrInvalidParams", err)
+			}
+		}
+	}
+	if failed != 1 {
+		t.Fatalf("%d of 2 concurrent bootstraps failed, want exactly 1", failed)
+	}
+	if st := s.shards[2].State(); st != Healthy {
+		t.Fatalf("shard state %v after racing bootstraps, want healthy", st)
+	}
+	if _, p, err := s.Estimate(ctx, []itemsketch.Itemset{itemsketch.MustItemset(0)}); err != nil || p.Degraded() {
+		t.Fatalf("post-race estimate: (%v, %v)", p, err)
+	}
+}
+
+// TestHealthStrings pins the operator-facing state names, including
+// the out-of-range fallback.
+func TestHealthStrings(t *testing.T) {
+	for h, want := range map[Health]string{
+		Healthy: "healthy", Degraded: "degraded", Dead: "dead", Health(9): "health(9)",
+	} {
+		if got := h.String(); got != want {
+			t.Errorf("Health(%d).String() = %q, want %q", int32(h), got, want)
+		}
+	}
+}

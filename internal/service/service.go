@@ -20,7 +20,15 @@
 //     carry a health state (Healthy → Degraded → Dead) driven by
 //     consecutive-failure counters; queries skip dead shards and
 //     report partial results naming who was missing
-//     (X-Shards-Answered) instead of failing the request.
+//     (X-Shards-Answered) instead of failing the request. A dead
+//     shard's ingest slot re-homes to the live shards, and a
+//     replacement can be bootstrapped from a peer's replication
+//     envelope (see rehome.go), so degradation is recoverable.
+//   - The read side exploits mergeability instead of repeating it:
+//     every cross-shard merge (count sketch, Misra–Gries, decayed
+//     Misra–Gries, the Mine union sample) is memoized per snapshot
+//     generation (mergecache.go), and concurrent Estimate calls can
+//     coalesce into one fan-out per linger window (coalesce.go).
 //   - Fallible operations — ingest application and checkpoint I/O —
 //     run under bounded retry with exponential backoff and seeded
 //     jitter.
@@ -52,6 +60,7 @@ import (
 
 	itemsketch "repro"
 	"repro/internal/countsketch"
+	"repro/internal/dataset"
 	"repro/internal/rng"
 	"repro/internal/stream"
 )
@@ -161,6 +170,11 @@ type Config struct {
 	DeadAfter    int
 	// MinReady is the live-shard quorum /readyz requires (default 1).
 	MinReady int
+	// Coalesce, when non-nil, batches concurrent Estimate calls landing
+	// inside one linger window into a single cross-shard fan-out per
+	// snapshot generation (see CoalesceConfig). nil gives every request
+	// its own fan-out.
+	Coalesce *CoalesceConfig
 
 	// IngestFault, when set, is consulted before each ingest
 	// application attempt; a non-nil return is treated as a transient
@@ -231,6 +245,10 @@ func (cfg Config) withDefaults() Config {
 	if cfg.MinReady <= 0 {
 		cfg.MinReady = 1
 	}
+	if cfg.Coalesce != nil {
+		c := cfg.Coalesce.withDefaults() // never mutate the caller's struct
+		cfg.Coalesce = &c
+	}
 	if cfg.Window != nil {
 		w := *cfg.Window // never mutate the caller's struct
 		if w.Buckets <= 0 {
@@ -265,35 +283,18 @@ type Service struct {
 	closeMu sync.RWMutex // write side held while Close closes worker channels
 	wg      sync.WaitGroup
 
-	csCache  atomic.Pointer[csMergeGen] // memoized read-side count-sketch merge
-	csMerges atomic.Int64               // cache misses: actual cell-wise merge builds
-}
+	coal *coalescer // estimate request coalescer (nil unless Config.Coalesce)
 
-// csMergeGen is one memoized generation of the read-side count-sketch
-// merge. It stays valid exactly as long as every answering shard still
-// publishes the snapshot it was built from — any ingest, kill or
-// recovery swaps a snapshot pointer and misses the cache. The merged
-// sketch is immutable once stored: queries only read it, so one
-// generation can serve concurrent heavy-hitter calls.
-type csMergeGen struct {
-	snaps    []*snapshot // key: the candidate snapshots, in shard order
-	ids      []int       // shard ids of the candidates
-	answered []int       // shards whose sketch actually merged
-	merged   *countsketch.Sketch
-}
+	// Read-side merge caches, one generation per estimator path (see
+	// mergecache.go): queries against an unchanged service reuse the
+	// previous cross-shard merge instead of re-folding every shard.
+	csMerge   mergeCache[*countsketch.Sketch]
+	mgMerge   mergeCache[*stream.MisraGries]
+	dmgMerge  mergeCache[*stream.DecayedMisraGries]
+	mineMerge mergeCache[*dataset.Database]
 
-// matches reports whether the generation was built from exactly these
-// candidate snapshots.
-func (g *csMergeGen) matches(ids []int, snaps []*snapshot) bool {
-	if len(g.snaps) != len(snaps) {
-		return false
-	}
-	for i := range snaps {
-		if g.ids[i] != ids[i] || g.snaps[i] != snaps[i] {
-			return false
-		}
-	}
-	return true
+	routeMu sync.RWMutex
+	routing []int // ingest slot table (see rehome.go): slot i is shard i's home
 }
 
 // New builds the shard set, recovers any checkpoints found in
@@ -341,6 +342,15 @@ func New(cfg Config) (*Service, error) {
 			return nil, err
 		}
 		s.shards = append(s.shards, sh)
+	}
+	// Every shard starts owning its home slot; Dead transitions (either
+	// direction, including recovery below) recompute the table.
+	s.routing = make([]int, cfg.Shards)
+	for i := range s.routing {
+		s.routing[i] = i
+	}
+	if cfg.Coalesce != nil {
+		s.coal = newCoalescer(s, *cfg.Coalesce)
 	}
 	if cfg.CheckpointDir != "" {
 		if err := s.recoverAll(); err != nil {
@@ -450,8 +460,11 @@ func (s *Service) partialForIDs(ids []int) Partial {
 }
 
 // Ingest validates and routes rows (attribute-index lists) across the
-// live shards round-robin, in per-shard batches applied by the shard
-// workers under retry. A shard whose application ultimately fails is
+// shard slots round-robin, in per-shard batches applied by the shard
+// workers under retry. Rows are partitioned over every slot — a dead
+// shard's slot is re-homed to a live shard by the routing table (see
+// rehome.go) — so killing a shard redistributes its key range instead
+// of shrinking the ring. A shard whose application ultimately fails is
 // degraded and its batch is re-routed once to the next live shard, so
 // single-shard trouble sheds load instead of losing rows. Returns the
 // number of rows accepted.
@@ -466,16 +479,16 @@ func (s *Service) Ingest(ctx context.Context, rows [][]int) (int, error) {
 			}
 		}
 	}
-	live := s.live()
-	if len(live) == 0 {
+	owners := s.routingSnapshot()
+	if owners == nil {
 		return 0, ErrNoShards
 	}
-	// Partition round-robin from a persistent cursor so successive
-	// small batches still spread across shards.
-	batches := make([][][]int, len(live))
+	// Partition round-robin over the slots from a persistent cursor so
+	// successive small batches still spread across shards.
+	batches := make([][][]int, len(s.shards))
 	for _, row := range rows {
-		i := int((s.next.Add(1) - 1) % uint64(len(live)))
-		batches[i] = append(batches[i], row)
+		slot := int((s.next.Add(1) - 1) % uint64(len(owners)))
+		batches[owners[slot]] = append(batches[owners[slot]], row)
 	}
 	var (
 		wg       sync.WaitGroup
@@ -483,7 +496,7 @@ func (s *Service) Ingest(ctx context.Context, rows [][]int) (int, error) {
 		accepted int
 		firstErr error
 	)
-	for i, batch := range batches {
+	for id, batch := range batches {
 		if len(batch) == 0 {
 			continue
 		}
@@ -508,7 +521,7 @@ func (s *Service) Ingest(ctx context.Context, rows [][]int) (int, error) {
 				firstErr = err
 			}
 			mu.Unlock()
-		}(live[i], batch)
+		}(s.shards[id], batch)
 	}
 	wg.Wait()
 	if accepted == 0 && firstErr != nil {
@@ -534,8 +547,19 @@ func (s *Service) reroute(failed *Shard) *Shard {
 // expectation of querying the merged reservoir. Shards that fail or
 // miss the deadline are reported in the Partial, not fatal; only zero
 // answering shards is an error (ErrNoShards, or ctx.Err() when the
-// deadline caused it).
+// deadline caused it). With Config.Coalesce set, concurrent calls
+// landing inside one linger window share a single fan-out; the
+// per-itemset answers are bit-identical either way.
 func (s *Service) Estimate(ctx context.Context, ts []itemsketch.Itemset) ([]float64, Partial, error) {
+	if s.coal != nil {
+		return s.coal.estimate(ctx, ts)
+	}
+	return s.estimateDirect(ctx, ts)
+}
+
+// estimateDirect is the uncoalesced fan-out behind Estimate; the
+// coalescer calls it once per flushed batch.
+func (s *Service) estimateDirect(ctx context.Context, ts []itemsketch.Itemset) ([]float64, Partial, error) {
 	live := s.live()
 	answered := make(map[int]bool, len(live))
 	if len(live) == 0 {
@@ -599,39 +623,52 @@ func (s *Service) Estimate(ctx context.Context, ts []itemsketch.Itemset) ([]floa
 // samples: the shard reservoirs are merged on read with stream.Merge
 // (the mergeable-summaries property — the merged sample is a uniform
 // sample of the union stream) and mined with the ctx-aware batched
-// Apriori. Dead or snapshot-less shards degrade the result to a
+// Apriori. The merged, column-indexed union sample is memoized per
+// snapshot generation, so repeated mines against an unchanged service
+// reuse one merge — and return identical results, since no fresh merge
+// seed is drawn. Dead or snapshot-less shards degrade the result to a
 // partial over the answering shards.
 func (s *Service) Mine(ctx context.Context, minSupport float64, maxK int) ([]itemsketch.MiningResult, Partial, error) {
-	live := s.live()
-	answered := make(map[int]bool, len(live))
-	var merged *stream.Reservoir
-	for _, sh := range live {
-		if err := ctx.Err(); err != nil {
-			return nil, s.partialFor(answered), err
+	ids, snaps, shs := s.mergeCandidates(func(*snapshot) bool { return true })
+	db, answered, err := s.mineMerge.get(ids, snaps, func() (*dataset.Database, []int, error) {
+		var merged *stream.Reservoir
+		var ans []int
+		for i, snap := range snaps {
+			if err := ctx.Err(); err != nil {
+				return nil, ans, err
+			}
+			if merged == nil {
+				merged = snap.res
+				ans = append(ans, ids[i])
+				continue
+			}
+			m, err := stream.Merge(merged, snap.res, s.nextMergeSeed())
+			if err != nil {
+				shs[i].recordFailure(err)
+				continue
+			}
+			merged = m
+			ans = append(ans, ids[i])
 		}
-		snap := sh.snapshot()
 		if merged == nil {
-			merged = snap.res
-			answered[sh.id] = true
-			continue
+			return nil, ans, nil
 		}
-		m, err := stream.Merge(merged, snap.res, s.nextMergeSeed())
-		if err != nil {
-			sh.recordFailure(err)
-			continue
-		}
-		merged = m
-		answered[sh.id] = true
+		// Database() clones the sample, so indexing never touches a
+		// snapshot other queries are reading.
+		db := merged.Database()
+		db.BuildColumnIndex()
+		return db, ans, nil
+	})
+	p := s.partialForIDs(answered)
+	if err != nil {
+		return nil, p, err
 	}
-	p := s.partialFor(answered)
-	if merged == nil {
+	if db == nil {
 		if err := ctx.Err(); err != nil {
 			return nil, p, err
 		}
 		return nil, p, ErrNoShards
 	}
-	db := merged.Database()
-	db.BuildColumnIndex()
 	rs, err := itemsketch.AprioriContext(ctx, itemsketch.QueryDatabase(db), minSupport, maxK)
 	if err != nil {
 		return nil, p, err
@@ -669,31 +706,33 @@ func (s *Service) HeavyHitters(ctx context.Context, phi float64) ([]HeavyHitter,
 	if s.csCfg != nil {
 		return s.heavyHittersCS(ctx, phi)
 	}
-	live := s.live()
-	answered := make(map[int]bool, len(live))
-	var merged *stream.MisraGries
-	for _, sh := range live {
-		if err := ctx.Err(); err != nil {
-			return nil, 0, s.partialFor(answered), err
+	ids, snaps, shs := s.mergeCandidates(func(sn *snapshot) bool { return sn.mg != nil })
+	merged, answered, err := s.mgMerge.get(ids, snaps, func() (*stream.MisraGries, []int, error) {
+		var m *stream.MisraGries
+		var ans []int
+		for i, snap := range snaps {
+			if err := ctx.Err(); err != nil {
+				return nil, ans, err
+			}
+			if m == nil {
+				m = snap.mg
+				ans = append(ans, ids[i])
+				continue
+			}
+			mm, err := stream.MergeMG(m, snap.mg)
+			if err != nil {
+				shs[i].recordFailure(err)
+				continue
+			}
+			m = mm
+			ans = append(ans, ids[i])
 		}
-		snap := sh.snapshot()
-		if snap.mg == nil {
-			continue
-		}
-		if merged == nil {
-			merged = snap.mg
-			answered[sh.id] = true
-			continue
-		}
-		m, err := stream.MergeMG(merged, snap.mg)
-		if err != nil {
-			sh.recordFailure(err)
-			continue
-		}
-		merged = m
-		answered[sh.id] = true
+		return m, ans, nil
+	})
+	p := s.partialForIDs(answered)
+	if err != nil {
+		return nil, 0, p, err
 	}
-	p := s.partialFor(answered)
 	if merged == nil {
 		if err := ctx.Err(); err != nil {
 			return nil, 0, p, err
@@ -718,45 +757,31 @@ func (s *Service) heavyHittersCS(ctx context.Context, phi float64) ([]HeavyHitte
 	if !(phi > 0 && phi <= 1) {
 		return nil, 0, s.partialFor(nil), fmt.Errorf("%w: phi = %g out of range (0, 1]", itemsketch.ErrInvalidParams, phi)
 	}
-	live := s.live()
-	cands := make([]*snapshot, 0, len(live))
-	ids := make([]int, 0, len(live))
-	shs := make([]*Shard, 0, len(live))
-	for _, sh := range live {
-		snap := sh.snapshot()
-		if snap.cs == nil {
-			continue
-		}
-		cands = append(cands, snap)
-		ids = append(ids, sh.id)
-		shs = append(shs, sh)
-	}
-	var (
-		merged     *countsketch.Sketch
-		answeredID []int
-	)
-	if g := s.csCache.Load(); g != nil && g.matches(ids, cands) {
-		merged, answeredID = g.merged, g.answered
-	} else if len(cands) > 0 {
-		s.csMerges.Add(1)
-		for i, snap := range cands {
+	ids, snaps, shs := s.mergeCandidates(func(sn *snapshot) bool { return sn.cs != nil })
+	merged, answered, err := s.csMerge.get(ids, snaps, func() (*countsketch.Sketch, []int, error) {
+		var m *countsketch.Sketch
+		var ans []int
+		for i, snap := range snaps {
 			if err := ctx.Err(); err != nil {
-				return nil, 0, s.partialForIDs(answeredID), err
+				return nil, ans, err
 			}
-			if merged == nil {
-				merged = snap.cs.Clone()
-				answeredID = append(answeredID, ids[i])
+			if m == nil {
+				m = snap.cs.Clone()
+				ans = append(ans, ids[i])
 				continue
 			}
-			if err := merged.Merge(snap.cs); err != nil {
+			if err := m.Merge(snap.cs); err != nil {
 				shs[i].recordFailure(err)
 				continue
 			}
-			answeredID = append(answeredID, ids[i])
+			ans = append(ans, ids[i])
 		}
-		s.csCache.Store(&csMergeGen{snaps: cands, ids: ids, answered: answeredID, merged: merged})
+		return m, ans, nil
+	})
+	p := s.partialForIDs(answered)
+	if err != nil {
+		return nil, 0, p, err
 	}
-	p := s.partialForIDs(answeredID)
 	if merged == nil {
 		if err := ctx.Err(); err != nil {
 			return nil, 0, p, err
@@ -833,31 +858,33 @@ func (s *Service) HeavyHittersWindow(ctx context.Context, phi float64) ([]HeavyH
 	if !(phi > 0 && phi <= 1) {
 		return nil, 0, s.partialFor(nil), fmt.Errorf("%w: phi = %g out of range (0, 1]", itemsketch.ErrInvalidParams, phi)
 	}
-	live := s.live()
-	answered := make(map[int]bool, len(live))
-	var merged *stream.DecayedMisraGries
-	for _, sh := range live {
-		if err := ctx.Err(); err != nil {
-			return nil, 0, s.partialFor(answered), err
+	ids, snaps, shs := s.mergeCandidates(func(sn *snapshot) bool { return sn.dmg != nil })
+	merged, answered, err := s.dmgMerge.get(ids, snaps, func() (*stream.DecayedMisraGries, []int, error) {
+		var m *stream.DecayedMisraGries
+		var ans []int
+		for i, snap := range snaps {
+			if err := ctx.Err(); err != nil {
+				return nil, ans, err
+			}
+			if m == nil {
+				m = snap.dmg
+				ans = append(ans, ids[i])
+				continue
+			}
+			mm, err := stream.MergeDecayed(m, snap.dmg)
+			if err != nil {
+				shs[i].recordFailure(err)
+				continue
+			}
+			m = mm
+			ans = append(ans, ids[i])
 		}
-		snap := sh.snapshot()
-		if snap.dmg == nil {
-			continue
-		}
-		if merged == nil {
-			merged = snap.dmg
-			answered[sh.id] = true
-			continue
-		}
-		m, err := stream.MergeDecayed(merged, snap.dmg)
-		if err != nil {
-			sh.recordFailure(err)
-			continue
-		}
-		merged = m
-		answered[sh.id] = true
+		return m, ans, nil
+	})
+	p := s.partialForIDs(answered)
+	if err != nil {
+		return nil, 0, p, err
 	}
-	p := s.partialFor(answered)
 	if merged == nil {
 		if err := ctx.Err(); err != nil {
 			return nil, 0, p, err
@@ -900,11 +927,16 @@ type ShardHealth struct {
 	SampleRows  int    `json:"sample_rows"`
 	Failures    int    `json:"consecutive_failures"`
 	Checkpoints int64  `json:"checkpoints"`
-	LastError   string `json:"last_error,omitempty"`
+	// RoutedTo is the shard currently owning this shard's ingest slot:
+	// itself while live, the re-home target while it is dead, -1 when
+	// every shard is dead.
+	RoutedTo  int    `json:"routed_to"`
+	LastError string `json:"last_error,omitempty"`
 }
 
 // HealthReport returns the per-shard states for /healthz.
 func (s *Service) HealthReport() []ShardHealth {
+	routing := s.Routing()
 	out := make([]ShardHealth, len(s.shards))
 	for i, sh := range s.shards {
 		snap := sh.snapshot()
@@ -915,6 +947,7 @@ func (s *Service) HealthReport() []ShardHealth {
 			SampleRows:  snap.db.NumRows(),
 			Failures:    int(sh.fails.Load()),
 			Checkpoints: sh.checkpoints.Load(),
+			RoutedTo:    routing[i],
 			LastError:   sh.lastError(),
 		}
 	}

@@ -35,6 +35,7 @@ type Shard struct {
 	dmg       *stream.DecayedMisraGries // nil unless Config.Window enables DecayK
 	sinceCkpt int
 	jrng      *rng.RNG // backoff jitter + recovery seeds
+	winSeed   uint64   // window reservoir seed, kept for bootstrap rebuilds
 
 	snap        atomic.Pointer[snapshot]
 	state       atomic.Int32
@@ -71,11 +72,12 @@ func newShard(svc *Service, id int, reservoirSeed, jitterSeed, windowSeed uint64
 		return nil, err
 	}
 	sh := &Shard{
-		id:   id,
-		svc:  svc,
-		ch:   make(chan ingestReq, 16),
-		res:  res,
-		jrng: rng.New(jitterSeed),
+		id:      id,
+		svc:     svc,
+		ch:      make(chan ingestReq, 16),
+		res:     res,
+		jrng:    rng.New(jitterSeed),
+		winSeed: windowSeed,
 	}
 	if svc.cfg.HeavyK > 0 {
 		if sh.mg, err = stream.NewMisraGries(svc.cfg.HeavyK); err != nil {
@@ -266,16 +268,25 @@ func (sh *Shard) snapshot() *snapshot { return sh.snap.Load() }
 // State returns the shard's health state.
 func (sh *Shard) State() Health { return Health(sh.state.Load()) }
 
-func (sh *Shard) setState(h Health) { sh.state.Store(int32(h)) }
+// setState swaps the health state; any transition across the Dead
+// boundary re-homes or restores the shard's ingest slot.
+func (sh *Shard) setState(h Health) {
+	old := Health(sh.state.Swap(int32(h)))
+	if (old == Dead) != (h == Dead) {
+		sh.svc.recomputeRouting()
+	}
+}
 
 // Seen returns the rows this shard has observed.
 func (sh *Shard) Seen() int64 { return sh.snapshot().seen }
 
 // recordFailure advances the consecutive-failure counter and the
 // health state machine: DegradeAfter failures mark the shard Degraded,
-// DeadAfter mark it Dead. A dead shard stays dead until KillShard's
-// inverse — which deliberately does not exist: recovery is a restart
-// with checkpoint replay, not an in-place resurrection.
+// DeadAfter mark it Dead. A dead shard stays dead: no failure or
+// success path resurrects it. The only sanctioned way back is an
+// explicit bootstrap from a peer's replication envelope
+// (Service.BootstrapShard → revive), or a full restart with
+// checkpoint replay.
 func (sh *Shard) recordFailure(err error) {
 	msg := err.Error()
 	sh.lastErr.Store(&msg)
@@ -325,6 +336,64 @@ func (sh *Shard) withRetry(ctx context.Context, f func(attempt int) error) error
 		}
 	}
 	return fmt.Errorf("%w after %d attempts: %w", ErrRetriesExhausted, cfg.MaxRetries, last)
+}
+
+// revive rebuilds a dead shard from a replication sample and returns
+// it to service — the shard half of Service.BootstrapShard. The
+// reservoir is restored exactly like checkpoint recovery; the side
+// summaries (MG, count sketch, window, decayed MG) restart empty with
+// their original configuration and seeds, since the envelope carries
+// only the row sample. The worker goroutine never stopped (a dead
+// shard merely refuses submissions), so flipping the state back to
+// Healthy is all the restart there is.
+func (sh *Shard) revive(sample *dataset.Database, seen int64) error {
+	cfg := sh.svc.cfg
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	// Recheck under the ingest lock: two concurrent bootstraps must not
+	// both restore, and a revive racing ingest application cannot
+	// interleave with it.
+	if sh.State() != Dead {
+		return fmt.Errorf("%w: shard %d is %s; only a dead shard can be bootstrapped", itemsketch.ErrInvalidParams, sh.id, sh.State())
+	}
+	res, err := stream.RestoreReservoir(sample, cfg.SampleCapacity, seen, sh.jrng.Uint64())
+	if err != nil {
+		return err
+	}
+	var mg *stream.MisraGries
+	if cfg.HeavyK > 0 {
+		if mg, err = stream.NewMisraGries(cfg.HeavyK); err != nil {
+			return err
+		}
+	}
+	var cs *countsketch.Sketch
+	if sh.svc.csCfg != nil {
+		if cs, err = countsketch.New(*sh.svc.csCfg); err != nil {
+			return err
+		}
+	}
+	var win *stream.WindowedReservoir
+	var dmg *stream.DecayedMisraGries
+	if wc := cfg.Window; wc != nil {
+		win, err = stream.NewWindowedReservoir(cfg.NumAttrs, wc.Rows, wc.Buckets,
+			wc.SampleCapacity, sh.winSeed, cfg.Params)
+		if err != nil {
+			return err
+		}
+		if wc.DecayK >= 2 {
+			dmg, err = stream.NewDecayedMisraGries(cfg.NumAttrs, wc.DecayK, wc.DecayLambda, itemsketch.Params{})
+			if err != nil {
+				return err
+			}
+		}
+	}
+	sh.res, sh.mg, sh.cs, sh.win, sh.dmg = res, mg, cs, win, dmg
+	sh.sinceCkpt = 0
+	sh.publishSnapshotLocked()
+	sh.fails.Store(0)
+	sh.lastErr.Store(nil)
+	sh.setState(Healthy) // re-homes the slot back via recomputeRouting
+	return nil
 }
 
 // backoff sleeps the jittered delay for one failed attempt.
