@@ -5,7 +5,9 @@ GO ?= go
 # paper over deleted tests. Raised to 77.0 at PR 8 (77.3% measured);
 # held at 77.0 at PR 9 (77.1% measured — the loadgen/bench harness
 # additions outgrew their tests slightly; a 0.1-margin raise would
-# only flap CI).
+# only flap CI) and at PR 10 (77.0% measured exactly: the assembly
+# kernels are invisible to Go coverage while their dispatch wrappers
+# and the cmd/bench kernel rows count as statements).
 COVER_FLOOR ?= 77.0
 
 .PHONY: all build test race cover vet doclint bench chaos fuzz
@@ -41,17 +43,18 @@ doclint:
 
 # bench runs the operational benchmark suite, records the results, and
 # gates the construction + mining + count-sketch + ingest benchmarks —
-# plus, from PR 9, the memoized service read paths
-# (service_hh_mg_hot, service_mine_hot, service_estimate_coalesced) —
-# against the previous PR's numbers; bump the output/baseline names in
-# later PRs to keep the perf trajectory. If the shared reference
-# container's clock has drifted since the baseline was recorded
-# (untouched families moving >20%), re-measure the previous PR's tree
-# (git worktree add) on the same day rather than comparing wall-clock
-# numbers across weeks — BENCH_7_remeasured.json and
-# BENCH_8_remeasured.json are both such same-day re-baselines.
+# plus the memoized service read paths (PR 9) and, from PR 10, the
+# dispatched bitvec word kernels (kernel_*) — against the previous
+# PR's numbers; bump the output/baseline names in later PRs to keep
+# the perf trajectory. If the shared reference container's clock has
+# drifted since the baseline was recorded (untouched families moving
+# >20%), re-measure the previous PR's tree (git worktree add) on the
+# same day rather than comparing wall-clock numbers across weeks —
+# BENCH_7/8/9_remeasured.json are all such same-day re-baselines
+# (BENCH_9_remeasured: untouched families like wal_append and
+# scan_serial moved +33–52% on the byte-identical PR 9 tree).
 bench:
-	$(GO) run ./cmd/bench -out BENCH_9.json -compare BENCH_8_remeasured.json
+	$(GO) run ./cmd/bench -out BENCH_10.json -compare BENCH_9_remeasured.json
 
 # chaos runs the fault-injection suites — checkpoint recovery sweeps,
 # codec fault classification, and the mixed-load kill-shards service
@@ -62,10 +65,13 @@ chaos:
 		FAULT_SEED=$$seed $(GO) test -race -run 'Fault|Chaos|Recovery' ./... || exit 1; \
 	done
 
-# fuzz exercises the three decoder/query surfaces: the exact-query
-# paths, the one-shot wire-envelope decoder, and the streaming decoder
-# (v1 + v2, chunked, compressed).
+# fuzz exercises the decoder/query surfaces — the exact-query paths,
+# the one-shot wire-envelope decoder, and the streaming decoder (v1 +
+# v2, chunked, compressed) — plus the bitvec word kernels, whose fuzz
+# target differentially checks the dispatched (possibly assembly)
+# kernels against bits.OnesCount references on arbitrary operands.
 fuzz:
+	$(GO) test ./internal/bitvec/ -run '^$$' -fuzz FuzzWordKernels -fuzztime 30s
 	$(GO) test ./internal/dataset/ -run '^$$' -fuzz FuzzCountPaths -fuzztime 30s
 	$(GO) test . -run '^$$' -fuzz FuzzUnmarshalEnvelope -fuzztime 30s
 	$(GO) test . -run '^$$' -fuzz FuzzUnmarshalFromEnvelope -fuzztime 30s

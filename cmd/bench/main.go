@@ -33,6 +33,7 @@ import (
 	"time"
 
 	itemsketch "repro"
+	"repro/internal/bitvec"
 	"repro/internal/ingest"
 	"repro/internal/rng"
 	"repro/internal/service"
@@ -47,14 +48,19 @@ type result struct {
 }
 
 type report struct {
-	Date       string   `json:"date"`
-	GoVersion  string   `json:"go_version"`
-	GOOS       string   `json:"goos"`
-	GOARCH     string   `json:"goarch"`
-	NumCPU     int      `json:"num_cpu"`
-	GOMAXPROCS int      `json:"gomaxprocs"`
-	Notes      string   `json:"notes,omitempty"`
-	Results    []result `json:"results"`
+	Date       string `json:"date"`
+	GoVersion  string `json:"go_version"`
+	GOOS       string `json:"goos"`
+	GOARCH     string `json:"goarch"`
+	NumCPU     int    `json:"num_cpu"`
+	GOMAXPROCS int    `json:"gomaxprocs"`
+	// CPUFeatures is the bitvec kernel layer's detected dispatch state
+	// (e.g. "avx2=true"). A perf delta between two BENCH files with
+	// different cpu_features is a dispatch-path change, not a
+	// code-change signal.
+	CPUFeatures string   `json:"cpu_features"`
+	Notes       string   `json:"notes,omitempty"`
+	Results     []result `json:"results"`
 }
 
 func benchDB(n, d int) *itemsketch.Database {
@@ -86,6 +92,13 @@ func benchDB(n, d int) *itemsketch.Database {
 // allocs/op (0) is the stable signal and is pinned by the recorded
 // BENCH files.
 var gatedPrefixes = []string{
+	// The word-slice kernels underneath every query and miner: the
+	// dispatched AND/ANDN popcount and store+count entry points at the
+	// two operand sizes the query tiers actually run (one 10k-row
+	// column = 157 words, one 100k-row column = 1563 words). These pin
+	// the SIMD dispatch itself — a regression here means the kernel
+	// layer stopped selecting (or stopped winning on) the vector path.
+	"kernel_",
 	"sketch_build",
 	"subsample_build",
 	"median_amplifier_build",
@@ -194,6 +207,43 @@ func main() {
 	ctx := context.Background()
 	p := itemsketch.Params{K: 2, Eps: 0.05, Delta: 0.05,
 		Mode: itemsketch.ForAll, Task: itemsketch.Estimator}
+
+	// Word-slice kernels through the public dispatched entry points, at
+	// the column sizes of the 10k-row (157-word) and 100k-row
+	// (1563-word) reference databases. cpu_features in the report header
+	// records which path (assembly vs pure Go) these numbers measure.
+	{
+		var sinkKernel int
+		for _, nw := range []int{157, 1563} {
+			a := make([]uint64, nw)
+			bw := make([]uint64, nw)
+			dst := make([]uint64, nw)
+			r := rng.New(uint64(nw))
+			for i := range a {
+				a[i] = r.Uint64()
+				bw[i] = r.Uint64()
+			}
+			record(fmt.Sprintf("kernel_andcount_w%d", nw), func(b *testing.B) {
+				b.ReportAllocs()
+				for i := 0; i < b.N; i++ {
+					sinkKernel = bitvec.AndCountWords(a, bw)
+				}
+			})
+			record(fmt.Sprintf("kernel_andnotcount_w%d", nw), func(b *testing.B) {
+				b.ReportAllocs()
+				for i := 0; i < b.N; i++ {
+					sinkKernel = bitvec.AndNotCountWords(a, bw)
+				}
+			})
+			record(fmt.Sprintf("kernel_andinto_w%d", nw), func(b *testing.B) {
+				b.ReportAllocs()
+				for i := 0; i < b.N; i++ {
+					sinkKernel = bitvec.AndInto(dst, a, bw)
+				}
+			})
+		}
+		_ = sinkKernel
+	}
 
 	// Exact frequency query, vertical fused path.
 	{
@@ -762,14 +812,15 @@ func main() {
 	}
 
 	rep := report{
-		Date:       time.Now().UTC().Format(time.RFC3339),
-		GoVersion:  runtime.Version(),
-		GOOS:       runtime.GOOS,
-		GOARCH:     runtime.GOARCH,
-		NumCPU:     runtime.NumCPU(),
-		GOMAXPROCS: runtime.GOMAXPROCS(0),
-		Notes:      "parallel/sharded variants (scan_parallel, subsample_build_parallel, median_amplifier_build) only beat their serial twins with >1 CPU; on a single-CPU runner read them as no-regression checks. mine_eclat_dense is the forced-tidset baseline on the dense database; mine_eclat_diffset is the same mine with forced diffsets. countsketch_ingest/estimate are per-item costs over a 2^16-universe hierarchical count sketch (5x1024, base 16); heavyhitters_find is one full recursive descent at phi=0.01 on a Zipf(1.2) stream. service_* rows measure the sharded sketch service (8 shards, d=64) through its Go API; service_estimate_p99 is a latency quantile (99th percentile single-query latency), not a throughput mean; the ingest/estimate/p99 service rows are reported, not gated. service_hh_mg_hot and service_mine_hot are the memoized read paths with ingest quiesced (cache-hit cost after one warming merge; mine still runs its Apriori pass per request over the cached union sample) and ARE gated; service_estimate_coalesced is the cost of 8 concurrent single-itemset estimates batched by the request coalescer (100us linger, max batch 8), also gated. wal_append/wal_replay are the write-ahead row log (default 256-row records; replay covers a fixed 8192-row log per op); ingest_concurrent_1w/4w are per-row costs through the concurrent pool; pool_speedup_4w is their rows/s ratio, recorded ungated because it only becomes meaningful (target >= 2x) at GOMAXPROCS >= 4 — on the 1-CPU reference container the writers serialize; windowed_ingest is the sliding-window sampler (65536-row window, 8 buckets).",
-		Results:    results,
+		Date:        time.Now().UTC().Format(time.RFC3339),
+		GoVersion:   runtime.Version(),
+		GOOS:        runtime.GOOS,
+		GOARCH:      runtime.GOARCH,
+		NumCPU:      runtime.NumCPU(),
+		GOMAXPROCS:  runtime.GOMAXPROCS(0),
+		CPUFeatures: bitvec.KernelFeatures(),
+		Notes:       "kernel_* rows measure the dispatched bitvec word kernels (AND/ANDN popcount and store+count) at 157- and 1563-word operands — the 10k- and 100k-row column sizes; cpu_features records whether they ran the AVX2 assembly (avx2=true) or the portable Go loops, so cross-machine comparisons are honest. parallel/sharded variants (scan_parallel, subsample_build_parallel, median_amplifier_build) only beat their serial twins with >1 CPU; on a single-CPU runner read them as no-regression checks. mine_eclat_dense is the forced-tidset baseline on the dense database; mine_eclat_diffset is the same mine with forced diffsets. countsketch_ingest/estimate are per-item costs over a 2^16-universe hierarchical count sketch (5x1024, base 16); heavyhitters_find is one full recursive descent at phi=0.01 on a Zipf(1.2) stream. service_* rows measure the sharded sketch service (8 shards, d=64) through its Go API; service_estimate_p99 is a latency quantile (99th percentile single-query latency), not a throughput mean; the ingest/estimate/p99 service rows are reported, not gated. service_hh_mg_hot and service_mine_hot are the memoized read paths with ingest quiesced (cache-hit cost after one warming merge; mine still runs its Apriori pass per request over the cached union sample) and ARE gated; service_estimate_coalesced is the cost of 8 concurrent single-itemset estimates batched by the request coalescer (100us linger, max batch 8), also gated. wal_append/wal_replay are the write-ahead row log (default 256-row records; replay covers a fixed 8192-row log per op); ingest_concurrent_1w/4w are per-row costs through the concurrent pool; pool_speedup_4w is their rows/s ratio, recorded ungated because it only becomes meaningful (target >= 2x) at GOMAXPROCS >= 4 — on the 1-CPU reference container the writers serialize; windowed_ingest is the sliding-window sampler (65536-row window, 8 buckets).",
+		Results:     results,
 	}
 	data, err := json.MarshalIndent(rep, "", "  ")
 	if err != nil {

@@ -111,13 +111,10 @@ func (v *Vector) Flip(i int) {
 	v.words[i/wordBits] ^= 1 << (uint(i) % wordBits)
 }
 
-// Count returns the number of set bits.
+// Count returns the number of set bits. It runs on the dispatched
+// kernel layer (words.go), so large vectors take the SIMD path.
 func (v *Vector) Count() int {
-	c := 0
-	for _, w := range v.words {
-		c += bits.OnesCount64(w)
-	}
-	return c
+	return CountWords(v.words)
 }
 
 // ContainsAll reports whether every bit set in t is also set in v,
@@ -182,14 +179,11 @@ func (v *Vector) AndNot(t *Vector) {
 }
 
 // AndCount returns the popcount of v AND t without allocating.
-// The vectors must have the same length.
+// The vectors must have the same length. Like Count it runs on the
+// dispatched kernel layer.
 func (v *Vector) AndCount(t *Vector) int {
 	v.sameLen(t)
-	c := 0
-	for i := range v.words {
-		c += bits.OnesCount64(v.words[i] & t.words[i])
-	}
-	return c
+	return AndCountWords(v.words, t.words)
 }
 
 func (v *Vector) sameLen(t *Vector) {

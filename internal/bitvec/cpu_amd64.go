@@ -1,0 +1,42 @@
+//go:build amd64 && !purego
+
+package bitvec
+
+// Hand-rolled CPUID feature detection, so the package stays
+// stdlib-only (golang.org/x/sys/cpu would report the same bits).
+// AVX2 use requires all of:
+//
+//   - CPUID.1:ECX.OSXSAVE[27] — the OS exposes XGETBV;
+//   - CPUID.1:ECX.AVX[28] — the AVX instruction encodings exist;
+//   - XCR0[2:1] == 11b — the OS saves/restores XMM and YMM state on
+//     context switch (without this, AVX registers are corrupted across
+//     preemption even though the instructions execute);
+//   - CPUID.7.0:EBX.AVX2[5] — the integer 256-bit operations the
+//     kernels use (VPAND/VPANDN/VPSHUFB/VPSADBW on ymm).
+
+// cpuid executes CPUID with the given leaf/subleaf (cpuid_amd64.s).
+func cpuid(eaxIn, ecxIn uint32) (eax, ebx, ecx, edx uint32)
+
+// xgetbv reads XCR0 (cpuid_amd64.s). Only call if OSXSAVE is set.
+func xgetbv() (eax, edx uint32)
+
+func detectAVX2() bool {
+	maxLeaf, _, _, _ := cpuid(0, 0)
+	if maxLeaf < 7 {
+		return false
+	}
+	_, _, ecx1, _ := cpuid(1, 0)
+	const osxsaveBit = 1 << 27
+	const avxBit = 1 << 28
+	if ecx1&osxsaveBit == 0 || ecx1&avxBit == 0 {
+		return false
+	}
+	xcr0, _ := xgetbv()
+	const ymmState = 0x6 // XMM (bit 1) + YMM (bit 2)
+	if xcr0&ymmState != ymmState {
+		return false
+	}
+	_, ebx7, _, _ := cpuid(7, 0)
+	const avx2Bit = 1 << 5
+	return ebx7&avx2Bit != 0
+}

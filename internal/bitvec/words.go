@@ -24,15 +24,31 @@ import "math/bits"
 // equivalent of a SIMD-width inner loop. A scalar tail handles the
 // last len%4 words.
 //
-// The 2-operand kernels (CountWords, AndCountWords, AndInto) stay as
-// plain range loops on purpose: measured on the reference hardware
-// (Xeon 2.1GHz, go1.24), an indexed 4-way unroll of those loops is
-// 20–35% *slower* than the compiler's range-loop codegen at both
-// L1-resident (157-word) and L2 (1563-word) operand sizes — the
-// compiler already eliminates bounds checks in the range form and the
-// core's out-of-order window extracts the ILP without help. Batching
-// only pays where it removes per-word work (the k-ary inner loop of
-// AndCountAll) or per-word branches (the multi-word containment test).
+// Kernel layer. The five 2-operand kernels (CountWords,
+// AndCountWords, AndNotCountWords, AndInto, AndNotInto) dispatch at
+// runtime between the portable Go loops in this file and hand-written
+// AVX2 assembly (words_amd64.s): package init probes the CPU via
+// CPUID/XGETBV (cpu_amd64.go) and enables the vector kernels only on
+// amd64 with AVX2 and OS-saved YMM state, and each call takes the
+// assembly only at or above kernelMinWords operand words — below the
+// crossover the call/VZEROUPPER overhead beats the vector win and the
+// Go loop is used. `-tags purego` (any arch) and non-amd64 builds
+// compile only the Go loops. See dispatch_amd64.go / dispatch_purego.go
+// and the README "Kernel layer" section.
+//
+// The Go forms of the 2-operand kernels stay as plain range loops on
+// purpose: measured on the reference hardware (Xeon 2.1GHz, go1.24),
+// an indexed 4-way *Go-level* unroll of those loops is 20–35% *slower*
+// than the compiler's range-loop codegen at both L1-resident
+// (157-word) and L2 (1563-word) operand sizes — the compiler already
+// eliminates bounds checks in the range form and the core's
+// out-of-order window extracts the ILP without help. That negative
+// result is scoped to Go-level unrolls: real SIMD (one VPAND +
+// nibble-LUT popcount per 32-byte vector) removes per-word work
+// instead of merely rearranging it, and measures well ahead of the
+// range loop above the crossover. Go-level batching still pays where
+// it removes per-word work (the k-ary inner loop of AndCountAll) or
+// per-word branches (the multi-word containment test).
 
 // batchWords is the kernel unroll factor: four 64-bit lanes per
 // iteration, the widest batch that keeps every accumulator chain in
@@ -41,6 +57,10 @@ const batchWords = 4
 
 // CountWords returns the number of set bits in w.
 func CountWords(w []uint64) int {
+	return archCountWords(w)
+}
+
+func countWordsGo(w []uint64) int {
 	c := 0
 	for _, x := range w {
 		c += bits.OnesCount64(x)
@@ -54,6 +74,10 @@ func AndCountWords(a, b []uint64) int {
 	if len(a) != len(b) {
 		panic("bitvec: AndCountWords length mismatch")
 	}
+	return archAndCountWords(a, b)
+}
+
+func andCountWordsGo(a, b []uint64) int {
 	c := 0
 	for i, x := range a {
 		c += bits.OnesCount64(x & b[i])
@@ -84,14 +108,18 @@ func ContainsAllWords(row, t []uint64) bool {
 }
 
 // AndInto sets dst = a AND b and returns popcount(dst), fused into one
-// pass. dst may alias a and/or b (the common in-place accumulator
-// pattern is AndInto(acc, acc, col)). All three slices must have the
-// same length. Kept as a range loop — see the package comment on why
-// unrolling the 2-operand kernels measures slower.
+// pass. dst may alias a and/or b exactly (the common in-place
+// accumulator pattern is AndInto(acc, acc, col)); partially
+// overlapping slices are not supported. All three slices must have the
+// same length.
 func AndInto(dst, a, b []uint64) int {
 	if len(dst) != len(a) || len(a) != len(b) {
 		panic("bitvec: AndInto length mismatch")
 	}
+	return archAndInto(dst, a, b)
+}
+
+func andIntoGo(dst, a, b []uint64) int {
 	c := 0
 	for i := range dst {
 		w := a[i] & b[i]
@@ -109,6 +137,10 @@ func AndNotCountWords(a, b []uint64) int {
 	if len(a) != len(b) {
 		panic("bitvec: AndNotCountWords length mismatch")
 	}
+	return archAndNotCountWords(a, b)
+}
+
+func andNotCountWordsGo(a, b []uint64) int {
 	c := 0
 	for i, x := range a {
 		c += bits.OnesCount64(x &^ b[i])
@@ -119,13 +151,16 @@ func AndNotCountWords(a, b []uint64) int {
 // AndNotInto sets dst = a AND NOT b and returns popcount(dst), fused
 // into one pass — the diffset construction kernel of the dEclat miner
 // (t(P)∖t(P∪{a}), or d(PY)∖d(PX) between sibling diffsets). dst may
-// alias a and/or b. All three slices must have the same length. Kept as
-// a range loop like the other 2-operand kernels; see the package
-// comment on why unrolling them measures slower.
+// alias a and/or b exactly; partially overlapping slices are not
+// supported. All three slices must have the same length.
 func AndNotInto(dst, a, b []uint64) int {
 	if len(dst) != len(a) || len(a) != len(b) {
 		panic("bitvec: AndNotInto length mismatch")
 	}
+	return archAndNotInto(dst, a, b)
+}
+
+func andNotIntoGo(dst, a, b []uint64) int {
 	c := 0
 	for i := range dst {
 		w := a[i] &^ b[i]
@@ -138,7 +173,13 @@ func AndNotInto(dst, a, b []uint64) int {
 // cappedBlockWords is the budget-check granularity of the capped
 // kernels: 32 words (2 KiB, four cache lines) per check keeps the
 // branch out of the inner loop while stopping a doomed candidate
-// within one block of proving it.
+// within one block of proving it. The block body runs through the
+// dispatched 2-operand kernels, so on AVX2 hardware each block is one
+// assembly call (32 words sits above kernelMinWords); re-measured
+// against the assembly kernels, 32 still beats 64 on the dense mining
+// workload — the wider block halves the call overhead but pays a full
+// extra 2 KiB of scan on every pruned candidate, and pruning is the
+// common case there.
 const cappedBlockWords = 32
 
 // AndNotIntoCapped sets dst = a AND NOT b like AndNotInto, but gives
@@ -159,12 +200,7 @@ func AndNotIntoCapped(dst, a, b []uint64, budget int) (int, bool) {
 		if hi > len(dst) {
 			hi = len(dst)
 		}
-		d, av, bv := dst[lo:hi], a[lo:hi], b[lo:hi]
-		for j := range d {
-			w := av[j] &^ bv[j]
-			d[j] = w
-			c += bits.OnesCount64(w)
-		}
+		c += archAndNotInto(dst[lo:hi], a[lo:hi], b[lo:hi])
 		if c > budget {
 			return c, false
 		}
@@ -174,7 +210,10 @@ func AndNotIntoCapped(dst, a, b []uint64, budget int) (int, bool) {
 }
 
 // AndIntoCapped is AndNotIntoCapped for dst = a AND b — the diffset of
-// a tidset parent against a diffset sibling.
+// a tidset parent against a diffset sibling, or (with budget an upper
+// bound that cannot be exceeded, e.g. popcount(a) when dst
+// accumulates an intersection) an exact fused AND+popcount that shares
+// the capped block loop.
 func AndIntoCapped(dst, a, b []uint64, budget int) (int, bool) {
 	if len(dst) != len(a) || len(a) != len(b) {
 		panic("bitvec: AndIntoCapped length mismatch")
@@ -185,12 +224,7 @@ func AndIntoCapped(dst, a, b []uint64, budget int) (int, bool) {
 		if hi > len(dst) {
 			hi = len(dst)
 		}
-		d, av, bv := dst[lo:hi], a[lo:hi], b[lo:hi]
-		for j := range d {
-			w := av[j] & bv[j]
-			d[j] = w
-			c += bits.OnesCount64(w)
-		}
+		c += archAndInto(dst[lo:hi], a[lo:hi], b[lo:hi])
 		if c > budget {
 			return c, false
 		}

@@ -232,6 +232,11 @@ const maxFusedCols = 8
 // scan shards across goroutines; below it, goroutine startup dominates.
 // The 2^14 value was tuned on the 100k-row × 64-col benchmark database:
 // a shard needs tens of microseconds of scanning to amortize its spawn.
+// Re-checked when the bitvec kernel layer gained AVX2 dispatch: the
+// horizontal scan runs on ContainsAllWords, which is not dispatched
+// (its per-row early exit defeats a fixed-stride vector kernel), so
+// per-row scan cost is unchanged and the threshold stands; revisit on
+// the multi-core runner (see ROADMAP), not here.
 //
 // CI caveat: the sharded paths only beat the serial ones with
 // GOMAXPROCS > 1. The reference CI container has a single CPU, so there
@@ -716,9 +721,15 @@ func (db *Database) countVertical(t Itemset) int {
 		}
 		return bitvec.AndCountAll(cols)
 	}
-	// Wide itemsets: pooled accumulator with early exit. AndInto
-	// returns the running popcount, so an empty intersection stops
-	// the loop with no separate Count pass.
+	// Wide itemsets: pooled accumulator with early exit. The
+	// accumulation runs through the capped kernel with the previous
+	// pass's count as the budget: an AND can only clear bits, so the
+	// running popcount never exceeds the cap and AndIntoCapped always
+	// completes with the exact count (equivalence vs the uncapped
+	// kernels is pinned by TestCountVerticalWideEquivalence). Sharing
+	// the miners' capped block loop keeps one code path riding the
+	// dispatched SIMD kernels, and an empty intersection still stops
+	// the column loop with no separate Count pass.
 	ap := accPool.Get().(*[]uint64)
 	acc := *ap
 	if cap(acc) < db.colStride {
@@ -730,7 +741,7 @@ func (db *Database) countVertical(t Itemset) int {
 		if cnt == 0 {
 			break
 		}
-		cnt = bitvec.AndInto(acc, acc, db.colWords(a))
+		cnt, _ = bitvec.AndIntoCapped(acc, acc, db.colWords(a), cnt)
 	}
 	*ap = acc
 	accPool.Put(ap)

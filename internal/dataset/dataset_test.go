@@ -131,6 +131,44 @@ func TestHorizontalVerticalAgreeRandom(t *testing.T) {
 	}
 }
 
+// TestCountVerticalWideEquivalence pins the wide-itemset vertical
+// path (> maxFusedCols attributes, routed through AndIntoCapped with
+// the running count as budget) against both the uncapped AndInto fold
+// it replaced and the horizontal scan. The cap equals the previous
+// intersection's popcount, which an AND can never exceed, so the
+// capped path must be exact — not an approximation.
+func TestCountVerticalWideEquivalence(t *testing.T) {
+	r := rng.New(77)
+	const d = 24
+	// High density keeps deep intersections nonempty so the loop runs
+	// past the early-exit for most trials; a second sparse database
+	// exercises the cnt==0 break.
+	for _, density := range []float64{0.9, 0.25} {
+		db := GenUniform(r, 300, d, density)
+		vert := db.Clone()
+		vert.BuildColumnIndex()
+		for trial := 0; trial < 200; trial++ {
+			k := maxFusedCols + 1 + r.Intn(d-maxFusedCols-1)
+			T := MustItemset(r.Sample(d, k)...)
+
+			got := vert.Count(T)
+			if want := db.Count(T); got != want {
+				t.Fatalf("density %.2f: vertical %d != horizontal %d for %v", density, got, want, T)
+			}
+			// Uncapped reference fold over the same column bitmaps.
+			attrs := T.Attrs()
+			acc := make([]uint64, vert.colStride)
+			ref := bitvec.AndInto(acc, vert.colWords(attrs[0]), vert.colWords(attrs[1]))
+			for _, a := range attrs[2:] {
+				ref = bitvec.AndInto(acc, acc, vert.colWords(a))
+			}
+			if got != ref {
+				t.Fatalf("density %.2f: capped vertical %d != uncapped fold %d for %v", density, got, ref, T)
+			}
+		}
+	}
+}
+
 func TestEmptyDatabase(t *testing.T) {
 	db := NewDatabase(5)
 	if db.Frequency(MustItemset(1)) != 0 {
